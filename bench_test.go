@@ -1,0 +1,471 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark reports the quantity the paper plots as a
+// custom metric alongside Go's timing:
+//
+//	BenchmarkTableI        — worst-case memory accesses per lookup method
+//	BenchmarkFig7Delay     — matcher critical path vs word width
+//	BenchmarkFig8Area      — matcher LUT count vs word width
+//	BenchmarkTableII       — synthesis model (MHz, Mpps, mm², mW)
+//	BenchmarkThroughput    — §IV packets/second through the datapath
+//	BenchmarkQoS           — GPS lag of WFQ vs the round-robin family
+//	BenchmarkFig6Profiles  — sorter under the Fig. 6 tag distributions
+//	BenchmarkAblation*     — design choices called out in §III
+package wfqsort
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wfqsort/internal/core"
+	"wfqsort/internal/gps"
+	"wfqsort/internal/matcher"
+	"wfqsort/internal/metrics"
+	"wfqsort/internal/pqueue"
+	"wfqsort/internal/scheduler"
+	"wfqsort/internal/schedulers"
+	"wfqsort/internal/synthesis"
+	"wfqsort/internal/taglist"
+	"wfqsort/internal/traffic"
+	"wfqsort/internal/trie"
+)
+
+// BenchmarkTableI regenerates Table I: steady-state insert+extract pairs
+// against a standing backlog for every lookup method, reporting
+// worst-case accesses per operation.
+func BenchmarkTableI(b *testing.B) {
+	params := pqueue.DefaultParams()
+	methods, err := pqueue.NewAll(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, q := range methods {
+		q := q
+		b.Run(q.Name(), func(b *testing.B) {
+			gen, err := traffic.NewTagGen(traffic.ProfileBell, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const backlog = 1500
+			floor := 0
+			sample := func() int {
+				hi := floor + 700
+				if hi > 4095 {
+					hi = 4095
+				}
+				lo := floor
+				if lo > hi {
+					lo = hi
+				}
+				return gen.Sample(lo, hi)
+			}
+			// Top up to the standing backlog (idempotent across the
+			// benchmark framework's reruns with growing b.N — the
+			// steady-state loop below keeps Len constant).
+			for q.Len() < backlog {
+				if err := q.Insert(sample(), q.Len()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			q.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := q.Insert(sample(), i); err != nil {
+					b.Fatal(err)
+				}
+				e, err := q.ExtractMin()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if e.Tag > floor {
+					floor = e.Tag
+				}
+			}
+			b.StopTimer()
+			st := q.Stats()
+			b.ReportMetric(float64(st.WorstInsert), "worst-insert-accesses")
+			b.ReportMetric(float64(st.WorstExtract), "worst-extract-accesses")
+			b.ReportMetric(st.MeanInsert(), "mean-insert-accesses")
+			b.ReportMetric(st.MeanExtract(), "mean-extract-accesses")
+		})
+	}
+}
+
+// BenchmarkFig7Delay regenerates Fig. 7: critical-path delay of each
+// matcher circuit variant across word widths.
+func BenchmarkFig7Delay(b *testing.B) {
+	for _, v := range matcher.Variants() {
+		for _, width := range []int{8, 16, 32, 64, 128} {
+			v, width := v, width
+			b.Run(fmt.Sprintf("%s/%dbit", v, width), func(b *testing.B) {
+				var delay int
+				for i := 0; i < b.N; i++ {
+					c, err := matcher.Build(v, width)
+					if err != nil {
+						b.Fatal(err)
+					}
+					delay = c.Delay()
+				}
+				b.ReportMetric(float64(delay), "gate-delays")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8Area regenerates Fig. 8: LUT cost of each matcher variant
+// across word widths.
+func BenchmarkFig8Area(b *testing.B) {
+	for _, v := range matcher.Variants() {
+		for _, width := range []int{8, 16, 32, 64, 128} {
+			v, width := v, width
+			b.Run(fmt.Sprintf("%s/%dbit", v, width), func(b *testing.B) {
+				var luts int
+				for i := 0; i < b.N; i++ {
+					c, err := matcher.Build(v, width)
+					if err != nil {
+						b.Fatal(err)
+					}
+					luts = c.MapLUT4().LUTs
+				}
+				b.ReportMetric(float64(luts), "LUTs")
+			})
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the Table II substitute: the analytical
+// 130-nm synthesis model of the full circuit.
+func BenchmarkTableII(b *testing.B) {
+	var rep *synthesis.Report
+	for i := 0; i < b.N; i++ {
+		r, err := synthesis.Synthesize(synthesis.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = r
+	}
+	b.ReportMetric(rep.FrequencyMHz, "MHz")
+	b.ReportMetric(rep.ThroughputMpps, "Mpps")
+	b.ReportMetric(rep.LineRateGbps, "Gb/s@140B")
+	b.ReportMetric(rep.TotalAreaMm2*1000, "milli-mm2")
+	b.ReportMetric(rep.TotalPowerMW, "mW")
+}
+
+// BenchmarkThroughput measures the §IV headline two ways: the simulated
+// sorter's operations per second on this host, and the architectural
+// model (clock/4) the silicon achieves.
+func BenchmarkThroughput(b *testing.B) {
+	b.Run("sorter-ops", func(b *testing.B) {
+		s, err := core.New(core.Config{Capacity: 8192})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 2048; i++ {
+			if err := s.Insert(rng.Intn(4096), i&0xFFFF); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.InsertExtractMin(rng.Intn(4096), i&0xFFFF); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(scheduler.DefaultClockHz/core.WindowCycles/1e6, "model-Mpps")
+	})
+	b.Run("full-datapath", func(b *testing.B) {
+		var sources []traffic.Source
+		for f := 0; f < 8; f++ {
+			src, err := traffic.NewPoisson(f, 3000, traffic.VoIPMix{}, 250, int64(f+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sources = append(sources, src)
+		}
+		pkts, err := traffic.Merge(sources...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		weights := []float64{0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := scheduler.New(scheduler.Config{Weights: weights, CapacityBps: 10e6})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Run(pkts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(pkts)), "packets/run")
+	})
+}
+
+// BenchmarkQoS regenerates the motivating delay comparison: maximum GPS
+// lag of each discipline under a VoIP-plus-bulk workload. WFQ stays
+// within Lmax/C; the round-robin family and FIFO do not.
+func BenchmarkQoS(b *testing.B) {
+	const capacity = 2e6
+	weights := []float64{0.1, 0.3, 0.3, 0.3}
+	voice, err := traffic.NewCBR(0, 64e3, 80, 200, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources := []traffic.Source{voice}
+	for f := 1; f <= 3; f++ {
+		bulk, err := traffic.NewCBR(f, 1.2e6, 1500, 200, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sources = append(sources, bulk)
+	}
+	pkts, err := traffic.Merge(sources...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := gps.Simulate(pkts, weights, capacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := map[string]func() (schedulers.Discipline, error){
+		"WFQ":  func() (schedulers.Discipline, error) { return schedulers.NewWFQ(weights, capacity) },
+		"WF2Q": func() (schedulers.Discipline, error) { return schedulers.NewWF2Q(weights, capacity) },
+		"DRR":  func() (schedulers.Discipline, error) { return schedulers.NewDRR([]int{150, 450, 450, 450}) },
+		"WRR":  func() (schedulers.Discipline, error) { return schedulers.NewWRR([]int{1, 3, 3, 3}) },
+		"FIFO": func() (schedulers.Discipline, error) { return schedulers.NewFIFO(), nil },
+	}
+	for _, name := range []string{"WFQ", "WF2Q", "DRR", "WRR", "FIFO"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var lag float64
+			for i := 0; i < b.N; i++ {
+				d, err := mk[name]()
+				if err != nil {
+					b.Fatal(err)
+				}
+				deps, err := schedulers.Run(pkts, d, capacity)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lag, err = metrics.MaxGPSLag(deps, ref.Finish)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(lag*1e3, "max-GPS-lag-ms")
+			b.ReportMetric(1500*8/capacity*1e3, "bound-ms")
+		})
+	}
+}
+
+// BenchmarkFig6Profiles drives the sorter with each Fig. 6 tag
+// distribution profile, confirming the fixed-time property holds for any
+// traffic shape.
+func BenchmarkFig6Profiles(b *testing.B) {
+	for _, profile := range []traffic.TagProfile{
+		traffic.ProfileBell, traffic.ProfileLeftWeighted, traffic.ProfileUniform,
+	} {
+		profile := profile
+		b.Run(profile.String(), func(b *testing.B) {
+			s, err := core.New(core.Config{Capacity: 4096, Mode: core.ModeHardware})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen, err := traffic.NewTagGen(profile, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			floor := 0
+			for i := 0; i < 1024; i++ {
+				hi := floor + 700
+				if hi > 4095 {
+					hi = 4095
+				}
+				if err := s.Insert(gen.Sample(floor, hi), i&0xFFFF); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hi := floor + 700
+				if hi > 4095 {
+					hi = 4095
+				}
+				lo := floor
+				if lo > hi {
+					lo = hi
+				}
+				e, err := s.InsertExtractMin(gen.Sample(lo, hi), i&0xFFFF)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if e.Tag > floor {
+					floor = e.Tag
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(s.Stats().TreeMaxDepth), "max-tree-depth")
+		})
+	}
+}
+
+// BenchmarkAblationTreeShape sweeps tree geometries (the equal-node-width
+// design discussion of §III-A): levels × literal bits trading lookup
+// depth against node width and memory.
+func BenchmarkAblationTreeShape(b *testing.B) {
+	shapes := []struct {
+		levels, literal int
+	}{
+		{2, 6}, {3, 4}, {4, 3}, {6, 2},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		b.Run(fmt.Sprintf("%dx%dbit", sh.levels, sh.literal), func(b *testing.B) {
+			tr, err := trie.New(trie.Config{Levels: sh.levels, LiteralBits: sh.literal, RegisterLevels: min(2, sh.levels-1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			capacity := tr.Capacity()
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < 1024; i++ {
+				if _, err := tr.Insert(rng.Intn(capacity)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.SearchClosest(rng.Intn(capacity)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(tr.Levels()), "lookup-depth")
+			b.ReportMetric(float64(tr.TotalMemoryBits()), "tree-bits")
+		})
+	}
+}
+
+// BenchmarkAblationSortVsSearch contrasts the paper's §II-C model choice:
+// the sort-model multi-bit tree serves the minimum in one access, while a
+// search-model TCAM pays its full lookup on the service path.
+func BenchmarkAblationSortVsSearch(b *testing.B) {
+	build := map[string]func() (pqueue.MinTagQueue, error){
+		"sort-model-tree":   func() (pqueue.MinTagQueue, error) { return pqueue.NewMultiBitTree(8192) },
+		"search-model-tcam": func() (pqueue.MinTagQueue, error) { return pqueue.NewTCAM(12) },
+	}
+	for _, name := range []string{"sort-model-tree", "search-model-tcam"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			q, err := build[name]()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2))
+			floor := 0
+			for i := 0; i < 1024; i++ {
+				if err := q.Insert(floor+rng.Intn(512), i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			q.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hi := 512
+				if floor+hi > 4095 {
+					hi = 4095 - floor
+				}
+				if hi < 1 {
+					hi = 1
+				}
+				if err := q.Insert(floor+rng.Intn(hi), i); err != nil {
+					b.Fatal(err)
+				}
+				e, err := q.ExtractMin()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if e.Tag > floor {
+					floor = e.Tag
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(q.Stats().WorstExtract), "service-path-accesses")
+		})
+	}
+}
+
+// BenchmarkTableIScaling turns Table I's asymptotic columns into
+// measured curves: worst-case accesses vs backlog N for the O(N) list,
+// the O(log N) heap, and the O(W/k) multi-bit tree (constant).
+func BenchmarkTableIScaling(b *testing.B) {
+	for _, backlog := range []int{256, 512, 1024, 2048} {
+		backlog := backlog
+		mk := map[string]func() (pqueue.MinTagQueue, error){
+			"list": func() (pqueue.MinTagQueue, error) { return pqueue.NewSortedList(), nil },
+			"heap": func() (pqueue.MinTagQueue, error) { return pqueue.NewBinaryHeap(), nil },
+			"tree": func() (pqueue.MinTagQueue, error) { return pqueue.NewMultiBitTree(backlog + 64) },
+		}
+		for _, name := range []string{"list", "heap", "tree"} {
+			name := name
+			b.Run(fmt.Sprintf("%s/N=%d", name, backlog), func(b *testing.B) {
+				q, err := mk[name]()
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := pqueue.RunWorkload(q, backlog, 512, 700, 4096, traffic.ProfileBell, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst := res.Stats.WorstInsert
+				if res.Stats.WorstExtract > worst {
+					worst = res.Stats.WorstExtract
+				}
+				b.ReportMetric(float64(worst), "worst-accesses")
+				// Keep the timer meaningful: replay trivial ops.
+				for i := 0; i < b.N; i++ {
+					_ = i
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMemTech sweeps the §III-C tag-store memory options:
+// the QDRII part halves the 4-cycle window, doubling the architectural
+// throughput ceiling at the same clock.
+func BenchmarkAblationMemTech(b *testing.B) {
+	for _, tech := range []taglist.MemTech{taglist.TechSDR, taglist.TechQDRII, taglist.TechRLDRAM} {
+		tech := tech
+		b.Run(tech.String(), func(b *testing.B) {
+			s, err := core.New(core.Config{Capacity: 4096, MemTech: tech})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(4))
+			for i := 0; i < 512; i++ {
+				if err := s.Insert(rng.Intn(4096), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.InsertExtractMin(rng.Intn(4096), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(s.CyclesPerWindow()), "cycles/window")
+			b.ReportMetric(scheduler.DefaultClockHz/float64(s.CyclesPerWindow())/1e6, "model-Mpps")
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+// Command matcherlab regenerates the paper's Figs. 7 and 8: the delay
+// and area curves of the five closest-match circuit variants (ripple,
+// look-ahead, block look-ahead, skip & look-ahead, select & look-ahead)
+// across word widths, from real gate-level netlists.
+//
+// Usage:
+//
+//	matcherlab [-fig 7|8|0] [-widths 8,16,32,64,128]
+//
+// fig 7 prints critical-path delay (unit gate delays); fig 8 prints
+// 4-input LUT counts; fig 0 prints both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"wfqsort/internal/matcher"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "matcherlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.Int("fig", 0, "figure to regenerate: 7 (delay), 8 (area), 0 (both)")
+	widthsArg := flag.String("widths", "8,16,32,64,128", "comma-separated word widths")
+	verilog := flag.String("verilog", "", "emit a matcher as Verilog: ripple, lookahead, block, skip, or select")
+	dot := flag.String("dot", "", "emit a matcher netlist as Graphviz DOT (same variant names)")
+	verilogWidth := flag.Int("verilog-width", 16, "word width for -verilog/-dot")
+	flag.Parse()
+
+	if *verilog != "" {
+		return emit(*verilog, *verilogWidth, false)
+	}
+	if *dot != "" {
+		return emit(*dot, *verilogWidth, true)
+	}
+
+	var widths []int
+	for _, s := range strings.Split(*widthsArg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad width %q: %w", s, err)
+		}
+		widths = append(widths, v)
+	}
+
+	type cell struct{ delay, luts, depth int }
+	table := make(map[matcher.Variant]map[int]cell)
+	for _, v := range matcher.Variants() {
+		table[v] = make(map[int]cell, len(widths))
+		for _, width := range widths {
+			c, err := matcher.Build(v, width)
+			if err != nil {
+				return fmt.Errorf("build %v width %d: %w", v, width, err)
+			}
+			rep := c.MapLUT4()
+			table[v][width] = cell{delay: c.Delay(), luts: rep.LUTs, depth: rep.Depth}
+		}
+	}
+
+	print := func(title, unit string, get func(cell) int) error {
+		fmt.Printf("%s (%s)\n", title, unit)
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprint(w, "variant\t")
+		for _, width := range widths {
+			fmt.Fprintf(w, "%d-bit\t", width)
+		}
+		fmt.Fprintln(w)
+		for _, v := range matcher.Variants() {
+			fmt.Fprintf(w, "%s\t", v)
+			for _, width := range widths {
+				fmt.Fprintf(w, "%d\t", get(table[v][width]))
+			}
+			fmt.Fprintln(w)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if *fig == 7 || *fig == 0 {
+		if err := print("Fig. 7 — matcher critical-path delay vs word length", "unit gate delays", func(c cell) int { return c.delay }); err != nil {
+			return err
+		}
+	}
+	if *fig == 8 || *fig == 0 {
+		if err := print("Fig. 8 — matcher area cost vs word length", "4-input LUTs", func(c cell) int { return c.luts }); err != nil {
+			return err
+		}
+	}
+	if *fig != 0 && *fig != 7 && *fig != 8 {
+		return fmt.Errorf("unknown figure %d (want 7, 8, or 0)", *fig)
+	}
+	return nil
+}
+
+// emit prints a matcher netlist as synthesizable Verilog (the path back
+// to the paper's RTL flow) or as Graphviz DOT for inspection.
+func emit(name string, width int, asDOT bool) error {
+	var v matcher.Variant
+	switch name {
+	case "ripple":
+		v = matcher.Ripple
+	case "lookahead":
+		v = matcher.LookAhead
+	case "block":
+		v = matcher.BlockLookAhead
+	case "skip":
+		v = matcher.SkipLookAhead
+	case "select":
+		v = matcher.SelectLookAhead
+	default:
+		return fmt.Errorf("unknown variant %q", name)
+	}
+	c, err := matcher.Build(v, width)
+	if err != nil {
+		return err
+	}
+	module := fmt.Sprintf("matcher_%s_%d", name, width)
+	if asDOT {
+		return c.Netlist().WriteDOT(os.Stdout, module)
+	}
+	return c.Netlist().WriteVerilog(os.Stdout, module)
+}

@@ -1,0 +1,91 @@
+// Command synthreport prints the analytical 130-nm synthesis report —
+// the substitute for the paper's Table II post-layout results — for a
+// configurable tree geometry and matcher variant.
+//
+// Usage:
+//
+//	synthreport [-levels 3] [-literal 4] [-variant select|ripple|lookahead|block|skip]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wfqsort/internal/matcher"
+	"wfqsort/internal/synthesis"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "synthreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	levels := flag.Int("levels", 3, "tree levels")
+	literal := flag.Int("literal", 4, "literal bits per level (node width = 2^literal)")
+	variantName := flag.String("variant", "select", "matcher circuit: ripple, lookahead, block, skip, select")
+	sweep := flag.Bool("sweep", false, "print a geometry × variant sweep instead of one report")
+	flag.Parse()
+
+	if *sweep {
+		return sweepReport()
+	}
+
+	var variant matcher.Variant
+	switch *variantName {
+	case "ripple":
+		variant = matcher.Ripple
+	case "lookahead":
+		variant = matcher.LookAhead
+	case "block":
+		variant = matcher.BlockLookAhead
+	case "skip":
+		variant = matcher.SkipLookAhead
+	case "select":
+		variant = matcher.SelectLookAhead
+	default:
+		return fmt.Errorf("unknown variant %q", *variantName)
+	}
+
+	rep, err := synthesis.Synthesize(synthesis.Config{
+		Levels:      *levels,
+		LiteralBits: *literal,
+		Variant:     variant,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	return nil
+}
+
+// sweepReport prints area/frequency/throughput across tree geometries
+// and matcher variants — the design space behind the paper's 3×4-bit
+// select & look-ahead choice.
+func sweepReport() error {
+	fmt.Printf("%-10s %-20s %10s %10s %10s %12s\n",
+		"geometry", "matcher", "MHz", "Mpps", "mm²", "mW")
+	// 6×2-bit is omitted: 4-bit nodes are below the matcher generator's
+	// minimum group width.
+	for _, geo := range []struct{ levels, literal int }{
+		{2, 6}, {3, 4}, {4, 3},
+	} {
+		for _, v := range []matcher.Variant{matcher.Ripple, matcher.SelectLookAhead} {
+			rep, err := synthesis.Synthesize(synthesis.Config{
+				Levels:      geo.levels,
+				LiteralBits: geo.literal,
+				Variant:     v,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%dx%d-bit   %-20s %10.1f %10.1f %10.3f %12.1f\n",
+				geo.levels, geo.literal, v, rep.FrequencyMHz, rep.ThroughputMpps,
+				rep.TotalAreaMm2, rep.TotalPowerMW)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Command wfqtrace generates packet traces and schedules traces from
+// disk, bridging the simulator and external analysis:
+//
+//	wfqtrace -gen mix -packets 500 -out trace.csv
+//	    generate an arrival trace (mixes: mix, voip, bursty)
+//	wfqtrace -in trace.csv -weights 0.5,0.3,0.2 -capacity 1e6 -out deps.csv
+//	    run the hardware WFQ datapath over a trace and write departures
+//	wfqtrace -report deps.csv -flows 3
+//	    summarize per-flow delays from a departure record
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wfqsort/internal/metrics"
+	"wfqsort/internal/packet"
+	"wfqsort/internal/scheduler"
+	"wfqsort/internal/trace"
+	"wfqsort/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wfqtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	gen := flag.String("gen", "", "generate a trace: mix, voip, or bursty")
+	in := flag.String("in", "", "arrival trace to schedule")
+	report := flag.String("report", "", "departure record to summarize")
+	out := flag.String("out", "", "output file (defaults to stdout)")
+	packets := flag.Int("packets", 500, "packets per flow for -gen")
+	weightsArg := flag.String("weights", "0.25,0.25,0.25,0.25", "comma-separated session weights for -in")
+	capacity := flag.Float64("capacity", 1e6, "link capacity in bits/s for -in")
+	flows := flag.Int("flows", 4, "flow count for -report")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+
+	switch {
+	case *gen != "":
+		pkts, err := generate(*gen, *packets, *seed)
+		if err != nil {
+			return err
+		}
+		return trace.WriteArrivals(dst, pkts)
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pkts, err := trace.ReadArrivals(f)
+		if err != nil {
+			return err
+		}
+		weights, err := parseWeights(*weightsArg)
+		if err != nil {
+			return err
+		}
+		sched, err := scheduler.New(scheduler.Config{Weights: weights, CapacityBps: *capacity})
+		if err != nil {
+			return err
+		}
+		res, err := sched.Run(pkts)
+		if err != nil {
+			return err
+		}
+		return trace.WriteDepartures(dst, res.Departures)
+	case *report != "":
+		f, err := os.Open(*report)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		deps, err := trace.ReadDepartures(f)
+		if err != nil {
+			return err
+		}
+		perFlow, err := metrics.QueueingDelays(deps, *flows)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(dst, "%-6s %8s %12s %12s %12s\n", "flow", "packets", "mean (ms)", "p99 (ms)", "max (ms)")
+		for fl, delays := range perFlow {
+			st := metrics.Summarize(delays)
+			fmt.Fprintf(dst, "%-6d %8d %12.3f %12.3f %12.3f\n", fl, st.Count, st.Mean*1e3, st.P99*1e3, st.Max*1e3)
+		}
+		return nil
+	default:
+		return fmt.Errorf("one of -gen, -in, or -report is required")
+	}
+}
+
+func parseWeights(arg string) ([]float64, error) {
+	parts := strings.Split(arg, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight %q: %w", p, err)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func generate(kind string, count int, seed int64) ([]packet.Packet, error) {
+	switch kind {
+	case "mix":
+		voip, err := traffic.NewCBR(0, 64e3, 80, count, 0)
+		if err != nil {
+			return nil, err
+		}
+		video, err := traffic.NewCBR(1, 3e5, 1000, count/2, 0.0002)
+		if err != nil {
+			return nil, err
+		}
+		data, err := traffic.NewPoisson(2, 200, traffic.IMIX{}, count, seed)
+		if err != nil {
+			return nil, err
+		}
+		bursty, err := traffic.NewOnOff(3, 3000, 0.02, 0.03, traffic.IMIX{}, count, seed+1)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.Merge(voip, video, data, bursty)
+	case "voip":
+		var srcs []traffic.Source
+		for f := 0; f < 4; f++ {
+			s, err := traffic.NewCBR(f, 64e3, 80, count, float64(f)*0.0025)
+			if err != nil {
+				return nil, err
+			}
+			srcs = append(srcs, s)
+		}
+		return traffic.Merge(srcs...)
+	case "bursty":
+		var srcs []traffic.Source
+		for f := 0; f < 4; f++ {
+			s, err := traffic.NewOnOff(f, 4000, 0.01, 0.04, traffic.IMIX{}, count, seed+int64(f))
+			if err != nil {
+				return nil, err
+			}
+			srcs = append(srcs, s)
+		}
+		return traffic.Merge(srcs...)
+	default:
+		return nil, fmt.Errorf("unknown generator %q (want mix, voip, or bursty)", kind)
+	}
+}

@@ -1,0 +1,97 @@
+// Event-simulator example: the sorter's eager mode is a general-purpose
+// priority structure with fixed-time operations — here it drives a small
+// discrete-event simulation (an M/M/1-ish job queue), the same pattern a
+// traffic-manager firmware would use for timer wheels and token-bucket
+// refresh events.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wfqsort"
+)
+
+// Event kinds encoded in the payload alongside a small index.
+const (
+	evArrival = iota
+	evDeparture
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 12-bit tag space = the simulation clock (time units); eager mode
+	// accepts events in any order.
+	events, err := wfqsort.NewSorter(wfqsort.SorterConfig{
+		Capacity: 256,
+		Mode:     wfqsort.ModeEager,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	// Schedule 40 job arrivals at random times.
+	const jobs = 40
+	for j := 0; j < jobs; j++ {
+		t := rng.Intn(2000)
+		if err := events.Insert(t, evArrival<<8|j); err != nil {
+			return err
+		}
+	}
+
+	var (
+		queueLen   int
+		busyUntil  int
+		served     int
+		totalWait  int
+		maxQueue   int
+		arrivalsAt = map[int]int{}
+	)
+	for events.Len() > 0 {
+		e, err := events.ExtractMin()
+		if err != nil {
+			return err
+		}
+		now := e.Tag
+		kind, id := e.Payload>>8, e.Payload&0xFF
+		switch kind {
+		case evArrival:
+			queueLen++
+			if queueLen > maxQueue {
+				maxQueue = queueLen
+			}
+			arrivalsAt[id] = now
+			// If the server is idle, start service now; otherwise the
+			// departure chain is already scheduled.
+			start := now
+			if busyUntil > now {
+				start = busyUntil
+			}
+			serviceTime := 20 + rng.Intn(60)
+			busyUntil = start + serviceTime
+			if busyUntil > 4095 {
+				busyUntil = 4095
+			}
+			if err := events.Insert(busyUntil, evDeparture<<8|id); err != nil {
+				return err
+			}
+		case evDeparture:
+			queueLen--
+			served++
+			totalWait += now - arrivalsAt[id]
+		}
+	}
+	fmt.Printf("discrete-event run: %d jobs served, mean sojourn %.1f time units, peak queue %d\n",
+		served, float64(totalWait)/float64(served), maxQueue)
+	st := events.Stats()
+	fmt.Printf("event-queue cost: every schedule was ≤%d node reads + one 4-cycle window (fixed time)\n",
+		st.TreeMaxDepth)
+	return nil
+}

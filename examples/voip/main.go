@@ -1,0 +1,86 @@
+// VoIP example: the paper's motivating scenario — a voice flow sharing a
+// link with bulk data. Under WFQ the voice flow's worst-case delay is
+// bounded within one maximum packet transmission time of the ideal GPS
+// fluid scheduler; under deficit round robin and FIFO it is not.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wfqsort/internal/gps"
+	"wfqsort/internal/metrics"
+	"wfqsort/internal/schedulers"
+	"wfqsort/internal/traffic"
+	"wfqsort/internal/wfq"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const capacity = 2e6 // 2 Mb/s access link
+
+	// One G.711-like voice call: 80-byte packets every 10 ms.
+	voice, err := traffic.NewCBR(0, 64e3, 80, 300, 0)
+	if err != nil {
+		return err
+	}
+	// Three greedy bulk-data flows with 1500-byte packets.
+	var sources []traffic.Source
+	sources = append(sources, voice)
+	for f := 1; f <= 3; f++ {
+		bulk, err := traffic.NewCBR(f, 1.2e6, 1500, 300, 0)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, bulk)
+	}
+	pkts, err := traffic.Merge(sources...)
+	if err != nil {
+		return err
+	}
+	weights := []float64{0.1, 0.3, 0.3, 0.3}
+
+	ref, err := gps.Simulate(pkts, weights, capacity)
+	if err != nil {
+		return err
+	}
+	bound := wfq.DelayBound(1500*8, capacity)
+	fmt.Printf("VoIP flow (weight 0.1) vs 3 greedy bulk flows on a %.0f Mb/s link\n", capacity/1e6)
+	fmt.Printf("GPS delay bound for WFQ: +%.2f ms\n\n", bound*1e3)
+
+	wfqD, err := schedulers.NewWFQ(weights, capacity)
+	if err != nil {
+		return err
+	}
+	drr, err := schedulers.NewDRR([]int{150, 450, 450, 450})
+	if err != nil {
+		return err
+	}
+	for _, d := range []schedulers.Discipline{wfqD, drr, schedulers.NewFIFO()} {
+		deps, err := schedulers.Run(pkts, d, capacity)
+		if err != nil {
+			return err
+		}
+		rel, err := metrics.GPSRelativeDelays(deps, ref.Finish, len(weights))
+		if err != nil {
+			return err
+		}
+		voiceLag := metrics.Summarize(rel[0])
+		qd, err := metrics.QueueingDelays(deps, len(weights))
+		if err != nil {
+			return err
+		}
+		voiceDelay := metrics.Summarize(qd[0])
+		fmt.Printf("%-5s  voice delay mean %6.2f ms  max %6.2f ms  |  GPS lag max %6.2f ms  bounded=%v\n",
+			d.Name(), voiceDelay.Mean*1e3, voiceDelay.Max*1e3,
+			voiceLag.Max*1e3, voiceLag.Max <= bound+1e-9)
+	}
+	fmt.Println("\nWFQ keeps the conversation interactive regardless of the bulk backlog;")
+	fmt.Println("the round-robin frame and the FIFO queue do not (paper §I-B).")
+	return nil
+}

@@ -1,0 +1,3 @@
+module wfqsort
+
+go 1.22

@@ -1,0 +1,162 @@
+// Package admission implements the reservation control plane for a WFQ
+// link: given per-flow token-bucket SLAs (r, b) and a delay target, it
+// decides admissibility, assigns WFQ weights, and returns the
+// Parekh–Gallager delay bound each admitted flow gets — the glue between
+// the paper's motivation ("service level agreements and service
+// differentiation", §V) and the datapath that enforces it.
+package admission
+
+import (
+	"fmt"
+
+	"wfqsort/internal/police"
+)
+
+// Request is one flow's reservation ask.
+type Request struct {
+	// Name labels the flow in errors.
+	Name string
+	// Bucket is the flow's declared (rate, burst) envelope; the flow is
+	// expected to be shaped/policed to it at ingress.
+	Bucket police.Bucket
+	// MaxDelay is the requested single-node delay bound in seconds
+	// (0 = best effort: no bound requested, weight from rate only).
+	MaxDelay float64
+	// MaxPacketBytes is the flow's maximum packet (default 1500).
+	MaxPacketBytes int
+}
+
+// Grant is an admitted flow's reservation.
+type Grant struct {
+	Name string
+	// Weight is the WFQ weight φ to configure (fraction of the link).
+	Weight float64
+	// DelayBound is the guaranteed single-node delay: b/(φC) + Lmax/C.
+	DelayBound float64
+}
+
+// ErrInsufficientCapacity is returned when the requested reservations
+// cannot fit the link.
+type ErrInsufficientCapacity struct {
+	Needed, Capacity float64
+}
+
+func (e *ErrInsufficientCapacity) Error() string {
+	return fmt.Sprintf("admission: reservations need %.0f b/s of %.0f available", e.Needed, e.Capacity)
+}
+
+// Controller admits flows onto one link.
+type Controller struct {
+	capacityBps float64
+	mtuBytes    int
+	// Utilization limit: fraction of the link that may be reserved
+	// (the rest stays for best effort and control traffic).
+	limit    float64
+	reserved float64
+	grants   []Grant
+}
+
+// NewController builds a controller for a link of the given capacity,
+// reserving at most limit (0 < limit ≤ 1) of it; mtuBytes is the link
+// MTU used in delay bounds (default 1500).
+func NewController(capacityBps, limit float64, mtuBytes int) (*Controller, error) {
+	if capacityBps <= 0 {
+		return nil, fmt.Errorf("admission: capacity %v must be positive", capacityBps)
+	}
+	if limit <= 0 || limit > 1 {
+		return nil, fmt.Errorf("admission: limit %v out of (0,1]", limit)
+	}
+	if mtuBytes == 0 {
+		mtuBytes = 1500
+	}
+	if mtuBytes < 0 {
+		return nil, fmt.Errorf("admission: mtu %d must be positive", mtuBytes)
+	}
+	return &Controller{capacityBps: capacityBps, limit: limit, mtuBytes: mtuBytes}, nil
+}
+
+// Admit evaluates a request. On success the reservation is recorded and
+// the grant returned; on failure the controller state is unchanged.
+//
+// The weight is the larger of the rate reservation r/C and the delay
+// reservation b/((D − Lmax/C)·C): a tight delay target needs a larger
+// share than the rate alone (the Parekh–Gallager trade-off).
+func (c *Controller) Admit(req Request) (Grant, error) {
+	if req.Bucket.RateBps <= 0 || req.Bucket.BurstBits <= 0 {
+		return Grant{}, fmt.Errorf("admission: flow %q: invalid bucket (r=%v, b=%v)",
+			req.Name, req.Bucket.RateBps, req.Bucket.BurstBits)
+	}
+	maxPkt := req.MaxPacketBytes
+	if maxPkt == 0 {
+		maxPkt = 1500
+	}
+	if float64(maxPkt)*8 > req.Bucket.BurstBits {
+		return Grant{}, fmt.Errorf("admission: flow %q: max packet %d B exceeds burst %v bits",
+			req.Name, maxPkt, req.Bucket.BurstBits)
+	}
+	mtuTime := float64(c.mtuBytes) * 8 / c.capacityBps
+	weight := req.Bucket.RateBps / c.capacityBps
+	if req.MaxDelay > 0 {
+		if req.MaxDelay <= mtuTime {
+			return Grant{}, fmt.Errorf("admission: flow %q: delay target %v ≤ link MTU time %v — unachievable at any weight",
+				req.Name, req.MaxDelay, mtuTime)
+		}
+		// D ≥ b/(φC) + Lmax/C  ⇒  φ ≥ b/((D − Lmax/C)·C).
+		delayWeight := req.Bucket.BurstBits / ((req.MaxDelay - mtuTime) * c.capacityBps)
+		if delayWeight > weight {
+			weight = delayWeight
+		}
+	}
+	newReserved := c.reserved + weight*c.capacityBps
+	if newReserved > c.limit*c.capacityBps {
+		return Grant{}, &ErrInsufficientCapacity{Needed: newReserved, Capacity: c.limit * c.capacityBps}
+	}
+	grant := Grant{
+		Name:       req.Name,
+		Weight:     weight,
+		DelayBound: req.Bucket.BurstBits/(weight*c.capacityBps) + mtuTime,
+	}
+	c.reserved = newReserved
+	c.grants = append(c.grants, grant)
+	return grant, nil
+}
+
+// Release returns a previously granted reservation to the pool. It
+// removes the first grant with the given name.
+func (c *Controller) Release(name string) error {
+	for i, g := range c.grants {
+		if g.Name == name {
+			c.reserved -= g.Weight * c.capacityBps
+			c.grants = append(c.grants[:i], c.grants[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("admission: no grant named %q", name)
+}
+
+// Reserved returns the currently reserved bandwidth in bits/s.
+func (c *Controller) Reserved() float64 { return c.reserved }
+
+// Grants returns a copy of the active grants.
+func (c *Controller) Grants() []Grant {
+	out := make([]Grant, len(c.grants))
+	copy(out, c.grants)
+	return out
+}
+
+// Weights returns the WFQ weight vector for the active grants plus a
+// final best-effort weight absorbing the unreserved share (never zero:
+// at least 1−limit of the link). Flow i in the vector corresponds to
+// Grants()[i]; the last entry is best effort.
+func (c *Controller) Weights() []float64 {
+	out := make([]float64, 0, len(c.grants)+1)
+	for _, g := range c.grants {
+		out = append(out, g.Weight)
+	}
+	be := 1 - c.reserved/c.capacityBps
+	if be < 1-c.limit {
+		be = 1 - c.limit
+	}
+	out = append(out, be)
+	return out
+}

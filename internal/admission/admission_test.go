@@ -1,0 +1,223 @@
+package admission
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"wfqsort/internal/police"
+	"wfqsort/internal/schedulers"
+	"wfqsort/internal/traffic"
+)
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(0, 0.9, 1500); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewController(1e6, 0, 1500); err == nil {
+		t.Error("zero limit accepted")
+	}
+	if _, err := NewController(1e6, 1.5, 1500); err == nil {
+		t.Error("limit above 1 accepted")
+	}
+	if _, err := NewController(1e6, 0.9, -1); err == nil {
+		t.Error("negative mtu accepted")
+	}
+}
+
+func TestAdmitRateOnly(t *testing.T) {
+	c, err := NewController(10e6, 0.9, 1500)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	g, err := c.Admit(Request{
+		Name:   "video",
+		Bucket: police.Bucket{RateBps: 4e6, BurstBits: 100e3},
+	})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if math.Abs(g.Weight-0.4) > 1e-12 {
+		t.Fatalf("weight = %v, want 0.4 (r/C)", g.Weight)
+	}
+	wantBound := 100e3/(0.4*10e6) + 1500*8/10e6
+	if math.Abs(g.DelayBound-wantBound) > 1e-12 {
+		t.Fatalf("bound = %v, want %v", g.DelayBound, wantBound)
+	}
+	if c.Reserved() != 4e6 {
+		t.Fatalf("Reserved = %v", c.Reserved())
+	}
+}
+
+func TestAdmitDelayDriven(t *testing.T) {
+	c, err := NewController(10e6, 0.9, 1500)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	// 64 kb/s voice with 4 kbit burst asking for 3 ms: the rate alone
+	// (φ=0.0064) would give b/(φC) = 62 ms — the delay target forces a
+	// much larger weight.
+	g, err := c.Admit(Request{
+		Name:     "voice",
+		Bucket:   police.Bucket{RateBps: 64e3, BurstBits: 4000},
+		MaxDelay: 0.003,
+		// 160-byte packets.
+		MaxPacketBytes: 160,
+	})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if g.DelayBound > 0.003+1e-12 {
+		t.Fatalf("granted bound %v exceeds the 3 ms target", g.DelayBound)
+	}
+	if g.Weight <= 64e3/10e6 {
+		t.Fatalf("weight %v not raised above the rate share", g.Weight)
+	}
+}
+
+func TestAdmitRejections(t *testing.T) {
+	c, err := NewController(10e6, 0.5, 1500)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	if _, err := c.Admit(Request{Name: "bad", Bucket: police.Bucket{RateBps: 0, BurstBits: 1}}); err == nil {
+		t.Error("invalid bucket accepted")
+	}
+	if _, err := c.Admit(Request{
+		Name:   "tiny-burst",
+		Bucket: police.Bucket{RateBps: 1e6, BurstBits: 1000},
+	}); err == nil {
+		t.Error("burst below max packet accepted")
+	}
+	if _, err := c.Admit(Request{
+		Name:     "impossible-delay",
+		Bucket:   police.Bucket{RateBps: 1e6, BurstBits: 50e3},
+		MaxDelay: 1500 * 8 / 10e6, // equal to MTU time
+	}); err == nil {
+		t.Error("unachievable delay accepted")
+	}
+	// Fill to the 50% limit, then overflow.
+	if _, err := c.Admit(Request{Name: "a", Bucket: police.Bucket{RateBps: 4e6, BurstBits: 50e3}}); err != nil {
+		t.Fatalf("Admit(a): %v", err)
+	}
+	_, err = c.Admit(Request{Name: "b", Bucket: police.Bucket{RateBps: 2e6, BurstBits: 50e3}})
+	var full *ErrInsufficientCapacity
+	if !errors.As(err, &full) {
+		t.Fatalf("overflow = %v, want ErrInsufficientCapacity", err)
+	}
+	if full.Error() == "" {
+		t.Error("empty error message")
+	}
+	// State unchanged by the rejection.
+	if c.Reserved() != 4e6 {
+		t.Fatalf("Reserved = %v after rejection, want 4e6", c.Reserved())
+	}
+}
+
+func TestReleaseAndWeights(t *testing.T) {
+	c, err := NewController(10e6, 0.8, 1500)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	if _, err := c.Admit(Request{Name: "a", Bucket: police.Bucket{RateBps: 3e6, BurstBits: 50e3}}); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if _, err := c.Admit(Request{Name: "b", Bucket: police.Bucket{RateBps: 2e6, BurstBits: 50e3}}); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	w := c.Weights()
+	if len(w) != 3 {
+		t.Fatalf("weights = %v, want 3 entries (2 grants + best effort)", w)
+	}
+	if math.Abs(w[0]-0.3) > 1e-12 || math.Abs(w[1]-0.2) > 1e-12 || math.Abs(w[2]-0.5) > 1e-12 {
+		t.Fatalf("weights = %v, want [0.3 0.2 0.5]", w)
+	}
+	if err := c.Release("a"); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if c.Reserved() != 2e6 {
+		t.Fatalf("Reserved = %v after release", c.Reserved())
+	}
+	if err := c.Release("nope"); err == nil {
+		t.Error("release of unknown grant accepted")
+	}
+	if got := len(c.Grants()); got != 1 {
+		t.Fatalf("Grants = %d, want 1", got)
+	}
+}
+
+// TestGrantedBoundsHoldEndToEnd closes the control loop: admit flows,
+// shape them to their declared buckets, run the admitted weight vector
+// through WFQ, and verify every granted delay bound holds.
+func TestGrantedBoundsHoldEndToEnd(t *testing.T) {
+	const capacity = 2e6
+	c, err := NewController(capacity, 0.9, 1500)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	// MTU time at 2 Mb/s is 6 ms, so these targets cost weights of
+	// ≈0.14 (voice) and ≈0.32 (video) — comfortably inside the 90%
+	// reservation limit.
+	reqs := []Request{
+		{Name: "voice", Bucket: police.Bucket{RateBps: 64e3, BurstBits: 4000}, MaxDelay: 0.02, MaxPacketBytes: 160},
+		{Name: "video", Bucket: police.Bucket{RateBps: 800e3, BurstBits: 60e3}, MaxDelay: 0.1},
+	}
+	var grants []Grant
+	for _, r := range reqs {
+		g, err := c.Admit(r)
+		if err != nil {
+			t.Fatalf("Admit(%s): %v", r.Name, err)
+		}
+		grants = append(grants, g)
+	}
+	weights := c.Weights()
+
+	// Offered traffic: each granted flow bursty at 2× its rate (then
+	// shaped to contract); best-effort flow saturates the link.
+	voice, err := traffic.NewOnOff(0, 2*64e3/(160*8), 0.02, 0.02, traffic.FixedSize(160), 300, 1)
+	if err != nil {
+		t.Fatalf("NewOnOff: %v", err)
+	}
+	video, err := traffic.NewOnOff(1, 2*800e3/(1000*8), 0.02, 0.02, traffic.FixedSize(1000), 300, 2)
+	if err != nil {
+		t.Fatalf("NewOnOff: %v", err)
+	}
+	be, err := traffic.NewCBR(2, 2e6, 1500, 400, 0)
+	if err != nil {
+		t.Fatalf("NewCBR: %v", err)
+	}
+	pkts, err := traffic.Merge(voice, video, be)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	shaped, err := police.ShapeTrace(pkts, map[int]police.Bucket{
+		0: reqs[0].Bucket,
+		1: reqs[1].Bucket,
+	})
+	if err != nil {
+		t.Fatalf("ShapeTrace: %v", err)
+	}
+	w, err := schedulers.NewWFQ(weights, capacity)
+	if err != nil {
+		t.Fatalf("NewWFQ: %v", err)
+	}
+	deps, err := schedulers.Run(shaped, w, capacity)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	worst := make([]float64, len(grants))
+	for _, d := range deps {
+		f := d.Packet.Flow
+		if f >= len(grants) {
+			continue
+		}
+		if delay := d.Finish - d.Packet.Arrival; delay > worst[f] {
+			worst[f] = delay
+		}
+	}
+	for i, g := range grants {
+		if worst[i] > g.DelayBound+1e-9 {
+			t.Fatalf("%s: measured delay %v exceeds granted bound %v", g.Name, worst[i], g.DelayBound)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package aqm implements random early detection (RED) queue management
+// (Floyd & Jacobson — the authors of the paper's reference [4]). RED
+// complements the scheduler: fair queueing decides *who* is served
+// next; RED decides *whether* an arriving packet is admitted, keeping
+// standing queues short by signalling congestion early with
+// probabilistic drops between a minimum and maximum threshold on the
+// exponentially-weighted average queue size.
+package aqm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// REDConfig parameterizes a RED queue.
+type REDConfig struct {
+	// MinThreshold and MaxThreshold bound the average queue size (in
+	// packets) between which drops ramp from 0 to MaxP.
+	MinThreshold float64
+	MaxThreshold float64
+	// MaxP is the drop probability at MaxThreshold (classic 0.02–0.1).
+	MaxP float64
+	// Weight is the EWMA weight for the average queue size (classic
+	// 0.002). Defaults to 0.002 when zero.
+	Weight float64
+	// Seed drives the probabilistic drop decisions deterministically.
+	Seed int64
+}
+
+// RED is one RED-managed queue's admission state. The caller owns the
+// actual queue; RED only tracks its size and makes drop decisions.
+type RED struct {
+	cfg      REDConfig
+	rng      *rand.Rand
+	avg      float64
+	count    int // packets since the last drop (drop spreading)
+	queueLen int
+	drops    uint64
+	admits   uint64
+}
+
+// NewRED builds a RED admission controller.
+func NewRED(cfg REDConfig) (*RED, error) {
+	if cfg.MinThreshold <= 0 || cfg.MaxThreshold <= cfg.MinThreshold {
+		return nil, fmt.Errorf("aqm: thresholds (%v, %v) must satisfy 0 < min < max",
+			cfg.MinThreshold, cfg.MaxThreshold)
+	}
+	if cfg.MaxP <= 0 || cfg.MaxP > 1 {
+		return nil, fmt.Errorf("aqm: max drop probability %v out of (0,1]", cfg.MaxP)
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = 0.002
+	}
+	if cfg.Weight <= 0 || cfg.Weight > 1 {
+		return nil, fmt.Errorf("aqm: EWMA weight %v out of (0,1]", cfg.Weight)
+	}
+	return &RED{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), count: -1}, nil
+}
+
+// Arrive decides whether an arriving packet is admitted. The caller must
+// then actually enqueue it (and call Depart when it leaves).
+func (r *RED) Arrive() bool {
+	// EWMA update on every arrival.
+	r.avg = (1-r.cfg.Weight)*r.avg + r.cfg.Weight*float64(r.queueLen)
+	switch {
+	case r.avg < r.cfg.MinThreshold:
+		r.count = -1
+	case r.avg >= r.cfg.MaxThreshold:
+		r.drops++
+		r.count = 0
+		return false
+	default:
+		// Probabilistic drop, spread uniformly by the count heuristic:
+		// pb ramps linearly; pa = pb / (1 − count·pb).
+		r.count++
+		pb := r.cfg.MaxP * (r.avg - r.cfg.MinThreshold) / (r.cfg.MaxThreshold - r.cfg.MinThreshold)
+		pa := pb / (1 - float64(r.count)*pb)
+		if pa < 0 || pa >= 1 || r.rng.Float64() < pa {
+			r.drops++
+			r.count = 0
+			return false
+		}
+	}
+	r.queueLen++
+	r.admits++
+	return true
+}
+
+// Depart records a packet leaving the queue.
+func (r *RED) Depart() {
+	if r.queueLen > 0 {
+		r.queueLen--
+	}
+}
+
+// AverageQueue returns the EWMA queue estimate.
+func (r *RED) AverageQueue() float64 { return r.avg }
+
+// QueueLen returns the instantaneous queue size RED is tracking.
+func (r *RED) QueueLen() int { return r.queueLen }
+
+// Drops returns the packets dropped so far.
+func (r *RED) Drops() uint64 { return r.drops }
+
+// Admits returns the packets admitted so far.
+func (r *RED) Admits() uint64 { return r.admits }

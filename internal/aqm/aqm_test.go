@@ -1,0 +1,145 @@
+package aqm
+
+import "testing"
+
+func TestNewREDValidation(t *testing.T) {
+	ok := REDConfig{MinThreshold: 5, MaxThreshold: 15, MaxP: 0.1}
+	if _, err := NewRED(ok); err != nil {
+		t.Fatalf("NewRED(ok): %v", err)
+	}
+	bad := ok
+	bad.MinThreshold = 0
+	if _, err := NewRED(bad); err == nil {
+		t.Error("zero min accepted")
+	}
+	bad = ok
+	bad.MaxThreshold = 5
+	if _, err := NewRED(bad); err == nil {
+		t.Error("max ≤ min accepted")
+	}
+	bad = ok
+	bad.MaxP = 0
+	if _, err := NewRED(bad); err == nil {
+		t.Error("zero maxP accepted")
+	}
+	bad = ok
+	bad.MaxP = 1.5
+	if _, err := NewRED(bad); err == nil {
+		t.Error("maxP > 1 accepted")
+	}
+	bad = ok
+	bad.Weight = 2
+	if _, err := NewRED(bad); err == nil {
+		t.Error("weight > 1 accepted")
+	}
+}
+
+// TestNoDropsBelowMin: with the queue held under the minimum threshold,
+// every packet is admitted.
+func TestNoDropsBelowMin(t *testing.T) {
+	r, err := NewRED(REDConfig{MinThreshold: 10, MaxThreshold: 30, MaxP: 0.1})
+	if err != nil {
+		t.Fatalf("NewRED: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		if !r.Arrive() {
+			t.Fatalf("drop at step %d with queue %d (avg %v)", i, r.QueueLen(), r.AverageQueue())
+		}
+		r.Depart() // keep the queue at ≤1
+	}
+	if r.Drops() != 0 || r.Admits() != 1000 {
+		t.Fatalf("drops=%d admits=%d", r.Drops(), r.Admits())
+	}
+}
+
+// TestForcedDropsAboveMax: a queue pinned above the maximum threshold
+// drops every arrival once the average catches up.
+func TestForcedDropsAboveMax(t *testing.T) {
+	r, err := NewRED(REDConfig{MinThreshold: 5, MaxThreshold: 15, MaxP: 0.1, Weight: 0.5})
+	if err != nil {
+		t.Fatalf("NewRED: %v", err)
+	}
+	// Build a standing queue of 40 without departures; the fast EWMA
+	// (0.5) tracks it within a few arrivals.
+	deniedTail := 0
+	for i := 0; i < 60; i++ {
+		if !r.Arrive() && i > 50 {
+			deniedTail++
+		}
+	}
+	if deniedTail < 8 {
+		t.Fatalf("only %d of the last 9 arrivals dropped above max threshold", deniedTail)
+	}
+}
+
+// TestEarlyDetectionKeepsQueueShort: under sustained 2× overload, RED's
+// standing queue stays near the thresholds instead of filling the
+// buffer — the "early detection" property.
+func TestEarlyDetectionKeepsQueueShort(t *testing.T) {
+	r, err := NewRED(REDConfig{MinThreshold: 10, MaxThreshold: 30, MaxP: 0.1, Weight: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatalf("NewRED: %v", err)
+	}
+	peak := 0
+	// Two arrivals per departure (2× overload) for 10k steps.
+	for i := 0; i < 10000; i++ {
+		r.Arrive()
+		r.Arrive()
+		r.Depart()
+		if r.QueueLen() > peak {
+			peak = r.QueueLen()
+		}
+	}
+	if peak > 60 {
+		t.Fatalf("standing queue peaked at %d — early detection failed", peak)
+	}
+	if r.Drops() == 0 {
+		t.Fatal("no early drops under 2× overload")
+	}
+	// Average sits in or near the control band.
+	if avg := r.AverageQueue(); avg > 40 {
+		t.Fatalf("average queue %v far above max threshold 30", avg)
+	}
+}
+
+// TestDropSpreading: between thresholds, drops are spread out (no long
+// consecutive drop runs at moderate load).
+func TestDropSpreading(t *testing.T) {
+	r, err := NewRED(REDConfig{MinThreshold: 5, MaxThreshold: 50, MaxP: 0.05, Weight: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatalf("NewRED: %v", err)
+	}
+	// Hold the queue in the control band.
+	for i := 0; i < 30; i++ {
+		r.Arrive()
+	}
+	maxRun, run := 0, 0
+	for i := 0; i < 5000; i++ {
+		if r.Arrive() {
+			run = 0
+			r.Depart() // hold queue size roughly constant
+		} else {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		}
+	}
+	if maxRun > 3 {
+		t.Fatalf("drop run of %d in the control band — spreading broken", maxRun)
+	}
+	if r.Drops() == 0 {
+		t.Fatal("no probabilistic drops in the control band")
+	}
+}
+
+func TestDepartFloor(t *testing.T) {
+	r, err := NewRED(REDConfig{MinThreshold: 5, MaxThreshold: 15, MaxP: 0.1})
+	if err != nil {
+		t.Fatalf("NewRED: %v", err)
+	}
+	r.Depart() // must not underflow
+	if r.QueueLen() != 0 {
+		t.Fatalf("QueueLen = %d after depart on empty", r.QueueLen())
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"wfqsort/internal/hwsim"
+	"wfqsort/internal/taglist"
+)
+
+// TestClockAccounting attaches a hardware clock and verifies memory time
+// is charged: SRAM-backed components advance the clock, register-backed
+// tree levels do not.
+func TestClockAccounting(t *testing.T) {
+	var clk hwsim.Clock
+	s, err := New(Config{Capacity: 64, Clock: &clk})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if clk.Now() != 0 {
+		t.Fatalf("clock advanced during construction: %d", clk.Now())
+	}
+	if err := s.Insert(100, 1); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	afterInsert := clk.Now()
+	if afterInsert == 0 {
+		t.Fatal("insert advanced no memory cycles")
+	}
+	// An insert touches: tree level 2 (SRAM, ≤2 accesses for search +
+	// ≤1 write), translation table (1 lookup miss path + 1 set), tag
+	// store (≤2R+2W). Register levels are free. Bound: ≤ 12 cycles.
+	if afterInsert > 12 {
+		t.Fatalf("insert consumed %d memory cycles, want ≤12", afterInsert)
+	}
+	if _, err := s.ExtractMin(); err != nil {
+		t.Fatalf("ExtractMin: %v", err)
+	}
+	if clk.Now() <= afterInsert {
+		t.Fatal("extract advanced no memory cycles")
+	}
+}
+
+func TestCyclesPerWindow(t *testing.T) {
+	s, err := New(Config{Capacity: 16})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.CyclesPerWindow() != 4 {
+		t.Fatalf("default CyclesPerWindow = %d, want 4 (SDR)", s.CyclesPerWindow())
+	}
+}
+
+// TestSoakLongRun is a deep randomized soak with periodic invariant
+// checks; skipped in -short mode.
+func TestSoakLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	s, err := New(Config{Capacity: 2048, Mode: ModeEager})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var o stableOracle
+	rng := rand.New(rand.NewSource(123))
+	for step := 0; step < 200000; step++ {
+		switch {
+		case o.Len() == 0 || (rng.Intn(5) < 3 && o.Len() < 2048):
+			tag := rng.Intn(4096)
+			if err := s.Insert(tag, step&0xFFFF); err != nil {
+				t.Fatalf("step %d: Insert: %v", step, err)
+			}
+			o.insert(tag, step&0xFFFF)
+		case rng.Intn(4) == 0:
+			tag := rng.Intn(4096)
+			served, err := s.InsertExtractMin(tag, step&0xFFFF)
+			if err != nil {
+				t.Fatalf("step %d: combined: %v", step, err)
+			}
+			want := o.extractMin()
+			o.insert(tag, step&0xFFFF)
+			if served.Tag != want.tag || served.Payload != want.payload {
+				t.Fatalf("step %d: combined served (%d,%d), oracle (%d,%d)",
+					step, served.Tag, served.Payload, want.tag, want.payload)
+			}
+		default:
+			e, err := s.ExtractMin()
+			if err != nil {
+				t.Fatalf("step %d: ExtractMin: %v", step, err)
+			}
+			want := o.extractMin()
+			if e.Tag != want.tag || e.Payload != want.payload {
+				t.Fatalf("step %d: served (%d,%d), oracle (%d,%d)",
+					step, e.Tag, e.Payload, want.tag, want.payload)
+			}
+		}
+		if step%20000 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("final: %v", err)
+	}
+	st := s.Stats()
+	if st.TreeMaxDepth > 3 {
+		t.Fatalf("soak: tree depth %d exceeded 3", st.TreeMaxDepth)
+	}
+}
+
+// TestPipelineModel ties the sorter geometry to the timing model: the
+// default sorter sustains one op per 4 cycles at 8-cycle latency; QDRII
+// halves the interval.
+func TestPipelineModel(t *testing.T) {
+	s, err := New(Config{Capacity: 16})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p, err := s.Pipeline()
+	if err != nil {
+		t.Fatalf("Pipeline: %v", err)
+	}
+	if p.Latency() != 8 || p.InitiationInterval() != 4 {
+		t.Fatalf("pipeline latency %d interval %d, want 8/4", p.Latency(), p.InitiationInterval())
+	}
+	q, err := New(Config{Capacity: 16, MemTech: taglist.TechQDRII})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	pq, err := q.Pipeline()
+	if err != nil {
+		t.Fatalf("Pipeline: %v", err)
+	}
+	if pq.InitiationInterval() != 2 {
+		t.Fatalf("QDRII interval %d, want 2", pq.InitiationInterval())
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"wfqsort/internal/taglist"
+)
+
+// FuzzSorterAgainstOracle interprets the fuzz input as an operation
+// stream (3 bytes per op: opcode + 12-bit tag) driven against the eager
+// sorter and the stable-heap oracle in lockstep. Run with
+// `go test -fuzz=FuzzSorterAgainstOracle ./internal/core` for continuous
+// fuzzing; the seed corpus runs in ordinary `go test`.
+func FuzzSorterAgainstOracle(f *testing.F) {
+	// Seeds: interleaved inserts/extracts, duplicates, combined windows,
+	// capacity pressure.
+	f.Add([]byte{0, 0x10, 0, 0, 0x10, 0, 1, 0, 0, 1, 0, 0})
+	f.Add([]byte{0, 0xFF, 0x0F, 0, 0x00, 0x00, 2, 0x34, 0x02, 1, 0, 0})
+	seed := make([]byte, 0, 96)
+	for i := 0; i < 32; i++ {
+		seed = append(seed, byte(i%3), byte(i*37), byte(i%16))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := New(Config{Capacity: 64, Mode: ModeEager})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		var o stableOracle
+		for i := 0; i+3 <= len(data); i += 3 {
+			op := data[i] % 3
+			tag := int(binary.LittleEndian.Uint16(data[i+1:i+3])) & 0xFFF
+			payload := i & 0xFFFF
+			switch op {
+			case 0: // insert
+				err := s.Insert(tag, payload)
+				if o.Len() >= s.Capacity() {
+					if !errors.Is(err, taglist.ErrFull) {
+						t.Fatalf("op %d: Insert into full = %v, want ErrFull", i, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("op %d: Insert(%d): %v", i, tag, err)
+				}
+				o.insert(tag, payload)
+			case 1: // extract
+				e, err := s.ExtractMin()
+				if o.Len() == 0 {
+					if !errors.Is(err, taglist.ErrEmpty) {
+						t.Fatalf("op %d: ExtractMin on empty = %v, want ErrEmpty", i, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("op %d: ExtractMin: %v", i, err)
+				}
+				want := o.extractMin()
+				if e.Tag != want.tag || e.Payload != want.payload {
+					t.Fatalf("op %d: served (%d,%d), oracle (%d,%d)", i, e.Tag, e.Payload, want.tag, want.payload)
+				}
+			default: // combined window
+				served, err := s.InsertExtractMin(tag, payload)
+				if o.Len() == 0 {
+					if !errors.Is(err, taglist.ErrEmpty) {
+						t.Fatalf("op %d: combined on empty = %v, want ErrEmpty", i, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("op %d: InsertExtractMin(%d): %v", i, tag, err)
+				}
+				want := o.extractMin()
+				o.insert(tag, payload)
+				if served.Tag != want.tag || served.Payload != want.payload {
+					t.Fatalf("op %d: combined served (%d,%d), oracle (%d,%d)",
+						i, served.Tag, served.Payload, want.tag, want.payload)
+				}
+			}
+			if s.Len() != o.Len() {
+				t.Fatalf("op %d: Len %d, oracle %d", i, s.Len(), o.Len())
+			}
+		}
+		// Drain and verify the remainder.
+		for o.Len() > 0 {
+			e, err := s.ExtractMin()
+			if err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			want := o.extractMin()
+			if e.Tag != want.tag || e.Payload != want.payload {
+				t.Fatalf("drain: served (%d,%d), oracle (%d,%d)", e.Tag, e.Payload, want.tag, want.payload)
+			}
+		}
+	})
+}

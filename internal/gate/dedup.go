@@ -1,0 +1,172 @@
+package gate
+
+import "fmt"
+
+// Dedup returns a new netlist with structurally identical gates merged
+// (common-subexpression elimination with operand normalization for the
+// commutative gates) and constants folded. Inputs and output names are
+// preserved; Equivalent(n, n.Dedup()) always holds. The matcher
+// generators emit straightforwardly structured logic, so deduplication
+// quantifies how much sharing a synthesizer would recover.
+func (n *Netlist) Dedup() *Netlist {
+	out := NewNetlist()
+	remap := make([]Signal, len(n.nodes))
+	type key struct {
+		kind    Kind
+		a, b, c Signal
+	}
+	seen := make(map[key]Signal, len(n.nodes))
+	constOf := make(map[Signal]*bool, len(n.nodes)) // folded constant values
+
+	getConst := func(s Signal) (bool, bool) {
+		v, ok := constOf[s]
+		if !ok {
+			return false, false
+		}
+		return *v, true
+	}
+	mkConst := func(v bool) Signal {
+		k := key{kind: KindConst}
+		if v {
+			k.a = 1
+		}
+		if s, ok := seen[k]; ok {
+			return s
+		}
+		s := out.Const(v)
+		seen[k] = s
+		val := v
+		constOf[s] = &val
+		return s
+	}
+
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		switch nd.kind {
+		case KindInput:
+			remap[i] = out.Input(nd.name)
+		case KindConst:
+			remap[i] = mkConst(nd.val)
+		case KindNot:
+			a := remap[nd.args[0]]
+			if v, ok := getConst(a); ok {
+				remap[i] = mkConst(!v)
+				continue
+			}
+			k := key{kind: KindNot, a: a, b: -1, c: -1}
+			if s, ok := seen[k]; ok {
+				remap[i] = s
+				continue
+			}
+			s := out.Not(a)
+			seen[k] = s
+			remap[i] = s
+		case KindAnd, KindOr, KindXor:
+			a, b := remap[nd.args[0]], remap[nd.args[1]]
+			if b < a { // normalize commutative operands
+				a, b = b, a
+			}
+			av, ac := getConst(a)
+			bv, bc := getConst(b)
+			switch {
+			case ac && bc:
+				remap[i] = mkConst(apply(nd.kind, av, bv))
+				continue
+			case ac:
+				if s, ok := foldOne(nd.kind, av, b, mkConst); ok {
+					remap[i] = s
+					continue
+				}
+			case bc:
+				if s, ok := foldOne(nd.kind, bv, a, mkConst); ok {
+					remap[i] = s
+					continue
+				}
+			}
+			if a == b {
+				// x∧x = x, x∨x = x, x⊕x = 0.
+				if nd.kind == KindXor {
+					remap[i] = mkConst(false)
+				} else {
+					remap[i] = a
+				}
+				continue
+			}
+			k := key{kind: nd.kind, a: a, b: b, c: -1}
+			if s, ok := seen[k]; ok {
+				remap[i] = s
+				continue
+			}
+			s := out.binary(nd.kind, a, b)
+			seen[k] = s
+			remap[i] = s
+		case KindMux2:
+			sel, a0, a1 := remap[nd.args[0]], remap[nd.args[1]], remap[nd.args[2]]
+			if v, ok := getConst(sel); ok {
+				if v {
+					remap[i] = a1
+				} else {
+					remap[i] = a0
+				}
+				continue
+			}
+			if a0 == a1 {
+				remap[i] = a0
+				continue
+			}
+			k := key{kind: KindMux2, a: sel, b: a0, c: a1}
+			if s, ok := seen[k]; ok {
+				remap[i] = s
+				continue
+			}
+			s := out.Mux2(sel, a0, a1)
+			seen[k] = s
+			remap[i] = s
+		default:
+			panic(fmt.Sprintf("gate: dedup: unknown node kind %v", nd.kind))
+		}
+	}
+	for i, s := range n.outputs {
+		out.Output(n.outName[i], remap[s])
+	}
+	return out
+}
+
+func apply(k Kind, a, b bool) bool {
+	switch k {
+	case KindAnd:
+		return a && b
+	case KindOr:
+		return a || b
+	case KindXor:
+		return a != b
+	default:
+		panic(fmt.Sprintf("gate: apply: kind %v", k))
+	}
+}
+
+// foldOne simplifies a binary gate with one constant operand. It returns
+// ok=false when the result is the non-constant operand's complement (XOR
+// with true), which the caller must emit as a NOT — kept simple by
+// returning not-folded and letting CSE handle the gate.
+func foldOne(k Kind, cv bool, other Signal, mkConst func(bool) Signal) (Signal, bool) {
+	switch k {
+	case KindAnd:
+		if cv {
+			return other, true // 1∧x = x
+		}
+		return mkConst(false), true // 0∧x = 0
+	case KindOr:
+		if cv {
+			return mkConst(true), true // 1∨x = 1
+		}
+		return other, true // 0∨x = x
+	case KindXor:
+		if !cv {
+			return other, true // 0⊕x = x
+		}
+		return 0, false // 1⊕x = ¬x: leave to the gate path
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,74 @@
+package gate
+
+import "testing"
+
+func TestDedupMergesDuplicates(t *testing.T) {
+	n := NewNetlist()
+	a := n.Input("a")
+	b := n.Input("b")
+	// The same AND built twice, plus its commuted twin.
+	x := n.And2(a, b)
+	y := n.And2(a, b)
+	z := n.And2(b, a)
+	n.Output("o1", n.Or2(x, y))
+	n.Output("o2", z)
+	d := n.Dedup()
+	// x, y, z merge into one AND; Or2(x,x) folds to x, so only the AND
+	// remains.
+	if got := d.NumGates(); got != 1 {
+		t.Fatalf("dedup left %d gates, want 1", got)
+	}
+	eq, cex, err := Equivalent(n, d)
+	if err != nil || !eq {
+		t.Fatalf("dedup changed function (cex %v, err %v)", cex, err)
+	}
+}
+
+func TestDedupConstantFolding(t *testing.T) {
+	n := NewNetlist()
+	a := n.Input("a")
+	one := n.Const(true)
+	zero := n.Const(false)
+	n.Output("and1", n.And2(a, one))  // = a
+	n.Output("and0", n.And2(a, zero)) // = 0
+	n.Output("or1", n.Or2(one, a))    // = 1
+	n.Output("or0", n.Or2(zero, a))   // = a
+	n.Output("xor0", n.Xor2(a, zero)) // = a
+	n.Output("xorself", n.Xor2(a, a)) // = 0
+	n.Output("notc", n.Not(one))      // = 0
+	n.Output("muxc", n.Mux2(zero, a, one))
+	n.Output("muxsame", n.Mux2(a, one, one))
+	d := n.Dedup()
+	if got := d.NumGates(); got != 0 {
+		t.Fatalf("constant folding left %d gates, want 0", got)
+	}
+	eq, cex, err := Equivalent(n, d)
+	if err != nil || !eq {
+		t.Fatalf("folding changed function (cex %v, err %v)", cex, err)
+	}
+}
+
+func TestDedupXorWithTrueKept(t *testing.T) {
+	// 1⊕x = ¬x is intentionally left as a gate; function must hold.
+	n := NewNetlist()
+	a := n.Input("a")
+	n.Output("y", n.Xor2(n.Const(true), a))
+	d := n.Dedup()
+	eq, _, err := Equivalent(n, d)
+	if err != nil || !eq {
+		t.Fatalf("xor-with-true broken: %v", err)
+	}
+}
+
+func TestDedupIdempotentOnSharedLogic(t *testing.T) {
+	n := NewNetlist()
+	a := n.Input("a")
+	b := n.Input("b")
+	shared := n.Xor2(a, b)
+	n.Output("y", n.And2(shared, n.Not(shared)))
+	d := n.Dedup()
+	d2 := d.Dedup()
+	if d.NumGates() != d2.NumGates() {
+		t.Fatalf("dedup not idempotent: %d vs %d gates", d.NumGates(), d2.NumGates())
+	}
+}

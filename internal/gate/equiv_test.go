@@ -1,0 +1,86 @@
+package gate
+
+import "testing"
+
+func TestEquivalentIdentical(t *testing.T) {
+	build := func() *Netlist {
+		n := NewNetlist()
+		a := n.Input("a")
+		b := n.Input("b")
+		c := n.Input("c")
+		n.Output("y", n.Or2(n.And2(a, b), c))
+		return n
+	}
+	eq, cex, err := Equivalent(build(), build())
+	if err != nil || !eq {
+		t.Fatalf("identical netlists inequivalent (cex %v, err %v)", cex, err)
+	}
+}
+
+func TestEquivalentDeMorgan(t *testing.T) {
+	// ¬(a ∧ b) ≡ ¬a ∨ ¬b — structurally different, functionally equal.
+	n1 := NewNetlist()
+	a1, b1 := n1.Input("a"), n1.Input("b")
+	n1.Output("y", n1.Not(n1.And2(a1, b1)))
+
+	n2 := NewNetlist()
+	a2, b2 := n2.Input("a"), n2.Input("b")
+	n2.Output("y", n2.Or2(n2.Not(a2), n2.Not(b2)))
+
+	eq, _, err := Equivalent(n1, n2)
+	if err != nil || !eq {
+		t.Fatalf("De Morgan pair reported inequivalent: %v", err)
+	}
+}
+
+func TestEquivalentCounterexample(t *testing.T) {
+	n1 := NewNetlist()
+	a1, b1 := n1.Input("a"), n1.Input("b")
+	n1.Output("y", n1.And2(a1, b1))
+
+	n2 := NewNetlist()
+	a2, b2 := n2.Input("a"), n2.Input("b")
+	n2.Output("y", n2.Or2(a2, b2))
+
+	eq, cex, err := Equivalent(n1, n2)
+	if err != nil {
+		t.Fatalf("Equivalent: %v", err)
+	}
+	if eq {
+		t.Fatal("AND ≡ OR reported")
+	}
+	// The counterexample must actually differ.
+	o1, _ := n1.Eval(cex)
+	o2, _ := n2.Eval(cex)
+	if o1[0] == o2[0] {
+		t.Fatalf("counterexample %v does not distinguish the netlists", cex)
+	}
+}
+
+func TestEquivalentArityErrors(t *testing.T) {
+	n1 := NewNetlist()
+	n1.Output("y", n1.Input("a"))
+	n2 := NewNetlist()
+	a := n2.Input("a")
+	b := n2.Input("b")
+	n2.Output("y", n2.And2(a, b))
+	if _, _, err := Equivalent(n1, n2); err == nil {
+		t.Error("input arity mismatch accepted")
+	}
+	n3 := NewNetlist()
+	x := n3.Input("a")
+	n3.Output("y", x)
+	n3.Output("z", n3.Not(x))
+	if _, _, err := Equivalent(n1, n3); err == nil {
+		t.Error("output arity mismatch accepted")
+	}
+	big := NewNetlist()
+	var last Signal
+	for i := 0; i < 30; i++ {
+		last = big.Input("x")
+	}
+	big.Output("y", last)
+	if _, _, err := Equivalent(big, big); err == nil {
+		t.Error("oversized exhaustive check accepted")
+	}
+}

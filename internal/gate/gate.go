@@ -1,0 +1,405 @@
+// Package gate provides a small gate-level netlist model: construction of
+// combinational circuits from 2-input primitives, functional simulation,
+// unit-delay critical-path analysis, and greedy 4-input LUT technology
+// mapping.
+//
+// It substitutes for the paper's RTL + FPGA flow: the matcher circuits of
+// paper Figs. 7 and 8 are built here as real netlists, so their delay and
+// area curves come from circuit topology, exactly the quantity the paper's
+// FPGA measurements capture.
+package gate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind identifies a netlist node type.
+type Kind int
+
+// Node kinds. Mux2 is a primitive (single transmission-gate stage / single
+// LUT) rather than decomposed AND/OR logic, matching how carry-select
+// structures are costed in the literature.
+const (
+	KindInput Kind = iota + 1
+	KindConst
+	KindNot
+	KindAnd
+	KindOr
+	KindXor
+	KindMux2
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindConst:
+		return "const"
+	case KindNot:
+		return "not"
+	case KindAnd:
+		return "and"
+	case KindOr:
+		return "or"
+	case KindXor:
+		return "xor"
+	case KindMux2:
+		return "mux2"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Signal is a reference to a netlist node output.
+type Signal int
+
+// invalidSignal marks an unset signal reference.
+const invalidSignal Signal = -1
+
+type node struct {
+	kind Kind
+	// args: Not → [a]; And/Or/Xor → [a, b]; Mux2 → [sel, a0, a1]
+	// (a0 selected when sel=0, a1 when sel=1).
+	args [3]Signal
+	narg int
+	val  bool   // KindConst value
+	name string // KindInput name
+}
+
+// Netlist is a combinational circuit under construction or analysis.
+// Create with NewNetlist; nodes are appended in topological order by
+// construction (arguments must already exist).
+type Netlist struct {
+	nodes   []node
+	inputs  []Signal
+	outputs []Signal
+	outName []string
+}
+
+// NewNetlist returns an empty netlist.
+func NewNetlist() *Netlist {
+	return &Netlist{}
+}
+
+func (n *Netlist) add(nd node) Signal {
+	n.nodes = append(n.nodes, nd)
+	return Signal(len(n.nodes) - 1)
+}
+
+func (n *Netlist) check(args ...Signal) {
+	for _, a := range args {
+		if a < 0 || int(a) >= len(n.nodes) {
+			panic(fmt.Sprintf("gate: signal %d out of range (have %d nodes)", a, len(n.nodes)))
+		}
+	}
+}
+
+// Input declares a named primary input and returns its signal.
+func (n *Netlist) Input(name string) Signal {
+	s := n.add(node{kind: KindInput, name: name})
+	n.inputs = append(n.inputs, s)
+	return s
+}
+
+// Const returns a constant-valued signal.
+func (n *Netlist) Const(v bool) Signal {
+	return n.add(node{kind: KindConst, val: v})
+}
+
+// Not returns the complement of a.
+func (n *Netlist) Not(a Signal) Signal {
+	n.check(a)
+	return n.add(node{kind: KindNot, args: [3]Signal{a, invalidSignal, invalidSignal}, narg: 1})
+}
+
+func (n *Netlist) binary(kind Kind, a, b Signal) Signal {
+	n.check(a, b)
+	return n.add(node{kind: kind, args: [3]Signal{a, b, invalidSignal}, narg: 2})
+}
+
+// And2 returns a AND b as a single 2-input gate.
+func (n *Netlist) And2(a, b Signal) Signal { return n.binary(KindAnd, a, b) }
+
+// Or2 returns a OR b as a single 2-input gate.
+func (n *Netlist) Or2(a, b Signal) Signal { return n.binary(KindOr, a, b) }
+
+// Xor2 returns a XOR b as a single 2-input gate.
+func (n *Netlist) Xor2(a, b Signal) Signal { return n.binary(KindXor, a, b) }
+
+// Mux2 returns a0 when sel is false and a1 when sel is true, as a single
+// primitive multiplexer.
+func (n *Netlist) Mux2(sel, a0, a1 Signal) Signal {
+	n.check(sel, a0, a1)
+	return n.add(node{kind: KindMux2, args: [3]Signal{sel, a0, a1}, narg: 3})
+}
+
+// reduce builds a balanced tree of 2-input gates over the arguments, so
+// that an N-way AND/OR has the log-depth shape a synthesizer would give it.
+func (n *Netlist) reduce(kind Kind, args []Signal) Signal {
+	switch len(args) {
+	case 0:
+		// Empty AND is true; empty OR is false.
+		return n.Const(kind == KindAnd)
+	case 1:
+		return args[0]
+	}
+	// Reduce pairwise into a scratch slice to keep the tree balanced.
+	cur := make([]Signal, len(args))
+	copy(cur, args)
+	for len(cur) > 1 {
+		nxt := make([]Signal, 0, (len(cur)+1)/2)
+		for i := 0; i < len(cur); i += 2 {
+			if i+1 < len(cur) {
+				nxt = append(nxt, n.binary(kind, cur[i], cur[i+1]))
+			} else {
+				nxt = append(nxt, cur[i])
+			}
+		}
+		cur = nxt
+	}
+	return cur[0]
+}
+
+// And returns the conjunction of all arguments as a balanced gate tree.
+func (n *Netlist) And(args ...Signal) Signal { return n.reduce(KindAnd, args) }
+
+// Or returns the disjunction of all arguments as a balanced gate tree.
+func (n *Netlist) Or(args ...Signal) Signal { return n.reduce(KindOr, args) }
+
+// Output registers s as a named primary output.
+func (n *Netlist) Output(name string, s Signal) {
+	n.check(s)
+	n.outputs = append(n.outputs, s)
+	n.outName = append(n.outName, name)
+}
+
+// NumInputs returns the number of primary inputs.
+func (n *Netlist) NumInputs() int { return len(n.inputs) }
+
+// NumOutputs returns the number of primary outputs.
+func (n *Netlist) NumOutputs() int { return len(n.outputs) }
+
+// NumGates returns the number of logic gates (excludes inputs and consts).
+func (n *Netlist) NumGates() int {
+	count := 0
+	for i := range n.nodes {
+		switch n.nodes[i].kind {
+		case KindInput, KindConst:
+		default:
+			count++
+		}
+	}
+	return count
+}
+
+// GateCounts returns the number of gates of each kind.
+func (n *Netlist) GateCounts() map[Kind]int {
+	counts := make(map[Kind]int, 5)
+	for i := range n.nodes {
+		switch k := n.nodes[i].kind; k {
+		case KindInput, KindConst:
+		default:
+			counts[k]++
+		}
+	}
+	return counts
+}
+
+// Eval simulates the netlist for the given primary input values (in input
+// declaration order) and returns the primary output values (in output
+// declaration order).
+func (n *Netlist) Eval(inputs []bool) ([]bool, error) {
+	if len(inputs) != len(n.inputs) {
+		return nil, fmt.Errorf("gate: eval with %d inputs, circuit has %d", len(inputs), len(n.inputs))
+	}
+	vals := make([]bool, len(n.nodes))
+	inIdx := 0
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		switch nd.kind {
+		case KindInput:
+			vals[i] = inputs[inIdx]
+			inIdx++
+		case KindConst:
+			vals[i] = nd.val
+		case KindNot:
+			vals[i] = !vals[nd.args[0]]
+		case KindAnd:
+			vals[i] = vals[nd.args[0]] && vals[nd.args[1]]
+		case KindOr:
+			vals[i] = vals[nd.args[0]] || vals[nd.args[1]]
+		case KindXor:
+			vals[i] = vals[nd.args[0]] != vals[nd.args[1]]
+		case KindMux2:
+			if vals[nd.args[0]] {
+				vals[i] = vals[nd.args[2]]
+			} else {
+				vals[i] = vals[nd.args[1]]
+			}
+		default:
+			return nil, fmt.Errorf("gate: eval: unknown node kind %v", nd.kind)
+		}
+	}
+	out := make([]bool, len(n.outputs))
+	for i, s := range n.outputs {
+		out[i] = vals[s]
+	}
+	return out, nil
+}
+
+// Delay returns the critical-path depth from any primary input to any
+// primary output in unit gate delays (every gate, including NOT and MUX2,
+// costs one unit; inputs and constants cost zero).
+func (n *Netlist) Delay() int {
+	depth := n.nodeDelays()
+	max := 0
+	for _, s := range n.outputs {
+		if depth[s] > max {
+			max = depth[s]
+		}
+	}
+	return max
+}
+
+func (n *Netlist) nodeDelays() []int {
+	depth := make([]int, len(n.nodes))
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		switch nd.kind {
+		case KindInput, KindConst:
+			depth[i] = 0
+		default:
+			max := 0
+			for a := 0; a < nd.narg; a++ {
+				if d := depth[nd.args[a]]; d > max {
+					max = d
+				}
+			}
+			depth[i] = max + 1
+		}
+	}
+	return depth
+}
+
+// LUTReport summarizes a 4-input LUT technology mapping.
+type LUTReport struct {
+	LUTs  int // number of 4-input LUTs
+	Depth int // LUT levels on the critical path
+}
+
+// MapLUT4 performs a greedy cone-packing technology mapping into 4-input
+// LUTs and returns the LUT count and depth. The heuristic absorbs each
+// fanin's cone into the current node's cone while the union of leaf inputs
+// stays within 4; otherwise the fanin becomes a LUT boundary. This is the
+// classical greedy covering used for quick area estimates.
+func (n *Netlist) MapLUT4() LUTReport {
+	const k = 4
+	type coneInfo struct {
+		leaves []Signal // sorted leaf inputs of this node's cone
+		depth  int      // LUT depth at this node's cone output
+	}
+	cones := make([]coneInfo, len(n.nodes))
+	isRoot := make([]bool, len(n.nodes)) // node is a LUT output boundary
+
+	leafDepth := func(s Signal) int {
+		nd := &n.nodes[s]
+		if nd.kind == KindInput || nd.kind == KindConst {
+			return 0
+		}
+		return cones[s].depth
+	}
+
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		switch nd.kind {
+		case KindInput, KindConst:
+			continue
+		}
+		var leaves []Signal
+		for a := 0; a < nd.narg; a++ {
+			arg := nd.args[a]
+			argNode := &n.nodes[arg]
+			if argNode.kind == KindInput || argNode.kind == KindConst {
+				leaves = mergeLeaf(leaves, arg)
+				continue
+			}
+			// Try to absorb the fanin's cone.
+			merged := mergeLeaves(leaves, cones[arg].leaves)
+			if len(merged) <= k && !isRoot[arg] {
+				leaves = merged
+			} else {
+				// Fanin becomes a LUT boundary.
+				isRoot[arg] = true
+				leaves = mergeLeaf(leaves, arg)
+			}
+		}
+		if len(leaves) > k {
+			// Shouldn't happen with ≤3-input primitives, but guard: cut
+			// all fanins.
+			leaves = leaves[:0]
+			for a := 0; a < nd.narg; a++ {
+				arg := nd.args[a]
+				if n.nodes[arg].kind != KindInput && n.nodes[arg].kind != KindConst {
+					isRoot[arg] = true
+				}
+				leaves = mergeLeaf(leaves, arg)
+			}
+		}
+		depth := 0
+		for _, l := range leaves {
+			if d := leafDepth(l); d > depth {
+				depth = d
+			}
+		}
+		cones[i] = coneInfo{leaves: leaves, depth: depth + 1}
+	}
+	for _, s := range n.outputs {
+		if n.nodes[s].kind != KindInput && n.nodes[s].kind != KindConst {
+			isRoot[s] = true
+		}
+	}
+	report := LUTReport{}
+	for i := range n.nodes {
+		if isRoot[i] {
+			report.LUTs++
+			if cones[i].depth > report.Depth {
+				report.Depth = cones[i].depth
+			}
+		}
+	}
+	return report
+}
+
+func mergeLeaf(leaves []Signal, s Signal) []Signal {
+	idx := sort.Search(len(leaves), func(i int) bool { return leaves[i] >= s })
+	if idx < len(leaves) && leaves[idx] == s {
+		return leaves
+	}
+	leaves = append(leaves, 0)
+	copy(leaves[idx+1:], leaves[idx:])
+	leaves[idx] = s
+	return leaves
+}
+
+func mergeLeaves(a, b []Signal) []Signal {
+	out := make([]Signal, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

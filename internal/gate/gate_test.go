@@ -1,0 +1,279 @@
+package gate
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func evalOne(t *testing.T, n *Netlist, inputs []bool) []bool {
+	t.Helper()
+	out, err := n.Eval(inputs)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	return out
+}
+
+func TestPrimitiveTruthTables(t *testing.T) {
+	n := NewNetlist()
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Output("and", n.And2(a, b))
+	n.Output("or", n.Or2(a, b))
+	n.Output("xor", n.Xor2(a, b))
+	n.Output("nota", n.Not(a))
+
+	tests := []struct {
+		a, b bool
+		want [4]bool // and, or, xor, nota
+	}{
+		{false, false, [4]bool{false, false, false, true}},
+		{false, true, [4]bool{false, true, true, true}},
+		{true, false, [4]bool{false, true, true, false}},
+		{true, true, [4]bool{true, true, false, false}},
+	}
+	for _, tt := range tests {
+		out := evalOne(t, n, []bool{tt.a, tt.b})
+		for i, want := range tt.want {
+			if out[i] != want {
+				t.Errorf("a=%v b=%v output %d = %v, want %v", tt.a, tt.b, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestMux2(t *testing.T) {
+	n := NewNetlist()
+	sel := n.Input("sel")
+	a0 := n.Input("a0")
+	a1 := n.Input("a1")
+	n.Output("y", n.Mux2(sel, a0, a1))
+	for _, tt := range []struct {
+		sel, a0, a1, want bool
+	}{
+		{false, true, false, true},
+		{false, false, true, false},
+		{true, true, false, false},
+		{true, false, true, true},
+	} {
+		out := evalOne(t, n, []bool{tt.sel, tt.a0, tt.a1})
+		if out[0] != tt.want {
+			t.Errorf("mux(sel=%v,a0=%v,a1=%v) = %v, want %v", tt.sel, tt.a0, tt.a1, out[0], tt.want)
+		}
+	}
+}
+
+func TestConst(t *testing.T) {
+	n := NewNetlist()
+	n.Output("t", n.Const(true))
+	n.Output("f", n.Const(false))
+	out := evalOne(t, n, nil)
+	if !out[0] || out[1] {
+		t.Fatalf("const outputs = %v, want [true false]", out)
+	}
+}
+
+func TestVariadicAndOr(t *testing.T) {
+	n := NewNetlist()
+	inputs := make([]Signal, 8)
+	boolIn := make([]bool, 8)
+	for i := range inputs {
+		inputs[i] = n.Input("x")
+	}
+	n.Output("and", n.And(inputs...))
+	n.Output("or", n.Or(inputs...))
+
+	// All-true AND; any-true OR.
+	for mask := 0; mask < 256; mask++ {
+		allTrue, anyTrue := true, false
+		for i := 0; i < 8; i++ {
+			boolIn[i] = mask&(1<<i) != 0
+			allTrue = allTrue && boolIn[i]
+			anyTrue = anyTrue || boolIn[i]
+		}
+		out := evalOne(t, n, boolIn)
+		if out[0] != allTrue || out[1] != anyTrue {
+			t.Fatalf("mask %08b: and=%v or=%v, want %v %v", mask, out[0], out[1], allTrue, anyTrue)
+		}
+	}
+}
+
+func TestVariadicEdgeCases(t *testing.T) {
+	n := NewNetlist()
+	a := n.Input("a")
+	n.Output("and0", n.And())  // empty AND = true
+	n.Output("or0", n.Or())    // empty OR = false
+	n.Output("and1", n.And(a)) // single arg passthrough
+	out := evalOne(t, n, []bool{true})
+	if !out[0] || out[1] || !out[2] {
+		t.Fatalf("edge outputs = %v, want [true false true]", out)
+	}
+}
+
+func TestBalancedReduceDepth(t *testing.T) {
+	// A 16-way AND must have log2(16)=4 levels, not 15.
+	n := NewNetlist()
+	inputs := make([]Signal, 16)
+	for i := range inputs {
+		inputs[i] = n.Input("x")
+	}
+	n.Output("y", n.And(inputs...))
+	if got := n.Delay(); got != 4 {
+		t.Fatalf("16-way AND delay = %d, want 4 (balanced tree)", got)
+	}
+}
+
+func TestDelayChain(t *testing.T) {
+	// A deliberately serial chain: delay must equal chain length.
+	n := NewNetlist()
+	x := n.Input("x")
+	cur := x
+	for i := 0; i < 10; i++ {
+		cur = n.And2(cur, x)
+	}
+	n.Output("y", cur)
+	if got := n.Delay(); got != 10 {
+		t.Fatalf("10-gate chain delay = %d, want 10", got)
+	}
+}
+
+func TestDelayIgnoresNonOutputPaths(t *testing.T) {
+	n := NewNetlist()
+	x := n.Input("x")
+	deep := x
+	for i := 0; i < 20; i++ {
+		deep = n.And2(deep, x) // never routed to an output
+	}
+	n.Output("y", n.Not(x))
+	if got := n.Delay(); got != 1 {
+		t.Fatalf("delay = %d, want 1 (deep path is not an output)", got)
+	}
+}
+
+func TestGateCounts(t *testing.T) {
+	n := NewNetlist()
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Output("y", n.Or2(n.And2(a, b), n.Not(a)))
+	if got := n.NumGates(); got != 3 {
+		t.Fatalf("NumGates = %d, want 3", got)
+	}
+	counts := n.GateCounts()
+	if counts[KindAnd] != 1 || counts[KindOr] != 1 || counts[KindNot] != 1 {
+		t.Fatalf("GateCounts = %v", counts)
+	}
+	if n.NumInputs() != 2 || n.NumOutputs() != 1 {
+		t.Fatalf("inputs=%d outputs=%d, want 2, 1", n.NumInputs(), n.NumOutputs())
+	}
+}
+
+func TestEvalInputArity(t *testing.T) {
+	n := NewNetlist()
+	n.Input("a")
+	if _, err := n.Eval([]bool{}); err == nil {
+		t.Fatal("Eval with wrong arity succeeded")
+	}
+}
+
+func TestMapLUT4SmallCircuits(t *testing.T) {
+	// A 4-input AND fits exactly one LUT.
+	n := NewNetlist()
+	in := make([]Signal, 4)
+	for i := range in {
+		in[i] = n.Input("x")
+	}
+	n.Output("y", n.And(in...))
+	rep := n.MapLUT4()
+	if rep.LUTs != 1 || rep.Depth != 1 {
+		t.Fatalf("4-input AND: %+v, want 1 LUT depth 1", rep)
+	}
+
+	// A 16-input AND needs a 2-level LUT tree: 4 leaves + 1 root = 5.
+	n2 := NewNetlist()
+	in2 := make([]Signal, 16)
+	for i := range in2 {
+		in2[i] = n2.Input("x")
+	}
+	n2.Output("y", n2.And(in2...))
+	rep2 := n2.MapLUT4()
+	if rep2.LUTs != 5 || rep2.Depth != 2 {
+		t.Fatalf("16-input AND: %+v, want 5 LUTs depth 2", rep2)
+	}
+}
+
+func TestMapLUT4SharedFanout(t *testing.T) {
+	// A node consumed by two cones must be materialized once as a root.
+	n := NewNetlist()
+	a := n.Input("a")
+	b := n.Input("b")
+	c := n.Input("c")
+	d := n.Input("d")
+	e := n.Input("e")
+	shared := n.And(a, b, c, d) // exactly one full LUT
+	n.Output("y1", n.And2(shared, e))
+	n.Output("y2", n.Or2(shared, e))
+	rep := n.MapLUT4()
+	// shared (1) + y1 (1) + y2 (1) = 3.
+	if rep.LUTs != 3 {
+		t.Fatalf("shared-fanout mapping: %+v, want 3 LUTs", rep)
+	}
+}
+
+func TestMuxEquivalenceProperty(t *testing.T) {
+	// MUX2 must equal its AND/OR/NOT decomposition for all inputs.
+	n := NewNetlist()
+	sel := n.Input("sel")
+	a0 := n.Input("a0")
+	a1 := n.Input("a1")
+	n.Output("mux", n.Mux2(sel, a0, a1))
+	n.Output("ref", n.Or2(n.And2(n.Not(sel), a0), n.And2(sel, a1)))
+	f := func(s, x, y bool) bool {
+		out, err := n.Eval([]bool{s, x, y})
+		return err == nil && out[0] == out[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorTreeParityProperty(t *testing.T) {
+	n := NewNetlist()
+	const width = 12
+	in := make([]Signal, width)
+	for i := range in {
+		in[i] = n.Input("x")
+	}
+	cur := in[0]
+	for i := 1; i < width; i++ {
+		cur = n.Xor2(cur, in[i])
+	}
+	n.Output("parity", cur)
+	f := func(v uint16) bool {
+		bits := make([]bool, width)
+		parity := false
+		for i := 0; i < width; i++ {
+			bits[i] = v&(1<<i) != 0
+			parity = parity != bits[i]
+		}
+		out, err := n.Eval(bits)
+		return err == nil && out[0] == parity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, tt := range []struct {
+		k    Kind
+		want string
+	}{
+		{KindInput, "input"}, {KindConst, "const"}, {KindNot, "not"},
+		{KindAnd, "and"}, {KindOr, "or"}, {KindXor, "xor"}, {KindMux2, "mux2"},
+		{Kind(99), "kind(99)"},
+	} {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.k), got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package gate
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteVerilog emits the netlist as a synthesizable Verilog-2001 module:
+// one wire per gate, one continuous assignment per primitive. It is the
+// bridge back to the paper's RTL flow — the emitted module can be fed to
+// an FPGA or ASIC synthesizer to reproduce the Fig. 7/8 measurements on
+// real tools.
+//
+// Port names come from the declared input/output names, sanitized to
+// Verilog identifiers; duplicate or empty names get positional suffixes.
+func (n *Netlist) WriteVerilog(w io.Writer, moduleName string) error {
+	if moduleName == "" {
+		moduleName = "netlist"
+	}
+	inNames := n.portNames(true)
+	outNames := n.portNames(false)
+
+	var ports []string
+	ports = append(ports, inNames...)
+	ports = append(ports, outNames...)
+	if _, err := fmt.Fprintf(w, "module %s (%s);\n", sanitizeIdent(moduleName), strings.Join(ports, ", ")); err != nil {
+		return err
+	}
+	for _, name := range inNames {
+		if _, err := fmt.Fprintf(w, "  input  %s;\n", name); err != nil {
+			return err
+		}
+	}
+	for _, name := range outNames {
+		if _, err := fmt.Fprintf(w, "  output %s;\n", name); err != nil {
+			return err
+		}
+	}
+
+	// Signal naming: inputs use their port names; every other node gets
+	// a wire n<i>.
+	sig := make([]string, len(n.nodes))
+	inIdx := 0
+	for i := range n.nodes {
+		switch n.nodes[i].kind {
+		case KindInput:
+			sig[i] = inNames[inIdx]
+			inIdx++
+		case KindConst:
+			if n.nodes[i].val {
+				sig[i] = "1'b1"
+			} else {
+				sig[i] = "1'b0"
+			}
+		default:
+			sig[i] = fmt.Sprintf("n%d", i)
+		}
+	}
+	for i := range n.nodes {
+		switch n.nodes[i].kind {
+		case KindInput, KindConst:
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  wire %s;\n", sig[i]); err != nil {
+			return err
+		}
+	}
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		var expr string
+		switch nd.kind {
+		case KindInput, KindConst:
+			continue
+		case KindNot:
+			expr = fmt.Sprintf("~%s", sig[nd.args[0]])
+		case KindAnd:
+			expr = fmt.Sprintf("%s & %s", sig[nd.args[0]], sig[nd.args[1]])
+		case KindOr:
+			expr = fmt.Sprintf("%s | %s", sig[nd.args[0]], sig[nd.args[1]])
+		case KindXor:
+			expr = fmt.Sprintf("%s ^ %s", sig[nd.args[0]], sig[nd.args[1]])
+		case KindMux2:
+			expr = fmt.Sprintf("%s ? %s : %s", sig[nd.args[0]], sig[nd.args[2]], sig[nd.args[1]])
+		default:
+			return fmt.Errorf("gate: verilog: unknown node kind %v", nd.kind)
+		}
+		if _, err := fmt.Fprintf(w, "  assign %s = %s;\n", sig[i], expr); err != nil {
+			return err
+		}
+	}
+	for i, s := range n.outputs {
+		if _, err := fmt.Fprintf(w, "  assign %s = %s;\n", outNames[i], sig[s]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "endmodule")
+	return err
+}
+
+// portNames returns unique sanitized names for the inputs or outputs.
+func (n *Netlist) portNames(inputs bool) []string {
+	var raw []string
+	if inputs {
+		for _, s := range n.inputs {
+			raw = append(raw, n.nodes[s].name)
+		}
+	} else {
+		raw = append(raw, n.outName...)
+	}
+	seen := make(map[string]int, len(raw))
+	out := make([]string, len(raw))
+	for i, r := range raw {
+		name := sanitizeIdent(r)
+		if name == "" {
+			if inputs {
+				name = fmt.Sprintf("in%d", i)
+			} else {
+				name = fmt.Sprintf("out%d", i)
+			}
+		}
+		if c := seen[name]; c > 0 {
+			name = fmt.Sprintf("%s_%d", name, c)
+		}
+		seen[sanitizeIdent(r)]++
+		out[i] = name
+	}
+	return out
+}
+
+var verilogKeywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"wire": true, "assign": true, "reg": true, "always": true,
+	"begin": true, "end": true, "if": true, "else": true, "case": true,
+}
+
+// sanitizeIdent converts a port name into a legal Verilog identifier.
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if verilogKeywords[out] {
+		out += "_"
+	}
+	return out
+}
+
+// WriteDOT emits the netlist as a Graphviz digraph for documentation and
+// debugging.
+func (n *Netlist) WriteDOT(w io.Writer, graphName string) error {
+	if graphName == "" {
+		graphName = "netlist"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %s {\n  rankdir=LR;\n", sanitizeIdent(graphName)); err != nil {
+		return err
+	}
+	outputSet := make(map[Signal][]string)
+	for i, s := range n.outputs {
+		outputSet[s] = append(outputSet[s], n.outName[i])
+	}
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		label := nd.kind.String()
+		shape := "box"
+		switch nd.kind {
+		case KindInput:
+			label = nd.name
+			shape = "ellipse"
+		case KindConst:
+			label = fmt.Sprintf("%v", nd.val)
+			shape = "plaintext"
+		}
+		if names, ok := outputSet[Signal(i)]; ok {
+			sort.Strings(names)
+			label += " → " + strings.Join(names, ",")
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q shape=%s];\n", i, label, shape); err != nil {
+			return err
+		}
+		for a := 0; a < nd.narg; a++ {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", nd.args[a], i); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

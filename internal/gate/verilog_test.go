@@ -1,0 +1,105 @@
+package gate
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSample(t *testing.T) *Netlist {
+	t.Helper()
+	n := NewNetlist()
+	a := n.Input("a")
+	b := n.Input("b")
+	sel := n.Input("sel")
+	n.Output("y", n.Mux2(sel, n.And2(a, b), n.Xor2(a, n.Not(b))))
+	n.Output("t", n.Const(true))
+	return n
+}
+
+func TestWriteVerilogStructure(t *testing.T) {
+	n := buildSample(t)
+	var sb strings.Builder
+	if err := n.WriteVerilog(&sb, "sample"); err != nil {
+		t.Fatalf("WriteVerilog: %v", err)
+	}
+	v := sb.String()
+	for _, want := range []string{
+		"module sample (a, b, sel, y, t);",
+		"input  a;",
+		"input  sel;",
+		"output y;",
+		"output t;",
+		"endmodule",
+		"? ",     // mux ternary
+		" ^ ",    // xor
+		" & ",    // and
+		"~",      // not
+		"1'b1",   // const true
+		"assign", // continuous assignments
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q:\n%s", want, v)
+		}
+	}
+	// Every wire declared before use: wire count equals gate count.
+	if got, want := strings.Count(v, "  wire "), n.NumGates(); got != want {
+		t.Errorf("declared %d wires, want %d (one per gate)", got, want)
+	}
+}
+
+func TestWriteVerilogDefaultsAndSanitize(t *testing.T) {
+	n := NewNetlist()
+	a := n.Input("3bad name") // leading digit + space
+	b := n.Input("wire")      // keyword
+	c := n.Input("")          // empty
+	n.Output("out put", n.And(a, b, c))
+	var sb strings.Builder
+	if err := n.WriteVerilog(&sb, ""); err != nil {
+		t.Fatalf("WriteVerilog: %v", err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "module netlist (") {
+		t.Errorf("default module name missing:\n%s", v)
+	}
+	if !strings.Contains(v, "_3bad_name") {
+		t.Errorf("leading digit not sanitized:\n%s", v)
+	}
+	if !strings.Contains(v, "wire_") {
+		t.Errorf("keyword not suffixed:\n%s", v)
+	}
+	if !strings.Contains(v, "in2") {
+		t.Errorf("empty name not defaulted:\n%s", v)
+	}
+	if !strings.Contains(v, "out_put") {
+		t.Errorf("output name not sanitized:\n%s", v)
+	}
+}
+
+func TestWriteVerilogDuplicateNames(t *testing.T) {
+	n := NewNetlist()
+	a := n.Input("x")
+	b := n.Input("x")
+	n.Output("y", n.Or2(a, b))
+	var sb strings.Builder
+	if err := n.WriteVerilog(&sb, "dup"); err != nil {
+		t.Fatalf("WriteVerilog: %v", err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "module dup (x, x_1, y);") {
+		t.Errorf("duplicate inputs not disambiguated:\n%s", v)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	n := buildSample(t)
+	var sb strings.Builder
+	if err := n.WriteDOT(&sb, "sample"); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	d := sb.String()
+	for _, want := range []string{"digraph sample", "rankdir=LR", "->", "→ y", "}"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dot missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package gps implements the generalized processor sharing fluid model —
+// the idealized scheduler every fair-queueing algorithm emulates (paper
+// §II-A). In GPS, every backlogged session is served simultaneously at a
+// rate proportional to its weight; packets are infinitely divisible
+// fluid. The simulator computes exact per-packet departure times and
+// per-flow service curves, providing the ground truth against which WFQ
+// and the round-robin family are measured: WFQ finishes every packet
+// within one maximum packet transmission time of its GPS departure.
+package gps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wfqsort/internal/packet"
+)
+
+// Result holds the outcome of a fluid simulation.
+type Result struct {
+	// Finish[i] is the GPS departure time of the packet with ID i.
+	Finish []float64
+	// FlowBits[f] is the total traffic of flow f in bits.
+	FlowBits []float64
+	// Makespan is the time the system finally empties.
+	Makespan float64
+}
+
+type flowState struct {
+	queue  []pkt // FIFO
+	weight float64
+}
+
+type pkt struct {
+	id        int
+	remaining float64 // bits left to serve
+}
+
+// Simulate runs the fluid model over the given arrivals (any order; they
+// are sorted internally by arrival time) with per-flow weights and a link
+// capacity in bits/s. Packet IDs must be unique and in [0, len(pkts)).
+func Simulate(pkts []packet.Packet, weights []float64, capacityBps float64) (*Result, error) {
+	if capacityBps <= 0 {
+		return nil, fmt.Errorf("gps: capacity %v must be positive", capacityBps)
+	}
+	for f, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("gps: flow %d weight %v must be positive", f, w)
+		}
+	}
+	arr := make([]packet.Packet, len(pkts))
+	copy(arr, pkts)
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].Arrival < arr[j].Arrival })
+
+	res := &Result{
+		Finish:   make([]float64, len(pkts)),
+		FlowBits: make([]float64, len(weights)),
+	}
+	for i := range res.Finish {
+		res.Finish[i] = math.NaN()
+	}
+
+	flows := make([]flowState, len(weights))
+	for f := range flows {
+		flows[f].weight = weights[f]
+	}
+	backlogged := 0
+	sumW := 0.0
+	now := 0.0
+	next := 0 // next arrival index
+
+	for next < len(arr) || backlogged > 0 {
+		// Jump to the first arrival if the system is idle.
+		if backlogged == 0 {
+			if next >= len(arr) {
+				break
+			}
+			now = arr[next].Arrival
+		}
+		// Horizon: the next arrival, if any.
+		horizon := math.Inf(1)
+		if next < len(arr) {
+			horizon = arr[next].Arrival
+		}
+		// Serve fluid until the horizon, completing head packets as they
+		// drain.
+		for backlogged > 0 && now < horizon {
+			// Earliest head-packet completion across backlogged flows.
+			dt := math.Inf(1)
+			for f := range flows {
+				if len(flows[f].queue) == 0 {
+					continue
+				}
+				rate := capacityBps * flows[f].weight / sumW
+				if d := flows[f].queue[0].remaining / rate; d < dt {
+					dt = d
+				}
+			}
+			step := math.Min(dt, horizon-now)
+			for f := range flows {
+				if len(flows[f].queue) == 0 {
+					continue
+				}
+				rate := capacityBps * flows[f].weight / sumW
+				flows[f].queue[0].remaining -= rate * step
+			}
+			now += step
+			// Pop completed heads (cascading within a flow is impossible
+			// in one step: only heads drain).
+			for f := range flows {
+				q := flows[f].queue
+				if len(q) > 0 && q[0].remaining <= 1e-9 {
+					res.Finish[q[0].id] = now
+					flows[f].queue = q[1:]
+					if len(flows[f].queue) == 0 {
+						backlogged--
+						sumW -= flows[f].weight
+					}
+				}
+			}
+			if step == 0 && dt == math.Inf(1) {
+				return nil, fmt.Errorf("gps: stalled at t=%v", now)
+			}
+		}
+		// Admit arrivals at the horizon.
+		if next < len(arr) && now >= horizon {
+			t := arr[next].Arrival
+			for next < len(arr) && arr[next].Arrival == t {
+				p := arr[next]
+				if p.Flow < 0 || p.Flow >= len(flows) {
+					return nil, fmt.Errorf("gps: packet %d flow %d out of range [0,%d)", p.ID, p.Flow, len(flows))
+				}
+				if p.ID < 0 || p.ID >= len(res.Finish) {
+					return nil, fmt.Errorf("gps: packet ID %d out of range [0,%d)", p.ID, len(res.Finish))
+				}
+				if len(flows[p.Flow].queue) == 0 {
+					backlogged++
+					sumW += flows[p.Flow].weight
+				}
+				flows[p.Flow].queue = append(flows[p.Flow].queue, pkt{id: p.ID, remaining: p.Bits()})
+				res.FlowBits[p.Flow] += p.Bits()
+				next++
+			}
+		}
+	}
+	res.Makespan = now
+	return res, nil
+}
+
+// ServiceShare returns each flow's fraction of the total bits served —
+// under sustained backlog this converges to weight/Σweights, the fairness
+// target every practical scheduler approximates.
+func (r *Result) ServiceShare() []float64 {
+	total := 0.0
+	for _, b := range r.FlowBits {
+		total += b
+	}
+	out := make([]float64, len(r.FlowBits))
+	if total == 0 {
+		return out
+	}
+	for f, b := range r.FlowBits {
+		out[f] = b / total
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package gps
+
+import (
+	"math"
+	"testing"
+
+	"wfqsort/internal/packet"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(nil, []float64{1}, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := Simulate(nil, []float64{0}, 1e6); err == nil {
+		t.Error("zero weight accepted")
+	}
+	bad := []packet.Packet{{ID: 0, Flow: 5, Size: 100}}
+	if _, err := Simulate(bad, []float64{1}, 1e6); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+	bad2 := []packet.Packet{{ID: 3, Flow: 0, Size: 100}}
+	if _, err := Simulate(bad2, []float64{1}, 1e6); err == nil {
+		t.Error("out-of-range packet ID accepted")
+	}
+}
+
+func TestSinglePacket(t *testing.T) {
+	// One 1000-bit packet on a 1000 b/s link: finishes at t=1+... arrives
+	// at t=2, finishes at t=3.
+	pkts := []packet.Packet{{ID: 0, Flow: 0, Size: 125, Arrival: 2}}
+	res, err := Simulate(pkts, []float64{1}, 1000)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !approx(res.Finish[0], 3, 1e-9) {
+		t.Fatalf("finish = %v, want 3", res.Finish[0])
+	}
+	if !approx(res.Makespan, 3, 1e-9) {
+		t.Fatalf("makespan = %v, want 3", res.Makespan)
+	}
+}
+
+// TestEqualWeightsShareEqually: two flows, simultaneous equal packets,
+// equal weights → both drain at C/2 and finish together.
+func TestEqualWeightsShareEqually(t *testing.T) {
+	pkts := []packet.Packet{
+		{ID: 0, Flow: 0, Size: 125, Arrival: 0}, // 1000 bits
+		{ID: 1, Flow: 1, Size: 125, Arrival: 0},
+	}
+	res, err := Simulate(pkts, []float64{1, 1}, 1000)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !approx(res.Finish[0], 2, 1e-9) || !approx(res.Finish[1], 2, 1e-9) {
+		t.Fatalf("finishes = %v, want both 2 (each at C/2)", res.Finish)
+	}
+}
+
+// TestWeightedShares: weight 3 vs 1 → the heavy flow drains 3× faster.
+func TestWeightedShares(t *testing.T) {
+	pkts := []packet.Packet{
+		{ID: 0, Flow: 0, Size: 125, Arrival: 0},
+		{ID: 1, Flow: 1, Size: 125, Arrival: 0},
+	}
+	res, err := Simulate(pkts, []float64{3, 1}, 1000)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	// Flow 0 at 750 b/s finishes 1000 bits at t=4/3. Then flow 1 has
+	// the link alone: it served 250 b/s × 4/3 = 333.3 bits, remaining
+	// 666.7 at 1000 b/s → total 4/3 + 0.6667 = 2.
+	if !approx(res.Finish[0], 4.0/3, 1e-9) {
+		t.Fatalf("heavy flow finish %v, want 4/3", res.Finish[0])
+	}
+	if !approx(res.Finish[1], 2, 1e-9) {
+		t.Fatalf("light flow finish %v, want 2", res.Finish[1])
+	}
+}
+
+// TestWorkConserving: after the heavy flow leaves, the light one gets the
+// whole link (verified above); also the system must finish all traffic at
+// exactly total_bits/C when continuously backlogged.
+func TestWorkConserving(t *testing.T) {
+	var pkts []packet.Packet
+	id := 0
+	totalBits := 0.0
+	for f := 0; f < 3; f++ {
+		for i := 0; i < 10; i++ {
+			p := packet.Packet{ID: id, Flow: f, Size: 125, Arrival: 0}
+			pkts = append(pkts, p)
+			totalBits += p.Bits()
+			id++
+		}
+	}
+	res, err := Simulate(pkts, []float64{1, 2, 3}, 1e4)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !approx(res.Makespan, totalBits/1e4, 1e-9) {
+		t.Fatalf("makespan %v, want %v (work conservation)", res.Makespan, totalBits/1e4)
+	}
+	for i, f := range res.Finish {
+		if math.IsNaN(f) {
+			t.Fatalf("packet %d never finished", i)
+		}
+	}
+}
+
+// TestFIFOWithinFlow: packets of the same flow must finish in order.
+func TestFIFOWithinFlow(t *testing.T) {
+	pkts := []packet.Packet{
+		{ID: 0, Flow: 0, Size: 1500, Arrival: 0},
+		{ID: 1, Flow: 0, Size: 40, Arrival: 0.0001},
+		{ID: 2, Flow: 0, Size: 400, Arrival: 0.0002},
+	}
+	res, err := Simulate(pkts, []float64{1}, 1e6)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !(res.Finish[0] < res.Finish[1] && res.Finish[1] < res.Finish[2]) {
+		t.Fatalf("intra-flow order violated: %v", res.Finish)
+	}
+}
+
+// TestIdlePeriodsReset: traffic separated by idle gaps behaves like
+// independent busy periods.
+func TestIdlePeriodsReset(t *testing.T) {
+	pkts := []packet.Packet{
+		{ID: 0, Flow: 0, Size: 125, Arrival: 0},
+		{ID: 1, Flow: 0, Size: 125, Arrival: 100},
+	}
+	res, err := Simulate(pkts, []float64{1}, 1000)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !approx(res.Finish[0], 1, 1e-9) || !approx(res.Finish[1], 101, 1e-9) {
+		t.Fatalf("finishes %v, want [1 101]", res.Finish)
+	}
+}
+
+// TestServiceShareProportionalToWeights: under sustained equal offered
+// load, served shares track weights.
+func TestServiceShareProportionalToWeights(t *testing.T) {
+	var pkts []packet.Packet
+	id := 0
+	for f := 0; f < 2; f++ {
+		for i := 0; i < 100; i++ {
+			pkts = append(pkts, packet.Packet{ID: id, Flow: f, Size: 125, Arrival: 0})
+			id++
+		}
+	}
+	res, err := Simulate(pkts, []float64{1, 3}, 1e5)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	shares := res.ServiceShare()
+	// Equal totals offered → equal total shares once drained; the
+	// fairness signal is in the finish times: flow 1 (weight 3) must
+	// clear its backlog earlier.
+	if !approx(shares[0], 0.5, 1e-9) || !approx(shares[1], 0.5, 1e-9) {
+		t.Fatalf("shares %v, want equal totals", shares)
+	}
+	lastFinish := func(flow int) float64 {
+		max := 0.0
+		for _, p := range pkts {
+			if p.Flow == flow && res.Finish[p.ID] > max {
+				max = res.Finish[p.ID]
+			}
+		}
+		return max
+	}
+	if lastFinish(1) >= lastFinish(0) {
+		t.Fatalf("weight-3 flow finished at %v, not before weight-1 flow at %v", lastFinish(1), lastFinish(0))
+	}
+}
+
+func TestServiceShareEmpty(t *testing.T) {
+	res := &Result{FlowBits: []float64{0, 0}}
+	s := res.ServiceShare()
+	if s[0] != 0 || s[1] != 0 {
+		t.Fatalf("empty shares = %v", s)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	var pkts []packet.Packet
+	id := 0
+	for f := 0; f < 8; f++ {
+		for i := 0; i < 50; i++ {
+			pkts = append(pkts, packet.Packet{ID: id, Flow: f, Size: 100 + 10*f, Arrival: float64(i) * 0.001})
+			id++
+		}
+	}
+	weights := []float64{1, 2, 3, 4, 1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(pkts, weights, 1e6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

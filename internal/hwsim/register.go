@@ -1,0 +1,83 @@
+package hwsim
+
+import "fmt"
+
+// RegisterFile models a small bank of flip-flop registers. The paper
+// implements the first two tree levels (272 bits) in registers rather than
+// SRAM because they are read and written combinationally within a cycle;
+// accordingly register accesses cost zero memory cycles but are still
+// counted so reports can show the register/SRAM traffic split.
+type RegisterFile struct {
+	name   string
+	mask   uint64
+	words  []uint64
+	reads  uint64
+	writes uint64
+}
+
+// NewRegisterFile builds a register bank of depth words of wordBits each.
+func NewRegisterFile(name string, depth, wordBits int) (*RegisterFile, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("hwsim: regfile %q: depth %d must be positive", name, depth)
+	}
+	if wordBits <= 0 || wordBits > 64 {
+		return nil, fmt.Errorf("hwsim: regfile %q: word width %d out of range 1..64", name, wordBits)
+	}
+	var mask uint64
+	if wordBits == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (1 << uint(wordBits)) - 1
+	}
+	return &RegisterFile{
+		name:  name,
+		mask:  mask,
+		words: make([]uint64, depth),
+	}, nil
+}
+
+// MustNewRegisterFile is NewRegisterFile that panics on config errors.
+func MustNewRegisterFile(name string, depth, wordBits int) *RegisterFile {
+	r, err := NewRegisterFile(name, depth, wordBits)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Read returns the word at addr.
+func (r *RegisterFile) Read(addr int) (uint64, error) {
+	if addr < 0 || addr >= len(r.words) {
+		return 0, fmt.Errorf("%w: read reg %q[%d], depth %d", ErrAddressRange, r.name, addr, len(r.words))
+	}
+	r.reads++
+	return r.words[addr], nil
+}
+
+// Write stores val (masked to the word width) at addr.
+func (r *RegisterFile) Write(addr int, val uint64) error {
+	if addr < 0 || addr >= len(r.words) {
+		return fmt.Errorf("%w: write reg %q[%d], depth %d", ErrAddressRange, r.name, addr, len(r.words))
+	}
+	r.writes++
+	r.words[addr] = val & r.mask
+	return nil
+}
+
+// Accesses returns the total read+write count.
+func (r *RegisterFile) Accesses() uint64 {
+	return r.reads + r.writes
+}
+
+// Clear zeroes contents and counters.
+func (r *RegisterFile) Clear() {
+	for i := range r.words {
+		r.words[i] = 0
+	}
+	r.reads, r.writes = 0, 0
+}
+
+// Depth returns the number of words.
+func (r *RegisterFile) Depth() int {
+	return len(r.words)
+}

@@ -1,0 +1,166 @@
+package matcher
+
+import (
+	"fmt"
+
+	"wfqsort/internal/gate"
+)
+
+// DualCircuit realizes the paper's per-node arrangement (§III-A): "At
+// each node two lookup operations take place. The primary search is for
+// a matching literal, or the next smallest literal that exists. The
+// secondary lookup is for the next literal less than that targeted by
+// the primary search." The secondary instance operates on the masked
+// word with the primary's one-hot result cleared, so both matches emerge
+// from one combinational block.
+//
+// Inputs: width word bits (LSB first), then log2(width) position bits.
+// Outputs: width primary one-hot bits, primary-found, width backup
+// one-hot bits, backup-found.
+type DualCircuit struct {
+	net     *gate.Netlist
+	width   int
+	posBits int
+	variant Variant
+}
+
+// BuildDual constructs the dual (primary + backup) matcher for the given
+// variant and width.
+func BuildDual(v Variant, width int) (*DualCircuit, error) {
+	if width < 2*groupSize || width&(width-1) != 0 {
+		return nil, fmt.Errorf("matcher: width %d must be a power of two ≥ %d", width, 2*groupSize)
+	}
+	switch v {
+	case Ripple, LookAhead, BlockLookAhead, SkipLookAhead, SelectLookAhead:
+	default:
+		return nil, fmt.Errorf("matcher: unknown variant %v", v)
+	}
+	n := gate.NewNetlist()
+	posBits := log2i(width)
+
+	word := make([]gate.Signal, width)
+	for i := range word {
+		word[i] = n.Input(fmt.Sprintf("w%d", i))
+	}
+	pos := make([]gate.Signal, posBits)
+	for i := range pos {
+		pos[i] = n.Input(fmt.Sprintf("p%d", i))
+	}
+
+	masked := maskStage(n, word, pos)
+
+	// Primary instance.
+	above := buildAbove(n, masked, v)
+	prim := make([]gate.Signal, width)
+	for i := 0; i < width; i++ {
+		prim[i] = n.And2(masked[i], n.Not(above[i]))
+	}
+	primFound := n.Or(masked...)
+
+	// Secondary instance: the same structure over the masked word with
+	// the primary's bit cleared.
+	masked2 := make([]gate.Signal, width)
+	for i := 0; i < width; i++ {
+		masked2[i] = n.And2(masked[i], n.Not(prim[i]))
+	}
+	above2 := buildAbove(n, masked2, v)
+	backup := make([]gate.Signal, width)
+	for i := 0; i < width; i++ {
+		backup[i] = n.And2(masked2[i], n.Not(above2[i]))
+	}
+	backupFound := n.Or(masked2...)
+
+	for i := 0; i < width; i++ {
+		n.Output(fmt.Sprintf("m%d", i), prim[i])
+	}
+	n.Output("found", primFound)
+	for i := 0; i < width; i++ {
+		n.Output(fmt.Sprintf("b%d", i), backup[i])
+	}
+	n.Output("bfound", backupFound)
+
+	return &DualCircuit{net: n, width: width, posBits: posBits, variant: v}, nil
+}
+
+func log2i(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Width returns the word width in bits.
+func (c *DualCircuit) Width() int { return c.width }
+
+// Variant returns the implementation variant.
+func (c *DualCircuit) Variant() Variant { return c.variant }
+
+// Netlist exposes the underlying netlist for analysis.
+func (c *DualCircuit) Netlist() *gate.Netlist { return c.net }
+
+// Delay returns the critical path in unit gate delays. The secondary
+// search is serialized behind the primary's result in this realization;
+// a layout with two parallel position decoders would trade area for the
+// paper's parallel timing.
+func (c *DualCircuit) Delay() int { return c.net.Delay() }
+
+// MapLUT4 returns the 4-input LUT technology mapping.
+func (c *DualCircuit) MapLUT4() gate.LUTReport { return c.net.MapLUT4() }
+
+// Match simulates the circuit, returning both the primary and the backup
+// matches for the word bits (LSB first) and target position.
+func (c *DualCircuit) Match(word []bool, pos int) (Match, error) {
+	if len(word) != c.width {
+		return Match{}, fmt.Errorf("matcher: word has %d bits, circuit width %d", len(word), c.width)
+	}
+	if pos < 0 || pos >= c.width {
+		return Match{}, fmt.Errorf("matcher: position %d out of range [0,%d)", pos, c.width)
+	}
+	in := make([]bool, c.width+c.posBits)
+	copy(in, word)
+	for b := 0; b < c.posBits; b++ {
+		in[c.width+b] = pos&(1<<uint(b)) != 0
+	}
+	out, err := c.net.Eval(in)
+	if err != nil {
+		return Match{}, err
+	}
+	var m Match
+	if out[c.width] { // primary found
+		for i := 0; i < c.width; i++ {
+			if out[i] {
+				m.Primary, m.PrimaryOK = i, true
+				break
+			}
+		}
+		if !m.PrimaryOK {
+			return Match{}, fmt.Errorf("matcher: primary found asserted without one-hot bit")
+		}
+	}
+	if out[2*c.width+1] { // backup found
+		for i := 0; i < c.width; i++ {
+			if out[c.width+1+i] {
+				m.Backup, m.BackupOK = i, true
+				break
+			}
+		}
+		if !m.BackupOK {
+			return Match{}, fmt.Errorf("matcher: backup found asserted without one-hot bit")
+		}
+	}
+	return m, nil
+}
+
+// MatchWord is Match for word widths up to 64 bits packed in a uint64.
+func (c *DualCircuit) MatchWord(word uint64, pos int) (Match, error) {
+	if c.width > 64 {
+		return Match{}, fmt.Errorf("matcher: MatchWord requires width ≤ 64, circuit is %d", c.width)
+	}
+	bitsIn := make([]bool, c.width)
+	for i := 0; i < c.width; i++ {
+		bitsIn[i] = word&(1<<uint(i)) != 0
+	}
+	return c.Match(bitsIn, pos)
+}

@@ -1,0 +1,112 @@
+package matcher
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildDualValidation(t *testing.T) {
+	if _, err := BuildDual(Ripple, 6); err == nil {
+		t.Error("non-power-of-two width accepted")
+	}
+	if _, err := BuildDual(Variant(0), 16); err == nil {
+		t.Error("invalid variant accepted")
+	}
+	c, err := BuildDual(SelectLookAhead, 16)
+	if err != nil {
+		t.Fatalf("BuildDual: %v", err)
+	}
+	if c.Width() != 16 || c.Variant() != SelectLookAhead {
+		t.Fatalf("metadata: %d/%v", c.Width(), c.Variant())
+	}
+}
+
+// TestDualMatchesBehavioralExhaustive verifies both outputs of the dual
+// circuit against the behavioral matcher at width 8 for every word and
+// position.
+func TestDualMatchesBehavioralExhaustive(t *testing.T) {
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			c, err := BuildDual(v, 8)
+			if err != nil {
+				t.Fatalf("BuildDual: %v", err)
+			}
+			for word := uint64(0); word < 256; word++ {
+				for pos := 0; pos < 8; pos++ {
+					got, err := c.MatchWord(word, pos)
+					if err != nil {
+						t.Fatalf("MatchWord(%#x,%d): %v", word, pos, err)
+					}
+					want := Closest(word, pos, 8)
+					if got != want {
+						t.Fatalf("%v MatchWord(%#08b, %d) = %+v, want %+v", v, word, pos, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDualMatches16Sampled(t *testing.T) {
+	c, err := BuildDual(SelectLookAhead, 16)
+	if err != nil {
+		t.Fatalf("BuildDual: %v", err)
+	}
+	f := func(word uint16, posRaw uint8) bool {
+		pos := int(posRaw % 16)
+		got, err := c.MatchWord(uint64(word), pos)
+		if err != nil {
+			return false
+		}
+		return got == Closest(uint64(word), pos, 16)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDualCosts: the dual circuit roughly doubles the single matcher's
+// area (two search instances) — the hardware price of the parallel
+// backup path.
+func TestDualCosts(t *testing.T) {
+	single, err := Build(SelectLookAhead, 16)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dual, err := BuildDual(SelectLookAhead, 16)
+	if err != nil {
+		t.Fatalf("BuildDual: %v", err)
+	}
+	sLUT := single.MapLUT4().LUTs
+	dLUT := dual.MapLUT4().LUTs
+	if dLUT < sLUT*3/2 || dLUT > sLUT*3 {
+		t.Errorf("dual LUTs %d vs single %d — expected ≈2×", dLUT, sLUT)
+	}
+	if dual.Delay() <= single.Delay() {
+		t.Errorf("dual delay %d not longer than single %d (serialized secondary)", dual.Delay(), single.Delay())
+	}
+}
+
+func TestDualMatchArgErrors(t *testing.T) {
+	c, err := BuildDual(Ripple, 8)
+	if err != nil {
+		t.Fatalf("BuildDual: %v", err)
+	}
+	if _, err := c.Match(make([]bool, 7), 0); err == nil {
+		t.Error("wrong word length accepted")
+	}
+	if _, err := c.Match(make([]bool, 8), -1); err == nil {
+		t.Error("negative position accepted")
+	}
+	if _, err := c.Match(make([]bool, 8), 8); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	wide, err := BuildDual(SelectLookAhead, 128)
+	if err != nil {
+		t.Fatalf("BuildDual: %v", err)
+	}
+	if _, err := wide.MatchWord(0, 0); err == nil {
+		t.Error("MatchWord accepted width 128")
+	}
+}

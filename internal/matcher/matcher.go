@@ -1,0 +1,455 @@
+// Package matcher implements the closest-match lookup used in every node
+// of the multi-bit search tree: given a node occupancy word and a target
+// literal position, find the set bit at the target position or, failing
+// that, the next smaller set bit ("exact or next smallest match",
+// paper §III-A), plus the backup match — the next set bit below the
+// primary — used by the parallel backup-path search (paper Fig. 5).
+//
+// The package provides a behavioral reference (pure bit operations, used
+// by the trie on the functional fast path) and five gate-level circuit
+// realizations following the design-space study in paper reference [13]:
+// ripple, look-ahead, block look-ahead, skip & look-ahead, and
+// select & look-ahead. The circuits regenerate the delay and area curves
+// of paper Figs. 7 and 8.
+package matcher
+
+import (
+	"fmt"
+	"math/bits"
+
+	"wfqsort/internal/gate"
+)
+
+// Match is the result of a closest-match lookup in one node word.
+type Match struct {
+	// Primary is the position of the highest set bit at or below the
+	// requested position; valid only when PrimaryOK.
+	Primary   int
+	PrimaryOK bool
+	// Backup is the position of the next set bit strictly below Primary
+	// (the second-highest set bit at or below the requested position);
+	// valid only when BackupOK. The tree follows it when the search in
+	// the child below Primary fails (paper Fig. 5, point "B").
+	Backup   int
+	BackupOK bool
+}
+
+// Closest is the behavioral reference matcher: it returns the primary and
+// backup matches for the set bits of word at positions [0, width) relative
+// to target position pos.
+func Closest(word uint64, pos, width int) Match {
+	if width <= 0 || width > 64 {
+		return Match{}
+	}
+	if pos >= width {
+		pos = width - 1
+	}
+	if pos < 0 {
+		return Match{}
+	}
+	var maskAll uint64
+	if width == 64 {
+		maskAll = ^uint64(0)
+	} else {
+		maskAll = (1 << uint(width)) - 1
+	}
+	masked := word & maskAll & ((2 << uint(pos)) - 1)
+	var m Match
+	if masked == 0 {
+		return m
+	}
+	m.Primary = bits.Len64(masked) - 1
+	m.PrimaryOK = true
+	rest := masked &^ (1 << uint(m.Primary))
+	if rest != 0 {
+		m.Backup = bits.Len64(rest) - 1
+		m.BackupOK = true
+	}
+	return m
+}
+
+// HighestSet returns the position of the highest set bit of word within
+// [0, width), used when a backup path descends following the most
+// significant available literal (paper §III-A).
+func HighestSet(word uint64, width int) (int, bool) {
+	m := Closest(word, width-1, width)
+	return m.Primary, m.PrimaryOK
+}
+
+// Variant selects a matcher circuit implementation from the design-space
+// study of paper reference [13].
+type Variant int
+
+// Matcher circuit variants, ordered roughly by increasing acceleration.
+const (
+	Ripple Variant = iota + 1
+	LookAhead
+	BlockLookAhead
+	SkipLookAhead
+	SelectLookAhead
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Ripple:
+		return "ripple"
+	case LookAhead:
+		return "look-ahead"
+	case BlockLookAhead:
+		return "block look-ahead"
+	case SkipLookAhead:
+		return "skip & look-ahead"
+	case SelectLookAhead:
+		return "select & look-ahead"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Variants lists all circuit variants in presentation order (paper Figs.
+// 7–8 legend order).
+func Variants() []Variant {
+	return []Variant{Ripple, LookAhead, BlockLookAhead, SkipLookAhead, SelectLookAhead}
+}
+
+// Circuit is a gate-level closest-match (primary search) circuit for one
+// node word. Inputs: width word bits (LSB first) then log2(width) binary
+// position bits (LSB first). Outputs: width one-hot primary-match bits
+// then a found flag.
+type Circuit struct {
+	net     *gate.Netlist
+	width   int
+	posBits int
+	variant Variant
+}
+
+// groupSize is the look-ahead group width used by all accelerated
+// variants, matching the 4-bit literal grouping of the implemented tree.
+const groupSize = 4
+
+// Build constructs the matcher circuit for the given variant and word
+// width. Width must be a power of two and at least 2×groupSize.
+func Build(v Variant, width int) (*Circuit, error) {
+	if width < 2*groupSize || width&(width-1) != 0 {
+		return nil, fmt.Errorf("matcher: width %d must be a power of two ≥ %d", width, 2*groupSize)
+	}
+	switch v {
+	case Ripple, LookAhead, BlockLookAhead, SkipLookAhead, SelectLookAhead:
+	default:
+		return nil, fmt.Errorf("matcher: unknown variant %v", v)
+	}
+	n := gate.NewNetlist()
+	posBits := bits.Len(uint(width)) - 1
+
+	word := make([]gate.Signal, width)
+	for i := range word {
+		word[i] = n.Input(fmt.Sprintf("w%d", i))
+	}
+	pos := make([]gate.Signal, posBits)
+	for i := range pos {
+		pos[i] = n.Input(fmt.Sprintf("p%d", i))
+	}
+
+	masked := maskStage(n, word, pos)
+	above := buildAbove(n, masked, v)
+
+	found := n.Or(masked...)
+	for i := 0; i < width; i++ {
+		n.Output(fmt.Sprintf("m%d", i), n.And2(masked[i], n.Not(above[i])))
+	}
+	n.Output("found", found)
+
+	return &Circuit{net: n, width: width, posBits: posBits, variant: v}, nil
+}
+
+// maskStage decodes the binary position into a thermometer mask
+// (bit i set ⇔ i ≤ pos) via a one-hot decode and a log-depth suffix OR,
+// then masks the word. This front-end is identical across variants; the
+// variants differ only in the priority-resolution chain, mirroring the
+// methodology of paper reference [13].
+func maskStage(n *gate.Netlist, word, pos []gate.Signal) []gate.Signal {
+	width := len(word)
+	posBits := len(pos)
+	notPos := make([]gate.Signal, posBits)
+	for i, p := range pos {
+		notPos[i] = n.Not(p)
+	}
+	onehot := make([]gate.Signal, width)
+	for j := 0; j < width; j++ {
+		terms := make([]gate.Signal, posBits)
+		for b := 0; b < posBits; b++ {
+			if j&(1<<uint(b)) != 0 {
+				terms[b] = pos[b]
+			} else {
+				terms[b] = notPos[b]
+			}
+		}
+		onehot[j] = n.And(terms...)
+	}
+	// Suffix OR (Kogge–Stone): thermo[i] = OR_{j≥i} onehot[j].
+	thermo := make([]gate.Signal, width)
+	copy(thermo, onehot)
+	for d := 1; d < width; d <<= 1 {
+		next := make([]gate.Signal, width)
+		for i := 0; i < width; i++ {
+			if i+d < width {
+				next[i] = n.Or2(thermo[i], thermo[i+d])
+			} else {
+				next[i] = thermo[i]
+			}
+		}
+		thermo = next
+	}
+	masked := make([]gate.Signal, width)
+	for i := 0; i < width; i++ {
+		masked[i] = n.And2(word[i], thermo[i])
+	}
+	return masked
+}
+
+// buildAbove returns, for each bit i, the signal "some masked bit above i
+// is set". The construction of this chain is where the five circuit
+// variants differ.
+func buildAbove(n *gate.Netlist, masked []gate.Signal, v Variant) []gate.Signal {
+	switch v {
+	case Ripple:
+		return aboveRipple(n, masked)
+	case LookAhead:
+		return aboveLookAhead(n, masked)
+	case BlockLookAhead:
+		return aboveBlockLookAhead(n, masked)
+	case SkipLookAhead:
+		return aboveSkip(n, masked)
+	case SelectLookAhead:
+		return aboveSelect(n, masked)
+	default:
+		panic(fmt.Sprintf("matcher: unknown variant %v", v))
+	}
+}
+
+// aboveRipple is the simple ripple cell chain: one OR gate per bit,
+// critical path linear in the word width.
+func aboveRipple(n *gate.Netlist, masked []gate.Signal) []gate.Signal {
+	width := len(masked)
+	above := make([]gate.Signal, width)
+	above[width-1] = n.Const(false)
+	for i := width - 2; i >= 0; i-- {
+		above[i] = n.Or2(masked[i+1], above[i+1])
+	}
+	return above
+}
+
+// groupORs computes the OR of each groupSize-wide group as a balanced
+// tree, returning one signal per group (group 0 = bits 0..3).
+func groupORs(n *gate.Netlist, masked []gate.Signal) []gate.Signal {
+	width := len(masked)
+	groups := width / groupSize
+	g := make([]gate.Signal, groups)
+	for k := 0; k < groups; k++ {
+		g[k] = n.Or(masked[k*groupSize : (k+1)*groupSize]...)
+	}
+	return g
+}
+
+// localAboves computes, for each bit, the OR of the masked bits above it
+// within its own group, as parallel balanced trees (depth ≤ 2 for
+// 4-bit groups).
+func localAboves(n *gate.Netlist, masked []gate.Signal) []gate.Signal {
+	width := len(masked)
+	local := make([]gate.Signal, width)
+	for i := 0; i < width; i++ {
+		hi := ((i / groupSize) + 1) * groupSize
+		if i+1 >= hi {
+			local[i] = n.Const(false)
+			continue
+		}
+		local[i] = n.Or(masked[i+1 : hi]...)
+	}
+	return local
+}
+
+// aboveLookAhead is the standard look-ahead circuit: group ORs feed a
+// group-level ripple chain; within-group aboves resolve in parallel.
+// Critical path ≈ width/groupSize group stages.
+func aboveLookAhead(n *gate.Netlist, masked []gate.Signal) []gate.Signal {
+	width := len(masked)
+	groups := width / groupSize
+	g := groupORs(n, masked)
+	local := localAboves(n, masked)
+	groupAbove := make([]gate.Signal, groups)
+	groupAbove[groups-1] = n.Const(false)
+	for k := groups - 2; k >= 0; k-- {
+		groupAbove[k] = n.Or2(g[k+1], groupAbove[k+1])
+	}
+	above := make([]gate.Signal, width)
+	for i := 0; i < width; i++ {
+		above[i] = n.Or2(local[i], groupAbove[i/groupSize])
+	}
+	return above
+}
+
+// aboveBlockLookAhead adds a second look-ahead level: groups of groups
+// ("blocks") with a block-level ripple chain, cutting the chain length to
+// width/groupSize² stages.
+func aboveBlockLookAhead(n *gate.Netlist, masked []gate.Signal) []gate.Signal {
+	width := len(masked)
+	groups := width / groupSize
+	blocks := (groups + groupSize - 1) / groupSize
+	g := groupORs(n, masked)
+	local := localAboves(n, masked)
+
+	blockOR := make([]gate.Signal, blocks)
+	for b := 0; b < blocks; b++ {
+		hi := (b + 1) * groupSize
+		if hi > groups {
+			hi = groups
+		}
+		blockOR[b] = n.Or(g[b*groupSize : hi]...)
+	}
+	blockAbove := make([]gate.Signal, blocks)
+	blockAbove[blocks-1] = n.Const(false)
+	for b := blocks - 2; b >= 0; b-- {
+		blockAbove[b] = n.Or2(blockOR[b+1], blockAbove[b+1])
+	}
+	groupAbove := make([]gate.Signal, groups)
+	for k := 0; k < groups; k++ {
+		b := k / groupSize
+		hi := (b + 1) * groupSize
+		if hi > groups {
+			hi = groups
+		}
+		// Groups above k within the same block, resolved in parallel.
+		inBlock := n.Or(g[min(k+1, hi):hi]...)
+		groupAbove[k] = n.Or2(inBlock, blockAbove[b])
+	}
+	above := make([]gate.Signal, width)
+	for i := 0; i < width; i++ {
+		above[i] = n.Or2(local[i], groupAbove[i/groupSize])
+	}
+	return above
+}
+
+// aboveSkip is the carry-skip analogue: per-bit ripple cells within each
+// group, with a mux at each group boundary that bypasses the group when
+// it contains a set bit (forcing the chain output high) — minimal area,
+// chain length ≈ width/groupSize muxes plus two group ripples.
+func aboveSkip(n *gate.Netlist, masked []gate.Signal) []gate.Signal {
+	width := len(masked)
+	groups := width / groupSize
+	g := groupORs(n, masked)
+	above := make([]gate.Signal, width)
+	one := n.Const(true)
+	carry := n.Const(false) // "above" entering the current group from MSB side
+	for k := groups - 1; k >= 0; k-- {
+		hiBit := (k+1)*groupSize - 1
+		above[hiBit] = carry
+		for i := hiBit - 1; i >= k*groupSize; i-- {
+			above[i] = n.Or2(masked[i+1], above[i+1])
+		}
+		// Skip mux: if the group has any set bit, the outgoing "above"
+		// is forced high without waiting for the in-group ripple.
+		carry = n.Mux2(g[k], carry, one)
+	}
+	return above
+}
+
+// aboveSelect is the select & look-ahead circuit — the variant chosen for
+// the final architecture (paper §III-B). Group aboves are produced by a
+// log-depth suffix OR over the group ORs (the look-ahead), and each bit's
+// final value is selected by a single mux (the select), giving a
+// logarithmic critical path.
+func aboveSelect(n *gate.Netlist, masked []gate.Signal) []gate.Signal {
+	width := len(masked)
+	groups := width / groupSize
+	g := groupORs(n, masked)
+	local := localAboves(n, masked)
+
+	// Log-depth suffix OR over groups: groupAbove[k] = OR_{m>k} g[m].
+	shifted := make([]gate.Signal, groups)
+	for k := 0; k < groups-1; k++ {
+		shifted[k] = g[k+1]
+	}
+	shifted[groups-1] = n.Const(false)
+	for d := 1; d < groups; d <<= 1 {
+		next := make([]gate.Signal, groups)
+		for k := 0; k < groups; k++ {
+			if k+d < groups {
+				next[k] = n.Or2(shifted[k], shifted[k+d])
+			} else {
+				next[k] = shifted[k]
+			}
+		}
+		shifted = next
+	}
+	one := n.Const(true)
+	above := make([]gate.Signal, width)
+	for i := 0; i < width; i++ {
+		// Select: when anything above this bit's group is set the answer
+		// is 1 regardless of the local chain.
+		above[i] = n.Mux2(shifted[i/groupSize], local[i], one)
+	}
+	return above
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Width returns the circuit's word width in bits.
+func (c *Circuit) Width() int { return c.width }
+
+// Variant returns the circuit's implementation variant.
+func (c *Circuit) Variant() Variant { return c.variant }
+
+// Netlist exposes the underlying netlist for analysis.
+func (c *Circuit) Netlist() *gate.Netlist { return c.net }
+
+// Delay returns the circuit's critical path in unit gate delays.
+func (c *Circuit) Delay() int { return c.net.Delay() }
+
+// MapLUT4 returns the circuit's 4-input LUT technology mapping report.
+func (c *Circuit) MapLUT4() gate.LUTReport { return c.net.MapLUT4() }
+
+// Match simulates the circuit for the given word bits (LSB first,
+// len == Width) and target position, returning the primary match.
+func (c *Circuit) Match(word []bool, pos int) (int, bool, error) {
+	if len(word) != c.width {
+		return 0, false, fmt.Errorf("matcher: word has %d bits, circuit width %d", len(word), c.width)
+	}
+	if pos < 0 || pos >= c.width {
+		return 0, false, fmt.Errorf("matcher: position %d out of range [0,%d)", pos, c.width)
+	}
+	in := make([]bool, c.width+c.posBits)
+	copy(in, word)
+	for b := 0; b < c.posBits; b++ {
+		in[c.width+b] = pos&(1<<uint(b)) != 0
+	}
+	out, err := c.net.Eval(in)
+	if err != nil {
+		return 0, false, err
+	}
+	if !out[c.width] {
+		return 0, false, nil
+	}
+	for i := 0; i < c.width; i++ {
+		if out[i] {
+			return i, true, nil
+		}
+	}
+	return 0, false, fmt.Errorf("matcher: found asserted but no one-hot output set")
+}
+
+// MatchWord is Match for word widths up to 64 bits packed in a uint64.
+func (c *Circuit) MatchWord(word uint64, pos int) (int, bool, error) {
+	if c.width > 64 {
+		return 0, false, fmt.Errorf("matcher: MatchWord requires width ≤ 64, circuit is %d", c.width)
+	}
+	bitsIn := make([]bool, c.width)
+	for i := 0; i < c.width; i++ {
+		bitsIn[i] = word&(1<<uint(i)) != 0
+	}
+	return c.Match(bitsIn, pos)
+}

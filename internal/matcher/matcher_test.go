@@ -1,0 +1,430 @@
+package matcher
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wfqsort/internal/gate"
+)
+
+func TestClosestExamples(t *testing.T) {
+	tests := []struct {
+		name  string
+		word  uint64
+		pos   int
+		width int
+		want  Match
+	}{
+		{
+			// Paper Fig. 4, level 3 step: node holds literals {01, 11}
+			// (bits 1 and 3); searching for literal 10 (bit 2) must
+			// return the next smallest, 01 (bit 1), with no backup at
+			// lower positions... bit 1 primary, no set bit below.
+			name: "fig4 next smallest", word: 0b1010, pos: 2, width: 4,
+			want: Match{Primary: 1, PrimaryOK: true},
+		},
+		{
+			name: "exact match", word: 0b0100, pos: 2, width: 4,
+			want: Match{Primary: 2, PrimaryOK: true},
+		},
+		{
+			name: "exact match with backup", word: 0b0101, pos: 2, width: 4,
+			want: Match{Primary: 2, PrimaryOK: true, Backup: 0, BackupOK: true},
+		},
+		{
+			name: "no match below", word: 0b1000, pos: 2, width: 4,
+			want: Match{},
+		},
+		{
+			name: "empty word", word: 0, pos: 3, width: 4,
+			want: Match{},
+		},
+		{
+			name: "all set", word: 0xF, pos: 3, width: 4,
+			want: Match{Primary: 3, PrimaryOK: true, Backup: 2, BackupOK: true},
+		},
+		{
+			name: "16-bit node", word: 0x8421, pos: 12, width: 16,
+			want: Match{Primary: 10, PrimaryOK: true, Backup: 5, BackupOK: true},
+		},
+		{
+			name: "pos clamped to width", word: 0x8000, pos: 99, width: 16,
+			want: Match{Primary: 15, PrimaryOK: true},
+		},
+		{
+			name: "full width 64", word: 1 << 63, pos: 63, width: 64,
+			want: Match{Primary: 63, PrimaryOK: true},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Closest(tt.word, tt.pos, tt.width)
+			if got != tt.want {
+				t.Fatalf("Closest(%#x, %d, %d) = %+v, want %+v", tt.word, tt.pos, tt.width, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClosestInvalidArgs(t *testing.T) {
+	if got := Closest(0xF, -1, 4); got.PrimaryOK {
+		t.Errorf("negative pos matched: %+v", got)
+	}
+	if got := Closest(0xF, 3, 0); got.PrimaryOK {
+		t.Errorf("zero width matched: %+v", got)
+	}
+	if got := Closest(0xF, 3, 65); got.PrimaryOK {
+		t.Errorf("overwide matched: %+v", got)
+	}
+}
+
+func TestClosestIgnoresBitsOutsideWidth(t *testing.T) {
+	// Bits at or above width must not influence the result.
+	got := Closest(0xFF00|0b0010, 3, 4)
+	want := Match{Primary: 1, PrimaryOK: true}
+	if got != want {
+		t.Fatalf("Closest = %+v, want %+v", got, want)
+	}
+}
+
+func TestHighestSet(t *testing.T) {
+	if p, ok := HighestSet(0b0110, 4); !ok || p != 2 {
+		t.Errorf("HighestSet(0110) = %d,%v; want 2,true", p, ok)
+	}
+	if _, ok := HighestSet(0, 16); ok {
+		t.Error("HighestSet(0) reported a match")
+	}
+}
+
+// referenceClosest recomputes the primary/backup semantics independently
+// (linear scan) for property testing.
+func referenceClosest(word uint64, pos, width int) Match {
+	var m Match
+	for i := pos; i >= 0 && i < width; i-- {
+		if word&(1<<uint(i)) != 0 {
+			if !m.PrimaryOK {
+				m.Primary, m.PrimaryOK = i, true
+			} else {
+				m.Backup, m.BackupOK = i, true
+				break
+			}
+		}
+	}
+	return m
+}
+
+func TestClosestMatchesLinearScanProperty(t *testing.T) {
+	f := func(word uint64, posRaw uint8) bool {
+		pos := int(posRaw % 64)
+		return Closest(word, pos, 64) == referenceClosest(word, pos, 64)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Ripple, 6); err == nil {
+		t.Error("non-power-of-two width accepted")
+	}
+	if _, err := Build(Ripple, 4); err == nil {
+		t.Error("width below 2×group accepted")
+	}
+	if _, err := Build(Variant(0), 16); err == nil {
+		t.Error("invalid variant accepted")
+	}
+	c, err := Build(SelectLookAhead, 16)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if c.Width() != 16 || c.Variant() != SelectLookAhead {
+		t.Fatalf("circuit metadata: width=%d variant=%v", c.Width(), c.Variant())
+	}
+}
+
+// TestCircuitsMatchBehavioralExhaustive checks every variant at width 8
+// against the behavioral matcher for all 256 words × 8 positions.
+func TestCircuitsMatchBehavioralExhaustive(t *testing.T) {
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			c, err := Build(v, 8)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			for word := uint64(0); word < 256; word++ {
+				for pos := 0; pos < 8; pos++ {
+					gotPos, gotOK, err := c.MatchWord(word, pos)
+					if err != nil {
+						t.Fatalf("MatchWord(%#x,%d): %v", word, pos, err)
+					}
+					want := Closest(word, pos, 8)
+					if gotOK != want.PrimaryOK || (gotOK && gotPos != want.Primary) {
+						t.Fatalf("%v MatchWord(%#08b, %d) = %d,%v; want %d,%v",
+							v, word, pos, gotPos, gotOK, want.Primary, want.PrimaryOK)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCircuitsMatchBehavioral16 randomly samples the 16-bit node size used
+// in the real implementation.
+func TestCircuitsMatchBehavioral16(t *testing.T) {
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			c, err := Build(v, 16)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			f := func(word uint16, posRaw uint8) bool {
+				pos := int(posRaw % 16)
+				gotPos, gotOK, err := c.MatchWord(uint64(word), pos)
+				if err != nil {
+					return false
+				}
+				want := Closest(uint64(word), pos, 16)
+				return gotOK == want.PrimaryOK && (!gotOK || gotPos == want.Primary)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCircuitMatch32Sampled(t *testing.T) {
+	c, err := Build(SelectLookAhead, 32)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	f := func(word uint32, posRaw uint8) bool {
+		pos := int(posRaw % 32)
+		gotPos, gotOK, err := c.MatchWord(uint64(word), pos)
+		if err != nil {
+			return false
+		}
+		want := Closest(uint64(word), pos, 32)
+		return gotOK == want.PrimaryOK && (!gotOK || gotPos == want.Primary)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchArgumentErrors(t *testing.T) {
+	c, err := Build(Ripple, 8)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, _, err := c.Match(make([]bool, 7), 0); err == nil {
+		t.Error("wrong word length accepted")
+	}
+	if _, _, err := c.Match(make([]bool, 8), 8); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	if _, _, err := c.Match(make([]bool, 8), -1); err == nil {
+		t.Error("negative position accepted")
+	}
+}
+
+func TestMatchWordWidthLimit(t *testing.T) {
+	c, err := Build(SelectLookAhead, 128)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, _, err := c.MatchWord(1, 0); err == nil {
+		t.Error("MatchWord accepted width 128")
+	}
+	// But Match with an explicit bit slice works.
+	word := make([]bool, 128)
+	word[100] = true
+	pos, ok, err := c.Match(word, 127)
+	if err != nil || !ok || pos != 100 {
+		t.Fatalf("Match(128-bit) = %d,%v,%v; want 100,true,nil", pos, ok, err)
+	}
+}
+
+// TestDelayOrdering verifies the paper's Fig. 7 shape: ripple is the
+// slowest and select & look-ahead the fastest at every width, with the
+// gap growing with width.
+func TestDelayOrdering(t *testing.T) {
+	for _, width := range []int{16, 32, 64, 128} {
+		delays := make(map[Variant]int, 5)
+		for _, v := range Variants() {
+			c, err := Build(v, width)
+			if err != nil {
+				t.Fatalf("Build(%v,%d): %v", v, width, err)
+			}
+			delays[v] = c.Delay()
+		}
+		if delays[SelectLookAhead] >= delays[Ripple] {
+			t.Errorf("width %d: select&LA delay %d not better than ripple %d",
+				width, delays[SelectLookAhead], delays[Ripple])
+		}
+		if delays[LookAhead] >= delays[Ripple] {
+			t.Errorf("width %d: look-ahead delay %d not better than ripple %d",
+				width, delays[LookAhead], delays[Ripple])
+		}
+		// The second look-ahead level only pays off once there are
+		// several blocks to chain across (the Fig. 7 curves cross).
+		if width >= 64 && delays[BlockLookAhead] > delays[LookAhead] {
+			t.Errorf("width %d: block LA delay %d worse than plain LA %d",
+				width, delays[BlockLookAhead], delays[LookAhead])
+		}
+	}
+}
+
+// TestRippleDelayLinear verifies ripple delay grows linearly with width
+// while select & look-ahead grows sub-linearly (Fig. 7 divergence).
+func TestDelayGrowthShapes(t *testing.T) {
+	d := func(v Variant, w int) int {
+		c, err := Build(v, w)
+		if err != nil {
+			t.Fatalf("Build(%v,%d): %v", v, w, err)
+		}
+		return c.Delay()
+	}
+	rippleGrowth := d(Ripple, 128) - d(Ripple, 16)
+	selectGrowth := d(SelectLookAhead, 128) - d(SelectLookAhead, 16)
+	if rippleGrowth < 100 {
+		t.Errorf("ripple growth 16→128 bits = %d, want ≈112 (linear)", rippleGrowth)
+	}
+	if selectGrowth > 12 {
+		t.Errorf("select&LA growth 16→128 bits = %d, want ≤12 (logarithmic)", selectGrowth)
+	}
+}
+
+// TestAreaOrdering verifies the Fig. 8 shape: ripple is the smallest
+// circuit and the accelerated variants pay area for speed.
+func TestAreaOrdering(t *testing.T) {
+	for _, width := range []int{16, 64} {
+		luts := make(map[Variant]int, 5)
+		for _, v := range Variants() {
+			c, err := Build(v, width)
+			if err != nil {
+				t.Fatalf("Build(%v,%d): %v", v, width, err)
+			}
+			luts[v] = c.MapLUT4().LUTs
+		}
+		if luts[Ripple] > luts[LookAhead] {
+			t.Errorf("width %d: ripple LUTs %d exceed look-ahead %d", width, luts[Ripple], luts[LookAhead])
+		}
+		for v, n := range luts {
+			if n <= 0 {
+				t.Errorf("width %d: variant %v mapped to %d LUTs", width, v, n)
+			}
+		}
+	}
+}
+
+// TestDedupPreservesMatchers runs the CSE pass over every variant and
+// verifies function preservation plus a meaningful gate-count reduction
+// (the mask stage's decode logic is highly shareable).
+func TestDedupPreservesMatchers(t *testing.T) {
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			c, err := Build(v, 8)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			orig := c.Netlist()
+			opt := orig.Dedup()
+			eq, cex, err := gate.Equivalent(orig, opt)
+			if err != nil {
+				t.Fatalf("Equivalent: %v", err)
+			}
+			if !eq {
+				t.Fatalf("dedup changed %v on input %v", v, cex)
+			}
+			if opt.NumGates() >= orig.NumGates() {
+				t.Fatalf("dedup found no sharing: %d → %d gates", orig.NumGates(), opt.NumGates())
+			}
+		})
+	}
+}
+
+// TestAllVariantsFormallyEquivalent exhaustively proves all five circuit
+// variants compute the identical function at width 8 (11 inputs → 2048
+// assignments), using the netlist equivalence checker — five structures,
+// one closest-match function.
+func TestAllVariantsFormallyEquivalent(t *testing.T) {
+	variants := Variants()
+	nets := make([]*Circuit, len(variants))
+	for i, v := range variants {
+		c, err := Build(v, 8)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", v, err)
+		}
+		nets[i] = c
+	}
+	for i := 0; i < len(nets); i++ {
+		for j := i + 1; j < len(nets); j++ {
+			eq, cex, err := gate.Equivalent(nets[i].Netlist(), nets[j].Netlist())
+			if err != nil {
+				t.Fatalf("%v vs %v: %v", variants[i], variants[j], err)
+			}
+			if !eq {
+				t.Fatalf("%v and %v differ on input %v", variants[i], variants[j], cex)
+			}
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	for _, v := range Variants() {
+		if v.String() == "" {
+			t.Errorf("variant %d has empty name", int(v))
+		}
+	}
+	if got := Variant(42).String(); got != "variant(42)" {
+		t.Errorf("unknown variant name = %q", got)
+	}
+}
+
+// TestPaper16BitReference cross-checks that the behavioral matcher and
+// all circuits agree on the exact 16-bit node words used in the paper's
+// Fig. 4 walkthrough.
+func TestPaper16BitReference(t *testing.T) {
+	// The root node of Fig. 4 stores literals {00, 11} → bits 0 and 3 of
+	// a 4-bit node, scaled here onto a 16-bit node as bits 0 and 12.
+	word := uint64(1<<0 | 1<<12)
+	for _, v := range Variants() {
+		c, err := Build(v, 16)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		for pos := 0; pos < 16; pos++ {
+			got, ok, err := c.MatchWord(word, pos)
+			if err != nil {
+				t.Fatalf("MatchWord: %v", err)
+			}
+			want := Closest(word, pos, 16)
+			if ok != want.PrimaryOK || (ok && got != want.Primary) {
+				t.Fatalf("%v pos %d: got %d,%v want %d,%v", v, pos, got, ok, want.Primary, want.PrimaryOK)
+			}
+		}
+	}
+}
+
+func BenchmarkClosestBehavioral(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Closest(uint64(i)*0x9E3779B97F4A7C15, i&15, 16)
+	}
+}
+
+func BenchmarkCircuitEval16(b *testing.B) {
+	c, err := Build(SelectLookAhead, 16)
+	if err != nil {
+		b.Fatalf("Build: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.MatchWord(uint64(i)&0xFFFF, i&15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package metrics computes the evaluation statistics used across the
+// experiments: per-flow delay distributions against the GPS reference,
+// Jain's fairness index over throughput shares, service-order inversion
+// counts (for the binning/TCQ accuracy comparison), and summary
+// statistics helpers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"wfqsort/internal/schedulers"
+)
+
+// DelayStats summarizes a delay sample.
+type DelayStats struct {
+	Count int
+	Mean  float64
+	Max   float64
+	P99   float64
+}
+
+// Summarize computes delay statistics over a sample.
+func Summarize(delays []float64) DelayStats {
+	if len(delays) == 0 {
+		return DelayStats{}
+	}
+	s := make([]float64, len(delays))
+	copy(s, delays)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, d := range s {
+		sum += d
+	}
+	idx := (len(s) * 99) / 100
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return DelayStats{
+		Count: len(s),
+		Mean:  sum / float64(len(s)),
+		Max:   s[len(s)-1],
+		P99:   s[idx],
+	}
+}
+
+// QueueingDelays returns each packet's queueing+transmission delay
+// (finish − arrival) grouped per flow.
+func QueueingDelays(deps []schedulers.Departure, flows int) ([][]float64, error) {
+	out := make([][]float64, flows)
+	for _, d := range deps {
+		if d.Packet.Flow < 0 || d.Packet.Flow >= flows {
+			return nil, fmt.Errorf("metrics: flow %d out of range [0,%d)", d.Packet.Flow, flows)
+		}
+		out[d.Packet.Flow] = append(out[d.Packet.Flow], d.Finish-d.Packet.Arrival)
+	}
+	return out, nil
+}
+
+// GPSRelativeDelays returns finish(scheduler) − finish(GPS) per packet,
+// grouped per flow — the quantity WFQ bounds by one maximum packet time
+// and the round-robin family does not.
+func GPSRelativeDelays(deps []schedulers.Departure, gpsFinish []float64, flows int) ([][]float64, error) {
+	out := make([][]float64, flows)
+	for _, d := range deps {
+		if d.Packet.Flow < 0 || d.Packet.Flow >= flows {
+			return nil, fmt.Errorf("metrics: flow %d out of range [0,%d)", d.Packet.Flow, flows)
+		}
+		if d.Packet.ID < 0 || d.Packet.ID >= len(gpsFinish) {
+			return nil, fmt.Errorf("metrics: packet ID %d outside GPS result (%d)", d.Packet.ID, len(gpsFinish))
+		}
+		out[d.Packet.Flow] = append(out[d.Packet.Flow], d.Finish-gpsFinish[d.Packet.ID])
+	}
+	return out, nil
+}
+
+// MaxGPSLag returns the largest scheduler-vs-GPS finish gap across all
+// packets (the paper's "within one packet transmission time" metric).
+func MaxGPSLag(deps []schedulers.Departure, gpsFinish []float64) (float64, error) {
+	max := math.Inf(-1)
+	for _, d := range deps {
+		if d.Packet.ID < 0 || d.Packet.ID >= len(gpsFinish) {
+			return 0, fmt.Errorf("metrics: packet ID %d outside GPS result (%d)", d.Packet.ID, len(gpsFinish))
+		}
+		if lag := d.Finish - gpsFinish[d.Packet.ID]; lag > max {
+			max = lag
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0, nil
+	}
+	return max, nil
+}
+
+// ThroughputShares returns each flow's share of bits served within the
+// window [0, horizon] (bits on the wire by then).
+func ThroughputShares(deps []schedulers.Departure, flows int, horizon float64) ([]float64, error) {
+	bits := make([]float64, flows)
+	total := 0.0
+	for _, d := range deps {
+		if d.Packet.Flow < 0 || d.Packet.Flow >= flows {
+			return nil, fmt.Errorf("metrics: flow %d out of range [0,%d)", d.Packet.Flow, flows)
+		}
+		if d.Finish > horizon {
+			continue
+		}
+		bits[d.Packet.Flow] += d.Packet.Bits()
+		total += d.Packet.Bits()
+	}
+	if total == 0 {
+		return bits, nil
+	}
+	for f := range bits {
+		bits[f] /= total
+	}
+	return bits, nil
+}
+
+// JainIndex computes Jain's fairness index over normalized allocations
+// x_i/w_i: 1.0 is perfectly weighted-fair, 1/n is maximally unfair.
+func JainIndex(alloc, weights []float64) (float64, error) {
+	if len(alloc) != len(weights) || len(alloc) == 0 {
+		return 0, fmt.Errorf("metrics: jain: %d allocations vs %d weights", len(alloc), len(weights))
+	}
+	sum, sumSq := 0.0, 0.0
+	for i := range alloc {
+		if weights[i] <= 0 {
+			return 0, fmt.Errorf("metrics: jain: weight %d is %v", i, weights[i])
+		}
+		x := alloc[i] / weights[i]
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0, nil
+	}
+	n := float64(len(alloc))
+	return sum * sum / (n * sumSq), nil
+}
+
+// Histogram is a fixed-bin histogram over [Min, Max); out-of-range
+// samples clamp to the edge bins.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	total    int
+}
+
+// NewHistogram builds a histogram with bins equal-width buckets.
+func NewHistogram(min, max float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("metrics: bins %d must be positive", bins)
+	}
+	if max <= min {
+		return nil, fmt.Errorf("metrics: range [%v,%v) is empty", min, max)
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	idx := int((v - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the sample count.
+func (h *Histogram) Total() int { return h.total }
+
+// Render draws the histogram as fixed-width ASCII rows, one per bin,
+// scaled so the fullest bin spans width characters.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	peak := 0
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	binWidth := (h.Max - h.Min) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := 0
+		if peak > 0 {
+			bar = c * width / peak
+		}
+		fmt.Fprintf(&b, "%10.4g │%-*s %d\n", h.Min+float64(i)*binWidth, width, strings.Repeat("█", bar), c)
+	}
+	return b.String()
+}
+
+// Inversions counts adjacent-pair service-order violations: the number of
+// consecutive departure pairs whose keys are out of order. Used to
+// quantify the sorting inaccuracy of the binning/TCQ approximations
+// (paper §II-B: binning "aggregates values together in groups and is
+// inherently inaccurate").
+func Inversions(keys []float64) int {
+	count := 0
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			count++
+		}
+	}
+	return count
+}
+
+// TotalInversions counts all out-of-order pairs (O(n log n) merge count).
+func TotalInversions(keys []float64) int64 {
+	buf := make([]float64, len(keys))
+	work := make([]float64, len(keys))
+	copy(work, keys)
+	return mergeCount(work, buf)
+}
+
+func mergeCount(a, buf []float64) int64 {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	count := mergeCount(a[:mid], buf[:mid]) + mergeCount(a[mid:], buf[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if a[i] <= a[j] {
+			buf[k] = a[i]
+			i++
+		} else {
+			count += int64(mid - i)
+			buf[k] = a[j]
+			j++
+		}
+		k++
+	}
+	copy(buf[k:], a[i:mid])
+	copy(buf[k+mid-i:], a[j:n])
+	copy(a, buf[:n])
+	return count
+}

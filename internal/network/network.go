@@ -1,0 +1,131 @@
+// Package network chains per-link schedulers into a multi-hop path and
+// measures end-to-end delay — the property the paper's introduction
+// promises ("a worst case end-to-end queueing delay to be guaranteed for
+// all connections", §I-B). Under WFQ at every hop with a session
+// reserved rate φ·C ≥ r and (r, b)-conforming ingress traffic, the
+// Parekh–Gallager network calculus bounds the end-to-end delay by
+//
+//	D ≤ b/g + (H−1)·Lflow/g + Σ_h Lmax/C_h
+//
+// for g = min hop reservation, H hops, Lflow the flow's own maximum
+// packet and Lmax the link MTU. The package runs any Discipline at each
+// hop, so the same topology quantifies how the round-robin family's
+// per-hop jitter compounds.
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"wfqsort/internal/packet"
+	"wfqsort/internal/schedulers"
+)
+
+// Hop is one output link on the path.
+type Hop struct {
+	// Name labels the hop in results.
+	Name string
+	// CapacityBps is the link rate.
+	CapacityBps float64
+	// NewDiscipline constructs a fresh discipline instance for the hop
+	// (schedulers are stateful, so each hop needs its own).
+	NewDiscipline func() (schedulers.Discipline, error)
+}
+
+// Path is a chain of hops all flows traverse in order.
+type Path struct {
+	hops []Hop
+}
+
+// NewPath builds a path.
+func NewPath(hops ...Hop) (*Path, error) {
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("network: no hops")
+	}
+	for i, h := range hops {
+		if h.CapacityBps <= 0 {
+			return nil, fmt.Errorf("network: hop %d (%s) capacity %v must be positive", i, h.Name, h.CapacityBps)
+		}
+		if h.NewDiscipline == nil {
+			return nil, fmt.Errorf("network: hop %d (%s) has no discipline factory", i, h.Name)
+		}
+	}
+	p := &Path{hops: make([]Hop, len(hops))}
+	copy(p.hops, hops)
+	return p, nil
+}
+
+// Result holds per-hop departures and end-to-end timings.
+type Result struct {
+	// PerHop[h] is hop h's departure record.
+	PerHop [][]schedulers.Departure
+	// EndToEnd[id] is the packet's final-hop finish minus its original
+	// arrival.
+	EndToEnd []float64
+}
+
+// Run sends the arrival trace through every hop in sequence: each hop's
+// departure times are the next hop's arrival times.
+func (p *Path) Run(arrivals []packet.Packet) (*Result, error) {
+	cur := make([]packet.Packet, len(arrivals))
+	copy(cur, arrivals)
+	maxID := -1
+	for _, pk := range arrivals {
+		if pk.ID > maxID {
+			maxID = pk.ID
+		}
+	}
+	origByID := make([]float64, maxID+1)
+	for _, pk := range arrivals {
+		origByID[pk.ID] = pk.Arrival
+	}
+
+	res := &Result{PerHop: make([][]schedulers.Departure, len(p.hops))}
+	for h, hop := range p.hops {
+		d, err := hop.NewDiscipline()
+		if err != nil {
+			return nil, fmt.Errorf("network: hop %d (%s): %w", h, hop.Name, err)
+		}
+		deps, err := schedulers.Run(cur, d, hop.CapacityBps)
+		if err != nil {
+			return nil, fmt.Errorf("network: hop %d (%s): %w", h, hop.Name, err)
+		}
+		res.PerHop[h] = deps
+		// Next hop's arrivals are this hop's departures.
+		next := make([]packet.Packet, len(deps))
+		for i, dep := range deps {
+			pk := dep.Packet
+			pk.Arrival = dep.Finish
+			next[i] = pk
+		}
+		sort.SliceStable(next, func(a, b int) bool { return next[a].Arrival < next[b].Arrival })
+		cur = next
+	}
+	res.EndToEnd = make([]float64, maxID+1)
+	last := res.PerHop[len(p.hops)-1]
+	for _, dep := range last {
+		res.EndToEnd[dep.Packet.ID] = dep.Finish - origByID[dep.Packet.ID]
+	}
+	return res, nil
+}
+
+// WFQEndToEndBound returns the Parekh–Gallager end-to-end delay bound
+// for an (rBps, burstBits)-conforming flow with per-hop reserved rate
+// gBps ≥ rBps across hops links of capacity capsBps, flow maximum packet
+// flowMaxBits and link MTU mtuBits.
+func WFQEndToEndBound(burstBits, flowMaxBits, gBps float64, capsBps []float64, mtuBits float64) (float64, error) {
+	if gBps <= 0 {
+		return 0, fmt.Errorf("network: reserved rate %v must be positive", gBps)
+	}
+	if len(capsBps) == 0 {
+		return 0, fmt.Errorf("network: no hops")
+	}
+	d := burstBits/gBps + float64(len(capsBps)-1)*flowMaxBits/gBps
+	for _, c := range capsBps {
+		if c <= 0 {
+			return 0, fmt.Errorf("network: hop capacity %v must be positive", c)
+		}
+		d += mtuBits / c
+	}
+	return d, nil
+}

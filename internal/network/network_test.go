@@ -1,0 +1,210 @@
+package network
+
+import (
+	"testing"
+
+	"wfqsort/internal/packet"
+	"wfqsort/internal/police"
+	"wfqsort/internal/schedulers"
+	"wfqsort/internal/traffic"
+)
+
+func wfqHop(name string, weights []float64, capacity float64) Hop {
+	return Hop{
+		Name:        name,
+		CapacityBps: capacity,
+		NewDiscipline: func() (schedulers.Discipline, error) {
+			return schedulers.NewWFQ(weights, capacity)
+		},
+	}
+}
+
+func TestNewPathValidation(t *testing.T) {
+	if _, err := NewPath(); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := NewPath(Hop{Name: "x", CapacityBps: 0, NewDiscipline: nil}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewPath(Hop{Name: "x", CapacityBps: 1e6}); err == nil {
+		t.Error("missing factory accepted")
+	}
+}
+
+func TestBoundValidation(t *testing.T) {
+	if _, err := WFQEndToEndBound(1, 1, 0, []float64{1e6}, 1); err == nil {
+		t.Error("zero reservation accepted")
+	}
+	if _, err := WFQEndToEndBound(1, 1, 1e5, nil, 1); err == nil {
+		t.Error("no hops accepted")
+	}
+	if _, err := WFQEndToEndBound(1, 1, 1e5, []float64{0}, 1); err == nil {
+		t.Error("zero hop capacity accepted")
+	}
+}
+
+// TestEndToEndDelayBound is the paper's §I promise, executed: a shaped
+// voice flow crossing three WFQ hops, each congested by local cross
+// traffic, stays within the Parekh–Gallager end-to-end bound.
+func TestEndToEndDelayBound(t *testing.T) {
+	const (
+		capacity = 2e6
+		hops     = 3
+	)
+	// Voice flow 0: shaped to (64 kb/s, 4 kbit burst), 160-byte packets.
+	bucket := police.Bucket{RateBps: 64e3, BurstBits: 4000}
+	voice, err := traffic.NewCBR(0, 64e3, 160, 200, 0)
+	if err != nil {
+		t.Fatalf("NewCBR: %v", err)
+	}
+	// Cross traffic flows 1-2 saturate every hop.
+	bulk1, err := traffic.NewCBR(1, 1.5e6, 1500, 400, 0)
+	if err != nil {
+		t.Fatalf("NewCBR: %v", err)
+	}
+	bulk2, err := traffic.NewPoisson(2, 120, traffic.IMIX{}, 400, 9)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	pkts, err := traffic.Merge(voice, bulk1, bulk2)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	shaped, err := police.ShapeTrace(pkts, map[int]police.Bucket{0: bucket})
+	if err != nil {
+		t.Fatalf("ShapeTrace: %v", err)
+	}
+
+	// Reserve 10% of each hop for voice: g = 200 kb/s ≥ r = 64 kb/s.
+	weights := []float64{0.1, 0.6, 0.3}
+	var hopList []Hop
+	caps := make([]float64, hops)
+	for h := 0; h < hops; h++ {
+		hopList = append(hopList, wfqHop("hop", weights, capacity))
+		caps[h] = capacity
+	}
+	path, err := NewPath(hopList...)
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	res, err := path.Run(shaped)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	g := weights[0] * capacity
+	bound, err := WFQEndToEndBound(bucket.BurstBits, 160*8, g, caps, 1500*8)
+	if err != nil {
+		t.Fatalf("WFQEndToEndBound: %v", err)
+	}
+	worst := 0.0
+	for _, p := range shaped {
+		if p.Flow != 0 {
+			continue
+		}
+		if d := res.EndToEnd[p.ID]; d > worst {
+			worst = d
+		}
+	}
+	if worst > bound {
+		t.Fatalf("voice end-to-end delay %v exceeds Parekh–Gallager bound %v", worst, bound)
+	}
+	if worst <= 0 {
+		t.Fatal("no voice packets measured")
+	}
+}
+
+// TestFIFOJitterCompounds: the same topology under FIFO hops blows
+// through the WFQ bound — per-hop interference accumulates.
+func TestFIFOJitterCompounds(t *testing.T) {
+	const capacity = 2e6
+	voice, err := traffic.NewCBR(0, 64e3, 160, 100, 0)
+	if err != nil {
+		t.Fatalf("NewCBR: %v", err)
+	}
+	// Bursty bulk traffic: on/off peaks far above the line rate, so a
+	// FIFO queue builds up behind each burst.
+	bulk, err := traffic.NewOnOff(1, 2000, 0.05, 0.05, traffic.FixedSize(1500), 500, 2)
+	if err != nil {
+		t.Fatalf("NewOnOff: %v", err)
+	}
+	pkts, err := traffic.Merge(voice, bulk)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	var hopsF []Hop
+	for h := 0; h < 3; h++ {
+		cap := capacity
+		hopsF = append(hopsF, Hop{
+			Name:        "fifo-hop",
+			CapacityBps: cap,
+			NewDiscipline: func() (schedulers.Discipline, error) {
+				return schedulers.NewFIFO(), nil
+			},
+		})
+	}
+	path, err := NewPath(hopsF...)
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	res, err := path.Run(pkts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bound, err := WFQEndToEndBound(4000, 160*8, 0.1*capacity, []float64{capacity, capacity, capacity}, 1500*8)
+	if err != nil {
+		t.Fatalf("WFQEndToEndBound: %v", err)
+	}
+	worst := 0.0
+	for _, p := range pkts {
+		if p.Flow != 0 {
+			continue
+		}
+		if d := res.EndToEnd[p.ID]; d > worst {
+			worst = d
+		}
+	}
+	if worst <= bound {
+		t.Fatalf("FIFO end-to-end delay %v within the WFQ bound %v — congestion too light to differentiate", worst, bound)
+	}
+}
+
+// TestPerHopRecordsConsistent: conservation across hops — every packet
+// appears exactly once per hop and timestamps are causal.
+func TestPerHopRecordsConsistent(t *testing.T) {
+	src, err := traffic.NewPoisson(0, 300, traffic.FixedSize(500), 200, 4)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	pkts, err := traffic.Merge(src)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	path, err := NewPath(
+		wfqHop("a", []float64{1}, 2e6),
+		wfqHop("b", []float64{1}, 1.8e6),
+	)
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	res, err := path.Run(pkts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	finishAt := make(map[int]float64, len(pkts))
+	for _, dep := range res.PerHop[0] {
+		finishAt[dep.Packet.ID] = dep.Finish
+	}
+	for _, dep := range res.PerHop[1] {
+		if dep.Start < finishAt[dep.Packet.ID]-1e-9 {
+			t.Fatalf("packet %d served at hop 2 (%v) before leaving hop 1 (%v)",
+				dep.Packet.ID, dep.Start, finishAt[dep.Packet.ID])
+		}
+	}
+	for h, deps := range res.PerHop {
+		if len(deps) != len(pkts) {
+			t.Fatalf("hop %d served %d of %d", h, len(deps), len(pkts))
+		}
+	}
+	_ = packet.Packet{}
+}

@@ -1,0 +1,123 @@
+// Package packet defines the packet and flow abstractions shared by the
+// scheduler components, and the shared packet buffer of paper Fig. 1
+// (reference [9]): arriving packets are stored in a common memory and the
+// tag sort/retrieve circuit holds only a pointer to each packet's slot.
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBufferFull is returned when the shared buffer has no free slot.
+var ErrBufferFull = errors.New("packet: shared buffer full")
+
+// Packet is one IP packet traversing the scheduler.
+type Packet struct {
+	// ID is a monotonically increasing arrival sequence number.
+	ID int
+	// Flow identifies the session (virtual queue) the packet belongs to.
+	Flow int
+	// Size is the packet length in bytes.
+	Size int
+	// Arrival is the arrival time in seconds.
+	Arrival float64
+}
+
+// Bits returns the packet length in bits.
+func (p Packet) Bits() float64 { return float64(p.Size) * 8 }
+
+// Flow describes one session's QoS contract.
+type FlowDesc struct {
+	// Weight is the WFQ weight φ (share of link bandwidth).
+	Weight float64
+	// Name labels the flow in reports.
+	Name string
+}
+
+// Buffer is the shared packet buffer: a slot array with an embedded free
+// list, mirroring the shared-memory switch buffer of paper reference [9].
+type Buffer struct {
+	slots    []Packet
+	next     []int // free-list chaining
+	live     []bool
+	freeHead int
+	used     int
+	peakUsed int
+	stores   uint64
+	loads    uint64
+}
+
+// NewBuffer builds a buffer with the given number of packet slots.
+func NewBuffer(slots int) (*Buffer, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("packet: buffer slots %d must be positive", slots)
+	}
+	b := &Buffer{
+		slots:    make([]Packet, slots),
+		next:     make([]int, slots),
+		live:     make([]bool, slots),
+		freeHead: 0,
+	}
+	for i := range b.next {
+		b.next[i] = i + 1 // slots-th entry = sentinel "none"
+	}
+	return b, nil
+}
+
+// Store places p in a free slot and returns the slot index (the pointer
+// stored alongside the packet's tag in the sort/retrieve circuit).
+func (b *Buffer) Store(p Packet) (int, error) {
+	if b.freeHead >= len(b.slots) {
+		return 0, ErrBufferFull
+	}
+	slot := b.freeHead
+	b.freeHead = b.next[slot]
+	b.slots[slot] = p
+	b.live[slot] = true
+	b.used++
+	if b.used > b.peakUsed {
+		b.peakUsed = b.used
+	}
+	b.stores++
+	return slot, nil
+}
+
+// Load returns the packet in slot and releases the slot (packet
+// departure).
+func (b *Buffer) Load(slot int) (Packet, error) {
+	if slot < 0 || slot >= len(b.slots) {
+		return Packet{}, fmt.Errorf("packet: slot %d out of range [0,%d)", slot, len(b.slots))
+	}
+	if !b.live[slot] {
+		return Packet{}, fmt.Errorf("packet: load of free slot %d", slot)
+	}
+	p := b.slots[slot]
+	b.slots[slot] = Packet{}
+	b.live[slot] = false
+	b.next[slot] = b.freeHead
+	b.freeHead = slot
+	b.used--
+	b.loads++
+	return p, nil
+}
+
+// Peek returns the packet in slot without releasing it.
+func (b *Buffer) Peek(slot int) (Packet, error) {
+	if slot < 0 || slot >= len(b.slots) {
+		return Packet{}, fmt.Errorf("packet: slot %d out of range [0,%d)", slot, len(b.slots))
+	}
+	if !b.live[slot] {
+		return Packet{}, fmt.Errorf("packet: peek of free slot %d", slot)
+	}
+	return b.slots[slot], nil
+}
+
+// Used returns the current slot occupancy.
+func (b *Buffer) Used() int { return b.used }
+
+// PeakUsed returns the high-water occupancy.
+func (b *Buffer) PeakUsed() int { return b.peakUsed }
+
+// Capacity returns the slot count.
+func (b *Buffer) Capacity() int { return len(b.slots) }

@@ -1,0 +1,122 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBufferStoreLoad(t *testing.T) {
+	b, err := NewBuffer(4)
+	if err != nil {
+		t.Fatalf("NewBuffer: %v", err)
+	}
+	p := Packet{ID: 1, Flow: 2, Size: 100, Arrival: 0.5}
+	slot, err := b.Store(p)
+	if err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	got, err := b.Peek(slot)
+	if err != nil || got != p {
+		t.Fatalf("Peek = %+v, %v; want %+v", got, err, p)
+	}
+	got, err = b.Load(slot)
+	if err != nil || got != p {
+		t.Fatalf("Load = %+v, %v; want %+v", got, err, p)
+	}
+	if b.Used() != 0 {
+		t.Fatalf("Used = %d after load, want 0", b.Used())
+	}
+}
+
+func TestBufferValidation(t *testing.T) {
+	if _, err := NewBuffer(0); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := NewBuffer(-1); err == nil {
+		t.Error("negative slots accepted")
+	}
+}
+
+func TestBufferFull(t *testing.T) {
+	b, err := NewBuffer(2)
+	if err != nil {
+		t.Fatalf("NewBuffer: %v", err)
+	}
+	if _, err := b.Store(Packet{ID: 1}); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if _, err := b.Store(Packet{ID: 2}); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if _, err := b.Store(Packet{ID: 3}); !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("Store into full buffer = %v, want ErrBufferFull", err)
+	}
+}
+
+func TestBufferDoubleFree(t *testing.T) {
+	b, err := NewBuffer(2)
+	if err != nil {
+		t.Fatalf("NewBuffer: %v", err)
+	}
+	slot, _ := b.Store(Packet{ID: 1})
+	if _, err := b.Load(slot); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, err := b.Load(slot); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if _, err := b.Peek(slot); err == nil {
+		t.Fatal("peek of free slot accepted")
+	}
+}
+
+func TestBufferRangeErrors(t *testing.T) {
+	b, _ := NewBuffer(2)
+	if _, err := b.Load(-1); err == nil {
+		t.Error("negative slot accepted")
+	}
+	if _, err := b.Load(2); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if _, err := b.Peek(5); err == nil {
+		t.Error("out-of-range peek accepted")
+	}
+}
+
+func TestBufferReuseAndPeak(t *testing.T) {
+	b, _ := NewBuffer(3)
+	slots := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		s1, err := b.Store(Packet{ID: i})
+		if err != nil {
+			t.Fatalf("Store: %v", err)
+		}
+		s2, err := b.Store(Packet{ID: i + 100})
+		if err != nil {
+			t.Fatalf("Store: %v", err)
+		}
+		slots[s1], slots[s2] = true, true
+		if _, err := b.Load(s1); err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if _, err := b.Load(s2); err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+	}
+	if len(slots) > 3 {
+		t.Fatalf("used %d distinct slots, capacity 3", len(slots))
+	}
+	if b.PeakUsed() != 2 {
+		t.Fatalf("PeakUsed = %d, want 2", b.PeakUsed())
+	}
+	if b.Capacity() != 3 {
+		t.Fatalf("Capacity = %d, want 3", b.Capacity())
+	}
+}
+
+func TestPacketBits(t *testing.T) {
+	p := Packet{Size: 140}
+	if p.Bits() != 1120 {
+		t.Fatalf("Bits = %v, want 1120", p.Bits())
+	}
+}

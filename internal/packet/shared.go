@@ -1,0 +1,117 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrQueueOverThreshold is returned by SharedBuffer.Admit when the
+// target queue exceeds its dynamic threshold while the memory is
+// contended.
+var ErrQueueOverThreshold = errors.New("packet: queue over dynamic threshold")
+
+// SharedBuffer models the shared-memory packet buffer of paper
+// reference [9] (O'Kane/Toal/Sezer): one slot pool shared by many
+// logical queues, with the classic dynamic-threshold admission policy
+// (Choudhury–Hahne): a queue may grow to at most α × (free slots), so
+// idle queues' memory is lent to busy ones but no queue can starve the
+// rest under congestion.
+type SharedBuffer struct {
+	buf      *Buffer
+	alpha    float64
+	queueLen []int
+	drops    []uint64
+	admitted []uint64
+}
+
+// NewSharedBuffer builds a shared buffer of the given slot count for
+// queues logical queues with dynamic-threshold factor alpha (typical
+// values 0.5–2; larger is more permissive).
+func NewSharedBuffer(slots, queues int, alpha float64) (*SharedBuffer, error) {
+	if queues <= 0 {
+		return nil, fmt.Errorf("packet: queues %d must be positive", queues)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("packet: alpha %v must be positive", alpha)
+	}
+	buf, err := NewBuffer(slots)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedBuffer{
+		buf:      buf,
+		alpha:    alpha,
+		queueLen: make([]int, queues),
+		drops:    make([]uint64, queues),
+		admitted: make([]uint64, queues),
+	}, nil
+}
+
+// Admit stores p in the shared memory under its flow's queue accounting
+// if the dynamic threshold allows, returning the slot. A rejected packet
+// is counted against its queue's drop counter.
+func (b *SharedBuffer) Admit(p Packet) (int, error) {
+	q := p.Flow
+	if q < 0 || q >= len(b.queueLen) {
+		return 0, fmt.Errorf("packet: queue %d out of range [0,%d)", q, len(b.queueLen))
+	}
+	free := b.buf.Capacity() - b.buf.Used()
+	threshold := b.alpha * float64(free)
+	if float64(b.queueLen[q]) >= threshold {
+		b.drops[q]++
+		return 0, fmt.Errorf("%w: queue %d at %d, threshold %.1f", ErrQueueOverThreshold, q, b.queueLen[q], threshold)
+	}
+	slot, err := b.buf.Store(p)
+	if err != nil {
+		b.drops[q]++
+		return 0, err
+	}
+	b.queueLen[q]++
+	b.admitted[q]++
+	return slot, nil
+}
+
+// Release loads and frees the packet in slot, crediting its queue.
+func (b *SharedBuffer) Release(slot int) (Packet, error) {
+	p, err := b.buf.Load(slot)
+	if err != nil {
+		return Packet{}, err
+	}
+	if p.Flow >= 0 && p.Flow < len(b.queueLen) {
+		b.queueLen[p.Flow]--
+	}
+	return p, nil
+}
+
+// QueueLen returns the current occupancy of queue q.
+func (b *SharedBuffer) QueueLen(q int) int {
+	if q < 0 || q >= len(b.queueLen) {
+		return 0
+	}
+	return b.queueLen[q]
+}
+
+// Drops returns queue q's rejected-packet count.
+func (b *SharedBuffer) Drops(q int) uint64 {
+	if q < 0 || q >= len(b.drops) {
+		return 0
+	}
+	return b.drops[q]
+}
+
+// Admitted returns queue q's accepted-packet count.
+func (b *SharedBuffer) Admitted(q int) uint64 {
+	if q < 0 || q >= len(b.admitted) {
+		return 0
+	}
+	return b.admitted[q]
+}
+
+// Used returns the total occupied slots.
+func (b *SharedBuffer) Used() int { return b.buf.Used() }
+
+// Capacity returns the slot count.
+func (b *SharedBuffer) Capacity() int { return b.buf.Capacity() }
+
+// PeakUsed returns the high-water occupancy.
+func (b *SharedBuffer) PeakUsed() int { return b.buf.PeakUsed() }

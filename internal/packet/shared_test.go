@@ -1,0 +1,125 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewSharedBufferValidation(t *testing.T) {
+	if _, err := NewSharedBuffer(8, 0, 1); err == nil {
+		t.Error("zero queues accepted")
+	}
+	if _, err := NewSharedBuffer(8, 2, 0); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := NewSharedBuffer(0, 2, 1); err == nil {
+		t.Error("zero slots accepted")
+	}
+}
+
+func TestSharedBufferAdmitRelease(t *testing.T) {
+	b, err := NewSharedBuffer(8, 2, 1)
+	if err != nil {
+		t.Fatalf("NewSharedBuffer: %v", err)
+	}
+	slot, err := b.Admit(Packet{ID: 1, Flow: 0, Size: 100})
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if b.QueueLen(0) != 1 || b.Used() != 1 || b.Admitted(0) != 1 {
+		t.Fatalf("accounting: len=%d used=%d admitted=%d", b.QueueLen(0), b.Used(), b.Admitted(0))
+	}
+	p, err := b.Release(slot)
+	if err != nil || p.ID != 1 {
+		t.Fatalf("Release = %+v, %v", p, err)
+	}
+	if b.QueueLen(0) != 0 || b.Used() != 0 {
+		t.Fatalf("release accounting: len=%d used=%d", b.QueueLen(0), b.Used())
+	}
+	if _, err := b.Admit(Packet{Flow: 5}); err == nil {
+		t.Error("out-of-range queue accepted")
+	}
+}
+
+// TestDynamicThresholdIsolation reproduces the Choudhury–Hahne property:
+// a hog queue cannot take the whole shared memory — with α=1 it
+// saturates at half the pool, leaving room for other queues.
+func TestDynamicThresholdIsolation(t *testing.T) {
+	const slots = 64
+	b, err := NewSharedBuffer(slots, 2, 1)
+	if err != nil {
+		t.Fatalf("NewSharedBuffer: %v", err)
+	}
+	// Queue 0 hogs: admit until rejected.
+	hogged := 0
+	for i := 0; i < slots*2; i++ {
+		if _, err := b.Admit(Packet{ID: i, Flow: 0, Size: 100}); err != nil {
+			if !errors.Is(err, ErrQueueOverThreshold) {
+				t.Fatalf("unexpected rejection: %v", err)
+			}
+			break
+		}
+		hogged++
+	}
+	// α=1 fixed point: q = free ⇒ q = slots/2.
+	if hogged < slots/2-2 || hogged > slots/2+2 {
+		t.Fatalf("hog queue admitted %d, want ≈%d (α·free fixed point)", hogged, slots/2)
+	}
+	if b.Drops(0) == 0 {
+		t.Fatal("hog queue never rejected")
+	}
+	// Queue 1 still gets space.
+	got := 0
+	for i := 0; i < slots; i++ {
+		if _, err := b.Admit(Packet{ID: 1000 + i, Flow: 1, Size: 100}); err != nil {
+			break
+		}
+		got++
+	}
+	if got < slots/8 {
+		t.Fatalf("victim queue admitted only %d slots — threshold failed to protect it", got)
+	}
+}
+
+// TestThresholdLoosensWhenIdle: a single busy queue with a large α can
+// borrow nearly the whole pool — the sharing benefit over static
+// partitioning.
+func TestThresholdLoosensWhenIdle(t *testing.T) {
+	const slots = 64
+	b, err := NewSharedBuffer(slots, 4, 8)
+	if err != nil {
+		t.Fatalf("NewSharedBuffer: %v", err)
+	}
+	admitted := 0
+	for i := 0; i < slots; i++ {
+		if _, err := b.Admit(Packet{ID: i, Flow: 2, Size: 100}); err != nil {
+			break
+		}
+		admitted++
+	}
+	if admitted < slots*7/8 {
+		t.Fatalf("lone queue admitted %d of %d — sharing not realized", admitted, slots)
+	}
+}
+
+func TestSharedBufferAccessorBounds(t *testing.T) {
+	b, err := NewSharedBuffer(4, 2, 1)
+	if err != nil {
+		t.Fatalf("NewSharedBuffer: %v", err)
+	}
+	if b.QueueLen(-1) != 0 || b.Drops(9) != 0 || b.Admitted(-3) != 0 {
+		t.Fatal("out-of-range accessors not zero")
+	}
+	if b.Capacity() != 4 {
+		t.Fatalf("Capacity = %d", b.Capacity())
+	}
+	if _, err := b.Release(0); err == nil {
+		t.Error("release of free slot accepted")
+	}
+	if _, err := b.Admit(Packet{ID: 0, Flow: 0}); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if b.PeakUsed() != 1 {
+		t.Fatalf("PeakUsed = %d", b.PeakUsed())
+	}
+}

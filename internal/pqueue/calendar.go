@@ -1,0 +1,239 @@
+package pqueue
+
+import "fmt"
+
+// CalendarQueue is the classic calendar queue of Brown, used by the
+// hardware-efficient fair queueing proposals the paper cites ([14],
+// [15]): an array of day-buckets over one "year" of tag values, each
+// bucket sorted. The paper notes these "are limited in their size and
+// scalability": a sparse year costs a worst-case scan of all buckets.
+type CalendarQueue struct {
+	opCounter
+	buckets  [][]Entry // each bucket sorted by tag, FCFS among equals
+	dayWidth int
+	year     int // dayWidth × len(buckets)
+	n        int
+	lastDay  int
+}
+
+// NewCalendarQueue builds a calendar with the given number of day
+// buckets and tag units per day. Tags must lie in [0, days×dayWidth).
+func NewCalendarQueue(days, dayWidth int) (*CalendarQueue, error) {
+	if days <= 0 || dayWidth <= 0 {
+		return nil, fmt.Errorf("pqueue: calendar days %d × width %d invalid", days, dayWidth)
+	}
+	return &CalendarQueue{
+		buckets:  make([][]Entry, days),
+		dayWidth: dayWidth,
+		year:     days * dayWidth,
+	}, nil
+}
+
+// Name implements MinTagQueue.
+func (c *CalendarQueue) Name() string { return "calendar queue" }
+
+// Model implements MinTagQueue.
+func (c *CalendarQueue) Model() Model { return ModelSort }
+
+// Exact implements MinTagQueue.
+func (c *CalendarQueue) Exact() bool { return true }
+
+// Len implements MinTagQueue.
+func (c *CalendarQueue) Len() int { return c.n }
+
+// Insert implements MinTagQueue.
+func (c *CalendarQueue) Insert(tag, payload int) error {
+	if tag < 0 || tag >= c.year {
+		c.abort()
+		return fmt.Errorf("pqueue: calendar tag %d outside year [0,%d)", tag, c.year)
+	}
+	day := tag / c.dayWidth
+	b := c.buckets[day]
+	// Sorted insertion within the day bucket (FCFS among equals).
+	i := len(b)
+	for i > 0 && b[i-1].Tag > tag {
+		i--
+		c.touch(1)
+	}
+	c.touch(1)
+	b = append(b, Entry{})
+	copy(b[i+1:], b[i:])
+	b[i] = Entry{Tag: tag, Payload: payload}
+	c.buckets[day] = b
+	c.n++
+	c.endInsert()
+	return nil
+}
+
+// ExtractMin implements MinTagQueue.
+func (c *CalendarQueue) ExtractMin() (Entry, error) {
+	if c.n == 0 {
+		return Entry{}, ErrEmpty
+	}
+	// Scan forward from the last served day (wrapping): worst case all
+	// buckets.
+	for probe := 0; probe < len(c.buckets); probe++ {
+		day := (c.lastDay + probe) % len(c.buckets)
+		c.touch(1)
+		if len(c.buckets[day]) == 0 {
+			continue
+		}
+		e := c.buckets[day][0]
+		c.buckets[day] = c.buckets[day][1:]
+		c.lastDay = day
+		c.n--
+		c.endExtract()
+		return e, nil
+	}
+	c.abort()
+	return Entry{}, fmt.Errorf("pqueue: calendar corrupt: %d entries but all buckets empty", c.n)
+}
+
+// TCQ is the two-dimensional calendar queue of paper reference [16]: a
+// coarse calendar whose buckets are served FIFO without internal
+// sorting. It reaches O(1)-like access counts but "produces a
+// degradation of the delay guarantees provided by the WFQ algorithm" —
+// entries within a bucket can depart out of tag order.
+type TCQ struct {
+	opCounter
+	rows     [][]Entry // FIFO buckets
+	rowWidth int
+	year     int
+	n        int
+	lastRow  int
+}
+
+// NewTCQ builds a two-dimensional calendar queue with the given row
+// count and tag units per row.
+func NewTCQ(rows, rowWidth int) (*TCQ, error) {
+	if rows <= 0 || rowWidth <= 0 {
+		return nil, fmt.Errorf("pqueue: tcq rows %d × width %d invalid", rows, rowWidth)
+	}
+	return &TCQ{
+		rows:     make([][]Entry, rows),
+		rowWidth: rowWidth,
+		year:     rows * rowWidth,
+	}, nil
+}
+
+// Name implements MinTagQueue.
+func (t *TCQ) Name() string { return "2-D calendar queue" }
+
+// Model implements MinTagQueue.
+func (t *TCQ) Model() Model { return ModelSort }
+
+// Exact implements MinTagQueue.
+func (t *TCQ) Exact() bool { return false }
+
+// Len implements MinTagQueue.
+func (t *TCQ) Len() int { return t.n }
+
+// Insert implements MinTagQueue.
+func (t *TCQ) Insert(tag, payload int) error {
+	if tag < 0 || tag >= t.year {
+		t.abort()
+		return fmt.Errorf("pqueue: tcq tag %d outside year [0,%d)", tag, t.year)
+	}
+	row := tag / t.rowWidth
+	t.rows[row] = append(t.rows[row], Entry{Tag: tag, Payload: payload})
+	t.touch(1) // single FIFO append — the O(1) claim
+	t.n++
+	t.endInsert()
+	return nil
+}
+
+// ExtractMin implements MinTagQueue.
+func (t *TCQ) ExtractMin() (Entry, error) {
+	if t.n == 0 {
+		return Entry{}, ErrEmpty
+	}
+	for probe := 0; probe < len(t.rows); probe++ {
+		row := (t.lastRow + probe) % len(t.rows)
+		t.touch(1)
+		if len(t.rows[row]) == 0 {
+			continue
+		}
+		e := t.rows[row][0]
+		t.rows[row] = t.rows[row][1:]
+		t.lastRow = row
+		t.n--
+		t.endExtract()
+		return e, nil
+	}
+	t.abort()
+	return Entry{}, fmt.Errorf("pqueue: tcq corrupt: %d entries but all rows empty", t.n)
+}
+
+// Binning is the credit-based fair queueing bin technique of paper
+// reference [12]: the tag range is split into a fixed number of bins,
+// each an unsorted FIFO. The paper rejects it because "it aggregates
+// values together in groups and is inherently inaccurate"; the worst
+// case extract cost is the bin count (range/span, Table I's R/S).
+type Binning struct {
+	opCounter
+	bins    [][]Entry
+	span    int // tag units per bin
+	tagMax  int
+	n       int
+	lastBin int
+}
+
+// NewBinning builds a binning queue with bins buckets over [0, tagRange).
+func NewBinning(bins, tagRange int) (*Binning, error) {
+	if bins <= 0 || tagRange <= 0 || tagRange%bins != 0 {
+		return nil, fmt.Errorf("pqueue: binning bins %d must divide range %d", bins, tagRange)
+	}
+	return &Binning{
+		bins:   make([][]Entry, bins),
+		span:   tagRange / bins,
+		tagMax: tagRange,
+	}, nil
+}
+
+// Name implements MinTagQueue.
+func (b *Binning) Name() string { return "binning (CBFQ)" }
+
+// Model implements MinTagQueue.
+func (b *Binning) Model() Model { return ModelSearch }
+
+// Exact implements MinTagQueue.
+func (b *Binning) Exact() bool { return false }
+
+// Len implements MinTagQueue.
+func (b *Binning) Len() int { return b.n }
+
+// Insert implements MinTagQueue.
+func (b *Binning) Insert(tag, payload int) error {
+	if tag < 0 || tag >= b.tagMax {
+		b.abort()
+		return fmt.Errorf("pqueue: binning tag %d outside [0,%d)", tag, b.tagMax)
+	}
+	bin := tag / b.span
+	b.bins[bin] = append(b.bins[bin], Entry{Tag: tag, Payload: payload})
+	b.touch(1)
+	b.n++
+	b.endInsert()
+	return nil
+}
+
+// ExtractMin implements MinTagQueue.
+func (b *Binning) ExtractMin() (Entry, error) {
+	if b.n == 0 {
+		return Entry{}, ErrEmpty
+	}
+	for probe := 0; probe < len(b.bins); probe++ {
+		bin := (b.lastBin + probe) % len(b.bins)
+		b.touch(1)
+		if len(b.bins[bin]) == 0 {
+			continue
+		}
+		e := b.bins[bin][0]
+		b.bins[bin] = b.bins[bin][1:]
+		b.lastBin = bin
+		b.n--
+		b.endExtract()
+		return e, nil
+	}
+	b.abort()
+	return Entry{}, fmt.Errorf("pqueue: binning corrupt: %d entries but all bins empty", b.n)
+}

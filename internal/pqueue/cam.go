@@ -1,0 +1,188 @@
+package pqueue
+
+import "fmt"
+
+// BinaryCAM models a binary content-addressable memory holding the tag
+// set. A CAM answers "is value x present?" in one match cycle, but
+// finding the minimum "must use an iterative technique based on
+// incrementing a search by one value at a time, which is very slow"
+// (paper §II-D): worst case one match cycle per tag value in the range,
+// Table I's O(R).
+type BinaryCAM struct {
+	opCounter
+	present  []int // count of entries per tag value
+	fifo     map[int][]int
+	tagRange int
+	n        int
+	floor    int // search start (last extracted value)
+}
+
+// NewBinaryCAM builds a binary-CAM model over [0, tagRange).
+func NewBinaryCAM(tagRange int) (*BinaryCAM, error) {
+	if tagRange <= 0 {
+		return nil, fmt.Errorf("pqueue: cam range %d must be positive", tagRange)
+	}
+	return &BinaryCAM{
+		present:  make([]int, tagRange),
+		fifo:     make(map[int][]int),
+		tagRange: tagRange,
+	}, nil
+}
+
+// Name implements MinTagQueue.
+func (c *BinaryCAM) Name() string { return "binary CAM" }
+
+// Model implements MinTagQueue.
+func (c *BinaryCAM) Model() Model { return ModelSearch }
+
+// Exact implements MinTagQueue.
+func (c *BinaryCAM) Exact() bool { return true }
+
+// Len implements MinTagQueue.
+func (c *BinaryCAM) Len() int { return c.n }
+
+// Insert implements MinTagQueue.
+func (c *BinaryCAM) Insert(tag, payload int) error {
+	if tag < 0 || tag >= c.tagRange {
+		c.abort()
+		return fmt.Errorf("pqueue: cam tag %d outside [0,%d)", tag, c.tagRange)
+	}
+	c.present[tag]++
+	c.fifo[tag] = append(c.fifo[tag], payload)
+	c.touch(1) // one CAM write cycle
+	c.n++
+	if tag < c.floor {
+		c.floor = tag
+	}
+	c.endInsert()
+	return nil
+}
+
+// ExtractMin implements MinTagQueue.
+func (c *BinaryCAM) ExtractMin() (Entry, error) {
+	if c.n == 0 {
+		return Entry{}, ErrEmpty
+	}
+	// Iterative search: one match cycle per candidate value starting
+	// from the smallest possibly-present value.
+	for v := c.floor; v < c.tagRange; v++ {
+		c.touch(1)
+		if c.present[v] == 0 {
+			continue
+		}
+		q := c.fifo[v]
+		e := Entry{Tag: v, Payload: q[0]}
+		if len(q) == 1 {
+			delete(c.fifo, v)
+		} else {
+			c.fifo[v] = q[1:]
+		}
+		c.present[v]--
+		c.n--
+		c.floor = v
+		c.endExtract()
+		return e, nil
+	}
+	c.abort()
+	return Entry{}, fmt.Errorf("pqueue: cam corrupt: %d entries but no match", c.n)
+}
+
+// TCAM models a ternary CAM: masked matches allow a bitwise binary
+// search for the minimum — "a bit-wise iterative search using masked
+// bits" (paper §II-D) — costing one match cycle per tag bit, Table I's
+// O(W).
+type TCAM struct {
+	opCounter
+	present  []int
+	fifo     map[int][]int
+	tagBits  int
+	tagRange int
+	n        int
+}
+
+// NewTCAM builds a TCAM model over a 2^tagBits universe.
+func NewTCAM(tagBits int) (*TCAM, error) {
+	if tagBits <= 0 || tagBits > 24 {
+		return nil, fmt.Errorf("pqueue: tcam bits %d out of range 1..24", tagBits)
+	}
+	return &TCAM{
+		present:  make([]int, 1<<uint(tagBits)),
+		fifo:     make(map[int][]int),
+		tagBits:  tagBits,
+		tagRange: 1 << uint(tagBits),
+	}, nil
+}
+
+// Name implements MinTagQueue.
+func (t *TCAM) Name() string { return "TCAM" }
+
+// Model implements MinTagQueue.
+func (t *TCAM) Model() Model { return ModelSearch }
+
+// Exact implements MinTagQueue.
+func (t *TCAM) Exact() bool { return true }
+
+// Len implements MinTagQueue.
+func (t *TCAM) Len() int { return t.n }
+
+// Insert implements MinTagQueue.
+func (t *TCAM) Insert(tag, payload int) error {
+	if tag < 0 || tag >= t.tagRange {
+		t.abort()
+		return fmt.Errorf("pqueue: tcam tag %d outside [0,%d)", tag, t.tagRange)
+	}
+	t.present[tag]++
+	t.fifo[tag] = append(t.fifo[tag], payload)
+	t.touch(1) // one TCAM write cycle
+	t.n++
+	t.endInsert()
+	return nil
+}
+
+// anyMatch reports whether any stored tag matches the given prefix
+// (value of the top bits fixed, lower bits masked). It models a single
+// TCAM match cycle; the host-side scan below is the CAM array's
+// wired-OR, not counted as memory accesses.
+func (t *TCAM) anyMatch(prefix, prefixBits int) bool {
+	lo := prefix << uint(t.tagBits-prefixBits)
+	hi := lo + (1 << uint(t.tagBits-prefixBits))
+	for v := lo; v < hi; v++ {
+		if t.present[v] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ExtractMin implements MinTagQueue.
+func (t *TCAM) ExtractMin() (Entry, error) {
+	if t.n == 0 {
+		return Entry{}, ErrEmpty
+	}
+	// Bitwise search: fix bits from MSB down, preferring 0, one masked
+	// match cycle per bit.
+	prefix := 0
+	for bit := 1; bit <= t.tagBits; bit++ {
+		t.touch(1)
+		if t.anyMatch(prefix<<1, bit) {
+			prefix = prefix << 1
+		} else {
+			prefix = prefix<<1 | 1
+		}
+	}
+	if t.present[prefix] == 0 {
+		t.abort()
+		return Entry{}, fmt.Errorf("pqueue: tcam corrupt: search landed on empty value %d", prefix)
+	}
+	q := t.fifo[prefix]
+	e := Entry{Tag: prefix, Payload: q[0]}
+	if len(q) == 1 {
+		delete(t.fifo, prefix)
+	} else {
+		t.fifo[prefix] = q[1:]
+	}
+	t.present[prefix]--
+	t.n--
+	t.endExtract()
+	return e, nil
+}

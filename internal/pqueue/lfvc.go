@@ -1,0 +1,114 @@
+package pqueue
+
+import "fmt"
+
+// LFVC models the leap-forward virtual clock structure of paper
+// reference [17]: a small exact "hot" region near the service floor
+// backed by coarse overflow buckets, migrated a bucket at a time as the
+// floor leaps forward. Per-operation costs are O(1)-ish like the 2-D
+// calendar queue, and — as the paper notes ("similar drawbacks relating
+// to the level of QoS delivered") — entries inside one overflow bucket
+// are served FIFO, degrading exact tag order.
+type LFVC struct {
+	opCounter
+	hot       []Entry   // exact sorted region [hotBase, hotBase+span)
+	cold      [][]Entry // FIFO overflow buckets of span tag units each
+	span      int
+	tagRange  int
+	hotBucket int // index of the bucket currently held in the hot region
+	n         int
+}
+
+// NewLFVC builds a leap-forward queue with the given overflow-bucket
+// span over [0, tagRange).
+func NewLFVC(span, tagRange int) (*LFVC, error) {
+	if span <= 0 || tagRange <= 0 || tagRange%span != 0 {
+		return nil, fmt.Errorf("pqueue: lfvc span %d must divide range %d", span, tagRange)
+	}
+	return &LFVC{
+		cold:     make([][]Entry, tagRange/span),
+		span:     span,
+		tagRange: tagRange,
+	}, nil
+}
+
+// Name implements MinTagQueue.
+func (l *LFVC) Name() string { return "LFVC" }
+
+// Model implements MinTagQueue.
+func (l *LFVC) Model() Model { return ModelSort }
+
+// Exact implements MinTagQueue.
+func (l *LFVC) Exact() bool { return false }
+
+// Len implements MinTagQueue.
+func (l *LFVC) Len() int { return l.n }
+
+// Insert implements MinTagQueue.
+func (l *LFVC) Insert(tag, payload int) error {
+	if tag < 0 || tag >= l.tagRange {
+		l.abort()
+		return fmt.Errorf("pqueue: lfvc tag %d outside [0,%d)", tag, l.tagRange)
+	}
+	bucket := tag / l.span
+	if bucket == l.hotBucket {
+		// Exact sorted insert into the small hot region.
+		i := len(l.hot)
+		for i > 0 && l.hot[i-1].Tag > tag {
+			i--
+			l.touch(1)
+		}
+		l.touch(1)
+		l.hot = append(l.hot, Entry{})
+		copy(l.hot[i+1:], l.hot[i:])
+		l.hot[i] = Entry{Tag: tag, Payload: payload}
+	} else {
+		// One FIFO append into the overflow bucket — the O(1) claim.
+		l.cold[bucket] = append(l.cold[bucket], Entry{Tag: tag, Payload: payload})
+		l.touch(1)
+	}
+	l.n++
+	l.endInsert()
+	return nil
+}
+
+// ExtractMin implements MinTagQueue.
+func (l *LFVC) ExtractMin() (Entry, error) {
+	if l.n == 0 {
+		return Entry{}, ErrEmpty
+	}
+	for probe := 0; probe < len(l.cold)+1; probe++ {
+		if len(l.hot) > 0 {
+			e := l.hot[0]
+			l.hot = l.hot[1:]
+			l.touch(1)
+			l.n--
+			l.endExtract()
+			return e, nil
+		}
+		// Leap forward: adopt the next non-empty overflow bucket as the
+		// hot region. The bucket's FIFO order is kept (the accuracy
+		// drawback); migration costs one access per moved entry.
+		next := (l.hotBucket + 1) % len(l.cold)
+		for i := 0; i < len(l.cold); i++ {
+			b := (next + i) % len(l.cold)
+			l.touch(1)
+			if len(l.cold[b]) > 0 {
+				l.hot = l.cold[b]
+				l.cold[b] = nil
+				l.hotBucket = b
+				l.touch(uint64(len(l.hot)))
+				break
+			}
+		}
+	}
+	if len(l.hot) == 0 {
+		l.abort()
+		return Entry{}, fmt.Errorf("pqueue: lfvc corrupt: %d entries but nothing to serve", l.n)
+	}
+	e := l.hot[0]
+	l.hot = l.hot[1:]
+	l.n--
+	l.endExtract()
+	return e, nil
+}

@@ -1,0 +1,131 @@
+// Package pqueue implements every lookup method compared in the paper's
+// Table I as an instrumented min-tag priority queue: the software
+// structures (sorted linked list, binary search tree, binary heap, van
+// Emde Boas tree), the approximate hardware structures (binning/CBFQ,
+// calendar queue, two-dimensional calendar queue), the associative
+// memories (binary CAM, TCAM), and the bit-tree family (binary tree,
+// multi-bit tree — the paper's architecture).
+//
+// Every implementation counts memory accesses per operation so the
+// benchmark harness can regenerate Table I's worst-case access columns
+// empirically rather than citing asymptotic formulas.
+package pqueue
+
+import "errors"
+
+// ErrEmpty is returned by ExtractMin on an empty queue.
+var ErrEmpty = errors.New("pqueue: empty")
+
+// Model classifies a method under the paper's §II-C taxonomy.
+type Model int
+
+// Lookup models.
+const (
+	// ModelSort does the lookup work at insertion; the minimum is
+	// available in fixed time at extraction.
+	ModelSort Model = iota + 1
+	// ModelSearch stores on insertion and searches at extraction; the
+	// service time is the worst-case search time.
+	ModelSearch
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelSort:
+		return "sort"
+	case ModelSearch:
+		return "search"
+	default:
+		return "unknown"
+	}
+}
+
+// Entry is a queued tag with its payload.
+type Entry struct {
+	Tag     int
+	Payload int
+}
+
+// MinTagQueue is the common interface over all Table I methods.
+type MinTagQueue interface {
+	// Name identifies the method (Table I row label).
+	Name() string
+	// Model reports whether the method follows the sort or search model.
+	Model() Model
+	// Exact reports whether extraction returns tags in exact sorted
+	// order (binning and the 2-D calendar queue are approximate).
+	Exact() bool
+	// Insert adds a tag.
+	Insert(tag, payload int) error
+	// ExtractMin removes and returns the smallest tag (or, for
+	// approximate methods, the head of the lowest non-empty group).
+	ExtractMin() (Entry, error)
+	// Len returns the number of stored entries.
+	Len() int
+	// Stats returns accumulated access counters.
+	Stats() OpStats
+	// ResetStats zeroes the counters.
+	ResetStats()
+}
+
+// OpStats counts memory accesses attributed to operations. An "access"
+// is one touch of a backing-store element: a list node, a heap slot, a
+// bucket probe, a CAM match cycle, or a tree-node word.
+type OpStats struct {
+	Inserts         uint64
+	Extracts        uint64
+	InsertAccesses  uint64
+	ExtractAccesses uint64
+	WorstInsert     uint64 // most accesses by any single insert
+	WorstExtract    uint64 // most accesses by any single extract
+}
+
+// MeanInsert returns the average accesses per insert.
+func (s OpStats) MeanInsert() float64 {
+	if s.Inserts == 0 {
+		return 0
+	}
+	return float64(s.InsertAccesses) / float64(s.Inserts)
+}
+
+// MeanExtract returns the average accesses per extract.
+func (s OpStats) MeanExtract() float64 {
+	if s.Extracts == 0 {
+		return 0
+	}
+	return float64(s.ExtractAccesses) / float64(s.Extracts)
+}
+
+// opCounter embeds access accounting into implementations.
+type opCounter struct {
+	stats OpStats
+	cur   uint64
+}
+
+func (c *opCounter) touch(n uint64) { c.cur += n }
+
+func (c *opCounter) endInsert() {
+	c.stats.Inserts++
+	c.stats.InsertAccesses += c.cur
+	if c.cur > c.stats.WorstInsert {
+		c.stats.WorstInsert = c.cur
+	}
+	c.cur = 0
+}
+
+func (c *opCounter) endExtract() {
+	c.stats.Extracts++
+	c.stats.ExtractAccesses += c.cur
+	if c.cur > c.stats.WorstExtract {
+		c.stats.WorstExtract = c.cur
+	}
+	c.cur = 0
+}
+
+func (c *opCounter) abort() { c.cur = 0 }
+
+// Stats implements part of MinTagQueue.
+func (c *opCounter) Stats() OpStats { return c.stats }
+
+// ResetStats implements part of MinTagQueue.
+func (c *opCounter) ResetStats() { c.stats = OpStats{}; c.cur = 0 }

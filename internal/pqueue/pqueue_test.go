@@ -1,0 +1,341 @@
+package pqueue
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"wfqsort/internal/traffic"
+)
+
+// oracle: stable min-heap (FCFS among equal tags).
+type oracleHeap struct {
+	items []oracleItem
+	seq   int
+}
+
+type oracleItem struct {
+	tag, payload, seq int
+}
+
+func (o *oracleHeap) Len() int { return len(o.items) }
+func (o *oracleHeap) Less(i, j int) bool {
+	if o.items[i].tag != o.items[j].tag {
+		return o.items[i].tag < o.items[j].tag
+	}
+	return o.items[i].seq < o.items[j].seq
+}
+func (o *oracleHeap) Swap(i, j int)      { o.items[i], o.items[j] = o.items[j], o.items[i] }
+func (o *oracleHeap) Push(x interface{}) { o.items = append(o.items, x.(oracleItem)) }
+func (o *oracleHeap) Pop() interface{} {
+	old := o.items
+	n := len(old)
+	it := old[n-1]
+	o.items = old[:n-1]
+	return it
+}
+
+func exactMethods(t *testing.T) []MinTagQueue {
+	t.Helper()
+	veb, err := NewVEB(12)
+	if err != nil {
+		t.Fatalf("NewVEB: %v", err)
+	}
+	cam, err := NewBinaryCAM(4096)
+	if err != nil {
+		t.Fatalf("NewBinaryCAM: %v", err)
+	}
+	tcam, err := NewTCAM(12)
+	if err != nil {
+		t.Fatalf("NewTCAM: %v", err)
+	}
+	bt, err := NewBitTree(12)
+	if err != nil {
+		t.Fatalf("NewBitTree: %v", err)
+	}
+	mbt, err := NewMultiBitTree(8192)
+	if err != nil {
+		t.Fatalf("NewMultiBitTree: %v", err)
+	}
+	return []MinTagQueue{NewSortedList(), NewBST(), NewBinaryHeap(), veb, cam, tcam, bt, mbt}
+}
+
+// TestExactMethodsDifferential drives every exact method against the
+// stable oracle with a monotone (WFQ-legal) duplicate-heavy workload.
+// CAM's floor optimization and the calendar family assume monotone
+// service, so the workload never issues a tag below the last served one.
+func TestExactMethodsDifferential(t *testing.T) {
+	for _, q := range exactMethods(t) {
+		q := q
+		t.Run(q.Name(), func(t *testing.T) {
+			var o oracleHeap
+			rng := rand.New(rand.NewSource(17))
+			floor := 0
+			for step := 0; step < 4000; step++ {
+				if o.Len() == 0 || rng.Intn(2) == 0 {
+					tag := floor + rng.Intn(60)
+					if tag > 4095 {
+						tag = 4095
+					}
+					if err := q.Insert(tag, step); err != nil {
+						t.Fatalf("step %d: insert %d: %v", step, tag, err)
+					}
+					heap.Push(&o, oracleItem{tag: tag, payload: step, seq: o.seq})
+					o.seq++
+				} else {
+					e, err := q.ExtractMin()
+					if err != nil {
+						t.Fatalf("step %d: extract: %v", step, err)
+					}
+					w, _ := heap.Pop(&o).(oracleItem)
+					if e.Tag != w.tag {
+						t.Fatalf("step %d: served tag %d, oracle %d", step, e.Tag, w.tag)
+					}
+					// FCFS payload order among duplicates (heap baseline
+					// uses a seq tiebreak; all methods must match).
+					if e.Payload != w.payload {
+						t.Fatalf("step %d: served payload %d, oracle %d (FCFS violated)", step, e.Payload, w.payload)
+					}
+					if e.Tag > floor {
+						floor = e.Tag
+					}
+				}
+				if q.Len() != o.Len() {
+					t.Fatalf("step %d: len %d, oracle %d", step, q.Len(), o.Len())
+				}
+			}
+		})
+	}
+}
+
+func TestEmptyExtractErrors(t *testing.T) {
+	all, err := NewAll(DefaultParams())
+	if err != nil {
+		t.Fatalf("NewAll: %v", err)
+	}
+	if len(all) != 12 {
+		t.Fatalf("NewAll built %d methods, want 12", len(all))
+	}
+	for _, q := range all {
+		if _, err := q.ExtractMin(); !errors.Is(err, ErrEmpty) {
+			t.Errorf("%s: empty extract = %v, want ErrEmpty", q.Name(), err)
+		}
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	all, err := NewAll(DefaultParams())
+	if err != nil {
+		t.Fatalf("NewAll: %v", err)
+	}
+	for _, q := range all {
+		switch q.(type) {
+		case *SortedList, *BinaryHeap, *BST:
+			continue // unbounded universes
+		}
+		if err := q.Insert(4096, 0); err == nil {
+			t.Errorf("%s: out-of-range tag accepted", q.Name())
+		}
+		if err := q.Insert(-1, 0); err == nil {
+			t.Errorf("%s: negative tag accepted", q.Name())
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewVEB(0); err == nil {
+		t.Error("VEB zero bits accepted")
+	}
+	if _, err := NewCalendarQueue(0, 1); err == nil {
+		t.Error("calendar zero days accepted")
+	}
+	if _, err := NewTCQ(1, 0); err == nil {
+		t.Error("TCQ zero width accepted")
+	}
+	if _, err := NewBinning(3, 4096); err == nil {
+		t.Error("non-dividing bins accepted")
+	}
+	if _, err := NewBinaryCAM(0); err == nil {
+		t.Error("CAM zero range accepted")
+	}
+	if _, err := NewLFVC(3, 4096); err == nil {
+		t.Error("LFVC non-dividing span accepted")
+	}
+	if _, err := NewTCAM(25); err == nil {
+		t.Error("TCAM oversized accepted")
+	}
+	if _, err := NewBitTree(0); err == nil {
+		t.Error("bit tree zero bits accepted")
+	}
+	if _, err := NewMultiBitTree(0); err == nil {
+		t.Error("multi-bit tree zero capacity accepted")
+	}
+}
+
+// TestApproximateMethodsInvertOrder verifies the paper's accuracy
+// criticism: binning and the 2-D calendar queue serve out of exact tag
+// order (nonzero inversions), while every exact method serves perfectly.
+func TestApproximateMethodsInvertOrder(t *testing.T) {
+	p := DefaultParams()
+	all, err := NewAll(p)
+	if err != nil {
+		t.Fatalf("NewAll: %v", err)
+	}
+	for _, q := range all {
+		res, err := RunWorkload(q, 1500, 1500, 600, 4096, traffic.ProfileBell, 9)
+		if err != nil {
+			t.Fatalf("%s: RunWorkload: %v", q.Name(), err)
+		}
+		if q.Exact() && res.Inversions != 0 {
+			t.Errorf("%s: exact method served %d inversions", q.Name(), res.Inversions)
+		}
+		if !q.Exact() && res.Inversions == 0 {
+			t.Errorf("%s: approximate method served perfectly — workload too easy to show degradation", q.Name())
+		}
+	}
+}
+
+// TestTableIAccessOrdering verifies the central Table I result under the
+// standard geometry: the multi-bit tree's worst-case accesses beat the
+// binary tree, the TCAM, the CAM, and the software structures.
+func TestTableIAccessOrdering(t *testing.T) {
+	p := DefaultParams()
+	all, err := NewAll(p)
+	if err != nil {
+		t.Fatalf("NewAll: %v", err)
+	}
+	worst := map[string]uint64{}
+	for _, q := range all {
+		res, err := RunWorkload(q, 2000, 2000, 800, 4096, traffic.ProfileBell, 33)
+		if err != nil {
+			t.Fatalf("%s: RunWorkload: %v", q.Name(), err)
+		}
+		w := res.Stats.WorstInsert
+		if res.Stats.WorstExtract > w {
+			w = res.Stats.WorstExtract
+		}
+		worst[q.Name()] = w
+		t.Logf("%-26s model=%-6s exact=%-5v worstIns=%3d worstExt=%3d meanIns=%6.2f meanExt=%6.2f inv=%d",
+			q.Name(), res.Model, res.Exact, res.Stats.WorstInsert, res.Stats.WorstExtract,
+			res.Stats.MeanInsert(), res.Stats.MeanExtract(), res.Inversions)
+	}
+	mbt := worst["multi-bit tree (this work)"]
+	for _, name := range []string{"sorted linked list", "binary CAM", "TCAM", "binary tree (bitwise)"} {
+		if worst[name] <= mbt {
+			t.Errorf("Table I ordering violated: %s worst %d ≤ multi-bit tree %d", name, worst[name], mbt)
+		}
+	}
+	// The linked list must scale with N (≫ any tree method).
+	if worst["sorted linked list"] < 100 {
+		t.Errorf("sorted list worst %d — workload backlog too small to show O(N)", worst["sorted linked list"])
+	}
+}
+
+// TestAdversarialSparseTags shows the worst-case scaling Table I is
+// about: with two live tags at opposite ends of the range, the binary
+// CAM's iterative extract walks the whole value gap (O(R)), while the
+// TCAM stays at W probes and the multi-bit tree at a single head access.
+func TestAdversarialSparseTags(t *testing.T) {
+	cam, err := NewBinaryCAM(4096)
+	if err != nil {
+		t.Fatalf("NewBinaryCAM: %v", err)
+	}
+	tcam, err := NewTCAM(12)
+	if err != nil {
+		t.Fatalf("NewTCAM: %v", err)
+	}
+	mbt, err := NewMultiBitTree(64)
+	if err != nil {
+		t.Fatalf("NewMultiBitTree: %v", err)
+	}
+	for _, q := range []MinTagQueue{cam, tcam, mbt} {
+		if err := q.Insert(0, 0); err != nil {
+			t.Fatalf("%s: %v", q.Name(), err)
+		}
+		if err := q.Insert(4095, 1); err != nil {
+			t.Fatalf("%s: %v", q.Name(), err)
+		}
+		q.ResetStats()
+		if _, err := q.ExtractMin(); err != nil { // serves 0
+			t.Fatalf("%s: %v", q.Name(), err)
+		}
+		if _, err := q.ExtractMin(); err != nil { // serves 4095 — the gap
+			t.Fatalf("%s: %v", q.Name(), err)
+		}
+	}
+	if w := cam.Stats().WorstExtract; w < 4000 {
+		t.Errorf("CAM worst extract %d, want ≈4096 (O(R) iterative search)", w)
+	}
+	if w := tcam.Stats().WorstExtract; w != 12 {
+		t.Errorf("TCAM worst extract %d, want 12 (O(W) bitwise search)", w)
+	}
+	if w := mbt.Stats().WorstExtract; w != 1 {
+		t.Errorf("multi-bit tree worst extract %d, want 1 (sort model)", w)
+	}
+}
+
+// TestVEBDoubleDigitAccesses sanity-checks the O(log log U) claim: for a
+// 4096 universe, log2(log2(4096)) ≈ 3.6 recursion levels — worst-case
+// accesses must be far below the bit tree's 13.
+func TestVEBLowAccesses(t *testing.T) {
+	veb, err := NewVEB(12)
+	if err != nil {
+		t.Fatalf("NewVEB: %v", err)
+	}
+	res, err := RunWorkload(veb, 1000, 1000, 500, 4096, traffic.ProfileUniform, 2)
+	if err != nil {
+		t.Fatalf("RunWorkload: %v", err)
+	}
+	if res.Stats.WorstExtract > 13 {
+		t.Errorf("vEB worst extract %d — expected below the bit tree's W+1", res.Stats.WorstExtract)
+	}
+}
+
+func TestOpStatsMeans(t *testing.T) {
+	var s OpStats
+	if s.MeanInsert() != 0 || s.MeanExtract() != 0 {
+		t.Fatal("zero-op means nonzero")
+	}
+	s = OpStats{Inserts: 2, InsertAccesses: 10, Extracts: 4, ExtractAccesses: 4}
+	if s.MeanInsert() != 5 || s.MeanExtract() != 1 {
+		t.Fatalf("means = %v/%v", s.MeanInsert(), s.MeanExtract())
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if ModelSort.String() != "sort" || ModelSearch.String() != "search" || Model(0).String() != "unknown" {
+		t.Fatal("model names wrong")
+	}
+}
+
+func TestRunWorkloadValidation(t *testing.T) {
+	if _, err := RunWorkload(NewSortedList(), 0, 10, 10, 100, traffic.ProfileBell, 1); err == nil {
+		t.Error("zero ops accepted")
+	}
+	if _, err := RunWorkload(NewSortedList(), 10, 10, 200, 100, traffic.ProfileBell, 1); err == nil {
+		t.Error("window ≥ range accepted")
+	}
+	if _, err := RunWorkload(NewSortedList(), 10, 10, 10, 100, traffic.TagProfile(0), 1); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func BenchmarkHeapInsertExtract(b *testing.B) {
+	h := NewBinaryHeap()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1024; i++ {
+		if err := h.Insert(rng.Intn(4096), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Insert(rng.Intn(4096), 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.ExtractMin(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package pqueue
+
+import "fmt"
+
+// SortedList is the classic software baseline: a singly linked list kept
+// in sorted order. Insertion scans from the head (O(N) node accesses);
+// the minimum is the head (O(1)). FCFS among duplicates.
+type SortedList struct {
+	opCounter
+	head *listNode
+	n    int
+}
+
+type listNode struct {
+	tag, payload int
+	next         *listNode
+}
+
+// NewSortedList builds an empty sorted linked list.
+func NewSortedList() *SortedList { return &SortedList{} }
+
+// Name implements MinTagQueue.
+func (l *SortedList) Name() string { return "sorted linked list" }
+
+// Model implements MinTagQueue.
+func (l *SortedList) Model() Model { return ModelSort }
+
+// Exact implements MinTagQueue.
+func (l *SortedList) Exact() bool { return true }
+
+// Len implements MinTagQueue.
+func (l *SortedList) Len() int { return l.n }
+
+// Insert implements MinTagQueue.
+func (l *SortedList) Insert(tag, payload int) error {
+	node := &listNode{tag: tag, payload: payload}
+	l.touch(1) // head register
+	if l.head == nil || l.head.tag > tag {
+		node.next = l.head
+		l.head = node
+		l.n++
+		l.endInsert()
+		return nil
+	}
+	cur := l.head
+	for cur.next != nil && cur.next.tag <= tag {
+		cur = cur.next
+		l.touch(1)
+	}
+	l.touch(1) // link write
+	node.next = cur.next
+	cur.next = node
+	l.n++
+	l.endInsert()
+	return nil
+}
+
+// ExtractMin implements MinTagQueue.
+func (l *SortedList) ExtractMin() (Entry, error) {
+	if l.head == nil {
+		return Entry{}, ErrEmpty
+	}
+	l.touch(1)
+	e := Entry{Tag: l.head.tag, Payload: l.head.payload}
+	l.head = l.head.next
+	l.n--
+	l.endExtract()
+	return e, nil
+}
+
+// BinaryHeap is the standard array-backed min-heap (the software
+// structure most WFQ implementations use). O(log N) slot accesses per
+// operation; duplicates are served FCFS via a sequence tiebreak.
+type BinaryHeap struct {
+	opCounter
+	items []heapItem
+	seq   int
+}
+
+type heapItem struct {
+	tag, payload, seq int
+}
+
+// NewBinaryHeap builds an empty binary heap.
+func NewBinaryHeap() *BinaryHeap { return &BinaryHeap{} }
+
+// Name implements MinTagQueue.
+func (h *BinaryHeap) Name() string { return "binary heap" }
+
+// Model implements MinTagQueue.
+func (h *BinaryHeap) Model() Model { return ModelSort }
+
+// Exact implements MinTagQueue.
+func (h *BinaryHeap) Exact() bool { return true }
+
+// Len implements MinTagQueue.
+func (h *BinaryHeap) Len() int { return len(h.items) }
+
+func (h *BinaryHeap) less(a, b heapItem) bool {
+	if a.tag != b.tag {
+		return a.tag < b.tag
+	}
+	return a.seq < b.seq
+}
+
+// Insert implements MinTagQueue.
+func (h *BinaryHeap) Insert(tag, payload int) error {
+	h.items = append(h.items, heapItem{tag: tag, payload: payload, seq: h.seq})
+	h.seq++
+	h.touch(1)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		h.touch(1)
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		h.touch(2)
+		i = parent
+	}
+	h.endInsert()
+	return nil
+}
+
+// ExtractMin implements MinTagQueue.
+func (h *BinaryHeap) ExtractMin() (Entry, error) {
+	if len(h.items) == 0 {
+		return Entry{}, ErrEmpty
+	}
+	h.touch(1)
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	h.touch(2)
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(h.items) {
+			h.touch(1)
+			if h.less(h.items[left], h.items[smallest]) {
+				smallest = left
+			}
+		}
+		if right < len(h.items) {
+			h.touch(1)
+			if h.less(h.items[right], h.items[smallest]) {
+				smallest = right
+			}
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		h.touch(2)
+		i = smallest
+	}
+	h.endExtract()
+	return Entry{Tag: top.tag, Payload: top.payload}, nil
+}
+
+// BST is an unbalanced binary search tree — Table I's "binary tree"
+// software row: O(log N) average, O(N) worst-case node accesses.
+type BST struct {
+	opCounter
+	root *bstNode
+	n    int
+}
+
+type bstNode struct {
+	tag         int
+	fifo        []int // payloads of duplicates, FCFS
+	left, right *bstNode
+}
+
+// NewBST builds an empty binary search tree.
+func NewBST() *BST { return &BST{} }
+
+// Name implements MinTagQueue.
+func (t *BST) Name() string { return "binary search tree" }
+
+// Model implements MinTagQueue.
+func (t *BST) Model() Model { return ModelSort }
+
+// Exact implements MinTagQueue.
+func (t *BST) Exact() bool { return true }
+
+// Len implements MinTagQueue.
+func (t *BST) Len() int { return t.n }
+
+// Insert implements MinTagQueue.
+func (t *BST) Insert(tag, payload int) error {
+	t.n++
+	t.touch(1)
+	if t.root == nil {
+		t.root = &bstNode{tag: tag, fifo: []int{payload}}
+		t.endInsert()
+		return nil
+	}
+	cur := t.root
+	for {
+		switch {
+		case tag == cur.tag:
+			cur.fifo = append(cur.fifo, payload)
+			t.touch(1)
+			t.endInsert()
+			return nil
+		case tag < cur.tag:
+			if cur.left == nil {
+				cur.left = &bstNode{tag: tag, fifo: []int{payload}}
+				t.touch(1)
+				t.endInsert()
+				return nil
+			}
+			cur = cur.left
+		default:
+			if cur.right == nil {
+				cur.right = &bstNode{tag: tag, fifo: []int{payload}}
+				t.touch(1)
+				t.endInsert()
+				return nil
+			}
+			cur = cur.right
+		}
+		t.touch(1)
+	}
+}
+
+// ExtractMin implements MinTagQueue.
+func (t *BST) ExtractMin() (Entry, error) {
+	if t.root == nil {
+		return Entry{}, ErrEmpty
+	}
+	var parent *bstNode
+	cur := t.root
+	t.touch(1)
+	for cur.left != nil {
+		parent, cur = cur, cur.left
+		t.touch(1)
+	}
+	e := Entry{Tag: cur.tag, Payload: cur.fifo[0]}
+	cur.fifo = cur.fifo[1:]
+	t.touch(1)
+	if len(cur.fifo) == 0 {
+		if parent == nil {
+			t.root = cur.right
+		} else {
+			parent.left = cur.right
+		}
+		t.touch(1)
+	}
+	t.n--
+	t.endExtract()
+	return e, nil
+}
+
+// VEB is a van Emde Boas tree over a power-of-two universe: O(log log U)
+// cluster accesses per operation. The paper cites it ([10]) as the best
+// software structure while noting it "is unsuitable for implementation
+// in hardware". Duplicates carry FIFO payload queues per key.
+type VEB struct {
+	opCounter
+	root     *vebNode
+	universe int
+	fifo     map[int][]int
+	n        int
+}
+
+type vebNode struct {
+	universe  int
+	min, max  int // -1 = none
+	summary   *vebNode
+	clusters  []*vebNode
+	lowBits   uint
+	sqrtShift int
+}
+
+// NewVEB builds a van Emde Boas tree over universe [0, 2^bits).
+func NewVEB(bits int) (*VEB, error) {
+	if bits < 1 || bits > 24 {
+		return nil, fmt.Errorf("pqueue: veb universe bits %d out of range 1..24", bits)
+	}
+	return &VEB{
+		root:     newVEBNode(1 << uint(bits)),
+		universe: 1 << uint(bits),
+		fifo:     make(map[int][]int),
+	}, nil
+}
+
+func newVEBNode(u int) *vebNode {
+	n := &vebNode{universe: u, min: -1, max: -1}
+	if u > 2 {
+		// Split into high √u clusters of low √u each (rounded to powers
+		// of two).
+		low := 1
+		for low*low < u {
+			low <<= 1
+		}
+		high := u / low
+		n.lowBits = uint(log2(low))
+		n.clusters = make([]*vebNode, high)
+		n.summary = nil // lazily allocated
+	}
+	return n
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func (n *vebNode) high(x int) int { return x >> n.lowBits }
+func (n *vebNode) low(x int) int  { return x & ((1 << n.lowBits) - 1) }
+func (n *vebNode) index(h, l int) int {
+	return h<<n.lowBits | l
+}
+
+// Name implements MinTagQueue.
+func (v *VEB) Name() string { return "van Emde Boas" }
+
+// Model implements MinTagQueue.
+func (v *VEB) Model() Model { return ModelSort }
+
+// Exact implements MinTagQueue.
+func (v *VEB) Exact() bool { return true }
+
+// Len implements MinTagQueue.
+func (v *VEB) Len() int { return v.n }
+
+// Insert implements MinTagQueue.
+func (v *VEB) Insert(tag, payload int) error {
+	if tag < 0 || tag >= v.universe {
+		v.abort()
+		return fmt.Errorf("pqueue: veb tag %d out of range [0,%d)", tag, v.universe)
+	}
+	v.fifo[tag] = append(v.fifo[tag], payload)
+	v.n++
+	if len(v.fifo[tag]) == 1 {
+		v.insertKey(v.root, tag)
+	} else {
+		v.touch(1) // duplicate: FIFO append only
+	}
+	v.endInsert()
+	return nil
+}
+
+func (v *VEB) insertKey(n *vebNode, x int) {
+	v.touch(1)
+	if n.min == -1 {
+		n.min, n.max = x, x
+		return
+	}
+	if x < n.min {
+		n.min, x = x, n.min
+	}
+	if x > n.max {
+		n.max = x
+	}
+	if n.universe <= 2 {
+		return
+	}
+	h, l := n.high(x), n.low(x)
+	if n.clusters[h] == nil {
+		n.clusters[h] = newVEBNode(1 << n.lowBits)
+	}
+	if n.clusters[h].min == -1 {
+		if n.summary == nil {
+			n.summary = newVEBNode(len(n.clusters))
+		}
+		v.insertKey(n.summary, h)
+		v.touch(1)
+		n.clusters[h].min, n.clusters[h].max = l, l
+		return
+	}
+	v.insertKey(n.clusters[h], l)
+}
+
+// ExtractMin implements MinTagQueue.
+func (v *VEB) ExtractMin() (Entry, error) {
+	if v.n == 0 {
+		return Entry{}, ErrEmpty
+	}
+	v.touch(1)
+	tag := v.root.min
+	if tag == -1 {
+		v.abort()
+		return Entry{}, fmt.Errorf("pqueue: veb corrupt: empty root with %d entries", v.n)
+	}
+	q := v.fifo[tag]
+	e := Entry{Tag: tag, Payload: q[0]}
+	if len(q) == 1 {
+		delete(v.fifo, tag)
+		v.deleteKey(v.root, tag)
+	} else {
+		v.fifo[tag] = q[1:]
+		v.touch(1)
+	}
+	v.n--
+	v.endExtract()
+	return e, nil
+}
+
+func (v *VEB) deleteKey(n *vebNode, x int) {
+	v.touch(1)
+	if n.min == n.max {
+		n.min, n.max = -1, -1
+		return
+	}
+	if n.universe <= 2 {
+		if x == 0 {
+			n.min = 1
+		} else {
+			n.min = 0
+		}
+		n.max = n.min
+		return
+	}
+	if x == n.min {
+		// Pull the successor up: first key of the first cluster.
+		h := n.summary.min
+		l := n.clusters[h].min
+		x = n.index(h, l)
+		n.min = x
+		v.touch(1)
+	}
+	h, l := n.high(x), n.low(x)
+	v.deleteKey(n.clusters[h], l)
+	if n.clusters[h].min == -1 {
+		v.deleteKey(n.summary, h)
+	}
+	if x == n.max {
+		if n.summary == nil || n.summary.max == -1 {
+			n.max = n.min
+		} else {
+			h := n.summary.max
+			n.max = n.index(h, n.clusters[h].max)
+		}
+		v.touch(1)
+	}
+}

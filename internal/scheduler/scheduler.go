@@ -1,0 +1,478 @@
+// Package scheduler assembles the complete WFQ scheduler of paper
+// Fig. 1: the WFQ tag computation circuit (wfq), the shared packet
+// buffer (packet), and the tag sort/retrieve circuit (core) — the full
+// hardware datapath from packet arrival to scheduled departure, with
+// cycle accounting that reproduces the paper's §IV throughput analysis
+// (one tag per four-cycle window ⇒ 35.8 Mpps at 143 MHz ⇒ 40 Gb/s at
+// 140-byte average packets).
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"wfqsort/internal/aqm"
+	"wfqsort/internal/core"
+	"wfqsort/internal/packet"
+	"wfqsort/internal/schedulers"
+	"wfqsort/internal/taglist"
+	"wfqsort/internal/wfq"
+	"wfqsort/internal/wfqhw"
+)
+
+// Algorithm selects the tag computation circuit plugged into the Fig. 1
+// architecture — the paper stresses that "any fair queueing based
+// algorithm can be inserted into the architecture in place of the WFQ
+// calculation circuit".
+type Algorithm int
+
+// Tag computation algorithms.
+const (
+	// AlgWFQ is weighted fair queueing with an exact GPS virtual clock
+	// (the paper's reference [8] circuit).
+	AlgWFQ Algorithm = iota + 1
+	// AlgSCFQ is self-clocked fair queueing: the virtual time is the
+	// finishing tag of the packet in service — a much simpler update at
+	// slightly looser delay bounds.
+	AlgSCFQ
+	// AlgWFQFixed is the fixed-point WFQ tag computation circuit of
+	// paper reference [8] (internal/wfqhw): integer arithmetic end to
+	// end, exactly as the silicon computes tags. Its output is already
+	// in quantizer units.
+	AlgWFQFixed
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgWFQ:
+		return "WFQ"
+	case AlgSCFQ:
+		return "SCFQ"
+	case AlgWFQFixed:
+		return "WFQ-fixed-point"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes a scheduler instance.
+type Config struct {
+	// Weights are the per-session WFQ weights φ.
+	Weights []float64
+	// Algorithm selects the tag computation circuit (default AlgWFQ).
+	Algorithm Algorithm
+	// MemTech selects the tag-store memory technology (default SDR
+	// SRAM; QDRII halves the operation window, paper §III-C).
+	MemTech taglist.MemTech
+	// CapacityBps is the output line rate in bits/s.
+	CapacityBps float64
+	// ClockHz is the circuit clock for throughput accounting. Defaults
+	// to the paper's 143.2 MHz (4 cycles/op ⇒ 35.8 Mops/s).
+	ClockHz float64
+	// BufferSlots sizes the shared packet buffer. Defaults to
+	// SorterCapacity.
+	BufferSlots int
+	// SorterCapacity is the number of tag-store links. Default 4096.
+	SorterCapacity int
+	// Granularity is the finishing-tag quantization step in virtual-time
+	// seconds per tag unit. When zero a safe default is derived from the
+	// buffer size, the maximum packet, the minimum weight, and the tag
+	// window (guaranteeing no window overflow while the buffer bounds
+	// the backlog).
+	Granularity float64
+	// MaxPacketBytes bounds packet sizes for the granularity derivation
+	// (default 1500).
+	MaxPacketBytes int
+	// OnFull selects the overload policy (default FullError).
+	OnFull FullPolicy
+	// RED configures early detection when OnFull is FullRED; the zero
+	// value selects thresholds at 1/4 and 3/4 of the buffer with
+	// maxP 0.05.
+	RED aqm.REDConfig
+}
+
+// FullPolicy selects what happens when the packet buffer cannot admit an
+// arrival.
+type FullPolicy int
+
+// Overload policies.
+const (
+	// FullError aborts the run on the first un-admittable packet (the
+	// strict default: overload is treated as a configuration error).
+	FullError FullPolicy = iota
+	// FullTailDrop silently drops arrivals that find the buffer full,
+	// counting them in Result.Dropped.
+	FullTailDrop
+	// FullRED applies random early detection on the buffer occupancy,
+	// dropping probabilistically before the buffer fills (internal/aqm).
+	FullRED
+)
+
+// DefaultClockHz is the paper's implementation clock: 35.8 Mpps × 4
+// cycles per operation window.
+const DefaultClockHz = 143.2e6
+
+// Result is the outcome of a scheduler run.
+type Result struct {
+	// Departures in service order.
+	Departures []schedulers.Departure
+	// ExactTags holds each packet's unquantized WFQ finishing tag,
+	// indexed by packet ID.
+	ExactTags []float64
+	// QuantizedTags holds the sorter tags, indexed by packet ID.
+	QuantizedTags []int
+	// Inversions counts served pairs out of exact-tag order — the
+	// quantization accuracy cost (0 at fine granularity).
+	Inversions int64
+	// SectionsReclaimed counts Fig. 6 bulk deletions issued.
+	SectionsReclaimed int
+	// Sorter reports the sort/retrieve circuit traffic.
+	Sorter core.Stats
+	// PeakBuffer is the packet buffer high-water mark.
+	PeakBuffer int
+	// Windows is the number of 4-cycle sorter windows consumed.
+	Windows uint64
+	// Dropped counts arrivals rejected by the overload policy.
+	Dropped int
+}
+
+// tagger abstracts the pluggable tag computation circuit.
+type tagger interface {
+	// tag computes a packet's finishing tag.
+	tag(flow int, sizeBits, now float64) (float64, error)
+	// serve informs the tagger that the packet with finishing tag f
+	// entered service (used by self-clocked algorithms).
+	serve(f float64)
+}
+
+type wfqTagger struct{ clock *wfq.Clock }
+
+func (t *wfqTagger) tag(flow int, sizeBits, now float64) (float64, error) {
+	_, f, err := t.clock.Tag(flow, sizeBits, now)
+	return f, err
+}
+
+func (t *wfqTagger) serve(float64) {}
+
+type scfqTagger struct{ s *wfq.SCFQ }
+
+func (t *scfqTagger) tag(flow int, sizeBits, _ float64) (float64, error) {
+	return t.s.Tag(flow, sizeBits)
+}
+
+func (t *scfqTagger) serve(f float64) { t.s.Serve(f) }
+
+// fixedTagger adapts the integer-output fixed-point circuit to the
+// float-based pipeline bookkeeping (the quantizer re-derives the same
+// integer units, so the hardware tag path stays integer end to end).
+type fixedTagger struct {
+	hw          *wfqhw.Tagger
+	granularity float64
+}
+
+func (t *fixedTagger) tag(flow int, sizeBits, now float64) (float64, error) {
+	units, err := t.hw.Tag(flow, int(sizeBits), now)
+	if err != nil {
+		return 0, err
+	}
+	return float64(units) * t.granularity, nil
+}
+
+func (t *fixedTagger) serve(float64) {}
+
+// Scheduler is the Fig. 1 datapath. Not safe for concurrent use.
+type Scheduler struct {
+	cfg    Config
+	tagger tagger
+	quant  *wfq.Quantizer
+	sorter *core.Sorter
+	buffer *packet.Buffer
+	red    *aqm.RED
+}
+
+// New builds a scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if len(cfg.Weights) == 0 {
+		return nil, fmt.Errorf("scheduler: no sessions")
+	}
+	if cfg.CapacityBps <= 0 {
+		return nil, fmt.Errorf("scheduler: capacity %v must be positive", cfg.CapacityBps)
+	}
+	if cfg.ClockHz == 0 {
+		cfg.ClockHz = DefaultClockHz
+	}
+	if cfg.ClockHz <= 0 {
+		return nil, fmt.Errorf("scheduler: clock %v must be positive", cfg.ClockHz)
+	}
+	if cfg.SorterCapacity == 0 {
+		cfg.SorterCapacity = 4096
+	}
+	if cfg.BufferSlots == 0 {
+		cfg.BufferSlots = cfg.SorterCapacity
+	}
+	if cfg.MaxPacketBytes == 0 {
+		cfg.MaxPacketBytes = 1500
+	}
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = AlgWFQ
+	}
+	sorter, err := core.New(core.Config{
+		Capacity: cfg.SorterCapacity,
+		Mode:     core.ModeHardware,
+		MemTech:  cfg.MemTech,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: %w", err)
+	}
+	if cfg.Granularity == 0 {
+		// Worst live tag window: a full buffer of maximum packets on the
+		// lightest session, in virtual-time units L/(φ·C).
+		minW := cfg.Weights[0]
+		for _, w := range cfg.Weights {
+			if w < minW {
+				minW = w
+			}
+		}
+		maxBits := float64(cfg.MaxPacketBytes) * 8
+		window := float64(cfg.BufferSlots) * maxBits / (minW * cfg.CapacityBps)
+		maxUnits := float64(sorter.TagRange() - sorter.SectionSize())
+		cfg.Granularity = window / maxUnits
+	}
+	var tg tagger
+	switch cfg.Algorithm {
+	case AlgWFQ:
+		clock, err := wfq.NewClock(cfg.Weights, cfg.CapacityBps)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: %w", err)
+		}
+		tg = &wfqTagger{clock: clock}
+	case AlgSCFQ:
+		s, err := wfq.NewSCFQ(cfg.Weights, cfg.CapacityBps)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: %w", err)
+		}
+		tg = &scfqTagger{s: s}
+	case AlgWFQFixed:
+		hw, err := wfqhw.New(wfqhw.Config{
+			Weights:     cfg.Weights,
+			CapacityBps: cfg.CapacityBps,
+			Granularity: cfg.Granularity,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: %w", err)
+		}
+		tg = &fixedTagger{hw: hw, granularity: cfg.Granularity}
+	default:
+		return nil, fmt.Errorf("scheduler: unknown algorithm %d", int(cfg.Algorithm))
+	}
+	quant, err := wfq.NewQuantizer(cfg.Granularity, sorter.TagBits(), sorter.Sections())
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: %w", err)
+	}
+	buffer, err := packet.NewBuffer(cfg.BufferSlots)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: %w", err)
+	}
+	var red *aqm.RED
+	switch cfg.OnFull {
+	case FullError, FullTailDrop:
+	case FullRED:
+		rc := cfg.RED
+		if rc.MinThreshold == 0 && rc.MaxThreshold == 0 {
+			rc = aqm.REDConfig{
+				MinThreshold: float64(cfg.BufferSlots) / 4,
+				MaxThreshold: float64(cfg.BufferSlots) * 3 / 4,
+				MaxP:         0.05,
+			}
+		}
+		red, err = aqm.NewRED(rc)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("scheduler: unknown overload policy %d", int(cfg.OnFull))
+	}
+	return &Scheduler{cfg: cfg, tagger: tg, quant: quant, sorter: sorter, buffer: buffer, red: red}, nil
+}
+
+// Granularity returns the active quantization step.
+func (s *Scheduler) Granularity() float64 { return s.cfg.Granularity }
+
+// SupportedPPS returns the circuit's packet throughput ceiling: one
+// combined insert+extract window per packet (paper §IV). The window is
+// 4 cycles on the paper's SDR SRAM, 2 on QDRII, 3 on RLDRAM.
+func (s *Scheduler) SupportedPPS() float64 {
+	return s.cfg.ClockHz / float64(s.sorter.CyclesPerWindow())
+}
+
+// SupportedLineRate returns the line rate sustainable at the given mean
+// packet size (the paper's 40 Gb/s at 140 bytes).
+func (s *Scheduler) SupportedLineRate(meanPacketBytes float64) float64 {
+	return s.SupportedPPS() * meanPacketBytes * 8
+}
+
+// Run simulates the datapath over an arrival trace, serving the output
+// link at the configured capacity.
+func (s *Scheduler) Run(arrivals []packet.Packet) (*Result, error) {
+	arr := make([]packet.Packet, len(arrivals))
+	copy(arr, arrivals)
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].Arrival < arr[j].Arrival })
+
+	res := &Result{
+		ExactTags:     make([]float64, len(arr)),
+		QuantizedTags: make([]int, len(arr)),
+		Departures:    make([]schedulers.Departure, 0, len(arr)),
+	}
+	minLiveF := 0.0 // smallest finishing tag still in the sorter
+	liveF := map[int]float64{}
+
+	admit := func(p packet.Packet) error {
+		// Overload policy gate.
+		switch s.cfg.OnFull {
+		case FullTailDrop:
+			if s.buffer.Used() >= s.buffer.Capacity() {
+				res.Dropped++
+				return nil
+			}
+		case FullRED:
+			if s.buffer.Used() >= s.buffer.Capacity() || !s.red.Arrive() {
+				res.Dropped++
+				return nil
+			}
+		}
+		slot, err := s.buffer.Store(p)
+		if err != nil {
+			return fmt.Errorf("scheduler: packet %d: %w", p.ID, err)
+		}
+		f, err := s.tagger.tag(p.Flow, p.Bits(), p.Arrival)
+		if err != nil {
+			return fmt.Errorf("scheduler: packet %d: %w", p.ID, err)
+		}
+		res.ExactTags[p.ID] = f
+		// The tag computation circuit enforces the paper's invariant
+		// (§III-A): issued tags are never below the smallest tag still
+		// in the sorter. A would-be undercut (a high-weight arrival
+		// whose exact finishing tag beats every queued one) is clamped
+		// to the minimum and served FCFS behind it; the Inversions
+		// metric counts the resulting deviations from exact WFQ order.
+		fUsed := f
+		mf := fUsed
+		if s.sorter.Len() > 0 {
+			if fUsed < minLiveF {
+				fUsed = minLiveF
+			}
+			mf = minLiveF
+		}
+		tag, reclaim, err := s.quant.Quantize(fUsed, mf)
+		if err != nil {
+			return fmt.Errorf("scheduler: packet %d: %w", p.ID, err)
+		}
+		for _, sec := range reclaim {
+			if err := s.sorter.ReclaimSection(sec); err != nil {
+				return fmt.Errorf("scheduler: reclaim section %d: %w", sec, err)
+			}
+			res.SectionsReclaimed++
+		}
+		res.QuantizedTags[p.ID] = tag
+		if err := s.sorter.Insert(tag, slot); err != nil {
+			return fmt.Errorf("scheduler: packet %d: %w", p.ID, err)
+		}
+		if s.sorter.Len() == 1 || fUsed < minLiveF {
+			minLiveF = fUsed
+		}
+		liveF[p.ID] = fUsed
+		return nil
+	}
+
+	serve := func(now float64) (schedulers.Departure, error) {
+		e, err := s.sorter.ExtractMin()
+		if err != nil {
+			return schedulers.Departure{}, fmt.Errorf("scheduler: extract: %w", err)
+		}
+		p, err := s.buffer.Load(e.Payload)
+		if err != nil {
+			return schedulers.Departure{}, fmt.Errorf("scheduler: buffer: %w", err)
+		}
+		if s.red != nil {
+			s.red.Depart()
+		}
+		s.tagger.serve(res.ExactTags[p.ID])
+		delete(liveF, p.ID)
+		// Track the live minimum for the quantizer's window bookkeeping.
+		minLiveF = 0
+		first := true
+		for _, f := range liveF {
+			if first || f < minLiveF {
+				minLiveF, first = f, false
+			}
+		}
+		finish := now + p.Bits()/s.cfg.CapacityBps
+		return schedulers.Departure{Packet: p, Start: now, Finish: finish}, nil
+	}
+
+	next := 0
+	now := 0.0
+	for next < len(arr) || s.sorter.Len() > 0 {
+		if s.sorter.Len() == 0 && now < arr[next].Arrival {
+			now = arr[next].Arrival
+		}
+		for next < len(arr) && arr[next].Arrival <= now {
+			if err := admit(arr[next]); err != nil {
+				return nil, err
+			}
+			next++
+		}
+		if s.sorter.Len() == 0 {
+			continue
+		}
+		dep, err := serve(now)
+		if err != nil {
+			return nil, err
+		}
+		res.Departures = append(res.Departures, dep)
+		now = dep.Finish
+	}
+
+	// Service-order quality versus exact tags.
+	servedTags := make([]float64, len(res.Departures))
+	for i, d := range res.Departures {
+		servedTags[i] = res.ExactTags[d.Packet.ID]
+	}
+	res.Inversions = countInversions(servedTags)
+	res.Sorter = s.sorter.Stats()
+	res.PeakBuffer = s.buffer.PeakUsed()
+	res.Windows = res.Sorter.ListWindows
+	return res, nil
+}
+
+func countInversions(keys []float64) int64 {
+	buf := make([]float64, len(keys))
+	work := make([]float64, len(keys))
+	copy(work, keys)
+	return mergeCount(work, buf)
+}
+
+func mergeCount(a, buf []float64) int64 {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	count := mergeCount(a[:mid], buf[:mid]) + mergeCount(a[mid:], buf[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if a[i] <= a[j] {
+			buf[k] = a[i]
+			i++
+		} else {
+			count += int64(mid - i)
+			buf[k] = a[j]
+			j++
+		}
+		k++
+	}
+	copy(buf[k:], a[i:mid])
+	copy(buf[k+mid-i:], a[j:n])
+	copy(a, buf[:n])
+	return count
+}

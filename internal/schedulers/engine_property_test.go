@@ -1,0 +1,151 @@
+package schedulers
+
+import (
+	"testing"
+
+	"wfqsort/internal/traffic"
+)
+
+// allDisciplines builds one instance of every service discipline over a
+// 4-flow configuration.
+func allDisciplines(t *testing.T, capacity float64) []Discipline {
+	t.Helper()
+	weights := []float64{0.4, 0.3, 0.2, 0.1}
+	quanta := []int{600, 450, 300, 150}
+	wrr, err := NewWRR([]int{4, 3, 2, 1})
+	if err != nil {
+		t.Fatalf("NewWRR: %v", err)
+	}
+	drr, err := NewDRR(quanta)
+	if err != nil {
+		t.Fatalf("NewDRR: %v", err)
+	}
+	mdrr, err := NewMDRR(quanta)
+	if err != nil {
+		t.Fatalf("NewMDRR: %v", err)
+	}
+	srr, err := NewSRR(weights)
+	if err != nil {
+		t.Fatalf("NewSRR: %v", err)
+	}
+	wfqD, err := NewWFQ(weights, capacity)
+	if err != nil {
+		t.Fatalf("NewWFQ: %v", err)
+	}
+	wf2q, err := NewWF2Q(weights, capacity)
+	if err != nil {
+		t.Fatalf("NewWF2Q: %v", err)
+	}
+	wf2qp, err := NewWF2QPlus(weights, capacity)
+	if err != nil {
+		t.Fatalf("NewWF2QPlus: %v", err)
+	}
+	scfq, err := NewSCFQ(weights, capacity)
+	if err != nil {
+		t.Fatalf("NewSCFQ: %v", err)
+	}
+	vc, err := NewVirtualClock(weights, capacity)
+	if err != nil {
+		t.Fatalf("NewVirtualClock: %v", err)
+	}
+	hscfq, err := NewHSCFQ([]ClassSpec{
+		{Weight: 0.7, FlowWeights: map[int]float64{0: 4, 1: 3}},
+		{Weight: 0.3, FlowWeights: map[int]float64{2: 2, 3: 1}},
+	}, capacity)
+	if err != nil {
+		t.Fatalf("NewHSCFQ: %v", err)
+	}
+	cbq, err := NewCBQ([]CBQClass{
+		{QuantumBytes: 1400, FlowQuanta: map[int]int{0: 800, 1: 600}},
+		{QuantumBytes: 600, FlowQuanta: map[int]int{2: 400, 3: 200}},
+	})
+	if err != nil {
+		t.Fatalf("NewCBQ: %v", err)
+	}
+	return []Discipline{
+		NewFIFO(), wrr, drr, mdrr, srr, wfqD, wf2q, wf2qp, scfq, vc, hscfq, cbq,
+	}
+}
+
+// TestEngineUniversalProperties drives every discipline through three
+// workload shapes and asserts the engine-level invariants every
+// work-conserving scheduler must satisfy: conservation (every packet
+// served exactly once), non-overlap (single server), causality (service
+// starts after arrival), and no unforced idling.
+func TestEngineUniversalProperties(t *testing.T) {
+	const capacity = 1e6
+	workloads := map[string]func(t *testing.T) []traffic.Source{
+		"backlogged": func(t *testing.T) []traffic.Source {
+			var srcs []traffic.Source
+			for f := 0; f < 4; f++ {
+				s, err := traffic.NewCBR(f, 1e9, 300+100*f, 150, 0)
+				if err != nil {
+					t.Fatalf("NewCBR: %v", err)
+				}
+				srcs = append(srcs, s)
+			}
+			return srcs
+		},
+		"poisson": func(t *testing.T) []traffic.Source {
+			var srcs []traffic.Source
+			for f := 0; f < 4; f++ {
+				s, err := traffic.NewPoisson(f, 150, traffic.IMIX{}, 150, int64(f+1))
+				if err != nil {
+					t.Fatalf("NewPoisson: %v", err)
+				}
+				srcs = append(srcs, s)
+			}
+			return srcs
+		},
+		"bursty": func(t *testing.T) []traffic.Source {
+			var srcs []traffic.Source
+			for f := 0; f < 4; f++ {
+				s, err := traffic.NewOnOff(f, 2000, 0.01, 0.03, traffic.UniformSize{Min: 64, Max: 1500}, 150, int64(f+9))
+				if err != nil {
+					t.Fatalf("NewOnOff: %v", err)
+				}
+				srcs = append(srcs, s)
+			}
+			return srcs
+		},
+	}
+	for wname, build := range workloads {
+		wname, build := wname, build
+		t.Run(wname, func(t *testing.T) {
+			pkts, err := traffic.Merge(build(t)...)
+			if err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+			arriveAt := make(map[int]float64, len(pkts))
+			for _, p := range pkts {
+				arriveAt[p.ID] = p.Arrival
+			}
+			for _, d := range allDisciplines(t, capacity) {
+				deps, err := Run(pkts, d, capacity)
+				if err != nil {
+					t.Fatalf("%s/%s: Run: %v", wname, d.Name(), err)
+				}
+				if len(deps) != len(pkts) {
+					t.Fatalf("%s/%s: served %d of %d", wname, d.Name(), len(deps), len(pkts))
+				}
+				seen := make(map[int]bool, len(deps))
+				for i, dep := range deps {
+					if seen[dep.Packet.ID] {
+						t.Fatalf("%s/%s: packet %d served twice", wname, d.Name(), dep.Packet.ID)
+					}
+					seen[dep.Packet.ID] = true
+					if dep.Start < arriveAt[dep.Packet.ID]-1e-9 {
+						t.Fatalf("%s/%s: packet %d served before arrival", wname, d.Name(), dep.Packet.ID)
+					}
+					wantFinish := dep.Start + dep.Packet.Bits()/capacity
+					if diff := dep.Finish - wantFinish; diff > 1e-9 || diff < -1e-9 {
+						t.Fatalf("%s/%s: packet %d finish %v, want %v", wname, d.Name(), dep.Packet.ID, dep.Finish, wantFinish)
+					}
+					if i > 0 && dep.Start < deps[i-1].Finish-1e-9 {
+						t.Fatalf("%s/%s: overlapping service at %d", wname, d.Name(), i)
+					}
+				}
+			}
+		})
+	}
+}

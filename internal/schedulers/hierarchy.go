@@ -1,0 +1,391 @@
+package schedulers
+
+import (
+	"fmt"
+
+	"wfqsort/internal/packet"
+)
+
+// ClassSpec describes one traffic class in a two-level link-sharing
+// hierarchy: the class's share of the link and its member flows' shares
+// within the class.
+type ClassSpec struct {
+	// Weight is the class's share of the link.
+	Weight float64
+	// FlowWeights maps flow IDs to their weight within the class.
+	FlowWeights map[int]float64
+}
+
+// HSCFQ is a two-level hierarchical fair queueing discipline in the
+// family of paper reference [6] (hierarchical packet fair queueing): the
+// link is shared between classes by self-clocked fair queueing, and each
+// class shares its bandwidth between member flows the same way. Idle
+// classes' bandwidth is redistributed to busy siblings (link-sharing
+// with borrowing), which flat WFQ cannot express.
+type HSCFQ struct {
+	capacity float64
+	classes  []ClassSpec
+	classOf  map[int]int // flow → class
+
+	// Self-clocked state per level.
+	vRoot      float64
+	classF     []float64 // class finishing tags
+	vClass     []float64
+	flowF      map[int]float64
+	queues     map[int][]tagged // per-flow FIFO with class+flow tags
+	classCount []int            // queued packets per class
+	nqueued    int
+	seq        int
+}
+
+// NewHSCFQ builds the hierarchy.
+func NewHSCFQ(classes []ClassSpec, capacityBps float64) (*HSCFQ, error) {
+	if capacityBps <= 0 {
+		return nil, fmt.Errorf("hscfq: capacity %v must be positive", capacityBps)
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("hscfq: no classes")
+	}
+	h := &HSCFQ{
+		capacity:   capacityBps,
+		classes:    classes,
+		classOf:    make(map[int]int),
+		classF:     make([]float64, len(classes)),
+		vClass:     make([]float64, len(classes)),
+		flowF:      make(map[int]float64),
+		queues:     make(map[int][]tagged),
+		classCount: make([]int, len(classes)),
+	}
+	for c, spec := range classes {
+		if spec.Weight <= 0 {
+			return nil, fmt.Errorf("hscfq: class %d weight %v must be positive", c, spec.Weight)
+		}
+		if len(spec.FlowWeights) == 0 {
+			return nil, fmt.Errorf("hscfq: class %d has no flows", c)
+		}
+		for flow, w := range spec.FlowWeights {
+			if w <= 0 {
+				return nil, fmt.Errorf("hscfq: flow %d weight %v must be positive", flow, w)
+			}
+			if prev, dup := h.classOf[flow]; dup {
+				return nil, fmt.Errorf("hscfq: flow %d in classes %d and %d", flow, prev, c)
+			}
+			h.classOf[flow] = c
+		}
+	}
+	return h, nil
+}
+
+// Name implements Discipline.
+func (h *HSCFQ) Name() string { return "H-SCFQ" }
+
+// Enqueue implements Discipline: the packet gets a flow-level finishing
+// tag within its class (self-clocked on the class's virtual time), and a
+// class rejoining the busy set has its running tag bumped to the root
+// virtual time so it competes fairly after borrowing ended.
+func (h *HSCFQ) Enqueue(p packet.Packet, _ float64) error {
+	c, ok := h.classOf[p.Flow]
+	if !ok {
+		return fmt.Errorf("hscfq: flow %d not in any class", p.Flow)
+	}
+	if h.classCount[c] == 0 && h.vRoot > h.classF[c] {
+		h.classF[c] = h.vRoot
+	}
+	w := h.classes[c].FlowWeights[p.Flow]
+	start := h.vClass[c]
+	if f := h.flowF[p.Flow]; f > start {
+		start = f
+	}
+	finish := start + p.Bits()/(w*h.capacity)
+	h.flowF[p.Flow] = finish
+	h.queues[p.Flow] = append(h.queues[p.Flow], tagged{p: p, finish: finish, seq: h.seq})
+	h.seq++
+	h.classCount[c]++
+	h.nqueued++
+	return nil
+}
+
+// Dequeue implements Discipline: pick the class with the smallest
+// class-level finishing tag (charging it one packet of service), then
+// the flow with the smallest flow-level tag within it.
+func (h *HSCFQ) Dequeue(_ float64) (packet.Packet, error) {
+	if h.nqueued == 0 {
+		return packet.Packet{}, fmt.Errorf("hscfq: empty")
+	}
+	// Class selection: self-clocked fair queueing over backlogged
+	// classes using per-class finishing tags charged at service time.
+	bestClass := -1
+	for c := range h.classes {
+		if h.classCount[c] == 0 {
+			continue
+		}
+		if bestClass < 0 || h.classTagFor(c) < h.classTagFor(bestClass) {
+			bestClass = c
+		}
+	}
+	// Flow selection within the class: smallest flow-level finishing
+	// tag (FCFS on ties).
+	bestFlow := -1
+	var bestHead tagged
+	for flow := range h.classes[bestClass].FlowWeights {
+		q := h.queues[flow]
+		if len(q) == 0 {
+			continue
+		}
+		if bestFlow < 0 || less(q[0], bestHead) {
+			bestFlow, bestHead = flow, q[0]
+		}
+	}
+	if bestFlow < 0 {
+		return packet.Packet{}, fmt.Errorf("hscfq: class %d counted %d queued but no flow has packets", bestClass, h.classCount[bestClass])
+	}
+	h.queues[bestFlow] = h.queues[bestFlow][1:]
+	h.classCount[bestClass]--
+	h.nqueued--
+
+	// Charge the class's running tag and advance the virtual clocks
+	// (self-clocked: the root clock follows served class tags).
+	p := bestHead.p
+	h.classF[bestClass] += p.Bits() / (h.classes[bestClass].Weight * h.capacity)
+	if h.classF[bestClass] > h.vRoot {
+		h.vRoot = h.classF[bestClass]
+	}
+	if bestHead.finish > h.vClass[bestClass] {
+		h.vClass[bestClass] = bestHead.finish
+	}
+	return p, nil
+}
+
+// classTagFor returns the class's next finishing tag if it were served
+// now: its running tag plus the charge for its earliest head packet.
+// Running tags accumulate across services (and are bumped to the root
+// clock on idle→busy transitions), which is what shares the link in
+// proportion to class weights.
+func (h *HSCFQ) classTagFor(c int) float64 {
+	bits := 0.0
+	bestAny := false
+	var best tagged
+	for flow := range h.classes[c].FlowWeights {
+		q := h.queues[flow]
+		if len(q) == 0 {
+			continue
+		}
+		if !bestAny || less(q[0], best) {
+			best, bestAny = q[0], true
+			bits = q[0].p.Bits()
+		}
+	}
+	return h.classF[c] + bits/(h.classes[c].Weight*h.capacity)
+}
+
+// drrQueue is a deficit-round-robin selector with a peekable next
+// packet, used as the inner level of CBQ. Peeking commits the DRR
+// cursor/deficit decisions (legal: deficits persist across visits) and
+// caches the selection so pop serves exactly the peeked packet.
+type drrQueue struct {
+	queues  [][]packet.Packet
+	quantum []int
+	deficit []int
+	active  []int
+	pos     int
+	fresh   bool
+	n       int
+	// cached selection from peek
+	sel     int // index into active; -1 = none cached
+	selFlow int
+}
+
+func newDRRQueue(quanta []int) *drrQueue {
+	return &drrQueue{
+		queues:  make([][]packet.Packet, len(quanta)),
+		quantum: quanta,
+		deficit: make([]int, len(quanta)),
+		sel:     -1,
+	}
+}
+
+func (d *drrQueue) push(flowIdx int, p packet.Packet) {
+	if len(d.queues[flowIdx]) == 0 {
+		d.active = append(d.active, flowIdx)
+	}
+	d.queues[flowIdx] = append(d.queues[flowIdx], p)
+	d.n++
+}
+
+// peek resolves (and caches) the next packet per DRR rules.
+func (d *drrQueue) peek() (packet.Packet, bool) {
+	if d.n == 0 {
+		return packet.Packet{}, false
+	}
+	if d.sel >= 0 {
+		return d.queues[d.selFlow][0], true
+	}
+	const maxIter = 1 << 24
+	for iter := 0; iter < maxIter; iter++ {
+		if d.pos >= len(d.active) {
+			d.pos = 0
+		}
+		flow := d.active[d.pos]
+		if !d.fresh {
+			d.deficit[flow] += d.quantum[flow]
+			d.fresh = true
+		}
+		head := d.queues[flow][0]
+		if head.Size <= d.deficit[flow] {
+			d.sel, d.selFlow = d.pos, flow
+			return head, true
+		}
+		d.pos++
+		d.fresh = false
+	}
+	return packet.Packet{}, false
+}
+
+// pop serves the peeked packet.
+func (d *drrQueue) pop() (packet.Packet, bool) {
+	head, ok := d.peek()
+	if !ok {
+		return packet.Packet{}, false
+	}
+	flow := d.selFlow
+	d.deficit[flow] -= head.Size
+	d.queues[flow] = d.queues[flow][1:]
+	d.n--
+	d.sel = -1
+	if len(d.queues[flow]) == 0 {
+		d.deficit[flow] = 0
+		d.active = append(d.active[:d.pos], d.active[d.pos+1:]...)
+		d.fresh = false
+		if d.pos >= len(d.active) {
+			d.pos = 0
+		}
+	}
+	return head, true
+}
+
+// CBQ is class-based queueing (paper reference [4]): a "hierarchical
+// approach to DRR" — classes share the link by byte-quantum deficit
+// round robin, and flows share their class the same way. The outer
+// deficit is charged with the exact bytes of the inner level's chosen
+// packet.
+type CBQ struct {
+	classOf   map[int]int
+	flowIndex map[int]int
+	flowsOf   [][]int
+	inner     []*drrQueue
+
+	classQuantum []int
+	classDeficit []int
+	active       []int
+	pos          int
+	fresh        bool
+	nqueued      int
+}
+
+// CBQClass describes one CBQ class: its byte quantum at the link level
+// and per-flow byte quanta within it.
+type CBQClass struct {
+	QuantumBytes int
+	FlowQuanta   map[int]int
+}
+
+// NewCBQ builds a class-based queueing discipline.
+func NewCBQ(classes []CBQClass) (*CBQ, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("cbq: no classes")
+	}
+	c := &CBQ{
+		classOf:      make(map[int]int),
+		flowIndex:    make(map[int]int),
+		flowsOf:      make([][]int, len(classes)),
+		inner:        make([]*drrQueue, len(classes)),
+		classQuantum: make([]int, len(classes)),
+		classDeficit: make([]int, len(classes)),
+	}
+	for ci, spec := range classes {
+		if spec.QuantumBytes <= 0 {
+			return nil, fmt.Errorf("cbq: class %d quantum %d must be positive", ci, spec.QuantumBytes)
+		}
+		if len(spec.FlowQuanta) == 0 {
+			return nil, fmt.Errorf("cbq: class %d has no flows", ci)
+		}
+		c.classQuantum[ci] = spec.QuantumBytes
+		var quanta []int
+		for flow, q := range spec.FlowQuanta {
+			if q <= 0 {
+				return nil, fmt.Errorf("cbq: flow %d quantum %d must be positive", flow, q)
+			}
+			if prev, dup := c.classOf[flow]; dup {
+				return nil, fmt.Errorf("cbq: flow %d in classes %d and %d", flow, prev, ci)
+			}
+			c.classOf[flow] = ci
+			c.flowIndex[flow] = len(c.flowsOf[ci])
+			c.flowsOf[ci] = append(c.flowsOf[ci], flow)
+			quanta = append(quanta, q)
+		}
+		c.inner[ci] = newDRRQueue(quanta)
+	}
+	return c, nil
+}
+
+// Name implements Discipline.
+func (c *CBQ) Name() string { return "CBQ" }
+
+// Enqueue implements Discipline.
+func (c *CBQ) Enqueue(p packet.Packet, _ float64) error {
+	ci, ok := c.classOf[p.Flow]
+	if !ok {
+		return fmt.Errorf("cbq: flow %d not in any class", p.Flow)
+	}
+	if c.inner[ci].n == 0 {
+		c.active = append(c.active, ci)
+	}
+	c.inner[ci].push(c.flowIndex[p.Flow], p)
+	c.nqueued++
+	return nil
+}
+
+// Dequeue implements Discipline: deficit round robin over classes, where
+// each class's head is whatever its inner DRR would serve next.
+func (c *CBQ) Dequeue(_ float64) (packet.Packet, error) {
+	if c.nqueued == 0 {
+		return packet.Packet{}, fmt.Errorf("cbq: empty")
+	}
+	const maxIter = 1 << 24
+	for iter := 0; iter < maxIter; iter++ {
+		if c.pos >= len(c.active) {
+			c.pos = 0
+		}
+		ci := c.active[c.pos]
+		if !c.fresh {
+			c.classDeficit[ci] += c.classQuantum[ci]
+			c.fresh = true
+		}
+		head, ok := c.inner[ci].peek()
+		if !ok {
+			return packet.Packet{}, fmt.Errorf("cbq: class %d active but empty", ci)
+		}
+		if head.Size <= c.classDeficit[ci] {
+			c.classDeficit[ci] -= head.Size
+			p, ok := c.inner[ci].pop()
+			if !ok {
+				return packet.Packet{}, fmt.Errorf("cbq: class %d pop failed after peek", ci)
+			}
+			c.nqueued--
+			if c.inner[ci].n == 0 {
+				c.classDeficit[ci] = 0
+				c.active = append(c.active[:c.pos], c.active[c.pos+1:]...)
+				c.fresh = false
+				if c.pos >= len(c.active) {
+					c.pos = 0
+				}
+			}
+			// Packets keep their original Flow field; the dense
+			// in-class index is only the inner queue key.
+			return p, nil
+		}
+		c.pos++
+		c.fresh = false
+	}
+	return packet.Packet{}, fmt.Errorf("cbq: scan failed with %d queued", c.nqueued)
+}

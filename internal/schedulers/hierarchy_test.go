@@ -1,0 +1,257 @@
+package schedulers
+
+import (
+	"testing"
+
+	"wfqsort/internal/packet"
+	"wfqsort/internal/traffic"
+)
+
+func hierarchyArrivals(t *testing.T, flows []int, perFlow, size int) []packet.Packet {
+	t.Helper()
+	var srcs []traffic.Source
+	for _, f := range flows {
+		s, err := traffic.NewCBR(f, 1e9, size, perFlow, 0)
+		if err != nil {
+			t.Fatalf("NewCBR: %v", err)
+		}
+		srcs = append(srcs, s)
+	}
+	pkts, err := traffic.Merge(srcs...)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	return pkts
+}
+
+func twoClasses() []ClassSpec {
+	return []ClassSpec{
+		{Weight: 0.75, FlowWeights: map[int]float64{0: 2, 1: 1}},
+		{Weight: 0.25, FlowWeights: map[int]float64{2: 1, 3: 1}},
+	}
+}
+
+func TestHSCFQValidation(t *testing.T) {
+	if _, err := NewHSCFQ(nil, 1e6); err == nil {
+		t.Error("no classes accepted")
+	}
+	if _, err := NewHSCFQ(twoClasses(), 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewHSCFQ([]ClassSpec{{Weight: 0, FlowWeights: map[int]float64{0: 1}}}, 1e6); err == nil {
+		t.Error("zero class weight accepted")
+	}
+	if _, err := NewHSCFQ([]ClassSpec{{Weight: 1, FlowWeights: nil}}, 1e6); err == nil {
+		t.Error("empty class accepted")
+	}
+	if _, err := NewHSCFQ([]ClassSpec{
+		{Weight: 1, FlowWeights: map[int]float64{0: 1}},
+		{Weight: 1, FlowWeights: map[int]float64{0: 1}},
+	}, 1e6); err == nil {
+		t.Error("duplicate flow accepted")
+	}
+	if _, err := NewHSCFQ([]ClassSpec{{Weight: 1, FlowWeights: map[int]float64{0: -1}}}, 1e6); err == nil {
+		t.Error("negative flow weight accepted")
+	}
+	h, err := NewHSCFQ(twoClasses(), 1e6)
+	if err != nil {
+		t.Fatalf("NewHSCFQ: %v", err)
+	}
+	if err := h.Enqueue(packet.Packet{Flow: 9}, 0); err == nil {
+		t.Error("unknown flow accepted")
+	}
+	if _, err := h.Dequeue(0); err == nil {
+		t.Error("empty dequeue accepted")
+	}
+}
+
+// TestHSCFQClassShares: with all flows saturated, classes split the link
+// 3:1 and flows split their class per the intra-class weights.
+func TestHSCFQClassShares(t *testing.T) {
+	pkts := hierarchyArrivals(t, []int{0, 1, 2, 3}, 400, 500)
+	h, err := NewHSCFQ(twoClasses(), 1e6)
+	if err != nil {
+		t.Fatalf("NewHSCFQ: %v", err)
+	}
+	deps, err := Run(pkts, h, 1e6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bits := [4]float64{}
+	for _, d := range deps[:800] {
+		bits[d.Packet.Flow] += d.Packet.Bits()
+	}
+	classA := bits[0] + bits[1]
+	classB := bits[2] + bits[3]
+	if r := classA / classB; r < 2.4 || r > 3.6 {
+		t.Fatalf("class ratio %v, want ≈3 (0.75:0.25)", r)
+	}
+	if r := bits[0] / bits[1]; r < 1.6 || r > 2.4 {
+		t.Fatalf("intra-class ratio %v, want ≈2", r)
+	}
+	if r := bits[2] / bits[3]; r < 0.8 || r > 1.25 {
+		t.Fatalf("class-B intra ratio %v, want ≈1", r)
+	}
+}
+
+// TestHSCFQBorrowing: when class B goes idle, class A absorbs the whole
+// link (link-sharing with borrowing), and returns it when B resumes.
+func TestHSCFQBorrowing(t *testing.T) {
+	// Class A flows saturate continuously; class B only in the middle
+	// third of the run.
+	a0, err := traffic.NewCBR(0, 1e9, 500, 600, 0)
+	if err != nil {
+		t.Fatalf("NewCBR: %v", err)
+	}
+	a1, err := traffic.NewCBR(1, 1e9, 500, 600, 0)
+	if err != nil {
+		t.Fatalf("NewCBR: %v", err)
+	}
+	b, err := traffic.NewCBR(2, 1e9, 500, 200, 1.0)
+	if err != nil {
+		t.Fatalf("NewCBR: %v", err)
+	}
+	pkts, err := traffic.Merge(a0, a1, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	h, err := NewHSCFQ([]ClassSpec{
+		{Weight: 0.5, FlowWeights: map[int]float64{0: 1, 1: 1}},
+		{Weight: 0.5, FlowWeights: map[int]float64{2: 1}},
+	}, 1e6)
+	if err != nil {
+		t.Fatalf("NewHSCFQ: %v", err)
+	}
+	deps, err := Run(pkts, h, 1e6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Before t=1.0 only class A is backlogged: it must hold the whole
+	// link (work conservation / borrowing).
+	classABits := 0.0
+	for _, d := range deps {
+		if d.Finish <= 1.0 && (d.Packet.Flow == 0 || d.Packet.Flow == 1) {
+			classABits += d.Packet.Bits()
+		}
+	}
+	if classABits < 0.95e6 {
+		t.Fatalf("class A served %v bits in the first second, want ≈1e6 (borrowing)", classABits)
+	}
+	// While class B is backlogged it gets ≈half the link.
+	bBits := 0.0
+	var bFirst, bLast float64
+	for _, d := range deps {
+		if d.Packet.Flow == 2 {
+			if bFirst == 0 {
+				bFirst = d.Start
+			}
+			bBits += d.Packet.Bits()
+			bLast = d.Finish
+		}
+	}
+	share := bBits / ((bLast - bFirst) * 1e6)
+	if share < 0.4 || share > 0.6 {
+		t.Fatalf("class B share while backlogged %v, want ≈0.5", share)
+	}
+}
+
+func TestCBQValidation(t *testing.T) {
+	if _, err := NewCBQ(nil); err == nil {
+		t.Error("no classes accepted")
+	}
+	if _, err := NewCBQ([]CBQClass{{QuantumBytes: 0, FlowQuanta: map[int]int{0: 1}}}); err == nil {
+		t.Error("zero class quantum accepted")
+	}
+	if _, err := NewCBQ([]CBQClass{{QuantumBytes: 100, FlowQuanta: nil}}); err == nil {
+		t.Error("empty class accepted")
+	}
+	if _, err := NewCBQ([]CBQClass{{QuantumBytes: 100, FlowQuanta: map[int]int{0: 0}}}); err == nil {
+		t.Error("zero flow quantum accepted")
+	}
+	if _, err := NewCBQ([]CBQClass{
+		{QuantumBytes: 100, FlowQuanta: map[int]int{0: 1}},
+		{QuantumBytes: 100, FlowQuanta: map[int]int{0: 1}},
+	}); err == nil {
+		t.Error("duplicate flow accepted")
+	}
+	c, err := NewCBQ([]CBQClass{{QuantumBytes: 100, FlowQuanta: map[int]int{0: 100}}})
+	if err != nil {
+		t.Fatalf("NewCBQ: %v", err)
+	}
+	if err := c.Enqueue(packet.Packet{Flow: 5}, 0); err == nil {
+		t.Error("unknown flow accepted")
+	}
+	if _, err := c.Dequeue(0); err == nil {
+		t.Error("empty dequeue accepted")
+	}
+}
+
+// TestCBQByteShares: classes split the link by byte quanta and flows
+// split their class the same way, with exact byte accounting even for
+// mixed packet sizes.
+func TestCBQByteShares(t *testing.T) {
+	big, err := traffic.NewCBR(0, 1e9, 1000, 500, 0) // class A flow, large packets
+	if err != nil {
+		t.Fatalf("NewCBR: %v", err)
+	}
+	small, err := traffic.NewCBR(1, 1e9, 100, 3000, 0) // class A flow, small packets
+	if err != nil {
+		t.Fatalf("NewCBR: %v", err)
+	}
+	other, err := traffic.NewCBR(2, 1e9, 500, 800, 0) // class B
+	if err != nil {
+		t.Fatalf("NewCBR: %v", err)
+	}
+	pkts, err := traffic.Merge(big, small, other)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	c, err := NewCBQ([]CBQClass{
+		{QuantumBytes: 3000, FlowQuanta: map[int]int{0: 1000, 1: 1000}},
+		{QuantumBytes: 1000, FlowQuanta: map[int]int{2: 1000}},
+	})
+	if err != nil {
+		t.Fatalf("NewCBQ: %v", err)
+	}
+	deps, err := Run(pkts, c, 1e6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bits := [3]float64{}
+	for _, d := range deps[:2000] {
+		bits[d.Packet.Flow] += d.Packet.Bits()
+	}
+	classA := bits[0] + bits[1]
+	if r := classA / bits[2]; r < 2.4 || r > 3.6 {
+		t.Fatalf("class byte ratio %v, want ≈3", r)
+	}
+	// Equal flow quanta within class A: byte-fair despite the 10× size
+	// difference (the DRR property WRR lacks).
+	if r := bits[0] / bits[1]; r < 0.8 || r > 1.25 {
+		t.Fatalf("intra-class byte ratio %v, want ≈1", r)
+	}
+}
+
+// TestCBQWorkConserving: all packets served back to back.
+func TestCBQWorkConserving(t *testing.T) {
+	pkts := hierarchyArrivals(t, []int{0, 1, 2}, 100, 250)
+	c, err := NewCBQ([]CBQClass{
+		{QuantumBytes: 500, FlowQuanta: map[int]int{0: 250, 1: 250}},
+		{QuantumBytes: 500, FlowQuanta: map[int]int{2: 250}},
+	})
+	if err != nil {
+		t.Fatalf("NewCBQ: %v", err)
+	}
+	deps, err := Run(pkts, c, 1e6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(deps) != len(pkts) {
+		t.Fatalf("served %d of %d", len(deps), len(pkts))
+	}
+	for i := 1; i < len(deps); i++ {
+		if deps[i].Start < deps[i-1].Finish-1e-9 {
+			t.Fatalf("overlap at %d", i)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package schedulers
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"wfqsort/internal/packet"
+)
+
+// SRR is a simplified stratified round robin (paper reference [11]):
+// flows are grouped into weight classes k with normalized weight in
+// (2^-k, 2^-(k-1)]; an inter-class scheduler visits class k with
+// frequency proportional to 2^-k using a binary-counter slot scheme, and
+// flows within a class share slots round-robin. SRR was proposed
+// precisely because of "the bottleneck of sorting tags in fair
+// queueing" — it needs no sorter, but its class quantization rounds
+// every weight to a power of two and its delay guarantees remain
+// round-robin-grade (the paper's §II-B criticism).
+type SRR struct {
+	classOf []int             // flow → class index (0-based strata)
+	classes [][]int           // class → member flows
+	queues  [][]packet.Packet // per-flow FIFO
+	rrPos   []int             // per-class round-robin cursor
+	slot    uint64
+	nqueued int
+	maxK    int
+}
+
+// NewSRR builds a stratified round robin over the given flow weights
+// (weights are normalized internally).
+func NewSRR(weights []float64) (*SRR, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("srr: no flows")
+	}
+	sum := 0.0
+	for f, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("srr: flow %d weight %v must be positive", f, w)
+		}
+		sum += w
+	}
+	s := &SRR{
+		classOf: make([]int, len(weights)),
+		queues:  make([][]packet.Packet, len(weights)),
+	}
+	for f, w := range weights {
+		norm := w / sum
+		// Class k ≥ 0 with norm in (2^-(k+1), 2^-k].
+		k := int(math.Ceil(-math.Log2(norm))) - 1
+		if k < 0 {
+			k = 0
+		}
+		if k > 30 {
+			k = 30
+		}
+		s.classOf[f] = k
+		if k > s.maxK {
+			s.maxK = k
+		}
+	}
+	s.classes = make([][]int, s.maxK+1)
+	s.rrPos = make([]int, s.maxK+1)
+	for f, k := range s.classOf {
+		s.classes[k] = append(s.classes[k], f)
+	}
+	return s, nil
+}
+
+// Name implements Discipline.
+func (s *SRR) Name() string { return "SRR" }
+
+// Enqueue implements Discipline.
+func (s *SRR) Enqueue(p packet.Packet, _ float64) error {
+	if p.Flow < 0 || p.Flow >= len(s.queues) {
+		return fmt.Errorf("srr: flow %d out of range", p.Flow)
+	}
+	s.queues[p.Flow] = append(s.queues[p.Flow], p)
+	s.nqueued++
+	return nil
+}
+
+// classBacklogged reports whether any flow of class k has packets.
+func (s *SRR) classBacklogged(k int) bool {
+	for _, f := range s.classes[k] {
+		if len(s.queues[f]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// serveClass pops the next packet from class k round-robin.
+func (s *SRR) serveClass(k int) (packet.Packet, bool) {
+	members := s.classes[k]
+	for i := 0; i < len(members); i++ {
+		f := members[(s.rrPos[k]+i)%len(members)]
+		if len(s.queues[f]) > 0 {
+			p := s.queues[f][0]
+			s.queues[f] = s.queues[f][1:]
+			s.rrPos[k] = (s.rrPos[k] + i + 1) % len(members)
+			s.nqueued--
+			return p, true
+		}
+	}
+	return packet.Packet{}, false
+}
+
+// Dequeue implements Discipline. The inter-class schedule uses the
+// binary-counter trick: slot t serves the class equal to the number of
+// trailing ones of t (class 0 on half the slots, class 1 on a quarter,
+// …), falling through to the next backlogged class to stay
+// work-conserving.
+func (s *SRR) Dequeue(_ float64) (packet.Packet, error) {
+	if s.nqueued == 0 {
+		return packet.Packet{}, fmt.Errorf("srr: empty")
+	}
+	for tries := 0; tries < 4*(s.maxK+2); tries++ {
+		k := bits.TrailingZeros64(^s.slot) // trailing ones of slot
+		s.slot++
+		if k > s.maxK {
+			// Residual slots beyond the deepest stratum return to the
+			// heaviest class, keeping class k's frequency at 2^-(k+1).
+			k = 0
+		}
+		// Fall to the nearest backlogged class at or below the target
+		// frequency, then upward.
+		for d := k; d <= s.maxK; d++ {
+			if len(s.classes[d]) > 0 && s.classBacklogged(d) {
+				if p, ok := s.serveClass(d); ok {
+					return p, nil
+				}
+			}
+		}
+		for d := k - 1; d >= 0; d-- {
+			if len(s.classes[d]) > 0 && s.classBacklogged(d) {
+				if p, ok := s.serveClass(d); ok {
+					return p, nil
+				}
+			}
+		}
+	}
+	return packet.Packet{}, fmt.Errorf("srr: scan failed with %d queued", s.nqueued)
+}

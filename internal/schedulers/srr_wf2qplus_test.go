@@ -1,0 +1,197 @@
+package schedulers
+
+import (
+	"testing"
+
+	"wfqsort/internal/gps"
+	"wfqsort/internal/packet"
+	"wfqsort/internal/traffic"
+)
+
+func TestSRRValidation(t *testing.T) {
+	if _, err := NewSRR(nil); err == nil {
+		t.Error("no flows accepted")
+	}
+	if _, err := NewSRR([]float64{1, 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	s, err := NewSRR([]float64{1})
+	if err != nil {
+		t.Fatalf("NewSRR: %v", err)
+	}
+	if err := s.Enqueue(packet.Packet{Flow: 3}, 0); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+	if _, err := s.Dequeue(0); err == nil {
+		t.Error("empty dequeue accepted")
+	}
+}
+
+// TestSRRStratifiedShares: under saturation, class-0 flows (heavy) get
+// roughly double the bandwidth of class-1 flows, which get double
+// class-2 — the power-of-two stratification.
+func TestSRRStratifiedShares(t *testing.T) {
+	// Normalized weights 8/14, 4/14, 2/14 → classes 0, 1, 2.
+	weights := []float64{8, 4, 2}
+	var srcs []traffic.Source
+	for f := 0; f < 3; f++ {
+		s, err := traffic.NewCBR(f, 1e9, 500, 900, 0)
+		if err != nil {
+			t.Fatalf("NewCBR: %v", err)
+		}
+		srcs = append(srcs, s)
+	}
+	pkts, err := traffic.Merge(srcs...)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	srr, err := NewSRR(weights)
+	if err != nil {
+		t.Fatalf("NewSRR: %v", err)
+	}
+	deps, err := Run(pkts, srr, 1e6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	counts := [3]float64{}
+	for _, d := range deps[:900] {
+		counts[d.Packet.Flow]++
+	}
+	r01 := counts[0] / counts[1]
+	r12 := counts[1] / counts[2]
+	if r01 < 1.5 || r01 > 2.8 {
+		t.Fatalf("class0/class1 ratio %v, want ≈2", r01)
+	}
+	if r12 < 1.5 || r12 > 2.8 {
+		t.Fatalf("class1/class2 ratio %v, want ≈2", r12)
+	}
+}
+
+// TestSRRWorkConserving: all packets are served, back to back.
+func TestSRRWorkConserving(t *testing.T) {
+	weights := []float64{5, 3, 1, 1}
+	pkts := backloggedArrivals(t, 4, 50, 125)
+	srr, err := NewSRR(weights)
+	if err != nil {
+		t.Fatalf("NewSRR: %v", err)
+	}
+	deps, err := Run(pkts, srr, 1e6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(deps) != len(pkts) {
+		t.Fatalf("served %d of %d", len(deps), len(pkts))
+	}
+	for i := 1; i < len(deps); i++ {
+		if deps[i].Start < deps[i-1].Finish-1e-9 {
+			t.Fatalf("overlap at %d", i)
+		}
+	}
+}
+
+// TestSRRWeightQuantization reproduces the paper's §II-B criticism of
+// SRR: weights are rounded to power-of-two classes, so two flows with a
+// 1.4:1 weight ratio receive identical service — WFQ honours the exact
+// ratio.
+func TestSRRWeightQuantization(t *testing.T) {
+	// Flows 0 and 1 both normalize into stratum 1 (norm ∈ (1/4, 1/2])
+	// despite a 1.85× weight ratio.
+	weights := []float64{0.48, 0.26, 0.26}
+	pkts := backloggedArrivals(t, 3, 600, 125)
+	srr, err := NewSRR(weights)
+	if err != nil {
+		t.Fatalf("NewSRR: %v", err)
+	}
+	deps, err := Run(pkts, srr, 1e6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	counts := [3]float64{}
+	for _, d := range deps[:900] {
+		counts[d.Packet.Flow]++
+	}
+	// Flows 0 and 1 differ by 1.85× in weight but share a stratum: SRR
+	// serves them equally.
+	if r := counts[0] / counts[1]; r < 0.85 || r > 1.2 {
+		t.Fatalf("same-stratum ratio %v, want ≈1 (quantized)", r)
+	}
+	// WFQ honours the exact 1.85 ratio.
+	w, err := NewWFQ(weights, 1e6)
+	if err != nil {
+		t.Fatalf("NewWFQ: %v", err)
+	}
+	deps, err = Run(pkts, w, 1e6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	counts = [3]float64{}
+	for _, d := range deps[:900] {
+		counts[d.Packet.Flow]++
+	}
+	if r := counts[0] / counts[1]; r < 1.6 || r > 2.1 {
+		t.Fatalf("WFQ ratio %v, want ≈1.85 (exact weights)", r)
+	}
+}
+
+// TestWF2QPlusMatchesWF2QClosely: on a contended workload the cheap
+// WF²Q+ virtual clock tracks GPS within the same one-packet bound as the
+// exact-clock WF²Q.
+func TestWF2QPlusDelayBound(t *testing.T) {
+	const capacity = 1e6
+	weights := []float64{4, 2, 1, 1}
+	var srcs []traffic.Source
+	for f := 0; f < 4; f++ {
+		s, err := traffic.NewPoisson(f, 100, traffic.UniformSize{Min: 64, Max: 1500}, 120, int64(f+5))
+		if err != nil {
+			t.Fatalf("NewPoisson: %v", err)
+		}
+		srcs = append(srcs, s)
+	}
+	pkts, err := traffic.Merge(srcs...)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	ref, err := gps.Simulate(pkts, weights, capacity)
+	if err != nil {
+		t.Fatalf("gps.Simulate: %v", err)
+	}
+	wp, err := NewWF2QPlus(weights, capacity)
+	if err != nil {
+		t.Fatalf("NewWF2QPlus: %v", err)
+	}
+	deps, err := Run(pkts, wp, capacity)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(deps) != len(pkts) {
+		t.Fatalf("served %d of %d", len(deps), len(pkts))
+	}
+	bound := 2 * 1500 * 8 / capacity // WF²Q+ approximate clock: 2·Lmax/C slack
+	for _, d := range deps {
+		if lag := d.Finish - ref.Finish[d.Packet.ID]; lag > bound {
+			t.Fatalf("WF2Q+ lag %v exceeds %v", lag, bound)
+		}
+	}
+}
+
+func TestWF2QPlusValidation(t *testing.T) {
+	if _, err := NewWF2QPlus(nil, 1e6); err == nil {
+		t.Error("no flows accepted")
+	}
+	if _, err := NewWF2QPlus([]float64{1}, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewWF2QPlus([]float64{-1}, 1e6); err == nil {
+		t.Error("negative weight accepted")
+	}
+	w, err := NewWF2QPlus([]float64{1}, 1e6)
+	if err != nil {
+		t.Fatalf("NewWF2QPlus: %v", err)
+	}
+	if err := w.Enqueue(packet.Packet{Flow: 2}, 0); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+	if _, err := w.Dequeue(0); err == nil {
+		t.Error("empty dequeue accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package schedulers
+
+import (
+	"testing"
+
+	"wfqsort/internal/packet"
+)
+
+func TestVirtualClockValidation(t *testing.T) {
+	if _, err := NewVirtualClock(nil, 1e6); err == nil {
+		t.Error("no flows accepted")
+	}
+	if _, err := NewVirtualClock([]float64{1}, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewVirtualClock([]float64{0}, 1e6); err == nil {
+		t.Error("zero weight accepted")
+	}
+	vc, err := NewVirtualClock([]float64{1}, 1e6)
+	if err != nil {
+		t.Fatalf("NewVirtualClock: %v", err)
+	}
+	if err := vc.Enqueue(packet.Packet{Flow: 3}, 0); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+	if _, err := vc.Dequeue(0); err == nil {
+		t.Error("empty dequeue accepted")
+	}
+}
+
+// TestVirtualClockPunishesPastUsage demonstrates the classic VC
+// pathology the fair queueing family fixes: a flow that sent ahead of
+// its reservation while the link was otherwise idle accumulates future
+// stamps and is then locked out when a competitor arrives — under WFQ
+// the same history is forgiven.
+func TestVirtualClockPunishesPastUsage(t *testing.T) {
+	const capacity = 1e6
+	weights := []float64{0.5, 0.5}
+	var pkts []packet.Packet
+	id := 0
+	// Phase 1: flow 0 alone sends 50 packets at t=0, using the idle
+	// link (legitimate work conservation); they drain by t=0.2.
+	for i := 0; i < 50; i++ {
+		pkts = append(pkts, packet.Packet{ID: id, Flow: 0, Size: 500, Arrival: 0})
+		id++
+	}
+	// Idle gap, then phase 2 at t=0.25: both flows offer 30 packets.
+	const phase2 = 0.25
+	for i := 0; i < 30; i++ {
+		pkts = append(pkts, packet.Packet{ID: id, Flow: 0, Size: 500, Arrival: phase2})
+		id++
+		pkts = append(pkts, packet.Packet{ID: id, Flow: 1, Size: 500, Arrival: phase2})
+		id++
+	}
+	firstN := func(d Discipline, n int) (flow0 int) {
+		deps, err := Run(pkts, d, capacity)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		count := 0
+		for _, dep := range deps {
+			if dep.Packet.Arrival < phase2 {
+				continue // phase-1 backlog
+			}
+			if count >= n {
+				break
+			}
+			count++
+			if dep.Packet.Flow == 0 {
+				flow0++
+			}
+		}
+		return flow0
+	}
+	vc, err := NewVirtualClock(weights, capacity)
+	if err != nil {
+		t.Fatalf("NewVirtualClock: %v", err)
+	}
+	wfqD, err := NewWFQ(weights, capacity)
+	if err != nil {
+		t.Fatalf("NewWFQ: %v", err)
+	}
+	// Of the first 20 phase-2 packets served, VC gives flow 0 almost
+	// nothing (its stamps are far in the future), while WFQ shares
+	// evenly from the moment both are backlogged.
+	vcShare := firstN(vc, 20)
+	wfqShare := firstN(wfqD, 20)
+	if vcShare > 4 {
+		t.Fatalf("VC served flow 0 %d of the first 20 — expected punishment for past usage", vcShare)
+	}
+	if wfqShare < 7 || wfqShare > 13 {
+		t.Fatalf("WFQ served flow 0 %d of the first 20 — expected ≈10 (history forgiven)", wfqShare)
+	}
+}

@@ -1,0 +1,129 @@
+package synthesis
+
+import (
+	"strings"
+	"testing"
+
+	"wfqsort/internal/matcher"
+)
+
+func TestSynthesizeDefaults(t *testing.T) {
+	rep, err := Synthesize(Config{})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	// Silicon geometry: 3 levels, 16-bit nodes.
+	if rep.Config.Levels != 3 || rep.Config.LiteralBits != 4 {
+		t.Fatalf("defaults = %+v", rep.Config)
+	}
+	// Memory inventory: 16 + 256 + 4096 tree bits + 4096×26 table bits.
+	wantTree := []int{16, 256, 4096}
+	for i, w := range wantTree {
+		if rep.Memories[i].Bits != w {
+			t.Errorf("tree level %d = %d bits, want %d", i, rep.Memories[i].Bits, w)
+		}
+	}
+	if rep.Memories[3].Bits != 4096*26 {
+		t.Errorf("table = %d bits, want %d", rep.Memories[3].Bits, 4096*26)
+	}
+	if rep.MemoryBits != 16+256+4096+4096*26 {
+		t.Errorf("MemoryBits = %d", rep.MemoryBits)
+	}
+	// First two levels in registers, rest SRAM.
+	if !rep.Memories[0].Register || !rep.Memories[1].Register || rep.Memories[2].Register {
+		t.Error("register/SRAM split wrong")
+	}
+}
+
+// TestOperatingPoint verifies the calibrated model reproduces the paper's
+// headline numbers: ≈143 MHz class frequency, ≥35 Mpps, ≥39 Gb/s at
+// 140-byte packets.
+func TestOperatingPoint(t *testing.T) {
+	rep, err := Synthesize(Config{})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if rep.FrequencyMHz < 135 || rep.FrequencyMHz > 165 {
+		t.Errorf("frequency %.1f MHz, want ≈143-155 (calibration drifted)", rep.FrequencyMHz)
+	}
+	if rep.ThroughputMpps < 33 {
+		t.Errorf("throughput %.1f Mpps, want ≥33", rep.ThroughputMpps)
+	}
+	if rep.LineRateGbps < 38 {
+		t.Errorf("line rate %.1f Gb/s, want ≥38 (paper: 40)", rep.LineRateGbps)
+	}
+}
+
+// TestPowerSplit reproduces the paper's qualitative result: "the power
+// consumption of the memory blocks is comparatively low, with the
+// majority due to the lookup logic and associated interconnect".
+func TestPowerSplit(t *testing.T) {
+	rep, err := Synthesize(Config{})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if rep.LogicPowerMW <= rep.MemoryPowerMW {
+		t.Errorf("logic %.2f mW ≤ memory %.2f mW — paper says logic dominates",
+			rep.LogicPowerMW, rep.MemoryPowerMW)
+	}
+	if rep.TotalPowerMW <= 0 {
+		t.Error("no power estimate")
+	}
+}
+
+// TestScalingShapes: widening the tree to the 15-bit option (paper
+// §III-A: 32-bit nodes, 32-k translation table) grows the table 8× and
+// slows the matcher, as the paper predicts.
+func TestScalingShapes(t *testing.T) {
+	base, err := Synthesize(Config{})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	wide, err := Synthesize(Config{Levels: 3, LiteralBits: 5})
+	if err != nil {
+		t.Fatalf("Synthesize(wide): %v", err)
+	}
+	if wide.Memories[3].Bits != 32768*26 {
+		t.Errorf("15-bit table = %d bits, want 32k entries (paper: 32-k)", wide.Memories[3].Bits)
+	}
+	if wide.TotalAreaMm2 <= base.TotalAreaMm2 {
+		t.Error("wider tree did not cost area")
+	}
+	if wide.FrequencyMHz >= base.FrequencyMHz {
+		t.Error("wider nodes did not slow the matcher")
+	}
+}
+
+func TestVariantChoiceMatters(t *testing.T) {
+	fast, err := Synthesize(Config{Variant: matcher.SelectLookAhead})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	slow, err := Synthesize(Config{Variant: matcher.Ripple})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if slow.FrequencyMHz >= fast.FrequencyMHz {
+		t.Errorf("ripple matcher %.1f MHz not slower than select&LA %.1f MHz",
+			slow.FrequencyMHz, fast.FrequencyMHz)
+	}
+}
+
+func TestSynthesizeInvalid(t *testing.T) {
+	if _, err := Synthesize(Config{Levels: 9, LiteralBits: 4}); err == nil {
+		t.Error("oversized tree accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := Synthesize(Config{})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	s := rep.String()
+	for _, want := range []string{"translation table", "Mpps", "mm²", "mW"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

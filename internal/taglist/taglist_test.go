@@ -1,0 +1,465 @@
+package taglist
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func mustNew(t *testing.T, capacity int) *List {
+	t.Helper()
+	l, err := New(Config{Capacity: capacity, TagBits: 12, PayloadBits: 16})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l
+}
+
+func tags(entries []Entry) []int {
+	out := make([]int, len(entries))
+	for i, e := range entries {
+		out[i] = e.Tag
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Capacity: 1, TagBits: 12}); err == nil {
+		t.Error("capacity 1 accepted")
+	}
+	if _, err := New(Config{Capacity: 8, TagBits: 0}); err == nil {
+		t.Error("zero tag bits accepted")
+	}
+	if _, err := New(Config{Capacity: 8, TagBits: 27}); err == nil {
+		t.Error("oversized tag bits accepted")
+	}
+	if _, err := New(Config{Capacity: 8, TagBits: 12, PayloadBits: 40}); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if _, err := New(Config{Capacity: 1 << 30, TagBits: 26, PayloadBits: 32}); err == nil {
+		t.Error("overflowing link word accepted")
+	}
+}
+
+// TestFig9InsertSequence replays paper Fig. 9: inserting tag 16 between
+// tags 15 and 17 costs exactly two reads and two writes once the
+// initialization region is exhausted.
+func TestFig9InsertSequence(t *testing.T) {
+	l := mustNew(t, 4)
+	// Build list [15, 17] and exhaust the remaining init-counter slots so
+	// a later allocation must use the empty list (as in the figure).
+	a15, err := l.InsertHead(15, 0)
+	if err != nil {
+		t.Fatalf("InsertHead: %v", err)
+	}
+	if _, err := l.InsertAfter(17, 0, a15); err != nil {
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	if _, err := l.InsertAfter(18, 0, a15); err != nil { // filler
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	if _, err := l.InsertAfter(19, 0, a15); err != nil { // filler
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	// Free two links so the empty list is live.
+	if _, err := l.ExtractMin(); err != nil { // removes 15
+		t.Fatalf("ExtractMin: %v", err)
+	}
+	e, err := l.ExtractMin() // removes 17... wait: 15 then next smallest
+	if err != nil {
+		t.Fatalf("ExtractMin: %v", err)
+	}
+	_ = e
+	// List now holds [18, 19] (they were inserted right after 15).
+	head, ok := l.PeekMin()
+	if !ok {
+		t.Fatal("PeekMin: empty")
+	}
+
+	l.ResetStats()
+	if _, err := l.InsertAfter(18, 0, head.Addr); err != nil {
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	st := l.MemStats()
+	if st.Reads != 2 || st.Writes != 2 {
+		t.Fatalf("insert cost %d reads %d writes, want 2+2 (paper Fig. 9)", st.Reads, st.Writes)
+	}
+	if l.Windows() != 1 {
+		t.Fatalf("insert consumed %d windows, want 1", l.Windows())
+	}
+}
+
+// TestSortedOrderMaintained drives random inserts at oracle-chosen
+// positions and verifies the chain stays sorted.
+func TestSortedOrderMaintained(t *testing.T) {
+	l := mustNew(t, 256)
+	rng := rand.New(rand.NewSource(3))
+	var inserted []int
+	addrOf := map[int]int{} // tag -> newest addr
+	for i := 0; i < 200; i++ {
+		tag := rng.Intn(4096)
+		// Find the closest tag ≤ tag with a live link (oracle for the
+		// tree + translation table).
+		best := -1
+		for v := range addrOf {
+			if v <= tag && v > best {
+				best = v
+			}
+		}
+		var err error
+		var addr int
+		if best < 0 {
+			addr, err = l.InsertHead(tag, i&0xFFFF)
+		} else {
+			addr, err = l.InsertAfter(tag, i&0xFFFF, addrOf[best])
+		}
+		if err != nil {
+			t.Fatalf("insert %d: %v", tag, err)
+		}
+		addrOf[tag] = addr
+		inserted = append(inserted, tag)
+	}
+	got, err := l.Walk()
+	if err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	sort.Ints(inserted)
+	if !equalInts(tags(got), inserted) {
+		t.Fatalf("list order diverged from sorted oracle:\n got %v\nwant %v", tags(got), inserted)
+	}
+}
+
+func TestExtractMinOrder(t *testing.T) {
+	l := mustNew(t, 64)
+	a, _ := l.InsertHead(20, 1)
+	if _, err := l.InsertAfter(30, 2, a); err != nil {
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	if _, err := l.InsertHead(10, 3); err != nil {
+		t.Fatalf("InsertHead: %v", err)
+	}
+	want := []Entry{{Tag: 10, Payload: 3}, {Tag: 20, Payload: 1}, {Tag: 30, Payload: 2}}
+	for _, w := range want {
+		e, err := l.ExtractMin()
+		if err != nil {
+			t.Fatalf("ExtractMin: %v", err)
+		}
+		if e.Tag != w.Tag || e.Payload != w.Payload {
+			t.Fatalf("ExtractMin = tag %d payload %d, want tag %d payload %d", e.Tag, e.Payload, w.Tag, w.Payload)
+		}
+	}
+	if _, err := l.ExtractMin(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("ExtractMin on empty = %v, want ErrEmpty", err)
+	}
+}
+
+// TestFig10EmptyListReuse verifies the two-interleaved-lists behaviour of
+// paper Fig. 10: served links join the empty list and are reused before
+// never-touched memory once the init counter is exhausted.
+func TestFig10EmptyListReuse(t *testing.T) {
+	l := mustNew(t, 4)
+	addrs := make([]int, 0, 4)
+	prev := -1
+	for i, tag := range []int{10, 20, 30, 40} {
+		var addr int
+		var err error
+		if prev < 0 {
+			addr, err = l.InsertHead(tag, i)
+		} else {
+			addr, err = l.InsertAfter(tag, i, prev)
+		}
+		if err != nil {
+			t.Fatalf("insert %d: %v", tag, err)
+		}
+		addrs = append(addrs, addr)
+		prev = addr
+	}
+	// Init counter allocates 0,1,2,3 in order (paper: "allocated an
+	// address equal to the value of the counter").
+	for i, a := range addrs {
+		if a != i {
+			t.Fatalf("init-counter address %d = %d, want %d", i, a, i)
+		}
+	}
+	if _, err := l.InsertAfter(50, 0, prev); !errors.Is(err, ErrFull) {
+		t.Fatalf("insert into full list = %v, want ErrFull", err)
+	}
+	// Serve two tags: links 0 and 1 join the empty list (LIFO).
+	if _, err := l.ExtractMin(); err != nil {
+		t.Fatalf("ExtractMin: %v", err)
+	}
+	if _, err := l.ExtractMin(); err != nil {
+		t.Fatalf("ExtractMin: %v", err)
+	}
+	free, err := l.FreeLinks()
+	if err != nil || free != 2 {
+		t.Fatalf("FreeLinks = %d,%v; want 2", free, err)
+	}
+	// Next allocations reuse the freed links (most recently freed first).
+	a, err := l.InsertAfter(50, 0, addrs[3])
+	if err != nil {
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	if a != 1 {
+		t.Fatalf("reused address = %d, want 1 (most recently freed)", a)
+	}
+	b, err := l.InsertAfter(60, 0, a)
+	if err != nil {
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	if b != 0 {
+		t.Fatalf("second reused address = %d, want 0", b)
+	}
+}
+
+// TestDuplicateFCFS verifies the paper's first-come-first-served policy
+// for equal tag values: inserting each duplicate after the most recent
+// one preserves arrival order at service time.
+func TestDuplicateFCFS(t *testing.T) {
+	l := mustNew(t, 16)
+	a1, err := l.InsertHead(5, 100)
+	if err != nil {
+		t.Fatalf("InsertHead: %v", err)
+	}
+	a2, err := l.InsertAfter(5, 200, a1) // second arrival of tag 5
+	if err != nil {
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	if _, err := l.InsertAfter(5, 300, a2); err != nil { // third arrival
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	for _, wantPayload := range []int{100, 200, 300} {
+		e, err := l.ExtractMin()
+		if err != nil {
+			t.Fatalf("ExtractMin: %v", err)
+		}
+		if e.Tag != 5 || e.Payload != wantPayload {
+			t.Fatalf("served tag %d payload %d, want 5/%d (FCFS)", e.Tag, e.Payload, wantPayload)
+		}
+	}
+}
+
+// TestSimultaneousInsertExtract covers the paper's same-window combined
+// operation: the departing head's link is reused for the incoming tag and
+// the whole exchange costs one window with at most 2 reads + 2 writes.
+func TestSimultaneousInsertExtract(t *testing.T) {
+	l := mustNew(t, 8)
+	a, _ := l.InsertHead(10, 1)
+	b, err := l.InsertAfter(20, 2, a)
+	if err != nil {
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	if _, err := l.InsertAfter(40, 3, b); err != nil {
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	l.ResetStats()
+	// Serve 10 and insert 30 after 20 in the same window.
+	served, newAddr, err := l.InsertAfterExtractMin(30, 9, b)
+	if err != nil {
+		t.Fatalf("InsertAfterExtractMin: %v", err)
+	}
+	if served.Tag != 10 || served.Payload != 1 {
+		t.Fatalf("served %+v, want tag 10", served)
+	}
+	if newAddr != a {
+		t.Fatalf("new link at %d, want reused departing link %d", newAddr, a)
+	}
+	st := l.MemStats()
+	if st.Reads > 2 || st.Writes > 2 {
+		t.Fatalf("combined op cost %d reads %d writes, want ≤2+2", st.Reads, st.Writes)
+	}
+	if l.Windows() != 1 {
+		t.Fatalf("combined op consumed %d windows, want 1", l.Windows())
+	}
+	got, err := l.Walk()
+	if err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	if !equalInts(tags(got), []int{20, 30, 40}) {
+		t.Fatalf("list after combined op = %v, want [20 30 40]", tags(got))
+	}
+}
+
+func TestInsertHeadExtractMin(t *testing.T) {
+	l := mustNew(t, 8)
+	a, _ := l.InsertHead(10, 1)
+	if _, err := l.InsertAfter(20, 2, a); err != nil {
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	// Incoming 15 whose closest match is the departing head 10.
+	served, newAddr, err := l.InsertHeadExtractMin(15, 7)
+	if err != nil {
+		t.Fatalf("InsertHeadExtractMin: %v", err)
+	}
+	if served.Tag != 10 || newAddr != a {
+		t.Fatalf("served %+v at %d, want tag 10 reusing link %d", served, newAddr, a)
+	}
+	got, err := l.Walk()
+	if err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	if !equalInts(tags(got), []int{15, 20}) {
+		t.Fatalf("list = %v, want [15 20]", tags(got))
+	}
+	// Single-entry variant: serve 15, insert 99 into a list of one.
+	if _, err := l.ExtractMin(); err != nil { // removes... 15, leaving [20]
+		t.Fatalf("ExtractMin: %v", err)
+	}
+	served, _, err = l.InsertHeadExtractMin(99, 0)
+	if err != nil {
+		t.Fatalf("single-entry InsertHeadExtractMin: %v", err)
+	}
+	if served.Tag != 20 {
+		t.Fatalf("served %+v, want tag 20", served)
+	}
+	got, _ = l.Walk()
+	if !equalInts(tags(got), []int{99}) {
+		t.Fatalf("list = %v, want [99]", tags(got))
+	}
+}
+
+func TestSimultaneousGuards(t *testing.T) {
+	l := mustNew(t, 8)
+	if _, _, err := l.InsertAfterExtractMin(1, 0, 0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("combined op on empty = %v, want ErrEmpty", err)
+	}
+	if _, _, err := l.InsertHeadExtractMin(1, 0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("head variant on empty = %v, want ErrEmpty", err)
+	}
+	a, _ := l.InsertHead(10, 0)
+	if _, _, err := l.InsertAfterExtractMin(15, 0, a); err == nil {
+		t.Fatal("insert after the departing head accepted")
+	}
+	b, _ := l.InsertAfter(20, 0, a)
+	if _, _, err := l.InsertAfterExtractMin(5000, 0, b); err == nil {
+		t.Fatal("out-of-range tag accepted")
+	}
+	if _, _, err := l.InsertAfterExtractMin(15, 0, 99); err == nil {
+		t.Fatal("out-of-range predecessor accepted")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	l := mustNew(t, 8)
+	if _, err := l.InsertHead(4096, 0); err == nil {
+		t.Error("overwide tag accepted")
+	}
+	if _, err := l.InsertHead(-1, 0); err == nil {
+		t.Error("negative tag accepted")
+	}
+	if _, err := l.InsertHead(0, 1<<16); err == nil {
+		t.Error("overwide payload accepted")
+	}
+	if _, err := l.InsertAfter(5, 0, 0); err == nil {
+		t.Error("InsertAfter into empty list accepted")
+	}
+	a, _ := l.InsertHead(10, 0)
+	if _, err := l.InsertAfter(5, 0, a+100); err == nil {
+		t.Error("out-of-range predecessor accepted")
+	}
+}
+
+// TestFreeLiveLinkPartition is the structural invariant: live links plus
+// free links (empty list + never-used region) always equal the capacity.
+func TestFreeLiveLinkPartition(t *testing.T) {
+	const capacity = 32
+	l := mustNew(t, capacity)
+	rng := rand.New(rand.NewSource(11))
+	addrOf := map[int]int{}
+	live := []int{}
+	for step := 0; step < 500; step++ {
+		if rng.Intn(2) == 0 && l.Len() < capacity {
+			tag := rng.Intn(4096)
+			best := -1
+			for v := range addrOf {
+				if v <= tag && v > best {
+					best = v
+				}
+			}
+			var addr int
+			var err error
+			if best < 0 {
+				addr, err = l.InsertHead(tag, 0)
+			} else {
+				addr, err = l.InsertAfter(tag, 0, addrOf[best])
+			}
+			if err != nil {
+				t.Fatalf("step %d: insert: %v", step, err)
+			}
+			addrOf[tag] = addr
+			live = append(live, tag)
+		} else if l.Len() > 0 {
+			e, err := l.ExtractMin()
+			if err != nil {
+				t.Fatalf("step %d: extract: %v", step, err)
+			}
+			sort.Ints(live)
+			if e.Tag != live[0] {
+				t.Fatalf("step %d: served %d, oracle min %d", step, e.Tag, live[0])
+			}
+			live = live[1:]
+			if addrOf[e.Tag] == e.Addr {
+				delete(addrOf, e.Tag)
+			}
+		}
+		free, err := l.FreeLinks()
+		if err != nil {
+			t.Fatalf("step %d: FreeLinks: %v", step, err)
+		}
+		if l.Len()+free != capacity {
+			t.Fatalf("step %d: live %d + free %d != capacity %d", step, l.Len(), free, capacity)
+		}
+	}
+}
+
+func TestPeekMinNoAccess(t *testing.T) {
+	l := mustNew(t, 8)
+	if _, ok := l.PeekMin(); ok {
+		t.Fatal("PeekMin on empty returned ok")
+	}
+	if _, err := l.InsertHead(42, 7); err != nil {
+		t.Fatalf("InsertHead: %v", err)
+	}
+	l.ResetStats()
+	e, ok := l.PeekMin()
+	if !ok || e.Tag != 42 || e.Payload != 7 {
+		t.Fatalf("PeekMin = %+v,%v; want tag 42", e, ok)
+	}
+	if l.MemStats().Accesses() != 0 {
+		t.Fatal("PeekMin touched memory; head must be register-cached")
+	}
+}
+
+func BenchmarkInsertExtract(b *testing.B) {
+	l, err := New(Config{Capacity: 1 << 16, TagBits: 12, PayloadBits: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := l.InsertHead(0, 0); err != nil {
+		b.Fatal(err)
+	}
+	head, _ := l.PeekMin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := l.InsertAfterExtractMin((i&2047)+1, 0, head.Addr); err != nil {
+			// Fall back to the head variant when geometry degenerates.
+			if _, _, err := l.InsertHeadExtractMin((i&2047)+1, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		head, _ = l.PeekMin()
+	}
+}

@@ -1,0 +1,176 @@
+// Package trace reads and writes packet traces and departure records as
+// CSV, the interchange format between the simulator, the command-line
+// tools, and external analysis (spreadsheets, gnuplot, pandas).
+//
+// Arrival trace format (header required):
+//
+//	id,flow,size_bytes,arrival_s
+//
+// Departure record format:
+//
+//	id,flow,size_bytes,arrival_s,start_s,finish_s
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"wfqsort/internal/packet"
+	"wfqsort/internal/schedulers"
+)
+
+// arrivalHeader is the arrival trace schema.
+var arrivalHeader = []string{"id", "flow", "size_bytes", "arrival_s"}
+
+// departureHeader is the departure record schema.
+var departureHeader = []string{"id", "flow", "size_bytes", "arrival_s", "start_s", "finish_s"}
+
+// WriteArrivals writes an arrival trace.
+func WriteArrivals(w io.Writer, pkts []packet.Packet) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(arrivalHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, p := range pkts {
+		rec := []string{
+			strconv.Itoa(p.ID),
+			strconv.Itoa(p.Flow),
+			strconv.Itoa(p.Size),
+			strconv.FormatFloat(p.Arrival, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write packet %d: %w", p.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadArrivals reads an arrival trace.
+func ReadArrivals(r io.Reader) ([]packet.Packet, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(arrivalHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if err := checkHeader(header, arrivalHeader); err != nil {
+		return nil, err
+	}
+	var out []packet.Packet
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		p, err := parseArrival(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func parseArrival(rec []string) (packet.Packet, error) {
+	id, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return packet.Packet{}, fmt.Errorf("id %q: %w", rec[0], err)
+	}
+	flow, err := strconv.Atoi(rec[1])
+	if err != nil {
+		return packet.Packet{}, fmt.Errorf("flow %q: %w", rec[1], err)
+	}
+	size, err := strconv.Atoi(rec[2])
+	if err != nil {
+		return packet.Packet{}, fmt.Errorf("size %q: %w", rec[2], err)
+	}
+	if size <= 0 {
+		return packet.Packet{}, fmt.Errorf("size %d must be positive", size)
+	}
+	arrival, err := strconv.ParseFloat(rec[3], 64)
+	if err != nil {
+		return packet.Packet{}, fmt.Errorf("arrival %q: %w", rec[3], err)
+	}
+	if arrival < 0 {
+		return packet.Packet{}, fmt.Errorf("arrival %v must be non-negative", arrival)
+	}
+	return packet.Packet{ID: id, Flow: flow, Size: size, Arrival: arrival}, nil
+}
+
+// WriteDepartures writes departure records.
+func WriteDepartures(w io.Writer, deps []schedulers.Departure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(departureHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, d := range deps {
+		rec := []string{
+			strconv.Itoa(d.Packet.ID),
+			strconv.Itoa(d.Packet.Flow),
+			strconv.Itoa(d.Packet.Size),
+			strconv.FormatFloat(d.Packet.Arrival, 'g', -1, 64),
+			strconv.FormatFloat(d.Start, 'g', -1, 64),
+			strconv.FormatFloat(d.Finish, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write departure %d: %w", d.Packet.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadDepartures reads departure records.
+func ReadDepartures(r io.Reader) ([]schedulers.Departure, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(departureHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if err := checkHeader(header, departureHeader); err != nil {
+		return nil, err
+	}
+	var out []schedulers.Departure
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		p, err := parseArrival(rec[:4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		start, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: start %q: %w", line, rec[4], err)
+		}
+		finish, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: finish %q: %w", line, rec[5], err)
+		}
+		if finish < start {
+			return nil, fmt.Errorf("trace: line %d: finish %v before start %v", line, finish, start)
+		}
+		out = append(out, schedulers.Departure{Packet: p, Start: start, Finish: finish})
+	}
+	return out, nil
+}
+
+func checkHeader(got, want []string) error {
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("trace: header column %d is %q, want %q", i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"wfqsort/internal/packet"
+	"wfqsort/internal/schedulers"
+	"wfqsort/internal/traffic"
+)
+
+func TestArrivalRoundTrip(t *testing.T) {
+	src, err := traffic.NewPoisson(2, 500, traffic.IMIX{}, 50, 1)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	pkts, err := traffic.Merge(src)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	var sb strings.Builder
+	if err := WriteArrivals(&sb, pkts); err != nil {
+		t.Fatalf("WriteArrivals: %v", err)
+	}
+	got, err := ReadArrivals(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadArrivals: %v", err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("round-trip %d of %d", len(got), len(pkts))
+	}
+	for i := range pkts {
+		if got[i] != pkts[i] {
+			t.Fatalf("packet %d = %+v, want %+v", i, got[i], pkts[i])
+		}
+	}
+}
+
+func TestDepartureRoundTrip(t *testing.T) {
+	deps := []schedulers.Departure{
+		{Packet: packet.Packet{ID: 0, Flow: 1, Size: 100, Arrival: 0.25}, Start: 0.25, Finish: 0.3},
+		{Packet: packet.Packet{ID: 1, Flow: 0, Size: 1500, Arrival: 0.1}, Start: 0.3, Finish: 1.2},
+	}
+	var sb strings.Builder
+	if err := WriteDepartures(&sb, deps); err != nil {
+		t.Fatalf("WriteDepartures: %v", err)
+	}
+	got, err := ReadDepartures(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadDepartures: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round-trip %d of 2", len(got))
+	}
+	for i := range deps {
+		if got[i] != deps[i] {
+			t.Fatalf("departure %d = %+v, want %+v", i, got[i], deps[i])
+		}
+	}
+}
+
+func TestReadArrivalsErrors(t *testing.T) {
+	cases := []struct {
+		name, csv string
+	}{
+		{"empty", ""},
+		{"bad header", "id,flow,bytes,when\n"},
+		{"bad id", "id,flow,size_bytes,arrival_s\nx,0,100,0\n"},
+		{"bad flow", "id,flow,size_bytes,arrival_s\n0,x,100,0\n"},
+		{"bad size", "id,flow,size_bytes,arrival_s\n0,0,x,0\n"},
+		{"zero size", "id,flow,size_bytes,arrival_s\n0,0,0,0\n"},
+		{"bad arrival", "id,flow,size_bytes,arrival_s\n0,0,100,x\n"},
+		{"negative arrival", "id,flow,size_bytes,arrival_s\n0,0,100,-1\n"},
+		{"short row", "id,flow,size_bytes,arrival_s\n0,0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadArrivals(strings.NewReader(tc.csv)); err == nil {
+				t.Fatalf("accepted %q", tc.csv)
+			}
+		})
+	}
+}
+
+func TestReadDeparturesErrors(t *testing.T) {
+	good := "id,flow,size_bytes,arrival_s,start_s,finish_s\n"
+	cases := []string{
+		"",
+		"id,flow,size_bytes,arrival_s,start_s,bad\n",
+		good + "0,0,100,0,x,1\n",
+		good + "0,0,100,0,1,x\n",
+		good + "0,0,100,0,2,1\n", // finish before start
+		good + "0,0,0,0,0,1\n",   // zero size
+	}
+	for _, csvText := range cases {
+		if _, err := ReadDepartures(strings.NewReader(csvText)); err == nil {
+			t.Fatalf("accepted %q", csvText)
+		}
+	}
+	got, err := ReadDepartures(strings.NewReader(good + "0,0,100,0,1,2\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("good record rejected: %v", err)
+	}
+}

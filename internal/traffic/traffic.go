@@ -1,0 +1,348 @@
+// Package traffic generates the synthetic workloads used by the
+// experiments: per-flow packet arrival processes (constant bit rate,
+// Poisson, bursty on/off), realistic service mixes (VoIP, IPTV, best-
+// effort data, IMIX packet sizes), and the tag-value distribution
+// profiles of paper Fig. 6 (a classic bell curve for a diverse traffic
+// mix and a left-weighted profile for streaming VoIP).
+//
+// All generators are deterministic given a seed, so experiments are
+// reproducible run to run.
+package traffic
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"wfqsort/internal/packet"
+)
+
+// Source produces one flow's packet arrivals in time order.
+type Source interface {
+	// Next returns the flow's next packet, or ok=false when the source
+	// is exhausted.
+	Next() (packet.Packet, bool)
+	// Flow returns the flow index this source feeds.
+	Flow() int
+}
+
+// CBR emits fixed-size packets at a constant bit rate.
+type CBR struct {
+	flow     int
+	size     int     // bytes
+	interval float64 // seconds between packets
+	t        float64
+	remain   int
+	id       int
+}
+
+// NewCBR builds a constant-bit-rate source: rate in bits/s, fixed packet
+// size in bytes, count packets starting at time start.
+func NewCBR(flow int, rateBps float64, sizeBytes, count int, start float64) (*CBR, error) {
+	if rateBps <= 0 || sizeBytes <= 0 || count < 0 {
+		return nil, fmt.Errorf("traffic: cbr flow %d: invalid rate %v size %d count %d", flow, rateBps, sizeBytes, count)
+	}
+	return &CBR{
+		flow:     flow,
+		size:     sizeBytes,
+		interval: float64(sizeBytes) * 8 / rateBps,
+		t:        start,
+		remain:   count,
+	}, nil
+}
+
+// Next implements Source.
+func (c *CBR) Next() (packet.Packet, bool) {
+	if c.remain == 0 {
+		return packet.Packet{}, false
+	}
+	p := packet.Packet{Flow: c.flow, Size: c.size, Arrival: c.t, ID: c.id}
+	c.id++
+	c.remain--
+	c.t += c.interval
+	return p, true
+}
+
+// Flow implements Source.
+func (c *CBR) Flow() int { return c.flow }
+
+// Poisson emits packets with exponential inter-arrival times and sizes
+// drawn from a size sampler.
+type Poisson struct {
+	flow   int
+	mean   float64 // mean inter-arrival seconds
+	sizes  SizeSampler
+	rng    *rand.Rand
+	t      float64
+	remain int
+	id     int
+}
+
+// NewPoisson builds a Poisson source with the given mean packet rate
+// (packets/s) and size distribution.
+func NewPoisson(flow int, pktPerSec float64, sizes SizeSampler, count int, seed int64) (*Poisson, error) {
+	if pktPerSec <= 0 || count < 0 || sizes == nil {
+		return nil, fmt.Errorf("traffic: poisson flow %d: invalid rate %v count %d", flow, pktPerSec, count)
+	}
+	return &Poisson{
+		flow:   flow,
+		mean:   1 / pktPerSec,
+		sizes:  sizes,
+		rng:    rand.New(rand.NewSource(seed)),
+		remain: count,
+	}, nil
+}
+
+// Next implements Source.
+func (p *Poisson) Next() (packet.Packet, bool) {
+	if p.remain == 0 {
+		return packet.Packet{}, false
+	}
+	p.t += p.rng.ExpFloat64() * p.mean
+	pkt := packet.Packet{Flow: p.flow, Size: p.sizes.Sample(p.rng), Arrival: p.t, ID: p.id}
+	p.id++
+	p.remain--
+	return pkt, true
+}
+
+// Flow implements Source.
+func (p *Poisson) Flow() int { return p.flow }
+
+// OnOff emits bursts: exponentially distributed on-periods at a peak
+// packet rate separated by exponential off-periods (a classic bursty
+// traffic model).
+type OnOff struct {
+	flow     int
+	peakIvl  float64 // inter-packet gap while on
+	meanOn   float64
+	meanOff  float64
+	sizes    SizeSampler
+	rng      *rand.Rand
+	t        float64
+	burstEnd float64
+	remain   int
+	id       int
+}
+
+// NewOnOff builds a bursty on/off source. peakPktPerSec is the packet
+// rate inside a burst; meanOn/meanOff are the average burst and silence
+// durations in seconds.
+func NewOnOff(flow int, peakPktPerSec, meanOn, meanOff float64, sizes SizeSampler, count int, seed int64) (*OnOff, error) {
+	if peakPktPerSec <= 0 || meanOn <= 0 || meanOff < 0 || count < 0 || sizes == nil {
+		return nil, fmt.Errorf("traffic: onoff flow %d: invalid parameters", flow)
+	}
+	return &OnOff{
+		flow:    flow,
+		peakIvl: 1 / peakPktPerSec,
+		meanOn:  meanOn,
+		meanOff: meanOff,
+		sizes:   sizes,
+		rng:     rand.New(rand.NewSource(seed)),
+		remain:  count,
+	}, nil
+}
+
+// Next implements Source.
+func (o *OnOff) Next() (packet.Packet, bool) {
+	if o.remain == 0 {
+		return packet.Packet{}, false
+	}
+	if o.t >= o.burstEnd {
+		// Start the next burst after an off period.
+		o.t += o.rng.ExpFloat64() * o.meanOff
+		o.burstEnd = o.t + o.rng.ExpFloat64()*o.meanOn
+	}
+	pkt := packet.Packet{Flow: o.flow, Size: o.sizes.Sample(o.rng), Arrival: o.t, ID: o.id}
+	o.id++
+	o.remain--
+	o.t += o.peakIvl
+	return pkt, true
+}
+
+// Flow implements Source.
+func (o *OnOff) Flow() int { return o.flow }
+
+// SizeSampler draws packet sizes in bytes.
+type SizeSampler interface {
+	Sample(rng *rand.Rand) int
+}
+
+// FixedSize always returns the same packet size.
+type FixedSize int
+
+// Sample implements SizeSampler.
+func (f FixedSize) Sample(*rand.Rand) int { return int(f) }
+
+// IMIX is the classic Internet mix: 7 parts 40 B, 4 parts 576 B,
+// 1 part 1500 B (average ≈ 340 B; the paper's conservative 140 B average
+// corresponds to a VoIP-heavy variant, see VoIPMix).
+type IMIX struct{}
+
+// Sample implements SizeSampler.
+func (IMIX) Sample(rng *rand.Rand) int {
+	switch r := rng.Intn(12); {
+	case r < 7:
+		return 40
+	case r < 11:
+		return 576
+	default:
+		return 1500
+	}
+}
+
+// VoIPMix is a small-packet-dominated mix averaging ≈140 bytes — the
+// paper's assumption for the 40 Gb/s line-rate computation ("a
+// conservative estimate for an average IP packet size of 140 bytes").
+type VoIPMix struct{}
+
+// Sample implements SizeSampler.
+func (VoIPMix) Sample(rng *rand.Rand) int {
+	switch r := rng.Intn(10); {
+	case r < 7:
+		return 80 // RTP voice frames
+	case r < 9:
+		return 200 // signalling / small data
+	default:
+		return 1040 // occasional data packet
+	}
+}
+
+// UniformSize draws sizes uniformly in [Min, Max].
+type UniformSize struct {
+	Min, Max int
+}
+
+// Sample implements SizeSampler.
+func (u UniformSize) Sample(rng *rand.Rand) int {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Intn(u.Max-u.Min+1)
+}
+
+// Merge combines multiple sources into one arrival stream ordered by
+// time, assigning global packet IDs in arrival order.
+func Merge(sources ...Source) ([]packet.Packet, error) {
+	h := &srcHeap{}
+	for _, s := range sources {
+		if s == nil {
+			return nil, fmt.Errorf("traffic: nil source")
+		}
+		if p, ok := s.Next(); ok {
+			heap.Push(h, srcItem{p: p, src: s})
+		}
+	}
+	var out []packet.Packet
+	for h.Len() > 0 {
+		item, ok := heap.Pop(h).(srcItem)
+		if !ok {
+			return nil, fmt.Errorf("traffic: heap item type")
+		}
+		p := item.p
+		p.ID = len(out)
+		out = append(out, p)
+		if np, ok := item.src.Next(); ok {
+			heap.Push(h, srcItem{p: np, src: item.src})
+		}
+	}
+	return out, nil
+}
+
+type srcItem struct {
+	p   packet.Packet
+	src Source
+}
+
+type srcHeap []srcItem
+
+func (h srcHeap) Len() int { return len(h) }
+func (h srcHeap) Less(i, j int) bool {
+	if h[i].p.Arrival != h[j].p.Arrival {
+		return h[i].p.Arrival < h[j].p.Arrival
+	}
+	return h[i].p.Flow < h[j].p.Flow
+}
+func (h srcHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *srcHeap) Push(x interface{}) { *h = append(*h, x.(srcItem)) }
+func (h *srcHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// TagProfile generates tag values with the moving distribution shapes of
+// paper Fig. 6: new tags fall between the current lowest and highest
+// values, with a profile determined by the traffic mix.
+type TagProfile int
+
+// Fig. 6 profiles.
+const (
+	// ProfileBell is the "classic bell curve" of a diverse traffic mix.
+	ProfileBell TagProfile = iota + 1
+	// ProfileLeftWeighted is the streaming/VoIP profile, "weighted to
+	// the left" (most new tags close to the current minimum).
+	ProfileLeftWeighted
+	// ProfileUniform spreads new tags evenly across the active window.
+	ProfileUniform
+)
+
+func (p TagProfile) String() string {
+	switch p {
+	case ProfileBell:
+		return "bell"
+	case ProfileLeftWeighted:
+		return "left-weighted"
+	case ProfileUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("profile(%d)", int(p))
+	}
+}
+
+// TagGen draws tag values in [lo, hi] following a Fig. 6 profile.
+type TagGen struct {
+	profile TagProfile
+	rng     *rand.Rand
+}
+
+// NewTagGen builds a tag generator with the given profile and seed.
+func NewTagGen(profile TagProfile, seed int64) (*TagGen, error) {
+	switch profile {
+	case ProfileBell, ProfileLeftWeighted, ProfileUniform:
+	default:
+		return nil, fmt.Errorf("traffic: unknown tag profile %d", int(profile))
+	}
+	return &TagGen{profile: profile, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Sample draws one tag in [lo, hi] (inclusive).
+func (g *TagGen) Sample(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	span := float64(hi - lo)
+	var x float64
+	switch g.profile {
+	case ProfileBell:
+		// Truncated normal centred mid-window, σ = span/6.
+		for {
+			x = 0.5 + g.rng.NormFloat64()/6
+			if x >= 0 && x <= 1 {
+				break
+			}
+		}
+	case ProfileLeftWeighted:
+		// Exponential decay from the window's low edge.
+		for {
+			x = g.rng.ExpFloat64() / 4
+			if x <= 1 {
+				break
+			}
+		}
+	default: // ProfileUniform
+		x = g.rng.Float64()
+	}
+	return lo + int(x*span+0.5)
+}

@@ -1,0 +1,256 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestCBR(t *testing.T) {
+	// 1 Mb/s, 125-byte packets → 1000 packets/s → 1 ms spacing.
+	src, err := NewCBR(3, 1e6, 125, 5, 0.5)
+	if err != nil {
+		t.Fatalf("NewCBR: %v", err)
+	}
+	if src.Flow() != 3 {
+		t.Fatalf("Flow = %d, want 3", src.Flow())
+	}
+	for i := 0; i < 5; i++ {
+		p, ok := src.Next()
+		if !ok {
+			t.Fatalf("source exhausted at %d", i)
+		}
+		want := 0.5 + float64(i)*0.001
+		if math.Abs(p.Arrival-want) > 1e-12 {
+			t.Fatalf("packet %d arrival %v, want %v", i, p.Arrival, want)
+		}
+		if p.Size != 125 || p.Flow != 3 {
+			t.Fatalf("packet %d = %+v", i, p)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("source produced more than count packets")
+	}
+}
+
+func TestCBRValidation(t *testing.T) {
+	if _, err := NewCBR(0, 0, 100, 1, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewCBR(0, 1e6, 0, 1, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewCBR(0, 1e6, 100, -1, 0); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestPoissonStatistics(t *testing.T) {
+	const n = 20000
+	src, err := NewPoisson(1, 1000, FixedSize(100), n, 7)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	prev, last := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		p, ok := src.Next()
+		if !ok {
+			t.Fatalf("exhausted at %d", i)
+		}
+		if p.Arrival < prev {
+			t.Fatalf("non-monotone arrivals at %d", i)
+		}
+		prev, last = p.Arrival, p.Arrival
+	}
+	// Mean rate within 5% of 1000 pps.
+	rate := n / last
+	if rate < 950 || rate > 1050 {
+		t.Fatalf("observed rate %v pps, want ≈1000", rate)
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	if _, err := NewPoisson(0, 0, FixedSize(1), 1, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewPoisson(0, 10, nil, 1, 1); err == nil {
+		t.Error("nil sampler accepted")
+	}
+}
+
+func TestOnOffBurstiness(t *testing.T) {
+	src, err := NewOnOff(2, 10000, 0.002, 0.05, FixedSize(200), 5000, 3)
+	if err != nil {
+		t.Fatalf("NewOnOff: %v", err)
+	}
+	var gaps []float64
+	prev := -1.0
+	for {
+		p, ok := src.Next()
+		if !ok {
+			break
+		}
+		if prev >= 0 {
+			gaps = append(gaps, p.Arrival-prev)
+		}
+		prev = p.Arrival
+	}
+	if len(gaps) == 0 {
+		t.Fatal("no packets generated")
+	}
+	sort.Float64s(gaps)
+	// Burst gaps are 0.1 ms; off gaps are ~50 ms: the distribution must
+	// be strongly bimodal (burstiness).
+	median := gaps[len(gaps)/2]
+	p99 := gaps[len(gaps)*99/100]
+	if median > 0.0002 {
+		t.Fatalf("median gap %v, want ≈0.0001 (in-burst)", median)
+	}
+	if p99 < 0.001 {
+		t.Fatalf("p99 gap %v, want ≫ median (bursty)", p99)
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	if _, err := NewOnOff(0, 0, 1, 1, FixedSize(1), 1, 1); err == nil {
+		t.Error("zero peak rate accepted")
+	}
+	if _, err := NewOnOff(0, 10, 0, 1, FixedSize(1), 1, 1); err == nil {
+		t.Error("zero on-time accepted")
+	}
+	if _, err := NewOnOff(0, 10, 1, 1, nil, 1, 1); err == nil {
+		t.Error("nil sampler accepted")
+	}
+}
+
+func TestSizeSamplers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := FixedSize(77).Sample(rng); got != 77 {
+		t.Fatalf("FixedSize = %d", got)
+	}
+	// IMIX: only legal sizes, average near 341 bytes.
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s := (IMIX{}).Sample(rng)
+		if s != 40 && s != 576 && s != 1500 {
+			t.Fatalf("IMIX produced %d", s)
+		}
+		sum += s
+	}
+	avg := float64(sum) / n
+	if avg < 300 || avg < 0 || avg > 400 {
+		t.Fatalf("IMIX average %v, want ≈341", avg)
+	}
+	// VoIPMix: average near the paper's 140-byte assumption.
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += (VoIPMix{}).Sample(rng)
+	}
+	avg = float64(sum) / n
+	if avg < 120 || avg > 220 {
+		t.Fatalf("VoIPMix average %v, want ≈140-200", avg)
+	}
+	// Uniform bounds.
+	u := UniformSize{Min: 64, Max: 128}
+	for i := 0; i < 1000; i++ {
+		s := u.Sample(rng)
+		if s < 64 || s > 128 {
+			t.Fatalf("UniformSize produced %d", s)
+		}
+	}
+	if (UniformSize{Min: 9, Max: 9}).Sample(rng) != 9 {
+		t.Fatal("degenerate uniform broken")
+	}
+}
+
+func TestMergeOrdersByTime(t *testing.T) {
+	a, _ := NewCBR(0, 1e6, 125, 10, 0)       // 1 ms spacing from t=0
+	b, _ := NewCBR(1, 2e6, 125, 10, 0.0003)  // 0.5 ms spacing from t=0.3ms
+	c, _ := NewCBR(2, 0.5e6, 125, 5, 0.0001) // 2 ms spacing
+	merged, err := Merge(a, b, c)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if len(merged) != 25 {
+		t.Fatalf("merged %d packets, want 25", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Arrival < merged[i-1].Arrival {
+			t.Fatalf("merge out of order at %d", i)
+		}
+		if merged[i].ID != i {
+			t.Fatalf("ID %d at position %d", merged[i].ID, i)
+		}
+	}
+}
+
+func TestMergeNilSource(t *testing.T) {
+	if _, err := Merge(nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+// TestTagProfiles verifies the Fig. 6 distribution shapes: bell mass
+// centres mid-window; left-weighted mass concentrates near the minimum.
+func TestTagProfiles(t *testing.T) {
+	const lo, hi, n = 1000, 2000, 20000
+	mean := func(p TagProfile) float64 {
+		g, err := NewTagGen(p, 5)
+		if err != nil {
+			t.Fatalf("NewTagGen: %v", err)
+		}
+		sum := 0
+		for i := 0; i < n; i++ {
+			v := g.Sample(lo, hi)
+			if v < lo || v > hi {
+				t.Fatalf("profile %v produced %d outside [%d,%d]", p, v, lo, hi)
+			}
+			sum += v
+		}
+		return float64(sum) / n
+	}
+	bell := mean(ProfileBell)
+	left := mean(ProfileLeftWeighted)
+	uniform := mean(ProfileUniform)
+	if math.Abs(bell-1500) > 30 {
+		t.Errorf("bell mean %v, want ≈1500", bell)
+	}
+	if left > 1350 {
+		t.Errorf("left-weighted mean %v, want well below window centre", left)
+	}
+	if math.Abs(uniform-1500) > 30 {
+		t.Errorf("uniform mean %v, want ≈1500", uniform)
+	}
+	if left >= bell {
+		t.Errorf("left-weighted mean %v not left of bell %v", left, bell)
+	}
+}
+
+func TestTagGenDegenerate(t *testing.T) {
+	g, err := NewTagGen(ProfileBell, 1)
+	if err != nil {
+		t.Fatalf("NewTagGen: %v", err)
+	}
+	if got := g.Sample(5, 5); got != 5 {
+		t.Fatalf("Sample(5,5) = %d", got)
+	}
+	if got := g.Sample(9, 3); got != 9 {
+		t.Fatalf("Sample(9,3) = %d, want lo", got)
+	}
+	if _, err := NewTagGen(TagProfile(0), 1); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestTagProfileString(t *testing.T) {
+	for _, p := range []TagProfile{ProfileBell, ProfileLeftWeighted, ProfileUniform} {
+		if p.String() == "" {
+			t.Errorf("profile %d has empty name", int(p))
+		}
+	}
+	if TagProfile(9).String() != "profile(9)" {
+		t.Error("unknown profile name wrong")
+	}
+}

@@ -1,0 +1,103 @@
+// Package transtable implements the address translation table that
+// bridges the search tree and the tag storage memory (paper §III-D). For
+// every tag value the tree can store, the table records the physical
+// address of the most recently inserted link carrying that value, making
+// the search and store functions independently scalable and resolving
+// duplicate tags to a valid insert position (paper Fig. 11).
+package transtable
+
+import (
+	"fmt"
+
+	"wfqsort/internal/hwsim"
+)
+
+// Table is the translation table, backed by an SRAM whose depth is the
+// number of representable tag values (the paper's 4k entries for 12-bit
+// tags, or 32k for 15-bit tags).
+type Table struct {
+	tagBits  int
+	addrBits int
+	mem      *hwsim.SRAM
+}
+
+// New builds a table covering 2^tagBits entries of addrBits-wide
+// addresses (plus one valid bit per entry).
+func New(tagBits, addrBits int, clock *hwsim.Clock) (*Table, error) {
+	if tagBits <= 0 || tagBits > 26 {
+		return nil, fmt.Errorf("transtable: tag bits %d out of range 1..26", tagBits)
+	}
+	if addrBits <= 0 || addrBits > 32 {
+		return nil, fmt.Errorf("transtable: address bits %d out of range 1..32", addrBits)
+	}
+	mem, err := hwsim.NewSRAM(hwsim.SRAMConfig{
+		Name:     "translation-table",
+		Depth:    1 << uint(tagBits),
+		WordBits: addrBits + 1, // +1 valid bit
+	}, clock)
+	if err != nil {
+		return nil, fmt.Errorf("transtable: %w", err)
+	}
+	return &Table{tagBits: tagBits, addrBits: addrBits, mem: mem}, nil
+}
+
+// Entries returns the number of table entries (2^tagBits): the paper's
+// translation-table sizing equation.
+func (t *Table) Entries() int { return 1 << uint(t.tagBits) }
+
+// MemoryBits returns the table's total storage in bits.
+func (t *Table) MemoryBits() int { return t.mem.Bits() }
+
+// Stats returns the table's SRAM access counters.
+func (t *Table) Stats() hwsim.AccessStats { return t.mem.Stats() }
+
+// ResetStats zeroes the access counters.
+func (t *Table) ResetStats() { t.mem.ResetStats() }
+
+func (t *Table) checkTag(tag int) error {
+	if tag < 0 || tag >= t.Entries() {
+		return fmt.Errorf("transtable: tag %d out of range [0,%d)", tag, t.Entries())
+	}
+	return nil
+}
+
+// Set records addr as the location of the most recent link with this tag
+// value, superseding any previous entry (duplicate handling, Fig. 11).
+func (t *Table) Set(tag, addr int) error {
+	if err := t.checkTag(tag); err != nil {
+		return err
+	}
+	if addr < 0 || addr >= 1<<uint(t.addrBits) {
+		return fmt.Errorf("transtable: address %d out of range [0,%d)", addr, 1<<uint(t.addrBits))
+	}
+	return t.mem.Write(tag, 1<<uint(t.addrBits)|uint64(addr))
+}
+
+// Lookup returns the recorded address for tag, with ok=false when the tag
+// has no live entry.
+func (t *Table) Lookup(tag int) (int, bool, error) {
+	if err := t.checkTag(tag); err != nil {
+		return 0, false, err
+	}
+	w, err := t.mem.Read(tag)
+	if err != nil {
+		return 0, false, err
+	}
+	if w&(1<<uint(t.addrBits)) == 0 {
+		return 0, false, nil
+	}
+	return int(w & ((1 << uint(t.addrBits)) - 1)), true, nil
+}
+
+// Invalidate clears the entry for tag (the last duplicate departed).
+func (t *Table) Invalidate(tag int) error {
+	if err := t.checkTag(tag); err != nil {
+		return err
+	}
+	return t.mem.Write(tag, 0)
+}
+
+// Clear empties the whole table (reinitialization).
+func (t *Table) Clear() {
+	t.mem.Clear()
+}

@@ -1,0 +1,139 @@
+package transtable
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 16, nil); err == nil {
+		t.Error("zero tag bits accepted")
+	}
+	if _, err := New(27, 16, nil); err == nil {
+		t.Error("oversized tag bits accepted")
+	}
+	if _, err := New(12, 0, nil); err == nil {
+		t.Error("zero addr bits accepted")
+	}
+	if _, err := New(12, 33, nil); err == nil {
+		t.Error("oversized addr bits accepted")
+	}
+}
+
+// TestSizing checks the paper's translation-table sizing: 4k entries for
+// the 12-bit silicon configuration and 32k entries for the 15-bit option.
+func TestSizing(t *testing.T) {
+	tbl, err := New(12, 20, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if tbl.Entries() != 4096 {
+		t.Errorf("Entries = %d, want 4096", tbl.Entries())
+	}
+	if tbl.MemoryBits() != 4096*21 {
+		t.Errorf("MemoryBits = %d, want %d", tbl.MemoryBits(), 4096*21)
+	}
+	tbl15, err := New(15, 20, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if tbl15.Entries() != 32768 {
+		t.Errorf("15-bit Entries = %d, want 32768 (paper: 32-k entries)", tbl15.Entries())
+	}
+}
+
+func TestSetLookupInvalidate(t *testing.T) {
+	tbl, err := New(8, 10, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, ok, err := tbl.Lookup(5); err != nil || ok {
+		t.Fatalf("Lookup on empty = ok=%v err=%v, want false,nil", ok, err)
+	}
+	if err := tbl.Set(5, 123); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	addr, ok, err := tbl.Lookup(5)
+	if err != nil || !ok || addr != 123 {
+		t.Fatalf("Lookup = %d,%v,%v; want 123,true,nil", addr, ok, err)
+	}
+	if err := tbl.Invalidate(5); err != nil {
+		t.Fatalf("Invalidate: %v", err)
+	}
+	if _, ok, _ := tbl.Lookup(5); ok {
+		t.Fatal("entry survived Invalidate")
+	}
+}
+
+// TestDuplicateSupersedes is the Fig. 11 behaviour: the table always
+// tracks the most recent link of a duplicated tag value.
+func TestDuplicateSupersedes(t *testing.T) {
+	tbl, err := New(8, 10, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := tbl.Set(5, 10); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := tbl.Set(5, 77); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	addr, ok, _ := tbl.Lookup(5)
+	if !ok || addr != 77 {
+		t.Fatalf("Lookup after duplicate = %d,%v; want newest 77", addr, ok)
+	}
+}
+
+func TestAddressZeroIsValid(t *testing.T) {
+	tbl, err := New(4, 8, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := tbl.Set(3, 0); err != nil {
+		t.Fatalf("Set(3,0): %v", err)
+	}
+	addr, ok, _ := tbl.Lookup(3)
+	if !ok || addr != 0 {
+		t.Fatalf("Lookup = %d,%v; want 0,true (valid bit distinguishes empty)", addr, ok)
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	tbl, err := New(4, 4, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := tbl.Set(16, 0); err == nil {
+		t.Error("out-of-range tag accepted")
+	}
+	if err := tbl.Set(-1, 0); err == nil {
+		t.Error("negative tag accepted")
+	}
+	if err := tbl.Set(0, 16); err == nil {
+		t.Error("out-of-range address accepted")
+	}
+	if _, _, err := tbl.Lookup(16); err == nil {
+		t.Error("out-of-range lookup accepted")
+	}
+	if err := tbl.Invalidate(-2); err == nil {
+		t.Error("out-of-range invalidate accepted")
+	}
+}
+
+func TestClearAndStats(t *testing.T) {
+	tbl, err := New(4, 4, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := tbl.Set(1, 2); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if tbl.Stats().Writes != 1 {
+		t.Fatalf("Stats.Writes = %d, want 1", tbl.Stats().Writes)
+	}
+	tbl.ResetStats()
+	if tbl.Stats().Accesses() != 0 {
+		t.Fatal("ResetStats left counters")
+	}
+	tbl.Clear()
+	if _, ok, _ := tbl.Lookup(1); ok {
+		t.Fatal("entry survived Clear")
+	}
+}

@@ -1,0 +1,126 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"wfqsort/internal/matcher"
+)
+
+// circuitSearch replays the closest-match search using the gate-level
+// dual matcher netlist at every node — the paper's actual per-node
+// hardware — following the same lockstep primary/backup algorithm as
+// Trie.SearchClosest. It cross-verifies the behavioral tree against the
+// synthesized circuits end to end.
+func circuitSearch(t *testing.T, tr *Trie, dual *matcher.DualCircuit, tag int) (SearchResult, error) {
+	t.Helper()
+	idx, prefix := 0, 0
+	backupIdx, backupPrefix := -1, 0
+	for level := 0; level < tr.Levels(); level++ {
+		word, err := tr.levels[level].Read(idx)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		lit := tr.literal(tag, level)
+		k := uint(tr.bits[level])
+		width := tr.widths[level]
+
+		m, err := dual.MatchWord(word, lit)
+		if err != nil {
+			return SearchResult{}, err
+		}
+
+		nextBackupIdx, nextBackupPrefix := -1, 0
+		if backupIdx >= 0 {
+			bword, err := tr.levels[level].Read(backupIdx)
+			if err != nil {
+				return SearchResult{}, err
+			}
+			// The backup path follows the most significant set bit: the
+			// same circuit with the position pinned to the top.
+			bm, err := dual.MatchWord(bword, width-1)
+			if err != nil {
+				return SearchResult{}, err
+			}
+			if !bm.PrimaryOK {
+				t.Fatalf("circuit search: empty backup node at level %d", level)
+			}
+			nextBackupIdx = backupIdx*width + bm.Primary
+			nextBackupPrefix = backupPrefix<<k | bm.Primary
+		}
+
+		switch {
+		case !m.PrimaryOK:
+			if nextBackupIdx < 0 {
+				return SearchResult{}, nil
+			}
+			return circuitMaxDescend(t, tr, dual, level+1, nextBackupIdx, nextBackupPrefix)
+		case m.Primary != lit:
+			return circuitMaxDescend(t, tr, dual, level+1, idx*width+m.Primary, prefix<<k|m.Primary)
+		}
+		if m.BackupOK {
+			nextBackupIdx = idx*width + m.Backup
+			nextBackupPrefix = prefix<<k | m.Backup
+		}
+		backupIdx, backupPrefix = nextBackupIdx, nextBackupPrefix
+		prefix = prefix<<k | lit
+		idx = idx*width + lit
+	}
+	return SearchResult{Closest: prefix, Found: true, Exact: true}, nil
+}
+
+func circuitMaxDescend(t *testing.T, tr *Trie, dual *matcher.DualCircuit, level, idx, prefix int) (SearchResult, error) {
+	t.Helper()
+	for ; level < tr.Levels(); level++ {
+		word, err := tr.levels[level].Read(idx)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		width := tr.widths[level]
+		m, err := dual.MatchWord(word, width-1)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		if !m.PrimaryOK {
+			t.Fatalf("circuit search: empty node on max path at level %d", level)
+		}
+		prefix = prefix<<uint(tr.bits[level]) | m.Primary
+		idx = idx*width + m.Primary
+	}
+	return SearchResult{Closest: prefix, Found: true}, nil
+}
+
+// TestGateLevelSearchEquivalence populates a tree and compares every
+// possible search between the behavioral implementation and the
+// gate-level matcher netlists driving the same node words.
+func TestGateLevelSearchEquivalence(t *testing.T) {
+	for _, variant := range []matcher.Variant{matcher.Ripple, matcher.SelectLookAhead} {
+		variant := variant
+		t.Run(variant.String(), func(t *testing.T) {
+			// 3 levels × 3-bit literals: 8-bit nodes (the smallest the
+			// circuit generator supports), 9-bit tags.
+			tr := mustNew(t, Config{Levels: 3, LiteralBits: 3, RegisterLevels: 1})
+			dual, err := matcher.BuildDual(variant, 8)
+			if err != nil {
+				t.Fatalf("BuildDual: %v", err)
+			}
+			rng := rand.New(rand.NewSource(6))
+			for i := 0; i < 96; i++ {
+				mustInsert(t, tr, rng.Intn(tr.Capacity()))
+			}
+			for tag := 0; tag < tr.Capacity(); tag++ {
+				want, err := tr.SearchClosest(tag)
+				if err != nil {
+					t.Fatalf("SearchClosest(%d): %v", tag, err)
+				}
+				got, err := circuitSearch(t, tr, dual, tag)
+				if err != nil {
+					t.Fatalf("circuitSearch(%d): %v", tag, err)
+				}
+				if got != want {
+					t.Fatalf("%v: search(%d): circuit %+v, behavioral %+v", variant, tag, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package trie
+
+import (
+	"strings"
+	"testing"
+)
+
+// faultStore wraps a level store and lets tests corrupt specific words,
+// verifying the tree surfaces structural corruption as errors rather
+// than panics or wrong answers.
+//
+// The production code never produces these states; the injection models
+// an SEU-style bit flip in a marker memory.
+
+// corrupt flips the given node word via the package-internal store.
+func corrupt(t *testing.T, tr *Trie, level, idx int, val uint64) {
+	t.Helper()
+	if err := tr.levels[level].Write(idx, val); err != nil {
+		t.Fatalf("corrupt write: %v", err)
+	}
+}
+
+// TestCorruptMaxPathSurfaces: a parent bit set over an empty child node
+// breaks the "marker implies non-empty subtree" invariant; the max-path
+// descent must report it.
+func TestCorruptMaxPathSurfaces(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	mustInsert(t, tr, 0x210, 0x300)
+	// Clear the leaf node of 0x300 without clearing ancestors.
+	corrupt(t, tr, 2, 0x30, 0)
+	// Searching 0x400 takes the non-exact branch at the root (closest
+	// literal 3) and follows the max path into the emptied leaf.
+	_, err := tr.SearchClosest(0x400)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupted max path returned %v, want corrupt-tree error", err)
+	}
+}
+
+// TestCorruptBackupSurfaces: a backup pointer into an emptied node is
+// detected during the lockstep descent.
+func TestCorruptBackupSurfaces(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	// 0x100 and 0x200 share the root; searching 0x2FF goes through
+	// literal 2 with a backup at literal 1.
+	mustInsert(t, tr, 0x100, 0x200)
+	// Empty the 0x1?? subtree's level-1 node behind the backup pointer.
+	corrupt(t, tr, 1, 0x1, 0)
+	_, err := tr.SearchClosest(0x2FF)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupted backup path returned %v, want corrupt-tree error", err)
+	}
+}
+
+// TestCorruptExtreme: Min/Max descents detect an empty node under a set
+// parent bit.
+func TestCorruptExtreme(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	mustInsert(t, tr, 0x123)
+	corrupt(t, tr, 2, 0x12, 0)
+	if _, _, err := tr.Min(); err == nil {
+		t.Fatal("Min over corrupted tree succeeded")
+	}
+	if _, _, err := tr.Max(); err == nil {
+		t.Fatal("Max over corrupted tree succeeded")
+	}
+}
+
+// TestCorruptionNeverPanics fuzzes random single-word corruptions and
+// asserts every operation either succeeds or errors — never panics.
+func TestCorruptionNeverPanics(t *testing.T) {
+	for seed := 0; seed < 20; seed++ {
+		tr := mustNew(t, Config{Levels: 3, LiteralBits: 2, RegisterLevels: 1})
+		mustInsert(t, tr, 5, 17, 33, 60)
+		// Flip one word per trial.
+		level := seed % 3
+		idx := seed % tr.depths[level]
+		corrupt(t, tr, level, idx, uint64(seed*2654435761)&0xF)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d: panic: %v", seed, r)
+				}
+			}()
+			for tag := 0; tag < tr.Capacity(); tag++ {
+				_, _ = tr.SearchClosest(tag)
+				_, _ = tr.Contains(tag)
+			}
+			_, _, _ = tr.Min()
+			_, _, _ = tr.Max()
+		}()
+	}
+}

@@ -1,0 +1,64 @@
+package trie
+
+import (
+	"testing"
+)
+
+// FuzzTrieAgainstOracle interprets the input as an operation stream over
+// the silicon geometry, comparing every result against the linear-scan
+// oracle. Run continuously with
+// `go test -fuzz=FuzzTrieAgainstOracle ./internal/trie`.
+func FuzzTrieAgainstOracle(f *testing.F) {
+	f.Add([]byte{0, 0x12, 1, 0x12, 2, 0x12})
+	f.Add([]byte{0, 0xFF, 0, 0x00, 1, 0x80, 2, 0xFF})
+	seed := make([]byte, 0, 64)
+	for i := 0; i < 32; i++ {
+		seed = append(seed, byte(i%3), byte(i*41))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := New(Config{Levels: 2, LiteralBits: 4, RegisterLevels: 1})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		ref := make(oracle)
+		for i := 0; i+2 <= len(data); i += 2 {
+			op := data[i] % 3
+			tag := int(data[i+1]) // 8-bit tags in a 256-value universe
+			switch op {
+			case 0: // insert
+				res, err := tr.Insert(tag)
+				if err != nil {
+					t.Fatalf("op %d: Insert(%d): %v", i, tag, err)
+				}
+				wantC, wantF, wantE := ref.closest(tag)
+				if res.Found != wantF || (wantF && res.Closest != wantC) || res.Exact != wantE {
+					t.Fatalf("op %d: Insert(%d) = %+v, oracle (%d,%v,%v)", i, tag, res, wantC, wantF, wantE)
+				}
+				ref[tag] = true
+			case 1: // delete if present
+				if ref[tag] {
+					if err := tr.Delete(tag); err != nil {
+						t.Fatalf("op %d: Delete(%d): %v", i, tag, err)
+					}
+					delete(ref, tag)
+				} else if err := tr.Delete(tag); err == nil {
+					t.Fatalf("op %d: Delete(%d) of unmarked succeeded", i, tag)
+				}
+			default: // search
+				res, err := tr.SearchClosest(tag)
+				if err != nil {
+					t.Fatalf("op %d: SearchClosest(%d): %v", i, tag, err)
+				}
+				wantC, wantF, wantE := ref.closest(tag)
+				if res.Found != wantF || (wantF && res.Closest != wantC) || res.Exact != wantE {
+					t.Fatalf("op %d: Search(%d) = %+v, oracle (%d,%v,%v)", i, tag, res, wantC, wantF, wantE)
+				}
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("op %d: Len %d, oracle %d", i, tr.Len(), len(ref))
+			}
+		}
+	})
+}

@@ -1,0 +1,608 @@
+// Package trie implements the multi-bit search tree at the heart of the
+// tag sort/retrieve circuit (paper §III-A). The tree stores a one-bit
+// marker for every tag value present in the system. A search finds the
+// closest existing tag at or below a requested value in a fixed number of
+// node accesses — one per level — using the exact-or-next-smallest match
+// in each node plus a parallel backup path for failed primary matches
+// (paper Figs. 4 and 5).
+//
+// The implemented geometry mirrors the silicon: three levels of 16-bit
+// nodes over 12-bit tags, with the first two levels (272 bits) held in
+// registers and the last level (4 kbit) in single-port SRAM. Both the
+// geometry and the storage split are configurable.
+package trie
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"wfqsort/internal/hwsim"
+	"wfqsort/internal/matcher"
+)
+
+// wordStore abstracts the per-level marker storage (registers or SRAM).
+type wordStore interface {
+	Read(addr int) (uint64, error)
+	Write(addr int, val uint64) error
+}
+
+var (
+	_ wordStore = (*hwsim.SRAM)(nil)
+	_ wordStore = (*hwsim.RegisterFile)(nil)
+)
+
+// Config describes the tree geometry.
+type Config struct {
+	// Levels is the number of tree levels (L). The silicon uses 3.
+	Levels int
+	// LiteralBits is the number of tag bits consumed per level (k). Node
+	// width is 2^k. The silicon uses 4 (16-bit nodes).
+	LiteralBits int
+	// LiteralBitsPerLevel, when non-empty, overrides Levels/LiteralBits
+	// with an explicit per-level literal width (root first) — the
+	// unequal-node-width design option of paper §III-A / reference [13].
+	// The paper rejects it for the silicon ("the total search time will
+	// be most affected by the search time needed for the widest node")
+	// but it is supported here for the ablation study.
+	LiteralBitsPerLevel []int
+	// RegisterLevels is the number of upper levels held in registers
+	// instead of SRAM (the paper keeps the first two levels, 272 bits,
+	// in registers). Defaults to Levels-1 capped at 2 when negative.
+	RegisterLevels int
+	// Clock, when non-nil, is advanced by SRAM-level accesses so that
+	// composed circuit models account for tree memory time.
+	Clock *hwsim.Clock
+}
+
+// maxTagBits bounds the supported tag width so node counts and tag values
+// stay comfortably within int range.
+const maxTagBits = 26
+
+// Trie is a multi-bit search tree over tag markers. It is not safe for
+// concurrent use; the modelled circuit is a single synchronous pipeline.
+type Trie struct {
+	cfg     Config
+	bits    []int  // literal bits per level (root first)
+	widths  []int  // node width per level = 2^bits[l]
+	shifts  []uint // right-shift extracting each level's literal
+	tagBits int
+	levels  []wordStore
+	depths  []int // node count per level
+	count   int   // live markers
+	stats   Stats
+}
+
+// Stats reports tree traffic since construction or the last ResetStats.
+type Stats struct {
+	Searches     uint64 // closest-match searches performed
+	NodeReads    uint64 // node words read (all levels)
+	NodeWrites   uint64 // node words written
+	MaxReadDepth int    // worst sequential node reads in any search
+	LastDepth    int    // sequential node reads of the most recent search
+}
+
+// New builds an empty tree.
+func New(cfg Config) (*Trie, error) {
+	bits := cfg.LiteralBitsPerLevel
+	if len(bits) == 0 {
+		if cfg.Levels <= 0 {
+			return nil, fmt.Errorf("trie: levels %d must be positive", cfg.Levels)
+		}
+		bits = make([]int, cfg.Levels)
+		for l := range bits {
+			bits[l] = cfg.LiteralBits
+		}
+	} else {
+		if cfg.Levels != 0 && cfg.Levels != len(bits) {
+			return nil, fmt.Errorf("trie: levels %d conflicts with %d per-level widths", cfg.Levels, len(bits))
+		}
+		cfg.Levels = len(bits)
+	}
+	tagBits := 0
+	for l, b := range bits {
+		if b < 2 || b > 6 {
+			return nil, fmt.Errorf("trie: level %d literal bits %d out of range 2..6", l, b)
+		}
+		tagBits += b
+	}
+	if tagBits > maxTagBits {
+		return nil, fmt.Errorf("trie: %d total tag bits exceeds %d", tagBits, maxTagBits)
+	}
+	if cfg.RegisterLevels < 0 || cfg.RegisterLevels > cfg.Levels {
+		return nil, fmt.Errorf("trie: register levels %d out of range 0..%d", cfg.RegisterLevels, cfg.Levels)
+	}
+	t := &Trie{
+		cfg:     cfg,
+		bits:    bits,
+		widths:  make([]int, cfg.Levels),
+		shifts:  make([]uint, cfg.Levels),
+		tagBits: tagBits,
+		levels:  make([]wordStore, cfg.Levels),
+		depths:  make([]int, cfg.Levels),
+	}
+	shift := tagBits
+	nodes := 1
+	for l := 0; l < cfg.Levels; l++ {
+		t.widths[l] = 1 << uint(bits[l])
+		shift -= bits[l]
+		t.shifts[l] = uint(shift)
+		t.depths[l] = nodes
+		if l < cfg.RegisterLevels {
+			rf, err := hwsim.NewRegisterFile(fmt.Sprintf("tree-level-%d", l), nodes, t.widths[l])
+			if err != nil {
+				return nil, fmt.Errorf("trie: level %d: %w", l, err)
+			}
+			t.levels[l] = rf
+		} else {
+			m, err := hwsim.NewSRAM(hwsim.SRAMConfig{
+				Name:     fmt.Sprintf("tree-level-%d", l),
+				Depth:    nodes,
+				WordBits: t.widths[l],
+			}, cfg.Clock)
+			if err != nil {
+				return nil, fmt.Errorf("trie: level %d: %w", l, err)
+			}
+			t.levels[l] = m
+		}
+		nodes *= t.widths[l]
+	}
+	return t, nil
+}
+
+// DefaultConfig returns the silicon geometry: 3 levels × 4-bit literals
+// (16-bit nodes, 12-bit tags), first two levels in registers.
+func DefaultConfig() Config {
+	return Config{Levels: 3, LiteralBits: 4, RegisterLevels: 2}
+}
+
+// TagBits returns the tag width handled by this tree.
+func (t *Trie) TagBits() int { return t.tagBits }
+
+// Capacity returns the number of distinct tag values (2^TagBits).
+func (t *Trie) Capacity() int { return 1 << uint(t.tagBits) }
+
+// Len returns the number of distinct tags currently marked.
+func (t *Trie) Len() int { return t.count }
+
+// Empty reports whether no tags are marked.
+func (t *Trie) Empty() bool { return t.count == 0 }
+
+// Width returns the root node width (top-level branching factor).
+func (t *Trie) Width() int { return t.widths[0] }
+
+// LevelWidth returns the node width at the given level.
+func (t *Trie) LevelWidth(level int) int { return t.widths[level] }
+
+// MaxLevelWidth returns the widest node in the tree — the width that
+// bounds the matcher critical path (paper §III-A's argument against
+// unequal node widths).
+func (t *Trie) MaxLevelWidth() int {
+	max := 0
+	for _, w := range t.widths {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// Levels returns the number of tree levels.
+func (t *Trie) Levels() int { return t.cfg.Levels }
+
+// Stats returns accumulated traffic counters.
+func (t *Trie) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the traffic counters.
+func (t *Trie) ResetStats() { t.stats = Stats{} }
+
+// MemoryBitsPerLevel returns the marker storage per level in bits: the
+// paper's equation (2), LM(l) = 2^(k·(l+1)) for the root level l = 0.
+func (t *Trie) MemoryBitsPerLevel() []int {
+	out := make([]int, t.cfg.Levels)
+	for l := range out {
+		out[l] = t.depths[l] * t.widths[l]
+	}
+	return out
+}
+
+// TotalMemoryBits returns the paper's equation (3): the sum of the level
+// memories.
+func (t *Trie) TotalMemoryBits() int {
+	total := 0
+	for _, b := range t.MemoryBitsPerLevel() {
+		total += b
+	}
+	return total
+}
+
+func (t *Trie) checkTag(tag int) error {
+	if tag < 0 || tag >= t.Capacity() {
+		return fmt.Errorf("trie: tag %d out of range [0,%d)", tag, t.Capacity())
+	}
+	return nil
+}
+
+// literal extracts the level-l literal (l = 0 is the root / most
+// significant literal).
+func (t *Trie) literal(tag, level int) int {
+	return (tag >> t.shifts[level]) & (t.widths[level] - 1)
+}
+
+func (t *Trie) readNode(level, idx int) (uint64, error) {
+	w, err := t.levels[level].Read(idx)
+	if err != nil {
+		return 0, err
+	}
+	t.stats.NodeReads++
+	return w, nil
+}
+
+func (t *Trie) writeNode(level, idx int, w uint64) error {
+	if err := t.levels[level].Write(idx, w); err != nil {
+		return err
+	}
+	t.stats.NodeWrites++
+	return nil
+}
+
+// SearchResult is the outcome of a closest-match search.
+type SearchResult struct {
+	// Closest is the largest marked tag ≤ the searched tag; valid only
+	// when Found.
+	Closest int
+	// Found is false when no marked tag ≤ the searched tag exists (the
+	// sorter then treats the new tag as the new minimum, or enters
+	// initialization mode when the tree is empty — paper §III-A).
+	Found bool
+	// Exact reports whether the searched tag itself is marked.
+	Exact bool
+}
+
+// SearchClosest finds the largest marked tag at or below tag, following
+// the primary search with the parallel backup path of paper Fig. 5. The
+// backup path descends in lockstep with the primary search — in hardware
+// both node fetches hit distributed memories in the same pipeline stage —
+// so a search performs exactly one sequential node access per level: the
+// fixed-time property central to the architecture.
+func (t *Trie) SearchClosest(tag int) (SearchResult, error) {
+	if err := t.checkTag(tag); err != nil {
+		return SearchResult{}, err
+	}
+	t.stats.Searches++
+	res, seq, err := t.searchClosest(tag)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	if seq > t.stats.MaxReadDepth {
+		t.stats.MaxReadDepth = seq
+	}
+	t.stats.LastDepth = seq
+	return res, nil
+}
+
+func (t *Trie) searchClosest(tag int) (SearchResult, int, error) {
+	idx, prefix := 0, 0
+	// Backup path state: node index at the current level and the tag
+	// literals consumed along the backup path. A fresh, closer backup
+	// discovered inside the primary node (paper: "the next smallest bit
+	// in the parent node") replaces it; otherwise the old backup from an
+	// earlier level keeps descending by its most significant bit
+	// ("the node two levels up" case falls out of this lockstep descent).
+	backupIdx, backupPrefix := -1, 0
+	seq := 0
+	for level := 0; level < t.cfg.Levels; level++ {
+		seq++
+		word, err := t.readNode(level, idx)
+		if err != nil {
+			return SearchResult{}, seq, err
+		}
+		lit := t.literal(tag, level)
+		k := uint(t.bits[level])
+		width := t.widths[level]
+		m := matcher.Closest(word, lit, width)
+
+		// Parallel backup descent (same pipeline stage, distinct
+		// distributed memory block).
+		nextBackupIdx, nextBackupPrefix := -1, 0
+		if backupIdx >= 0 {
+			bword, err := t.readNode(level, backupIdx)
+			if err != nil {
+				return SearchResult{}, seq, err
+			}
+			bit, ok := matcher.HighestSet(bword, width)
+			if !ok {
+				return SearchResult{}, seq, fmt.Errorf("trie: corrupt tree: empty backup node at level %d index %d", level, backupIdx)
+			}
+			nextBackupIdx = backupIdx*width + bit
+			nextBackupPrefix = backupPrefix<<k | bit
+		}
+
+		switch {
+		case !m.PrimaryOK:
+			// Primary search failed (paper Fig. 5 point "A"): the backup
+			// path, already advanced through this level, completes the
+			// lookup via the maximum path below.
+			if nextBackupIdx < 0 {
+				return SearchResult{}, seq, nil // no marked tag ≤ tag
+			}
+			res, n, err := t.maxDescendSeq(level+1, nextBackupIdx, nextBackupPrefix)
+			return res, seq + n, err
+		case m.Primary != lit:
+			// Non-exact match: every level below returns its maximum
+			// (paper: "all subsequent levels return their maximum value").
+			res, n, err := t.maxDescendSeq(level+1, idx*width+m.Primary, prefix<<k|m.Primary)
+			return res, seq + n, err
+		}
+		// Exact so far: adopt the in-node backup when present.
+		if m.BackupOK {
+			nextBackupIdx = idx*width + m.Backup
+			nextBackupPrefix = prefix<<k | m.Backup
+		}
+		backupIdx, backupPrefix = nextBackupIdx, nextBackupPrefix
+		prefix = prefix<<k | lit
+		idx = idx*width + lit
+	}
+	return SearchResult{Closest: prefix, Found: true, Exact: true}, seq, nil
+}
+
+// maxDescendSeq follows the most significant set bit from (level, idx)
+// downwards, returning the completed tag and the number of sequential
+// node accesses used. The subtree is guaranteed non-empty: a set marker
+// bit always has at least one descendant (invariant maintained by
+// Insert/Delete).
+func (t *Trie) maxDescendSeq(level, idx, prefix int) (SearchResult, int, error) {
+	seq := 0
+	for ; level < t.cfg.Levels; level++ {
+		seq++
+		word, err := t.readNode(level, idx)
+		if err != nil {
+			return SearchResult{}, seq, err
+		}
+		bit, ok := matcher.HighestSet(word, t.widths[level])
+		if !ok {
+			return SearchResult{}, seq, fmt.Errorf("trie: corrupt tree: empty node at level %d index %d on max path", level, idx)
+		}
+		prefix = (prefix << uint(t.bits[level])) | bit
+		idx = idx*t.widths[level] + bit
+	}
+	return SearchResult{Closest: prefix, Found: true}, seq, nil
+}
+
+// Insert searches for the closest existing tag (the linked-list insert
+// position) and then marks tag in the tree, updating only the nodes whose
+// words change. It returns the pre-insert search result.
+func (t *Trie) Insert(tag int) (SearchResult, error) {
+	res, err := t.SearchClosest(tag)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	if res.Exact {
+		// Marker already present: duplicate tags share one marker; the
+		// translation table and list handle FCFS ordering (paper Fig. 11).
+		return res, nil
+	}
+	if err := t.Mark(tag); err != nil {
+		return SearchResult{}, err
+	}
+	return res, nil
+}
+
+// Mark sets the marker for tag without a closest-match search (the write
+// phase of an insert, separated so callers can interpose between search
+// and commit). Marking an already-present tag is a no-op.
+func (t *Trie) Mark(tag int) error {
+	if err := t.checkTag(tag); err != nil {
+		return err
+	}
+	idx := 0
+	present := true
+	for level := 0; level < t.cfg.Levels; level++ {
+		lit := t.literal(tag, level)
+		word, err := t.readNode(level, idx)
+		if err != nil {
+			return err
+		}
+		if word&(1<<uint(lit)) == 0 {
+			present = false
+			if err := t.writeNode(level, idx, word|1<<uint(lit)); err != nil {
+				return err
+			}
+		}
+		idx = idx*t.widths[level] + lit
+	}
+	if !present {
+		t.count++
+	}
+	return nil
+}
+
+// Contains reports whether tag is marked.
+func (t *Trie) Contains(tag int) (bool, error) {
+	if err := t.checkTag(tag); err != nil {
+		return false, err
+	}
+	idx := 0
+	for level := 0; level < t.cfg.Levels; level++ {
+		lit := t.literal(tag, level)
+		word, err := t.readNode(level, idx)
+		if err != nil {
+			return false, err
+		}
+		if word&(1<<uint(lit)) == 0 {
+			return false, nil
+		}
+		idx = idx*t.widths[level] + lit
+	}
+	return true, nil
+}
+
+// Delete clears the marker for tag, clearing emptied ancestor bits so the
+// "set bit implies non-empty subtree" invariant that the maximum-path
+// descent relies on is preserved. Deleting an unmarked tag is an error.
+func (t *Trie) Delete(tag int) error {
+	if err := t.checkTag(tag); err != nil {
+		return err
+	}
+	// Collect the path.
+	idxs := make([]int, t.cfg.Levels)
+	words := make([]uint64, t.cfg.Levels)
+	idx := 0
+	for level := 0; level < t.cfg.Levels; level++ {
+		lit := t.literal(tag, level)
+		word, err := t.readNode(level, idx)
+		if err != nil {
+			return err
+		}
+		if word&(1<<uint(lit)) == 0 {
+			return fmt.Errorf("trie: delete of unmarked tag %d", tag)
+		}
+		idxs[level] = idx
+		words[level] = word
+		idx = idx*t.widths[level] + lit
+	}
+	// Clear bottom-up while nodes empty out.
+	for level := t.cfg.Levels - 1; level >= 0; level-- {
+		lit := t.literal(tag, level)
+		words[level] &^= 1 << uint(lit)
+		if err := t.writeNode(level, idxs[level], words[level]); err != nil {
+			return err
+		}
+		if words[level] != 0 {
+			break
+		}
+	}
+	t.count--
+	return nil
+}
+
+// DeleteSection clears one root-level literal and every descendant marker
+// in a single operation — the range reclamation of paper Fig. 6, where a
+// section of the cyclic tag space that has fallen behind the current
+// minimum is vacated for reuse ("all child nodes stemming from this bit
+// are isolated and deleted at the same time"). It returns the number of
+// markers removed.
+func (t *Trie) DeleteSection(rootLiteral int) (int, error) {
+	if rootLiteral < 0 || rootLiteral >= t.widths[0] {
+		return 0, fmt.Errorf("trie: root literal %d out of range [0,%d)", rootLiteral, t.widths[0])
+	}
+	root, err := t.readNode(0, 0)
+	if err != nil {
+		return 0, err
+	}
+	if root&(1<<uint(rootLiteral)) == 0 {
+		return 0, nil // section already vacant
+	}
+	removed, err := t.clearSubtree(1, rootLiteral)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.writeNode(0, 0, root&^(1<<uint(rootLiteral))); err != nil {
+		return 0, err
+	}
+	t.count -= removed
+	return removed, nil
+}
+
+// clearSubtree zeroes the subtree rooted at (level, idx) and returns the
+// number of leaf markers it contained.
+func (t *Trie) clearSubtree(level, idx int) (int, error) {
+	word, err := t.readNode(level, idx)
+	if err != nil {
+		return 0, err
+	}
+	if word == 0 {
+		return 0, nil
+	}
+	removed := 0
+	if level == t.cfg.Levels-1 {
+		removed = bits.OnesCount64(word)
+	} else {
+		for b := 0; b < t.widths[level]; b++ {
+			if word&(1<<uint(b)) == 0 {
+				continue
+			}
+			n, err := t.clearSubtree(level+1, idx*t.widths[level]+b)
+			if err != nil {
+				return 0, err
+			}
+			removed += n
+		}
+	}
+	if err := t.writeNode(level, idx, 0); err != nil {
+		return 0, err
+	}
+	return removed, nil
+}
+
+// Min returns the smallest marked tag.
+func (t *Trie) Min() (int, bool, error) {
+	return t.extreme(false)
+}
+
+// Max returns the largest marked tag.
+func (t *Trie) Max() (int, bool, error) {
+	return t.extreme(true)
+}
+
+// Dump renders the tree's node occupancy level by level (verification
+// and debugging port): each line shows a level's non-empty nodes as
+// index:word pairs.
+func (t *Trie) Dump() (string, error) {
+	var b strings.Builder
+	for level := 0; level < t.cfg.Levels; level++ {
+		fmt.Fprintf(&b, "L%d (%d-bit nodes):", level, t.widths[level])
+		empty := true
+		for idx := 0; idx < t.depths[level]; idx++ {
+			var word uint64
+			var err error
+			switch st := t.levels[level].(type) {
+			case *hwsim.SRAM:
+				word, err = st.Peek(idx)
+			default:
+				word, err = st.Read(idx)
+			}
+			if err != nil {
+				return "", err
+			}
+			if word != 0 {
+				fmt.Fprintf(&b, " %d:%0*b", idx, t.widths[level], word)
+				empty = false
+			}
+		}
+		if empty {
+			b.WriteString(" (empty)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func (t *Trie) extreme(max bool) (int, bool, error) {
+	if t.count == 0 {
+		return 0, false, nil
+	}
+	idx, prefix := 0, 0
+	for level := 0; level < t.cfg.Levels; level++ {
+		word, err := t.readNode(level, idx)
+		if err != nil {
+			return 0, false, err
+		}
+		var bit int
+		if max {
+			b, ok := matcher.HighestSet(word, t.widths[level])
+			if !ok {
+				return 0, false, fmt.Errorf("trie: corrupt tree: empty node at level %d index %d", level, idx)
+			}
+			bit = b
+		} else {
+			if word == 0 {
+				return 0, false, fmt.Errorf("trie: corrupt tree: empty node at level %d index %d", level, idx)
+			}
+			bit = bits.TrailingZeros64(word)
+		}
+		prefix = (prefix << uint(t.bits[level])) | bit
+		idx = idx*t.widths[level] + bit
+	}
+	return prefix, true, nil
+}

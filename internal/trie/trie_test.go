@@ -1,0 +1,501 @@
+package trie
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fig45Config is the tree geometry of the paper's worked examples:
+// 6-bit values, three levels of 2-bit literals (4-bit nodes).
+func fig45Config() Config {
+	return Config{Levels: 3, LiteralBits: 2, RegisterLevels: 2}
+}
+
+func mustNew(t *testing.T, cfg Config) *Trie {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return tr
+}
+
+func mustInsert(t *testing.T, tr *Trie, tags ...int) {
+	t.Helper()
+	for _, tag := range tags {
+		if _, err := tr.Insert(tag); err != nil {
+			t.Fatalf("Insert(%#b): %v", tag, err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default", DefaultConfig(), true},
+		{"fig4", fig45Config(), true},
+		{"zero levels", Config{Levels: 0, LiteralBits: 4}, false},
+		{"literal too small", Config{Levels: 3, LiteralBits: 1}, false},
+		{"literal too large", Config{Levels: 3, LiteralBits: 7}, false},
+		{"too many tag bits", Config{Levels: 7, LiteralBits: 4}, false},
+		{"register levels negative", Config{Levels: 3, LiteralBits: 4, RegisterLevels: -1}, false},
+		{"register levels too many", Config{Levels: 3, LiteralBits: 4, RegisterLevels: 4}, false},
+		{"all levels in registers", Config{Levels: 3, LiteralBits: 4, RegisterLevels: 3}, true},
+		{"all levels in sram", Config{Levels: 3, LiteralBits: 4, RegisterLevels: 0}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.cfg)
+			if (err == nil) != tt.ok {
+				t.Fatalf("New(%+v) error = %v, want ok=%v", tt.cfg, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	if tr.TagBits() != 12 {
+		t.Errorf("TagBits = %d, want 12", tr.TagBits())
+	}
+	if tr.Capacity() != 4096 {
+		t.Errorf("Capacity = %d, want 4096", tr.Capacity())
+	}
+	if tr.Width() != 16 {
+		t.Errorf("Width = %d, want 16", tr.Width())
+	}
+	if tr.Levels() != 3 {
+		t.Errorf("Levels = %d, want 3", tr.Levels())
+	}
+}
+
+// TestMemorySizing checks the paper's equations (2)-(3): for the silicon
+// geometry the first two levels total 272 bits and the third is 4 kbit.
+func TestMemorySizing(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	got := tr.MemoryBitsPerLevel()
+	want := []int{16, 256, 4096}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("level %d memory = %d bits, want %d", i, got[i], want[i])
+		}
+	}
+	if got[0]+got[1] != 272 {
+		t.Errorf("register levels total %d bits, paper says 272", got[0]+got[1])
+	}
+	if tr.TotalMemoryBits() != 16+256+4096 {
+		t.Errorf("TotalMemoryBits = %d, want %d", tr.TotalMemoryBits(), 16+256+4096)
+	}
+}
+
+// TestFig4Walkthrough replays the paper's Fig. 4 example verbatim: a tree
+// storing 001001, 110101 and 110111; a search for incoming tag 110110
+// must return closest match 110101.
+func TestFig4Walkthrough(t *testing.T) {
+	tr := mustNew(t, fig45Config())
+	mustInsert(t, tr, 0b001001, 0b110101, 0b110111)
+
+	res, err := tr.SearchClosest(0b110110)
+	if err != nil {
+		t.Fatalf("SearchClosest: %v", err)
+	}
+	if !res.Found || res.Closest != 0b110101 {
+		t.Fatalf("SearchClosest(110110) = %+v, want closest 110101", res)
+	}
+	if res.Exact {
+		t.Fatal("SearchClosest(110110) reported exact; 110110 is not stored")
+	}
+
+	// Completing the paper's walkthrough: inserting 110110 only updates
+	// the third-level node ("the only node that requires an update").
+	before := tr.Stats().NodeWrites
+	if _, err := tr.Insert(0b110110); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if writes := tr.Stats().NodeWrites - before; writes != 1 {
+		t.Fatalf("Insert(110110) wrote %d nodes, want 1", writes)
+	}
+	ok, err := tr.Contains(0b110110)
+	if err != nil || !ok {
+		t.Fatalf("Contains(110110) = %v, %v; want true", ok, err)
+	}
+}
+
+// TestFig5BackupPath replays Fig. 5: a search for 110100 succeeds in the
+// first two levels but fails in the third; no backup exists in the
+// second-level node (it holds a single literal), so the root-level backup
+// is followed and the maximum path below it returns the next lowest tag.
+func TestFig5BackupPath(t *testing.T) {
+	tr := mustNew(t, fig45Config())
+	mustInsert(t, tr, 0b001011, 0b110101)
+
+	res, err := tr.SearchClosest(0b110100)
+	if err != nil {
+		t.Fatalf("SearchClosest: %v", err)
+	}
+	if !res.Found || res.Closest != 0b001011 {
+		t.Fatalf("SearchClosest(110100) = %+v, want closest 001011 via root backup", res)
+	}
+}
+
+// TestFig5PointC is the figure's "Point C" variant: when the second-level
+// node also holds a smaller literal, that closer backup is used instead
+// of the root's.
+func TestFig5PointC(t *testing.T) {
+	tr := mustNew(t, fig45Config())
+	mustInsert(t, tr, 0b001011, 0b110101, 0b110001)
+
+	res, err := tr.SearchClosest(0b110100)
+	if err != nil {
+		t.Fatalf("SearchClosest: %v", err)
+	}
+	if !res.Found || res.Closest != 0b110001 {
+		t.Fatalf("SearchClosest(110100) = %+v, want closest 110001 via level-1 backup", res)
+	}
+}
+
+func TestSearchEmptyTree(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	res, err := tr.SearchClosest(100)
+	if err != nil {
+		t.Fatalf("SearchClosest: %v", err)
+	}
+	if res.Found {
+		t.Fatalf("empty tree returned a match: %+v", res)
+	}
+	if !tr.Empty() {
+		t.Fatal("Empty() = false on new tree")
+	}
+}
+
+func TestSearchNoSmallerTag(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	mustInsert(t, tr, 2000)
+	res, err := tr.SearchClosest(1999)
+	if err != nil {
+		t.Fatalf("SearchClosest: %v", err)
+	}
+	if res.Found {
+		t.Fatalf("search below all tags returned %+v, want not found", res)
+	}
+}
+
+func TestSearchExact(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	mustInsert(t, tr, 1234)
+	res, err := tr.SearchClosest(1234)
+	if err != nil {
+		t.Fatalf("SearchClosest: %v", err)
+	}
+	if !res.Found || !res.Exact || res.Closest != 1234 {
+		t.Fatalf("SearchClosest(1234) = %+v, want exact 1234", res)
+	}
+}
+
+func TestInsertDuplicateSharesMarker(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	mustInsert(t, tr, 55, 55, 55)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after 3 inserts of one value, want 1", tr.Len())
+	}
+	res, err := tr.Insert(55)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if !res.Exact {
+		t.Fatalf("duplicate insert result %+v, want Exact", res)
+	}
+}
+
+func TestTagRangeErrors(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	for _, tag := range []int{-1, 4096, 1 << 20} {
+		if _, err := tr.Insert(tag); err == nil {
+			t.Errorf("Insert(%d) accepted out-of-range tag", tag)
+		}
+		if _, err := tr.SearchClosest(tag); err == nil {
+			t.Errorf("SearchClosest(%d) accepted out-of-range tag", tag)
+		}
+		if _, err := tr.Contains(tag); err == nil {
+			t.Errorf("Contains(%d) accepted out-of-range tag", tag)
+		}
+		if err := tr.Delete(tag); err == nil {
+			t.Errorf("Delete(%d) accepted out-of-range tag", tag)
+		}
+	}
+}
+
+func TestDeleteUnmarked(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	mustInsert(t, tr, 10)
+	if err := tr.Delete(11); err == nil {
+		t.Fatal("Delete of unmarked tag succeeded")
+	}
+}
+
+func TestDeleteClearsEmptyAncestors(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	mustInsert(t, tr, 0x123)
+	if err := tr.Delete(0x123); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if !tr.Empty() {
+		t.Fatalf("Len = %d after deleting only tag, want 0", tr.Len())
+	}
+	// A subsequent search must find nothing (would hit "corrupt tree" if
+	// ancestor bits leaked).
+	res, err := tr.SearchClosest(4095)
+	if err != nil {
+		t.Fatalf("SearchClosest after delete: %v", err)
+	}
+	if res.Found {
+		t.Fatalf("search found %+v in emptied tree", res)
+	}
+}
+
+func TestDeletePreservesSiblings(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	mustInsert(t, tr, 0x120, 0x12F) // same last-level node
+	if err := tr.Delete(0x12F); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	res, err := tr.SearchClosest(0xFFF)
+	if err != nil {
+		t.Fatalf("SearchClosest: %v", err)
+	}
+	if !res.Found || res.Closest != 0x120 {
+		t.Fatalf("after delete search = %+v, want 0x120", res)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	if _, ok, err := tr.Min(); err != nil || ok {
+		t.Fatalf("Min on empty = ok=%v err=%v, want false,nil", ok, err)
+	}
+	mustInsert(t, tr, 77, 3000, 5, 2048)
+	min, ok, err := tr.Min()
+	if err != nil || !ok || min != 5 {
+		t.Fatalf("Min = %d,%v,%v; want 5,true,nil", min, ok, err)
+	}
+	max, ok, err := tr.Max()
+	if err != nil || !ok || max != 3000 {
+		t.Fatalf("Max = %d,%v,%v; want 3000,true,nil", max, ok, err)
+	}
+}
+
+// TestFixedSearchDepth verifies the architecture's headline property: a
+// closest-match search never performs more than Levels sequential node
+// reads, independent of occupancy.
+func TestFixedSearchDepth(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		mustInsert(t, tr, rng.Intn(4096))
+	}
+	tr.ResetStats()
+	for i := 0; i < 1000; i++ {
+		if _, err := tr.SearchClosest(rng.Intn(4096)); err != nil {
+			t.Fatalf("SearchClosest: %v", err)
+		}
+	}
+	st := tr.Stats()
+	if st.MaxReadDepth > tr.Levels() {
+		t.Fatalf("MaxReadDepth = %d, want ≤ %d (fixed-time guarantee)", st.MaxReadDepth, tr.Levels())
+	}
+	if st.Searches != 1000 {
+		t.Fatalf("Searches = %d, want 1000", st.Searches)
+	}
+}
+
+// TestDeleteSection reproduces the Fig. 6 range reclamation: clearing one
+// root literal removes exactly the tags in that sixteenth of the space.
+func TestDeleteSection(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	// Section size for 12-bit tags = 4096/16 = 256 values.
+	mustInsert(t, tr, 0, 100, 255, 256, 300, 511, 1000)
+	removed, err := tr.DeleteSection(0) // tags 0..255
+	if err != nil {
+		t.Fatalf("DeleteSection: %v", err)
+	}
+	if removed != 3 {
+		t.Fatalf("DeleteSection removed %d, want 3", removed)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d after section delete, want 4", tr.Len())
+	}
+	for _, tag := range []int{0, 100, 255} {
+		if ok, _ := tr.Contains(tag); ok {
+			t.Errorf("tag %d survived section delete", tag)
+		}
+	}
+	for _, tag := range []int{256, 300, 511, 1000} {
+		if ok, _ := tr.Contains(tag); !ok {
+			t.Errorf("tag %d lost by section delete", tag)
+		}
+	}
+	// Deleting an already-vacant section is a no-op.
+	removed, err = tr.DeleteSection(0)
+	if err != nil || removed != 0 {
+		t.Fatalf("repeat DeleteSection = %d,%v; want 0,nil", removed, err)
+	}
+	if _, err := tr.DeleteSection(16); err == nil {
+		t.Error("DeleteSection(16) accepted out-of-range literal")
+	}
+}
+
+// oracle is a reference model for randomized differential testing.
+type oracle map[int]bool
+
+func (o oracle) closest(tag int) (int, bool, bool) {
+	for v := tag; v >= 0; v-- {
+		if o[v] {
+			return v, true, v == tag
+		}
+	}
+	return 0, false, false
+}
+
+// TestRandomizedAgainstOracle drives a long random insert/delete/search
+// sequence and compares every result with a linear-scan reference model.
+func TestRandomizedAgainstOracle(t *testing.T) {
+	cfgs := []Config{
+		DefaultConfig(),
+		{Levels: 2, LiteralBits: 4, RegisterLevels: 1},
+		{Levels: 4, LiteralBits: 3, RegisterLevels: 2},
+		{Levels: 3, LiteralBits: 2, RegisterLevels: 0},
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run("", func(t *testing.T) {
+			tr := mustNew(t, cfg)
+			ref := make(oracle)
+			rng := rand.New(rand.NewSource(42))
+			capacity := tr.Capacity()
+			live := make([]int, 0, 1024)
+			for step := 0; step < 4000; step++ {
+				tag := rng.Intn(capacity)
+				switch op := rng.Intn(10); {
+				case op < 5: // insert
+					res, err := tr.Insert(tag)
+					if err != nil {
+						t.Fatalf("step %d: Insert(%d): %v", step, tag, err)
+					}
+					wantC, wantF, wantE := ref.closest(tag)
+					if res.Found != wantF || (wantF && res.Closest != wantC) || res.Exact != wantE {
+						t.Fatalf("step %d: Insert(%d) search = %+v, oracle (%d,%v,%v)",
+							step, tag, res, wantC, wantF, wantE)
+					}
+					if !ref[tag] {
+						ref[tag] = true
+						live = append(live, tag)
+					}
+				case op < 7 && len(live) > 0: // delete random live tag
+					i := rng.Intn(len(live))
+					victim := live[i]
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					delete(ref, victim)
+					if err := tr.Delete(victim); err != nil {
+						t.Fatalf("step %d: Delete(%d): %v", step, victim, err)
+					}
+				default: // search
+					res, err := tr.SearchClosest(tag)
+					if err != nil {
+						t.Fatalf("step %d: SearchClosest(%d): %v", step, tag, err)
+					}
+					wantC, wantF, wantE := ref.closest(tag)
+					if res.Found != wantF || (wantF && res.Closest != wantC) || res.Exact != wantE {
+						t.Fatalf("step %d: SearchClosest(%d) = %+v, oracle (%d,%v,%v)",
+							step, tag, res, wantC, wantF, wantE)
+					}
+				}
+				if tr.Len() != len(ref) {
+					t.Fatalf("step %d: Len = %d, oracle %d", step, tr.Len(), len(ref))
+				}
+			}
+		})
+	}
+}
+
+// TestWraparoundReuse verifies the cyclic tag-space workflow: fill a
+// section, serve it, reclaim it with DeleteSection, then reuse it.
+func TestWraparoundReuse(t *testing.T) {
+	tr := mustNew(t, DefaultConfig())
+	for tag := 0; tag < 256; tag += 16 {
+		mustInsert(t, tr, tag)
+	}
+	if _, err := tr.DeleteSection(0); err != nil {
+		t.Fatalf("DeleteSection: %v", err)
+	}
+	// Reuse the vacated range.
+	mustInsert(t, tr, 8)
+	res, err := tr.SearchClosest(9)
+	if err != nil || !res.Found || res.Closest != 8 {
+		t.Fatalf("post-reclaim search = %+v, %v; want 8", res, err)
+	}
+}
+
+func BenchmarkSearchClosest(b *testing.B) {
+	tr, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2048; i++ {
+		if _, err := tr.Insert(rng.Intn(4096)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.SearchClosest(i & 4095); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tr, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag := (i * 2654435761) & 4095
+		res, err := tr.Insert(tag)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Exact {
+			if err := tr.Delete(tag); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	tr := mustNew(t, fig45Config())
+	mustInsert(t, tr, 0b001001, 0b110101)
+	out, err := tr.Dump()
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	// Root node holds literals 00 and 11 → word 1001.
+	if !strings.Contains(out, "L0 (4-bit nodes): 0:1001") {
+		t.Fatalf("dump root wrong:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("dump should have 3 level lines:\n%s", out)
+	}
+	empty := mustNew(t, fig45Config())
+	out, err = empty.Dump()
+	if err != nil || !strings.Contains(out, "(empty)") {
+		t.Fatalf("empty dump = %q, %v", out, err)
+	}
+}

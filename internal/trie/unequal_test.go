@@ -1,0 +1,155 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"wfqsort/internal/matcher"
+)
+
+// TestUnequalWidthConfig validates the per-level geometry option of
+// paper §III-A / reference [13].
+func TestUnequalWidthConfig(t *testing.T) {
+	tr := mustNew(t, Config{LiteralBitsPerLevel: []int{6, 4, 2}, RegisterLevels: 2})
+	if tr.TagBits() != 12 {
+		t.Fatalf("TagBits = %d, want 12", tr.TagBits())
+	}
+	if tr.Capacity() != 4096 {
+		t.Fatalf("Capacity = %d, want 4096", tr.Capacity())
+	}
+	if tr.Width() != 64 || tr.LevelWidth(1) != 16 || tr.LevelWidth(2) != 4 {
+		t.Fatalf("widths = %d/%d/%d, want 64/16/4", tr.Width(), tr.LevelWidth(1), tr.LevelWidth(2))
+	}
+	if tr.MaxLevelWidth() != 64 {
+		t.Fatalf("MaxLevelWidth = %d, want 64", tr.MaxLevelWidth())
+	}
+	// Memory: 64 + 64·16 + 1024·4 = 64 + 1024 + 4096.
+	bits := tr.MemoryBitsPerLevel()
+	want := []int{64, 1024, 4096}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Errorf("level %d = %d bits, want %d", i, bits[i], want[i])
+		}
+	}
+}
+
+func TestUnequalWidthValidation(t *testing.T) {
+	if _, err := New(Config{LiteralBitsPerLevel: []int{4, 1}}); err == nil {
+		t.Error("undersized level accepted")
+	}
+	if _, err := New(Config{LiteralBitsPerLevel: []int{7, 4}}); err == nil {
+		t.Error("oversized level accepted")
+	}
+	if _, err := New(Config{LiteralBitsPerLevel: []int{4, 4}, Levels: 3}); err == nil {
+		t.Error("conflicting Levels accepted")
+	}
+	if _, err := New(Config{LiteralBitsPerLevel: []int{6, 6, 6, 6, 6}}); err == nil {
+		t.Error("too many tag bits accepted")
+	}
+	if _, err := New(Config{LiteralBitsPerLevel: []int{4, 4, 4}, Levels: 3}); err != nil {
+		t.Error("matching Levels rejected")
+	}
+}
+
+// TestUnequalWidthDifferential drives mixed geometries against the
+// linear-scan oracle, exactly like the uniform-width differential test.
+func TestUnequalWidthDifferential(t *testing.T) {
+	geometries := [][]int{
+		{6, 4, 2},
+		{2, 4, 6},
+		{3, 6, 3},
+		{5, 2, 5},
+	}
+	for _, geo := range geometries {
+		geo := geo
+		t.Run("", func(t *testing.T) {
+			tr := mustNew(t, Config{LiteralBitsPerLevel: geo, RegisterLevels: 1})
+			ref := make(oracle)
+			rng := rand.New(rand.NewSource(77))
+			capacity := tr.Capacity()
+			live := make([]int, 0, 512)
+			for step := 0; step < 2500; step++ {
+				tag := rng.Intn(capacity)
+				switch op := rng.Intn(10); {
+				case op < 5:
+					res, err := tr.Insert(tag)
+					if err != nil {
+						t.Fatalf("step %d: Insert(%d): %v", step, tag, err)
+					}
+					wantC, wantF, wantE := ref.closest(tag)
+					if res.Found != wantF || (wantF && res.Closest != wantC) || res.Exact != wantE {
+						t.Fatalf("step %d: Insert(%d) = %+v, oracle (%d,%v,%v)", step, tag, res, wantC, wantF, wantE)
+					}
+					if !ref[tag] {
+						ref[tag] = true
+						live = append(live, tag)
+					}
+				case op < 7 && len(live) > 0:
+					i := rng.Intn(len(live))
+					victim := live[i]
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+					delete(ref, victim)
+					if err := tr.Delete(victim); err != nil {
+						t.Fatalf("step %d: Delete(%d): %v", step, victim, err)
+					}
+				default:
+					res, err := tr.SearchClosest(tag)
+					if err != nil {
+						t.Fatalf("step %d: SearchClosest(%d): %v", step, tag, err)
+					}
+					wantC, wantF, wantE := ref.closest(tag)
+					if res.Found != wantF || (wantF && res.Closest != wantC) || res.Exact != wantE {
+						t.Fatalf("step %d: Search(%d) = %+v, oracle (%d,%v,%v)", step, tag, res, wantC, wantF, wantE)
+					}
+				}
+			}
+			if st := tr.Stats(); st.MaxReadDepth > len(geo) {
+				t.Fatalf("search depth %d exceeds %d levels", st.MaxReadDepth, len(geo))
+			}
+		})
+	}
+}
+
+// TestWidestNodeBoundsMatcher reproduces the paper's argument for equal
+// node widths: the matcher for the widest level dominates the cycle
+// time, so a 6-4-2 tree is no faster than a uniform 4-4-4 tree despite
+// its narrow bottom level, while costing a bigger matcher.
+func TestWidestNodeBoundsMatcher(t *testing.T) {
+	delay := func(width int) int {
+		c, err := matcher.Build(matcher.SelectLookAhead, width)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", width, err)
+		}
+		return c.Delay()
+	}
+	uniform := delay(16) // 4-4-4: every level's matcher is 16 bits wide
+	unequal := delay(64) // 6-4-2: the level-0 matcher is 64 bits wide
+	if unequal <= uniform {
+		t.Fatalf("64-bit matcher delay %d not worse than 16-bit %d — the paper's §III-A argument should hold",
+			unequal, uniform)
+	}
+}
+
+// TestUnequalWidthSectionDelete checks Fig. 6 reclamation on a wide
+// root: a 6-bit root yields 64 sections of 64 values.
+func TestUnequalWidthSectionDelete(t *testing.T) {
+	tr := mustNew(t, Config{LiteralBitsPerLevel: []int{6, 4, 2}})
+	mustInsert(t, tr, 0, 63, 64, 100, 4000)
+	removed, err := tr.DeleteSection(0) // values 0..63
+	if err != nil {
+		t.Fatalf("DeleteSection: %v", err)
+	}
+	if removed != 2 {
+		t.Fatalf("removed %d, want 2", removed)
+	}
+	for _, tag := range []int{64, 100, 4000} {
+		ok, err := tr.Contains(tag)
+		if err != nil || !ok {
+			t.Fatalf("tag %d lost (%v)", tag, err)
+		}
+	}
+	if _, err := tr.DeleteSection(64); err == nil {
+		t.Error("out-of-range root literal accepted")
+	}
+}

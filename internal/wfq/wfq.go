@@ -1,0 +1,344 @@
+// Package wfq implements the weighted fair queueing tag computation of
+// paper §II-A and reference [8]: a virtual clock that tracks the progress
+// of a simulated GPS system, per-session finishing tags
+// F_i = max(F_i', V(t)) + L/φ_i, the Next-F departure-time relation of
+// paper equation (1), and a self-clocked (SCFQ) variant. A cyclic
+// quantizer maps real-valued finishing tags onto the sorter's B-bit tag
+// space with section-reclamation callbacks (paper Fig. 6).
+package wfq
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Clock tracks WFQ virtual time V(t) by simulating the GPS busy set.
+// Tags are in seconds-of-dedicated-service units: F = S + L/(φ·C), so V
+// advances at rate 1/ΣΦ(busy) (a flow of weight φ backlogged alone sees V
+// advance at 1/φ, serving L bits in exactly L/C real seconds). Sessions
+// leave the busy set as V passes their last finishing tag
+// (Demers–Keshav–Shenker).
+type Clock struct {
+	capacity float64
+	weights  []float64
+
+	lastT float64
+	lastV float64
+	sumW  float64
+
+	busy    []bool    // session currently in the GPS busy set
+	lastF   []float64 // last finishing tag issued per session
+	pending finishHeap
+}
+
+type finishEntry struct {
+	vt   float64
+	flow int
+}
+
+type finishHeap []finishEntry
+
+func (h finishHeap) Len() int            { return len(h) }
+func (h finishHeap) Less(i, j int) bool  { return h[i].vt < h[j].vt }
+func (h finishHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *finishHeap) Push(x interface{}) { *h = append(*h, x.(finishEntry)) }
+func (h *finishHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewClock builds a virtual clock for the given session weights and link
+// capacity in bits/s.
+func NewClock(weights []float64, capacityBps float64) (*Clock, error) {
+	if capacityBps <= 0 {
+		return nil, fmt.Errorf("wfq: capacity %v must be positive", capacityBps)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("wfq: no sessions")
+	}
+	for f, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("wfq: session %d weight %v must be positive", f, w)
+		}
+	}
+	ws := make([]float64, len(weights))
+	copy(ws, weights)
+	return &Clock{
+		capacity: capacityBps,
+		weights:  ws,
+		busy:     make([]bool, len(weights)),
+		lastF:    make([]float64, len(weights)),
+	}, nil
+}
+
+// Sessions returns the number of sessions.
+func (c *Clock) Sessions() int { return len(c.weights) }
+
+// advance moves the clock to real time now, retiring GPS sessions whose
+// last finishing tag V passes on the way (the iterated virtual-time
+// computation).
+func (c *Clock) advance(now float64) error {
+	if now < c.lastT {
+		return fmt.Errorf("wfq: time moved backwards: %v < %v", now, c.lastT)
+	}
+	t, v := c.lastT, c.lastV
+	for len(c.pending) > 0 {
+		e := c.pending[0]
+		if !c.busy[e.flow] || e.vt < c.lastF[e.flow] {
+			// Stale entry: the session issued a later tag.
+			heap.Pop(&c.pending)
+			continue
+		}
+		// Real time at which V reaches this finishing tag
+		// (dV/dt = 1/ΣΦ ⇒ Δt = ΔV·ΣΦ).
+		tF := t + (e.vt-v)*c.sumW
+		if tF > now {
+			break
+		}
+		t, v = tF, e.vt
+		heap.Pop(&c.pending)
+		c.busy[e.flow] = false
+		c.sumW -= c.weights[e.flow]
+	}
+	if c.sumW > 1e-12 {
+		v += (now - t) / c.sumW
+	}
+	// When the busy set empties, V freezes at the final finishing tag;
+	// the reset to zero happens when the next busy period begins (Tag).
+	c.lastT, c.lastV = now, v
+	return nil
+}
+
+// VirtualTime returns V(now), advancing the clock.
+func (c *Clock) VirtualTime(now float64) (float64, error) {
+	if err := c.advance(now); err != nil {
+		return 0, err
+	}
+	return c.lastV, nil
+}
+
+// Tag computes the start and finishing tags for a packet of sizeBits
+// arriving on flow at real time now, and commits the session to the GPS
+// busy set: S = max(F_prev, V(now)), F = S + L/φ.
+func (c *Clock) Tag(flow int, sizeBits, now float64) (start, finish float64, err error) {
+	if flow < 0 || flow >= len(c.weights) {
+		return 0, 0, fmt.Errorf("wfq: flow %d out of range [0,%d)", flow, len(c.weights))
+	}
+	if sizeBits <= 0 {
+		return 0, 0, fmt.Errorf("wfq: packet size %v bits must be positive", sizeBits)
+	}
+	if err := c.advance(now); err != nil {
+		return 0, 0, err
+	}
+	// V freezes across idle periods and resumes (never resets): relative
+	// fairness is identical to the reset-to-zero convention, and the
+	// monotone virtual time keeps the cyclic tag window tight for the
+	// quantizer — the property the sorter's wraparound handling relies
+	// on.
+	start = c.lastV
+	if c.busy[flow] && c.lastF[flow] > start {
+		start = c.lastF[flow]
+	}
+	finish = start + sizeBits/(c.weights[flow]*c.capacity)
+	if !c.busy[flow] {
+		c.busy[flow] = true
+		c.sumW += c.weights[flow]
+	}
+	c.lastF[flow] = finish
+	heap.Push(&c.pending, finishEntry{vt: finish, flow: flow})
+	return start, finish, nil
+}
+
+// NextDeparture is paper equation (1): the real time at which the packet
+// holding the minimum finishing tag m departs the simulated GPS system,
+// Next = t + (m − V(t))·ΣΦ(busy) in this clock's tag units. It returns
+// ok=false when the system is idle.
+func (c *Clock) NextDeparture(minTag, now float64) (float64, bool, error) {
+	if err := c.advance(now); err != nil {
+		return 0, false, err
+	}
+	if c.sumW <= 1e-12 {
+		return 0, false, nil
+	}
+	if minTag <= c.lastV {
+		return now, true, nil
+	}
+	return now + (minTag-c.lastV)*c.sumW, true, nil
+}
+
+// SCFQ is the self-clocked fair queueing tagger: virtual time is simply
+// the finishing tag of the packet currently in service, trading the GPS
+// simulation's accuracy for a trivial update rule (the family relation
+// discussed in paper §I-B).
+type SCFQ struct {
+	capacity float64
+	weights  []float64
+	lastF    []float64
+	vtime    float64
+}
+
+// NewSCFQ builds a self-clocked tagger.
+func NewSCFQ(weights []float64, capacityBps float64) (*SCFQ, error) {
+	if capacityBps <= 0 {
+		return nil, fmt.Errorf("wfq: capacity %v must be positive", capacityBps)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("wfq: no sessions")
+	}
+	for f, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("wfq: session %d weight %v must be positive", f, w)
+		}
+	}
+	ws := make([]float64, len(weights))
+	copy(ws, weights)
+	return &SCFQ{capacity: capacityBps, weights: ws, lastF: make([]float64, len(weights))}, nil
+}
+
+// Tag computes the finishing tag for a packet of sizeBits on flow:
+// F = max(F_prev, v) + L/φ where v is the tag of the packet in service.
+func (s *SCFQ) Tag(flow int, sizeBits float64) (float64, error) {
+	if flow < 0 || flow >= len(s.weights) {
+		return 0, fmt.Errorf("wfq: flow %d out of range [0,%d)", flow, len(s.weights))
+	}
+	if sizeBits <= 0 {
+		return 0, fmt.Errorf("wfq: packet size %v bits must be positive", sizeBits)
+	}
+	start := s.vtime
+	if s.lastF[flow] > start {
+		start = s.lastF[flow]
+	}
+	f := start + sizeBits/(s.weights[flow]*s.capacity)
+	s.lastF[flow] = f
+	return f, nil
+}
+
+// Serve informs the tagger that the packet with finishing tag f entered
+// service, updating the self-clocked virtual time.
+func (s *SCFQ) Serve(f float64) {
+	if f > s.vtime {
+		s.vtime = f
+	}
+}
+
+// Reset returns the tagger to an idle system state.
+func (s *SCFQ) Reset() {
+	s.vtime = 0
+	for i := range s.lastF {
+		s.lastF[i] = 0
+	}
+}
+
+// Quantizer maps real-valued finishing tags onto the sorter's B-bit
+// cyclic tag space (paper Fig. 6): tag = ⌊F/g⌋ mod 2^B for granularity g.
+// It tracks the active window and reports which top-level sections have
+// fallen wholly behind the minimum so the caller can issue
+// ReclaimSection before the space wraps onto them.
+type Quantizer struct {
+	granularity float64
+	tagBits     int
+	rangeSize   int
+	sections    int
+	sectionSize int
+
+	minQ    int64 // quantized value of the smallest live tag
+	haveMin bool
+	maxQ    int64 // largest quantized value issued
+	reclaim int64 // next section boundary (in quantized units) to reclaim
+}
+
+// NewQuantizer builds a quantizer for a tag space of tagBits bits split
+// into sections top-level sections. Granularity is the virtual-time span
+// of one tag unit: smaller is more precise, but the live window
+// (maxF−minF)/g must stay below 2^tagBits minus one section.
+func NewQuantizer(granularity float64, tagBits, sections int) (*Quantizer, error) {
+	if granularity <= 0 {
+		return nil, fmt.Errorf("wfq: granularity %v must be positive", granularity)
+	}
+	if tagBits <= 0 || tagBits > 26 {
+		return nil, fmt.Errorf("wfq: tag bits %d out of range 1..26", tagBits)
+	}
+	rangeSize := 1 << uint(tagBits)
+	if sections <= 0 || rangeSize%sections != 0 {
+		return nil, fmt.Errorf("wfq: sections %d must divide tag range %d", sections, rangeSize)
+	}
+	return &Quantizer{
+		granularity: granularity,
+		tagBits:     tagBits,
+		rangeSize:   rangeSize,
+		sections:    sections,
+		sectionSize: rangeSize / sections,
+	}, nil
+}
+
+// Quantize converts finishing tag f to a sorter tag, returning the tag
+// and the list of sections that must be reclaimed before it is inserted
+// (sections the window has moved wholly past). minF is the smallest live
+// finishing tag (from the sorter's head, converted back by the caller's
+// bookkeeping), used to advance the reclamation frontier; pass f itself
+// when the system is empty.
+func (q *Quantizer) Quantize(f, minF float64) (int, []int, error) {
+	if f < 0 || minF < 0 {
+		return 0, nil, fmt.Errorf("wfq: negative finishing tag (f=%v, minF=%v)", f, minF)
+	}
+	fq := int64(f / q.granularity)
+	mq := int64(minF / q.granularity)
+	if fq < mq {
+		return 0, nil, fmt.Errorf("wfq: finishing tag %v below minimum %v", f, minF)
+	}
+	// Window check: the span from the live minimum to the new tag must
+	// leave at least one vacant section as a guard band.
+	if fq-mq >= int64(q.rangeSize-q.sectionSize) {
+		return 0, nil, fmt.Errorf("wfq: tag window %d exceeds %d units — decrease granularity or widen the tag space",
+			fq-mq, q.rangeSize-q.sectionSize)
+	}
+	// Sections wholly behind the minimum may be reclaimed up to (but not
+	// including) the minimum's own section.
+	var reclaim []int
+	for boundary := q.reclaim; (boundary+1)*int64(q.sectionSize) <= mq; boundary++ {
+		reclaim = append(reclaim, int(boundary%int64(q.sections)))
+		q.reclaim = boundary + 1
+	}
+	q.minQ, q.haveMin = mq, true
+	if fq > q.maxQ {
+		q.maxQ = fq
+	}
+	return int(fq % int64(q.rangeSize)), reclaim, nil
+}
+
+// Unquantize reconstructs the approximate finishing tag from a sorter tag
+// given the live minimum finishing tag (resolving the cyclic ambiguity).
+func (q *Quantizer) Unquantize(tag int, minF float64) (float64, error) {
+	if tag < 0 || tag >= q.rangeSize {
+		return 0, fmt.Errorf("wfq: tag %d out of range [0,%d)", tag, q.rangeSize)
+	}
+	mq := int64(minF / q.granularity)
+	base := mq - mq%int64(q.rangeSize)
+	fq := base + int64(tag)
+	if fq < mq {
+		fq += int64(q.rangeSize)
+	}
+	return float64(fq) * q.granularity, nil
+}
+
+// Granularity returns the virtual-time span of one tag unit.
+func (q *Quantizer) Granularity() float64 { return q.granularity }
+
+// MaxWindow returns the largest representable live window in tag units
+// (the range minus the one-section guard band).
+func (q *Quantizer) MaxWindow() int { return q.rangeSize - q.sectionSize }
+
+// DelayBound returns the worst-case extra delay of packet-by-packet WFQ
+// relative to GPS: one maximum-size packet transmission time Lmax/C
+// (paper §I-B: WFQ "approximates GPS within one packet transmission time
+// regardless of the arrival patterns").
+func DelayBound(maxPacketBits, capacityBps float64) float64 {
+	if capacityBps <= 0 {
+		return math.Inf(1)
+	}
+	return maxPacketBits / capacityBps
+}

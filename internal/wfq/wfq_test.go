@@ -1,0 +1,353 @@
+package wfq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewClockValidation(t *testing.T) {
+	if _, err := NewClock([]float64{1}, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewClock(nil, 1e6); err == nil {
+		t.Error("no sessions accepted")
+	}
+	if _, err := NewClock([]float64{1, 0}, 1e6); err == nil {
+		t.Error("zero weight accepted")
+	}
+}
+
+func TestTagValidation(t *testing.T) {
+	c, err := NewClock([]float64{1}, 1000)
+	if err != nil {
+		t.Fatalf("NewClock: %v", err)
+	}
+	if _, _, err := c.Tag(1, 100, 0); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+	if _, _, err := c.Tag(0, 0, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, _, err := c.Tag(0, 100, 1); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	if _, _, err := c.Tag(0, 100, 0.5); err == nil {
+		t.Error("time reversal accepted")
+	}
+}
+
+// TestSingleFlowTags: with one busy session of weight 1 on capacity C,
+// V advances at C/1 wall rate... tags are spaced by L/(φC).
+func TestSingleFlowTags(t *testing.T) {
+	c, err := NewClock([]float64{1}, 1000)
+	if err != nil {
+		t.Fatalf("NewClock: %v", err)
+	}
+	// Packet 1: 1000 bits at t=0 → S=0, F=1.
+	s, f, err := c.Tag(0, 1000, 0)
+	if err != nil || !approx(s, 0, 1e-12) || !approx(f, 1, 1e-12) {
+		t.Fatalf("tag1 = (%v,%v,%v), want (0,1)", s, f, err)
+	}
+	// Packet 2 arrives immediately: S = F_prev = 1, F = 2.
+	s, f, err = c.Tag(0, 1000, 0)
+	if err != nil || !approx(s, 1, 1e-12) || !approx(f, 2, 1e-12) {
+		t.Fatalf("tag2 = (%v,%v,%v), want (1,2)", s, f, err)
+	}
+}
+
+// TestVirtualTimeAcceleration: V advances at 1/ΣΦ — with two weight-1
+// sessions busy it runs at half speed, and the GPS system of 2000 bits on
+// a 1000 b/s link empties at exactly t=2 when V reaches the shared
+// finishing tag F=1.
+func TestVirtualTimeAcceleration(t *testing.T) {
+	c, err := NewClock([]float64{1, 1}, 1000)
+	if err != nil {
+		t.Fatalf("NewClock: %v", err)
+	}
+	// F = 0 + 1000/(1·1000) = 1 for each session.
+	if _, _, err := c.Tag(0, 1000, 0); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	if _, _, err := c.Tag(1, 1000, 0); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	// At t=1: V = 1·(1/2) = 0.5.
+	v, err := c.VirtualTime(1)
+	if err != nil || !approx(v, 0.5, 1e-12) {
+		t.Fatalf("V(1) = %v, want 0.5", v)
+	}
+	// V reaches 1 at t=2 and both sessions retire (work conservation:
+	// 2000 bits at 1000 b/s).
+	v, err = c.VirtualTime(2)
+	if err != nil || !approx(v, 1, 1e-12) {
+		t.Fatalf("V(2) = %v, want 1", v)
+	}
+	// Past that the system is idle: V freezes at 1 and the next busy
+	// period resumes from it.
+	s, f, err := c.Tag(0, 500, 3)
+	if err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	if !approx(s, 1, 1e-12) || !approx(f, 1.5, 1e-12) {
+		t.Fatalf("new busy period tag = (%v,%v), want (1,1.5)", s, f)
+	}
+}
+
+// TestBusySetRetirement: with sessions of different weights, V's rate
+// changes exactly when a session's last tag passes.
+func TestBusySetRetirement(t *testing.T) {
+	// Weights 3 and 1, C=1000. Session 0: 3000 bits → F = 3000/3000 = 1.
+	// Session 1: 1000 bits → F = 1000/1000 = 1. Both finish at V=1.
+	// V rate = 1/4 → V=1 at t=4 (work conservation: 4000 bits at
+	// 1000 b/s).
+	c, err := NewClock([]float64{3, 1}, 1000)
+	if err != nil {
+		t.Fatalf("NewClock: %v", err)
+	}
+	if _, _, err := c.Tag(0, 3000, 0); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	if _, _, err := c.Tag(1, 1000, 0); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	v, err := c.VirtualTime(4)
+	if err != nil || !approx(v, 1, 1e-12) {
+		t.Fatalf("V(4) = %v, want 1", v)
+	}
+	// Both sessions retired at V=1: a packet at t=4 starts a new busy
+	// period resuming from the frozen V=1.
+	s, f, err := c.Tag(1, 1000, 4)
+	if err != nil || !approx(s, 1, 1e-9) || !approx(f, 2, 1e-9) {
+		t.Fatalf("tag = (%v,%v,%v)", s, f, err)
+	}
+}
+
+// TestMidPeriodRetirement exercises the iterated advance: one session
+// retires mid-interval and the remaining session's V accelerates.
+func TestMidPeriodRetirement(t *testing.T) {
+	c, err := NewClock([]float64{1, 1}, 1000)
+	if err != nil {
+		t.Fatalf("NewClock: %v", err)
+	}
+	// Session 0: small packet, F0 = 0.2. Session 1: large, F1 = 2.
+	if _, _, err := c.Tag(0, 200, 0); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	if _, _, err := c.Tag(1, 2000, 0); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	// V rate 1/2 until V=0.2 (t=0.4); then session 0 retires and the
+	// rate doubles to 1. At t=1: V = 0.2 + (1−0.4)·1 = 0.8.
+	v, err := c.VirtualTime(1)
+	if err != nil || !approx(v, 0.8, 1e-12) {
+		t.Fatalf("V(1) = %v, want 0.8", v)
+	}
+}
+
+// TestWFQFinishOrderMatchesGPS: finishing-tag order equals GPS departure
+// order for a mixed scenario (the property the sorter relies on).
+func TestNextDeparture(t *testing.T) {
+	c, err := NewClock([]float64{1, 1}, 1000)
+	if err != nil {
+		t.Fatalf("NewClock: %v", err)
+	}
+	if _, ok, err := c.NextDeparture(1, 0); err != nil || ok {
+		t.Fatalf("NextDeparture on idle = ok=%v err=%v, want false", ok, err)
+	}
+	_, f0, err := c.Tag(0, 1000, 0)
+	if err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	if _, _, err := c.Tag(1, 2000, 0); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	// Equation (1): m = F0 = 1, V(0)=0, ΣΦ=2 → Next = 0 + (1−0)·2 = 2.
+	// Cross-check with fluid GPS: flow 0's 1000 bits at rate C/2 take
+	// exactly 2 s.
+	next, ok, err := c.NextDeparture(f0, 0)
+	if err != nil || !ok || !approx(next, 2, 1e-12) {
+		t.Fatalf("NextDeparture = (%v,%v,%v), want 2", next, ok, err)
+	}
+	// A minimum tag already passed departs immediately.
+	next, ok, err = c.NextDeparture(0.0, 0.001)
+	if err != nil || !ok || !approx(next, 0.001, 1e-12) {
+		t.Fatalf("NextDeparture(past) = (%v,%v,%v), want now", next, ok, err)
+	}
+}
+
+func TestSCFQ(t *testing.T) {
+	s, err := NewSCFQ([]float64{1, 1}, 1000)
+	if err != nil {
+		t.Fatalf("NewSCFQ: %v", err)
+	}
+	f0, err := s.Tag(0, 1000)
+	if err != nil || !approx(f0, 1, 1e-12) {
+		t.Fatalf("tag = %v, want 1", f0)
+	}
+	// Virtual time follows the served tag.
+	s.Serve(f0)
+	f1, err := s.Tag(1, 1000)
+	if err != nil || !approx(f1, 2, 1e-12) {
+		t.Fatalf("tag after serve = %v, want 2 (v=1)", f1)
+	}
+	if _, err := s.Tag(5, 1); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+	if _, err := s.Tag(0, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	s.Reset()
+	f2, err := s.Tag(0, 1000)
+	if err != nil || !approx(f2, 1, 1e-12) {
+		t.Fatalf("tag after reset = %v, want 1", f2)
+	}
+}
+
+func TestSCFQValidation(t *testing.T) {
+	if _, err := NewSCFQ(nil, 1000); err == nil {
+		t.Error("no sessions accepted")
+	}
+	if _, err := NewSCFQ([]float64{1}, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewSCFQ([]float64{-1}, 1000); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestQuantizerValidation(t *testing.T) {
+	if _, err := NewQuantizer(0, 12, 16); err == nil {
+		t.Error("zero granularity accepted")
+	}
+	if _, err := NewQuantizer(1, 0, 16); err == nil {
+		t.Error("zero tag bits accepted")
+	}
+	if _, err := NewQuantizer(1, 12, 7); err == nil {
+		t.Error("non-dividing sections accepted")
+	}
+	q, err := NewQuantizer(0.5, 12, 16)
+	if err != nil {
+		t.Fatalf("NewQuantizer: %v", err)
+	}
+	if q.Granularity() != 0.5 {
+		t.Fatalf("Granularity = %v", q.Granularity())
+	}
+	if q.MaxWindow() != 4096-256 {
+		t.Fatalf("MaxWindow = %d, want 3840", q.MaxWindow())
+	}
+}
+
+func TestQuantizeBasics(t *testing.T) {
+	q, err := NewQuantizer(1, 12, 16)
+	if err != nil {
+		t.Fatalf("NewQuantizer: %v", err)
+	}
+	tag, reclaim, err := q.Quantize(100, 100)
+	if err != nil || tag != 100 || len(reclaim) != 0 {
+		t.Fatalf("Quantize = (%d,%v,%v)", tag, reclaim, err)
+	}
+	if _, _, err := q.Quantize(50, 100); err == nil {
+		t.Error("tag below minimum accepted")
+	}
+	if _, _, err := q.Quantize(-1, 0); err == nil {
+		t.Error("negative tag accepted")
+	}
+	if _, _, err := q.Quantize(100+3840, 100); err == nil {
+		t.Error("over-wide window accepted")
+	}
+}
+
+// TestQuantizerWraparound drives a full sweep past the tag space: tags
+// wrap mod 4096 and the passed sections are reported for reclamation
+// exactly once each.
+func TestQuantizerWraparound(t *testing.T) {
+	q, err := NewQuantizer(1, 12, 16)
+	if err != nil {
+		t.Fatalf("NewQuantizer: %v", err)
+	}
+	seen := map[int]int{}
+	minF := 0.0
+	for f := 0.0; f < 3*4096; f += 37 {
+		if f > 500 {
+			minF = f - 500 // live window of 500 units
+		}
+		tag, reclaim, err := q.Quantize(f, minF)
+		if err != nil {
+			t.Fatalf("Quantize(%v,%v): %v", f, minF, err)
+		}
+		if tag != int(int64(f)%4096) {
+			t.Fatalf("tag = %d, want %d", tag, int(int64(f))%4096)
+		}
+		for _, sec := range reclaim {
+			if sec < 0 || sec >= 16 {
+				t.Fatalf("reclaim section %d out of range", sec)
+			}
+			seen[sec]++
+		}
+	}
+	// Sweeping ~3 epochs: every section reclaimed 2-3 times.
+	for sec := 0; sec < 16; sec++ {
+		if seen[sec] < 2 || seen[sec] > 3 {
+			t.Errorf("section %d reclaimed %d times, want 2-3", sec, seen[sec])
+		}
+	}
+	// Back-conversion round-trips within the live window.
+	got, err := q.Unquantize(int(int64(7000)%4096), 6800)
+	if err != nil || got != 7000 {
+		t.Fatalf("Unquantize = (%v,%v), want 7000", got, err)
+	}
+	if _, err := q.Unquantize(4096, 0); err == nil {
+		t.Error("out-of-range tag accepted")
+	}
+}
+
+// TestQuantizerRoundTripProperty: within the live window, quantize →
+// unquantize recovers the finishing tag to within one granularity unit,
+// for arbitrary monotone (f, minF) sequences.
+func TestQuantizerRoundTripProperty(t *testing.T) {
+	q, err := NewQuantizer(0.25, 12, 16)
+	if err != nil {
+		t.Fatalf("NewQuantizer: %v", err)
+	}
+	f := func(steps []uint16) bool {
+		minF := 0.0
+		fVal := 0.0
+		for _, s := range steps {
+			fVal += float64(s%200) * 0.25
+			if fVal-minF > 700 { // keep the window well inside range·g
+				minF = fVal - 700
+			}
+			tag, _, err := q.Quantize(fVal, minF)
+			if err != nil {
+				return false
+			}
+			back, err := q.Unquantize(tag, minF)
+			if err != nil {
+				return false
+			}
+			diff := fVal - back
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 0.25 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayBound(t *testing.T) {
+	if got := DelayBound(12000, 1e6); !approx(got, 0.012, 1e-12) {
+		t.Fatalf("DelayBound = %v, want 0.012", got)
+	}
+	if !math.IsInf(DelayBound(1, 0), 1) {
+		t.Fatal("zero capacity must give infinite bound")
+	}
+}

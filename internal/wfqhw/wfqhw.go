@@ -1,0 +1,193 @@
+// Package wfqhw models the WFQ finishing tag computation circuit of
+// paper reference [8] ("A WFQ finishing tag computation architecture and
+// implementation") in fixed-point integer arithmetic, the way the
+// silicon computes it: no floating point, no division in the packet
+// path.
+//
+//   - Per-session state is one finishing tag register.
+//   - Weights are pre-converted at session setup into reciprocal slopes
+//     ΔF = L·inv(φ·C) with inv in Q(FracBits) fixed point, so tagging a
+//     packet is one multiply and one max.
+//   - Virtual time advances with the same busy-set mechanics as the
+//     reference clock but in integer tag units, using one reciprocal
+//     table for 1/ΣΦ.
+//
+// Tags are produced directly in sorter units, replacing the float
+// quantizer: the circuit's output bus is the sorter's input bus. The
+// package's tests bound the fixed-point drift against the exact
+// floating-point clock of internal/wfq.
+package wfqhw
+
+import (
+	"container/heap"
+	"fmt"
+
+	"wfqsort/internal/wfq"
+)
+
+// FracBits is the fixed-point fraction width used for reciprocals and
+// virtual time (Q32.FracBits arithmetic in 64-bit registers).
+const FracBits = 20
+
+// one is the fixed-point representation of 1.0.
+const one = int64(1) << FracBits
+
+// Config describes a tag computation circuit.
+type Config struct {
+	// Weights are the session weights φ (positive; any scale).
+	Weights []float64
+	// CapacityBps is the output line rate.
+	CapacityBps float64
+	// Granularity is the virtual-time seconds represented by one output
+	// tag unit (the same quantity as wfq.Quantizer's granularity).
+	Granularity float64
+}
+
+// Tagger is the fixed-point finishing tag computation circuit.
+type Tagger struct {
+	cfg Config
+	// slopeQ[f] is the per-bit tag increment for session f in
+	// Q(FracBits) tag units: inv(φ_f · C · granularity).
+	slopeQ []int64
+	// invSumW approximations for the busy-set rate: recomputed
+	// incrementally as sessions join/leave (one reciprocal per event,
+	// off the per-packet path, as the reference design does).
+	sumW   float64
+	busy   []bool
+	lastFQ []int64 // per-session last finishing tag, Q units
+	vQ     int64   // virtual time, Q units
+	lastT  float64 // real time of last advance
+
+	pending finishHeap
+}
+
+type finishEntry struct {
+	vq   int64
+	flow int
+}
+
+type finishHeap []finishEntry
+
+func (h finishHeap) Len() int            { return len(h) }
+func (h finishHeap) Less(i, j int) bool  { return h[i].vq < h[j].vq }
+func (h finishHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *finishHeap) Push(x interface{}) { *h = append(*h, x.(finishEntry)) }
+func (h *finishHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// New builds the circuit, precomputing the per-session reciprocal
+// slopes (the one-time division happens at session setup, not in the
+// packet path — the central trick of the reference design).
+func New(cfg Config) (*Tagger, error) {
+	if len(cfg.Weights) == 0 {
+		return nil, fmt.Errorf("wfqhw: no sessions")
+	}
+	if cfg.CapacityBps <= 0 {
+		return nil, fmt.Errorf("wfqhw: capacity %v must be positive", cfg.CapacityBps)
+	}
+	if cfg.Granularity <= 0 {
+		return nil, fmt.Errorf("wfqhw: granularity %v must be positive", cfg.Granularity)
+	}
+	t := &Tagger{
+		cfg:    cfg,
+		slopeQ: make([]int64, len(cfg.Weights)),
+		busy:   make([]bool, len(cfg.Weights)),
+		lastFQ: make([]int64, len(cfg.Weights)),
+	}
+	for f, w := range cfg.Weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("wfqhw: session %d weight %v must be positive", f, w)
+		}
+		// Tag units per bit: 1/(φ·C·g), in Q(FracBits).
+		slope := float64(one) / (w * cfg.CapacityBps * cfg.Granularity)
+		if slope < 1 {
+			return nil, fmt.Errorf("wfqhw: session %d slope underflows one fixed-point ulp — decrease granularity", f)
+		}
+		if slope > float64(int64(1)<<52) {
+			return nil, fmt.Errorf("wfqhw: session %d slope overflows — increase granularity", f)
+		}
+		t.slopeQ[f] = int64(slope + 0.5)
+	}
+	return t, nil
+}
+
+// advance moves virtual time to real time now using the busy-set
+// mechanics in integer arithmetic.
+func (t *Tagger) advance(now float64) error {
+	if now < t.lastT {
+		return fmt.Errorf("wfqhw: time moved backwards: %v < %v", now, t.lastT)
+	}
+	tt, vq := t.lastT, t.vQ
+	for len(t.pending) > 0 {
+		e := t.pending[0]
+		if !t.busy[e.flow] || e.vq < t.lastFQ[e.flow] {
+			heap.Pop(&t.pending)
+			continue
+		}
+		// Real seconds for V to reach e.vq: ΔV(units)·g·ΣΦ.
+		dt := float64(e.vq-vq) / float64(one) * t.cfg.Granularity * t.sumW
+		if tt+dt > now {
+			break
+		}
+		tt += dt
+		vq = e.vq
+		heap.Pop(&t.pending)
+		t.busy[e.flow] = false
+		t.sumW -= t.cfg.Weights[e.flow]
+	}
+	if t.sumW > 1e-12 {
+		vq += int64((now - tt) / t.cfg.Granularity / t.sumW * float64(one))
+	}
+	t.lastT, t.vQ = now, vq
+	return nil
+}
+
+// Tag computes the finishing tag for a packet of sizeBits on flow at
+// real time now, returning the tag in integer sorter units (already
+// quantized — the circuit's output bus).
+func (t *Tagger) Tag(flow int, sizeBits int, now float64) (int64, error) {
+	if flow < 0 || flow >= len(t.slopeQ) {
+		return 0, fmt.Errorf("wfqhw: flow %d out of range [0,%d)", flow, len(t.slopeQ))
+	}
+	if sizeBits <= 0 {
+		return 0, fmt.Errorf("wfqhw: packet size %d bits must be positive", sizeBits)
+	}
+	if err := t.advance(now); err != nil {
+		return 0, err
+	}
+	startQ := t.vQ
+	if t.busy[flow] && t.lastFQ[flow] > startQ {
+		startQ = t.lastFQ[flow]
+	}
+	// One multiply: L × slope.
+	finishQ := startQ + int64(sizeBits)*t.slopeQ[flow]
+	if !t.busy[flow] {
+		t.busy[flow] = true
+		t.sumW += t.cfg.Weights[flow]
+	}
+	t.lastFQ[flow] = finishQ
+	heap.Push(&t.pending, finishEntry{vq: finishQ, flow: flow})
+	return finishQ >> FracBits, nil
+}
+
+// VirtualTimeUnits returns V(now) in integer tag units.
+func (t *Tagger) VirtualTimeUnits(now float64) (int64, error) {
+	if err := t.advance(now); err != nil {
+		return 0, err
+	}
+	return t.vQ >> FracBits, nil
+}
+
+// Sessions returns the session count.
+func (t *Tagger) Sessions() int { return len(t.slopeQ) }
+
+// ReferenceClock builds the exact floating-point clock with the same
+// parameters, for drift verification.
+func (t *Tagger) ReferenceClock() (*wfq.Clock, error) {
+	return wfq.NewClock(t.cfg.Weights, t.cfg.CapacityBps)
+}

@@ -1,0 +1,198 @@
+package wfqhw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	ok := Config{Weights: []float64{0.5, 0.5}, CapacityBps: 1e6, Granularity: 1e-4}
+	if _, err := New(ok); err != nil {
+		t.Fatalf("New(ok): %v", err)
+	}
+	bad := ok
+	bad.Weights = nil
+	if _, err := New(bad); err == nil {
+		t.Error("no sessions accepted")
+	}
+	bad = ok
+	bad.CapacityBps = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	bad = ok
+	bad.Granularity = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero granularity accepted")
+	}
+	bad = ok
+	bad.Weights = []float64{0.5, -1}
+	if _, err := New(bad); err == nil {
+		t.Error("negative weight accepted")
+	}
+	// Slope underflow: granularity so coarse a bit advances < 1 ulp.
+	bad = ok
+	bad.Granularity = 1e9
+	if _, err := New(bad); err == nil {
+		t.Error("underflowing slope accepted")
+	}
+	// Slope overflow: granularity so fine the slope exceeds range.
+	bad = ok
+	bad.Granularity = 1e-30
+	if _, err := New(bad); err == nil {
+		t.Error("overflowing slope accepted")
+	}
+}
+
+func TestTagValidation(t *testing.T) {
+	tg, err := New(Config{Weights: []float64{1}, CapacityBps: 1e6, Granularity: 1e-5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := tg.Tag(1, 100, 0); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+	if _, err := tg.Tag(0, 0, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := tg.Tag(0, 100, 1); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	if _, err := tg.Tag(0, 100, 0.5); err == nil {
+		t.Error("time reversal accepted")
+	}
+	if tg.Sessions() != 1 {
+		t.Errorf("Sessions = %d", tg.Sessions())
+	}
+}
+
+// TestExactIncrements: with granularity chosen so slopes are integral,
+// the fixed-point tags are exact.
+func TestExactIncrements(t *testing.T) {
+	// φ·C·g = 1000·1e-3 = 1 ⇒ slope = 1 tag unit per bit.
+	tg, err := New(Config{Weights: []float64{1}, CapacityBps: 1000, Granularity: 1e-3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tag, err := tg.Tag(0, 500, 0)
+	if err != nil || tag != 500 {
+		t.Fatalf("tag = %d, %v; want 500", tag, err)
+	}
+	tag, err = tg.Tag(0, 250, 0)
+	if err != nil || tag != 750 {
+		t.Fatalf("tag = %d, %v; want 750 (cumulative)", tag, err)
+	}
+}
+
+// TestDriftAgainstReferenceClock drives the fixed-point circuit and the
+// exact floating-point clock through the same packet sequence and bounds
+// the tag divergence to a few quantization units.
+func TestDriftAgainstReferenceClock(t *testing.T) {
+	const (
+		capacity    = 1e6
+		granularity = 1e-5
+	)
+	weights := []float64{0.4, 0.3, 0.2, 0.1}
+	tg, err := New(Config{Weights: weights, CapacityBps: capacity, Granularity: granularity})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ref, err := tg.ReferenceClock()
+	if err != nil {
+		t.Fatalf("ReferenceClock: %v", err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	now := 0.0
+	worst := 0.0
+	for i := 0; i < 3000; i++ {
+		now += rng.ExpFloat64() * 0.0005
+		flow := rng.Intn(len(weights))
+		bits := (64 + rng.Intn(1437)) * 8
+		hwTag, err := tg.Tag(flow, bits, now)
+		if err != nil {
+			t.Fatalf("Tag: %v", err)
+		}
+		_, f, err := ref.Tag(flow, float64(bits), now)
+		if err != nil {
+			t.Fatalf("ref Tag: %v", err)
+		}
+		refUnits := f / granularity
+		if d := math.Abs(float64(hwTag) - refUnits); d > worst {
+			worst = d
+		}
+	}
+	// Fixed-point slopes are rounded to 2^-20: over a busy period the
+	// accumulated drift stays within a handful of tag units.
+	if worst > 16 {
+		t.Fatalf("fixed-point drift %v tag units, want ≤16", worst)
+	}
+}
+
+// TestBusySetRetirementFixedPoint mirrors the reference clock's busy-set
+// test in integer units.
+func TestBusySetRetirementFixedPoint(t *testing.T) {
+	// Weights 3,1; C=1000 b/s; g=1e-3 ⇒ session 0 slope = 1/3 unit/bit,
+	// session 1 slope = 1 unit/bit.
+	tg, err := New(Config{Weights: []float64{3, 1}, CapacityBps: 1000, Granularity: 1e-3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tag0, err := tg.Tag(0, 3000, 0)
+	if err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	tag1, err := tg.Tag(1, 1000, 0)
+	if err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	// Both finish at 1000 units (1 virtual second).
+	if tag0 < 999 || tag0 > 1001 || tag1 < 999 || tag1 > 1001 {
+		t.Fatalf("tags = %d, %d; want ≈1000", tag0, tag1)
+	}
+	// V reaches 1000 units at t=4 s (4000 bits at 1000 b/s).
+	v, err := tg.VirtualTimeUnits(4)
+	if err != nil || v < 999 || v > 1001 {
+		t.Fatalf("V(4) = %d, %v; want ≈1000", v, err)
+	}
+	// Frozen after both retire.
+	v2, err := tg.VirtualTimeUnits(10)
+	if err != nil || v2 != v {
+		t.Fatalf("V(10) = %d, want frozen at %d", v2, v)
+	}
+}
+
+// TestMonotoneTags: fixed-point tags never decrease per session, and the
+// global stream respects V — the sorter-facing invariants.
+func TestMonotoneTags(t *testing.T) {
+	weights := make([]float64, 8)
+	for i := range weights {
+		weights[i] = 1.0 / 8
+	}
+	tg, err := New(Config{Weights: weights, CapacityBps: 1e6, Granularity: 1e-5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	last := make([]int64, 8)
+	now := 0.0
+	for i := 0; i < 2000; i++ {
+		now += rng.Float64() * 0.0002
+		flow := rng.Intn(8)
+		tag, err := tg.Tag(flow, 512*8, now)
+		if err != nil {
+			t.Fatalf("Tag: %v", err)
+		}
+		if tag < last[flow] {
+			t.Fatalf("session %d tag decreased: %d < %d", flow, tag, last[flow])
+		}
+		last[flow] = tag
+		v, err := tg.VirtualTimeUnits(now)
+		if err != nil {
+			t.Fatalf("VirtualTimeUnits: %v", err)
+		}
+		if tag < v {
+			t.Fatalf("tag %d below virtual time %d", tag, v)
+		}
+	}
+}

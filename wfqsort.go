@@ -1,0 +1,115 @@
+// Package wfqsort is a software reproduction of "A Scalable Packet
+// Sorting Circuit for High-Speed WFQ Packet Scheduling" (McLaughlin,
+// Sezer, Blume, Yang, Kupzog, Noll — SOCC 2006 / IEEE TVLSI 16(7),
+// 2008): a behavioral model of the paper's tag sort/retrieve circuit and
+// of the complete hardware WFQ scheduler built around it.
+//
+// The two top-level entry points are:
+//
+//   - Sorter — the paper's contribution: an associative structure that
+//     stores finishing tags in sorted order and returns the minimum in
+//     guaranteed fixed time, built from a multi-bit search tree with
+//     closest-match circuitry, a translation table, and a linked-list
+//     tag storage memory (paper Fig. 3);
+//
+//   - Scheduler — the full Fig. 1 datapath: WFQ tag computation, shared
+//     packet buffer, and the sorter, with cycle accounting reproducing
+//     the paper's 35.8 Mpps / 40 Gb/s throughput analysis.
+//
+// The substrates live in internal/ packages: gate-level matcher circuits
+// (internal/matcher — paper Figs. 7–8), the multi-bit trie
+// (internal/trie — Figs. 4–5), the tag store (internal/taglist —
+// Figs. 9–10), the translation table (internal/transtable — Fig. 11),
+// the Table I baseline structures (internal/pqueue), traffic generation
+// (internal/traffic — Fig. 6 profiles), scheduling disciplines and the
+// GPS fluid reference (internal/schedulers, internal/gps), and the
+// 130-nm analytical synthesis model (internal/synthesis — Table II).
+package wfqsort
+
+import (
+	"wfqsort/internal/core"
+	"wfqsort/internal/scheduler"
+	"wfqsort/internal/taglist"
+)
+
+// Sorter is the tag sort/retrieve circuit (paper Fig. 3). See
+// internal/core for the full documentation.
+type Sorter = core.Sorter
+
+// SorterConfig configures a Sorter.
+type SorterConfig = core.Config
+
+// SorterStats aggregates component traffic counters.
+type SorterStats = core.Stats
+
+// Entry is one stored tag with its packet-buffer pointer.
+type Entry = taglist.Entry
+
+// Mode selects the sorter's marker reclamation policy.
+type Mode = core.Mode
+
+// Sorter reclamation modes.
+const (
+	// ModeEager makes the sorter a general-purpose priority structure:
+	// markers are reclaimed as tags depart, and inserts may arrive in
+	// any order.
+	ModeEager = core.ModeEager
+	// ModeHardware reproduces the silicon exactly: stale markers remain
+	// below the minimum and whole tag-space sections are reclaimed in
+	// bulk as virtual time advances (paper Fig. 6).
+	ModeHardware = core.ModeHardware
+)
+
+// WindowCycles is the fixed clock-cycle budget of one sorter operation
+// (2 reads + 2 writes to the tag store, paper Fig. 9).
+const WindowCycles = core.WindowCycles
+
+// Sentinel errors returned by Sorter operations.
+var (
+	// ErrEmpty is returned by ExtractMin on an empty sorter.
+	ErrEmpty = taglist.ErrEmpty
+	// ErrFull is returned by Insert on a full tag store.
+	ErrFull = taglist.ErrFull
+	// ErrBehindMinimum is returned in strict hardware mode for inserts
+	// below the current minimum.
+	ErrBehindMinimum = core.ErrBehindMinimum
+)
+
+// NewSorter builds a tag sort/retrieve circuit. The zero-value geometry
+// selects the silicon configuration: a 3-level tree of 16-bit nodes over
+// 12-bit tags.
+func NewSorter(cfg SorterConfig) (*Sorter, error) {
+	return core.New(cfg)
+}
+
+// Scheduler is the complete WFQ scheduler of paper Fig. 1. See
+// internal/scheduler for the full documentation.
+type Scheduler = scheduler.Scheduler
+
+// SchedulerConfig configures a Scheduler.
+type SchedulerConfig = scheduler.Config
+
+// SchedulerResult is the outcome of a Scheduler run.
+type SchedulerResult = scheduler.Result
+
+// DefaultClockHz is the paper's implementation clock (143.2 MHz: one
+// 4-cycle window per packet ⇒ 35.8 Mpps).
+const DefaultClockHz = scheduler.DefaultClockHz
+
+// FullPolicy selects the scheduler's overload behaviour.
+type FullPolicy = scheduler.FullPolicy
+
+// Overload policies for SchedulerConfig.OnFull.
+const (
+	// FullError aborts the run on an un-admittable packet (default).
+	FullError = scheduler.FullError
+	// FullTailDrop drops arrivals that find the buffer full.
+	FullTailDrop = scheduler.FullTailDrop
+	// FullRED applies random early detection before the buffer fills.
+	FullRED = scheduler.FullRED
+)
+
+// NewScheduler builds the full scheduler datapath.
+func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
+	return scheduler.New(cfg)
+}

@@ -1,0 +1,74 @@
+package wfqsort
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API end to end: the same
+// flow the README quickstart documents.
+func TestFacadeQuickstart(t *testing.T) {
+	s, err := NewSorter(SorterConfig{Capacity: 128})
+	if err != nil {
+		t.Fatalf("NewSorter: %v", err)
+	}
+	for _, tag := range []int{42, 7, 99, 7} {
+		if err := s.Insert(tag, tag*10); err != nil {
+			t.Fatalf("Insert(%d): %v", tag, err)
+		}
+	}
+	want := []int{7, 7, 42, 99}
+	for _, w := range want {
+		e, err := s.ExtractMin()
+		if err != nil {
+			t.Fatalf("ExtractMin: %v", err)
+		}
+		if e.Tag != w {
+			t.Fatalf("served %d, want %d", e.Tag, w)
+		}
+	}
+	if _, err := s.ExtractMin(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty extract = %v, want ErrEmpty", err)
+	}
+}
+
+func TestFacadeScheduler(t *testing.T) {
+	sched, err := NewScheduler(SchedulerConfig{
+		Weights:     []float64{0.5, 0.5},
+		CapacityBps: 1e6,
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	if sched.SupportedPPS() != DefaultClockHz/WindowCycles {
+		t.Fatalf("SupportedPPS = %v", sched.SupportedPPS())
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if WindowCycles != 4 {
+		t.Fatalf("WindowCycles = %d, want 4", WindowCycles)
+	}
+	if ModeEager == ModeHardware {
+		t.Fatal("modes collide")
+	}
+	if FullError == FullTailDrop || FullTailDrop == FullRED {
+		t.Fatal("overload policies collide")
+	}
+}
+
+func TestFacadeOverloadPolicy(t *testing.T) {
+	sched, err := NewScheduler(SchedulerConfig{
+		Weights:        []float64{1},
+		CapacityBps:    1e6,
+		SorterCapacity: 8,
+		BufferSlots:    8,
+		OnFull:         FullTailDrop,
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	if sched == nil {
+		t.Fatal("nil scheduler")
+	}
+}
