@@ -1,0 +1,522 @@
+// Command faultlab runs fault-injection campaigns against the sort/
+// retrieve datapath and measures how well the integrity-audit and
+// self-repair machinery copes:
+//
+//	faultlab -experiment campaign  — one seeded campaign through the
+//	                                 full scheduler under a recovery
+//	                                 policy, with a reproducibility
+//	                                 check (same seed ⇒ same events,
+//	                                 same departures)
+//	faultlab -experiment coverage  — random single-fault trials across
+//	                                 every memory × fault kind × sorter
+//	                                 mode: detection coverage, silent
+//	                                 corruption rate, repair rate
+//	faultlab -experiment latency   — recovery latency in cycles across
+//	                                 the paper's memory technologies
+//	                                 (SDR, QDRII, RLDRAM)
+//
+// Campaigns are fully deterministic given -seed: a failing run can be
+// replayed and bisected fault by fault.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"wfqsort/internal/core"
+	"wfqsort/internal/fault"
+	"wfqsort/internal/hwsim"
+	"wfqsort/internal/packet"
+	"wfqsort/internal/scheduler"
+	"wfqsort/internal/taglist"
+	"wfqsort/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	experiment := flag.String("experiment", "campaign", "campaign, coverage, or latency")
+	seed := flag.Int64("seed", 1, "campaign seed (same seed ⇒ same faults, same outcome)")
+	nfaults := flag.Int("faults", 3, "random faults per campaign (campaign experiment)")
+	trials := flag.Int("trials", 40, "trials per memory × kind cell (coverage experiment)")
+	packets := flag.Int("packets", 300, "packets per flow (scheduler experiments)")
+	policy := flag.String("policy", "rebuild", "corruption recovery policy: abort, rebuild, or flush")
+	mem := flag.String("mem", "sdr", "tag-store memory technology: sdr, qdr2, or rldram")
+	audit := flag.Int("audit", 64, "audit every N departures (0 disables the background scrub)")
+	flag.Parse()
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	tech, err := parseTech(*mem)
+	if err != nil {
+		return err
+	}
+
+	switch *experiment {
+	case "campaign":
+		return campaignExperiment(*seed, *nfaults, *packets, pol, tech, *audit)
+	case "coverage":
+		return coverageExperiment(*seed, *trials)
+	case "latency":
+		return latencyExperiment(*seed, *packets, *audit)
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+}
+
+func parsePolicy(s string) (scheduler.CorruptPolicy, error) {
+	switch s {
+	case "abort":
+		return scheduler.CorruptAbort, nil
+	case "rebuild":
+		return scheduler.CorruptRebuild, nil
+	case "flush":
+		return scheduler.CorruptFlush, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func parseTech(s string) (taglist.MemTech, error) {
+	switch s {
+	case "sdr":
+		return taglist.TechSDR, nil
+	case "qdr2":
+		return taglist.TechQDRII, nil
+	case "rldram":
+		return taglist.TechRLDRAM, nil
+	default:
+		return 0, fmt.Errorf("unknown memory technology %q", s)
+	}
+}
+
+// schedulerWorkload builds a deterministic IMIX Poisson trace across
+// eight flows at ~90% load of a 1 Gb/s link.
+func schedulerWorkload(packets int, seed int64) ([]float64, float64, []packet.Packet, error) {
+	weights := []float64{4, 3, 2, 2, 1, 1, 1, 1}
+	capacity := 1e9
+	const meanBits = 340 * 8 // IMIX mean packet
+	perFlow := 0.9 * capacity / (float64(len(weights)) * meanBits)
+	srcs := make([]traffic.Source, len(weights))
+	for f := range weights {
+		p, err := traffic.NewPoisson(f, perFlow, traffic.IMIX{}, packets, seed+int64(f))
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		srcs[f] = p
+	}
+	arr, err := traffic.Merge(srcs...)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return weights, capacity, arr, nil
+}
+
+// discoverMems builds a throwaway datapath to learn the targetable
+// memory names for the given sorter capacity.
+func discoverMems(capacity int, mode core.Mode) ([]string, error) {
+	clock := &hwsim.Clock{}
+	inj := fault.NewInjector(fault.Campaign{}, clock)
+	clock.SetStoreHook(inj.Hook())
+	if _, err := core.New(core.Config{Capacity: capacity, Mode: mode, Clock: clock}); err != nil {
+		return nil, err
+	}
+	return inj.Wrapped(), nil
+}
+
+// randomCampaign draws n faults across the given memories: random
+// kinds, seed-resolved addresses and masks, access-count triggers
+// spread over the run.
+func randomCampaign(seed int64, n int, mems []string) fault.Campaign {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []fault.Kind{fault.BitFlip, fault.StuckAt, fault.ReadError}
+	c := fault.Campaign{Seed: seed}
+	for i := 0; i < n; i++ {
+		f := fault.Fault{
+			Mem:  mems[rng.Intn(len(mems))],
+			Kind: kinds[rng.Intn(len(kinds))],
+			Addr: -1,
+			At:   fault.Trigger{Access: uint64(50 + rng.Intn(400))},
+		}
+		if f.Kind == fault.StuckAt && rng.Intn(2) == 1 {
+			f.Stuck = ^uint64(0)
+		}
+		c.Faults = append(c.Faults, f)
+	}
+	return c
+}
+
+type campaignOutcome struct {
+	events     []string
+	departures []int
+	res        *scheduler.Result
+	err        error
+	remaining  int
+}
+
+func runCampaign(camp fault.Campaign, packets, sorterCap int, pol scheduler.CorruptPolicy,
+	tech taglist.MemTech, audit int, seed int64) (*campaignOutcome, error) {
+	weights, capacity, arr, err := schedulerWorkload(packets, seed)
+	if err != nil {
+		return nil, err
+	}
+	clock := &hwsim.Clock{}
+	inj := fault.NewInjector(camp, clock)
+	clock.SetStoreHook(inj.Hook())
+	sched, err := scheduler.New(scheduler.Config{
+		Weights:        weights,
+		CapacityBps:    capacity,
+		MemTech:        tech,
+		SorterCapacity: sorterCap,
+		OnCorrupt:      pol,
+		AuditEvery:     audit,
+		Clock:          clock,
+		OnFull:         scheduler.FullTailDrop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &campaignOutcome{}
+	out.res, out.err = sched.Run(arr)
+	for _, ev := range inj.Events() {
+		out.events = append(out.events, ev.String())
+	}
+	out.remaining = inj.Remaining()
+	if out.res != nil {
+		for _, d := range out.res.Departures {
+			out.departures = append(out.departures, d.Packet.ID)
+		}
+	}
+	return out, nil
+}
+
+func campaignExperiment(seed int64, nfaults, packets int, pol scheduler.CorruptPolicy,
+	tech taglist.MemTech, audit int) error {
+	mems, err := discoverMems(1024, core.ModeHardware)
+	if err != nil {
+		return err
+	}
+	camp := randomCampaign(seed, nfaults, mems)
+	fmt.Println(camp)
+	fmt.Printf("policy %v, %v tag store, audit every %d departures\n\n", pol, tech, audit)
+
+	out, err := runCampaign(camp, packets, 1024, pol, tech, audit, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fired %d/%d faults:\n", len(out.events), len(camp.Faults))
+	for _, ev := range out.events {
+		fmt.Println("  " + ev)
+	}
+	if out.err != nil {
+		fmt.Printf("\nrun aborted: %v\n", out.err)
+		fmt.Printf("errors.Is(err, core.ErrCorrupt) = %v\n", errors.Is(out.err, core.ErrCorrupt))
+	} else {
+		r := out.res
+		total := 0
+		for range r.Departures {
+			total++
+		}
+		fmt.Printf("\nserved %d, lost %d, dropped %d (arrivals %d)\n",
+			total, r.Lost, r.Dropped, len(r.ExactTags))
+		fmt.Printf("detections %d, recoveries %d\n", r.Detections, len(r.Recoveries))
+		for _, rec := range r.Recoveries {
+			fmt.Printf("  %s at cycle %d, repaired by cycle %d (%d cycles): %s\n",
+				rec.Action, rec.Detected, rec.Repaired, rec.Repaired-rec.Detected, rec.Trigger)
+		}
+		if got, want := total+r.Lost+r.Dropped, len(r.ExactTags); got == want {
+			fmt.Printf("conservation: OK (%d served + %d lost + %d dropped = %d arrivals)\n",
+				total, r.Lost, r.Dropped, want)
+		} else {
+			fmt.Printf("conservation: FAIL (%d accounted, %d arrivals)\n", got, want)
+		}
+	}
+
+	// Reproducibility: the same campaign against the same workload must
+	// fire the same faults and produce the same outcome.
+	again, err := runCampaign(camp, packets, 1024, pol, tech, audit, seed)
+	if err != nil {
+		return err
+	}
+	same := fmt.Sprint(out.events) == fmt.Sprint(again.events) &&
+		fmt.Sprint(out.departures) == fmt.Sprint(again.departures) &&
+		fmt.Sprint(out.err) == fmt.Sprint(again.err)
+	fmt.Printf("\nreproducible: %v\n", same)
+	if !same {
+		return fmt.Errorf("campaign is not reproducible")
+	}
+	return nil
+}
+
+// --- coverage experiment ---------------------------------------------
+
+type tally struct {
+	fired, detected, harmless, silent int
+	repaired, unrecoverable           int
+}
+
+func (t tally) coverage() string {
+	harmful := t.fired - t.harmless
+	if harmful <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(t.detected)/float64(harmful))
+}
+
+// coverageTrial drives a sorter through a random workload with one
+// scheduled fault, then classifies the outcome:
+//
+//	harmless      — nothing detected AND a full drain matches the oracle
+//	detected      — an operation error or the audit flagged it
+//	silent        — undetected but the drain is wrong (missed corruption)
+//	repaired      — detected, and Rebuild restored a clean, correct sorter
+//	unrecoverable — detected, but the damage hit the authoritative copy
+func coverageTrial(mode core.Mode, target string, kind fault.Kind, seed int64, t *tally) error {
+	const capacity = 256
+	camp := fault.Campaign{Seed: seed, Faults: []fault.Fault{{
+		Mem: target, Kind: kind, Addr: -1,
+		At: fault.Trigger{Access: 60},
+	}}}
+	if kind == fault.StuckAt && seed%2 == 1 {
+		camp.Faults[0].Stuck = ^uint64(0)
+	}
+	clock := &hwsim.Clock{}
+	inj := fault.NewInjector(camp, clock)
+	clock.SetStoreHook(inj.Hook())
+	s, err := core.New(core.Config{Capacity: capacity, Mode: mode, Clock: clock})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5f))
+	var live []int // oracle: multiset of live tags
+	base, payload := 0, 0
+	detected := false
+	for i := 0; i < 150 && !detected; i++ {
+		if rng.Intn(3) > 0 || len(live) == 0 {
+			if len(live) == capacity {
+				continue
+			}
+			tag := base
+			if base += rng.Intn(3); base >= s.TagRange() {
+				base = s.TagRange() - 1
+			}
+			if err := s.Insert(tag, payload%capacity); err != nil {
+				if errors.Is(err, core.ErrCorrupt) {
+					detected = true
+					break
+				}
+				return err
+			}
+			payload++
+			live = append(live, tag)
+		} else {
+			e, err := s.ExtractMin()
+			if err != nil {
+				if errors.Is(err, core.ErrCorrupt) {
+					detected = true
+					break
+				}
+				return err
+			}
+			sort.Ints(live)
+			if e.Tag != live[0] {
+				// Wrong minimum with no error: silent corruption caught
+				// by the oracle, not the circuit.
+				if len(inj.Events()) > 0 {
+					t.fired++
+					t.silent++
+					return nil
+				}
+				return fmt.Errorf("wrong minimum with no fault fired: got %d want %d", e.Tag, live[0])
+			}
+			live = live[1:]
+		}
+	}
+	if len(inj.Events()) == 0 {
+		return nil // fault never fired (memory too cold): not a trial
+	}
+	t.fired++
+	if !detected {
+		detected = !s.Audit().Clean()
+	}
+	if !detected {
+		// Nothing noticed: drain and let the oracle judge.
+		got, err := s.Drain()
+		if err != nil {
+			if errors.Is(err, core.ErrCorrupt) {
+				t.detected++ // the drain itself tripped over it
+				return nil
+			}
+			return err
+		}
+		if drainMatches(got, live) {
+			t.harmless++
+		} else {
+			t.silent++
+		}
+		return nil
+	}
+	t.detected++
+	if err := s.Rebuild(); err != nil {
+		t.unrecoverable++
+		return nil
+	}
+	if !s.Audit().Clean() {
+		t.unrecoverable++
+		return nil
+	}
+	got, err := s.Drain()
+	if err == nil && drainMatches(got, live) {
+		t.repaired++
+	} else {
+		// The rebuild succeeded structurally but the tag data itself was
+		// damaged (tag-store corruption survives into the drain).
+		t.unrecoverable++
+	}
+	return nil
+}
+
+func drainMatches(got []taglist.Entry, live []int) bool {
+	if len(got) != len(live) {
+		return false
+	}
+	want := append([]int(nil), live...)
+	sort.Ints(want)
+	for i, e := range got {
+		if e.Tag != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func coverageExperiment(seed int64, trials int) error {
+	mems, err := discoverMems(256, core.ModeEager)
+	if err != nil {
+		return err
+	}
+	kinds := []fault.Kind{fault.BitFlip, fault.StuckAt}
+	for _, mode := range []core.Mode{core.ModeEager, core.ModeHardware} {
+		name := "eager"
+		if mode == core.ModeHardware {
+			name = "hardware"
+		}
+		fmt.Printf("--- %s mode, %d trials per cell ---\n", name, trials)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "memory\tkind\tfired\tdetected\tharmless\tsilent\trepaired\tunrecov\tcoverage")
+		for _, mem := range mems {
+			for _, kind := range kinds {
+				var t tally
+				for i := 0; i < trials; i++ {
+					trialSeed := seed + int64(i)*7919
+					if err := coverageTrial(mode, mem, kind, trialSeed, &t); err != nil {
+						return fmt.Errorf("%s %v trial %d: %w", mem, kind, i, err)
+					}
+				}
+				fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+					mem, kind, t.fired, t.detected, t.harmless, t.silent,
+					t.repaired, t.unrecoverable, t.coverage())
+			}
+		}
+		w.Flush()
+		fmt.Println()
+	}
+	fmt.Println("coverage = detected / (fired - harmless); tag-storage damage is")
+	fmt.Println("detectable but unrecoverable by design (the tag store is the")
+	fmt.Println("authoritative copy — rebuilds restore the tree and table from it).")
+	return nil
+}
+
+// --- latency experiment ----------------------------------------------
+
+func latencyExperiment(seed int64, packets, audit int) error {
+	techs := []struct {
+		name string
+		tech taglist.MemTech
+	}{
+		{"SDR", taglist.TechSDR},
+		{"QDRII", taglist.TechQDRII},
+		{"RLDRAM", taglist.TechRLDRAM},
+	}
+	mems, err := discoverMems(1024, core.ModeHardware)
+	if err != nil {
+		return err
+	}
+	// One tree fault and one translation fault, both repairable.
+	var targets []string
+	for _, m := range mems {
+		if strings.HasPrefix(m, "tree-level-") || m == "translation-table" {
+			targets = append(targets, m)
+		}
+	}
+	fmt.Printf("policy rebuild, audit every %d departures, %d packets/flow\n\n", audit, packets)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "tech\tlinks\twindow\tfired\tdetections\trebuilds\tmin lat\tmean lat\tmax lat (cycles)")
+	for _, tc := range techs {
+		for _, cap := range []int{256, 1024} {
+			camp := fault.Campaign{Seed: seed}
+			for i, m := range targets {
+				camp.Faults = append(camp.Faults, fault.Fault{
+					Mem: m, Kind: fault.BitFlip, Addr: -1,
+					At: fault.Trigger{Access: uint64(120 + 60*i)},
+				})
+			}
+			out, err := runCampaign(camp, packets, cap, scheduler.CorruptRebuild, tc.tech, audit, seed)
+			if err != nil {
+				return err
+			}
+			if out.err != nil {
+				return fmt.Errorf("%s: run failed: %w", tc.name, out.err)
+			}
+			window, err := tc.tech.WindowCyclesFor()
+			if err != nil {
+				return err
+			}
+			var lats []uint64
+			rebuilds := 0
+			for _, rec := range out.res.Recoveries {
+				if rec.Action == "rebuild" {
+					rebuilds++
+					lats = append(lats, rec.Repaired-rec.Detected)
+				}
+			}
+			min, max, sum := uint64(0), uint64(0), uint64(0)
+			for i, l := range lats {
+				if i == 0 || l < min {
+					min = l
+				}
+				if l > max {
+					max = l
+				}
+				sum += l
+			}
+			mean := "-"
+			if len(lats) > 0 {
+				mean = fmt.Sprintf("%.0f", float64(sum)/float64(len(lats)))
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%d\n",
+				tc.name, cap, window, len(out.events), out.res.Detections, rebuilds, min, mean, max)
+		}
+	}
+	w.Flush()
+	fmt.Println("\nlatency = cycles from detection to service resume. A rebuild")
+	fmt.Println("rescans the tag-store chain and rewrites the tree, table, and")
+	fmt.Println("free list at functional-port cost, so it scales with the link")
+	fmt.Println("capacity and occupancy; raw per-access SRAM timing is the same")
+	fmt.Println("across technologies in this model (the technology sets the")
+	fmt.Println("operation-window budget, shown as 'window').")
+	return nil
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wfqsort/internal/taglist"
+)
+
+// Violation is one detected integrity violation.
+type Violation struct {
+	// Structure names the structure at fault: "tag-store", "tree",
+	// "translation", or "free-list".
+	Structure string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Structure + ": " + v.Detail }
+
+// IntegrityReport is the structured outcome of a full Audit: every
+// cross-structure invariant violation found, grouped by the
+// relationship it breaks. A healthy sorter produces a report with no
+// violations in any group.
+type IntegrityReport struct {
+	// ListOrder covers the tag-store chain itself: walk failures
+	// (broken or cyclic chains), sort-order violations, and head
+	// registers disagreeing with the stored head word.
+	ListOrder []Violation
+	// MarkerEntry covers the tree-marker ↔ live-tag relationship.
+	MarkerEntry []Violation
+	// Translation covers the translation-entry ↔ newest-link
+	// relationship (including dangling entries in eager mode).
+	Translation []Violation
+	// FreeList covers free-list disjointness from the live chain and
+	// link-count conservation.
+	FreeList []Violation
+	// TreeStruct covers the tree's internal parent↔child consistency
+	// (the "set bit implies non-empty subtree" invariant).
+	TreeStruct []Violation
+	// Entries is the live chain as observed during the audit, possibly
+	// partial when the walk failed.
+	Entries []taglist.Entry
+}
+
+// All returns every violation in report order.
+func (r *IntegrityReport) All() []Violation {
+	var out []Violation
+	out = append(out, r.ListOrder...)
+	out = append(out, r.MarkerEntry...)
+	out = append(out, r.Translation...)
+	out = append(out, r.FreeList...)
+	out = append(out, r.TreeStruct...)
+	return out
+}
+
+// Clean reports whether no violation was found.
+func (r *IntegrityReport) Clean() bool { return len(r.All()) == 0 }
+
+// Err returns nil for a clean report, and otherwise an error wrapping
+// ErrCorrupt that summarizes the violations.
+func (r *IntegrityReport) Err() error {
+	all := r.All()
+	if len(all) == 0 {
+		return nil
+	}
+	return fmt.Errorf("core: audit: %w: %d violations (first: %s)", ErrCorrupt, len(all), all[0])
+}
+
+func (r *IntegrityReport) String() string {
+	all := r.All()
+	if len(all) == 0 {
+		return "integrity audit: clean"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "integrity audit: %d violations", len(all))
+	for _, v := range all {
+		b.WriteString("\n  " + v.String())
+	}
+	return b.String()
+}
+
+// Audit runs a full integrity check across the three memories through
+// their debug ports — no functional accesses are counted and no cycles
+// are charged, modelling a background scrub engine with its own read
+// ports. Unlike CheckInvariants it never stops at the first problem:
+// it collects every violation it can observe so a recovery policy can
+// decide whether the damage is repairable (tree/translation — rebuild
+// from the tag store) or not (tag-store chain or payload damage).
+func (s *Sorter) Audit() *IntegrityReport {
+	r := &IntegrityReport{}
+
+	// --- Tag store: chain walk, order, head-register coherence.
+	entries, err := s.list.Walk()
+	if err != nil {
+		r.ListOrder = append(r.ListOrder, Violation{"tag-store", err.Error()})
+	}
+	r.Entries = entries
+	if head, ok := s.list.PeekMin(); ok && len(entries) > 0 {
+		if e0 := entries[0]; e0.Tag != head.Tag || e0.Payload != head.Payload {
+			r.ListOrder = append(r.ListOrder, Violation{"tag-store",
+				fmt.Sprintf("head registers (tag %d, payload %d) disagree with stored head word (tag %d, payload %d)",
+					head.Tag, head.Payload, e0.Tag, e0.Payload)})
+		}
+	}
+	descents := 0
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Tag < entries[i-1].Tag {
+			descents++
+		}
+	}
+	maxDescents := 0
+	if s.cfg.Mode == ModeHardware {
+		maxDescents = 1 // cyclic tag space: at most one wrap descent
+	}
+	if descents > maxDescents {
+		r.ListOrder = append(r.ListOrder, Violation{"tag-store",
+			fmt.Sprintf("chain descends %d times (mode allows %d)", descents, maxDescents)})
+	}
+
+	// Live value set and newest link per value (last duplicate in walk
+	// order is the newest: duplicates insert after the newest, Fig. 11).
+	newest := make(map[int]int, len(entries))
+	for _, e := range entries {
+		newest[e.Tag] = e.Addr
+	}
+	liveTags := make([]int, 0, len(newest))
+	for tag := range newest {
+		liveTags = append(liveTags, tag)
+	}
+	sort.Ints(liveTags)
+
+	// --- Tree markers vs live values.
+	markers, err := s.tree.Markers()
+	if err != nil {
+		r.TreeStruct = append(r.TreeStruct, Violation{"tree", err.Error()})
+	}
+	markerSet := make(map[int]bool, len(markers))
+	for _, m := range markers {
+		markerSet[m] = true
+	}
+	for _, tag := range liveTags {
+		if !markerSet[tag] {
+			r.MarkerEntry = append(r.MarkerEntry, Violation{"tree",
+				fmt.Sprintf("live tag %d has no marker", tag)})
+		}
+	}
+	if s.cfg.Mode == ModeEager {
+		// Hardware mode legitimately keeps stale markers; eager must not.
+		for _, m := range markers {
+			if _, live := newest[m]; !live {
+				r.MarkerEntry = append(r.MarkerEntry, Violation{"tree",
+					fmt.Sprintf("marker %d has no live tag", m)})
+			}
+		}
+	}
+
+	// --- Tree internal structure.
+	structure, err := s.tree.AuditStructure()
+	if err != nil {
+		r.TreeStruct = append(r.TreeStruct, Violation{"tree", err.Error()})
+	}
+	for _, d := range structure {
+		r.TreeStruct = append(r.TreeStruct, Violation{"tree", d})
+	}
+
+	// --- Translation entries vs newest links.
+	tlive, err := s.table.Live()
+	if err != nil {
+		r.Translation = append(r.Translation, Violation{"translation", err.Error()})
+	}
+	for _, tag := range liveTags {
+		addr, ok := tlive[tag]
+		switch {
+		case !ok:
+			r.Translation = append(r.Translation, Violation{"translation",
+				fmt.Sprintf("live tag %d has no entry", tag)})
+		case addr != newest[tag]:
+			r.Translation = append(r.Translation, Violation{"translation",
+				fmt.Sprintf("tag %d entry points at link %d, newest link is %d", tag, addr, newest[tag])})
+		}
+	}
+	if s.cfg.Mode == ModeEager {
+		stale := make([]int, 0)
+		for tag := range tlive {
+			if _, live := newest[tag]; !live {
+				stale = append(stale, tag)
+			}
+		}
+		sort.Ints(stale)
+		for _, tag := range stale {
+			r.Translation = append(r.Translation, Violation{"translation",
+				fmt.Sprintf("dangling entry for dead tag %d", tag)})
+		}
+	}
+
+	// --- Free list: disjoint from the live chain, inside the ever-used
+	// region, and conserving links.
+	free, ferr := s.list.FreeAddrs()
+	if ferr != nil {
+		r.FreeList = append(r.FreeList, Violation{"free-list", ferr.Error()})
+	}
+	liveAddrs := make(map[int]bool, len(entries))
+	for _, e := range entries {
+		liveAddrs[e.Addr] = true
+	}
+	for _, addr := range free {
+		if liveAddrs[addr] {
+			r.FreeList = append(r.FreeList, Violation{"free-list",
+				fmt.Sprintf("free link %d is on the live chain", addr)})
+		}
+		if addr >= s.list.InitCounter() {
+			r.FreeList = append(r.FreeList, Violation{"free-list",
+				fmt.Sprintf("free link %d lies in the never-used region (init counter %d)", addr, s.list.InitCounter())})
+		}
+	}
+	if err == nil && ferr == nil && len(r.ListOrder) == 0 {
+		if got, want := len(entries)+len(free), s.list.InitCounter(); got != want {
+			r.FreeList = append(r.FreeList, Violation{"free-list",
+				fmt.Sprintf("%d live + %d free links, init counter %d (links leaked or duplicated)", len(entries), len(free), want)})
+		}
+	}
+	return r
+}
+
+// Rebuild reconstructs the search tree, the translation table, and the
+// free list from the tag store's linked list — the authoritative copy
+// of the system state (the tags and payloads live nowhere else; the
+// tree and table are derived indexes over it). The repair runs at
+// honest hardware cost: the chain rescan, the re-marking writes, and
+// the translation/free-list writes all go through the functional
+// memory ports and are charged to the clock, so recovery latency is
+// measurable in cycles. Tree and translation faults of any kind are
+// repaired; damage to the tag store itself (a broken chain or a
+// disordered tag field) cannot be, and returns an error wrapping
+// ErrCorrupt with the sorter unchanged where possible.
+func (s *Sorter) Rebuild() error {
+	entries, err := s.list.Rescan()
+	if err != nil {
+		return fmt.Errorf("core: rebuild: %w", err)
+	}
+	descents := 0
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Tag < entries[i-1].Tag {
+			descents++
+		}
+	}
+	maxDescents := 0
+	if s.cfg.Mode == ModeHardware {
+		maxDescents = 1
+	}
+	if descents > maxDescents {
+		return fmt.Errorf("core: rebuild: %w: tag store chain descends %d times (mode allows %d) — authoritative copy damaged",
+			ErrCorrupt, descents, maxDescents)
+	}
+	s.tree.Reset()
+	s.table.Reset()
+	newest := make(map[int]int, len(entries))
+	for _, e := range entries {
+		if err := s.tree.Mark(e.Tag); err != nil {
+			return fmt.Errorf("core: rebuild: %w", err)
+		}
+		newest[e.Tag] = e.Addr
+	}
+	for tag, addr := range newest {
+		if err := s.table.Set(tag, addr); err != nil {
+			return fmt.Errorf("core: rebuild: %w", err)
+		}
+	}
+	if err := s.list.RebuildFreeList(entries); err != nil {
+		return fmt.Errorf("core: rebuild: %w", err)
+	}
+	return nil
+}
+
+// Flush abandons every queued tag and reinitializes all three memories
+// (the last-resort recovery when the tag store itself is damaged and
+// Rebuild is impossible). It returns the number of tags discarded; the
+// corresponding packets are lost and must be accounted by the caller.
+func (s *Sorter) Flush() int {
+	lost := s.list.Len()
+	s.tree.Reset()
+	s.table.Reset()
+	s.list.Reset()
+	return lost
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"wfqsort/internal/fault"
+	"wfqsort/internal/hwsim"
+)
+
+// newFaulty builds a sorter over an injector so tests can flip bits in
+// named memories on demand.
+func newFaulty(t *testing.T, mode Mode) (*Sorter, *fault.Injector) {
+	t.Helper()
+	clock := &hwsim.Clock{}
+	inj := fault.NewInjector(fault.Campaign{Seed: 7}, clock)
+	clock.SetStoreHook(inj.Hook())
+	s, err := New(Config{Capacity: 64, Mode: mode, Clock: clock})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s, inj
+}
+
+func fillSorter(t *testing.T, s *Sorter, tags ...int) {
+	t.Helper()
+	for i, tag := range tags {
+		if err := s.Insert(tag, i); err != nil {
+			t.Fatalf("Insert(%d): %v", tag, err)
+		}
+	}
+}
+
+// TestAuditCleanBothModes: a healthy sorter audits clean through mixed
+// traffic in both reclamation modes — including hardware mode, where
+// stale markers and dangling translation entries are legal and must not
+// be reported.
+func TestAuditCleanBothModes(t *testing.T) {
+	for _, mode := range []Mode{ModeEager, ModeHardware} {
+		s, _ := newFaulty(t, mode)
+		fillSorter(t, s, 5, 9, 9, 13, 2, 30, 30)
+		for i := 0; i < 4; i++ {
+			if _, err := s.ExtractMin(); err != nil {
+				t.Fatalf("mode %v extract: %v", mode, err)
+			}
+		}
+		if rep := s.Audit(); !rep.Clean() {
+			t.Fatalf("mode %v: healthy sorter audits dirty:\n%s", mode, rep)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+// TestAuditDetectsTreeFlip: a marker flip is reported and the error
+// wraps ErrCorrupt for cross-package matching.
+func TestAuditDetectsTreeFlip(t *testing.T) {
+	s, inj := newFaulty(t, ModeEager)
+	fillSorter(t, s, 3, 17, 40)
+	ev, err := inj.FlipNow("tree-level-2", -1, 0)
+	if err != nil {
+		t.Fatalf("FlipNow: %v", err)
+	}
+	rep := s.Audit()
+	if rep.Clean() {
+		t.Fatalf("audit missed %s", ev)
+	}
+	if err := rep.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("report error %v does not wrap ErrCorrupt", err)
+	}
+	if !errors.Is(rep.Err(), hwsim.ErrCorrupt) {
+		t.Fatal("report error does not wrap the hwsim sentinel")
+	}
+}
+
+// TestRebuildRepairsTreeAndTable: wreck the derived structures
+// thoroughly; Rebuild must restore a verifiably clean sorter that still
+// serves the right order.
+func TestRebuildRepairsTreeAndTable(t *testing.T) {
+	s, inj := newFaulty(t, ModeEager)
+	fillSorter(t, s, 12, 4, 4, 55, 23)
+	for _, mem := range []string{"tree-level-0", "tree-level-1", "tree-level-2", "translation-table"} {
+		if _, err := inj.FlipNow(mem, -1, 0); err != nil {
+			// Small trees keep early levels in registers; skip absent mems.
+			continue
+		}
+	}
+	if err := s.Rebuild(); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after rebuild: %v", err)
+	}
+	if rep := s.Audit(); !rep.Clean() {
+		t.Fatalf("audit dirty after rebuild:\n%s", rep)
+	}
+	want := []int{4, 4, 12, 23, 55}
+	got, err := s.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i, e := range got {
+		if e.Tag != want[i] {
+			t.Fatalf("drain[%d] = %d, want %d", i, e.Tag, want[i])
+		}
+	}
+}
+
+// TestRebuildRefusesBrokenChain: damage to the tag store itself (the
+// authoritative copy) cannot be rebuilt and must be refused with
+// ErrCorrupt.
+func TestRebuildRefusesBrokenChain(t *testing.T) {
+	s, inj := newFaulty(t, ModeEager)
+	fillSorter(t, s, 1, 2, 3, 4, 5, 6, 7, 8)
+	// Hammer tag-storage words until the chain breaks (the flips land on
+	// live links eventually; 64 tries over 64 words is plenty).
+	var rebuildErr error
+	for i := 0; i < 64; i++ {
+		if _, err := inj.FlipNow("tag-storage", i%s.Capacity(), 0); err != nil {
+			t.Fatalf("FlipNow: %v", err)
+		}
+		if err := s.Rebuild(); err != nil {
+			rebuildErr = err
+			break
+		}
+	}
+	if rebuildErr == nil {
+		t.Skip("no flip landed on chain-critical bits")
+	}
+	if !errors.Is(rebuildErr, ErrCorrupt) {
+		t.Fatalf("rebuild of damaged tag store returned %v, want ErrCorrupt", rebuildErr)
+	}
+}
+
+// TestFlushRestoresService: after a flush the sorter is empty, clean,
+// and immediately serviceable.
+func TestFlushRestoresService(t *testing.T) {
+	s, inj := newFaulty(t, ModeHardware)
+	fillSorter(t, s, 10, 20, 30)
+	if _, err := inj.FlipNow("tag-storage", -1, 0); err != nil {
+		t.Fatalf("FlipNow: %v", err)
+	}
+	if lost := s.Flush(); lost != 3 {
+		t.Fatalf("Flush lost %d, want 3", lost)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after flush = %d", s.Len())
+	}
+	if rep := s.Audit(); !rep.Clean() {
+		t.Fatalf("audit dirty after flush:\n%s", rep)
+	}
+	fillSorter(t, s, 7, 3)
+	e, err := s.ExtractMin()
+	if err != nil || e.Tag != 3 {
+		t.Fatalf("post-flush extract = (%v, %v), want tag 3", e, err)
+	}
+}

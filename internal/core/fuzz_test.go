@@ -3,8 +3,11 @@ package core
 import (
 	"encoding/binary"
 	"errors"
+	"sort"
 	"testing"
 
+	"wfqsort/internal/fault"
+	"wfqsort/internal/hwsim"
 	"wfqsort/internal/taglist"
 )
 
@@ -78,6 +81,173 @@ func FuzzSorterAgainstOracle(f *testing.F) {
 				if served.Tag != want.tag || served.Payload != want.payload {
 					t.Fatalf("op %d: combined served (%d,%d), oracle (%d,%d)",
 						i, served.Tag, served.Payload, want.tag, want.payload)
+				}
+			}
+			if s.Len() != o.Len() {
+				t.Fatalf("op %d: Len %d, oracle %d", i, s.Len(), o.Len())
+			}
+		}
+		// Drain and verify the remainder.
+		for o.Len() > 0 {
+			e, err := s.ExtractMin()
+			if err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			want := o.extractMin()
+			if e.Tag != want.tag || e.Payload != want.payload {
+				t.Fatalf("drain: served (%d,%d), oracle (%d,%d)", e.Tag, e.Payload, want.tag, want.payload)
+			}
+		}
+	})
+}
+
+// oracleTags returns the oracle's live tag multiset, sorted.
+func oracleTags(o *stableOracle) []int {
+	out := make([]int, 0, len(o.items))
+	for _, it := range o.items {
+		out = append(out, it.tag)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FuzzFaultRecovery interprets the input as an operation stream
+// interleaved with fault injections into the search tree and the
+// translation table (4 bytes per op: opcode + 12-bit tag + fault
+// selector). After every injected fault it asserts that Audit detects
+// the inconsistency whenever the flip touched live state, and that
+// Rebuild restores CheckInvariants() == nil with the oracle's exact
+// live-tag multiset — no live tag lost, none invented.
+//
+// Detectability ground truth: every tree flip matters (a marker bit is
+// either spurious or missing afterwards, and the structural audit reads
+// both directions), while a translation flip is invisible by design
+// when it only touches the address bits of an invalid (dead) entry —
+// those words are don't-care until the valid bit is set again.
+func FuzzFaultRecovery(f *testing.F) {
+	f.Add([]byte{0, 0x10, 0, 0, 3, 0, 0, 0, 1, 0, 0, 0})
+	f.Add([]byte{0, 0x20, 0, 0, 0, 0x20, 0, 0, 3, 0, 0, 1, 3, 0, 0, 2, 1, 0, 0, 0})
+	seed := make([]byte, 0, 128)
+	for i := 0; i < 32; i++ {
+		seed = append(seed, byte(i%4), byte(i*37), byte(i%16), byte(i*13))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		clock := &hwsim.Clock{}
+		inj := fault.NewInjector(fault.Campaign{Seed: 99}, clock)
+		clock.SetStoreHook(inj.Hook())
+		s, err := New(Config{Capacity: 64, Mode: ModeEager, Clock: clock})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		// Repairable targets: everything except the authoritative copy.
+		var targets []string
+		for _, m := range inj.Wrapped() {
+			if m != "tag-storage" {
+				targets = append(targets, m)
+			}
+		}
+		if len(targets) == 0 {
+			t.Fatal("no injectable memories")
+		}
+		// The translation valid bit: word width is addrBits+1.
+		validBit := uint64(1) << uint(s.table.MemoryBits()/s.table.Entries()-1)
+
+		var o stableOracle
+		for i := 0; i+4 <= len(data); i += 4 {
+			op := data[i] % 4
+			tag := int(binary.LittleEndian.Uint16(data[i+1:i+3])) & 0xFFF
+			payload := i & 0xFFFF
+			switch op {
+			case 0: // insert
+				err := s.Insert(tag, payload)
+				if o.Len() >= s.Capacity() {
+					if !errors.Is(err, taglist.ErrFull) {
+						t.Fatalf("op %d: Insert into full = %v, want ErrFull", i, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("op %d: Insert(%d): %v", i, tag, err)
+				}
+				o.insert(tag, payload)
+			case 1: // extract
+				e, err := s.ExtractMin()
+				if o.Len() == 0 {
+					if !errors.Is(err, taglist.ErrEmpty) {
+						t.Fatalf("op %d: ExtractMin on empty = %v, want ErrEmpty", i, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("op %d: ExtractMin: %v", i, err)
+				}
+				want := o.extractMin()
+				if e.Tag != want.tag || e.Payload != want.payload {
+					t.Fatalf("op %d: served (%d,%d), oracle (%d,%d)", i, e.Tag, e.Payload, want.tag, want.payload)
+				}
+			case 2: // combined window
+				served, err := s.InsertExtractMin(tag, payload)
+				if o.Len() == 0 {
+					if !errors.Is(err, taglist.ErrEmpty) {
+						t.Fatalf("op %d: combined on empty = %v, want ErrEmpty", i, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("op %d: InsertExtractMin(%d): %v", i, tag, err)
+				}
+				want := o.extractMin()
+				o.insert(tag, payload)
+				if served.Tag != want.tag || served.Payload != want.payload {
+					t.Fatalf("op %d: combined served (%d,%d), oracle (%d,%d)",
+						i, served.Tag, served.Payload, want.tag, want.payload)
+				}
+			default: // inject a fault, audit, repair
+				target := targets[int(data[i+3])%len(targets)]
+				ev, err := inj.FlipNow(target, -1, 0)
+				if err != nil {
+					t.Fatalf("op %d: FlipNow(%s): %v", i, target, err)
+				}
+				detectable := true
+				if target == "translation-table" {
+					// Only flips that touch the valid bit, or land in a
+					// currently-valid word, change observable state.
+					detectable = (ev.Mask&validBit != 0) || (ev.Before&validBit != 0)
+				}
+				rep := s.Audit()
+				if detectable && rep.Clean() {
+					t.Fatalf("op %d: audit missed %s (oracle holds %d tags)", i, ev, o.Len())
+				}
+				if err := s.Rebuild(); err != nil {
+					t.Fatalf("op %d: Rebuild after %s: %v", i, ev, err)
+				}
+				if err := s.CheckInvariants(); err != nil {
+					t.Fatalf("op %d: invariants after rebuild: %v", i, err)
+				}
+				if rep := s.Audit(); !rep.Clean() {
+					t.Fatalf("op %d: audit dirty after rebuild:\n%s", i, rep)
+				}
+				// No live-tag loss: the rebuilt sorter holds exactly the
+				// oracle's multiset.
+				snap, err := s.Snapshot()
+				if err != nil {
+					t.Fatalf("op %d: snapshot after rebuild: %v", i, err)
+				}
+				got := make([]int, 0, len(snap))
+				for _, e := range snap {
+					got = append(got, e.Tag)
+				}
+				sort.Ints(got)
+				want := oracleTags(&o)
+				if len(got) != len(want) {
+					t.Fatalf("op %d: %d live tags after rebuild, oracle %d", i, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("op %d: live tags after rebuild %v, oracle %v", i, got, want)
+					}
 				}
 			}
 			if s.Len() != o.Len() {

@@ -30,6 +30,16 @@ import (
 // cycles (paper §III-A).
 const WindowCycles = taglist.WindowCycles
 
+// ErrCorrupt marks a detected integrity violation in the sorter's three
+// memories (search tree, translation table, tag store) or their cross-
+// structure relationships. It is the hwsim-level sentinel re-exported at
+// the circuit boundary so callers can write
+// errors.Is(err, core.ErrCorrupt) regardless of which layer detected
+// the fault. A corrupt sorter can be repaired with Rebuild (tree and
+// translation faults — the tag store is the authoritative copy) or
+// abandoned with Flush; see Audit for structured detection.
+var ErrCorrupt = hwsim.ErrCorrupt
+
 // ErrBehindMinimum is returned in hardware mode with StrictMonotonic set
 // when an inserted tag is smaller than the current minimum, violating the
 // WFQ precondition the silicon relies on ("the WFQ algorithm always
@@ -287,7 +297,7 @@ func (s *Sorter) resolveInsert(tag int) (afterAddr int, atHead bool, err error) 
 		return 0, false, err
 	}
 	if !ok {
-		return 0, false, fmt.Errorf("core: corrupt state: marker for tag %d has no translation entry", closest)
+		return 0, false, fmt.Errorf("core: %w: marker for tag %d has no translation entry", ErrCorrupt, closest)
 	}
 	if err := s.tree.Mark(tag); err != nil {
 		return 0, false, err
@@ -340,12 +350,27 @@ func (s *Sorter) ExtractMin() (taglist.Entry, error) {
 	if err != nil {
 		return taglist.Entry{}, err
 	}
+	// Eager reclamation runs before the list commit: every corruption-
+	// detecting step (translation lookup, marker delete) happens while
+	// the head is still queued, so a recovery policy can Rebuild and
+	// retry the extract without losing the packet.
+	if s.cfg.Mode == ModeEager && lastDuplicate {
+		if err := s.table.Invalidate(head.Tag); err != nil {
+			return taglist.Entry{}, err
+		}
+		if err := s.tree.Delete(head.Tag); err != nil {
+			return taglist.Entry{}, err
+		}
+	}
 	e, err := s.list.ExtractMin()
 	if err != nil {
 		return taglist.Entry{}, err
 	}
-	if err := s.afterDeparture(e, lastDuplicate, -1); err != nil {
-		return taglist.Entry{}, err
+	if s.cfg.Mode == ModeHardware && s.list.Len() == 0 {
+		// Drained empty: re-enter initialization mode (paper §III-A).
+		if err := s.reset(); err != nil {
+			return taglist.Entry{}, err
+		}
 	}
 	s.extracts++
 	return e, nil
@@ -399,7 +424,7 @@ func (s *Sorter) isNewestLink(head taglist.Entry) (bool, error) {
 		return false, err
 	}
 	if !ok {
-		return false, fmt.Errorf("core: corrupt state: head tag %d has no translation entry", head.Tag)
+		return false, fmt.Errorf("core: %w: head tag %d has no translation entry", ErrCorrupt, head.Tag)
 	}
 	return addr == head.Addr, nil
 }
@@ -499,7 +524,7 @@ func (s *Sorter) CheckInvariants() error {
 		return fmt.Errorf("core: invariant: %w", err)
 	}
 	if len(entries) != s.Len() {
-		return fmt.Errorf("core: invariant: walk found %d links, Len is %d", len(entries), s.Len())
+		return fmt.Errorf("core: invariant: %w: walk found %d links, Len is %d", ErrCorrupt, len(entries), s.Len())
 	}
 	descents := 0
 	newest := make(map[int]int, len(entries))
@@ -510,7 +535,7 @@ func (s *Sorter) CheckInvariants() error {
 		newest[e.Tag] = e.Addr
 	}
 	if descents > 1 {
-		return fmt.Errorf("core: invariant: list descends %d times (cyclic order allows at most 1)", descents)
+		return fmt.Errorf("core: invariant: %w: list descends %d times (cyclic order allows at most 1)", ErrCorrupt, descents)
 	}
 	for tag, addr := range newest {
 		ok, err := s.tree.Contains(tag)
@@ -518,22 +543,22 @@ func (s *Sorter) CheckInvariants() error {
 			return fmt.Errorf("core: invariant: %w", err)
 		}
 		if !ok {
-			return fmt.Errorf("core: invariant: live tag %d has no tree marker", tag)
+			return fmt.Errorf("core: invariant: %w: live tag %d has no tree marker", ErrCorrupt, tag)
 		}
 		got, ok, err := s.table.Lookup(tag)
 		if err != nil {
 			return fmt.Errorf("core: invariant: %w", err)
 		}
 		if !ok {
-			return fmt.Errorf("core: invariant: live tag %d has no translation entry", tag)
+			return fmt.Errorf("core: invariant: %w: live tag %d has no translation entry", ErrCorrupt, tag)
 		}
 		if got != addr {
-			return fmt.Errorf("core: invariant: translation for tag %d points at %d, newest link is %d", tag, got, addr)
+			return fmt.Errorf("core: invariant: %w: translation for tag %d points at %d, newest link is %d", ErrCorrupt, tag, got, addr)
 		}
 	}
 	if s.cfg.Mode == ModeEager {
 		if s.tree.Len() != len(newest) {
-			return fmt.Errorf("core: invariant: eager tree holds %d markers, %d live values", s.tree.Len(), len(newest))
+			return fmt.Errorf("core: invariant: %w: eager tree holds %d markers, %d live values", ErrCorrupt, s.tree.Len(), len(newest))
 		}
 	}
 	return nil

@@ -1,0 +1,367 @@
+// Package fault injects memory faults into the hwsim memories backing
+// the tag sort/retrieve circuit: single-event bit flips, stuck-at bits,
+// and transient read errors, scheduled by clock cycle or access count.
+//
+// The injector plugs into the hwsim.StoreHook seam, wrapping each SRAM
+// of a clock domain so the circuit models above it address a possibly-
+// faulty memory without knowing. Everything is deterministic given the
+// campaign seed — the same campaign against the same workload produces
+// the same fault events at the same cycles, so failing runs can be
+// replayed and bisected.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"wfqsort/internal/hwsim"
+)
+
+// Kind classifies a fault mechanism.
+type Kind int
+
+// Fault mechanisms.
+const (
+	// BitFlip is a single-event upset: the addressed word is XORed with
+	// the mask once, and the corrupted value persists in the array (it
+	// is visible to functional reads and debug peeks alike).
+	BitFlip Kind = iota + 1
+	// StuckAt forces the masked bits to a fixed value: the stored word
+	// is patched when the fault arms and re-patched after every
+	// subsequent write, modelling a failed cell that no write can heal.
+	StuckAt
+	// ReadError corrupts the data returned by one read without touching
+	// the stored word — a transient sense/bus error that a later re-read
+	// would not see.
+	ReadError
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BitFlip:
+		return "bit-flip"
+	case StuckAt:
+		return "stuck-at"
+	case ReadError:
+		return "read-error"
+	default:
+		return "unknown"
+	}
+}
+
+// Trigger schedules when a fault fires. Exactly one field should be
+// set; a zero trigger fires on the target's first access.
+type Trigger struct {
+	// Cycle arms the fault at the first access of the target memory at
+	// or after this clock cycle (requires the injector's clock).
+	Cycle uint64
+	// Access arms the fault at the Nth functional access (1-based,
+	// reads + writes) of the target memory.
+	Access uint64
+}
+
+// Fault is one declarative fault in a campaign.
+type Fault struct {
+	// Mem names the target memory (hwsim.SRAMConfig.Name), e.g.
+	// "tree-level-2", "translation-table", "tag-storage".
+	Mem string
+	// Kind is the fault mechanism (default BitFlip).
+	Kind Kind
+	// Addr is the word address, or -1 to draw one from the campaign
+	// seed when the fault fires.
+	Addr int
+	// Mask selects the affected bits; 0 draws one random bit.
+	Mask uint64
+	// Stuck is the value forced onto the masked bits (StuckAt only).
+	Stuck uint64
+	// At schedules the fault.
+	At Trigger
+}
+
+func (f Fault) String() string {
+	where := "first access"
+	switch {
+	case f.At.Cycle > 0:
+		where = fmt.Sprintf("cycle %d", f.At.Cycle)
+	case f.At.Access > 0:
+		where = fmt.Sprintf("access %d", f.At.Access)
+	}
+	addr := "addr ?"
+	if f.Addr >= 0 {
+		addr = fmt.Sprintf("addr %d", f.Addr)
+	}
+	return fmt.Sprintf("%s %s[%s] mask %#x at %s", f.Kind, f.Mem, addr, f.Mask, where)
+}
+
+// Campaign is a declarative, reproducible set of faults. Faults with
+// Addr -1 or Mask 0 are resolved from Seed when they fire, in firing
+// order, so a campaign fully determines the injected corruption for a
+// given workload.
+type Campaign struct {
+	Seed   int64
+	Faults []Fault
+}
+
+func (c Campaign) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign seed %d, %d faults:", c.Seed, len(c.Faults))
+	for _, f := range c.Faults {
+		b.WriteString("\n  " + f.String())
+	}
+	return b.String()
+}
+
+// Event records one fired fault.
+type Event struct {
+	Fault  Fault  // the campaign entry that fired (or a FlipNow synthesis)
+	Addr   int    // resolved word address
+	Mask   uint64 // resolved bit mask
+	Cycle  uint64 // clock cycle at firing (0 without a clock)
+	Access uint64 // target-memory access count at firing
+	Before uint64 // stored word before the fault
+	After  uint64 // stored word after (ReadError: the value returned)
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s[%d] mask %#x at cycle %d (access %d): %#x -> %#x",
+		e.Fault.Kind, e.Fault.Mem, e.Addr, e.Mask, e.Cycle, e.Access, e.Before, e.After)
+}
+
+// Injector executes a campaign over the memories of one clock domain.
+// Install it with clock.SetStoreHook(inj.Hook()) before constructing
+// the circuits. Not safe for concurrent use, matching the single-
+// pipeline circuit models it wraps.
+type Injector struct {
+	clock  *hwsim.Clock
+	rng    *rand.Rand
+	mems   map[string]*faultyStore
+	events []Event
+}
+
+// NewInjector builds an injector for the campaign. The clock is used
+// for cycle-scheduled triggers and event stamping; it may be nil when
+// only access-count triggers are used.
+func NewInjector(c Campaign, clock *hwsim.Clock) *Injector {
+	in := &Injector{
+		clock: clock,
+		rng:   rand.New(rand.NewSource(c.Seed)),
+		mems:  map[string]*faultyStore{},
+	}
+	for _, f := range c.Faults {
+		if f.Kind == 0 {
+			f.Kind = BitFlip
+		}
+		in.pendingFor(f.Mem).faults = append(in.pendingFor(f.Mem).faults, f)
+	}
+	return in
+}
+
+// pendingFor returns the (possibly not yet bound) per-memory state.
+func (in *Injector) pendingFor(name string) *faultyStore {
+	fs, ok := in.mems[name]
+	if !ok {
+		fs = &faultyStore{in: in}
+		in.mems[name] = fs
+	}
+	return fs
+}
+
+// Hook returns the store hook that wraps every SRAM whose name is
+// targeted by the campaign (or by a later FlipNow). Memories outside
+// the campaign pass through unwrapped.
+func (in *Injector) Hook() hwsim.StoreHook {
+	return func(m *hwsim.SRAM) hwsim.Store {
+		fs := in.pendingFor(m.Config().Name)
+		fs.mem = m
+		return fs
+	}
+}
+
+// Events returns the faults fired so far, in firing order.
+func (in *Injector) Events() []Event {
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}
+
+// Wrapped returns the names of the memories bound to the injector's
+// hook so far, sorted — campaign authoring support: build a throwaway
+// circuit with an empty campaign to discover the targetable memories.
+func (in *Injector) Wrapped() []string {
+	out := make([]string, 0, len(in.mems))
+	for name, fs := range in.mems {
+		if fs.mem != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remaining returns the campaign faults that have not fired (trigger
+// not reached, or target memory never constructed).
+func (in *Injector) Remaining() int {
+	n := 0
+	for _, fs := range in.mems {
+		n += len(fs.faults)
+	}
+	return n
+}
+
+// FlipNow fires an immediate persistent bit flip against a wrapped
+// memory, outside any campaign schedule (test and interactive use).
+// addr -1 and mask 0 are resolved from the campaign seed.
+func (in *Injector) FlipNow(mem string, addr int, mask uint64) (Event, error) {
+	fs, ok := in.mems[mem]
+	if !ok || fs.mem == nil {
+		known := make([]string, 0, len(in.mems))
+		for name, m := range in.mems {
+			if m.mem != nil {
+				known = append(known, name)
+			}
+		}
+		sort.Strings(known)
+		return Event{}, fmt.Errorf("fault: no wrapped memory %q (have %v)", mem, known)
+	}
+	return fs.fire(Fault{Mem: mem, Kind: BitFlip, Addr: addr, Mask: mask})
+}
+
+// faultyStore interposes on one SRAM's functional port.
+type faultyStore struct {
+	in       *Injector
+	mem      *hwsim.SRAM
+	accesses uint64
+	faults   []Fault // pending, in campaign order
+	stuck    []Event // armed stuck-at faults, re-applied after writes
+}
+
+// due reports whether a fault's trigger has been reached.
+func (fs *faultyStore) due(f Fault) bool {
+	switch {
+	case f.At.Cycle > 0:
+		return fs.in.clock != nil && fs.in.clock.Now() >= f.At.Cycle
+	case f.At.Access > 0:
+		return fs.accesses >= f.At.Access
+	default:
+		return true
+	}
+}
+
+// resolve draws any unresolved address/mask from the campaign seed.
+func (fs *faultyStore) resolve(f Fault) (addr int, mask uint64) {
+	cfg := fs.mem.Config()
+	addr = f.Addr
+	if addr < 0 {
+		addr = fs.in.rng.Intn(cfg.Depth)
+	}
+	mask = f.Mask
+	if mask == 0 {
+		mask = 1 << uint(fs.in.rng.Intn(cfg.WordBits))
+	}
+	return addr, mask
+}
+
+// fire executes one fault against the backing array and logs the event.
+// For ReadError the array is untouched; the caller corrupts the read
+// data using the returned event's mask when the address matches.
+func (fs *faultyStore) fire(f Fault) (Event, error) {
+	addr, mask := fs.resolve(f)
+	before, err := fs.mem.Peek(addr)
+	if err != nil {
+		return Event{}, fmt.Errorf("fault: %s: %w", f, err)
+	}
+	ev := Event{Fault: f, Addr: addr, Mask: mask, Access: fs.accesses, Before: before, After: before}
+	if fs.in.clock != nil {
+		ev.Cycle = fs.in.clock.Now()
+	}
+	switch f.Kind {
+	case BitFlip:
+		ev.After = before ^ mask
+		if err := fs.mem.Poke(addr, ev.After); err != nil {
+			return Event{}, fmt.Errorf("fault: %s: %w", f, err)
+		}
+	case StuckAt:
+		ev.After = (before &^ mask) | (f.Stuck & mask)
+		if err := fs.mem.Poke(addr, ev.After); err != nil {
+			return Event{}, fmt.Errorf("fault: %s: %w", f, err)
+		}
+		fs.stuck = append(fs.stuck, ev)
+	case ReadError:
+		ev.After = before ^ mask
+	default:
+		return Event{}, fmt.Errorf("fault: unknown kind %d", int(f.Kind))
+	}
+	fs.in.events = append(fs.in.events, ev)
+	return ev, nil
+}
+
+// step fires every due pending fault and returns any armed transient
+// read corruption for the current access.
+func (fs *faultyStore) step(read bool, addr int) (xor uint64, err error) {
+	kept := fs.faults[:0]
+	for _, f := range fs.faults {
+		if !fs.due(f) {
+			kept = append(kept, f)
+			continue
+		}
+		ev, ferr := fs.fire(f)
+		if ferr != nil {
+			return 0, ferr
+		}
+		if f.Kind == ReadError && read && (f.Addr < 0 || ev.Addr == addr) {
+			// The transient hits this very read: if the scheduled address
+			// was unresolved it lands on the word being read.
+			if f.Addr < 0 && ev.Addr != addr {
+				// Re-stamp the event at the actually-read address so the
+				// log matches what the circuit observed.
+				fs.in.events[len(fs.in.events)-1].Addr = addr
+			}
+			xor ^= ev.Mask
+		}
+		// A scheduled ReadError for a different address than this read is
+		// consumed anyway: the transient happened, nobody was looking.
+	}
+	fs.faults = kept
+	return xor, nil
+}
+
+// Read implements hwsim.Store.
+func (fs *faultyStore) Read(addr int) (uint64, error) {
+	fs.accesses++
+	xor, err := fs.step(true, addr)
+	if err != nil {
+		return 0, err
+	}
+	w, err := fs.mem.Read(addr)
+	if err != nil {
+		return 0, err
+	}
+	return w ^ xor, nil
+}
+
+// Write implements hwsim.Store.
+func (fs *faultyStore) Write(addr int, val uint64) error {
+	fs.accesses++
+	if _, err := fs.step(false, addr); err != nil {
+		return err
+	}
+	if err := fs.mem.Write(addr, val); err != nil {
+		return err
+	}
+	// Stuck cells override whatever was just written.
+	for _, s := range fs.stuck {
+		if s.Addr != addr {
+			continue
+		}
+		w, err := fs.mem.Peek(addr)
+		if err != nil {
+			return err
+		}
+		if err := fs.mem.Poke(addr, (w&^s.Mask)|(s.After&s.Mask)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

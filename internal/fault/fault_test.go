@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"testing"
+
+	"wfqsort/internal/hwsim"
+)
+
+// build wires one SRAM through an injector and returns the functional
+// store plus the raw memory.
+func build(t *testing.T, in *Injector, clock *hwsim.Clock, name string, depth, bits int) (*hwsim.SRAM, hwsim.Store) {
+	t.Helper()
+	clock.SetStoreHook(in.Hook())
+	mem, store, err := hwsim.NewSRAMStore(hwsim.SRAMConfig{Name: name, Depth: depth, WordBits: bits}, clock)
+	if err != nil {
+		t.Fatalf("NewSRAMStore: %v", err)
+	}
+	return mem, store
+}
+
+func TestBitFlipPersists(t *testing.T) {
+	clock := &hwsim.Clock{}
+	in := NewInjector(Campaign{Faults: []Fault{
+		{Mem: "m", Kind: BitFlip, Addr: 3, Mask: 0b100, At: Trigger{Access: 2}},
+	}}, clock)
+	mem, store := build(t, in, clock, "m", 8, 8)
+	if err := store.Write(3, 0xF0); err != nil { // access 1: not yet due
+		t.Fatal(err)
+	}
+	if w, _ := mem.Peek(3); w != 0xF0 {
+		t.Fatalf("flip fired early: %#x", w)
+	}
+	w, err := store.Read(3) // access 2: flip fires before the read
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0xF4 {
+		t.Fatalf("read after flip = %#x, want 0xF4", w)
+	}
+	if p, _ := mem.Peek(3); p != 0xF4 {
+		t.Fatalf("flip not persistent: peek %#x", p)
+	}
+	if got := len(in.Events()); got != 1 {
+		t.Fatalf("%d events, want 1", got)
+	}
+	if in.Remaining() != 0 {
+		t.Fatalf("%d faults remaining, want 0", in.Remaining())
+	}
+}
+
+func TestStuckAtOverridesWrites(t *testing.T) {
+	clock := &hwsim.Clock{}
+	in := NewInjector(Campaign{Faults: []Fault{
+		{Mem: "m", Kind: StuckAt, Addr: 1, Mask: 0b11, Stuck: 0b01, At: Trigger{Access: 1}},
+	}}, clock)
+	mem, store := build(t, in, clock, "m", 4, 8)
+	if err := store.Write(1, 0xFF); err != nil { // arms, then write lands, then cell re-sticks
+		t.Fatal(err)
+	}
+	if w, _ := mem.Peek(1); w != 0xFD {
+		t.Fatalf("stuck cell after write = %#x, want 0xFD", w)
+	}
+	if err := store.Write(1, 0x00); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := store.Read(1); w != 0x01 {
+		t.Fatalf("stuck cell after clear = %#x, want 0x01", w)
+	}
+}
+
+func TestReadErrorIsTransient(t *testing.T) {
+	clock := &hwsim.Clock{}
+	in := NewInjector(Campaign{Faults: []Fault{
+		{Mem: "m", Kind: ReadError, Addr: 2, Mask: 0b1000, At: Trigger{Access: 2}},
+	}}, clock)
+	mem, store := build(t, in, clock, "m", 4, 8)
+	if err := store.Write(2, 0x21); err != nil {
+		t.Fatal(err)
+	}
+	w, err := store.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0x29 {
+		t.Fatalf("transient read = %#x, want 0x29", w)
+	}
+	if w, _ = store.Read(2); w != 0x21 {
+		t.Fatalf("re-read = %#x, want clean 0x21", w)
+	}
+	if p, _ := mem.Peek(2); p != 0x21 {
+		t.Fatalf("stored word disturbed: %#x", p)
+	}
+}
+
+func TestCycleTrigger(t *testing.T) {
+	clock := &hwsim.Clock{}
+	in := NewInjector(Campaign{Faults: []Fault{
+		{Mem: "m", Kind: BitFlip, Addr: 0, Mask: 1, At: Trigger{Cycle: 5}},
+	}}, clock)
+	mem, store := build(t, in, clock, "m", 4, 8)
+	for i := 0; i < 4; i++ { // each access advances the clock by 1
+		if _, err := store.Read(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w, _ := mem.Peek(0); w != 0 {
+		t.Fatalf("flip fired before cycle 5 (now %d): %#x", clock.Now(), w)
+	}
+	clock.Advance(10)
+	if _, err := store.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := mem.Peek(0); w != 1 {
+		t.Fatalf("flip did not fire after cycle 5: %#x", w)
+	}
+	if ev := in.Events()[0]; ev.Cycle < 5 {
+		t.Fatalf("event stamped at cycle %d, want >= 5", ev.Cycle)
+	}
+}
+
+// TestDeterministic runs the same randomized campaign twice over the
+// same access pattern and requires identical event logs.
+func TestDeterministic(t *testing.T) {
+	run := func() []Event {
+		clock := &hwsim.Clock{}
+		in := NewInjector(Campaign{Seed: 42, Faults: []Fault{
+			{Mem: "m", Kind: BitFlip, Addr: -1, Mask: 0, At: Trigger{Access: 3}},
+			{Mem: "m", Kind: ReadError, Addr: -1, Mask: 0, At: Trigger{Access: 7}},
+			{Mem: "m", Kind: StuckAt, Addr: -1, Mask: 0, At: Trigger{Access: 9}},
+		}}, clock)
+		_, store := build(t, in, clock, "m", 32, 12)
+		for i := 0; i < 16; i++ {
+			if i%2 == 0 {
+				if err := store.Write(i, uint64(i*17)); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := store.Read(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return in.Events()
+	}
+	a, b := run(), run()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("event counts %d/%d, want 3/3", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestUntargetedMemoryUnwrapped checks that memories outside the
+// campaign still get wrapped lazily only when named, and FlipNow
+// reports unknown names.
+func TestFlipNowUnknownMemory(t *testing.T) {
+	clock := &hwsim.Clock{}
+	in := NewInjector(Campaign{}, clock)
+	build(t, in, clock, "m", 4, 8)
+	if _, err := in.FlipNow("nope", 0, 1); err == nil {
+		t.Fatal("FlipNow on unknown memory succeeded")
+	}
+	ev, err := in.FlipNow("m", 0, 0b10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.After != 0b10 {
+		t.Fatalf("FlipNow result %#x, want 0b10", ev.After)
+	}
+}

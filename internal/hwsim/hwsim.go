@@ -20,6 +20,7 @@ var ErrAddressRange = errors.New("hwsim: address out of range")
 // cycle zero and is ready to use.
 type Clock struct {
 	cycle uint64
+	hook  StoreHook
 }
 
 // Tick advances the clock by one cycle and returns the new cycle number.
@@ -195,6 +196,16 @@ func (m *SRAM) Clear() {
 		m.words[i] = 0
 	}
 	m.stats = AccessStats{}
+}
+
+// Wipe zeroes all words without touching the access counters. It models
+// a flash-style bulk initialization (the valid-bit clear of paper
+// §III-A's initialization mode), used by recovery paths that must not
+// perturb the traffic accounting of the run they repair.
+func (m *SRAM) Wipe() {
+	for i := range m.words {
+		m.words[i] = 0
+	}
 }
 
 // Bits returns the total storage capacity in bits (depth × word width).

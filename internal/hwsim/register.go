@@ -64,6 +64,23 @@ func (r *RegisterFile) Write(addr int, val uint64) error {
 	return nil
 }
 
+// Peek returns the word at addr without counting an access (debug and
+// audit port, mirroring SRAM.Peek).
+func (r *RegisterFile) Peek(addr int) (uint64, error) {
+	if addr < 0 || addr >= len(r.words) {
+		return 0, fmt.Errorf("%w: peek reg %q[%d], depth %d", ErrAddressRange, r.name, addr, len(r.words))
+	}
+	return r.words[addr], nil
+}
+
+// Wipe zeroes the contents without touching the counters (bulk
+// reinitialization, mirroring SRAM.Wipe).
+func (r *RegisterFile) Wipe() {
+	for i := range r.words {
+		r.words[i] = 0
+	}
+}
+
 // Accesses returns the total read+write count.
 func (r *RegisterFile) Accesses() uint64 {
 	return r.reads + r.writes

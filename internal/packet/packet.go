@@ -113,6 +113,19 @@ func (b *Buffer) Peek(slot int) (Packet, error) {
 	return b.slots[slot], nil
 }
 
+// Reset discards every stored packet and rebuilds the free list (the
+// scheduler's flush recovery). The access counters and the high-water
+// mark survive, so post-recovery statistics stay meaningful.
+func (b *Buffer) Reset() {
+	for i := range b.slots {
+		b.slots[i] = Packet{}
+		b.live[i] = false
+		b.next[i] = i + 1
+	}
+	b.freeHead = 0
+	b.used = 0
+}
+
 // Used returns the current slot occupancy.
 func (b *Buffer) Used() int { return b.used }
 

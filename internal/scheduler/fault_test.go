@@ -1,0 +1,207 @@
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wfqsort/internal/core"
+	"wfqsort/internal/fault"
+	"wfqsort/internal/hwsim"
+	"wfqsort/internal/packet"
+)
+
+// faultTrace builds a two-flow Poisson-ish arrival trace that keeps the
+// sorter occupied long enough for mid-run faults to land on live state.
+func faultTrace(n int, seed int64) []packet.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	arr := make([]packet.Packet, n)
+	now := 0.0
+	for i := range arr {
+		now += rng.ExpFloat64() * 1.1e-5 // ~90 kpps against ~1500B @ 1 Gb/s
+		arr[i] = packet.Packet{ID: i, Flow: i % 2, Size: 400 + rng.Intn(1100), Arrival: now}
+	}
+	return arr
+}
+
+// faultCampaign schedules persistent flips into the search tree and the
+// translation table mid-run (access triggers land while the queue is
+// busy).
+func faultCampaign(seed int64) fault.Campaign {
+	return fault.Campaign{Seed: seed, Faults: []fault.Fault{
+		{Mem: "tree-level-2", Kind: fault.BitFlip, Addr: -1, At: fault.Trigger{Access: 200}},
+		{Mem: "translation-table", Kind: fault.BitFlip, Addr: -1, At: fault.Trigger{Access: 90}},
+		{Mem: "tree-level-2", Kind: fault.StuckAt, Addr: -1, Stuck: ^uint64(0), At: fault.Trigger{Access: 500}},
+	}}
+}
+
+// buildFaulty wires a campaign injector under a scheduler.
+func buildFaulty(t *testing.T, camp fault.Campaign, pol CorruptPolicy, audit int) (*Scheduler, *fault.Injector) {
+	t.Helper()
+	clock := &hwsim.Clock{}
+	inj := fault.NewInjector(camp, clock)
+	clock.SetStoreHook(inj.Hook())
+	s, err := New(Config{
+		Weights:        []float64{3, 1},
+		CapacityBps:    1e9,
+		SorterCapacity: 256,
+		OnCorrupt:      pol,
+		AuditEvery:     audit,
+		Clock:          clock,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s, inj
+}
+
+// TestCorruptRebuildServesEverything is the acceptance scenario: a
+// mid-run fault in the tree and the translation table is detected,
+// repaired via rebuild, and the run completes with every admitted
+// packet either served or counted lost.
+func TestCorruptRebuildServesEverything(t *testing.T) {
+	arr := faultTrace(600, 11)
+	s, inj := buildFaulty(t, faultCampaign(11), CorruptRebuild, 16)
+	res, err := s.Run(arr)
+	if err != nil {
+		t.Fatalf("Run under CorruptRebuild failed: %v", err)
+	}
+	if len(inj.Events()) == 0 {
+		t.Fatal("campaign fired no faults — trace too short")
+	}
+	if res.Detections == 0 {
+		t.Fatalf("no detections for %d fired faults", len(inj.Events()))
+	}
+	if len(res.Recoveries) == 0 {
+		t.Fatal("no recoveries recorded")
+	}
+	sawRebuild := false
+	for _, rec := range res.Recoveries {
+		if rec.Repaired < rec.Detected {
+			t.Fatalf("recovery repaired at cycle %d before detection at %d", rec.Repaired, rec.Detected)
+		}
+		if rec.Action == "rebuild" {
+			sawRebuild = true
+			if rec.Repaired == rec.Detected {
+				t.Fatal("rebuild recovery took zero cycles — repair not charged to the clock")
+			}
+		}
+	}
+	if !sawRebuild {
+		t.Fatalf("no rebuild recovery under CorruptRebuild: %+v", res.Recoveries)
+	}
+	if got := len(res.Departures) + res.Lost + res.Dropped; got != len(arr) {
+		t.Fatalf("conservation: %d served + %d lost + %d dropped = %d, want %d",
+			len(res.Departures), res.Lost, res.Dropped, got, len(arr))
+	}
+	if rep := s.Audit(); !rep.Clean() {
+		t.Fatalf("audit dirty after completed run:\n%s", rep)
+	}
+}
+
+// TestCorruptAbortSurfacesSentinel: the same campaign under the strict
+// default policy must fail, and the error must match core.ErrCorrupt
+// through errors.Is.
+func TestCorruptAbortSurfacesSentinel(t *testing.T) {
+	arr := faultTrace(600, 11)
+	s, _ := buildFaulty(t, faultCampaign(11), CorruptAbort, 16)
+	_, err := s.Run(arr)
+	if err == nil {
+		t.Fatal("Run under CorruptAbort succeeded despite faults")
+	}
+	if !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("errors.Is(err, core.ErrCorrupt) = false for %v", err)
+	}
+	if !errors.Is(err, hwsim.ErrCorrupt) {
+		t.Fatalf("error does not wrap the hwsim sentinel: %v", err)
+	}
+}
+
+// TestCorruptFlushCompletes: flush recovery discards the queue but the
+// run still completes with exact loss accounting.
+func TestCorruptFlushCompletes(t *testing.T) {
+	arr := faultTrace(600, 11)
+	s, _ := buildFaulty(t, faultCampaign(11), CorruptFlush, 16)
+	res, err := s.Run(arr)
+	if err != nil {
+		t.Fatalf("Run under CorruptFlush failed: %v", err)
+	}
+	if res.Detections == 0 {
+		t.Fatal("no detections under CorruptFlush")
+	}
+	if res.Lost == 0 {
+		t.Fatal("flush recovery lost no packets — nothing was queued?")
+	}
+	for _, rec := range res.Recoveries {
+		if rec.Action != "flush" {
+			t.Fatalf("recovery action %q under CorruptFlush", rec.Action)
+		}
+	}
+	if got := len(res.Departures) + res.Lost + res.Dropped; got != len(arr) {
+		t.Fatalf("conservation: %d accounted, want %d", got, len(arr))
+	}
+}
+
+// TestCampaignReproducible: the same seed must produce the same fault
+// events and the same departures, run to run.
+func TestCampaignReproducible(t *testing.T) {
+	run := func() (string, string) {
+		arr := faultTrace(400, 23)
+		s, inj := buildFaulty(t, faultCampaign(23), CorruptRebuild, 16)
+		res, err := s.Run(arr)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		events := ""
+		for _, ev := range inj.Events() {
+			events += ev.String() + "\n"
+		}
+		deps := ""
+		for _, d := range res.Departures {
+			deps += fmt.Sprint(d.Packet.ID) + ","
+		}
+		deps += fmt.Sprintf("lost=%d recoveries=%d", res.Lost, len(res.Recoveries))
+		return events, deps
+	}
+	e1, d1 := run()
+	e2, d2 := run()
+	if e1 != e2 {
+		t.Fatalf("event logs differ:\n%s\nvs\n%s", e1, e2)
+	}
+	if d1 != d2 {
+		t.Fatalf("departures differ:\n%s\nvs\n%s", d1, d2)
+	}
+	if e1 == "" {
+		t.Fatal("no events fired")
+	}
+}
+
+// TestCleanRunAuditsQuiet: with no faults injected, the periodic audit
+// must never trip in hardware mode (stale markers and dangling entries
+// are legal residue, not corruption).
+func TestCleanRunAuditsQuiet(t *testing.T) {
+	arr := faultTrace(500, 5)
+	clock := &hwsim.Clock{}
+	s, err := New(Config{
+		Weights:        []float64{3, 1},
+		CapacityBps:    1e9,
+		SorterCapacity: 256,
+		OnCorrupt:      CorruptAbort,
+		AuditEvery:     4,
+		Clock:          clock,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := s.Run(arr)
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if res.Detections != 0 {
+		t.Fatalf("clean run produced %d detections", res.Detections)
+	}
+	if len(res.Departures) != len(arr) {
+		t.Fatalf("served %d of %d", len(res.Departures), len(arr))
+	}
+}

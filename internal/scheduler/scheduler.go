@@ -8,11 +8,13 @@
 package scheduler
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"wfqsort/internal/aqm"
 	"wfqsort/internal/core"
+	"wfqsort/internal/hwsim"
 	"wfqsort/internal/packet"
 	"wfqsort/internal/schedulers"
 	"wfqsort/internal/taglist"
@@ -85,6 +87,19 @@ type Config struct {
 	MaxPacketBytes int
 	// OnFull selects the overload policy (default FullError).
 	OnFull FullPolicy
+	// OnCorrupt selects the recovery policy when the sort/retrieve
+	// circuit reports corrupt state (default CorruptAbort).
+	OnCorrupt CorruptPolicy
+	// AuditEvery, when positive, runs a full integrity audit of the
+	// sorter memories every AuditEvery departures (a background scrub
+	// engine); violations are handled per OnCorrupt. Zero disables the
+	// scrub, leaving detection to the operations themselves.
+	AuditEvery int
+	// Clock, when non-nil, is advanced by every sorter memory access
+	// and stamps recovery events with cycle numbers. Pass one to attach
+	// fault-injection hooks (internal/fault) before construction and to
+	// measure recovery latency in cycles.
+	Clock *hwsim.Clock
 	// RED configures early detection when OnFull is FullRED; the zero
 	// value selects thresholds at 1/4 and 3/4 of the buffer with
 	// maxP 0.05.
@@ -107,6 +122,58 @@ const (
 	// dropping probabilistically before the buffer fills (internal/aqm).
 	FullRED
 )
+
+// CorruptPolicy selects what happens when the sort/retrieve circuit
+// reports corrupt state — an error wrapping core.ErrCorrupt from an
+// operation, or a periodic audit finding violations.
+type CorruptPolicy int
+
+// Corruption recovery policies.
+const (
+	// CorruptAbort fails the run with the corruption error (the strict
+	// default: a fault is treated as fatal, errors.Is(err,
+	// core.ErrCorrupt) reports true on the returned error).
+	CorruptAbort CorruptPolicy = iota
+	// CorruptRebuild pauses service and reconstructs the search tree,
+	// translation table, and free list from the tag store — the
+	// authoritative copy — then retries the failed operation and
+	// resumes. When the tag store itself is damaged (rebuild
+	// impossible) it escalates to a flush.
+	CorruptRebuild
+	// CorruptFlush discards every queued packet (counted in
+	// Result.Lost) and reinitializes the datapath — the last-resort
+	// policy that trades queued traffic for forward progress.
+	CorruptFlush
+)
+
+func (p CorruptPolicy) String() string {
+	switch p {
+	case CorruptAbort:
+		return "abort"
+	case CorruptRebuild:
+		return "rebuild"
+	case CorruptFlush:
+		return "flush"
+	default:
+		return "unknown"
+	}
+}
+
+// Recovery records one corruption recovery event.
+type Recovery struct {
+	// Trigger describes the detection source: the failing operation or
+	// "audit", plus the underlying error text.
+	Trigger string
+	// Action is "rebuild" or "flush".
+	Action string
+	// Detected is the clock cycle at detection (0 without a Clock).
+	Detected uint64
+	// Repaired is the clock cycle when service resumed; Repaired -
+	// Detected is the recovery latency in cycles.
+	Repaired uint64
+	// Lost counts packets discarded by this recovery (flush only).
+	Lost int
+}
 
 // DefaultClockHz is the paper's implementation clock: 35.8 Mpps × 4
 // cycles per operation window.
@@ -134,6 +201,14 @@ type Result struct {
 	Windows uint64
 	// Dropped counts arrivals rejected by the overload policy.
 	Dropped int
+	// Detections counts corrupt-state detections (operation failures
+	// and audit findings) handled by the recovery policy.
+	Detections int
+	// Recoveries lists every recovery action taken, in order.
+	Recoveries []Recovery
+	// Lost counts admitted packets discarded by flush recoveries (they
+	// appear in no Departure).
+	Lost int
 }
 
 // tagger abstracts the pluggable tag computation circuit.
@@ -220,6 +295,7 @@ func New(cfg Config) (*Scheduler, error) {
 		Capacity: cfg.SorterCapacity,
 		Mode:     core.ModeHardware,
 		MemTech:  cfg.MemTech,
+		Clock:    cfg.Clock,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scheduler: %w", err)
@@ -298,6 +374,18 @@ func New(cfg Config) (*Scheduler, error) {
 // Granularity returns the active quantization step.
 func (s *Scheduler) Granularity() float64 { return s.cfg.Granularity }
 
+// Audit runs a sorter integrity audit through the memory debug ports
+// (no functional accesses, no cycles charged).
+func (s *Scheduler) Audit() *core.IntegrityReport { return s.sorter.Audit() }
+
+// Sorter exposes the sort/retrieve circuit for inspection (fault
+// campaigns and tests).
+func (s *Scheduler) Sorter() *core.Sorter { return s.sorter }
+
+// errFlushed signals internally that a flush recovery emptied the
+// datapath, so the in-flight operation's target no longer exists.
+var errFlushed = errors.New("scheduler: datapath flushed")
+
 // SupportedPPS returns the circuit's packet throughput ceiling: one
 // combined insert+extract window per packet (paper §IV). The window is
 // 4 cycles on the paper's SDR SRAM, 2 on QDRII, 3 on RLDRAM.
@@ -325,6 +413,66 @@ func (s *Scheduler) Run(arrivals []packet.Packet) (*Result, error) {
 	}
 	minLiveF := 0.0 // smallest finishing tag still in the sorter
 	liveF := map[int]float64{}
+
+	cyc := func() uint64 {
+		if s.cfg.Clock != nil {
+			return s.cfg.Clock.Now()
+		}
+		return 0
+	}
+	// flush is the last-resort recovery: reinitialize the sorter and the
+	// packet buffer, discarding everything queued. extraLost accounts
+	// packets lost outside the sorter (e.g. an extracted tag whose
+	// buffer slot turned out to be damaged).
+	flush := func(rec Recovery, extraLost int) {
+		lost := s.sorter.Flush() + extraLost
+		if s.red != nil {
+			for i := 0; i < lost-extraLost; i++ {
+				s.red.Depart()
+			}
+		}
+		s.buffer.Reset()
+		for id := range liveF {
+			delete(liveF, id)
+		}
+		minLiveF = 0
+		rec.Action = "flush"
+		rec.Lost = lost
+		rec.Repaired = cyc()
+		res.Lost += lost
+		res.Recoveries = append(res.Recoveries, rec)
+	}
+	// recoverCorrupt applies the configured policy (never called under
+	// CorruptAbort). It reports whether the recovery emptied the
+	// datapath, meaning the caller's in-flight operation target is gone.
+	recoverCorrupt := func(trigger string) (flushed bool) {
+		res.Detections++
+		rec := Recovery{Trigger: trigger, Detected: cyc()}
+		if s.cfg.OnCorrupt == CorruptRebuild {
+			if err := s.sorter.Rebuild(); err == nil {
+				rec.Action = "rebuild"
+				rec.Repaired = cyc()
+				res.Recoveries = append(res.Recoveries, rec)
+				return false
+			}
+			// The authoritative copy itself is damaged: escalate.
+		}
+		flush(rec, 0)
+		return true
+	}
+	// runOp runs a sorter operation under the corruption policy. Corrupt
+	// failures are pre-commit, so after a successful rebuild the
+	// operation is retried once; after a flush it returns errFlushed.
+	runOp := func(what string, op func() error) error {
+		err := op()
+		if err == nil || !errors.Is(err, core.ErrCorrupt) || s.cfg.OnCorrupt == CorruptAbort {
+			return err
+		}
+		if recoverCorrupt(what + ": " + err.Error()) {
+			return errFlushed
+		}
+		return op()
+	}
 
 	admit := func(p packet.Packet) error {
 		// Overload policy gate.
@@ -368,13 +516,21 @@ func (s *Scheduler) Run(arrivals []packet.Packet) (*Result, error) {
 			return fmt.Errorf("scheduler: packet %d: %w", p.ID, err)
 		}
 		for _, sec := range reclaim {
-			if err := s.sorter.ReclaimSection(sec); err != nil {
+			if err := runOp("reclaim", func() error { return s.sorter.ReclaimSection(sec) }); err != nil {
+				if errors.Is(err, errFlushed) {
+					res.Lost++ // the freshly buffered packet went with the flush
+					return nil
+				}
 				return fmt.Errorf("scheduler: reclaim section %d: %w", sec, err)
 			}
 			res.SectionsReclaimed++
 		}
 		res.QuantizedTags[p.ID] = tag
-		if err := s.sorter.Insert(tag, slot); err != nil {
+		if err := runOp("insert", func() error { return s.sorter.Insert(tag, slot) }); err != nil {
+			if errors.Is(err, errFlushed) {
+				res.Lost++ // the freshly buffered packet went with the flush
+				return nil
+			}
 			return fmt.Errorf("scheduler: packet %d: %w", p.ID, err)
 		}
 		if s.sorter.Len() == 1 || fUsed < minLiveF {
@@ -385,13 +541,31 @@ func (s *Scheduler) Run(arrivals []packet.Packet) (*Result, error) {
 	}
 
 	serve := func(now float64) (schedulers.Departure, error) {
-		e, err := s.sorter.ExtractMin()
+		var e taglist.Entry
+		err := runOp("extract", func() error {
+			var eerr error
+			e, eerr = s.sorter.ExtractMin()
+			return eerr
+		})
 		if err != nil {
+			if errors.Is(err, errFlushed) {
+				return schedulers.Departure{}, err
+			}
 			return schedulers.Departure{}, fmt.Errorf("scheduler: extract: %w", err)
 		}
 		p, err := s.buffer.Load(e.Payload)
 		if err != nil {
-			return schedulers.Departure{}, fmt.Errorf("scheduler: buffer: %w", err)
+			// The extracted tag's payload pointer resolves to no stored
+			// packet: the tag store's data field was damaged. That
+			// packet is unrecoverable (the pointer was its only copy)
+			// and the chain can no longer be trusted.
+			cerr := fmt.Errorf("scheduler: buffer: %w: %v", core.ErrCorrupt, err)
+			if s.cfg.OnCorrupt == CorruptAbort {
+				return schedulers.Departure{}, cerr
+			}
+			res.Detections++
+			flush(Recovery{Trigger: "load: " + err.Error(), Detected: cyc()}, 1)
+			return schedulers.Departure{}, errFlushed
 		}
 		if s.red != nil {
 			s.red.Depart()
@@ -412,6 +586,7 @@ func (s *Scheduler) Run(arrivals []packet.Packet) (*Result, error) {
 
 	next := 0
 	now := 0.0
+	sinceAudit := 0
 	for next < len(arr) || s.sorter.Len() > 0 {
 		if s.sorter.Len() == 0 && now < arr[next].Arrival {
 			now = arr[next].Arrival
@@ -427,10 +602,24 @@ func (s *Scheduler) Run(arrivals []packet.Packet) (*Result, error) {
 		}
 		dep, err := serve(now)
 		if err != nil {
+			if errors.Is(err, errFlushed) {
+				continue
+			}
 			return nil, err
 		}
 		res.Departures = append(res.Departures, dep)
 		now = dep.Finish
+		if s.cfg.AuditEvery > 0 {
+			if sinceAudit++; sinceAudit >= s.cfg.AuditEvery {
+				sinceAudit = 0
+				if aerr := s.sorter.Audit().Err(); aerr != nil {
+					if s.cfg.OnCorrupt == CorruptAbort {
+						return nil, fmt.Errorf("scheduler: %w", aerr)
+					}
+					recoverCorrupt("audit: " + aerr.Error())
+				}
+			}
+		}
 	}
 
 	// Service-order quality versus exact tags.

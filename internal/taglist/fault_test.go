@@ -1,0 +1,218 @@
+package taglist
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"wfqsort/internal/hwsim"
+)
+
+// Corruption tests (the taglist port of internal/trie's fault tests):
+// injected damage to link pointers and the free list must surface as
+// errors wrapping hwsim.ErrCorrupt — never a panic, never a silently
+// wrong minimum.
+
+func mustList(t *testing.T, capacity int) *List {
+	t.Helper()
+	l, err := New(Config{Capacity: capacity, TagBits: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l
+}
+
+func mustInsert(t *testing.T, l *List, tags ...int) []int {
+	t.Helper()
+	addrs := make([]int, len(tags))
+	prev := -1
+	for i, tag := range tags {
+		var (
+			addr int
+			err  error
+		)
+		if prev < 0 {
+			addr, err = l.InsertHead(tag, i)
+		} else {
+			addr, err = l.InsertAfter(tag, i, prev)
+		}
+		if err != nil {
+			t.Fatalf("insert %d: %v", tag, err)
+		}
+		addrs[i] = addr
+		prev = addr
+	}
+	return addrs
+}
+
+// rewriteNext repoints one link's next field through the debug port,
+// modelling an SEU in the pointer bits.
+func rewriteNext(t *testing.T, l *List, addr, next int) {
+	t.Helper()
+	w, err := l.mem.Peek(addr)
+	if err != nil {
+		t.Fatalf("peek: %v", err)
+	}
+	tag, _, payload := l.unpack(w)
+	if err := l.mem.Poke(addr, l.pack(tag, next, payload)); err != nil {
+		t.Fatalf("poke: %v", err)
+	}
+}
+
+// TestCorruptLinkCycleSurfaces: a next pointer flipped back into the
+// chain creates a cycle; Walk and Rescan must both report corruption.
+func TestCorruptLinkCycleSurfaces(t *testing.T) {
+	l := mustList(t, 16)
+	addrs := mustInsert(t, l, 10, 20, 30, 40)
+	rewriteNext(t, l, addrs[2], addrs[0])
+	if _, err := l.Walk(); !errors.Is(err, hwsim.ErrCorrupt) {
+		t.Fatalf("Walk over cyclic chain returned %v, want ErrCorrupt", err)
+	}
+	if _, err := l.Rescan(); !errors.Is(err, hwsim.ErrCorrupt) {
+		t.Fatalf("Rescan over cyclic chain returned %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptLinkBreakSurfaces: a next pointer flipped to a premature
+// tail self-link strands the rest of the chain; the walk count check
+// must report it.
+func TestCorruptLinkBreakSurfaces(t *testing.T) {
+	l := mustList(t, 16)
+	addrs := mustInsert(t, l, 10, 20, 30, 40)
+	rewriteNext(t, l, addrs[1], addrs[1])
+	if _, err := l.Walk(); !errors.Is(err, hwsim.ErrCorrupt) {
+		t.Fatalf("Walk over broken chain returned %v, want ErrCorrupt", err)
+	}
+	if _, err := l.Rescan(); !errors.Is(err, hwsim.ErrCorrupt) {
+		t.Fatalf("Rescan over broken chain returned %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptFreeListSurfaces: a corrupted free-list entry that chains
+// back on itself is detected by the free-list audit walk.
+func TestCorruptFreeListSurfaces(t *testing.T) {
+	l := mustList(t, 16)
+	mustInsert(t, l, 10, 20, 30)
+	// Depart two tags so the empty list holds two freed links.
+	for i := 0; i < 2; i++ {
+		if _, err := l.ExtractMin(); err != nil {
+			t.Fatalf("extract: %v", err)
+		}
+	}
+	free, err := l.FreeAddrs()
+	if err != nil {
+		t.Fatalf("FreeAddrs: %v", err)
+	}
+	if len(free) != 2 {
+		t.Fatalf("free list has %d links, want 2", len(free))
+	}
+	// Point the second free link back at the first: a cycle.
+	rewriteNext(t, l, free[1], free[0])
+	if _, err := l.FreeAddrs(); !errors.Is(err, hwsim.ErrCorrupt) {
+		t.Fatalf("FreeAddrs over cyclic empty list returned %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRescanRefreshesHeadFromMemory: the stored head word is
+// authoritative; Rescan must overwrite stale head registers from it.
+func TestRescanRefreshesHeadFromMemory(t *testing.T) {
+	l := mustList(t, 16)
+	addrs := mustInsert(t, l, 10, 20, 30)
+	// Corrupt the head word's tag in memory: the registers still say 10.
+	w, err := l.mem.Peek(addrs[0])
+	if err != nil {
+		t.Fatalf("peek: %v", err)
+	}
+	_, next, payload := l.unpack(w)
+	if err := l.mem.Poke(addrs[0], l.pack(11, next, payload)); err != nil {
+		t.Fatalf("poke: %v", err)
+	}
+	if head, ok := l.PeekMin(); !ok || head.Tag != 10 {
+		t.Fatalf("head register tag = %d, want stale 10", head.Tag)
+	}
+	if _, err := l.Rescan(); err != nil {
+		t.Fatalf("Rescan: %v", err)
+	}
+	if head, ok := l.PeekMin(); !ok || head.Tag != 11 {
+		t.Fatalf("head register tag after rescan = %d, want 11 (memory authoritative)", head.Tag)
+	}
+}
+
+// TestRebuildFreeListRestoresConservation: after arbitrary free-list
+// damage, RebuildFreeList leaves live + free covering every link.
+func TestRebuildFreeListRestoresConservation(t *testing.T) {
+	l := mustList(t, 16)
+	mustInsert(t, l, 10, 20, 30, 40, 50)
+	for i := 0; i < 2; i++ {
+		if _, err := l.ExtractMin(); err != nil {
+			t.Fatalf("extract: %v", err)
+		}
+	}
+	free, err := l.FreeAddrs()
+	if err != nil {
+		t.Fatalf("FreeAddrs: %v", err)
+	}
+	rewriteNext(t, l, free[0], free[len(free)-1]) // scramble the empty list
+	live, err := l.Rescan()
+	if err != nil {
+		t.Fatalf("Rescan: %v", err)
+	}
+	if err := l.RebuildFreeList(live); err != nil {
+		t.Fatalf("RebuildFreeList: %v", err)
+	}
+	rebuilt, err := l.FreeAddrs()
+	if err != nil {
+		t.Fatalf("FreeAddrs after rebuild: %v", err)
+	}
+	if got, want := len(live)+len(rebuilt), l.Capacity(); got != want {
+		t.Fatalf("live %d + free %d = %d links, want %d", len(live), len(rebuilt), got, want)
+	}
+	onChain := map[int]bool{}
+	for _, e := range live {
+		onChain[e.Addr] = true
+	}
+	for _, a := range rebuilt {
+		if onChain[a] {
+			t.Fatalf("rebuilt free list contains live link %d", a)
+		}
+	}
+	if l.Len() != len(live) {
+		t.Fatalf("Len() = %d, want %d", l.Len(), len(live))
+	}
+}
+
+// TestCorruptionNeverPanics: random single-word corruption followed by
+// every read path must error or succeed — never panic.
+func TestCorruptionNeverPanics(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l := mustList(t, 16)
+		mustInsert(t, l, 5, 17, 33, 60, 61)
+		for i := 0; i < 2; i++ {
+			if _, err := l.ExtractMin(); err != nil {
+				t.Fatalf("extract: %v", err)
+			}
+		}
+		addr := rng.Intn(l.Capacity())
+		if err := l.mem.Poke(addr, rng.Uint64()&((1<<uint(8+l.addrBits*2))-1)); err != nil {
+			t.Fatalf("poke: %v", err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d: panic: %v", seed, r)
+				}
+			}()
+			l.Walk()
+			l.FreeAddrs()
+			l.Rescan()
+			// Bounded drain: a corrupted cycle may keep the head register
+			// valid forever, which is exactly what Audit catches upstream.
+			for i := 0; i < l.Capacity()+2; i++ {
+				if _, err := l.ExtractMin(); err != nil {
+					break
+				}
+			}
+		}()
+	}
+}

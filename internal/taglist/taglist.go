@@ -107,6 +107,7 @@ type List struct {
 	addrBits     int
 	windowCycles int
 	mem          *hwsim.SRAM
+	store        hwsim.Store // functional port (hook-wrappable for fault injection)
 
 	// Head registers: the smallest tag's link, cached so service of the
 	// minimum never waits on a lookup (the "sort model" advantage,
@@ -173,7 +174,7 @@ func New(cfg Config) (*List, error) {
 		return nil, fmt.Errorf("taglist: link word of %d bits exceeds 64 (tag %d + addr %d + payload %d)",
 			wordBits, cfg.TagBits, addrBits, cfg.PayloadBits)
 	}
-	mem, err := hwsim.NewSRAM(hwsim.SRAMConfig{
+	mem, store, err := hwsim.NewSRAMStore(hwsim.SRAMConfig{
 		Name:     "tag-storage",
 		Depth:    cfg.Capacity,
 		WordBits: wordBits,
@@ -181,7 +182,7 @@ func New(cfg Config) (*List, error) {
 	if err != nil {
 		return nil, fmt.Errorf("taglist: %w", err)
 	}
-	return &List{cfg: cfg, addrBits: addrBits, windowCycles: windowCycles, mem: mem}, nil
+	return &List{cfg: cfg, addrBits: addrBits, windowCycles: windowCycles, mem: mem, store: store}, nil
 }
 
 // Len returns the number of stored tags.
@@ -232,7 +233,7 @@ func (l *List) allocate() (int, error) {
 		return 0, ErrFull
 	}
 	addr := l.emptyHead
-	w, err := l.mem.Read(addr)
+	w, err := l.store.Read(addr)
 	if err != nil {
 		return 0, err
 	}
@@ -253,7 +254,7 @@ func (l *List) free(addr int) error {
 	if l.emptyValid {
 		next = l.emptyHead
 	}
-	if err := l.mem.Write(addr, l.pack(0, next, 0)); err != nil {
+	if err := l.store.Write(addr, l.pack(0, next, 0)); err != nil {
 		return err
 	}
 	l.emptyHead = addr
@@ -276,7 +277,7 @@ func (l *List) InsertHead(tag, payload int) (int, error) {
 	if l.headValid {
 		next = l.headAddr
 	}
-	if err := l.mem.Write(addr, l.pack(tag, next, payload)); err != nil {
+	if err := l.store.Write(addr, l.pack(tag, next, payload)); err != nil {
 		return 0, err
 	}
 	l.headAddr, l.headTag, l.headPayload, l.headNext = addr, tag, payload, next
@@ -305,7 +306,7 @@ func (l *List) InsertAfter(tag, payload, afterAddr int) (int, error) {
 		return 0, err
 	}
 	// Read the predecessor link (Fig. 9 step 2).
-	w, err := l.mem.Read(afterAddr)
+	w, err := l.store.Read(afterAddr)
 	if err != nil {
 		return 0, err
 	}
@@ -315,12 +316,12 @@ func (l *List) InsertAfter(tag, payload, afterAddr int) (int, error) {
 		newNext = addr // new link becomes the tail (self-link)
 	}
 	// Write the predecessor with a pointer to the new link (step 3).
-	if err := l.mem.Write(afterAddr, l.pack(ptag, addr, ppayload)); err != nil {
+	if err := l.store.Write(afterAddr, l.pack(ptag, addr, ppayload)); err != nil {
 		return 0, err
 	}
 	// Write the new link pointing at the predecessor's old successor
 	// (step 4).
-	if err := l.mem.Write(addr, l.pack(tag, newNext, payload)); err != nil {
+	if err := l.store.Write(addr, l.pack(tag, newNext, payload)); err != nil {
 		return 0, err
 	}
 	if afterAddr == l.headAddr {
@@ -344,7 +345,7 @@ func (l *List) ExtractMin() (Entry, error) {
 		// Tail self-link: the list is now empty.
 		l.headValid = false
 	} else {
-		w, err := l.mem.Read(l.headNext)
+		w, err := l.store.Read(l.headNext)
 		if err != nil {
 			return Entry{}, err
 		}
@@ -384,7 +385,7 @@ func (l *List) InsertAfterExtractMin(tag, payload, afterAddr int) (Entry, int, e
 	reused := l.headAddr
 
 	// Refresh the head registers from the next link (read 1).
-	w, err := l.mem.Read(l.headNext)
+	w, err := l.store.Read(l.headNext)
 	if err != nil {
 		return Entry{}, 0, err
 	}
@@ -392,7 +393,7 @@ func (l *List) InsertAfterExtractMin(tag, payload, afterAddr int) (Entry, int, e
 	l.headAddr, l.headTag, l.headPayload, l.headNext = l.headNext, ntag, npayload, nnext
 
 	// Read the predecessor (read 2).
-	pw, err := l.mem.Read(afterAddr)
+	pw, err := l.store.Read(afterAddr)
 	if err != nil {
 		return Entry{}, 0, err
 	}
@@ -402,11 +403,11 @@ func (l *List) InsertAfterExtractMin(tag, payload, afterAddr int) (Entry, int, e
 		newNext = reused
 	}
 	// Write predecessor → reused link (write 1).
-	if err := l.mem.Write(afterAddr, l.pack(ptag, reused, ppayload)); err != nil {
+	if err := l.store.Write(afterAddr, l.pack(ptag, reused, ppayload)); err != nil {
 		return Entry{}, 0, err
 	}
 	// Write the reused link with the new tag (write 2).
-	if err := l.mem.Write(reused, l.pack(tag, newNext, payload)); err != nil {
+	if err := l.store.Write(reused, l.pack(tag, newNext, payload)); err != nil {
 		return Entry{}, 0, err
 	}
 	if afterAddr == l.headAddr {
@@ -434,7 +435,7 @@ func (l *List) InsertHeadExtractMin(tag, payload int) (Entry, int, error) {
 	if l.headNext != reused {
 		next = l.headNext
 	}
-	if err := l.mem.Write(reused, l.pack(tag, next, payload)); err != nil {
+	if err := l.store.Write(reused, l.pack(tag, next, payload)); err != nil {
 		return Entry{}, 0, err
 	}
 	l.headTag, l.headPayload, l.headNext = tag, payload, next
@@ -460,13 +461,20 @@ func (l *List) checkTagPayload(tag, payload int) error {
 
 // Walk visits the sorted list from head to tail without counting memory
 // accesses (verification port). It returns the entries in service order.
+// A chain that revisits a link, ends early, or fails to cover all live
+// links is corruption and is reported wrapping hwsim.ErrCorrupt.
 func (l *List) Walk() ([]Entry, error) {
 	if !l.headValid {
 		return nil, nil
 	}
 	out := make([]Entry, 0, l.count)
+	seen := make(map[int]bool, l.count)
 	addr := l.headAddr
 	for i := 0; i < l.count; i++ {
+		if seen[addr] {
+			return out, fmt.Errorf("taglist: %w: walk revisits link %d (chain cycle)", hwsim.ErrCorrupt, addr)
+		}
+		seen[addr] = true
 		w, err := l.mem.Peek(addr)
 		if err != nil {
 			return nil, err
@@ -479,7 +487,7 @@ func (l *List) Walk() ([]Entry, error) {
 		addr = next
 	}
 	if len(out) != l.count {
-		return out, fmt.Errorf("taglist: walk visited %d links, count is %d (broken chain)", len(out), l.count)
+		return out, fmt.Errorf("taglist: %w: walk visited %d links, count is %d (broken chain)", hwsim.ErrCorrupt, len(out), l.count)
 	}
 	return out, nil
 }
@@ -487,22 +495,116 @@ func (l *List) Walk() ([]Entry, error) {
 // FreeLinks returns the number of links on the empty list plus the
 // never-used region (verification port).
 func (l *List) FreeLinks() (int, error) {
-	free := l.cfg.Capacity - l.initCounter
-	if l.emptyValid {
-		addr := l.emptyHead
-		for i := 0; i < l.cfg.Capacity; i++ {
-			free++
-			w, err := l.mem.Peek(addr)
-			if err != nil {
-				return 0, err
-			}
-			_, next, _ := l.unpack(w)
-			if next == addr {
-				return free, nil
-			}
-			addr = next
-		}
-		return 0, errors.New("taglist: empty list cycle detected")
+	free, err := l.FreeAddrs()
+	if err != nil {
+		return 0, err
 	}
-	return free, nil
+	return len(free) + l.cfg.Capacity - l.initCounter, nil
+}
+
+// FreeAddrs returns the addresses chained on the empty list, head
+// first, read through the debug port (audit use). The never-used region
+// [InitCounter, Capacity) is not included. A cycle in the empty list is
+// corruption and is reported wrapping hwsim.ErrCorrupt.
+func (l *List) FreeAddrs() ([]int, error) {
+	if !l.emptyValid {
+		return nil, nil
+	}
+	var out []int
+	addr := l.emptyHead
+	for i := 0; i < l.cfg.Capacity; i++ {
+		out = append(out, addr)
+		w, err := l.mem.Peek(addr)
+		if err != nil {
+			return nil, err
+		}
+		_, next, _ := l.unpack(w)
+		if next == addr {
+			return out, nil
+		}
+		addr = next
+	}
+	return nil, fmt.Errorf("taglist: %w: empty list cycle detected", hwsim.ErrCorrupt)
+}
+
+// InitCounter returns the initialization-counter position: addresses at
+// or beyond it have never been used (audit port, paper §III-C).
+func (l *List) InitCounter() int { return l.initCounter }
+
+// Rescan walks the live chain through the functional read port —
+// costing one memory access per link, charged to the clock — and
+// refreshes the head registers from the stored head word. It is the
+// scan phase of recovery: the linked list in the tag storage memory is
+// the authoritative copy of the system state, and Rescan is how the
+// repair engine reads it at honest hardware cost. The register anchor
+// (head address) is trusted; a broken or cyclic chain is reported
+// wrapping hwsim.ErrCorrupt.
+func (l *List) Rescan() ([]Entry, error) {
+	if !l.headValid {
+		return nil, nil
+	}
+	out := make([]Entry, 0, l.count)
+	seen := make(map[int]bool, l.count)
+	addr := l.headAddr
+	for i := 0; i < l.count; i++ {
+		if seen[addr] {
+			return out, fmt.Errorf("taglist: %w: rescan revisits link %d (chain cycle)", hwsim.ErrCorrupt, addr)
+		}
+		seen[addr] = true
+		w, err := l.store.Read(addr)
+		if err != nil {
+			return nil, err
+		}
+		tag, next, payload := l.unpack(w)
+		out = append(out, Entry{Tag: tag, Payload: payload, Addr: addr})
+		if addr == l.headAddr {
+			// The memory word is authoritative; the registers are caches.
+			l.headTag, l.headPayload, l.headNext = tag, payload, next
+		}
+		if next == addr {
+			break
+		}
+		addr = next
+	}
+	if len(out) != l.count {
+		return out, fmt.Errorf("taglist: %w: rescan visited %d links, count is %d (broken chain)", hwsim.ErrCorrupt, len(out), l.count)
+	}
+	return out, nil
+}
+
+// RebuildFreeList rewrites the empty list from scratch given the live
+// chain (the output of Rescan): every address not on the live chain is
+// chained into a fresh empty list through the functional write port,
+// charged to the clock. After it returns, the free structure is exactly
+// consistent with the live chain regardless of what corruption it held.
+func (l *List) RebuildFreeList(live []Entry) error {
+	used := make(map[int]bool, len(live))
+	for _, e := range live {
+		used[e.Addr] = true
+	}
+	// All addresses become "ever used": the initialization counter has
+	// done its job and the rebuilt empty list covers the remainder.
+	l.initCounter = l.cfg.Capacity
+	l.emptyValid = false
+	for addr := l.cfg.Capacity - 1; addr >= 0; addr-- {
+		if used[addr] {
+			continue
+		}
+		if err := l.free(addr); err != nil {
+			return err
+		}
+	}
+	l.count = len(live)
+	return nil
+}
+
+// Reset empties the list entirely — contents, registers, counters-of-
+// record (not the traffic stats) — for flush-style recovery where the
+// queued tags are abandoned rather than repaired.
+func (l *List) Reset() {
+	l.mem.Wipe()
+	l.headValid = false
+	l.emptyValid = false
+	l.initCounter = 0
+	l.count = 0
 }

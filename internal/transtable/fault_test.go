@@ -1,0 +1,92 @@
+package transtable
+
+import (
+	"errors"
+	"testing"
+
+	"wfqsort/internal/hwsim"
+)
+
+// Corruption tests (the transtable port of internal/trie's fault
+// tests): damaged entries must surface as errors wrapping
+// hwsim.ErrCorrupt through the Verify audit port.
+
+func mustTable(t *testing.T) *Table {
+	t.Helper()
+	tb, err := New(8, 6, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tb
+}
+
+// TestDanglingEntrySurfaces: a valid entry for a tag with no live links
+// (a flipped valid bit) is corruption.
+func TestDanglingEntrySurfaces(t *testing.T) {
+	tb := mustTable(t)
+	if err := tb.Set(10, 3); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	// Flip the valid bit of an unrelated entry through the debug port.
+	if err := tb.mem.Poke(42, 1<<uint(tb.addrBits)|7); err != nil {
+		t.Fatalf("poke: %v", err)
+	}
+	err := tb.Verify(map[int]int{10: 3})
+	if !errors.Is(err, hwsim.ErrCorrupt) {
+		t.Fatalf("Verify with dangling entry returned %v, want ErrCorrupt", err)
+	}
+}
+
+// TestClearedEntrySurfaces: a live tag whose entry lost its valid bit is
+// corruption (the insert path could no longer find the newest link).
+func TestClearedEntrySurfaces(t *testing.T) {
+	tb := mustTable(t)
+	if err := tb.Set(10, 3); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := tb.mem.Poke(10, 0); err != nil {
+		t.Fatalf("poke: %v", err)
+	}
+	err := tb.Verify(map[int]int{10: 3})
+	if !errors.Is(err, hwsim.ErrCorrupt) {
+		t.Fatalf("Verify with cleared entry returned %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWrongAddressSurfaces: an entry whose address bits flipped points
+// at the wrong link.
+func TestWrongAddressSurfaces(t *testing.T) {
+	tb := mustTable(t)
+	if err := tb.Set(10, 3); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := tb.mem.Poke(10, 1<<uint(tb.addrBits)|5); err != nil {
+		t.Fatalf("poke: %v", err)
+	}
+	err := tb.Verify(map[int]int{10: 3})
+	if !errors.Is(err, hwsim.ErrCorrupt) {
+		t.Fatalf("Verify with wrong address returned %v, want ErrCorrupt", err)
+	}
+}
+
+// TestVerifyCleanAfterReset: Reset wipes every entry, so Verify of an
+// empty expectation passes and Live sees nothing.
+func TestVerifyCleanAfterReset(t *testing.T) {
+	tb := mustTable(t)
+	for tag := 0; tag < 20; tag++ {
+		if err := tb.Set(tag, tag%8); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	tb.Reset()
+	live, err := tb.Live()
+	if err != nil {
+		t.Fatalf("Live: %v", err)
+	}
+	if len(live) != 0 {
+		t.Fatalf("Live after Reset has %d entries, want 0", len(live))
+	}
+	if err := tb.Verify(map[int]int{}); err != nil {
+		t.Fatalf("Verify after Reset: %v", err)
+	}
+}

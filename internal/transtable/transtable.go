@@ -19,6 +19,7 @@ type Table struct {
 	tagBits  int
 	addrBits int
 	mem      *hwsim.SRAM
+	store    hwsim.Store // functional port (hook-wrappable for fault injection)
 }
 
 // New builds a table covering 2^tagBits entries of addrBits-wide
@@ -30,7 +31,7 @@ func New(tagBits, addrBits int, clock *hwsim.Clock) (*Table, error) {
 	if addrBits <= 0 || addrBits > 32 {
 		return nil, fmt.Errorf("transtable: address bits %d out of range 1..32", addrBits)
 	}
-	mem, err := hwsim.NewSRAM(hwsim.SRAMConfig{
+	mem, store, err := hwsim.NewSRAMStore(hwsim.SRAMConfig{
 		Name:     "translation-table",
 		Depth:    1 << uint(tagBits),
 		WordBits: addrBits + 1, // +1 valid bit
@@ -38,7 +39,7 @@ func New(tagBits, addrBits int, clock *hwsim.Clock) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transtable: %w", err)
 	}
-	return &Table{tagBits: tagBits, addrBits: addrBits, mem: mem}, nil
+	return &Table{tagBits: tagBits, addrBits: addrBits, mem: mem, store: store}, nil
 }
 
 // Entries returns the number of table entries (2^tagBits): the paper's
@@ -70,7 +71,7 @@ func (t *Table) Set(tag, addr int) error {
 	if addr < 0 || addr >= 1<<uint(t.addrBits) {
 		return fmt.Errorf("transtable: address %d out of range [0,%d)", addr, 1<<uint(t.addrBits))
 	}
-	return t.mem.Write(tag, 1<<uint(t.addrBits)|uint64(addr))
+	return t.store.Write(tag, 1<<uint(t.addrBits)|uint64(addr))
 }
 
 // Lookup returns the recorded address for tag, with ok=false when the tag
@@ -79,7 +80,7 @@ func (t *Table) Lookup(tag int) (int, bool, error) {
 	if err := t.checkTag(tag); err != nil {
 		return 0, false, err
 	}
-	w, err := t.mem.Read(tag)
+	w, err := t.store.Read(tag)
 	if err != nil {
 		return 0, false, err
 	}
@@ -94,10 +95,60 @@ func (t *Table) Invalidate(tag int) error {
 	if err := t.checkTag(tag); err != nil {
 		return err
 	}
-	return t.mem.Write(tag, 0)
+	return t.store.Write(tag, 0)
 }
 
 // Clear empties the whole table (reinitialization).
 func (t *Table) Clear() {
 	t.mem.Clear()
+}
+
+// Reset empties the table without disturbing the access counters (the
+// flash-style bulk clear used by the recovery path; Clear also zeroes
+// the stats).
+func (t *Table) Reset() {
+	t.mem.Wipe()
+}
+
+// Live returns every valid entry as a tag→address map, read through
+// the debug port (audit use: no accesses counted).
+func (t *Table) Live() (map[int]int, error) {
+	out := map[int]int{}
+	for tag := 0; tag < t.Entries(); tag++ {
+		w, err := t.mem.Peek(tag)
+		if err != nil {
+			return nil, err
+		}
+		if w&(1<<uint(t.addrBits)) != 0 {
+			out[tag] = int(w & ((1 << uint(t.addrBits)) - 1))
+		}
+	}
+	return out, nil
+}
+
+// Verify checks the table against the expected live tag→newest-address
+// map (derived by the caller from the authoritative tag store). Any
+// deviation — a live tag without an entry, an entry pointing at the
+// wrong link, or a valid entry for a tag with no live links (dangling)
+// — is corruption and is reported wrapping hwsim.ErrCorrupt.
+func (t *Table) Verify(expect map[int]int) error {
+	live, err := t.Live()
+	if err != nil {
+		return err
+	}
+	for tag, addr := range expect {
+		got, ok := live[tag]
+		if !ok {
+			return fmt.Errorf("transtable: %w: live tag %d has no entry", hwsim.ErrCorrupt, tag)
+		}
+		if got != addr {
+			return fmt.Errorf("transtable: %w: tag %d entry points at %d, newest link is %d", hwsim.ErrCorrupt, tag, got, addr)
+		}
+	}
+	for tag := range live {
+		if _, ok := expect[tag]; !ok {
+			return fmt.Errorf("transtable: %w: dangling entry for dead tag %d", hwsim.ErrCorrupt, tag)
+		}
+	}
+	return nil
 }

@@ -21,16 +21,14 @@ import (
 	"wfqsort/internal/matcher"
 )
 
-// wordStore abstracts the per-level marker storage (registers or SRAM).
-type wordStore interface {
-	Read(addr int) (uint64, error)
-	Write(addr int, val uint64) error
-}
+// wordStore abstracts the per-level marker storage (registers or SRAM,
+// possibly wrapped by a fault injector via the hwsim store hook).
+type wordStore = hwsim.Store
 
-var (
-	_ wordStore = (*hwsim.SRAM)(nil)
-	_ wordStore = (*hwsim.RegisterFile)(nil)
-)
+// peeker is the non-counting debug/audit port both backing stores offer.
+type peeker interface {
+	Peek(addr int) (uint64, error)
+}
 
 // Config describes the tree geometry.
 type Config struct {
@@ -68,6 +66,8 @@ type Trie struct {
 	shifts  []uint // right-shift extracting each level's literal
 	tagBits int
 	levels  []wordStore
+	peeks   []peeker // raw per-level debug ports (bypass any fault wrap)
+	wipes   []interface{ Wipe() }
 	depths  []int // node count per level
 	count   int   // live markers
 	stats   Stats
@@ -119,6 +119,8 @@ func New(cfg Config) (*Trie, error) {
 		shifts:  make([]uint, cfg.Levels),
 		tagBits: tagBits,
 		levels:  make([]wordStore, cfg.Levels),
+		peeks:   make([]peeker, cfg.Levels),
+		wipes:   make([]interface{ Wipe() }, cfg.Levels),
 		depths:  make([]int, cfg.Levels),
 	}
 	shift := tagBits
@@ -134,8 +136,10 @@ func New(cfg Config) (*Trie, error) {
 				return nil, fmt.Errorf("trie: level %d: %w", l, err)
 			}
 			t.levels[l] = rf
+			t.peeks[l] = rf
+			t.wipes[l] = rf
 		} else {
-			m, err := hwsim.NewSRAM(hwsim.SRAMConfig{
+			m, store, err := hwsim.NewSRAMStore(hwsim.SRAMConfig{
 				Name:     fmt.Sprintf("tree-level-%d", l),
 				Depth:    nodes,
 				WordBits: t.widths[l],
@@ -143,7 +147,9 @@ func New(cfg Config) (*Trie, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trie: level %d: %w", l, err)
 			}
-			t.levels[l] = m
+			t.levels[l] = store
+			t.peeks[l] = m
+			t.wipes[l] = m
 		}
 		nodes *= t.widths[l]
 	}
@@ -312,7 +318,7 @@ func (t *Trie) searchClosest(tag int) (SearchResult, int, error) {
 			}
 			bit, ok := matcher.HighestSet(bword, width)
 			if !ok {
-				return SearchResult{}, seq, fmt.Errorf("trie: corrupt tree: empty backup node at level %d index %d", level, backupIdx)
+				return SearchResult{}, seq, fmt.Errorf("trie: %w: empty backup node at level %d index %d", hwsim.ErrCorrupt, level, backupIdx)
 			}
 			nextBackupIdx = backupIdx*width + bit
 			nextBackupPrefix = backupPrefix<<k | bit
@@ -361,7 +367,7 @@ func (t *Trie) maxDescendSeq(level, idx, prefix int) (SearchResult, int, error) 
 		}
 		bit, ok := matcher.HighestSet(word, t.widths[level])
 		if !ok {
-			return SearchResult{}, seq, fmt.Errorf("trie: corrupt tree: empty node at level %d index %d on max path", level, idx)
+			return SearchResult{}, seq, fmt.Errorf("trie: %w: empty node at level %d index %d on max path", hwsim.ErrCorrupt, level, idx)
 		}
 		prefix = (prefix << uint(t.bits[level])) | bit
 		idx = idx*t.widths[level] + bit
@@ -455,7 +461,7 @@ func (t *Trie) Delete(tag int) error {
 			return err
 		}
 		if word&(1<<uint(lit)) == 0 {
-			return fmt.Errorf("trie: delete of unmarked tag %d", tag)
+			return fmt.Errorf("trie: %w: delete of unmarked tag %d", hwsim.ErrCorrupt, tag)
 		}
 		idxs[level] = idx
 		words[level] = word
@@ -554,14 +560,7 @@ func (t *Trie) Dump() (string, error) {
 		fmt.Fprintf(&b, "L%d (%d-bit nodes):", level, t.widths[level])
 		empty := true
 		for idx := 0; idx < t.depths[level]; idx++ {
-			var word uint64
-			var err error
-			switch st := t.levels[level].(type) {
-			case *hwsim.SRAM:
-				word, err = st.Peek(idx)
-			default:
-				word, err = st.Read(idx)
-			}
+			word, err := t.peeks[level].Peek(idx)
 			if err != nil {
 				return "", err
 			}
@@ -578,6 +577,69 @@ func (t *Trie) Dump() (string, error) {
 	return b.String(), nil
 }
 
+// Reset bulk-clears every node and the marker count without charging
+// memory accesses — the flash-style reinitialization of paper §III-A's
+// initialization mode, used by the recovery path before re-marking the
+// tree from the authoritative tag store.
+func (t *Trie) Reset() {
+	for _, w := range t.wipes {
+		w.Wipe()
+	}
+	t.count = 0
+}
+
+// Markers returns every marked tag by scanning the leaf level through
+// the debug port (audit use: no accesses counted, no reliance on the
+// possibly-corrupt upper levels).
+func (t *Trie) Markers() ([]int, error) {
+	leaf := t.cfg.Levels - 1
+	var out []int
+	for idx := 0; idx < t.depths[leaf]; idx++ {
+		word, err := t.peeks[leaf].Peek(idx)
+		if err != nil {
+			return nil, err
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			out = append(out, idx<<uint(t.bits[leaf])|b)
+		}
+	}
+	return out, nil
+}
+
+// AuditStructure scans the whole tree through the debug port and
+// returns a description of every internal inconsistency: a parent bit
+// set over an empty child node (which would derail a max-path or
+// backup descent into ErrCorrupt) or a non-empty child under a clear
+// parent bit (markers unreachable by any search). A healthy tree
+// returns an empty slice.
+func (t *Trie) AuditStructure() ([]string, error) {
+	var bad []string
+	for level := 0; level < t.cfg.Levels-1; level++ {
+		for idx := 0; idx < t.depths[level]; idx++ {
+			word, err := t.peeks[level].Peek(idx)
+			if err != nil {
+				return nil, err
+			}
+			for b := 0; b < t.widths[level]; b++ {
+				child, err := t.peeks[level+1].Peek(idx*t.widths[level] + b)
+				if err != nil {
+					return nil, err
+				}
+				set := word&(1<<uint(b)) != 0
+				switch {
+				case set && child == 0:
+					bad = append(bad, fmt.Sprintf("level %d node %d bit %d set over empty child", level, idx, b))
+				case !set && child != 0:
+					bad = append(bad, fmt.Sprintf("level %d node %d bit %d clear over non-empty child", level, idx, b))
+				}
+			}
+		}
+	}
+	return bad, nil
+}
+
 func (t *Trie) extreme(max bool) (int, bool, error) {
 	if t.count == 0 {
 		return 0, false, nil
@@ -592,12 +654,12 @@ func (t *Trie) extreme(max bool) (int, bool, error) {
 		if max {
 			b, ok := matcher.HighestSet(word, t.widths[level])
 			if !ok {
-				return 0, false, fmt.Errorf("trie: corrupt tree: empty node at level %d index %d", level, idx)
+				return 0, false, fmt.Errorf("trie: %w: empty node at level %d index %d", hwsim.ErrCorrupt, level, idx)
 			}
 			bit = b
 		} else {
 			if word == 0 {
-				return 0, false, fmt.Errorf("trie: corrupt tree: empty node at level %d index %d", level, idx)
+				return 0, false, fmt.Errorf("trie: %w: empty node at level %d index %d", hwsim.ErrCorrupt, level, idx)
 			}
 			bit = bits.TrailingZeros64(word)
 		}
