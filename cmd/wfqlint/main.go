@@ -1,0 +1,95 @@
+// Command wfqlint runs the repository's hardware-invariant analyzers
+// over Go packages:
+//
+//	storeseam    — functional datapath traffic goes through hwsim.Store;
+//	               Peek/Poke debug ports only in audit/debug files
+//	errcorrupt   — corruption errors wrap hwsim.ErrCorrupt with %w and
+//	               are classified with errors.Is
+//	determinism  — no wall-clock time, no global math/rand, no
+//	               order-leaking map iteration
+//	cyclecharge  — literal cycle charges match documented costs; audit
+//	               files issue no clock-charged Store traffic
+//
+// Usage:
+//
+//	go run ./cmd/wfqlint ./...
+//	go run ./cmd/wfqlint -only storeseam,errcorrupt ./internal/...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+// Suppress a finding with a justified directive on or above the line:
+//
+//	//wfqlint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wfqsort/internal/analysis"
+	"wfqsort/internal/analysis/cyclecharge"
+	"wfqsort/internal/analysis/determinism"
+	"wfqsort/internal/analysis/errcorrupt"
+	"wfqsort/internal/analysis/storeseam"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	verbose := flag.Bool("v", false, "print per-run summary")
+	flag.Parse()
+
+	all := []*analysis.Analyzer{
+		storeseam.Analyzer,
+		errcorrupt.Analyzer,
+		determinism.Analyzer,
+		cyclecharge.Analyzer,
+	}
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "wfqlint: unknown analyzer %q (have", name)
+				for _, b := range all {
+					fmt.Fprintf(os.Stderr, " %s", b.Name)
+				}
+				fmt.Fprintln(os.Stderr, ")")
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfqlint: %v\n", err)
+		return 2
+	}
+	res, err := analysis.Check(analyzers, dir, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfqlint: %v\n", err)
+		return 2
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Println(d)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "wfqlint: %d packages, %d analyzers, %d diagnostics\n",
+			res.Packages, len(analyzers), len(res.Diagnostics))
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}

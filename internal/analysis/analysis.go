@@ -1,0 +1,247 @@
+// Package analysis is a self-contained, dependency-free re-implementation
+// of the golang.org/x/tools/go/analysis driver surface, built on the
+// standard library's go/ast, go/parser and go/types. It exists because
+// this repository vendors nothing: the wfqlint analyzers (storeseam,
+// errcorrupt, determinism, cyclecharge) encode hardware-model invariants
+// that the paper states in clock cycles and memory accesses, and they
+// must run anywhere the repo builds — including offline CI — with no
+// module downloads.
+//
+// The API mirrors x/tools deliberately (Analyzer, Pass, Diagnostic, a
+// want-comment test harness in analysistest.go) so the suite can be
+// ported to the real framework by changing imports if the dependency
+// ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //wfqlint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags   *[]Diagnostic
+	ignores map[string]map[int][]ignoreDirective // file -> line -> directives
+}
+
+// ignoreDirective is one parsed //wfqlint:ignore comment.
+type ignoreDirective struct {
+	analyzer string // analyzer name or "all"
+	reason   string
+}
+
+// ignoreRe is anchored to the start of the comment so prose that merely
+// mentions a "//wfqlint:ignore" directive is not parsed as one.
+var ignoreRe = regexp.MustCompile(`^//\s*wfqlint:ignore\s+(\S+)\s*(.*)`)
+
+// buildIgnores indexes every //wfqlint:ignore directive by file and line.
+// A directive suppresses matching diagnostics on its own line and on the
+// line immediately below it (so it can sit above the flagged statement).
+// Directives with an empty reason are themselves reported: a suppression
+// must say why.
+func (p *Pass) buildIgnores() {
+	p.ignores = make(map[string]map[int][]ignoreDirective)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				dir := ignoreDirective{analyzer: m[1], reason: strings.TrimSpace(m[2])}
+				if dir.reason == "" {
+					*p.diags = append(*p.diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: p.Analyzer.Name,
+						Message:  "wfqlint:ignore directive without a justification",
+					})
+					continue
+				}
+				byLine := p.ignores[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]ignoreDirective)
+					p.ignores[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], dir)
+			}
+		}
+	}
+}
+
+// ignored reports whether a diagnostic at pos is suppressed by a
+// directive on the same line or the line above.
+func (p *Pass) ignored(pos token.Position) bool {
+	byLine := p.ignores[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.analyzer == "all" || d.analyzer == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.ignored(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Filename returns the base file name holding pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	full := p.Fset.Position(pos).Filename
+	if i := strings.LastIndexByte(full, '/'); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// Run applies each analyzer to pkg and returns the diagnostics sorted by
+// position.
+func Run(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		pass.buildIgnores()
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// --- shared type helpers used by the analyzers ---
+
+// Deref removes one level of pointer indirection.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// IsNamed reports whether t (after dereferencing) is the named type
+// pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n, ok := Deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// CalleeFunc resolves the called function or method of call, or nil.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (not a method).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := CalleeFunc(info, call)
+	if f == nil || f.Name() != name || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// ConstString returns the compile-time string value of e, if any.
+func ConstString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

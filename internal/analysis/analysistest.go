@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches the x/tools analysistest expectation syntax: one or
+// more quoted regular expressions after a "// want" marker.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// RunTest loads the package in dir under the import path pkgPath,
+// applies the analyzer, and compares the diagnostics against the
+// `// want "regexp"` comments in the sources — the same contract as
+// x/tools' analysistest.Run. Every diagnostic must be matched by a want
+// on its line, and every want must match a diagnostic.
+func RunTest(t *testing.T, dir, pkgPath string, a *Analyzer) {
+	t.Helper()
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := Run([]*Analyzer{a}, pkg)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					pat := arg[1]
+					if pat == "" {
+						pat = strings.ReplaceAll(arg[2], `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					k := key{filepath.Base(pos.Filename), pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := map[*regexp.Regexp]bool{}
+	for _, d := range diags {
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		ok := false
+		for _, re := range wants[k] {
+			if !matched[re] && re.MatchString(d.Message) {
+				matched[re] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	var missing []string
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, re))
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}

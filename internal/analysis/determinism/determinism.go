@@ -1,0 +1,235 @@
+// Package determinism enforces seed-reproducibility of the simulator:
+// the paper's results are stated per workload and must be bit-identical
+// across runs of the same seed, or fault campaigns and regression
+// comparisons are meaningless.
+//
+// Three leak classes are flagged:
+//
+//  1. Wall-clock time (time.Now/Since/Until) — simulation time is the
+//     hwsim.Clock cycle counter and virtual time, never the host clock.
+//  2. The global math/rand source (rand.Intn etc. without an explicit
+//     *rand.Rand) — all randomness must flow from an injected,
+//     explicitly seeded *rand.Rand so a seed reproduces a run.
+//  3. Map iteration whose order can escape: a range over a map that
+//     returns from inside the loop (first-match selection) or appends
+//     to an outer slice that is never sorted afterwards. Go randomizes
+//     map order per run, so either pattern makes output, error
+//     selection, or — worse — the memory access sequence (which decides
+//     which access a fault campaign hits) differ run to run.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wfqsort/internal/analysis"
+)
+
+// Analyzer is the determinism analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "no wall-clock time, no global math/rand, no map-range whose " +
+		"iteration order can leak into results",
+	Run: run,
+}
+
+// globalRandFuncs are the math/rand package-level functions that read
+// the shared global source. Constructors (New, NewSource) are fine.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"time.%s leaks wall-clock time into the simulation; use the hwsim.Clock cycle counter or virtual time", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"rand.%s draws from the global source; inject a seeded *rand.Rand so runs reproduce by seed", fn.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, fd, n)
+		}
+		return true
+	})
+}
+
+// checkMapRange applies the order-escape heuristics to one range loop.
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	// Heuristic 1: a return inside the loop selects whichever entry the
+	// runtime happens to surface first.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate control flow
+		case *ast.ReturnStmt:
+			pass.Reportf(n.Pos(),
+				"return inside a map range selects an iteration-order-dependent entry; iterate sorted keys (or justify with a wfqlint:ignore)")
+			return false
+		}
+		return true
+	})
+	// Heuristic 2: appending map entries to an outer slice bakes the
+	// random order into a result unless the slice is sorted afterwards.
+	appended := map[*types.Var][]ast.Node{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			v := rootVar(pass, as.Lhs[i])
+			if v == nil {
+				continue
+			}
+			// Only variables declared outside the loop can carry the
+			// order out of it.
+			if v.Pos() >= rng.Pos() && v.Pos() <= rng.End() {
+				continue
+			}
+			appended[v] = append(appended[v], as)
+		}
+		return true
+	})
+	for v, sites := range appended {
+		if sortedAfter(pass, fd, rng, v) {
+			delete(appended, v)
+			continue
+		}
+		for _, site := range sites {
+			pass.Reportf(site.Pos(),
+				"map iteration order leaks into %q, which is never sorted afterwards; sort the slice (or the keys first)", v.Name())
+		}
+	}
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootVar resolves the variable at the base of an lvalue expression
+// (x, x.f, x[i] all resolve to x).
+func rootVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := pass.ObjectOf(x).(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			v, _ := pass.ObjectOf(x.Sel).(*types.Var)
+			return v
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortFuncs are recognized sorting calls: a slice passed (or captured)
+// by one of these after the loop neutralizes the order leak.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Ints": true, "Strings": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether v is passed to a recognized sort call
+// somewhere after the range loop in the enclosing function.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		byName := sortFuncs[fn.Pkg().Path()]
+		if byName == nil || !byName[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootVar(pass, arg) == v {
+				found = true
+			}
+			// sort.Slice(x, func(...){...}) has x as first arg; also
+			// accept the variable appearing inside a comparator closure
+			// argument (sort.Slice(byName, func(i, j int) bool {...})).
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if pv, _ := pass.ObjectOf(id).(*types.Var); pv == v {
+						found = true
+					}
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,14 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wfqsort/internal/analysis"
+	"wfqsort/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	dir := filepath.Join("testdata", "repro")
+	analysis.RunTest(t, dir, "wfqsort/internal/determinism_testdata", determinism.Analyzer)
+}

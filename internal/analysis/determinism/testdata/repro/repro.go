@@ -1,0 +1,102 @@
+// Package repro is determinism analyzer testdata.
+package repro
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// BadWallClock stamps results with host time.
+func BadWallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now leaks wall-clock time`
+}
+
+// BadSince measures host-clock durations.
+func BadSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since leaks wall-clock time`
+}
+
+// GoodDuration only manipulates duration values, no clock read.
+func GoodDuration(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// BadGlobalRand draws from the shared global source.
+func BadGlobalRand(n int) int {
+	return rand.Intn(n) // want `rand.Intn draws from the global source`
+}
+
+// BadGlobalShuffle permutes with the global source.
+func BadGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the global source`
+}
+
+// GoodSeededRand draws from an injected, seeded source — the
+// false-positive guard for the rand rule.
+func GoodSeededRand(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// GoodNewSource constructs a seeded generator; constructors are legal.
+func GoodNewSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// BadMapReturn selects an iteration-order-dependent entry.
+func BadMapReturn(m map[int]int) (int, bool) {
+	for k, v := range m {
+		if v > 10 {
+			return k, true // want `return inside a map range selects an iteration-order-dependent entry`
+		}
+	}
+	return 0, false
+}
+
+// BadMapAppend bakes the random order into the result.
+func BadMapAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `map iteration order leaks into "out"`
+	}
+	return out
+}
+
+// GoodMapAppendSorted collects then sorts — the false-positive guard
+// for the map rule.
+func GoodMapAppendSorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GoodMapAccumulate folds order-insensitively; no diagnostic.
+func GoodMapAccumulate(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodSliceRange ranges over a slice; order is defined.
+func GoodSliceRange(xs []int) (int, bool) {
+	for _, v := range xs {
+		if v > 10 {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// JustifiedMapReturn suppresses with a reason: any entry is acceptable.
+func JustifiedMapReturn(m map[int]int) (int, bool) {
+	for k := range m {
+		//wfqlint:ignore determinism any key works: the caller only probes non-emptiness
+		return k, true
+	}
+	return 0, false
+}

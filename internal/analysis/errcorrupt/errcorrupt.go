@@ -1,0 +1,164 @@
+// Package errcorrupt enforces the corruption-error contract established
+// around hwsim.ErrCorrupt: every detected integrity violation wraps the
+// sentinel with %w so that errors.Is(err, ErrCorrupt) holds across
+// package boundaries, and detection code classifies errors with
+// errors.Is — never with == identity comparison (which breaks the moment
+// a layer wraps the error) and never by matching error text (which
+// breaks the moment a message is reworded).
+package errcorrupt
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"wfqsort/internal/analysis"
+)
+
+// sentinelPackages defines the sentinel: the package allowed to create
+// it and the re-export site.
+var sentinelPackages = map[string]bool{
+	"wfqsort/internal/hwsim": true,
+	"wfqsort/internal/core":  true, // core.ErrCorrupt = hwsim.ErrCorrupt
+}
+
+// Analyzer is the errcorrupt analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcorrupt",
+	Doc: "corruption errors must wrap hwsim.ErrCorrupt with %w and be " +
+		"classified with errors.Is, never == or string matching",
+	Run: run,
+}
+
+// isSentinelRef reports whether e references a package-level error
+// variable named ErrCorrupt.
+func isSentinelRef(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	return ok && v.Name() == "ErrCorrupt" && v.Parent() != nil && v.Pkg() != nil &&
+		v.Parent() == v.Pkg().Scope()
+}
+
+// errorCall reports whether e is a call of the error interface's
+// Error() method.
+func errorCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	return t != nil && types.Implements(t, errorInterface())
+}
+
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}
+
+func mentionsCorrupt(s string) bool {
+	return strings.Contains(strings.ToLower(s), "corrupt")
+}
+
+func run(pass *analysis.Pass) error {
+	inModule := strings.HasPrefix(pass.Pkg.Path(), "wfqsort")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.CallExpr:
+				checkCall(pass, n, inModule)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComparison flags == / != against the sentinel and error-text
+// equality tests mentioning corruption.
+func checkComparison(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isSentinelRef(pass.TypesInfo, b.X) || isSentinelRef(pass.TypesInfo, b.Y) {
+		pass.Reportf(b.Pos(),
+			"comparing errors with %s ErrCorrupt breaks once the error is wrapped; use errors.Is(err, ErrCorrupt)", b.Op)
+		return
+	}
+	for _, pair := range [][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		if !errorCall(pass.TypesInfo, pair[0]) {
+			continue
+		}
+		if s, ok := analysis.ConstString(pass.TypesInfo, pair[1]); ok && mentionsCorrupt(s) {
+			pass.Reportf(b.Pos(),
+				"matching corruption by error text %q is brittle; use errors.Is(err, ErrCorrupt)", s)
+		}
+	}
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, inModule bool) {
+	info := pass.TypesInfo
+	switch {
+	case analysis.IsPkgFunc(info, call, "fmt", "Errorf"):
+		if len(call.Args) < 2 {
+			return
+		}
+		wrapsSentinel := false
+		for _, arg := range call.Args[1:] {
+			if isSentinelRef(info, arg) {
+				wrapsSentinel = true
+			}
+		}
+		if !wrapsSentinel {
+			return
+		}
+		format, ok := analysis.ConstString(info, call.Args[0])
+		if ok && !strings.Contains(format, "%w") {
+			pass.Reportf(call.Pos(),
+				"ErrCorrupt formatted without %%w: errors.Is(err, ErrCorrupt) will not see through this error; wrap with %%w")
+		}
+	case analysis.IsPkgFunc(info, call, "errors", "New"):
+		if !inModule || sentinelPackages[pass.Pkg.Path()] {
+			return
+		}
+		if len(call.Args) != 1 {
+			return
+		}
+		if s, ok := analysis.ConstString(info, call.Args[0]); ok && mentionsCorrupt(s) {
+			pass.Reportf(call.Pos(),
+				"new corruption sentinel %q shadows hwsim.ErrCorrupt; wrap the shared sentinel with fmt.Errorf(...%%w...) instead", s)
+		}
+	case analysis.IsPkgFunc(info, call, "strings", "Contains"),
+		analysis.IsPkgFunc(info, call, "strings", "HasPrefix"),
+		analysis.IsPkgFunc(info, call, "strings", "HasSuffix"),
+		analysis.IsPkgFunc(info, call, "strings", "EqualFold"),
+		analysis.IsPkgFunc(info, call, "strings", "Index"):
+		usesErrorText := false
+		corrupt := false
+		for _, arg := range call.Args {
+			if errorCall(info, arg) {
+				usesErrorText = true
+			}
+			if s, ok := analysis.ConstString(info, arg); ok && mentionsCorrupt(s) {
+				corrupt = true
+			}
+		}
+		if usesErrorText && corrupt {
+			pass.Reportf(call.Pos(),
+				"matching corruption by error text is brittle; use errors.Is(err, ErrCorrupt)")
+		}
+	}
+}

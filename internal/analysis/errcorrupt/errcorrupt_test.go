@@ -1,0 +1,14 @@
+package errcorrupt_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wfqsort/internal/analysis"
+	"wfqsort/internal/analysis/errcorrupt"
+)
+
+func TestErrcorrupt(t *testing.T) {
+	dir := filepath.Join("testdata", "wrap")
+	analysis.RunTest(t, dir, "wfqsort/internal/errcorrupt_testdata", errcorrupt.Analyzer)
+}

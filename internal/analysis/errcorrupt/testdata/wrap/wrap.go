@@ -1,0 +1,64 @@
+// Package wrap is errcorrupt analyzer testdata.
+package wrap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"wfqsort/internal/hwsim"
+)
+
+// ErrCorrupt re-exports the sentinel like core does; referencing it in
+// comparisons is just as wrong as referencing hwsim's directly.
+var ErrCorrupt = hwsim.ErrCorrupt
+
+// GoodWrap wraps the sentinel with %w — the contract.
+func GoodWrap(detail int) error {
+	return fmt.Errorf("wrap: %w: node %d", hwsim.ErrCorrupt, detail)
+}
+
+// GoodIs classifies with errors.Is — the false-positive guard for the
+// comparison rule.
+func GoodIs(err error) bool {
+	return errors.Is(err, hwsim.ErrCorrupt)
+}
+
+// GoodUnrelatedErrorf does not involve the sentinel at all.
+func GoodUnrelatedErrorf(n int) error {
+	return fmt.Errorf("wrap: %d out of range", n)
+}
+
+// BadNoVerb drops the sentinel from the wrap chain.
+func BadNoVerb(detail int) error {
+	return fmt.Errorf("wrap: %v: node %d", hwsim.ErrCorrupt, detail) // want `ErrCorrupt formatted without %w`
+}
+
+// BadEq compares by identity.
+func BadEq(err error) bool {
+	return err == hwsim.ErrCorrupt // want `comparing errors with == ErrCorrupt`
+}
+
+// BadNeqLocal compares the re-exported alias by identity.
+func BadNeqLocal(err error) bool {
+	return err != ErrCorrupt // want `comparing errors with != ErrCorrupt`
+}
+
+// BadStringMatch greps the error text.
+func BadStringMatch(err error) bool {
+	return strings.Contains(err.Error(), "corrupt state") // want `matching corruption by error text`
+}
+
+// BadTextEq compares the error text directly.
+func BadTextEq(err error) bool {
+	return err.Error() == "corrupt state" // want `matching corruption by error text "corrupt state"`
+}
+
+// BadNewSentinel mints a parallel sentinel outside hwsim.
+var BadNewSentinel = errors.New("tree corrupted") // want `new corruption sentinel "tree corrupted" shadows hwsim.ErrCorrupt`
+
+// JustifiedEq carries a reasoned suppression.
+func JustifiedEq(err error) bool {
+	//wfqlint:ignore errcorrupt identity check against the unwrapped sentinel at the raising site
+	return err == hwsim.ErrCorrupt
+}

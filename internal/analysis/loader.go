@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path the package was loaded under.
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader resolves and type-checks packages of one module without any
+// external tooling: module-local import paths map onto directories under
+// the module root, and standard-library paths fall back to the go/types
+// source importer (which reads GOROOT sources, so it works offline).
+type Loader struct {
+	// ModRoot is the directory containing go.mod.
+	ModRoot string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+	// IncludeTests includes in-package _test.go files when loading the
+	// package named by LoadDir's pkgPath (imports never include tests).
+	IncludeTests bool
+
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*Package
+}
+
+// NewLoader builds a loader rooted at the module containing dir. It
+// locates go.mod by walking up from dir and reads the module path from
+// its first "module" directive.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModRoot: root,
+		ModPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*Package{},
+	}, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Load type-checks the package with the given import path, resolving it
+// to a directory under the module root.
+func (l *Loader) Load(pkgPath string) (*Package, error) {
+	dir, err := l.dirFor(pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDir(dir, pkgPath)
+}
+
+func (l *Loader) dirFor(pkgPath string) (string, error) {
+	if pkgPath == l.ModPath {
+		return l.ModRoot, nil
+	}
+	rest, ok := strings.CutPrefix(pkgPath, l.ModPath+"/")
+	if !ok {
+		return "", fmt.Errorf("analysis: %s is outside module %s", pkgPath, l.ModPath)
+	}
+	return filepath.Join(l.ModRoot, filepath.FromSlash(rest)), nil
+}
+
+// LoadDir type-checks the package in dir under the import path pkgPath.
+// The path does not have to correspond to dir's real location — the
+// analysistest harness uses this to load testdata packages under the
+// import path whose invariants they exercise.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	if p, ok := l.cache[pkgPath]; ok {
+		return p, nil
+	}
+	files, err := l.parseDir(dir, l.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", pkgPath, err)
+	}
+	p := &Package{Path: pkgPath, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.cache[pkgPath] = p
+	return p, nil
+}
+
+// parseDir parses the buildable Go files of one package directory. Test
+// files are included only on request, and only in-package ones (an
+// external foo_test package is a separate compilation unit).
+func (l *Loader) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var parsed []*ast.File
+	var fileNames []string
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+		fileNames = append(fileNames, name)
+	}
+	// The package name is fixed by the non-test files; in-package test
+	// files share it, external foo_test packages are separate
+	// compilation units and are skipped.
+	pkgName := ""
+	for i, f := range parsed {
+		if !strings.HasSuffix(fileNames[i], "_test.go") {
+			pkgName = f.Name.Name
+			break
+		}
+	}
+	var files []*ast.File
+	for _, f := range parsed {
+		if pkgName == "" || f.Name.Name == pkgName {
+			files = append(files, f)
+		}
+	}
+	return files, nil
+}
+
+// loaderImporter adapts the loader into a types.Importer: module-local
+// paths load recursively from source, everything else is delegated to
+// the GOROOT source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		// Imports never include test files, regardless of the top-level
+		// IncludeTests setting.
+		if p, ok := l.cache[path]; ok {
+			return p.Types, nil
+		}
+		dir, err := l.dirFor(path)
+		if err != nil {
+			return nil, err
+		}
+		saved := l.IncludeTests
+		l.IncludeTests = false
+		p, err := l.LoadDir(dir, path)
+		l.IncludeTests = saved
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoaderResolvesModuleAndStdlib(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if l.ModPath != "wfqsort" {
+		t.Fatalf("module path = %q, want wfqsort", l.ModPath)
+	}
+	pkg, err := l.Load("wfqsort/internal/trie")
+	if err != nil {
+		t.Fatalf("Load trie: %v", err)
+	}
+	if pkg.Types.Name() != "trie" {
+		t.Fatalf("package name = %q, want trie", pkg.Types.Name())
+	}
+	// The trie must have been type-checked against the real hwsim: its
+	// Config struct carries a *hwsim.Clock field.
+	obj := pkg.Types.Scope().Lookup("Config")
+	if obj == nil {
+		t.Fatal("trie.Config not found")
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		t.Fatalf("trie.Config is %T, want struct", obj.Type().Underlying())
+	}
+	found := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Clock" && IsNamed(f.Type(), "wfqsort/internal/hwsim", "Clock") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("trie.Config.Clock did not type-check as *hwsim.Clock")
+	}
+}
+
+func TestCheckWalksPackages(t *testing.T) {
+	res, err := Check(nil, filepath.Join("..", "hwsim"), []string{"./..."})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Packages != 1 {
+		t.Fatalf("analyzed %d packages, want 1", res.Packages)
+	}
+}

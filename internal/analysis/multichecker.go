@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CheckResult is the outcome of a multichecker run.
+type CheckResult struct {
+	// Diagnostics from every analyzed package, sorted by position.
+	Diagnostics []Diagnostic
+	// Packages is the number of packages analyzed.
+	Packages int
+}
+
+// Check expands the given package patterns (import paths relative to the
+// working directory, with the "./..." wildcard), loads each package, and
+// applies every analyzer. It is the engine behind cmd/wfqlint.
+func Check(analyzers []*Analyzer, dir string, patterns []string) (*CheckResult, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(l, dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	res := &CheckResult{}
+	for _, d := range dirs {
+		rel, err := filepath.Rel(l.ModRoot, d)
+		if err != nil {
+			return nil, err
+		}
+		pkgPath := l.ModPath
+		if rel != "." {
+			pkgPath = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(d, pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := Run(analyzers, pkg)
+		if err != nil {
+			return nil, err
+		}
+		res.Diagnostics = append(res.Diagnostics, diags...)
+		res.Packages++
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}
+
+// expandPatterns resolves package patterns to package directories.
+// Supported forms: "./...", "dir/...", "./dir", "dir", and a bare module
+// import path. Directories named testdata, vendor, or starting with "."
+// or "_" are never walked into.
+func expandPatterns(l *Loader, base string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, pat := range patterns {
+		if full, ok := strings.CutPrefix(pat, l.ModPath); ok && (full == "" || full[0] == '/') {
+			pat = "." + full
+		}
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(base, root)
+		}
+		if abs, err := filepath.Abs(root); err == nil {
+			root = abs
+		}
+		if !recursive {
+			if hasGoFiles(root) {
+				add(root)
+			} else {
+				return nil, fmt.Errorf("analysis: no Go files in %s", root)
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

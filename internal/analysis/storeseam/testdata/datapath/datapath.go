@@ -1,0 +1,60 @@
+// Package datapath is storeseam analyzer testdata. It is loaded by the
+// test harness under a datapath import path so the invariant applies.
+package datapath
+
+import "wfqsort/internal/hwsim"
+
+// Structure models a datapath structure holding both the raw SRAM
+// handle (debug ports) and the functional Store seam.
+type Structure struct {
+	mem   *hwsim.SRAM
+	regs  *hwsim.RegisterFile
+	store hwsim.Store
+}
+
+// peeker mirrors the trie's debug-port interface.
+type peeker interface {
+	Peek(addr int) (uint64, error)
+}
+
+// Good reads and writes through the Store seam.
+func (s *Structure) Good() error {
+	w, err := s.store.Read(0)
+	if err != nil {
+		return err
+	}
+	return s.store.Write(1, w)
+}
+
+// BadRawRead bypasses the seam on the raw SRAM handle.
+func (s *Structure) BadRawRead() (uint64, error) {
+	return s.mem.Read(0) // want `Read on raw wfqsort/internal/hwsim\.SRAM bypasses the hwsim\.Store seam`
+}
+
+// BadRawWrite bypasses the seam on the raw register-file handle.
+func (s *Structure) BadRawWrite() error {
+	return s.regs.Write(0, 1) // want `Write on raw wfqsort/internal/hwsim\.RegisterFile bypasses the hwsim\.Store seam`
+}
+
+// BadPeek uses the debug port on a functional path.
+func (s *Structure) BadPeek() (uint64, error) {
+	return s.mem.Peek(0) // want `Peek debug port used in functional file datapath.go`
+}
+
+// BadPoke uses the test-setup port on a functional path.
+func (s *Structure) BadPoke() error {
+	return s.mem.Poke(0, 7) // want `Poke debug port used in functional file datapath.go`
+}
+
+// BadInterfacePeek reaches the debug port through an interface, like
+// the trie's per-level peeker slice.
+func (s *Structure) BadInterfacePeek(p peeker) (uint64, error) {
+	return p.Peek(0) // want `Peek debug port used in functional file datapath.go`
+}
+
+// JustifiedPeek carries an ignore directive with a reason and is not
+// reported.
+func (s *Structure) JustifiedPeek() (uint64, error) {
+	//wfqlint:ignore storeseam head-register shadow check reads the physical array by design
+	return s.mem.Peek(0)
+}

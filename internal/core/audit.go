@@ -263,8 +263,16 @@ func (s *Sorter) Rebuild() error {
 		}
 		newest[e.Tag] = e.Addr
 	}
-	for tag, addr := range newest {
-		if err := s.table.Set(tag, addr); err != nil {
+	// Write table entries in ascending tag order: map iteration order
+	// would vary the memory access sequence run to run, breaking
+	// reproducibility of fault campaigns that target the Nth access.
+	tags := make([]int, 0, len(newest))
+	for tag := range newest {
+		tags = append(tags, tag)
+	}
+	sort.Ints(tags)
+	for _, tag := range tags {
+		if err := s.table.Set(tag, newest[tag]); err != nil {
 			return fmt.Errorf("core: rebuild: %w", err)
 		}
 	}

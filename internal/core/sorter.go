@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"wfqsort/internal/hwsim"
 	"wfqsort/internal/pipeline"
@@ -537,7 +538,17 @@ func (s *Sorter) CheckInvariants() error {
 	if descents > 1 {
 		return fmt.Errorf("core: invariant: %w: list descends %d times (cyclic order allows at most 1)", ErrCorrupt, descents)
 	}
-	for tag, addr := range newest {
+	// Check tags in ascending order: the memory access sequence (and the
+	// first violation reported) must not depend on map iteration order,
+	// or fault-injection campaigns keyed on access indices stop being
+	// reproducible.
+	tags := make([]int, 0, len(newest))
+	for tag := range newest {
+		tags = append(tags, tag)
+	}
+	sort.Ints(tags)
+	for _, tag := range tags {
+		addr := newest[tag]
 		ok, err := s.tree.Contains(tag)
 		if err != nil {
 			return fmt.Errorf("core: invariant: %w", err)

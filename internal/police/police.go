@@ -154,9 +154,16 @@ func (s *Shaper) Release(sizeBits, now float64) (float64, error) {
 // order), and the merged trace is returned time-sorted. Flows without a
 // bucket pass through unchanged.
 func ShapeTrace(pkts []packet.Packet, buckets map[int]Bucket) ([]packet.Packet, error) {
+	// Build shapers in ascending flow order so the first configuration
+	// error reported is the same on every run.
+	flows := make([]int, 0, len(buckets))
+	for flow := range buckets {
+		flows = append(flows, flow)
+	}
+	sort.Ints(flows)
 	shapers := make(map[int]*Shaper, len(buckets))
-	for flow, b := range buckets {
-		s, err := NewShaper(b)
+	for _, flow := range flows {
+		s, err := NewShaper(buckets[flow])
 		if err != nil {
 			return nil, fmt.Errorf("police: flow %d: %w", flow, err)
 		}

@@ -2,6 +2,7 @@ package schedulers
 
 import (
 	"fmt"
+	"sort"
 
 	"wfqsort/internal/packet"
 )
@@ -63,7 +64,10 @@ func NewHSCFQ(classes []ClassSpec, capacityBps float64) (*HSCFQ, error) {
 		if len(spec.FlowWeights) == 0 {
 			return nil, fmt.Errorf("hscfq: class %d has no flows", c)
 		}
-		for flow, w := range spec.FlowWeights {
+		// Validate flows in ascending order so the first error reported
+		// does not depend on map iteration order.
+		for _, flow := range sortedFlowKeys(spec.FlowWeights) {
+			w := spec.FlowWeights[flow]
 			if w <= 0 {
 				return nil, fmt.Errorf("hscfq: flow %d weight %v must be positive", flow, w)
 			}
@@ -310,8 +314,13 @@ func NewCBQ(classes []CBQClass) (*CBQ, error) {
 			return nil, fmt.Errorf("cbq: class %d has no flows", ci)
 		}
 		c.classQuantum[ci] = spec.QuantumBytes
+		// Assign DRR queue slots in ascending flow order: map iteration
+		// order would make the flow→slot mapping (and hence the DRR
+		// round-robin visit order) differ between runs of the same
+		// configuration.
 		var quanta []int
-		for flow, q := range spec.FlowQuanta {
+		for _, flow := range sortedIntKeys(spec.FlowQuanta) {
+			q := spec.FlowQuanta[flow]
 			if q <= 0 {
 				return nil, fmt.Errorf("cbq: flow %d quantum %d must be positive", flow, q)
 			}
@@ -388,4 +397,24 @@ func (c *CBQ) Dequeue(_ float64) (packet.Packet, error) {
 		c.fresh = false
 	}
 	return packet.Packet{}, fmt.Errorf("cbq: scan failed with %d queued", c.nqueued)
+}
+
+// sortedFlowKeys returns the keys of m in ascending order.
+func sortedFlowKeys(m map[int]float64) []int {
+	flows := make([]int, 0, len(m))
+	for flow := range m {
+		flows = append(flows, flow)
+	}
+	sort.Ints(flows)
+	return flows
+}
+
+// sortedIntKeys returns the keys of m in ascending order.
+func sortedIntKeys(m map[int]int) []int {
+	flows := make([]int, 0, len(m))
+	for flow := range m {
+		flows = append(flows, flow)
+	}
+	sort.Ints(flows)
+	return flows
 }

@@ -109,46 +109,3 @@ func (t *Table) Clear() {
 func (t *Table) Reset() {
 	t.mem.Wipe()
 }
-
-// Live returns every valid entry as a tag→address map, read through
-// the debug port (audit use: no accesses counted).
-func (t *Table) Live() (map[int]int, error) {
-	out := map[int]int{}
-	for tag := 0; tag < t.Entries(); tag++ {
-		w, err := t.mem.Peek(tag)
-		if err != nil {
-			return nil, err
-		}
-		if w&(1<<uint(t.addrBits)) != 0 {
-			out[tag] = int(w & ((1 << uint(t.addrBits)) - 1))
-		}
-	}
-	return out, nil
-}
-
-// Verify checks the table against the expected live tag→newest-address
-// map (derived by the caller from the authoritative tag store). Any
-// deviation — a live tag without an entry, an entry pointing at the
-// wrong link, or a valid entry for a tag with no live links (dangling)
-// — is corruption and is reported wrapping hwsim.ErrCorrupt.
-func (t *Table) Verify(expect map[int]int) error {
-	live, err := t.Live()
-	if err != nil {
-		return err
-	}
-	for tag, addr := range expect {
-		got, ok := live[tag]
-		if !ok {
-			return fmt.Errorf("transtable: %w: live tag %d has no entry", hwsim.ErrCorrupt, tag)
-		}
-		if got != addr {
-			return fmt.Errorf("transtable: %w: tag %d entry points at %d, newest link is %d", hwsim.ErrCorrupt, tag, got, addr)
-		}
-	}
-	for tag := range live {
-		if _, ok := expect[tag]; !ok {
-			return fmt.Errorf("transtable: %w: dangling entry for dead tag %d", hwsim.ErrCorrupt, tag)
-		}
-	}
-	return nil
-}
