@@ -24,6 +24,7 @@ import (
 	"wfqsort/internal/pqueue"
 	"wfqsort/internal/scheduler"
 	"wfqsort/internal/schedulers"
+	"wfqsort/internal/sharded"
 	"wfqsort/internal/synthesis"
 	"wfqsort/internal/taglist"
 	"wfqsort/internal/traffic"
@@ -191,10 +192,12 @@ func BenchmarkThroughput(b *testing.B) {
 		weights := []float64{0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
+			b.StopTimer()
 			s, err := scheduler.New(scheduler.Config{Weights: weights, CapacityBps: 10e6})
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.StartTimer()
 			if _, err := s.Run(pkts); err != nil {
 				b.Fatal(err)
 			}
@@ -202,6 +205,36 @@ func BenchmarkThroughput(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(len(pkts)), "packets/run")
 	})
+	for _, lanes := range []int{1, 4} {
+		lanes := lanes
+		b.Run(fmt.Sprintf("sharded-%dlane", lanes), func(b *testing.B) {
+			s, err := sharded.New(sharded.Config{Lanes: lanes, LaneCapacity: 8192 / lanes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			const batch = 64
+			reqs := make([]sharded.Request, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range reqs {
+					reqs[j] = sharded.Request{Tag: rng.Intn(4096), Payload: j}
+				}
+				if _, err := s.InsertBatch(reqs); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < batch; j++ {
+					if _, err := s.ExtractMin(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			st := s.Stats()
+			b.ReportMetric(st.ModelSpeedup(), "model-speedup")
+			b.ReportMetric(scheduler.DefaultClockHz/core.WindowCycles*st.ModelSpeedup()/1e6, "model-Mpps")
+		})
+	}
 }
 
 // BenchmarkQoS regenerates the motivating delay comparison: maximum GPS
@@ -241,15 +274,19 @@ func BenchmarkQoS(b *testing.B) {
 		name := name
 		b.Run(name, func(b *testing.B) {
 			var lag float64
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				b.StopTimer()
 				d, err := mk[name]()
 				if err != nil {
 					b.Fatal(err)
 				}
+				b.StartTimer()
 				deps, err := schedulers.Run(pkts, d, capacity)
 				if err != nil {
 					b.Fatal(err)
 				}
+				b.StopTimer()
 				lag, err = metrics.MaxGPSLag(deps, ref.Finish)
 				if err != nil {
 					b.Fatal(err)
@@ -411,23 +448,26 @@ func BenchmarkTableIScaling(b *testing.B) {
 		for _, name := range []string{"list", "heap", "tree"} {
 			name := name
 			b.Run(fmt.Sprintf("%s/N=%d", name, backlog), func(b *testing.B) {
-				q, err := mk[name]()
-				if err != nil {
-					b.Fatal(err)
+				var res *pqueue.WorkloadResult
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					q, err := mk[name]()
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					res, err = pqueue.RunWorkload(q, backlog, 512, 700, 4096, traffic.ProfileBell, 7)
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
-				res, err := pqueue.RunWorkload(q, backlog, 512, 700, 4096, traffic.ProfileBell, 7)
-				if err != nil {
-					b.Fatal(err)
-				}
+				b.StopTimer()
 				worst := res.Stats.WorstInsert
 				if res.Stats.WorstExtract > worst {
 					worst = res.Stats.WorstExtract
 				}
 				b.ReportMetric(float64(worst), "worst-accesses")
-				// Keep the timer meaningful: replay trivial ops.
-				for i := 0; i < b.N; i++ {
-					_ = i
-				}
 			})
 		}
 	}

@@ -4,18 +4,30 @@
 // and prints measured worst-case and mean memory accesses per operation
 // plus service-order accuracy.
 //
+// With -sharded it instead benchmarks the sharded multi-lane sorter
+// across lane counts and, with -json, writes the machine-readable
+// regression baseline BENCH_sharded.json (format documented in
+// EXPERIMENTS.md).
+//
 // Usage:
 //
 //	sortbench [-backlog N] [-steady N] [-window W] [-profile bell|left|uniform] [-seed S]
+//	sortbench -sharded [-json BENCH_sharded.json] [-seed S]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"text/tabwriter"
+	"time"
 
+	"wfqsort/internal/metrics"
 	"wfqsort/internal/pqueue"
+	"wfqsort/internal/sharded"
 	"wfqsort/internal/traffic"
 )
 
@@ -32,7 +44,13 @@ func run() error {
 	window := flag.Int("window", 800, "tag window above the service floor")
 	profileName := flag.String("profile", "bell", "tag distribution: bell, left, uniform (paper Fig. 6)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	shardedMode := flag.Bool("sharded", false, "benchmark the sharded multi-lane sorter across lane counts")
+	jsonPath := flag.String("json", "", "with -sharded: also write machine-readable results to this file")
 	flag.Parse()
+
+	if *shardedMode {
+		return runSharded(*seed, *jsonPath)
+	}
 
 	var profile traffic.TagProfile
 	switch *profileName {
@@ -72,4 +90,146 @@ func run() error {
 			res.Stats.MeanInsert(), res.Stats.MeanExtract(), res.Inversions)
 	}
 	return w.Flush()
+}
+
+// shardedWorkload fixes the benchmark shape so JSON baselines are
+// comparable across runs: batched inserts with a Fig. 6 bell tag
+// profile, full extraction between batches.
+const (
+	shardedBatch   = 64
+	shardedBatches = 256
+	shardedClockHz = 143.2e6
+)
+
+// laneResult is one lane-count row of BENCH_sharded.json.
+type laneResult struct {
+	Lanes int `json:"lanes"`
+
+	// Wall-clock software throughput of the simulator. On a single-CPU
+	// host the lane goroutines serialize, so this does NOT show the
+	// hardware's lane parallelism — ModelSpeedup does.
+	WallOpsPerSec float64 `json:"wall_ops_per_sec"`
+	P99ExtractNs  float64 `json:"p99_extract_ns"`
+
+	// Cycle-accurate hardware model: a batch costs its busiest lane's
+	// cycles, so ModelSpeedup = Σ lane cycles / max lane cycles and the
+	// modeled packet rate is clock/4 × speedup.
+	ModelSpeedup  float64 `json:"model_speedup"`
+	ModeledMpps   float64 `json:"modeled_mpps"`
+	MaxLaneCycles uint64  `json:"max_lane_cycles"`
+	SumLaneCycles uint64  `json:"sum_lane_cycles"`
+	SelectDepth   int     `json:"select_depth"`
+
+	LaneInsertImbalance float64 `json:"lane_insert_imbalance"`
+	PeakOccImbalance    float64 `json:"peak_occupancy_imbalance"`
+}
+
+// shardedReport is the BENCH_sharded.json document.
+type shardedReport struct {
+	Schema     string       `json:"schema"`
+	ClockHz    float64      `json:"clock_hz"`
+	Seed       int64        `json:"seed"`
+	Batch      int          `json:"batch"`
+	Batches    int          `json:"batches"`
+	NumCPU     int          `json:"num_cpu"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Results    []laneResult `json:"results"`
+}
+
+func runSharded(seed int64, jsonPath string) error {
+	report := shardedReport{
+		Schema:     "wfqsort/bench-sharded/v1",
+		ClockHz:    shardedClockHz,
+		Seed:       seed,
+		Batch:      shardedBatch,
+		Batches:    shardedBatches,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("sharded multi-lane sorter — %d batches of %d, bell profile, seed %d\n",
+		shardedBatches, shardedBatch, seed)
+	fmt.Printf("(wall numbers are simulator software speed on %d CPU(s); hardware scaling is the cycle model)\n\n",
+		report.NumCPU)
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "lanes\twall ops/s\tp99 extract\tmodel speedup\tmodeled Mpps\tinsert imbalance\tpeak occ imbalance")
+	for _, lanes := range []int{1, 2, 4, 8} {
+		res, err := benchShardedLanes(lanes, seed)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, res)
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f ns\t%.2fx\t%.1f\t%.3f\t%.3f\n",
+			res.Lanes, res.WallOpsPerSec, res.P99ExtractNs, res.ModelSpeedup,
+			res.ModeledMpps, res.LaneInsertImbalance, res.PeakOccImbalance)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if base := report.Results[0]; len(report.Results) >= 3 {
+		fmt.Printf("\n4-lane vs 1-lane: %.2fx modeled throughput (%.1f → %.1f Mpps)\n",
+			report.Results[2].ModeledMpps/base.ModeledMpps, base.ModeledMpps, report.Results[2].ModeledMpps)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+func benchShardedLanes(lanes int, seed int64) (laneResult, error) {
+	s, err := sharded.New(sharded.Config{Lanes: lanes, LaneCapacity: 2 * shardedBatch})
+	if err != nil {
+		return laneResult{}, err
+	}
+	gen, err := traffic.NewTagGen(traffic.ProfileBell, seed)
+	if err != nil {
+		return laneResult{}, err
+	}
+	extractNs := make([]float64, 0, shardedBatch*shardedBatches)
+	peakOcc := 0.0
+	ops := 0
+	start := time.Now() //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+	for b := 0; b < shardedBatches; b++ {
+		reqs := make([]sharded.Request, shardedBatch)
+		for i := range reqs {
+			reqs[i] = sharded.Request{Tag: gen.Sample(0, 4095), Payload: i}
+		}
+		if _, err := s.InsertBatch(reqs); err != nil {
+			return laneResult{}, err
+		}
+		if occ := metrics.LaneOccupancy(s.LaneLens()).Imbalance; occ > peakOcc {
+			peakOcc = occ
+		}
+		for i := 0; i < shardedBatch; i++ {
+			t0 := time.Now() //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+			if _, err := s.ExtractMin(); err != nil {
+				return laneResult{}, err
+			}
+			extractNs = append(extractNs, float64(time.Since(t0).Nanoseconds())) //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+		}
+		ops += 2 * shardedBatch
+	}
+	elapsed := time.Since(start) //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+	st := s.Stats()
+	sort.Float64s(extractNs)
+	p99 := extractNs[len(extractNs)*99/100]
+	return laneResult{
+		Lanes:               lanes,
+		WallOpsPerSec:       float64(ops) / elapsed.Seconds(),
+		P99ExtractNs:        p99,
+		ModelSpeedup:        st.ModelSpeedup(),
+		ModeledMpps:         shardedClockHz / 4 * st.ModelSpeedup() / 1e6,
+		MaxLaneCycles:       st.MaxLaneCycles,
+		SumLaneCycles:       st.SumLaneCycles,
+		SelectDepth:         st.SelectDepth,
+		LaneInsertImbalance: metrics.LaneLoad(st.LaneInserts).Imbalance,
+		PeakOccImbalance:    peakOcc,
+	}, nil
 }

@@ -651,3 +651,75 @@ func BenchmarkSorterInsertExtract(b *testing.B) {
 		}
 	}
 }
+
+// TestCombinedWindowSameTag pins the simultaneous same-tag corner of
+// the combined window: when the arriving tag equals the departing
+// minimum, the old entry must depart (it was committed at the window
+// start) and the new one must queue behind every entry already holding
+// that tag — pure FCFS, no same-cycle swap.
+func TestCombinedWindowSameTag(t *testing.T) {
+	for _, mode := range []Mode{ModeEager, ModeHardware} {
+		s := mustNew(t, Config{Capacity: 64, Mode: mode})
+		const tag = 7
+		for p := 0; p < 4; p++ {
+			if err := s.Insert(tag, p); err != nil {
+				t.Fatalf("mode %d: Insert: %v", mode, err)
+			}
+		}
+		// Each combined op inserts payload 4+i at the same tag; the
+		// departure stream must stay the strict FIFO 0,1,2,...
+		for i := 0; i < 32; i++ {
+			served, err := s.InsertExtractMin(tag, 4+i)
+			if err != nil {
+				t.Fatalf("mode %d op %d: InsertExtractMin: %v", mode, i, err)
+			}
+			if served.Tag != tag || served.Payload != i {
+				t.Fatalf("mode %d op %d: served (%d,%d), want (%d,%d)", mode, i, served.Tag, served.Payload, tag, i)
+			}
+			if s.Len() != 4 {
+				t.Fatalf("mode %d op %d: len %d, want steady 4", mode, i, s.Len())
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("mode %d op %d: %v", mode, i, err)
+			}
+		}
+		got, err := s.Drain()
+		if err != nil {
+			t.Fatalf("mode %d: Drain: %v", mode, err)
+		}
+		for i, e := range got {
+			if e.Tag != tag || e.Payload != 32+i {
+				t.Fatalf("mode %d drain %d: (%d,%d), want (%d,%d)", mode, i, e.Tag, e.Payload, tag, 32+i)
+			}
+		}
+	}
+}
+
+// TestCombinedWindowSameTagSingleEntry: with exactly one queued entry,
+// a same-tag combined op must swap generations — old departs, new
+// remains — never serve the entry it just inserted.
+func TestCombinedWindowSameTagSingleEntry(t *testing.T) {
+	for _, mode := range []Mode{ModeEager, ModeHardware} {
+		s := mustNew(t, Config{Capacity: 16, Mode: mode})
+		if err := s.Insert(9, 100); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		served, err := s.InsertExtractMin(9, 200)
+		if err != nil {
+			t.Fatalf("InsertExtractMin: %v", err)
+		}
+		if served.Payload != 100 {
+			t.Fatalf("mode %d: served payload %d, want the pre-existing 100", mode, served.Payload)
+		}
+		if s.Len() != 1 {
+			t.Fatalf("mode %d: len %d, want 1", mode, s.Len())
+		}
+		e, err := s.ExtractMin()
+		if err != nil {
+			t.Fatalf("ExtractMin: %v", err)
+		}
+		if e.Tag != 9 || e.Payload != 200 {
+			t.Fatalf("mode %d: remainder (%d,%d), want (9,200)", mode, e.Tag, e.Payload)
+		}
+	}
+}

@@ -199,6 +199,64 @@ func (h *Histogram) Render(width int) string {
 	return b.String()
 }
 
+// LaneStats summarizes how evenly work spreads over the lanes of a
+// sharded sorter: occupancy (or any per-lane counter) mean/max and the
+// imbalance ratio max/mean. Imbalance 1.0 means perfectly balanced;
+// the hardware wall clock of a lane-parallel batch degrades linearly
+// with it (the busiest lane is the batch's critical path).
+type LaneStats struct {
+	Lanes     int
+	Total     float64
+	Mean      float64
+	Min       float64
+	Max       float64
+	Imbalance float64 // Max/Mean; 1.0 = balanced, defined 0 when Mean is 0
+}
+
+// LaneOccupancy computes balance gauges over per-lane entry counts
+// (e.g. ShardedSorter.LaneLens).
+func LaneOccupancy(lens []int) LaneStats {
+	vals := make([]float64, len(lens))
+	for i, v := range lens {
+		vals[i] = float64(v)
+	}
+	return laneGauges(vals)
+}
+
+// LaneLoad computes balance gauges over per-lane operation counters
+// (e.g. the LaneInserts column of a sharded Stats).
+func LaneLoad(counts []uint64) LaneStats {
+	vals := make([]float64, len(counts))
+	for i, v := range counts {
+		vals[i] = float64(v)
+	}
+	return laneGauges(vals)
+}
+
+func laneGauges(vals []float64) LaneStats {
+	s := LaneStats{Lanes: len(vals)}
+	if len(vals) == 0 {
+		return s
+	}
+	s.Min = math.Inf(1)
+	for _, v := range vals {
+		s.Total += v
+		if v > s.Max {
+			s.Max = v
+		}
+		if v < s.Min {
+			s.Min = v
+		}
+	}
+	s.Mean = s.Total / float64(len(vals))
+	if s.Mean > 0 {
+		s.Imbalance = s.Max / s.Mean
+	} else {
+		s.Min = 0
+	}
+	return s
+}
+
 // Inversions counts adjacent-pair service-order violations: the number of
 // consecutive departure pairs whose keys are out of order. Used to
 // quantify the sorting inaccuracy of the binning/TCQ approximations

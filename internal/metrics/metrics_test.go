@@ -237,3 +237,24 @@ func TestTotalInversions(t *testing.T) {
 		}
 	}
 }
+
+func TestLaneGauges(t *testing.T) {
+	if s := LaneOccupancy(nil); s.Lanes != 0 || s.Imbalance != 0 {
+		t.Fatalf("empty occupancy: %+v", s)
+	}
+	s := LaneOccupancy([]int{4, 4, 4, 4})
+	if s.Lanes != 4 || !approx(s.Imbalance, 1.0, 1e-12) || !approx(s.Mean, 4, 1e-12) {
+		t.Fatalf("balanced occupancy: %+v", s)
+	}
+	s = LaneOccupancy([]int{8, 0, 0, 0})
+	if !approx(s.Imbalance, 4.0, 1e-12) || s.Max != 8 || s.Min != 0 || s.Total != 8 {
+		t.Fatalf("fully skewed occupancy: %+v", s)
+	}
+	s = LaneLoad([]uint64{10, 20, 30, 40})
+	if !approx(s.Mean, 25, 1e-12) || !approx(s.Imbalance, 40.0/25, 1e-12) {
+		t.Fatalf("lane load: %+v", s)
+	}
+	if s := LaneLoad([]uint64{0, 0}); s.Imbalance != 0 || s.Min != 0 {
+		t.Fatalf("all-zero load must report zeroed gauges: %+v", s)
+	}
+}

@@ -168,3 +168,100 @@ func TestSimulateValidationAndString(t *testing.T) {
 		t.Error("zero-makespan throughput not 0")
 	}
 }
+
+// TestBackpressurePropagatesUpstream: with in-order blocking and no
+// inter-stage buffering, a slow stage anywhere in the pipe throttles
+// every stage to its rate — the bottleneck runs saturated while the
+// 1-cycle stages idle in proportion, and moving the bottleneck around
+// changes nothing about steady-state timing.
+func TestBackpressurePropagatesUpstream(t *testing.T) {
+	const ops = 400
+	mk := func(cycles ...int) *Pipe {
+		stages := make([]Stage, len(cycles))
+		for i, c := range cycles {
+			stages[i] = Stage{Name: "s", Cycles: c}
+		}
+		p, err := New(stages...)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return p
+	}
+	bottleneckLast := mk(1, 1, 4)
+	bottleneckMid := mk(1, 4, 1)
+	bottleneckFirst := mk(4, 1, 1)
+	var spans [3]int
+	for i, p := range []*Pipe{bottleneckLast, bottleneckMid, bottleneckFirst} {
+		res, err := p.Simulate(ops)
+		if err != nil {
+			t.Fatalf("Simulate: %v", err)
+		}
+		spans[i] = res.Makespan
+		if res.Interval != 4 {
+			t.Fatalf("pipe %d interval = %d, want 4 (bottleneck rate)", i, res.Interval)
+		}
+		// The bottleneck saturates; backpressure leaves the fast stages
+		// busy only 1 of every 4 cycles.
+		for s, st := range p.Stages() {
+			u := res.Utilization[s]
+			want := float64(st.Cycles) / 4
+			if u < want-0.05 || u > want+0.05 {
+				t.Fatalf("pipe %d stage %d utilization %.3f, want ≈%.3f", i, s, u, want)
+			}
+		}
+	}
+	if spans[0] != spans[1] || spans[1] != spans[2] {
+		t.Fatalf("bottleneck position changed makespan: %v", spans)
+	}
+}
+
+// TestBackpressureDeepensLatencyNotRate: inserting extra fast stages
+// behind the tag-store window (deeper pipe) adds latency but cannot
+// raise throughput past the window — the §III-A reason making the tree
+// faster than 4 cycles buys nothing on SDR.
+func TestBackpressureDeepensLatencyNotRate(t *testing.T) {
+	shallow, err := Datapath(3, 4)
+	if err != nil {
+		t.Fatalf("Datapath: %v", err)
+	}
+	deep, err := Datapath(9, 4)
+	if err != nil {
+		t.Fatalf("Datapath: %v", err)
+	}
+	if deep.Latency() <= shallow.Latency() {
+		t.Fatalf("deep latency %d not beyond shallow %d", deep.Latency(), shallow.Latency())
+	}
+	rs, err := shallow.Simulate(300)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	rd, err := deep.Simulate(300)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if rs.Interval != rd.Interval {
+		t.Fatalf("interval changed with depth: %d vs %d", rs.Interval, rd.Interval)
+	}
+	if rd.Makespan != rd.Latency+299*rd.Interval {
+		t.Fatalf("deep makespan %d, want %d", rd.Makespan, rd.Latency+299*rd.Interval)
+	}
+}
+
+// TestBackpressureSingleOp: one operation sees pure latency — no
+// backpressure without a second op contending for stages.
+func TestBackpressureSingleOp(t *testing.T) {
+	p, err := Datapath(3, 4)
+	if err != nil {
+		t.Fatalf("Datapath: %v", err)
+	}
+	res, err := p.Simulate(1)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Makespan != p.Latency() {
+		t.Fatalf("single-op makespan %d, want latency %d", res.Makespan, p.Latency())
+	}
+	if res.Interval != 0 {
+		t.Fatalf("single-op interval %d, want 0 (undefined)", res.Interval)
+	}
+}

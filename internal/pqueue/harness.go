@@ -20,32 +20,36 @@ var (
 	_ MinTagQueue = (*TCAM)(nil)
 	_ MinTagQueue = (*BitTree)(nil)
 	_ MinTagQueue = (*MultiBitTree)(nil)
+	_ MinTagQueue = (*Sharded)(nil)
 )
 
 // StandardParams describes the Table I comparison geometry: a 12-bit tag
 // universe (W=12, R=4096), 4-bit literals (k=4), 16 bins matching the
 // paper's binning/CBFQ configuration, and a 256-day calendar.
 type StandardParams struct {
-	TagBits  int
-	Capacity int
-	Bins     int
-	Days     int
-	TCQRows  int
+	TagBits    int
+	Capacity   int
+	Bins       int
+	Days       int
+	TCQRows    int
+	ShardLanes int
 }
 
 // DefaultParams returns the silicon-matched comparison geometry.
 func DefaultParams() StandardParams {
 	return StandardParams{
-		TagBits:  12,
-		Capacity: 4096,
-		Bins:     16,
-		Days:     256,
-		TCQRows:  64,
+		TagBits:    12,
+		Capacity:   4096,
+		Bins:       16,
+		Days:       256,
+		TCQRows:    64,
+		ShardLanes: 4,
 	}
 }
 
 // NewAll constructs one instance of every Table I method under the given
-// geometry, in the paper's presentation order (software rows first).
+// geometry, in the paper's presentation order (software rows first),
+// plus this repo's sharded multi-lane extension as a final row.
 func NewAll(p StandardParams) ([]MinTagQueue, error) {
 	tagRange := 1 << uint(p.TagBits)
 	veb, err := NewVEB(p.TagBits)
@@ -84,6 +88,10 @@ func NewAll(p StandardParams) ([]MinTagQueue, error) {
 	if err != nil {
 		return nil, err
 	}
+	shd, err := NewSharded(p.ShardLanes, p.Capacity)
+	if err != nil {
+		return nil, err
+	}
 	return []MinTagQueue{
 		NewSortedList(),
 		NewBST(),
@@ -97,6 +105,7 @@ func NewAll(p StandardParams) ([]MinTagQueue, error) {
 		tcam,
 		bt,
 		mbt,
+		shd,
 	}, nil
 }
 

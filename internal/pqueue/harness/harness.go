@@ -1,0 +1,214 @@
+// Package harness is the differential oracle for the Table I queue
+// implementations: it generates seeded deterministic insert/extract
+// scripts that respect every method's preconditions (bounded backlog,
+// tags drawn from a moving window above a monotone service floor) and
+// checks each MinTagQueue against a trivially-correct stable reference.
+// Exact methods must reproduce the oracle's departure sequence
+// entry-for-entry — including FCFS order among duplicate tags — while
+// approximate methods must serve exactly the inserted multiset.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wfqsort/internal/pqueue"
+)
+
+// OpKind discriminates script operations.
+type OpKind int
+
+// Script operations.
+const (
+	// OpInsert inserts Tag with the next sequential payload.
+	OpInsert OpKind = iota + 1
+	// OpExtract extracts the minimum.
+	OpExtract
+)
+
+// Op is one scripted queue operation.
+type Op struct {
+	Kind OpKind
+	Tag  int // valid for OpInsert
+}
+
+// Script is a deterministic operation sequence. Payloads are implicit:
+// the i-th insert carries payload i, so FCFS order among duplicate tags
+// is observable in the served sequence.
+type Script struct {
+	Ops      []Op
+	TagRange int
+	Inserts  int
+}
+
+// Params bounds script generation.
+type Params struct {
+	Ops      int // total operations to aim for (drain ops come on top)
+	TagRange int // tag universe size (tags in [0, TagRange))
+	Window   int // tags are drawn from [floor, floor+Window]
+	Backlog  int // maximum simultaneous stored entries
+}
+
+// DefaultScriptParams matches the Table I geometry: 12-bit tags, a
+// 256-unit arrival window, and a backlog comfortably inside every
+// method's capacity.
+func DefaultScriptParams() Params {
+	return Params{Ops: 600, TagRange: 4096, Window: 256, Backlog: 192}
+}
+
+// Generate builds a deterministic script from the seed. The generator
+// simulates the oracle while emitting ops so that the service floor is
+// known exactly: inserted tags never fall below the last served tag
+// (the calendar/CAM family precondition) and extracts never hit an
+// empty queue. The script ends with a full drain. A small window
+// relative to the op count makes duplicate tags frequent, so FCFS
+// tie-breaking is exercised on every run.
+func Generate(seed int64, p Params) (Script, error) {
+	if p.Ops <= 0 || p.TagRange <= 1 || p.Window <= 0 || p.Window >= p.TagRange || p.Backlog <= 0 {
+		return Script{}, fmt.Errorf("harness: invalid params %+v", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		s     Script
+		ref   oracleState
+		floor int
+	)
+	s.TagRange = p.TagRange
+	for len(s.Ops) < p.Ops {
+		// Bias toward inserts while shallow, extracts while deep, so the
+		// backlog sweeps through its whole range.
+		insertP := 1 - float64(ref.len())/float64(p.Backlog)
+		if ref.len() == 0 || (ref.len() < p.Backlog && rng.Float64() < insertP) {
+			hi := floor + p.Window
+			if hi > p.TagRange-1 {
+				hi = p.TagRange - 1
+			}
+			tag := floor
+			if hi > floor {
+				tag = floor + rng.Intn(hi-floor+1)
+			}
+			ref.insert(tag, s.Inserts)
+			s.Ops = append(s.Ops, Op{Kind: OpInsert, Tag: tag})
+			s.Inserts++
+			continue
+		}
+		e := ref.extract()
+		if e.Tag > floor {
+			floor = e.Tag
+		}
+		s.Ops = append(s.Ops, Op{Kind: OpExtract})
+	}
+	for ref.len() > 0 {
+		e := ref.extract()
+		if e.Tag > floor {
+			floor = e.Tag
+		}
+		s.Ops = append(s.Ops, Op{Kind: OpExtract})
+	}
+	return s, nil
+}
+
+// oracleState is the reference model: a stable sorted list. Insert
+// places an entry after all existing entries with tag ≤ its own, so
+// equal tags serve in insertion (FCFS) order — the contract every exact
+// hardware method must honour.
+type oracleState struct {
+	entries []pqueue.Entry
+}
+
+func (o *oracleState) len() int { return len(o.entries) }
+
+func (o *oracleState) insert(tag, payload int) {
+	i := sort.Search(len(o.entries), func(i int) bool { return o.entries[i].Tag > tag })
+	o.entries = append(o.entries, pqueue.Entry{})
+	copy(o.entries[i+1:], o.entries[i:])
+	o.entries[i] = pqueue.Entry{Tag: tag, Payload: payload}
+}
+
+func (o *oracleState) extract() pqueue.Entry {
+	e := o.entries[0]
+	o.entries = o.entries[1:]
+	return e
+}
+
+// Oracle replays the script on the stable reference model and returns
+// the departure sequence.
+func Oracle(s Script) []pqueue.Entry {
+	var (
+		ref     oracleState
+		payload int
+		served  []pqueue.Entry
+	)
+	for _, op := range s.Ops {
+		if op.Kind == OpInsert {
+			ref.insert(op.Tag, payload)
+			payload++
+			continue
+		}
+		served = append(served, ref.extract())
+	}
+	return served
+}
+
+// Drive replays the script on q and returns its departure sequence.
+func Drive(q pqueue.MinTagQueue, s Script) ([]pqueue.Entry, error) {
+	var (
+		payload int
+		served  []pqueue.Entry
+	)
+	for i, op := range s.Ops {
+		if op.Kind == OpInsert {
+			if err := q.Insert(op.Tag, payload); err != nil {
+				return nil, fmt.Errorf("harness: %s op %d insert tag %d: %w", q.Name(), i, op.Tag, err)
+			}
+			payload++
+			continue
+		}
+		e, err := q.ExtractMin()
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s op %d extract: %w", q.Name(), i, err)
+		}
+		served = append(served, e)
+	}
+	if q.Len() != 0 {
+		return nil, fmt.Errorf("harness: %s holds %d entries after drain", q.Name(), q.Len())
+	}
+	return served, nil
+}
+
+// Check drives q through the script and compares it against the oracle.
+// Exact methods must match the oracle's (tag, payload) sequence
+// position-for-position; approximate methods must serve a permutation
+// of the inserted entries.
+func Check(q pqueue.MinTagQueue, s Script) error {
+	want := Oracle(s)
+	got, err := Drive(q, s)
+	if err != nil {
+		return err
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("harness: %s served %d entries, oracle served %d", q.Name(), len(got), len(want))
+	}
+	if q.Exact() {
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("harness: %s diverges at departure %d: served tag %d payload %d, oracle tag %d payload %d",
+					q.Name(), i, got[i].Tag, got[i].Payload, want[i].Tag, want[i].Payload)
+			}
+		}
+		return nil
+	}
+	// Approximate methods may reorder, but must conserve entries.
+	seen := make(map[pqueue.Entry]int, len(want))
+	for _, e := range want {
+		seen[e]++
+	}
+	for _, e := range got {
+		seen[e]--
+		if seen[e] < 0 {
+			return fmt.Errorf("harness: %s served unexpected entry tag %d payload %d", q.Name(), e.Tag, e.Payload)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package harness
+
+import (
+	"testing"
+
+	"wfqsort/internal/pqueue"
+)
+
+// newQueues builds one fresh instance of every Table I method plus the
+// sharded sorter at every acceptance lane count (N ∈ {1, 2, 4, 8};
+// NewAll already contains the 4-lane default).
+func newQueues(t testing.TB) []pqueue.MinTagQueue {
+	t.Helper()
+	qs, err := pqueue.NewAll(pqueue.DefaultParams())
+	if err != nil {
+		t.Fatalf("NewAll: %v", err)
+	}
+	for _, lanes := range []int{1, 2, 8} {
+		s, err := pqueue.NewSharded(lanes, 4096)
+		if err != nil {
+			t.Fatalf("NewSharded(%d): %v", lanes, err)
+		}
+		qs = append(qs, s)
+	}
+	return qs
+}
+
+// TestDifferentialOracle drives every implementation through identical
+// seeded scripts across window shapes and backlog depths. Exact methods
+// must reproduce the stable oracle entry-for-entry (FCFS among
+// duplicate tags included); approximate methods must conserve the
+// inserted multiset.
+func TestDifferentialOracle(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"default", DefaultScriptParams()},
+		{"tight-window-heavy-duplicates", Params{Ops: 500, TagRange: 4096, Window: 8, Backlog: 96}},
+		{"wide-window", Params{Ops: 500, TagRange: 4096, Window: 2048, Backlog: 128}},
+		{"deep-backlog", Params{Ops: 900, TagRange: 4096, Window: 512, Backlog: 1500}},
+		{"shallow-churn", Params{Ops: 700, TagRange: 4096, Window: 64, Backlog: 4}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				script, err := Generate(seed, tc.p)
+				if err != nil {
+					t.Fatalf("Generate(%d): %v", seed, err)
+				}
+				for _, q := range newQueues(t) {
+					if err := Check(q, script); err != nil {
+						t.Errorf("seed %d: %v", seed, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOracleFCFS pins the tie-breaking contract with a hand-written
+// script: three entries share one tag and must depart in insertion
+// order on every exact method.
+func TestOracleFCFS(t *testing.T) {
+	script := Script{
+		TagRange: 4096,
+		Inserts:  5,
+		Ops: []Op{
+			{Kind: OpInsert, Tag: 7}, // payload 0
+			{Kind: OpInsert, Tag: 3}, // payload 1
+			{Kind: OpInsert, Tag: 7}, // payload 2
+			{Kind: OpExtract},        // 3/1
+			{Kind: OpInsert, Tag: 7}, // payload 3
+			{Kind: OpInsert, Tag: 9}, // payload 4
+			{Kind: OpExtract},        // 7/0
+			{Kind: OpExtract},        // 7/2
+			{Kind: OpExtract},        // 7/3
+			{Kind: OpExtract},        // 9/4
+		},
+	}
+	want := []pqueue.Entry{{Tag: 3, Payload: 1}, {Tag: 7, Payload: 0}, {Tag: 7, Payload: 2}, {Tag: 7, Payload: 3}, {Tag: 9, Payload: 4}}
+	got := Oracle(script)
+	if len(got) != len(want) {
+		t.Fatalf("oracle served %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("oracle departure %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, q := range newQueues(t) {
+		if !q.Exact() {
+			continue
+		}
+		if err := Check(q, script); err != nil {
+			t.Errorf("FCFS: %v", err)
+		}
+	}
+}
+
+// TestGenerateDeterminism: the same seed must yield the identical
+// script — the property that makes every oracle failure replayable.
+func TestGenerateDeterminism(t *testing.T) {
+	p := DefaultScriptParams()
+	a, err := Generate(42, p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(42, p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(a.Ops) != len(b.Ops) || a.Inserts != b.Inserts {
+		t.Fatalf("seed 42 scripts differ in shape: %d/%d ops, %d/%d inserts",
+			len(a.Ops), len(b.Ops), a.Inserts, b.Inserts)
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("seed 42 scripts differ at op %d: %+v vs %+v", i, a.Ops[i], b.Ops[i])
+		}
+	}
+}
+
+// TestGenerateRespectsFloor: generated scripts must never insert below
+// the current service floor (the calendar/CAM precondition) nor exceed
+// the backlog bound.
+func TestGenerateRespectsFloor(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := Params{Ops: 400, TagRange: 4096, Window: 128, Backlog: 64}
+		script, err := Generate(seed, p)
+		if err != nil {
+			t.Fatalf("Generate(%d): %v", seed, err)
+		}
+		var ref oracleState
+		floor, payload, depth := 0, 0, 0
+		for i, op := range script.Ops {
+			switch op.Kind {
+			case OpInsert:
+				if op.Tag < floor {
+					t.Fatalf("seed %d op %d: insert tag %d below floor %d", seed, i, op.Tag, floor)
+				}
+				if op.Tag < 0 || op.Tag >= p.TagRange {
+					t.Fatalf("seed %d op %d: tag %d outside range %d", seed, i, op.Tag, p.TagRange)
+				}
+				ref.insert(op.Tag, payload)
+				payload++
+				depth++
+				if depth > p.Backlog {
+					t.Fatalf("seed %d op %d: backlog %d exceeds bound %d", seed, i, depth, p.Backlog)
+				}
+			case OpExtract:
+				if ref.len() == 0 {
+					t.Fatalf("seed %d op %d: extract on empty", seed, i)
+				}
+				if e := ref.extract(); e.Tag > floor {
+					floor = e.Tag
+				}
+				depth--
+			}
+		}
+		if ref.len() != 0 {
+			t.Fatalf("seed %d: script leaves %d entries undrained", seed, ref.len())
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Params{
+		{Ops: 0, TagRange: 4096, Window: 16, Backlog: 8},
+		{Ops: 10, TagRange: 1, Window: 16, Backlog: 8},
+		{Ops: 10, TagRange: 4096, Window: 0, Backlog: 8},
+		{Ops: 10, TagRange: 4096, Window: 4096, Backlog: 8},
+		{Ops: 10, TagRange: 4096, Window: 16, Backlog: 0},
+	}
+	for _, p := range bad {
+		if _, err := Generate(1, p); err == nil {
+			t.Errorf("Generate accepted invalid params %+v", p)
+		}
+	}
+}
+
+// FuzzDifferentialOracle lets the fuzzer steer the script generator's
+// seed and shape, hunting for an op sequence on which any
+// implementation diverges from the stable oracle.
+func FuzzDifferentialOracle(f *testing.F) {
+	f.Add(int64(1), uint16(300), uint8(16), uint8(32))
+	f.Add(int64(99), uint16(500), uint8(1), uint8(200))
+	f.Add(int64(7), uint16(200), uint8(255), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, ops uint16, window, backlog uint8) {
+		p := Params{
+			Ops:      50 + int(ops)%450,
+			TagRange: 4096,
+			Window:   1 + int(window)*8,
+			Backlog:  1 + int(backlog),
+		}
+		script, err := Generate(seed, p)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		for _, q := range newQueues(t) {
+			if err := Check(q, script); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}

@@ -58,7 +58,11 @@ func exactMethods(t *testing.T) []MinTagQueue {
 	if err != nil {
 		t.Fatalf("NewMultiBitTree: %v", err)
 	}
-	return []MinTagQueue{NewSortedList(), NewBST(), NewBinaryHeap(), veb, cam, tcam, bt, mbt}
+	shd, err := NewSharded(4, 8192)
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	return []MinTagQueue{NewSortedList(), NewBST(), NewBinaryHeap(), veb, cam, tcam, bt, mbt, shd}
 }
 
 // TestExactMethodsDifferential drives every exact method against the
@@ -114,8 +118,8 @@ func TestEmptyExtractErrors(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewAll: %v", err)
 	}
-	if len(all) != 12 {
-		t.Fatalf("NewAll built %d methods, want 12", len(all))
+	if len(all) != 13 {
+		t.Fatalf("NewAll built %d methods, want 13", len(all))
 	}
 	for _, q := range all {
 		if _, err := q.ExtractMin(); !errors.Is(err, ErrEmpty) {

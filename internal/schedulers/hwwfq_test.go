@@ -1,0 +1,182 @@
+package schedulers
+
+import (
+	"testing"
+
+	"wfqsort/internal/gps"
+	"wfqsort/internal/packet"
+	"wfqsort/internal/pqueue"
+	"wfqsort/internal/traffic"
+	"wfqsort/internal/wfq"
+)
+
+// hwwfqWorkload builds a granularity-exact two-burst workload: three
+// flows with weights {0.5, 0.25, 0.25} on a 1 Mb/s link, fixed 125 B
+// packets, all arrivals backlogged at the burst start. Every finishing
+// tag is then a multiple of 1 ms of virtual time above the burst's
+// common start value (L/(φC) = 2 ms and 4 ms), so quantizing at 1 ms
+// granularity is lossless: quantized order equals float order and the
+// only ties are exact float ties, which both paths break FCFS. The gap
+// between bursts drains the system, exercising the HWWFQ floor rebase.
+func hwwfqWorkload(t *testing.T) ([]float64, float64, []packet.Packet) {
+	t.Helper()
+	weights := []float64{0.5, 0.25, 0.25}
+	const capacity = 1e6
+	var srcs []traffic.Source
+	for _, burst := range []float64{0, 0.25} {
+		counts := []int{60, 40, 40}
+		for f, n := range counts {
+			s, err := traffic.NewCBR(f, 1e9, 125, n, burst)
+			if err != nil {
+				t.Fatalf("NewCBR: %v", err)
+			}
+			srcs = append(srcs, s)
+		}
+	}
+	pkts, err := traffic.Merge(srcs...)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	return weights, capacity, pkts
+}
+
+// hwQueues builds the exact min-tag structures the HWWFQ discipline can
+// serve through, including the sharded multi-lane tree.
+func hwQueues(t *testing.T) map[string]pqueue.MinTagQueue {
+	t.Helper()
+	mbt, err := pqueue.NewMultiBitTree(4096)
+	if err != nil {
+		t.Fatalf("NewMultiBitTree: %v", err)
+	}
+	shd, err := pqueue.NewSharded(4, 4096)
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	return map[string]pqueue.MinTagQueue{
+		"heap":    pqueue.NewBinaryHeap(),
+		"tree":    mbt,
+		"sharded": shd,
+	}
+}
+
+// TestHWWFQMatchesFloatWFQ: on a granularity-exact workload the
+// quantized hardware path must serve the identical departure sequence
+// as the float-heap WFQ, whichever min-tag structure it runs on.
+func TestHWWFQMatchesFloatWFQ(t *testing.T) {
+	weights, capacity, pkts := hwwfqWorkload(t)
+	want, err := Run(pkts, mustWFQ(t, weights, capacity), capacity)
+	if err != nil {
+		t.Fatalf("float WFQ Run: %v", err)
+	}
+	if len(want) != len(pkts) {
+		t.Fatalf("float WFQ served %d of %d", len(want), len(pkts))
+	}
+	for name, q := range hwQueues(t) {
+		q := q
+		t.Run(name, func(t *testing.T) {
+			d, err := NewHWWFQ(weights, capacity, 1e-3, 4096, q)
+			if err != nil {
+				t.Fatalf("NewHWWFQ: %v", err)
+			}
+			got, err := Run(pkts, d, capacity)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("served %d packets, float WFQ served %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Packet.ID != want[i].Packet.ID {
+					t.Fatalf("position %d: served packet %d, float WFQ served %d",
+						i, got[i].Packet.ID, want[i].Packet.ID)
+				}
+				if !approx(got[i].Finish, want[i].Finish, 1e-9) {
+					t.Fatalf("packet %d finish %v, float WFQ finish %v",
+						got[i].Packet.ID, got[i].Finish, want[i].Finish)
+				}
+			}
+		})
+	}
+}
+
+// TestHWWFQDelayBound verifies the paper's central claim survives the
+// hardware path: WFQ served through a quantized min-tag queue still
+// finishes every packet within one maximum packet time of its GPS
+// finish.
+func TestHWWFQDelayBound(t *testing.T) {
+	weights, capacity, pkts := hwwfqWorkload(t)
+	ref, err := gps.Simulate(pkts, weights, capacity)
+	if err != nil {
+		t.Fatalf("gps.Simulate: %v", err)
+	}
+	bound := wfq.DelayBound(125*8, capacity)
+	for name, q := range hwQueues(t) {
+		q := q
+		t.Run(name, func(t *testing.T) {
+			d, err := NewHWWFQ(weights, capacity, 1e-3, 4096, q)
+			if err != nil {
+				t.Fatalf("NewHWWFQ: %v", err)
+			}
+			deps, err := Run(pkts, d, capacity)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if len(deps) != len(pkts) {
+				t.Fatalf("served %d of %d packets", len(deps), len(pkts))
+			}
+			for _, dep := range deps {
+				if lag := dep.Finish - ref.Finish[dep.Packet.ID]; lag > bound+1e-9 {
+					t.Fatalf("packet %d lags GPS by %v, bound %v", dep.Packet.ID, lag, bound)
+				}
+			}
+		})
+	}
+}
+
+// TestHWWFQTagWindowOverflow: a granularity far too fine for the tag
+// range must surface as an explicit enqueue error, not silent
+// misordering.
+func TestHWWFQTagWindowOverflow(t *testing.T) {
+	weights, capacity, pkts := hwwfqWorkload(t)
+	mbt, err := pqueue.NewMultiBitTree(4096)
+	if err != nil {
+		t.Fatalf("NewMultiBitTree: %v", err)
+	}
+	d, err := NewHWWFQ(weights, capacity, 1e-6, 4096, mbt)
+	if err != nil {
+		t.Fatalf("NewHWWFQ: %v", err)
+	}
+	if _, err := Run(pkts, d, capacity); err == nil {
+		t.Fatal("1 µs granularity over a 4096-unit range: want tag window overflow error")
+	}
+}
+
+func TestHWWFQValidation(t *testing.T) {
+	weights := []float64{0.5, 0.5}
+	if _, err := NewHWWFQ(weights, 1e6, 0, 4096, pqueue.NewBinaryHeap()); err == nil {
+		t.Error("zero granularity: want error")
+	}
+	if _, err := NewHWWFQ(weights, 1e6, 1e-4, 0, pqueue.NewBinaryHeap()); err == nil {
+		t.Error("zero range: want error")
+	}
+	if _, err := NewHWWFQ(weights, 1e6, 1e-4, 4096, nil); err == nil {
+		t.Error("nil queue: want error")
+	}
+	lfvc, err := pqueue.NewLFVC(64, 4096)
+	if err != nil {
+		t.Fatalf("NewLFVC: %v", err)
+	}
+	if _, err := NewHWWFQ(weights, 1e6, 1e-4, 4096, lfvc); err == nil {
+		t.Error("approximate queue: want error")
+	}
+	w, err := NewHWWFQ(weights, 1e6, 1e-4, 4096, pqueue.NewBinaryHeap())
+	if err != nil {
+		t.Fatalf("NewHWWFQ: %v", err)
+	}
+	if _, err := w.Dequeue(0); err == nil {
+		t.Error("empty dequeue: want error")
+	}
+	if err := w.Enqueue(packet.Packet{Flow: 7, Size: 100}, 0); err == nil {
+		t.Error("out-of-range flow: want error")
+	}
+}

@@ -1,0 +1,73 @@
+package sharded
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkInsertBatch sweeps the lane count with a fixed batched
+// steady-state workload. Wall time reflects host parallelism (one
+// goroutine per lane); the model-speedup metric reports the parallel
+// hardware's cycle-accounted gain, which is host-independent.
+func BenchmarkInsertBatch(b *testing.B) {
+	const batchSize = 1024
+	for _, lanes := range []int{1, 2, 4, 8} {
+		lanes := lanes
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			s, err := New(Config{Lanes: lanes, LaneCapacity: 8192})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			batch := make([]Request, batchSize)
+			for i := range batch {
+				batch[i] = Request{Tag: rng.Intn(4096), Payload: i}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.InsertBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < batchSize; j++ {
+					if _, err := s.ExtractMin(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			st := s.Stats()
+			b.ReportMetric(st.ModelSpeedup(), "model-speedup")
+			b.ReportMetric(float64(st.SelectDepth), "select-depth")
+		})
+	}
+}
+
+// BenchmarkSteadyState measures unbatched insert+extract pairs through
+// the select tree, the latency-critical single-packet path.
+func BenchmarkSteadyState(b *testing.B) {
+	for _, lanes := range []int{1, 4} {
+		lanes := lanes
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			s, err := New(Config{Lanes: lanes, LaneCapacity: 4096})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(13))
+			for i := 0; i < 1024; i++ {
+				if err := s.Insert(rng.Intn(4096), i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Insert(rng.Intn(4096), i); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.ExtractMin(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -29,6 +29,7 @@ package wfqsort
 import (
 	"wfqsort/internal/core"
 	"wfqsort/internal/scheduler"
+	"wfqsort/internal/sharded"
 	"wfqsort/internal/taglist"
 )
 
@@ -112,4 +113,23 @@ const (
 // NewScheduler builds the full scheduler datapath.
 func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	return scheduler.New(cfg)
+}
+
+// ShardedSorter scales the sort/retrieve circuit across N independent
+// lanes: the tag space is partitioned so every tag maps to exactly one
+// lane, and a log₂(N)-deep min-combining select tree over the lane
+// heads keeps extraction fixed-time. It serves exactly the sequence a
+// single Sorter would. See internal/sharded and DESIGN.md §9.
+type ShardedSorter = sharded.ShardedSorter
+
+// ShardedConfig configures a ShardedSorter.
+type ShardedConfig = sharded.Config
+
+// ShardedRequest is one insert of a sharded batch.
+type ShardedRequest = sharded.Request
+
+// NewShardedSorter builds an N-lane sharded sorter (default 4 lanes of
+// 1024 links each, interleaved tag partitioning).
+func NewShardedSorter(cfg ShardedConfig) (*ShardedSorter, error) {
+	return sharded.New(cfg)
 }

@@ -72,3 +72,30 @@ func TestFacadeOverloadPolicy(t *testing.T) {
 		t.Fatal("nil scheduler")
 	}
 }
+
+// TestFacadeShardedSorter exercises the sharded scale-out through the
+// public API: the same flow the README sharded example documents.
+func TestFacadeShardedSorter(t *testing.T) {
+	s, err := NewShardedSorter(ShardedConfig{Lanes: 4, LaneCapacity: 64})
+	if err != nil {
+		t.Fatalf("NewShardedSorter: %v", err)
+	}
+	if _, err := s.InsertBatch([]ShardedRequest{
+		{Tag: 310, Payload: 100}, {Tag: 42, Payload: 101}, {Tag: 42, Payload: 102},
+	}); err != nil {
+		t.Fatalf("InsertBatch: %v", err)
+	}
+	want := []Entry{{Tag: 42, Payload: 101}, {Tag: 42, Payload: 102}, {Tag: 310, Payload: 100}}
+	for _, w := range want {
+		e, err := s.ExtractMin()
+		if err != nil {
+			t.Fatalf("ExtractMin: %v", err)
+		}
+		if e.Tag != w.Tag || e.Payload != w.Payload {
+			t.Fatalf("served %d/%d, want %d/%d", e.Tag, e.Payload, w.Tag, w.Payload)
+		}
+	}
+	if sp := s.Stats().ModelSpeedup(); sp < 1 {
+		t.Fatalf("model speedup %v, want ≥ 1", sp)
+	}
+}
