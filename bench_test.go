@@ -215,6 +215,9 @@ func BenchmarkThroughput(b *testing.B) {
 			rng := rand.New(rand.NewSource(3))
 			const batch = 64
 			reqs := make([]sharded.Request, batch)
+			// Reset fabric/lane counters so model-speedup covers only
+			// this sub-benchmark's timed iterations.
+			s.ResetStats()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for j := range reqs {

@@ -32,6 +32,7 @@ import (
 	"wfqsort/internal/core"
 	"wfqsort/internal/fault"
 	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
 	"wfqsort/internal/packet"
 	"wfqsort/internal/scheduler"
 	"wfqsort/internal/taglist"
@@ -129,9 +130,10 @@ func schedulerWorkload(packets int, seed int64) ([]float64, float64, []packet.Pa
 // memory names for the given sorter capacity.
 func discoverMems(capacity int, mode core.Mode) ([]string, error) {
 	clock := &hwsim.Clock{}
+	fab := membus.New(clock)
 	inj := fault.NewInjector(fault.Campaign{}, clock)
-	clock.SetStoreHook(inj.Hook())
-	if _, err := core.New(core.Config{Capacity: capacity, Mode: mode, Clock: clock}); err != nil {
+	inj.Attach(fab)
+	if _, err := core.New(core.Config{Capacity: capacity, Mode: mode, Fabric: fab, Clock: clock}); err != nil {
 		return nil, err
 	}
 	return inj.Wrapped(), nil
@@ -174,9 +176,11 @@ func runCampaign(camp fault.Campaign, packets, sorterCap int, pol scheduler.Corr
 		return nil, err
 	}
 	clock := &hwsim.Clock{}
+	fab := membus.New(clock)
 	inj := fault.NewInjector(camp, clock)
-	clock.SetStoreHook(inj.Hook())
+	inj.Attach(fab)
 	sched, err := scheduler.New(scheduler.Config{
+		Fabric:         fab,
 		Weights:        weights,
 		CapacityBps:    capacity,
 		MemTech:        tech,
@@ -294,9 +298,10 @@ func coverageTrial(mode core.Mode, target string, kind fault.Kind, seed int64, t
 		camp.Faults[0].Stuck = ^uint64(0)
 	}
 	clock := &hwsim.Clock{}
+	fab := membus.New(clock)
 	inj := fault.NewInjector(camp, clock)
-	clock.SetStoreHook(inj.Hook())
-	s, err := core.New(core.Config{Capacity: capacity, Mode: mode, Clock: clock})
+	inj.Attach(fab)
+	s, err := core.New(core.Config{Capacity: capacity, Mode: mode, Fabric: fab, Clock: clock})
 	if err != nil {
 		return err
 	}

@@ -3,12 +3,14 @@
 //
 //	storeseam    — functional datapath traffic goes through hwsim.Store;
 //	               Peek/Poke debug ports only in audit/debug files
+//	portseam     — datapath memory traffic goes through *membus.Port;
+//	               no raw hwsim memory construction or Store-typed I/O
 //	errcorrupt   — corruption errors wrap hwsim.ErrCorrupt with %w and
 //	               are classified with errors.Is
 //	determinism  — no wall-clock time, no global math/rand, no
 //	               order-leaking map iteration
 //	cyclecharge  — literal cycle charges match documented costs; audit
-//	               files issue no clock-charged Store traffic
+//	               files issue no clock-charged Store or Port traffic
 //
 // Usage:
 //
@@ -31,6 +33,7 @@ import (
 	"wfqsort/internal/analysis/cyclecharge"
 	"wfqsort/internal/analysis/determinism"
 	"wfqsort/internal/analysis/errcorrupt"
+	"wfqsort/internal/analysis/portseam"
 	"wfqsort/internal/analysis/storeseam"
 )
 
@@ -45,6 +48,7 @@ func run() int {
 
 	all := []*analysis.Analyzer{
 		storeseam.Analyzer,
+		portseam.Analyzer,
 		errcorrupt.Analyzer,
 		determinism.Analyzer,
 		cyclecharge.Analyzer,

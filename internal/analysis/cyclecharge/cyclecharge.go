@@ -35,11 +35,15 @@ import (
 // HwsimPath is the clock-domain package.
 const HwsimPath = "wfqsort/internal/hwsim"
 
+// MembusPath is the memory fabric whose port arbiter charges the clock.
+const MembusPath = "wfqsort/internal/membus"
+
 // exemptPackages are the packages that implement the seam itself: hwsim
-// charges the clock inside the memory models, and the fault injector
-// deliberately interposes on raw memory.
+// and the membus fabric charge the clock inside the memory models, and
+// the fault injector deliberately interposes on raw memory.
 var exemptPackages = map[string]bool{
 	HwsimPath:                true,
+	MembusPath:               true,
 	"wfqsort/internal/fault": true,
 }
 
@@ -220,10 +224,15 @@ func checkAuditTraffic(pass *analysis.Pass, f *ast.File) {
 		}
 		if analysis.IsNamed(t, HwsimPath, "SRAM") ||
 			analysis.IsNamed(t, HwsimPath, "RegisterFile") ||
-			analysis.IsNamed(t, HwsimPath, "Store") {
+			analysis.IsNamed(t, HwsimPath, "Store") ||
+			analysis.IsNamed(t, MembusPath, "Port") {
+			kind := "Store"
+			if analysis.IsNamed(t, MembusPath, "Port") {
+				kind = "membus.Port"
+			}
 			pass.Reportf(call.Pos(),
 				"%s issues clock-charged %s traffic from audit file %s; scrub engines observe through Peek so the audited run's accounting is undisturbed",
-				name, "Store", base)
+				name, kind, base)
 		}
 		return true
 	})

@@ -12,6 +12,12 @@ func (e *Engine) AuditRepairWrite(addr int, w uint64) error {
 	return e.store.Write(addr, w) // want `Write issues clock-charged Store traffic from audit file audit.go`
 }
 
+// AuditPortScan walks memory through the fabric port from an audit
+// file: scheduled by the arbiter, charged to the clock, also flagged.
+func (e *Engine) AuditPortScan() (uint64, error) {
+	return e.port.Read(0) // want `Read issues clock-charged membus\.Port traffic from audit file audit.go`
+}
+
 // AuditComposite calls higher-level operations; only direct Store
 // traffic is flagged, so this is the false-positive guard (recovery
 // engines like Rebuild legitimately pay functional cost through

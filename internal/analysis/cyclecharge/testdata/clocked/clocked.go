@@ -1,7 +1,10 @@
 // Package clocked is cyclecharge analyzer testdata.
 package clocked
 
-import "wfqsort/internal/hwsim"
+import (
+	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
+)
 
 // WindowCycles is the documented operation window.
 const WindowCycles = 4
@@ -10,6 +13,7 @@ const WindowCycles = 4
 type Engine struct {
 	clock *hwsim.Clock
 	store hwsim.Store
+	port  *membus.Port
 }
 
 // GoodDocumented completes one 4-cycle operation window; the literal

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -176,6 +178,9 @@ func (l *Loader) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildable(f) {
+			continue
+		}
 		parsed = append(parsed, f)
 		fileNames = append(fileNames, name)
 	}
@@ -196,6 +201,36 @@ func (l *Loader) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
 		}
 	}
 	return files, nil
+}
+
+// buildable evaluates a file's //go:build constraint (if any) for the
+// default build environment: the host OS/arch and compiler are set,
+// instrumentation tags such as "race" and custom tags are not. Files
+// excluded by their constraint (e.g. the race-detector half of a
+// build-tagged pair) would otherwise redeclare symbols at type-check.
+func buildable(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH, runtime.Compiler, "unix":
+					return true
+				}
+				return strings.HasPrefix(tag, "go1.")
+			})
+		}
+	}
+	return true
 }
 
 // loaderImporter adapts the loader into a types.Importer: module-local

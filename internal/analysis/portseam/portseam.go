@@ -1,0 +1,113 @@
+// Package portseam enforces the fabric-port invariant of the banked
+// memory model: functional datapath code must address memory
+// exclusively through *membus.Port — the arbitrated functional port of
+// a fabric region — never by constructing raw hwsim memories and never
+// by issuing Read/Write on the hwsim.SRAM, hwsim.RegisterFile, or
+// hwsim.Store seam directly.
+//
+// The port is what makes the fabric's guarantees hold: every access
+// that reaches a region through its Port is scheduled by the per-cycle
+// bank/port arbiter (so window lengths are derived, not hand-charged),
+// counted in the per-bank statistics, and exposed to the fault
+// observer with its bank/port/cycle coordinates. A datapath package
+// that news up its own SRAM or calls Read on a Store-typed field has
+// silently re-opened the private-memory escape hatch this refactor
+// closed: its traffic dodges the arbiter, the stall accounting, and
+// every fault campaign.
+package portseam
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wfqsort/internal/analysis"
+)
+
+// HwsimPath is the import path of the raw hardware-model package.
+const HwsimPath = "wfqsort/internal/hwsim"
+
+// MembusPath is the import path of the memory fabric whose Port type is
+// the only legal functional access path.
+const MembusPath = "wfqsort/internal/membus"
+
+// DatapathPackages lists the functional datapath packages the invariant
+// applies to. Tests may add testdata packages loaded under these paths.
+var DatapathPackages = map[string]bool{
+	"wfqsort/internal/trie":       true,
+	"wfqsort/internal/taglist":    true,
+	"wfqsort/internal/transtable": true,
+	"wfqsort/internal/core":       true,
+}
+
+// rawConstructors are the hwsim package-level constructors a datapath
+// package must not call: memory is provisioned from the lane fabric.
+var rawConstructors = map[string]bool{
+	"NewSRAM":             true,
+	"MustNewSRAM":         true,
+	"NewRegisterFile":     true,
+	"MustNewRegisterFile": true,
+}
+
+// Analyzer is the portseam analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "portseam",
+	Doc: "functional datapath memory traffic goes through *membus.Port; " +
+		"no raw hwsim memory construction or hwsim-typed Read/Write",
+	Run: run,
+}
+
+// hwsimBacked reports whether t is a type whose Read/Write dodges the
+// fabric arbiter: the raw memory models or the hwsim.Store interface.
+func hwsimBacked(t types.Type) bool {
+	return analysis.IsNamed(t, HwsimPath, "SRAM") ||
+		analysis.IsNamed(t, HwsimPath, "RegisterFile") ||
+		analysis.IsNamed(t, HwsimPath, "Store")
+}
+
+func run(pass *analysis.Pass) error {
+	if !DatapathPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			if sig.Recv() == nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == HwsimPath && rawConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"datapath constructs a private hwsim memory via %s; provision a membus.Region from the fabric and use its Port",
+						fn.Name())
+				}
+				return true
+			}
+			if fn.Name() != "Read" && fn.Name() != "Write" {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := pass.TypeOf(sel.X)
+			if recv == nil {
+				return true
+			}
+			if hwsimBacked(recv) {
+				pass.Reportf(call.Pos(),
+					"%s on %s bypasses the fabric port arbiter (unscheduled, unobserved access); route datapath traffic through *membus.Port",
+					fn.Name(), analysis.Deref(recv).String())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+// Package datapath is portseam analyzer testdata. It is loaded by the
+// test harness under a datapath import path so the invariant applies.
+package datapath
+
+import (
+	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
+)
+
+// Structure models a datapath structure holding a fabric port (legal),
+// a raw SRAM handle, and a Store-typed field (both illegal to drive).
+type Structure struct {
+	port  *membus.Port
+	mem   *hwsim.SRAM
+	store hwsim.Store
+}
+
+// Good drives the fabric port: scheduled, counted, observable.
+func (s *Structure) Good() error {
+	w, err := s.port.Read(0)
+	if err != nil {
+		return err
+	}
+	return s.port.Write(1, w)
+}
+
+// BadConstruct builds a private memory outside the fabric.
+func BadConstruct(clock *hwsim.Clock) (*hwsim.SRAM, error) {
+	return hwsim.NewSRAM(hwsim.SRAMConfig{Name: "rogue", Depth: 4, WordBits: 8}, clock) // want `datapath constructs a private hwsim memory via NewSRAM`
+}
+
+// BadConstructRegisters builds a private register file.
+func BadConstructRegisters() (*hwsim.RegisterFile, error) {
+	return hwsim.NewRegisterFile("rogue-regs", 4, 8) // want `datapath constructs a private hwsim memory via NewRegisterFile`
+}
+
+// BadRawRead drives the raw SRAM handle around the arbiter.
+func (s *Structure) BadRawRead() (uint64, error) {
+	return s.mem.Read(0) // want `Read on wfqsort/internal/hwsim\.SRAM bypasses the fabric port arbiter`
+}
+
+// BadStoreWrite drives the legacy Store seam around the arbiter.
+func (s *Structure) BadStoreWrite() error {
+	return s.store.Write(0, 1) // want `Write on wfqsort/internal/hwsim\.Store bypasses the fabric port arbiter`
+}

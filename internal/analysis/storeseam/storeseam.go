@@ -5,8 +5,8 @@
 // ports outside audit/debug files.
 //
 // The Store seam is what makes the fault-injection and integrity-audit
-// subsystem possible: a StoreHook interposer wraps the SRAM so that
-// every functional access can be observed or corrupted. A Read or Write
+// subsystem possible: the membus fabric observer interposes on every
+// functional access so it can be observed or corrupted. A Read or Write
 // issued on the raw SRAM handle silently bypasses the injector (the
 // fault campaign under-covers that path), and a Peek on a functional
 // path dodges both the access counters and the clock — the paper's

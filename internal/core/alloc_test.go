@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"wfqsort/internal/raceflag"
+)
+
+// TestHotPathZeroAlloc pins the steady-state datapath to zero heap
+// allocations per operation: the fabric's preallocated access ring, the
+// trie's delete scratch, and the free-list allocator must absorb every
+// Insert and ExtractMin without touching the heap. Skipped under -race
+// (detector instrumentation allocates on otherwise-clean paths).
+func TestHotPathZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	s, err := New(Config{Capacity: 256})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Warm up past the initialization counter so allocate() runs the
+	// steady-state free-list path, and cycle tags so markers churn.
+	tag := func(i int) int { return (i*37 + 11) % 4096 }
+	for i := 0; i < 256; i++ {
+		if err := s.Insert(tag(i), i%64); err != nil {
+			t.Fatalf("warmup insert: %v", err)
+		}
+	}
+	for i := 0; i < 128; i++ {
+		if _, err := s.ExtractMin(); err != nil {
+			t.Fatalf("warmup extract: %v", err)
+		}
+	}
+
+	i := 1000
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := s.Insert(tag(i), i%64); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		i++
+		if _, err := s.ExtractMin(); err != nil {
+			t.Fatalf("ExtractMin: %v", err)
+		}
+	}); avg != 0 {
+		t.Fatalf("Insert+ExtractMin allocates %.2f objects/op, want 0", avg)
+	}
+
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := s.InsertExtractMin(tag(i), i%64); err != nil {
+			t.Fatalf("InsertExtractMin: %v", err)
+		}
+		i++
+	}); avg != 0 {
+		t.Fatalf("combined window allocates %.2f objects/op, want 0", avg)
+	}
+}

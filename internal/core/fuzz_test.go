@@ -8,6 +8,7 @@ import (
 
 	"wfqsort/internal/fault"
 	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
 	"wfqsort/internal/taglist"
 )
 
@@ -135,9 +136,10 @@ func FuzzFaultRecovery(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		clock := &hwsim.Clock{}
+		fab := membus.New(clock)
 		inj := fault.NewInjector(fault.Campaign{Seed: 99}, clock)
-		clock.SetStoreHook(inj.Hook())
-		s, err := New(Config{Capacity: 64, Mode: ModeEager, Clock: clock})
+		inj.Attach(fab)
+		s, err := New(Config{Capacity: 64, Mode: ModeEager, Fabric: fab, Clock: clock})
 		if err != nil {
 			t.Fatalf("New: %v", err)
 		}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"wfqsort/internal/hwsim"
+	"wfqsort/internal/taglist"
+)
+
+// TestCycleNeutralityGolden pins the silicon-geometry sorter's cycle and
+// memory-traffic accounting to the numbers captured on the pre-fabric
+// memory model (per-access clock charging). The banked fabric derives
+// every window from port scheduling, so any drift in these counters
+// means the arbiter no longer reproduces the paper's Fig. 9–10 budget:
+// a 2-read/2-write tag-store window spanning exactly 4 cycles on SDR
+// SRAM, with a simultaneous insert+extract fitting the same window.
+func TestCycleNeutralityGolden(t *testing.T) {
+	clock := &hwsim.Clock{}
+	s, err := New(Config{Capacity: 64, Clock: clock})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// Phase 1: ramp to 32 occupancy with plain inserts.
+	for i := 0; i < 32; i++ {
+		if err := s.Insert((i*37+11)%4096, i); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if clock.Now() != 252 {
+		t.Fatalf("clock after inserts = %d, want 252", clock.Now())
+	}
+
+	// Phase 2: 64 steady-state combined windows. Each op must cost the
+	// tag store exactly 2 reads + 2 writes in one derived 4-cycle window
+	// (Fig. 9–10), and the first ops after the ramp must reproduce the
+	// captured whole-pipeline cycle deltas.
+	wantDeltas := []uint64{14, 13, 14, 13, 13, 13, 13, 14}
+	list := s.Fabric().Region("tag-storage")
+	if list == nil {
+		t.Fatal("no tag-storage region on the sorter fabric")
+	}
+	for i := 0; i < 64; i++ {
+		beforeClock := clock.Now()
+		beforeList := list.Stats()
+		if _, err := s.InsertExtractMin((i*53+200)%4096, i); err != nil {
+			t.Fatalf("combined %d: %v", i, err)
+		}
+		ls := list.Stats()
+		if r, w := ls.Reads-beforeList.Reads, ls.Writes-beforeList.Writes; r != 2 || w != 2 {
+			t.Fatalf("combined %d: tag-storage %dR+%dW, want 2R+2W (Fig. 9)", i, r, w)
+		}
+		if d := ls.Cycles - beforeList.Cycles; d != taglist.WindowCycles {
+			t.Fatalf("combined %d: tag-storage window %d cycles, want %d (Fig. 10)", i, d, taglist.WindowCycles)
+		}
+		if ws := ls.Windows - beforeList.Windows; ws != 1 {
+			t.Fatalf("combined %d: %d windows closed, want 1", i, ws)
+		}
+		if i < len(wantDeltas) {
+			if d := clock.Now() - beforeClock; d != wantDeltas[i] {
+				t.Fatalf("combined %d: pipeline delta %d cycles, want %d", i, d, wantDeltas[i])
+			}
+		}
+	}
+	if clock.Now() != 1087 {
+		t.Fatalf("clock after combined ops = %d, want 1087", clock.Now())
+	}
+
+	// Phase 3: drain.
+	if _, err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if clock.Now() != 1278 {
+		t.Fatalf("clock after drain = %d, want 1278", clock.Now())
+	}
+
+	// Whole-run traffic, pinned to the pre-fabric capture.
+	st := s.Stats()
+	if st.ListWindows != 128 {
+		t.Fatalf("list windows = %d, want 128", st.ListWindows)
+	}
+	ls := list.AccessStats()
+	if ls.Reads != 190 || ls.Writes != 223 || ls.Cycles != 413 {
+		t.Fatalf("tag-storage traffic %dR/%dW/%dcyc, want 190/223/413", ls.Reads, ls.Writes, ls.Cycles)
+	}
+	if st.TreeNodeReads != 940 || st.TreeNodeWrites != 396 {
+		t.Fatalf("tree traffic %dR/%dW, want 940/396", st.TreeNodeReads, st.TreeNodeWrites)
+	}
+	if st.TableAccesses != 382 {
+		t.Fatalf("table accesses = %d, want 382", st.TableAccesses)
+	}
+	tbl := s.Fabric().Region("translation-table")
+	if ts := tbl.AccessStats(); ts.Reads != 191 || ts.Writes != 191 {
+		t.Fatalf("table traffic %dR/%dW, want 191/191", ts.Reads, ts.Writes)
+	}
+	// Every tag-store access happens inside an operation window, so the
+	// derived window-cycle total equals the region's access cycles: the
+	// fabric charges nothing beyond what the port schedule requires.
+	if ls2 := list.Stats(); ls2.Windows != 128 || ls2.WindowCycles != ls2.Cycles {
+		t.Fatalf("derived windows %d/%d cycles, want 128 windows spanning %d cycles", ls2.Windows, ls2.WindowCycles, ls2.Cycles)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
 	"wfqsort/internal/pipeline"
 	"wfqsort/internal/taglist"
 	"wfqsort/internal/transtable"
@@ -89,7 +90,13 @@ type Config struct {
 	// marker lands after the largest live tag (the sections below it
 	// having been reclaimed, paper Fig. 6).
 	StrictMonotonic bool
-	// Clock, when non-nil, is advanced by memory accesses.
+	// Fabric, when non-nil, is the memory fabric every component
+	// memory (tree levels, translation table, tag storage) is
+	// provisioned from; all accesses share its clock domain and port
+	// arbiter. When nil, a private fabric is built on Clock.
+	Fabric *membus.Fabric
+	// Clock, when non-nil and Fabric is nil, is the clock domain of
+	// the sorter's private fabric.
 	Clock *hwsim.Clock
 }
 
@@ -112,6 +119,7 @@ type Stats struct {
 // use: the modelled hardware is a single synchronous pipeline.
 type Sorter struct {
 	cfg   Config
+	fab   *membus.Fabric
 	tree  *trie.Trie
 	table *transtable.Table
 	list  *taglist.List
@@ -137,11 +145,15 @@ func New(cfg Config) (*Sorter, error) {
 	if registerLevels > 2 {
 		registerLevels = 2
 	}
+	fab := cfg.Fabric
+	if fab == nil {
+		fab = membus.New(cfg.Clock)
+	}
 	tree, err := trie.New(trie.Config{
 		Levels:         cfg.Levels,
 		LiteralBits:    cfg.LiteralBits,
 		RegisterLevels: registerLevels,
-		Clock:          cfg.Clock,
+		Fabric:         fab,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: tree: %w", err)
@@ -153,7 +165,7 @@ func New(cfg Config) (*Sorter, error) {
 	for 1<<uint(addrBits) < cfg.Capacity {
 		addrBits++
 	}
-	table, err := transtable.New(tree.TagBits(), addrBits, cfg.Clock)
+	table, err := transtable.New(tree.TagBits(), addrBits, fab)
 	if err != nil {
 		return nil, fmt.Errorf("core: translation table: %w", err)
 	}
@@ -162,13 +174,17 @@ func New(cfg Config) (*Sorter, error) {
 		TagBits:     tree.TagBits(),
 		PayloadBits: cfg.PayloadBits,
 		Tech:        cfg.MemTech,
-		Clock:       cfg.Clock,
+		Fabric:      fab,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: tag store: %w", err)
 	}
-	return &Sorter{cfg: cfg, tree: tree, table: table, list: list}, nil
+	return &Sorter{cfg: cfg, fab: fab, tree: tree, table: table, list: list}, nil
 }
+
+// Fabric returns the memory fabric holding the sorter's component
+// memories (shared when Config.Fabric was set, private otherwise).
+func (s *Sorter) Fabric() *membus.Fabric { return s.fab }
 
 // TagBits returns the tag width (tree levels × literal bits).
 func (s *Sorter) TagBits() int { return s.tree.TagBits() }

@@ -1,13 +1,15 @@
-// Package fault injects memory faults into the hwsim memories backing
+// Package fault injects memory faults into the fabric regions backing
 // the tag sort/retrieve circuit: single-event bit flips, stuck-at bits,
-// and transient read errors, scheduled by clock cycle or access count.
+// and transient read errors, scheduled by clock cycle, access count, or
+// bank/port coordinate.
 //
-// The injector plugs into the hwsim.StoreHook seam, wrapping each SRAM
-// of a clock domain so the circuit models above it address a possibly-
-// faulty memory without knowing. Everything is deterministic given the
-// campaign seed — the same campaign against the same workload produces
-// the same fault events at the same cycles, so failing runs can be
-// replayed and bisected.
+// The injector plugs into the membus.Observer seam: attached to a
+// fabric, it sees every functional access with its scheduled bank, port,
+// and cycle before the data phase, so the circuit models above address a
+// possibly-faulty memory without knowing. Everything is deterministic
+// given the campaign seed — the same campaign against the same workload
+// produces the same fault events at the same cycles, so failing runs can
+// be replayed and bisected.
 package fault
 
 import (
@@ -17,6 +19,7 @@ import (
 	"strings"
 
 	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
 )
 
 // Kind classifies a fault mechanism.
@@ -51,20 +54,29 @@ func (k Kind) String() string {
 	}
 }
 
-// Trigger schedules when a fault fires. Exactly one field should be
-// set; a zero trigger fires on the target's first access.
+// Trigger schedules when a fault fires. Cycle and Access are exclusive;
+// Bank and Port are optional refinements that restrict which accesses
+// can trip the trigger. A zero trigger fires on the target's first
+// access.
 type Trigger struct {
-	// Cycle arms the fault at the first access of the target memory at
-	// or after this clock cycle (requires the injector's clock).
+	// Cycle arms the fault at the first access of the target memory
+	// scheduled at or after this clock cycle.
 	Cycle uint64
 	// Access arms the fault at the Nth functional access (1-based,
 	// reads + writes) of the target memory.
 	Access uint64
+	// Bank, when nonzero, only lets accesses landing on bank Bank-1
+	// trip the trigger (1-based so the zero value means any bank).
+	Bank int
+	// Port, when nonzero, only lets accesses on port Port-1 trip the
+	// trigger: 1 targets port A (reads), 2 port B (writes on
+	// split-port regions).
+	Port int
 }
 
 // Fault is one declarative fault in a campaign.
 type Fault struct {
-	// Mem names the target memory (hwsim.SRAMConfig.Name), e.g.
+	// Mem names the target memory (membus.RegionConfig.Name), e.g.
 	// "tree-level-2", "translation-table", "tag-storage".
 	Mem string
 	// Kind is the fault mechanism (default BitFlip).
@@ -87,6 +99,12 @@ func (f Fault) String() string {
 		where = fmt.Sprintf("cycle %d", f.At.Cycle)
 	case f.At.Access > 0:
 		where = fmt.Sprintf("access %d", f.At.Access)
+	}
+	if f.At.Bank > 0 {
+		where += fmt.Sprintf(" bank %d", f.At.Bank-1)
+	}
+	if f.At.Port > 0 {
+		where += fmt.Sprintf(" port %c", 'A'+f.At.Port-1)
 	}
 	addr := "addr ?"
 	if f.Addr >= 0 {
@@ -118,8 +136,10 @@ type Event struct {
 	Fault  Fault  // the campaign entry that fired (or a FlipNow synthesis)
 	Addr   int    // resolved word address
 	Mask   uint64 // resolved bit mask
-	Cycle  uint64 // clock cycle at firing (0 without a clock)
+	Cycle  uint64 // scheduled cycle of the triggering access (FlipNow: clock now)
 	Access uint64 // target-memory access count at firing
+	Bank   int    // bank of the triggering access (FlipNow: -1)
+	Port   int    // port of the triggering access (FlipNow: -1)
 	Before uint64 // stored word before the fault
 	After  uint64 // stored word after (ReadError: the value returned)
 }
@@ -129,25 +149,27 @@ func (e Event) String() string {
 		e.Fault.Kind, e.Fault.Mem, e.Addr, e.Mask, e.Cycle, e.Access, e.Before, e.After)
 }
 
-// Injector executes a campaign over the memories of one clock domain.
-// Install it with clock.SetStoreHook(inj.Hook()) before constructing
-// the circuits. Not safe for concurrent use, matching the single-
-// pipeline circuit models it wraps.
+// Injector executes a campaign over the regions of one or more memory
+// fabrics. Install it with Attach before driving traffic (attaching
+// before or after circuit construction both work: regions bind lazily
+// on their first observed access). Not safe for concurrent use,
+// matching the single-pipeline circuit models it watches.
 type Injector struct {
-	clock  *hwsim.Clock
-	rng    *rand.Rand
-	mems   map[string]*faultyStore
-	events []Event
+	clock   *hwsim.Clock
+	rng     *rand.Rand
+	mems    map[string]*faultyMem
+	fabrics []*membus.Fabric
+	events  []Event
 }
 
-// NewInjector builds an injector for the campaign. The clock is used
-// for cycle-scheduled triggers and event stamping; it may be nil when
-// only access-count triggers are used.
+// NewInjector builds an injector for the campaign. The clock is only
+// used to stamp FlipNow events; campaign triggers take their cycle from
+// the observed access, so it may be nil.
 func NewInjector(c Campaign, clock *hwsim.Clock) *Injector {
 	in := &Injector{
 		clock: clock,
 		rng:   rand.New(rand.NewSource(c.Seed)),
-		mems:  map[string]*faultyStore{},
+		mems:  map[string]*faultyMem{},
 	}
 	for _, f := range c.Faults {
 		if f.Kind == 0 {
@@ -159,24 +181,51 @@ func NewInjector(c Campaign, clock *hwsim.Clock) *Injector {
 }
 
 // pendingFor returns the (possibly not yet bound) per-memory state.
-func (in *Injector) pendingFor(name string) *faultyStore {
-	fs, ok := in.mems[name]
+func (in *Injector) pendingFor(name string) *faultyMem {
+	fm, ok := in.mems[name]
 	if !ok {
-		fs = &faultyStore{in: in}
-		in.mems[name] = fs
+		fm = &faultyMem{in: in}
+		in.mems[name] = fm
 	}
-	return fs
+	return fm
 }
 
-// Hook returns the store hook that wraps every SRAM whose name is
-// targeted by the campaign (or by a later FlipNow). Memories outside
-// the campaign pass through unwrapped.
-func (in *Injector) Hook() hwsim.StoreHook {
-	return func(m *hwsim.SRAM) hwsim.Store {
-		fs := in.pendingFor(m.Config().Name)
-		fs.mem = m
-		return fs
+// Attach installs the injector as the fabric's access observer. Every
+// non-register region of the fabric becomes a campaign target; a fabric
+// can be attached before or after its regions are provisioned.
+func (in *Injector) Attach(f *membus.Fabric) {
+	f.SetObserver(in)
+	in.fabrics = append(in.fabrics, f)
+}
+
+// Observe implements membus.Observer: it fires due faults for the
+// region before the access's data phase and returns any transient read
+// corruption for this access.
+func (in *Injector) Observe(r *membus.Region, a *membus.Access) (uint64, error) {
+	fm := in.pendingFor(r.Name())
+	fm.reg = r
+	fm.accesses++
+	return fm.step(a)
+}
+
+// AfterWrite implements membus.Observer: armed stuck-at cells override
+// whatever the write just committed.
+func (in *Injector) AfterWrite(r *membus.Region, a *membus.Access) error {
+	fm := in.pendingFor(r.Name())
+	fm.reg = r
+	for _, s := range fm.stuck {
+		if s.Addr != a.Addr {
+			continue
+		}
+		w, err := r.Peek(a.Addr)
+		if err != nil {
+			return err
+		}
+		if err := r.Poke(a.Addr, (w&^s.Mask)|(s.After&s.Mask)); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Events returns the faults fired so far, in firing order.
@@ -186,14 +235,20 @@ func (in *Injector) Events() []Event {
 	return out
 }
 
-// Wrapped returns the names of the memories bound to the injector's
-// hook so far, sorted — campaign authoring support: build a throwaway
-// circuit with an empty campaign to discover the targetable memories.
+// Wrapped returns the names of the targetable memories — every
+// non-register region of the attached fabrics, sorted. Campaign
+// authoring support: build a throwaway circuit on an attached fabric
+// with an empty campaign to discover the targets.
 func (in *Injector) Wrapped() []string {
-	out := make([]string, 0, len(in.mems))
-	for name, fs := range in.mems {
-		if fs.mem != nil {
-			out = append(out, name)
+	seen := map[string]bool{}
+	out := []string{}
+	for _, f := range in.fabrics {
+		for _, r := range f.Regions() {
+			if r.Config().Register || seen[r.Name()] {
+				continue
+			}
+			seen[r.Name()] = true
+			out = append(out, r.Name())
 		}
 	}
 	sort.Strings(out)
@@ -201,167 +256,146 @@ func (in *Injector) Wrapped() []string {
 }
 
 // Remaining returns the campaign faults that have not fired (trigger
-// not reached, or target memory never constructed).
+// not reached, or target memory never accessed).
 func (in *Injector) Remaining() int {
 	n := 0
-	for _, fs := range in.mems {
-		n += len(fs.faults)
+	for _, fm := range in.mems {
+		n += len(fm.faults)
 	}
 	return n
 }
 
-// FlipNow fires an immediate persistent bit flip against a wrapped
+// region returns the bound or attached region for a memory name.
+func (in *Injector) region(name string) *membus.Region {
+	if fm, ok := in.mems[name]; ok && fm.reg != nil {
+		return fm.reg
+	}
+	for _, f := range in.fabrics {
+		if r := f.Region(name); r != nil && !r.Config().Register {
+			return r
+		}
+	}
+	return nil
+}
+
+// FlipNow fires an immediate persistent bit flip against an attached
 // memory, outside any campaign schedule (test and interactive use).
 // addr -1 and mask 0 are resolved from the campaign seed.
 func (in *Injector) FlipNow(mem string, addr int, mask uint64) (Event, error) {
-	fs, ok := in.mems[mem]
-	if !ok || fs.mem == nil {
-		known := make([]string, 0, len(in.mems))
-		for name, m := range in.mems {
-			if m.mem != nil {
-				known = append(known, name)
-			}
-		}
-		sort.Strings(known)
-		return Event{}, fmt.Errorf("fault: no wrapped memory %q (have %v)", mem, known)
+	r := in.region(mem)
+	if r == nil {
+		return Event{}, fmt.Errorf("fault: no attached memory %q (have %v)", mem, in.Wrapped())
 	}
-	return fs.fire(Fault{Mem: mem, Kind: BitFlip, Addr: addr, Mask: mask})
+	fm := in.pendingFor(mem)
+	fm.reg = r
+	return fm.fire(Fault{Mem: mem, Kind: BitFlip, Addr: addr, Mask: mask}, nil)
 }
 
-// faultyStore interposes on one SRAM's functional port.
-type faultyStore struct {
+// faultyMem holds the campaign state of one named region.
+type faultyMem struct {
 	in       *Injector
-	mem      *hwsim.SRAM
+	reg      *membus.Region
 	accesses uint64
 	faults   []Fault // pending, in campaign order
 	stuck    []Event // armed stuck-at faults, re-applied after writes
 }
 
-// due reports whether a fault's trigger has been reached.
-func (fs *faultyStore) due(f Fault) bool {
+// due reports whether a fault's trigger is reached by this access.
+func (fm *faultyMem) due(f Fault, a *membus.Access) bool {
+	if f.At.Bank > 0 && a.Bank != f.At.Bank-1 {
+		return false
+	}
+	if f.At.Port > 0 && a.Port != f.At.Port-1 {
+		return false
+	}
 	switch {
 	case f.At.Cycle > 0:
-		return fs.in.clock != nil && fs.in.clock.Now() >= f.At.Cycle
+		return a.Cycle >= f.At.Cycle
 	case f.At.Access > 0:
-		return fs.accesses >= f.At.Access
+		return fm.accesses >= f.At.Access
 	default:
 		return true
 	}
 }
 
 // resolve draws any unresolved address/mask from the campaign seed.
-func (fs *faultyStore) resolve(f Fault) (addr int, mask uint64) {
-	cfg := fs.mem.Config()
+func (fm *faultyMem) resolve(f Fault) (addr int, mask uint64) {
 	addr = f.Addr
 	if addr < 0 {
-		addr = fs.in.rng.Intn(cfg.Depth)
+		addr = fm.in.rng.Intn(fm.reg.Depth())
 	}
 	mask = f.Mask
 	if mask == 0 {
-		mask = 1 << uint(fs.in.rng.Intn(cfg.WordBits))
+		mask = 1 << uint(fm.in.rng.Intn(fm.reg.WordBits()))
 	}
 	return addr, mask
 }
 
 // fire executes one fault against the backing array and logs the event.
 // For ReadError the array is untouched; the caller corrupts the read
-// data using the returned event's mask when the address matches.
-func (fs *faultyStore) fire(f Fault) (Event, error) {
-	addr, mask := fs.resolve(f)
-	before, err := fs.mem.Peek(addr)
+// data using the returned event's mask when the address matches. a is
+// the triggering access, or nil for FlipNow.
+func (fm *faultyMem) fire(f Fault, a *membus.Access) (Event, error) {
+	addr, mask := fm.resolve(f)
+	before, err := fm.reg.Peek(addr)
 	if err != nil {
 		return Event{}, fmt.Errorf("fault: %s: %w", f, err)
 	}
-	ev := Event{Fault: f, Addr: addr, Mask: mask, Access: fs.accesses, Before: before, After: before}
-	if fs.in.clock != nil {
-		ev.Cycle = fs.in.clock.Now()
+	ev := Event{Fault: f, Addr: addr, Mask: mask, Access: fm.accesses, Bank: -1, Port: -1, Before: before, After: before}
+	if a != nil {
+		ev.Cycle, ev.Bank, ev.Port = a.Cycle, a.Bank, a.Port
+	} else if fm.in.clock != nil {
+		ev.Cycle = fm.in.clock.Now()
 	}
 	switch f.Kind {
 	case BitFlip:
 		ev.After = before ^ mask
-		if err := fs.mem.Poke(addr, ev.After); err != nil {
+		if err := fm.reg.Poke(addr, ev.After); err != nil {
 			return Event{}, fmt.Errorf("fault: %s: %w", f, err)
 		}
 	case StuckAt:
 		ev.After = (before &^ mask) | (f.Stuck & mask)
-		if err := fs.mem.Poke(addr, ev.After); err != nil {
+		if err := fm.reg.Poke(addr, ev.After); err != nil {
 			return Event{}, fmt.Errorf("fault: %s: %w", f, err)
 		}
-		fs.stuck = append(fs.stuck, ev)
+		fm.stuck = append(fm.stuck, ev)
 	case ReadError:
 		ev.After = before ^ mask
 	default:
 		return Event{}, fmt.Errorf("fault: unknown kind %d", int(f.Kind))
 	}
-	fs.in.events = append(fs.in.events, ev)
+	fm.in.events = append(fm.in.events, ev)
 	return ev, nil
 }
 
 // step fires every due pending fault and returns any armed transient
 // read corruption for the current access.
-func (fs *faultyStore) step(read bool, addr int) (xor uint64, err error) {
-	kept := fs.faults[:0]
-	for _, f := range fs.faults {
-		if !fs.due(f) {
+func (fm *faultyMem) step(a *membus.Access) (xor uint64, err error) {
+	kept := fm.faults[:0]
+	for _, f := range fm.faults {
+		if !fm.due(f, a) {
 			kept = append(kept, f)
 			continue
 		}
-		ev, ferr := fs.fire(f)
+		ev, ferr := fm.fire(f, a)
 		if ferr != nil {
 			return 0, ferr
 		}
-		if f.Kind == ReadError && read && (f.Addr < 0 || ev.Addr == addr) {
+		if f.Kind == ReadError && !a.Write && (f.Addr < 0 || ev.Addr == a.Addr) {
 			// The transient hits this very read: if the scheduled address
 			// was unresolved it lands on the word being read.
-			if f.Addr < 0 && ev.Addr != addr {
+			if f.Addr < 0 && ev.Addr != a.Addr {
 				// Re-stamp the event at the actually-read address so the
 				// log matches what the circuit observed.
-				fs.in.events[len(fs.in.events)-1].Addr = addr
+				fm.in.events[len(fm.in.events)-1].Addr = a.Addr
 			}
 			xor ^= ev.Mask
 		}
 		// A scheduled ReadError for a different address than this read is
 		// consumed anyway: the transient happened, nobody was looking.
 	}
-	fs.faults = kept
+	fm.faults = kept
 	return xor, nil
 }
 
-// Read implements hwsim.Store.
-func (fs *faultyStore) Read(addr int) (uint64, error) {
-	fs.accesses++
-	xor, err := fs.step(true, addr)
-	if err != nil {
-		return 0, err
-	}
-	w, err := fs.mem.Read(addr)
-	if err != nil {
-		return 0, err
-	}
-	return w ^ xor, nil
-}
-
-// Write implements hwsim.Store.
-func (fs *faultyStore) Write(addr int, val uint64) error {
-	fs.accesses++
-	if _, err := fs.step(false, addr); err != nil {
-		return err
-	}
-	if err := fs.mem.Write(addr, val); err != nil {
-		return err
-	}
-	// Stuck cells override whatever was just written.
-	for _, s := range fs.stuck {
-		if s.Addr != addr {
-			continue
-		}
-		w, err := fs.mem.Peek(addr)
-		if err != nil {
-			return err
-		}
-		if err := fs.mem.Poke(addr, (w&^s.Mask)|(s.After&s.Mask)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+var _ membus.Observer = (*Injector)(nil)

@@ -4,18 +4,20 @@ import (
 	"testing"
 
 	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
 )
 
-// build wires one SRAM through an injector and returns the functional
-// store plus the raw memory.
-func build(t *testing.T, in *Injector, clock *hwsim.Clock, name string, depth, bits int) (*hwsim.SRAM, hwsim.Store) {
+// build provisions one fabric region watched by the injector and
+// returns it with its functional port.
+func build(t *testing.T, in *Injector, clock *hwsim.Clock, name string, depth, bits int) (*membus.Region, *membus.Port) {
 	t.Helper()
-	clock.SetStoreHook(in.Hook())
-	mem, store, err := hwsim.NewSRAMStore(hwsim.SRAMConfig{Name: name, Depth: depth, WordBits: bits}, clock)
+	fab := membus.New(clock)
+	in.Attach(fab)
+	reg, err := fab.Provision(membus.RegionConfig{Name: name, Depth: depth, WordBits: bits})
 	if err != nil {
-		t.Fatalf("NewSRAMStore: %v", err)
+		t.Fatalf("Provision: %v", err)
 	}
-	return mem, store
+	return reg, reg.Port()
 }
 
 func TestBitFlipPersists(t *testing.T) {
@@ -167,5 +169,93 @@ func TestFlipNowUnknownMemory(t *testing.T) {
 	}
 	if ev.After != 0b10 {
 		t.Fatalf("FlipNow result %#x, want 0b10", ev.After)
+	}
+}
+
+// TestBankPortCoordinateTrigger schedules a fault onto a specific
+// bank/port coordinate of a banked split-port region: only an access
+// landing on that bank and port may trip it, and the event records the
+// observed coordinates.
+func TestBankPortCoordinateTrigger(t *testing.T) {
+	clock := &hwsim.Clock{}
+	in := NewInjector(Campaign{Faults: []Fault{
+		// Fire on the first *write* (port B) landing on bank 1.
+		{Mem: "m", Kind: BitFlip, Addr: 5, Mask: 1, At: Trigger{Bank: 2, Port: 2}},
+	}}, clock)
+	fab := membus.New(clock)
+	in.Attach(fab)
+	reg, err := fab.Provision(membus.RegionConfig{
+		Name: "m", Depth: 8, WordBits: 8, Banks: 2, Ports: membus.PortSplit,
+	})
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	port := reg.Port()
+	// Bank-0 writes and bank-1 reads must not trip the trigger.
+	if err := port.Write(0, 0xAA); err != nil { // bank 0, port B
+		t.Fatal(err)
+	}
+	if _, err := port.Read(3); err != nil { // bank 1, port A
+		t.Fatal(err)
+	}
+	if in.Remaining() != 1 {
+		t.Fatalf("fault fired off-coordinate (%d remaining, want 1)", in.Remaining())
+	}
+	if err := port.Write(3, 0xBB); err != nil { // bank 1, port B: fires
+		t.Fatal(err)
+	}
+	if in.Remaining() != 0 {
+		t.Fatal("fault did not fire on its bank/port coordinate")
+	}
+	ev := in.Events()[0]
+	if ev.Bank != 1 || ev.Port != membus.PortB {
+		t.Fatalf("event at bank %d port %d, want bank 1 port B", ev.Bank, ev.Port)
+	}
+	if w, _ := reg.Peek(5); w != 1 {
+		t.Fatalf("flip target word = %#x, want 1", w)
+	}
+}
+
+// TestCycleTriggerInsideWindow lands a cycle-scheduled fault on an
+// access whose start cycle is derived by the window arbiter: the
+// trigger compares against the scheduled cycle, not the frozen window
+// base, so a stall pushing an access past the trigger cycle trips it.
+func TestCycleTriggerInsideWindow(t *testing.T) {
+	clock := &hwsim.Clock{}
+	in := NewInjector(Campaign{Faults: []Fault{
+		{Mem: "m", Kind: ReadError, Addr: 0, Mask: 0b100, At: Trigger{Cycle: 2}},
+	}}, clock)
+	fab := membus.New(clock)
+	in.Attach(fab)
+	reg, err := fab.Provision(membus.RegionConfig{Name: "m", Depth: 4, WordBits: 8})
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	port := reg.Port()
+	if err := reg.Poke(0, 0b001); err != nil {
+		t.Fatal(err)
+	}
+	// One window with three reads of word 0 on the single shared port:
+	// scheduled at cycles 0, 1, 2 while the clock stays frozen at 0.
+	// The cycle-2 trigger must fire on the third read, even though
+	// clock.Now() is still 0 when it happens.
+	reg.BeginWindow()
+	vals := make([]uint64, 3)
+	for i := range vals {
+		v, err := port.Read(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[i] = v
+	}
+	reg.EndWindow()
+	if vals[0] != 0b001 || vals[1] != 0b001 {
+		t.Fatalf("pre-trigger reads %#x/%#x, want clean 0b001", vals[0], vals[1])
+	}
+	if vals[2] != 0b101 {
+		t.Fatalf("read scheduled at cycle 2 = %#x, want transient 0b101", vals[2])
+	}
+	if ev := in.Events()[0]; ev.Cycle != 2 {
+		t.Fatalf("event stamped at cycle %d, want scheduled cycle 2", ev.Cycle)
 	}
 }

@@ -20,7 +20,6 @@ var ErrAddressRange = errors.New("hwsim: address out of range")
 // cycle zero and is ready to use.
 type Clock struct {
 	cycle uint64
-	hook  StoreHook
 }
 
 // Tick advances the clock by one cycle and returns the new cycle number.

@@ -4,21 +4,21 @@ import "errors"
 
 // ErrCorrupt is the sentinel wrapped by every detected structural-
 // integrity violation in the memory-backed sorter structures (search
-// tree, translation table, tag store). The three SRAMs hold one logical
-// data structure between them; when a cross-memory invariant breaks —
-// an empty node under a set marker bit, a broken list chain, a dangling
-// translation entry — the detecting layer wraps this sentinel so that
-// errors.Is(err, ErrCorrupt) holds across package boundaries and the
-// scheduler's recovery policy can distinguish corruption from ordinary
-// operational errors (full, empty, out of range).
+// tree, translation table, tag store). The three memories hold one
+// logical data structure between them; when a cross-memory invariant
+// breaks — an empty node under a set marker bit, a broken list chain, a
+// dangling translation entry — the detecting layer wraps this sentinel
+// so that errors.Is(err, ErrCorrupt) holds across package boundaries
+// and the scheduler's recovery policy can distinguish corruption from
+// ordinary operational errors (full, empty, out of range).
 var ErrCorrupt = errors.New("corrupt state")
 
 // Store is the functional read/write port of a word-addressed memory.
 // It is the seam between the circuit models and the physical memory:
-// the trie levels, translation table, and tag store address all
-// functional traffic through a Store, so a fault injector (or any other
-// interposer) can be slipped between a structure and its SRAM without
-// the higher layers knowing. Both SRAM and RegisterFile implement it.
+// in the datapath it is implemented by membus.Port, so every functional
+// access passes the fabric's per-cycle port arbiter (and its fault-
+// injection Observer) on the way to the array. The raw SRAM and
+// RegisterFile models also implement it for standalone use.
 type Store interface {
 	Read(addr int) (uint64, error)
 	Write(addr int, val uint64) error
@@ -28,34 +28,3 @@ var (
 	_ Store = (*SRAM)(nil)
 	_ Store = (*RegisterFile)(nil)
 )
-
-// StoreHook intercepts SRAM construction. When a hook is installed on a
-// Clock, every SRAM built in that clock domain through NewSRAMStore is
-// offered to the hook, which may return a wrapping Store that the
-// structure will use for all functional accesses. Returning nil leaves
-// the SRAM unwrapped. The raw *SRAM is still retained by the structure
-// for its verification/debug ports (Peek-based walks and audits), which
-// observe the physical array contents directly.
-type StoreHook func(m *SRAM) Store
-
-// SetStoreHook installs (or, with nil, removes) the clock domain's
-// store-construction hook. It must be set before the circuits that
-// should be affected are constructed.
-func (c *Clock) SetStoreHook(h StoreHook) { c.hook = h }
-
-// NewSRAMStore builds an SRAM and returns both the raw memory (for
-// debug/audit ports) and the functional Store to address it through:
-// the SRAM itself, or whatever the clock's store hook wrapped it in.
-func NewSRAMStore(cfg SRAMConfig, clock *Clock) (*SRAM, Store, error) {
-	m, err := NewSRAM(cfg, clock)
-	if err != nil {
-		return nil, nil, err
-	}
-	var s Store = m
-	if clock != nil && clock.hook != nil {
-		if w := clock.hook(m); w != nil {
-			s = w
-		}
-	}
-	return m, s, nil
-}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"wfqsort/internal/membus"
 	"wfqsort/internal/schedulers"
 )
 
@@ -255,6 +256,69 @@ func laneGauges(vals []float64) LaneStats {
 		s.Min = 0
 	}
 	return s
+}
+
+// BankLoad computes balance gauges over the per-bank access counts
+// (reads+writes) of one fabric region (membus.Region.BankStats). A high
+// imbalance means the banking function is not spreading the address
+// stream: the hot bank's port becomes the region's serial bottleneck.
+func BankLoad(banks []membus.BankStats) LaneStats {
+	vals := make([]float64, len(banks))
+	for i, b := range banks {
+		vals[i] = float64(b.Reads + b.Writes)
+	}
+	return laneGauges(vals)
+}
+
+// BankBusy computes balance gauges over per-bank busy cycles (port
+// occupancy). Unlike BankLoad this weights accesses by their latency,
+// so it is the right gauge when banks mix technologies or word widths.
+func BankBusy(banks []membus.BankStats) LaneStats {
+	vals := make([]float64, len(banks))
+	for i, b := range banks {
+		vals[i] = float64(b.BusyCycles)
+	}
+	return laneGauges(vals)
+}
+
+// PortPressure summarizes one fabric region's arbiter behavior: how
+// much of its traffic collided on a bank port and how many cycles the
+// collisions cost relative to useful occupancy.
+type PortPressure struct {
+	Region       string
+	Accesses     uint64  // reads + writes
+	StallCycles  uint64  // arbiter wait cycles
+	Conflicts    uint64  // accesses that stalled at all
+	StallFrac    float64 // StallCycles / (Cycles + StallCycles); 0 when idle
+	ConflictRate float64 // Conflicts / Accesses; 0 when idle
+}
+
+// RegionPressure derives the pressure gauges from a region's Stats.
+func RegionPressure(name string, s membus.Stats) PortPressure {
+	p := PortPressure{
+		Region:      name,
+		Accesses:    s.Reads + s.Writes,
+		StallCycles: s.StallCycles,
+		Conflicts:   s.Conflicts,
+	}
+	if total := s.Cycles + s.StallCycles; total > 0 {
+		p.StallFrac = float64(s.StallCycles) / float64(total)
+	}
+	if p.Accesses > 0 {
+		p.ConflictRate = float64(s.Conflicts) / float64(p.Accesses)
+	}
+	return p
+}
+
+// FabricPressure computes RegionPressure for every region of a fabric,
+// in the fabric's deterministic region order.
+func FabricPressure(fab *membus.Fabric) []PortPressure {
+	regions := fab.Regions()
+	out := make([]PortPressure, 0, len(regions))
+	for _, r := range regions {
+		out = append(out, RegionPressure(r.Name(), r.Stats()))
+	}
+	return out
 }
 
 // Inversions counts adjacent-pair service-order violations: the number of

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"wfqsort/internal/membus"
 	"wfqsort/internal/packet"
 	"wfqsort/internal/schedulers"
 )
@@ -256,5 +257,43 @@ func TestLaneGauges(t *testing.T) {
 	}
 	if s := LaneLoad([]uint64{0, 0}); s.Imbalance != 0 || s.Min != 0 {
 		t.Fatalf("all-zero load must report zeroed gauges: %+v", s)
+	}
+}
+
+func TestBankAndPortGauges(t *testing.T) {
+	fab := membus.New(nil)
+	reg, err := fab.Provision(membus.RegionConfig{Name: "gauge-mem", Depth: 8, WordBits: 16, Banks: 2})
+	if err != nil {
+		t.Fatalf("provision: %v", err)
+	}
+	port := reg.Port()
+	// Addresses 0,2,4 land on bank 0; address 1 on bank 1: load 3 vs 1.
+	for _, addr := range []int{0, 2, 4, 1} {
+		if err := port.Write(addr, uint64(addr)); err != nil {
+			t.Fatalf("write %d: %v", addr, err)
+		}
+	}
+	load := BankLoad(reg.BankStats())
+	if load.Lanes != 2 || load.Total != 4 || load.Max != 3 {
+		t.Fatalf("bank load: %+v", load)
+	}
+	busy := BankBusy(reg.BankStats())
+	if busy.Lanes != 2 || busy.Total == 0 {
+		t.Fatalf("bank busy: %+v", busy)
+	}
+	pp := RegionPressure(reg.Name(), reg.Stats())
+	if pp.Region != "gauge-mem" || pp.Accesses != 4 {
+		t.Fatalf("region pressure: %+v", pp)
+	}
+	// Sequential (non-windowed) accesses never collide on a port.
+	if pp.Conflicts != 0 || pp.StallFrac != 0 || pp.ConflictRate != 0 {
+		t.Fatalf("sequential traffic must be stall-free: %+v", pp)
+	}
+	all := FabricPressure(fab)
+	if len(all) != 1 || all[0].Region != "gauge-mem" {
+		t.Fatalf("fabric pressure: %+v", all)
+	}
+	if s := BankLoad(nil); s.Lanes != 0 || s.Imbalance != 0 {
+		t.Fatalf("empty bank load: %+v", s)
 	}
 }

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package raceflag reports at compile time whether the race detector is
+// enabled, so allocation-count regression tests can skip themselves
+// under -race (the detector's instrumentation allocates on paths that
+// are allocation-free in a normal build).
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

@@ -9,6 +9,7 @@ import (
 	"wfqsort/internal/core"
 	"wfqsort/internal/fault"
 	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
 	"wfqsort/internal/packet"
 )
 
@@ -40,14 +41,16 @@ func faultCampaign(seed int64) fault.Campaign {
 func buildFaulty(t *testing.T, camp fault.Campaign, pol CorruptPolicy, audit int) (*Scheduler, *fault.Injector) {
 	t.Helper()
 	clock := &hwsim.Clock{}
+	fab := membus.New(clock)
 	inj := fault.NewInjector(camp, clock)
-	clock.SetStoreHook(inj.Hook())
+	inj.Attach(fab)
 	s, err := New(Config{
 		Weights:        []float64{3, 1},
 		CapacityBps:    1e9,
 		SorterCapacity: 256,
 		OnCorrupt:      pol,
 		AuditEvery:     audit,
+		Fabric:         fab,
 		Clock:          clock,
 	})
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"wfqsort/internal/aqm"
 	"wfqsort/internal/core"
 	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
 	"wfqsort/internal/packet"
 	"wfqsort/internal/schedulers"
 	"wfqsort/internal/taglist"
@@ -95,10 +96,14 @@ type Config struct {
 	// engine); violations are handled per OnCorrupt. Zero disables the
 	// scrub, leaving detection to the operations themselves.
 	AuditEvery int
-	// Clock, when non-nil, is advanced by every sorter memory access
-	// and stamps recovery events with cycle numbers. Pass one to attach
-	// fault-injection hooks (internal/fault) before construction and to
-	// measure recovery latency in cycles.
+	// Fabric, when non-nil, is the memory fabric the sorter's
+	// component memories are provisioned from. Pass one to attach a
+	// fault injector (internal/fault) or read per-bank port
+	// statistics; when nil a private fabric is built on Clock.
+	Fabric *membus.Fabric
+	// Clock, when non-nil and Fabric is nil, is the clock domain of
+	// the sorter's private fabric; it is advanced by every sorter
+	// memory access and stamps recovery events with cycle numbers.
 	Clock *hwsim.Clock
 	// RED configures early detection when OnFull is FullRED; the zero
 	// value selects thresholds at 1/4 and 3/4 of the buffer with
@@ -295,6 +300,7 @@ func New(cfg Config) (*Scheduler, error) {
 		Capacity: cfg.SorterCapacity,
 		Mode:     core.ModeHardware,
 		MemTech:  cfg.MemTech,
+		Fabric:   cfg.Fabric,
 		Clock:    cfg.Clock,
 	})
 	if err != nil {

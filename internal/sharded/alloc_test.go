@@ -1,0 +1,45 @@
+package sharded
+
+import (
+	"testing"
+
+	"wfqsort/internal/raceflag"
+)
+
+// TestHotPathZeroAlloc pins the sharded combined window — select-tree
+// minimum, lane-local combined op (or cross-lane extract+insert), and
+// head refresh — to zero heap allocations per operation in steady
+// state. Skipped under -race (detector instrumentation allocates on
+// otherwise-clean paths).
+func TestHotPathZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	s, err := New(Config{Lanes: 4, LaneCapacity: 256})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tag := func(i int) int { return (i*37 + 11) % s.TagRange() }
+	// Warm every lane past its initialization counter so lane-local
+	// allocation runs the steady-state free-list path.
+	for i := 0; i < 4*256; i++ {
+		if err := s.Insert(tag(i), i%64); err != nil {
+			t.Fatalf("warmup insert: %v", err)
+		}
+	}
+	for i := 0; i < 2*256; i++ {
+		if _, err := s.ExtractMin(); err != nil {
+			t.Fatalf("warmup extract: %v", err)
+		}
+	}
+
+	i := 5000
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := s.InsertExtractMin(tag(i), i%64); err != nil {
+			t.Fatalf("InsertExtractMin: %v", err)
+		}
+		i++
+	}); avg != 0 {
+		t.Fatalf("sharded combined window allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -24,6 +24,11 @@ func BenchmarkInsertBatch(b *testing.B) {
 			for i := range batch {
 				batch[i] = Request{Tag: rng.Intn(4096), Payload: i}
 			}
+			// Reset fabric/lane counters so model-speedup and
+			// select-depth reflect only this invocation's timed
+			// iterations, not construction or a prior b.N calibration
+			// round.
+			s.ResetStats()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.InsertBatch(batch); err != nil {
@@ -59,6 +64,8 @@ func BenchmarkSteadyState(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			// Drop the warmup fill's fabric/lane counters before timing.
+			s.ResetStats()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := s.Insert(rng.Intn(4096), i); err != nil {

@@ -27,6 +27,7 @@ import (
 
 	"wfqsort/internal/core"
 	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
 	"wfqsort/internal/taglist"
 )
 
@@ -70,10 +71,15 @@ type Config struct {
 	MemTech taglist.MemTech
 	// PayloadBits is the packet-pointer width per link (default 24).
 	PayloadBits int
-	// LaneClocks, when non-nil, supplies one pre-built clock per lane
-	// (len == Lanes). Callers use this to install fault-injection store
-	// hooks on individual lane clock domains before the lane memories
-	// are constructed. When nil, fresh clocks are created.
+	// LaneFabrics, when non-nil, supplies one pre-built memory fabric
+	// per lane (len == Lanes). Callers use this to attach fault
+	// injectors or read port statistics on individual lane domains.
+	// When nil, a fresh fabric is built per lane (on LaneClocks[i]
+	// when supplied).
+	LaneFabrics []*membus.Fabric
+	// LaneClocks, when non-nil and LaneFabrics is nil, supplies one
+	// pre-built clock per lane (len == Lanes) for the fresh per-lane
+	// fabrics. When both are nil, fresh clocks are created.
 	LaneClocks []*hwsim.Clock
 }
 
@@ -117,9 +123,14 @@ func (s Stats) ModelSpeedup() float64 {
 
 type lane struct {
 	clock    *hwsim.Clock
+	fab      *membus.Fabric
 	sorter   *core.Sorter
 	inserts  uint64
 	extracts uint64
+	// cycleBase is the lane clock value at the last ResetStats; cycle
+	// gauges report clock.Now()-cycleBase so benchmark intervals do not
+	// inherit warmup traffic.
+	cycleBase uint64
 }
 
 // ShardedSorter is the multi-lane sorter. Like the single-lane circuit
@@ -161,23 +172,31 @@ func New(cfg Config) (*ShardedSorter, error) {
 	if cfg.LaneClocks != nil && len(cfg.LaneClocks) != cfg.Lanes {
 		return nil, fmt.Errorf("sharded: %d lane clocks for %d lanes", len(cfg.LaneClocks), cfg.Lanes)
 	}
+	if cfg.LaneFabrics != nil && len(cfg.LaneFabrics) != cfg.Lanes {
+		return nil, fmt.Errorf("sharded: %d lane fabrics for %d lanes", len(cfg.LaneFabrics), cfg.Lanes)
+	}
 	s := &ShardedSorter{cfg: cfg, tree: newSelectTree(cfg.Lanes)}
 	for i := 0; i < cfg.Lanes; i++ {
-		clock := &hwsim.Clock{}
-		if cfg.LaneClocks != nil {
-			clock = cfg.LaneClocks[i]
+		var fab *membus.Fabric
+		switch {
+		case cfg.LaneFabrics != nil:
+			fab = cfg.LaneFabrics[i]
+		case cfg.LaneClocks != nil:
+			fab = membus.New(cfg.LaneClocks[i])
+		default:
+			fab = membus.New(nil)
 		}
 		srt, err := core.New(core.Config{
 			Capacity:    cfg.LaneCapacity,
 			PayloadBits: cfg.PayloadBits,
 			MemTech:     cfg.MemTech,
 			Mode:        core.ModeEager,
-			Clock:       clock,
+			Fabric:      fab,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sharded: lane %d: %w", i, err)
 		}
-		s.lanes = append(s.lanes, &lane{clock: clock, sorter: srt})
+		s.lanes = append(s.lanes, &lane{clock: fab.Clock(), fab: fab, sorter: srt})
 	}
 	s.tagRange = s.lanes[0].sorter.TagRange()
 	s.block = s.tagRange / cfg.Lanes
@@ -214,6 +233,10 @@ func (s *ShardedSorter) Lane(i int) *core.Sorter { return s.lanes[i].sorter }
 
 // LaneClock returns lane i's clock domain.
 func (s *ShardedSorter) LaneClock(i int) *hwsim.Clock { return s.lanes[i].clock }
+
+// LaneFabric returns lane i's memory fabric (for fault attachment and
+// per-bank port statistics).
+func (s *ShardedSorter) LaneFabric(i int) *membus.Fabric { return s.lanes[i].fab }
 
 // LaneLens returns each lane's occupancy.
 func (s *ShardedSorter) LaneLens() []int {
@@ -519,7 +542,7 @@ func (s *ShardedSorter) Stats() Stats {
 		st.LaneExtracts[i] = l.extracts
 		st.Inserts += l.inserts
 		st.Extracts += l.extracts
-		cyc := l.clock.Now()
+		cyc := l.clock.Now() - l.cycleBase
 		st.SumLaneCycles += cyc
 		if cyc > st.MaxLaneCycles {
 			st.MaxLaneCycles = cyc
@@ -528,12 +551,16 @@ func (s *ShardedSorter) Stats() Stats {
 	return st
 }
 
-// ResetStats zeroes all traffic counters (lane clocks keep running, as
-// hardware counters would).
+// ResetStats zeroes all traffic counters, including each lane fabric's
+// region/bank counters. Lane clocks keep running — cycle gauges are
+// reported relative to the reset point, like free-running hardware
+// counters snapshotted at interval boundaries.
 func (s *ShardedSorter) ResetStats() {
 	s.combined, s.batches, s.tree.compares = 0, 0, 0
 	for _, l := range s.lanes {
 		l.inserts, l.extracts = 0, 0
+		l.cycleBase = l.clock.Now()
+		l.fab.ResetStats()
 		l.sorter.ResetStats()
 	}
 }

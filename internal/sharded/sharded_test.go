@@ -8,6 +8,7 @@ import (
 	"wfqsort/internal/core"
 	"wfqsort/internal/fault"
 	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
 	"wfqsort/internal/taglist"
 )
 
@@ -340,9 +341,9 @@ func TestEmptyAndSnapshot(t *testing.T) {
 // service (the tag store is the authoritative copy).
 func TestFaultInjectedLane(t *testing.T) {
 	const lanes = 4
-	clocks := make([]*hwsim.Clock, lanes)
-	for i := range clocks {
-		clocks[i] = &hwsim.Clock{}
+	fabrics := make([]*membus.Fabric, lanes)
+	for i := range fabrics {
+		fabrics[i] = membus.New(nil)
 	}
 	// Flip the translation-table valid bit of a known-live tag in lane 2
 	// only (the word is addrBits+1 = 9 bits wide at lane capacity 256, so
@@ -354,9 +355,9 @@ func TestFaultInjectedLane(t *testing.T) {
 		Faults: []fault.Fault{
 			{Mem: "translation-table", Kind: fault.BitFlip, Addr: 2, Mask: 1 << 8, At: fault.Trigger{Access: 41}},
 		},
-	}, clocks[2])
-	clocks[2].SetStoreHook(inj.Hook())
-	s, err := New(Config{Lanes: lanes, LaneCapacity: 256, LaneClocks: clocks})
+	}, fabrics[2].Clock())
+	inj.Attach(fabrics[2])
+	s, err := New(Config{Lanes: lanes, LaneCapacity: 256, LaneFabrics: fabrics})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -449,13 +450,28 @@ func TestStatsAggregationAndReset(t *testing.T) {
 	if perLaneIns != 400 {
 		t.Fatalf("per-lane core stats sum %d inserts, want 400", perLaneIns)
 	}
+	busy := st.MaxLaneCycles
 	s.ResetStats()
 	st = s.Stats()
 	if st.Inserts != 0 || st.Extracts != 0 || st.Batches != 0 || st.SelectCompares != 0 {
 		t.Fatalf("post-reset stats %+v", st)
 	}
-	if st.MaxLaneCycles == 0 {
-		t.Error("lane clocks must keep running across ResetStats")
+	if st.MaxLaneCycles != 0 {
+		t.Errorf("cycle gauges must rebase to the reset point, got %d", st.MaxLaneCycles)
+	}
+	for i, fabst := range st.PerLane {
+		if fabst.TreeNodeReads != 0 {
+			t.Errorf("lane %d fabric counters survived reset: %+v", i, fabst)
+		}
+	}
+	// The lane clocks themselves keep running: fresh traffic accumulates
+	// cycles from the reset point without rewinding the clock domain.
+	if err := s.Insert(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.MaxLaneCycles == 0 || st.MaxLaneCycles >= busy {
+		t.Errorf("post-reset interval cycles = %d, want in (0, %d)", st.MaxLaneCycles, busy)
 	}
 }
 
@@ -470,9 +486,9 @@ func TestFaultInjectedSameTagCombined(t *testing.T) {
 		lanes = 4
 		tag   = 6 // interleaved: tag&3 == 2 → lane 2, the faulted domain
 	)
-	clocks := make([]*hwsim.Clock, lanes)
-	for i := range clocks {
-		clocks[i] = &hwsim.Clock{}
+	fabrics := make([]*membus.Fabric, lanes)
+	for i := range fabrics {
+		fabrics[i] = membus.New(nil)
 	}
 	inj := fault.NewInjector(fault.Campaign{
 		Seed: 11,
@@ -484,9 +500,9 @@ func TestFaultInjectedSameTagCombined(t *testing.T) {
 			// newest-link writeback, which would immediately heal it.
 			{Mem: "translation-table", Kind: fault.BitFlip, Addr: tag, Mask: 1 << 6, At: fault.Trigger{Access: 61}},
 		},
-	}, clocks[2])
-	clocks[2].SetStoreHook(inj.Hook())
-	s := mustNew(t, Config{Lanes: lanes, LaneCapacity: 64, LaneClocks: clocks})
+	}, fabrics[2].Clock())
+	inj.Attach(fabrics[2])
+	s := mustNew(t, Config{Lanes: lanes, LaneCapacity: 64, LaneFabrics: fabrics})
 
 	const depth = 8
 	for p := 0; p < depth; p++ {

@@ -29,7 +29,7 @@ func (l *List) Walk() ([]Entry, error) {
 			return out, fmt.Errorf("taglist: %w: walk revisits link %d (chain cycle)", hwsim.ErrCorrupt, addr)
 		}
 		seen[addr] = true
-		w, err := l.mem.Peek(addr)
+		w, err := l.reg.Peek(addr)
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +68,7 @@ func (l *List) FreeAddrs() ([]int, error) {
 	addr := l.emptyHead
 	for i := 0; i < l.cfg.Capacity; i++ {
 		out = append(out, addr)
-		w, err := l.mem.Peek(addr)
+		w, err := l.reg.Peek(addr)
 		if err != nil {
 			return nil, err
 		}

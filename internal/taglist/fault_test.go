@@ -49,12 +49,12 @@ func mustInsert(t *testing.T, l *List, tags ...int) []int {
 // modelling an SEU in the pointer bits.
 func rewriteNext(t *testing.T, l *List, addr, next int) {
 	t.Helper()
-	w, err := l.mem.Peek(addr)
+	w, err := l.reg.Peek(addr)
 	if err != nil {
 		t.Fatalf("peek: %v", err)
 	}
 	tag, _, payload := l.unpack(w)
-	if err := l.mem.Poke(addr, l.pack(tag, next, payload)); err != nil {
+	if err := l.reg.Poke(addr, l.pack(tag, next, payload)); err != nil {
 		t.Fatalf("poke: %v", err)
 	}
 }
@@ -119,12 +119,12 @@ func TestRescanRefreshesHeadFromMemory(t *testing.T) {
 	l := mustList(t, 16)
 	addrs := mustInsert(t, l, 10, 20, 30)
 	// Corrupt the head word's tag in memory: the registers still say 10.
-	w, err := l.mem.Peek(addrs[0])
+	w, err := l.reg.Peek(addrs[0])
 	if err != nil {
 		t.Fatalf("peek: %v", err)
 	}
 	_, next, payload := l.unpack(w)
-	if err := l.mem.Poke(addrs[0], l.pack(11, next, payload)); err != nil {
+	if err := l.reg.Poke(addrs[0], l.pack(11, next, payload)); err != nil {
 		t.Fatalf("poke: %v", err)
 	}
 	if head, ok := l.PeekMin(); !ok || head.Tag != 10 {
@@ -194,7 +194,7 @@ func TestCorruptionNeverPanics(t *testing.T) {
 			}
 		}
 		addr := rng.Intn(l.Capacity())
-		if err := l.mem.Poke(addr, rng.Uint64()&((1<<uint(8+l.addrBits*2))-1)); err != nil {
+		if err := l.reg.Poke(addr, rng.Uint64()&((1<<uint(8+l.addrBits*2))-1)); err != nil {
 			t.Fatalf("poke: %v", err)
 		}
 		func() {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
 )
 
 // Sentinel errors for list-state violations.
@@ -90,7 +91,11 @@ type Config struct {
 	PayloadBits int
 	// Tech is the tag-store memory technology (default TechSDR).
 	Tech MemTech
-	// Clock, when non-nil, is advanced by the memory model on accesses.
+	// Fabric, when non-nil, is the memory fabric the tag storage region
+	// is provisioned from (the shared clock domain of one sorter lane).
+	Fabric *membus.Fabric
+	// Clock, when non-nil and Fabric is nil, is the clock domain of the
+	// private fabric built for standalone use.
 	Clock *hwsim.Clock
 }
 
@@ -106,8 +111,8 @@ type List struct {
 	cfg          Config
 	addrBits     int
 	windowCycles int
-	mem          *hwsim.SRAM
-	store        hwsim.Store // functional port (hook-wrappable for fault injection)
+	reg          *membus.Region // backing region (debug ports, bulk wipe)
+	port         *membus.Port   // functional port through the fabric arbiter
 
 	// Head registers: the smallest tag's link, cached so service of the
 	// minimum never waits on a lookup (the "sort model" advantage,
@@ -174,15 +179,35 @@ func New(cfg Config) (*List, error) {
 		return nil, fmt.Errorf("taglist: link word of %d bits exceeds 64 (tag %d + addr %d + payload %d)",
 			wordBits, cfg.TagBits, addrBits, cfg.PayloadBits)
 	}
-	mem, store, err := hwsim.NewSRAMStore(hwsim.SRAMConfig{
+	fab := cfg.Fabric
+	if fab == nil {
+		fab = membus.New(cfg.Clock)
+	}
+	rc := membus.RegionConfig{
 		Name:     "tag-storage",
 		Depth:    cfg.Capacity,
 		WordBits: wordBits,
-	}, cfg.Clock)
+	}
+	// Map the memory technology onto fabric port geometry; the window
+	// cycle count is then *derived* by the port arbiter rather than
+	// charged from the WindowCyclesFor table (which remains the nominal
+	// budget the derived schedule is checked against).
+	switch cfg.Tech {
+	case TechQDRII:
+		// Independent read and write ports: reads on port A overlap
+		// writes on port B, closing 2R+2W in 2 cycles.
+		rc.Ports = membus.PortSplit
+	case TechRLDRAM:
+		// Split ports plus one cycle of bank-activation margin per
+		// window: 2R+2W closes in 3 cycles.
+		rc.Ports = membus.PortSplit
+		rc.ActivateCycles = 1
+	}
+	reg, err := fab.Provision(rc)
 	if err != nil {
 		return nil, fmt.Errorf("taglist: %w", err)
 	}
-	return &List{cfg: cfg, addrBits: addrBits, windowCycles: windowCycles, mem: mem, store: store}, nil
+	return &List{cfg: cfg, addrBits: addrBits, windowCycles: windowCycles, reg: reg, port: reg.Port()}, nil
 }
 
 // Len returns the number of stored tags.
@@ -201,13 +226,13 @@ func (l *List) Capacity() int { return l.cfg.Capacity }
 // Windows returns the number of 4-cycle operation windows consumed.
 func (l *List) Windows() uint64 { return l.windows }
 
-// MemStats returns the backing SRAM's access counters.
-func (l *List) MemStats() hwsim.AccessStats { return l.mem.Stats() }
+// MemStats returns the backing region's access counters.
+func (l *List) MemStats() hwsim.AccessStats { return l.reg.AccessStats() }
 
 // ResetStats zeroes window and memory counters.
 func (l *List) ResetStats() {
 	l.windows = 0
-	l.mem.ResetStats()
+	l.reg.ResetStats()
 }
 
 // PeekMin returns the smallest tag without removing it. It costs no
@@ -233,7 +258,7 @@ func (l *List) allocate() (int, error) {
 		return 0, ErrFull
 	}
 	addr := l.emptyHead
-	w, err := l.store.Read(addr)
+	w, err := l.port.Read(addr)
 	if err != nil {
 		return 0, err
 	}
@@ -254,7 +279,7 @@ func (l *List) free(addr int) error {
 	if l.emptyValid {
 		next = l.emptyHead
 	}
-	if err := l.store.Write(addr, l.pack(0, next, 0)); err != nil {
+	if err := l.port.Write(addr, l.pack(0, next, 0)); err != nil {
 		return err
 	}
 	l.emptyHead = addr
@@ -269,6 +294,8 @@ func (l *List) InsertHead(tag, payload int) (int, error) {
 		return 0, err
 	}
 	l.windows++
+	l.reg.BeginWindow()
+	defer l.reg.EndWindow()
 	addr, err := l.allocate()
 	if err != nil {
 		return 0, err
@@ -277,7 +304,7 @@ func (l *List) InsertHead(tag, payload int) (int, error) {
 	if l.headValid {
 		next = l.headAddr
 	}
-	if err := l.store.Write(addr, l.pack(tag, next, payload)); err != nil {
+	if err := l.port.Write(addr, l.pack(tag, next, payload)); err != nil {
 		return 0, err
 	}
 	l.headAddr, l.headTag, l.headPayload, l.headNext = addr, tag, payload, next
@@ -301,12 +328,14 @@ func (l *List) InsertAfter(tag, payload, afterAddr int) (int, error) {
 		return 0, fmt.Errorf("taglist: InsertAfter(%d) on empty list", afterAddr)
 	}
 	l.windows++
+	l.reg.BeginWindow()
+	defer l.reg.EndWindow()
 	addr, err := l.allocate()
 	if err != nil {
 		return 0, err
 	}
 	// Read the predecessor link (Fig. 9 step 2).
-	w, err := l.store.Read(afterAddr)
+	w, err := l.port.Read(afterAddr)
 	if err != nil {
 		return 0, err
 	}
@@ -316,12 +345,12 @@ func (l *List) InsertAfter(tag, payload, afterAddr int) (int, error) {
 		newNext = addr // new link becomes the tail (self-link)
 	}
 	// Write the predecessor with a pointer to the new link (step 3).
-	if err := l.store.Write(afterAddr, l.pack(ptag, addr, ppayload)); err != nil {
+	if err := l.port.Write(afterAddr, l.pack(ptag, addr, ppayload)); err != nil {
 		return 0, err
 	}
 	// Write the new link pointing at the predecessor's old successor
 	// (step 4).
-	if err := l.store.Write(addr, l.pack(tag, newNext, payload)); err != nil {
+	if err := l.port.Write(addr, l.pack(tag, newNext, payload)); err != nil {
 		return 0, err
 	}
 	if afterAddr == l.headAddr {
@@ -339,13 +368,15 @@ func (l *List) ExtractMin() (Entry, error) {
 		return Entry{}, ErrEmpty
 	}
 	l.windows++
+	l.reg.BeginWindow()
+	defer l.reg.EndWindow()
 	out := Entry{Tag: l.headTag, Payload: l.headPayload, Addr: l.headAddr}
 	freed := l.headAddr
 	if l.headNext == freed {
 		// Tail self-link: the list is now empty.
 		l.headValid = false
 	} else {
-		w, err := l.store.Read(l.headNext)
+		w, err := l.port.Read(l.headNext)
 		if err != nil {
 			return Entry{}, err
 		}
@@ -381,11 +412,13 @@ func (l *List) InsertAfterExtractMin(tag, payload, afterAddr int) (Entry, int, e
 		return Entry{}, 0, fmt.Errorf("taglist: simultaneous insert with single-entry list: predecessor %d departs", afterAddr)
 	}
 	l.windows++
+	l.reg.BeginWindow()
+	defer l.reg.EndWindow()
 	out := Entry{Tag: l.headTag, Payload: l.headPayload, Addr: l.headAddr}
 	reused := l.headAddr
 
 	// Refresh the head registers from the next link (read 1).
-	w, err := l.store.Read(l.headNext)
+	w, err := l.port.Read(l.headNext)
 	if err != nil {
 		return Entry{}, 0, err
 	}
@@ -393,7 +426,7 @@ func (l *List) InsertAfterExtractMin(tag, payload, afterAddr int) (Entry, int, e
 	l.headAddr, l.headTag, l.headPayload, l.headNext = l.headNext, ntag, npayload, nnext
 
 	// Read the predecessor (read 2).
-	pw, err := l.store.Read(afterAddr)
+	pw, err := l.port.Read(afterAddr)
 	if err != nil {
 		return Entry{}, 0, err
 	}
@@ -403,11 +436,11 @@ func (l *List) InsertAfterExtractMin(tag, payload, afterAddr int) (Entry, int, e
 		newNext = reused
 	}
 	// Write predecessor → reused link (write 1).
-	if err := l.store.Write(afterAddr, l.pack(ptag, reused, ppayload)); err != nil {
+	if err := l.port.Write(afterAddr, l.pack(ptag, reused, ppayload)); err != nil {
 		return Entry{}, 0, err
 	}
 	// Write the reused link with the new tag (write 2).
-	if err := l.store.Write(reused, l.pack(tag, newNext, payload)); err != nil {
+	if err := l.port.Write(reused, l.pack(tag, newNext, payload)); err != nil {
 		return Entry{}, 0, err
 	}
 	if afterAddr == l.headAddr {
@@ -428,6 +461,8 @@ func (l *List) InsertHeadExtractMin(tag, payload int) (Entry, int, error) {
 		return Entry{}, 0, err
 	}
 	l.windows++
+	l.reg.BeginWindow()
+	defer l.reg.EndWindow()
 	out := Entry{Tag: l.headTag, Payload: l.headPayload, Addr: l.headAddr}
 	reused := l.headAddr
 
@@ -435,7 +470,7 @@ func (l *List) InsertHeadExtractMin(tag, payload int) (Entry, int, error) {
 	if l.headNext != reused {
 		next = l.headNext
 	}
-	if err := l.store.Write(reused, l.pack(tag, next, payload)); err != nil {
+	if err := l.port.Write(reused, l.pack(tag, next, payload)); err != nil {
 		return Entry{}, 0, err
 	}
 	l.headTag, l.headPayload, l.headNext = tag, payload, next
@@ -483,7 +518,7 @@ func (l *List) Rescan() ([]Entry, error) {
 			return out, fmt.Errorf("taglist: %w: rescan revisits link %d (chain cycle)", hwsim.ErrCorrupt, addr)
 		}
 		seen[addr] = true
-		w, err := l.store.Read(addr)
+		w, err := l.port.Read(addr)
 		if err != nil {
 			return nil, err
 		}
@@ -534,7 +569,7 @@ func (l *List) RebuildFreeList(live []Entry) error {
 // record (not the traffic stats) — for flush-style recovery where the
 // queued tags are abandoned rather than repaired.
 func (l *List) Reset() {
-	l.mem.Wipe()
+	l.reg.Wipe()
 	l.headValid = false
 	l.emptyValid = false
 	l.initCounter = 0

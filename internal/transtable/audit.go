@@ -17,7 +17,7 @@ import (
 func (t *Table) Live() (map[int]int, error) {
 	out := map[int]int{}
 	for tag := 0; tag < t.Entries(); tag++ {
-		w, err := t.mem.Peek(tag)
+		w, err := t.reg.Peek(tag)
 		if err != nil {
 			return nil, err
 		}

@@ -28,7 +28,7 @@ func TestDanglingEntrySurfaces(t *testing.T) {
 		t.Fatalf("Set: %v", err)
 	}
 	// Flip the valid bit of an unrelated entry through the debug port.
-	if err := tb.mem.Poke(42, 1<<uint(tb.addrBits)|7); err != nil {
+	if err := tb.reg.Poke(42, 1<<uint(tb.addrBits)|7); err != nil {
 		t.Fatalf("poke: %v", err)
 	}
 	err := tb.Verify(map[int]int{10: 3})
@@ -44,7 +44,7 @@ func TestClearedEntrySurfaces(t *testing.T) {
 	if err := tb.Set(10, 3); err != nil {
 		t.Fatalf("Set: %v", err)
 	}
-	if err := tb.mem.Poke(10, 0); err != nil {
+	if err := tb.reg.Poke(10, 0); err != nil {
 		t.Fatalf("poke: %v", err)
 	}
 	err := tb.Verify(map[int]int{10: 3})
@@ -60,7 +60,7 @@ func TestWrongAddressSurfaces(t *testing.T) {
 	if err := tb.Set(10, 3); err != nil {
 		t.Fatalf("Set: %v", err)
 	}
-	if err := tb.mem.Poke(10, 1<<uint(tb.addrBits)|5); err != nil {
+	if err := tb.reg.Poke(10, 1<<uint(tb.addrBits)|5); err != nil {
 		t.Fatalf("poke: %v", err)
 	}
 	err := tb.Verify(map[int]int{10: 3})

@@ -10,36 +10,42 @@ import (
 	"fmt"
 
 	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
 )
 
-// Table is the translation table, backed by an SRAM whose depth is the
-// number of representable tag values (the paper's 4k entries for 12-bit
-// tags, or 32k for 15-bit tags).
+// Table is the translation table, backed by a fabric region whose depth
+// is the number of representable tag values (the paper's 4k entries for
+// 12-bit tags, or 32k for 15-bit tags).
 type Table struct {
 	tagBits  int
 	addrBits int
-	mem      *hwsim.SRAM
-	store    hwsim.Store // functional port (hook-wrappable for fault injection)
+	reg      *membus.Region // backing region (debug ports, bulk wipe)
+	port     *membus.Port   // functional port through the fabric arbiter
 }
 
 // New builds a table covering 2^tagBits entries of addrBits-wide
-// addresses (plus one valid bit per entry).
-func New(tagBits, addrBits int, clock *hwsim.Clock) (*Table, error) {
+// addresses (plus one valid bit per entry), provisioned from fab. A nil
+// fabric provisions a private single-region fabric on a private clock
+// (standalone/unit-test use).
+func New(tagBits, addrBits int, fab *membus.Fabric) (*Table, error) {
 	if tagBits <= 0 || tagBits > 26 {
 		return nil, fmt.Errorf("transtable: tag bits %d out of range 1..26", tagBits)
 	}
 	if addrBits <= 0 || addrBits > 32 {
 		return nil, fmt.Errorf("transtable: address bits %d out of range 1..32", addrBits)
 	}
-	mem, store, err := hwsim.NewSRAMStore(hwsim.SRAMConfig{
+	if fab == nil {
+		fab = membus.New(nil)
+	}
+	reg, err := fab.Provision(membus.RegionConfig{
 		Name:     "translation-table",
 		Depth:    1 << uint(tagBits),
 		WordBits: addrBits + 1, // +1 valid bit
-	}, clock)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("transtable: %w", err)
 	}
-	return &Table{tagBits: tagBits, addrBits: addrBits, mem: mem, store: store}, nil
+	return &Table{tagBits: tagBits, addrBits: addrBits, reg: reg, port: reg.Port()}, nil
 }
 
 // Entries returns the number of table entries (2^tagBits): the paper's
@@ -47,13 +53,13 @@ func New(tagBits, addrBits int, clock *hwsim.Clock) (*Table, error) {
 func (t *Table) Entries() int { return 1 << uint(t.tagBits) }
 
 // MemoryBits returns the table's total storage in bits.
-func (t *Table) MemoryBits() int { return t.mem.Bits() }
+func (t *Table) MemoryBits() int { return t.reg.Bits() }
 
 // Stats returns the table's SRAM access counters.
-func (t *Table) Stats() hwsim.AccessStats { return t.mem.Stats() }
+func (t *Table) Stats() hwsim.AccessStats { return t.reg.AccessStats() }
 
 // ResetStats zeroes the access counters.
-func (t *Table) ResetStats() { t.mem.ResetStats() }
+func (t *Table) ResetStats() { t.reg.ResetStats() }
 
 func (t *Table) checkTag(tag int) error {
 	if tag < 0 || tag >= t.Entries() {
@@ -71,7 +77,7 @@ func (t *Table) Set(tag, addr int) error {
 	if addr < 0 || addr >= 1<<uint(t.addrBits) {
 		return fmt.Errorf("transtable: address %d out of range [0,%d)", addr, 1<<uint(t.addrBits))
 	}
-	return t.store.Write(tag, 1<<uint(t.addrBits)|uint64(addr))
+	return t.port.Write(tag, 1<<uint(t.addrBits)|uint64(addr))
 }
 
 // Lookup returns the recorded address for tag, with ok=false when the tag
@@ -80,7 +86,7 @@ func (t *Table) Lookup(tag int) (int, bool, error) {
 	if err := t.checkTag(tag); err != nil {
 		return 0, false, err
 	}
-	w, err := t.store.Read(tag)
+	w, err := t.port.Read(tag)
 	if err != nil {
 		return 0, false, err
 	}
@@ -95,17 +101,17 @@ func (t *Table) Invalidate(tag int) error {
 	if err := t.checkTag(tag); err != nil {
 		return err
 	}
-	return t.store.Write(tag, 0)
+	return t.port.Write(tag, 0)
 }
 
 // Clear empties the whole table (reinitialization).
 func (t *Table) Clear() {
-	t.mem.Clear()
+	t.reg.Clear()
 }
 
 // Reset empties the table without disturbing the access counters (the
 // flash-style bulk clear used by the recovery path; Clear also zeroes
 // the stats).
 func (t *Table) Reset() {
-	t.mem.Wipe()
+	t.reg.Wipe()
 }

@@ -21,7 +21,7 @@ func (t *Trie) Dump() (string, error) {
 		fmt.Fprintf(&b, "L%d (%d-bit nodes):", level, t.widths[level])
 		empty := true
 		for idx := 0; idx < t.depths[level]; idx++ {
-			word, err := t.peeks[level].Peek(idx)
+			word, err := t.regions[level].Peek(idx)
 			if err != nil {
 				return "", err
 			}
@@ -45,7 +45,7 @@ func (t *Trie) Markers() ([]int, error) {
 	leaf := t.cfg.Levels - 1
 	var out []int
 	for idx := 0; idx < t.depths[leaf]; idx++ {
-		word, err := t.peeks[leaf].Peek(idx)
+		word, err := t.regions[leaf].Peek(idx)
 		if err != nil {
 			return nil, err
 		}
@@ -68,12 +68,12 @@ func (t *Trie) AuditStructure() ([]string, error) {
 	var bad []string
 	for level := 0; level < t.cfg.Levels-1; level++ {
 		for idx := 0; idx < t.depths[level]; idx++ {
-			word, err := t.peeks[level].Peek(idx)
+			word, err := t.regions[level].Peek(idx)
 			if err != nil {
 				return nil, err
 			}
 			for b := 0; b < t.widths[level]; b++ {
-				child, err := t.peeks[level+1].Peek(idx*t.widths[level] + b)
+				child, err := t.regions[level+1].Peek(idx*t.widths[level] + b)
 				if err != nil {
 					return nil, err
 				}

@@ -18,16 +18,8 @@ import (
 
 	"wfqsort/internal/hwsim"
 	"wfqsort/internal/matcher"
+	"wfqsort/internal/membus"
 )
-
-// wordStore abstracts the per-level marker storage (registers or SRAM,
-// possibly wrapped by a fault injector via the hwsim store hook).
-type wordStore = hwsim.Store
-
-// peeker is the non-counting debug/audit port both backing stores offer.
-type peeker interface {
-	Peek(addr int) (uint64, error)
-}
 
 // Config describes the tree geometry.
 type Config struct {
@@ -47,8 +39,14 @@ type Config struct {
 	// instead of SRAM (the paper keeps the first two levels, 272 bits,
 	// in registers). Defaults to Levels-1 capped at 2 when negative.
 	RegisterLevels int
-	// Clock, when non-nil, is advanced by SRAM-level accesses so that
-	// composed circuit models account for tree memory time.
+	// Fabric, when non-nil, is the memory fabric the tree levels are
+	// provisioned from — register levels as zero-latency register
+	// regions, SRAM levels as single-bank shared-port regions. When
+	// nil a private fabric over Clock is created (standalone use).
+	Fabric *membus.Fabric
+	// Clock, when non-nil and Fabric is nil, is the clock domain of
+	// the private fabric, advanced by SRAM-level accesses so composed
+	// circuit models account for tree memory time.
 	Clock *hwsim.Clock
 }
 
@@ -64,12 +62,16 @@ type Trie struct {
 	widths  []int  // node width per level = 2^bits[l]
 	shifts  []uint // right-shift extracting each level's literal
 	tagBits int
-	levels  []wordStore
-	peeks   []peeker // raw per-level debug ports (bypass any fault wrap)
-	wipes   []interface{ Wipe() }
-	depths  []int // node count per level
-	count   int   // live markers
+	levels  []*membus.Port   // functional per-level ports (arbitrated)
+	regions []*membus.Region // backing regions (debug ports, bulk wipe)
+	depths  []int            // node count per level
+	count   int              // live markers
 	stats   Stats
+
+	// Delete path scratch, preallocated so the steady-state hot path
+	// performs no heap allocations.
+	delIdxs  []int
+	delWords []uint64
 }
 
 // Stats reports tree traffic since construction or the last ResetStats.
@@ -111,16 +113,21 @@ func New(cfg Config) (*Trie, error) {
 	if cfg.RegisterLevels < 0 || cfg.RegisterLevels > cfg.Levels {
 		return nil, fmt.Errorf("trie: register levels %d out of range 0..%d", cfg.RegisterLevels, cfg.Levels)
 	}
+	fab := cfg.Fabric
+	if fab == nil {
+		fab = membus.New(cfg.Clock)
+	}
 	t := &Trie{
-		cfg:     cfg,
-		bits:    bits,
-		widths:  make([]int, cfg.Levels),
-		shifts:  make([]uint, cfg.Levels),
-		tagBits: tagBits,
-		levels:  make([]wordStore, cfg.Levels),
-		peeks:   make([]peeker, cfg.Levels),
-		wipes:   make([]interface{ Wipe() }, cfg.Levels),
-		depths:  make([]int, cfg.Levels),
+		cfg:      cfg,
+		bits:     bits,
+		widths:   make([]int, cfg.Levels),
+		shifts:   make([]uint, cfg.Levels),
+		tagBits:  tagBits,
+		levels:   make([]*membus.Port, cfg.Levels),
+		regions:  make([]*membus.Region, cfg.Levels),
+		depths:   make([]int, cfg.Levels),
+		delIdxs:  make([]int, cfg.Levels),
+		delWords: make([]uint64, cfg.Levels),
 	}
 	shift := tagBits
 	nodes := 1
@@ -129,27 +136,20 @@ func New(cfg Config) (*Trie, error) {
 		shift -= bits[l]
 		t.shifts[l] = uint(shift)
 		t.depths[l] = nodes
-		if l < cfg.RegisterLevels {
-			rf, err := hwsim.NewRegisterFile(fmt.Sprintf("tree-level-%d", l), nodes, t.widths[l])
-			if err != nil {
-				return nil, fmt.Errorf("trie: level %d: %w", l, err)
-			}
-			t.levels[l] = rf
-			t.peeks[l] = rf
-			t.wipes[l] = rf
-		} else {
-			m, store, err := hwsim.NewSRAMStore(hwsim.SRAMConfig{
-				Name:     fmt.Sprintf("tree-level-%d", l),
-				Depth:    nodes,
-				WordBits: t.widths[l],
-			}, cfg.Clock)
-			if err != nil {
-				return nil, fmt.Errorf("trie: level %d: %w", l, err)
-			}
-			t.levels[l] = store
-			t.peeks[l] = m
-			t.wipes[l] = m
+		// The first RegisterLevels levels are flip-flop banks read and
+		// written combinationally within a cycle; the rest are
+		// single-port SRAM blocks behind the fabric arbiter.
+		r, err := fab.Provision(membus.RegionConfig{
+			Name:     fmt.Sprintf("tree-level-%d", l),
+			Depth:    nodes,
+			WordBits: t.widths[l],
+			Register: l < cfg.RegisterLevels,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("trie: level %d: %w", l, err)
 		}
+		t.levels[l] = r.Port()
+		t.regions[l] = r
 		nodes *= t.widths[l]
 	}
 	return t, nil
@@ -449,9 +449,10 @@ func (t *Trie) Delete(tag int) error {
 	if err := t.checkTag(tag); err != nil {
 		return err
 	}
-	// Collect the path.
-	idxs := make([]int, t.cfg.Levels)
-	words := make([]uint64, t.cfg.Levels)
+	// Collect the path into the preallocated scratch (hot path: no
+	// heap allocations in steady state).
+	idxs := t.delIdxs
+	words := t.delWords
 	idx := 0
 	for level := 0; level < t.cfg.Levels; level++ {
 		lit := t.literal(tag, level)
@@ -555,8 +556,8 @@ func (t *Trie) Max() (int, bool, error) {
 // initialization mode, used by the recovery path before re-marking the
 // tree from the authoritative tag store.
 func (t *Trie) Reset() {
-	for _, w := range t.wipes {
-		w.Wipe()
+	for _, r := range t.regions {
+		r.Wipe()
 	}
 	t.count = 0
 }

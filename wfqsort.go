@@ -28,6 +28,7 @@ package wfqsort
 
 import (
 	"wfqsort/internal/core"
+	"wfqsort/internal/membus"
 	"wfqsort/internal/scheduler"
 	"wfqsort/internal/sharded"
 	"wfqsort/internal/taglist"
@@ -45,6 +46,20 @@ type SorterStats = core.Stats
 
 // Entry is one stored tag with its packet-buffer pointer.
 type Entry = taglist.Entry
+
+// Fabric is the banked dual-port memory fabric every component memory
+// of a Sorter is provisioned from (DESIGN.md §10). Sorter.Fabric
+// returns it; pass one via SorterConfig.Fabric to share a clock domain
+// or attach a fault campaign.
+type Fabric = membus.Fabric
+
+// MemRegion is one named banked memory carved from a Fabric (e.g.
+// "tag-storage"); its Stats and BankStats expose per-region traffic,
+// stall, and bank-utilization counters.
+type MemRegion = membus.Region
+
+// FabricStats is one region's access/stall/conflict/window counters.
+type FabricStats = membus.Stats
 
 // Mode selects the sorter's marker reclamation policy.
 type Mode = core.Mode
