@@ -14,11 +14,18 @@
 // arbiter-derived combined-operation window, per-region port traffic,
 // and bank balance; with -json it writes BENCH_membus.json.
 //
+// With -engine it benchmarks the concurrent serving runtime
+// (internal/engine): a sustained phase measures end-to-end ops/s and p99
+// enqueue-to-extract latency under PolicyBlock, then an overload phase
+// offers 2× the measured sustained rate under PolicyDropTail and
+// reports the shed fraction; with -json it writes BENCH_engine.json.
+//
 // Usage:
 //
 //	sortbench [-backlog N] [-steady N] [-window W] [-profile bell|left|uniform] [-seed S]
 //	sortbench -sharded [-json BENCH_sharded.json] [-seed S]
 //	sortbench -membus [-json BENCH_membus.json] [-seed S]
+//	sortbench -engine [-json BENCH_engine.json] [-seed S]
 package main
 
 import (
@@ -28,10 +35,13 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
 	"wfqsort/internal/core"
+	"wfqsort/internal/engine"
 	"wfqsort/internal/hwsim"
 	"wfqsort/internal/membus"
 	"wfqsort/internal/metrics"
@@ -56,7 +66,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "workload seed")
 	shardedMode := flag.Bool("sharded", false, "benchmark the sharded multi-lane sorter across lane counts")
 	membusMode := flag.Bool("membus", false, "benchmark the memory fabric across tag-store technologies")
-	jsonPath := flag.String("json", "", "with -sharded or -membus: also write machine-readable results to this file")
+	engineMode := flag.Bool("engine", false, "benchmark the concurrent serving engine (sustained + 2x overload)")
+	jsonPath := flag.String("json", "", "with -sharded, -membus, or -engine: also write machine-readable results to this file")
 	flag.Parse()
 
 	if *shardedMode {
@@ -64,6 +75,9 @@ func run() error {
 	}
 	if *membusMode {
 		return runMembus(*seed, *jsonPath)
+	}
+	if *engineMode {
+		return runEngine(*seed, *jsonPath)
 	}
 
 	var profile traffic.TagProfile
@@ -407,6 +421,206 @@ func benchMembusTech(tech taglist.MemTech, seed int64) (membusResult, error) {
 			StallFrac:   pp.StallFrac,
 			BankLoadImb: metrics.BankLoad(r.BankStats()).Imbalance,
 		})
+	}
+	return res, nil
+}
+
+// engineWorkload fixes the engine benchmark shape so JSON baselines are
+// comparable across runs: a sustained phase with blocking backpressure
+// measures the runtime's end-to-end capacity, then an overload phase
+// offers twice that rate with tail-drop shedding.
+const (
+	engineLanes     = 4
+	engineLaneCap   = 1024
+	engineRing      = 256
+	engineBatch     = 64
+	engineProducers = 4
+	engineOps       = 200_000
+)
+
+// enginePhaseResult is one phase row of BENCH_engine.json.
+type enginePhaseResult struct {
+	Phase   string `json:"phase"`
+	Policy  string `json:"policy"`
+	Offered uint64 `json:"offered"`
+
+	// OfferedPerSec is the producer-side attempt rate; in the overload
+	// phase it is paced at 2x the sustained capacity.
+	OfferedPerSec float64 `json:"offered_per_sec"`
+	// OpsPerSec is the sustained served rate over the whole phase,
+	// including the final drain.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	DropRate  float64 `json:"drop_rate"`
+	Dropped   uint64  `json:"dropped"`
+	Served    uint64  `json:"served"`
+
+	P99LatencyNs  float64 `json:"p99_latency_ns"`
+	MeanLatencyNs float64 `json:"mean_latency_ns"`
+
+	Batches  uint64  `json:"batches"`
+	AvgBatch float64 `json:"avg_batch"`
+
+	ModelSpeedup float64 `json:"model_speedup"`
+	ModeledMpps  float64 `json:"modeled_mpps"`
+}
+
+// engineReport is the BENCH_engine.json document.
+type engineReport struct {
+	Schema     string              `json:"schema"`
+	Seed       int64               `json:"seed"`
+	Lanes      int                 `json:"lanes"`
+	Producers  int                 `json:"producers"`
+	Ops        int                 `json:"ops"`
+	NumCPU     int                 `json:"num_cpu"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Results    []enginePhaseResult `json:"results"`
+}
+
+func runEngine(seed int64, jsonPath string) error {
+	report := engineReport{
+		Schema:     "wfqsort/bench-engine/v1",
+		Seed:       seed,
+		Lanes:      engineLanes,
+		Producers:  engineProducers,
+		Ops:        engineOps,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("serving engine — %d lanes, %d producers, %d ops, bell profile, seed %d\n",
+		engineLanes, engineProducers, engineOps, seed)
+	fmt.Printf("(sustained phase blocks on backpressure; overload phase offers 2x sustained with tail drop)\n\n")
+
+	sustained, err := benchEnginePhase(seed, engine.PolicyBlock, 0)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, sustained)
+	overload, err := benchEnginePhase(seed, engine.PolicyDropTail, 2*sustained.OpsPerSec)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, overload)
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "phase\tpolicy\toffered/s\tserved ops/s\tdrop rate\tp99 latency\tmean latency\tavg batch")
+	for _, r := range report.Results {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%.3f\t%.0f ns\t%.0f ns\t%.1f\n",
+			r.Phase, r.Policy, r.OfferedPerSec, r.OpsPerSec, r.DropRate,
+			r.P99LatencyNs, r.MeanLatencyNs, r.AvgBatch)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\nsustained %.0f ops/s; at 2x overload the engine shed %.1f%% and held %.0f ops/s\n",
+		sustained.OpsPerSec, 100*overload.DropRate, overload.OpsPerSec)
+	if jsonPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// benchEnginePhase drives one engine through engineOps submissions from
+// engineProducers goroutines. ratePerSec 0 means unpaced (producers run
+// at full speed against blocking backpressure); nonzero paces the
+// aggregate offered rate with a credit loop.
+func benchEnginePhase(seed int64, policy engine.Policy, ratePerSec float64) (enginePhaseResult, error) {
+	e, err := engine.New(engine.Config{
+		Lanes: engineLanes, LaneCapacity: engineLaneCap,
+		RingSize: engineRing, BatchSize: engineBatch,
+		Policy: policy, OutBuffer: 4 * engineBatch,
+	})
+	if err != nil {
+		return enginePhaseResult{}, err
+	}
+	if err := e.Start(); err != nil {
+		return enginePhaseResult{}, err
+	}
+	var served atomic.Uint64
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for range e.Served() {
+			served.Add(1)
+		}
+	}()
+
+	phase := "sustained"
+	if ratePerSec > 0 {
+		phase = "overload-2x"
+	}
+	perProducer := engineOps / engineProducers
+	var wg sync.WaitGroup
+	var submitErr atomic.Value
+	start := time.Now() //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+	for p := 0; p < engineProducers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			gen, gerr := traffic.NewTagGen(traffic.ProfileBell, seed+int64(p))
+			if gerr != nil {
+				submitErr.Store(gerr)
+				return
+			}
+			producerRate := ratePerSec / engineProducers
+			for i := 0; i < perProducer; i++ {
+				if producerRate > 0 {
+					// Credit pacing: never run ahead of the offered-rate
+					// budget accumulated since the phase started.
+					for float64(i) > producerRate*time.Since(start).Seconds() { //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+						runtime.Gosched()
+					}
+				}
+				if _, serr := e.Submit(gen.Sample(0, e.TagRange()-1), i); serr != nil {
+					submitErr.Store(serr)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := e.Stop(); err != nil {
+		return enginePhaseResult{}, err
+	}
+	<-consumerDone
+	elapsed := time.Since(start) //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+	if v := submitErr.Load(); v != nil {
+		return enginePhaseResult{}, v.(error)
+	}
+
+	st := e.StatsSnapshot()
+	dropped := st.DropsRing + st.DropsRED
+	res := enginePhaseResult{
+		Phase:         phase,
+		Policy:        st.Policy,
+		Offered:       st.Submitted + dropped,
+		OfferedPerSec: float64(st.Submitted+dropped) / elapsed.Seconds(),
+		OpsPerSec:     float64(st.Extracted) / elapsed.Seconds(),
+		Dropped:       dropped,
+		Served:        served.Load(),
+		P99LatencyNs:  st.LatencyP99Ns,
+		MeanLatencyNs: st.LatencyMeanNs,
+		Batches:       st.Batches,
+		ModelSpeedup:  st.ModelSpeedup,
+		ModeledMpps:   st.ModeledMpps,
+	}
+	if res.Offered > 0 {
+		res.DropRate = float64(dropped) / float64(res.Offered)
+	}
+	if st.Batches > 0 {
+		res.AvgBatch = float64(st.BatchedOps) / float64(st.Batches)
+	}
+	// The conservation invariant is part of the benchmark contract: a
+	// baseline from a leaking engine would be meaningless.
+	if st.Inserted != st.Extracted+st.FaultLost || st.Extracted != served.Load() {
+		return enginePhaseResult{}, fmt.Errorf("engine conservation violated: %+v", st)
 	}
 	return res, nil
 }

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testConfig() config {
+	return config{
+		listen:  "127.0.0.1:0",
+		profile: "bell",
+		lanes:   2, laneCap: 256, ringSize: 32, batch: 8,
+		policy: "block",
+		flows:  4, capBps: 40e9, seed: 7,
+	}
+}
+
+func bootServer(t *testing.T) *server {
+	t.Helper()
+	s, err := newServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.run(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.shutdown() })
+	return s
+}
+
+func TestFlagAndConfigErrors(t *testing.T) {
+	if _, err := parsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if _, err := parseProfile("bogus"); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+	bad := testConfig()
+	bad.flows = 0
+	if _, err := newServer(bad); err == nil {
+		t.Fatal("zero flows accepted")
+	}
+	bad = testConfig()
+	bad.lanes = 3
+	if _, err := newServer(bad); err == nil {
+		t.Fatal("non-power-of-two lanes accepted")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := bootServer(t)
+	for i := 0; i < 200; i++ {
+		if _, err := s.submitPacket(i%s.cfg.flows, 64+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+
+	body := httpGet(t, ts.URL+"/healthz", 200)
+	if !strings.Contains(body, "ok") {
+		t.Fatalf("healthz body %q", body)
+	}
+
+	body = httpGet(t, ts.URL+"/metrics", 200)
+	for _, want := range []string{
+		"wfqd_up 1",
+		"wfqd_submitted_total",
+		"wfqd_extracted_total",
+		"wfqd_lane_imbalance",
+		"wfqd_fabric_stall_cycles_total",
+		"wfqd_ring_len{lane=\"0\"}",
+		"wfqd_model_mpps",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	body = httpGet(t, ts.URL+"/stats.json", 200)
+	var st statsPayload
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("stats.json: %v", err)
+	}
+	if st.Schema != "wfqsort/wfqd-stats/v1" || st.Flows != s.cfg.flows {
+		t.Fatalf("stats payload %+v", st)
+	}
+	if st.Engine.Submitted != 200 {
+		t.Fatalf("submitted %d", st.Engine.Submitted)
+	}
+}
+
+func TestHealthzAfterShutdown(t *testing.T) {
+	s, err := newServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.run(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+	if err := s.shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	httpGet(t, ts.URL+"/healthz", 503)
+}
+
+func TestIngestLineProtocol(t *testing.T) {
+	s := bootServer(t)
+	client, srv := net.Pipe()
+	go s.serveIngest(srv)
+	defer client.Close()
+
+	send := func(line string) string {
+		t.Helper()
+		client.SetDeadline(time.Now().Add(5 * time.Second))
+		if _, err := client.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 256)
+		n, err := client.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(string(buf[:n]))
+	}
+
+	if got := send("1 1500"); got != "OK" {
+		t.Fatalf("valid line: %q", got)
+	}
+	if got := send("notanumber"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("garbage line: %q", got)
+	}
+	if got := send("99 1500"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad flow: %q", got)
+	}
+	if got := send("1 -5"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad size: %q", got)
+	}
+	if s.ingests.Load() != 1 || s.badLine.Load() != 3 {
+		t.Fatalf("ingest counters: ok=%d bad=%d", s.ingests.Load(), s.badLine.Load())
+	}
+}
+
+func TestSyntheticWorkload(t *testing.T) {
+	s := bootServer(t)
+	if err := s.runSynthetic(500); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.statsPayload()
+	if st.Engine.Submitted != 500 || st.Served != 500 {
+		t.Fatalf("synthetic: submitted %d served %d", st.Engine.Submitted, st.Served)
+	}
+	if st.Engine.Inserted != st.Engine.Extracted+st.Engine.FaultLost {
+		t.Fatalf("conservation: %+v", st.Engine)
+	}
+}
+
+func httpGet(t *testing.T, url string, wantCode int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: %d (want %d), body %q", url, resp.StatusCode, wantCode, body)
+	}
+	return string(body)
+}

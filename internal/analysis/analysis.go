@@ -54,8 +54,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	diags   *[]Diagnostic
-	ignores map[string]map[int][]ignoreDirective // file -> line -> directives
+	diags       *[]Diagnostic
+	ignores     map[string]map[int][]ignoreDirective // file -> line -> directives
+	fileIgnores map[string][]ignoreDirective         // file -> whole-file directives
 }
 
 // ignoreDirective is one parsed //wfqlint:ignore comment.
@@ -68,17 +69,31 @@ type ignoreDirective struct {
 // mentions a "//wfqlint:ignore" directive is not parsed as one.
 var ignoreRe = regexp.MustCompile(`^//\s*wfqlint:ignore\s+(\S+)\s*(.*)`)
 
-// buildIgnores indexes every //wfqlint:ignore directive by file and line.
-// A directive suppresses matching diagnostics on its own line and on the
-// line immediately below it (so it can sit above the flagged statement).
-// Directives with an empty reason are themselves reported: a suppression
-// must say why.
+// ignoreFileRe matches the file-scope variant: a //wfqlint:ignore-file
+// directive suppresses the named analyzer across its whole file. It is
+// for files that are wall-clock by design (the serving engine, daemons,
+// benchmarks), where a per-line directive on every timestamp would bury
+// the signal; the justification is still mandatory.
+var ignoreFileRe = regexp.MustCompile(`^//\s*wfqlint:ignore-file\s+(\S+)\s*(.*)`)
+
+// buildIgnores indexes every //wfqlint:ignore directive by file and line
+// and every //wfqlint:ignore-file directive by file. A line directive
+// suppresses matching diagnostics on its own line and on the line
+// immediately below it (so it can sit above the flagged statement); a
+// file directive suppresses them anywhere in its file. Directives with
+// an empty reason are themselves reported: a suppression must say why.
 func (p *Pass) buildIgnores() {
 	p.ignores = make(map[string]map[int][]ignoreDirective)
+	p.fileIgnores = make(map[string][]ignoreDirective)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				fileScope := false
 				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					m = ignoreFileRe.FindStringSubmatch(c.Text)
+					fileScope = true
+				}
 				if m == nil {
 					continue
 				}
@@ -90,6 +105,10 @@ func (p *Pass) buildIgnores() {
 						Analyzer: p.Analyzer.Name,
 						Message:  "wfqlint:ignore directive without a justification",
 					})
+					continue
+				}
+				if fileScope {
+					p.fileIgnores[pos.Filename] = append(p.fileIgnores[pos.Filename], dir)
 					continue
 				}
 				byLine := p.ignores[pos.Filename]
@@ -104,8 +123,14 @@ func (p *Pass) buildIgnores() {
 }
 
 // ignored reports whether a diagnostic at pos is suppressed by a
-// directive on the same line or the line above.
+// directive on the same line or the line above, or by a file-scope
+// directive anywhere in the file.
 func (p *Pass) ignored(pos token.Position) bool {
+	for _, d := range p.fileIgnores[pos.Filename] {
+		if d.analyzer == "all" || d.analyzer == p.Analyzer.Name {
+			return true
+		}
+	}
 	byLine := p.ignores[pos.Filename]
 	if byLine == nil {
 		return false

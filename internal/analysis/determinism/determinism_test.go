@@ -12,3 +12,12 @@ func TestDeterminism(t *testing.T) {
 	dir := filepath.Join("testdata", "repro")
 	analysis.RunTest(t, dir, "wfqsort/internal/determinism_testdata", determinism.Analyzer)
 }
+
+// TestDeterminismIgnoreFile exercises the //wfqlint:ignore-file
+// directive: exempt.go carries the header and reports nothing despite
+// wall-clock and global-rand calls, while flagged.go in the same
+// package still reports.
+func TestDeterminismIgnoreFile(t *testing.T) {
+	dir := filepath.Join("testdata", "ignorefile")
+	analysis.RunTest(t, dir, "wfqsort/internal/ignorefile_testdata", determinism.Analyzer)
+}

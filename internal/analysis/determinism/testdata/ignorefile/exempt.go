@@ -1,0 +1,26 @@
+// Package ignorefile is determinism analyzer testdata for the file-scope
+// suppression directive: every diagnostic in this file is suppressed by
+// the header, while flagged.go (same package, no header) still reports.
+//
+//wfqlint:ignore-file determinism this file models a wall-clock serving loop by design
+package ignorefile
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ExemptWallClock would be flagged without the file header.
+func ExemptWallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+// ExemptSince would be flagged without the file header.
+func ExemptSince(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+// ExemptGlobalRand would be flagged without the file header.
+func ExemptGlobalRand(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,10 @@
+package ignorefile
+
+import "time"
+
+// FlaggedWallClock sits in the same package as exempt.go but a
+// different file: the ignore-file directive must not leak across file
+// boundaries.
+func FlaggedWallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now leaks wall-clock time`
+}

@@ -129,17 +129,33 @@ type Sorter struct {
 	combined uint64
 }
 
-// New builds an empty sorter.
-func New(cfg Config) (*Sorter, error) {
-	if cfg.Levels == 0 && cfg.LiteralBits == 0 {
+// Validate checks the configuration and normalizes documented
+// zero-value defaults in place (silicon tree geometry, ModeEager). New
+// calls it; callers only need it to pre-validate a config. Tree
+// geometry and tag-store parameters beyond these checks are validated
+// by the component constructors during New.
+func (c *Config) Validate() error {
+	if c.Levels == 0 && c.LiteralBits == 0 {
 		def := trie.DefaultConfig()
-		cfg.Levels, cfg.LiteralBits = def.Levels, def.LiteralBits
+		c.Levels, c.LiteralBits = def.Levels, def.LiteralBits
 	}
-	if cfg.Mode == 0 {
-		cfg.Mode = ModeEager
+	if c.Mode == 0 {
+		c.Mode = ModeEager
 	}
-	if cfg.Mode != ModeEager && cfg.Mode != ModeHardware {
-		return nil, fmt.Errorf("core: unknown mode %d", int(cfg.Mode))
+	if c.Mode != ModeEager && c.Mode != ModeHardware {
+		return fmt.Errorf("core: unknown mode %d", int(c.Mode))
+	}
+	if c.Capacity < 2 {
+		return fmt.Errorf("core: capacity %d must be at least 2", c.Capacity)
+	}
+	return nil
+}
+
+// New builds an empty sorter. The configuration is validated and
+// defaulted via Config.Validate.
+func New(cfg Config) (*Sorter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	registerLevels := cfg.Levels - 1
 	if registerLevels > 2 {
@@ -157,9 +173,6 @@ func New(cfg Config) (*Sorter, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: tree: %w", err)
-	}
-	if cfg.Capacity < 2 {
-		return nil, fmt.Errorf("core: capacity %d must be at least 2", cfg.Capacity)
 	}
 	addrBits := 1
 	for 1<<uint(addrBits) < cfg.Capacity {
@@ -220,8 +233,8 @@ func (s *Sorter) Pipeline() (*pipeline.Pipe, error) {
 	return pipeline.Datapath(s.tree.Levels(), s.list.WindowCyclesUsed())
 }
 
-// Stats returns aggregated component traffic.
-func (s *Sorter) Stats() Stats {
+// StatsSnapshot returns aggregated component traffic.
+func (s *Sorter) StatsSnapshot() Stats {
 	ts := s.tree.Stats()
 	return Stats{
 		Inserts:        s.inserts,
@@ -237,6 +250,12 @@ func (s *Sorter) Stats() Stats {
 		ListAccesses:   s.list.MemStats().Accesses(),
 	}
 }
+
+// Stats returns aggregated component traffic.
+//
+// Deprecated: use StatsSnapshot (the repository-wide stats accessor
+// convention, DESIGN.md §11).
+func (s *Sorter) Stats() Stats { return s.StatsSnapshot() }
 
 // ResetStats zeroes all traffic counters.
 func (s *Sorter) ResetStats() {

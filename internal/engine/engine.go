@@ -1,0 +1,865 @@
+// Package engine is the line-rate serving runtime on top of the sharded
+// sort/retrieve circuit: the layer that turns the cycle-accurate model
+// into a long-running concurrent service with admission backpressure and
+// live observability (the wfqd daemon and sortbench -engine both drive
+// it).
+//
+// The shape follows the software packet-scheduling literature. Eiffel
+// (Saeed et al., NSDI'19) shows that software schedulers reach line rate
+// by amortizing per-packet costs over bucketed queue operations; here N
+// producers submit into per-lane bounded rings and a single datapath
+// goroutine drains them in batches through ShardedSorter.InsertBatch, so
+// the per-packet synchronization cost is one ring operation and the
+// sorter cost is amortized over the batch. The PIFO line of work
+// (Sivaraman et al.) frames the serving loop itself: admit with a
+// computed rank, extract the minimum, repeat — the engine's extractor is
+// exactly that loop, honoring the paper's fixed operation window on
+// every lane.
+//
+// Concurrency contract: producers call Submit from any goroutine; the
+// sorter is owned by one datapath goroutine (the modelled hardware is a
+// synchronous pipeline, so all sorter operations serialize through it);
+// consumers receive Served records from the Served channel and MUST keep
+// receiving until it closes, or the bounded channel backpressures the
+// datapath (by design: an unread output queue is a full output queue).
+//
+// Fault containment: with RecoverFaults set, a corrupt-state error from
+// the sorter (or a datapath panic) triggers the PR-1 recovery machinery
+// — per-lane Audit/Rebuild from the authoritative tag store, select-tree
+// ResyncHeads, and a slot-table reconciliation that counts anything
+// unrecoverable in Stats.FaultLost — instead of killing the engine. The
+// accounting invariant Inserted == Extracted + FaultLost + in-sorter
+// holds across recoveries, so no packet is ever lost unaccounted.
+//
+//wfqlint:ignore-file determinism the serving engine is intentionally wall-clock code: it measures real enqueue-to-extract latency and real throughput, not simulated time (DESIGN.md §11)
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfqsort/internal/aqm"
+	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
+	"wfqsort/internal/metrics"
+	"wfqsort/internal/sharded"
+	"wfqsort/internal/taglist"
+)
+
+// Sentinel errors returned by Engine operations.
+var (
+	// ErrNotStarted is returned by Submit/Stop before Start.
+	ErrNotStarted = errors.New("engine: not started")
+	// ErrStopped is returned by Submit once shutdown has begun (or the
+	// datapath died on an unrecoverable error).
+	ErrStopped = errors.New("engine: stopped")
+)
+
+// Policy selects the ingestion backpressure behaviour when a submission
+// ring is full (the engine-level analogue of scheduler.FullPolicy).
+type Policy int
+
+const (
+	// PolicyBlock makes Submit wait for ring space: backpressure
+	// propagates to the producer, nothing is dropped. The default.
+	PolicyBlock Policy = iota + 1
+	// PolicyDropTail drops the submission when its lane ring is full,
+	// counting it in Stats.DropsRing (classic tail drop).
+	PolicyDropTail
+	// PolicyRED applies random early detection (internal/aqm) on the
+	// engine occupancy before ring admission: drops begin
+	// probabilistically before the rings fill, counted in Stats.DropsRED.
+	// A submission RED admits still blocks for ring space (an admitted
+	// packet is never silently lost).
+	PolicyRED
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyBlock:
+		return "block"
+	case PolicyDropTail:
+		return "drop-tail"
+	case PolicyRED:
+		return "red"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes an engine. The zero value of every field selects a
+// documented default, so Config{} is a valid 4-lane engine.
+type Config struct {
+	// Lanes is the sharded sorter's lane count (power of two, 1..64).
+	// Default 4.
+	Lanes int
+	// LaneCapacity is the number of tag-store links per lane.
+	// Default 1024.
+	LaneCapacity int
+	// Partition is the tag-space split (default interleaved).
+	Partition sharded.Partition
+	// MemTech is each lane's tag-store memory technology (default SDR).
+	MemTech taglist.MemTech
+	// LaneFabrics, when non-nil, supplies one pre-built memory fabric
+	// per lane (len == Lanes), e.g. to attach a fault campaign. Attach
+	// observers before Start: the datapath owns the fabrics afterwards.
+	LaneFabrics []*membus.Fabric
+	// RingSize is the per-lane submission ring depth. Default 256.
+	RingSize int
+	// BatchSize caps how many submissions one drain pass moves from each
+	// lane ring into an InsertBatch, and how many entries one extractor
+	// pass serves. Default 64.
+	BatchSize int
+	// Policy is the ring-full backpressure policy (default PolicyBlock).
+	Policy Policy
+	// RED configures early detection when Policy is PolicyRED; the zero
+	// value selects thresholds at 1/4 and 3/4 of the total in-flight
+	// capacity (rings + sorter) with maxP 0.05.
+	RED aqm.REDConfig
+	// OutBuffer is the Served channel depth. Default 1024.
+	OutBuffer int
+	// RecoverFaults enables the fault containment path: corrupt-state
+	// errors trigger per-lane Audit/Rebuild and slot reconciliation
+	// instead of stopping the engine.
+	RecoverFaults bool
+	// ClockHz is the modelled circuit clock used to report modelled
+	// packet rates next to wall-clock ones. Defaults to the paper's
+	// 143.2 MHz.
+	ClockHz float64
+}
+
+// Validate checks the configuration and normalizes documented zero-value
+// defaults in place. New calls it; callers only need it to pre-validate.
+func (c *Config) Validate() error {
+	if c.Lanes == 0 {
+		c.Lanes = 4
+	}
+	if c.Lanes < 1 || c.Lanes > 64 || c.Lanes&(c.Lanes-1) != 0 {
+		return fmt.Errorf("engine: lanes %d must be a power of two in 1..64", c.Lanes)
+	}
+	if c.LaneCapacity == 0 {
+		c.LaneCapacity = 1024
+	}
+	if c.LaneCapacity < 2 {
+		return fmt.Errorf("engine: lane capacity %d must be at least 2", c.LaneCapacity)
+	}
+	if c.RingSize == 0 {
+		c.RingSize = 256
+	}
+	if c.RingSize < 1 {
+		return fmt.Errorf("engine: ring size %d must be positive", c.RingSize)
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("engine: batch size %d must be positive", c.BatchSize)
+	}
+	if c.Policy == 0 {
+		c.Policy = PolicyBlock
+	}
+	if c.Policy != PolicyBlock && c.Policy != PolicyDropTail && c.Policy != PolicyRED {
+		return fmt.Errorf("engine: unknown backpressure policy %d", int(c.Policy))
+	}
+	if c.OutBuffer == 0 {
+		c.OutBuffer = 1024
+	}
+	if c.OutBuffer < 1 {
+		return fmt.Errorf("engine: out buffer %d must be positive", c.OutBuffer)
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = 143.2e6
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("engine: clock %v must be positive", c.ClockHz)
+	}
+	if c.Policy == PolicyRED && c.RED.MinThreshold == 0 && c.RED.MaxThreshold == 0 {
+		inflight := float64(c.Lanes * (c.LaneCapacity + c.RingSize))
+		c.RED = aqm.REDConfig{
+			MinThreshold: inflight / 4,
+			MaxThreshold: inflight * 3 / 4,
+			MaxP:         0.05,
+		}
+	}
+	return nil
+}
+
+// Served is one extracted entry delivered to the consumer.
+type Served struct {
+	// Tag is the finishing tag that was served.
+	Tag int
+	// Payload is the value passed to Submit.
+	Payload int
+	// Latency is the wall-clock enqueue-to-extract time.
+	Latency time.Duration
+}
+
+// Stats is the engine's counter snapshot, following the repository's
+// StatsSnapshot() convention (DESIGN.md §11). Counters are cumulative
+// since Start; gauges reflect the datapath's most recent mirror update
+// (at most a few batches stale).
+type Stats struct {
+	Running bool
+	Lanes   int
+	Policy  string
+
+	// Ingest accounting. Offered = Submitted + DropsRing + DropsRED.
+	Submitted uint64
+	DropsRing uint64
+	DropsRED  uint64
+
+	// Datapath accounting. The conservation invariant is
+	// Inserted == Extracted + FaultLost + SorterLen.
+	Inserted  uint64
+	Extracted uint64
+	FaultLost uint64
+
+	// Batching effectiveness of the drain loop.
+	Batches       uint64
+	BatchedOps    uint64
+	MaxBatch      int
+	Recoveries    uint64
+	DatapathIdles uint64
+
+	// Occupancy gauges.
+	RingLens  []int
+	LaneLens  []int
+	SorterLen int
+	InFlight  int
+
+	// Enqueue-to-extract wall-clock latency over (up to) the most recent
+	// latencyWindow extractions.
+	LatencyCount  uint64
+	LatencyMeanNs float64
+	LatencyP99Ns  float64
+	LatencyMaxNs  float64
+
+	// Modelled-hardware view: the sharded cycle accounting underneath
+	// the wall-clock numbers (DESIGN.md §11 relates the two).
+	WindowCycles  int
+	MaxLaneCycles uint64
+	SumLaneCycles uint64
+	ModelSpeedup  float64
+	ModeledMpps   float64
+
+	// Lane balance and per-lane fabric port pressure, for /metrics.
+	LaneLoad     metrics.LaneStats
+	FabricLanes  []LaneFabricStats
+	RingOccupied int
+}
+
+// LaneFabricStats is one lane's memory-fabric pressure snapshot.
+type LaneFabricStats struct {
+	Lane    int
+	Regions []metrics.PortPressure
+}
+
+// item is one submission in flight through a lane ring.
+type item struct {
+	tag      int
+	payload  int
+	submitNs int64
+}
+
+// slot is one entry of the payload indirection table: the sorter stores
+// the slot index, the slot remembers the caller's payload and the
+// submission timestamp.
+type slot struct {
+	payload  int
+	submitNs int64
+	live     bool
+}
+
+// latencyWindow is the sliding sample window for latency percentiles.
+const latencyWindow = 8192
+
+// Engine is the concurrent serving runtime. Build with New, Start it,
+// Submit from any number of goroutines, consume Served until it closes,
+// Stop to drain gracefully.
+type Engine struct {
+	cfg    Config
+	sorter *sharded.ShardedSorter
+
+	rings    []chan item
+	notify   chan struct{}
+	drainReq chan struct{}
+	done     chan struct{}
+	out      chan Served
+
+	red   *aqm.RED
+	redMu sync.Mutex
+
+	// Slot table: owned by the datapath goroutine.
+	slots []slot
+	free  []int
+
+	started  atomic.Bool
+	stopping atomic.Bool
+	subWG    sync.WaitGroup
+	stopOnce sync.Once
+	runErr   error
+
+	submitted  atomic.Uint64
+	dropsRing  atomic.Uint64
+	dropsRED   atomic.Uint64
+	inserted   atomic.Uint64
+	extracted  atomic.Uint64
+	faultLost  atomic.Uint64
+	batches    atomic.Uint64
+	batchedOps atomic.Uint64
+	maxBatch   atomic.Int64
+	recoveries atomic.Uint64
+	idles      atomic.Uint64
+
+	mu     sync.Mutex // guards mirror + latency reservoir
+	mirror mirror
+	latBuf []int64 // circular latency sample window
+	latPos int
+	latN   uint64
+}
+
+// mirror holds the gauges the datapath periodically copies out of the
+// sorter so StatsSnapshot never touches datapath-owned state.
+type mirror struct {
+	laneLens     []int
+	sorterLen    int
+	maxCycles    uint64
+	sumCycles    uint64
+	modelSpeedup float64
+	laneLoad     metrics.LaneStats
+	fabric       []LaneFabricStats
+}
+
+// New builds an engine. The configuration is validated and defaulted via
+// Config.Validate.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := sharded.New(sharded.Config{
+		Lanes:        cfg.Lanes,
+		LaneCapacity: cfg.LaneCapacity,
+		Partition:    cfg.Partition,
+		MemTech:      cfg.MemTech,
+		LaneFabrics:  cfg.LaneFabrics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		sorter:   s,
+		rings:    make([]chan item, cfg.Lanes),
+		notify:   make(chan struct{}, 1),
+		drainReq: make(chan struct{}),
+		done:     make(chan struct{}),
+		out:      make(chan Served, cfg.OutBuffer),
+		slots:    make([]slot, s.Capacity()),
+		free:     make([]int, 0, s.Capacity()),
+		latBuf:   make([]int64, 0, latencyWindow),
+	}
+	for i := range e.rings {
+		e.rings[i] = make(chan item, cfg.RingSize)
+	}
+	for i := s.Capacity() - 1; i >= 0; i-- {
+		e.free = append(e.free, i)
+	}
+	if cfg.Policy == PolicyRED {
+		red, err := aqm.NewRED(cfg.RED)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		e.red = red
+	}
+	return e, nil
+}
+
+// Lanes returns the lane count.
+func (e *Engine) Lanes() int { return e.sorter.Lanes() }
+
+// TagRange returns the number of representable tag values.
+func (e *Engine) TagRange() int { return e.sorter.TagRange() }
+
+// Capacity returns the total sorter links across lanes (the in-sorter
+// occupancy ceiling; rings add Lanes×RingSize on top).
+func (e *Engine) Capacity() int { return e.sorter.Capacity() }
+
+// Served returns the consumer channel. It is closed after a graceful
+// drain completes (or the datapath dies); consumers must keep receiving
+// until then.
+func (e *Engine) Served() <-chan Served { return e.out }
+
+// Start spawns the datapath goroutine. It may be called once.
+func (e *Engine) Start() error {
+	if !e.started.CompareAndSwap(false, true) {
+		return errors.New("engine: already started")
+	}
+	go e.run()
+	return nil
+}
+
+// Submit offers one (tag, payload) to the engine from any goroutine. It
+// reports whether the submission was admitted: under PolicyDropTail and
+// PolicyRED an overloaded engine sheds load by returning (false, nil)
+// and counting the drop; under PolicyBlock it waits for ring space. The
+// error is non-nil only for invalid tags or a stopped engine.
+func (e *Engine) Submit(tag, payload int) (admitted bool, err error) {
+	if !e.started.Load() {
+		return false, ErrNotStarted
+	}
+	if e.stopping.Load() {
+		return false, ErrStopped
+	}
+	e.subWG.Add(1)
+	defer e.subWG.Done()
+	// Re-check after registering with the in-flight group: Stop waits on
+	// the group after setting the flag, so a Submit that observes
+	// stopping false here is guaranteed to finish before the drain scan.
+	if e.stopping.Load() {
+		return false, ErrStopped
+	}
+	if tag < 0 || tag >= e.sorter.TagRange() {
+		return false, fmt.Errorf("engine: tag %d outside [0,%d)", tag, e.sorter.TagRange())
+	}
+	it := item{tag: tag, payload: payload, submitNs: time.Now().UnixNano()}
+	ring := e.rings[e.sorter.LaneFor(tag)]
+	switch e.cfg.Policy {
+	case PolicyDropTail:
+		select {
+		case ring <- it:
+		default:
+			e.dropsRing.Add(1)
+			return false, nil
+		}
+	case PolicyRED:
+		e.redMu.Lock()
+		ok := e.red.Arrive()
+		e.redMu.Unlock()
+		if !ok {
+			e.dropsRED.Add(1)
+			return false, nil
+		}
+		select {
+		case ring <- it:
+		case <-e.done:
+			e.redDepart(1)
+			return false, ErrStopped
+		}
+	default: // PolicyBlock
+		select {
+		case ring <- it:
+		case <-e.done:
+			return false, ErrStopped
+		}
+	}
+	e.submitted.Add(1)
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+	return true, nil
+}
+
+// Stop begins a graceful shutdown: new submissions are rejected with
+// ErrStopped, in-flight ones complete, the rings are drained through the
+// sorter, every queued entry is extracted and delivered, and the Served
+// channel is closed. It returns the datapath's terminal error, if any
+// (nil after a clean drain), and is safe to call more than once.
+func (e *Engine) Stop() error {
+	if !e.started.Load() {
+		return ErrNotStarted
+	}
+	e.stopOnce.Do(func() {
+		e.stopping.Store(true)
+		e.subWG.Wait()
+		close(e.drainReq)
+	})
+	<-e.done
+	return e.runErr
+}
+
+// redDepart updates the RED occupancy estimate for n departures.
+func (e *Engine) redDepart(n int) {
+	if e.red == nil {
+		return
+	}
+	e.redMu.Lock()
+	for i := 0; i < n; i++ {
+		e.red.Depart()
+	}
+	e.redMu.Unlock()
+}
+
+// run is the datapath goroutine: the only goroutine that touches the
+// sorter, the slot table, and the Served channel sender side.
+func (e *Engine) run() {
+	defer close(e.done)
+	defer close(e.out)
+	defer func() {
+		if r := recover(); r != nil {
+			// Panic containment: a datapath panic becomes a terminal
+			// error after a best-effort audit/repair pass, so producers
+			// and consumers unblock instead of deadlocking on a dead
+			// goroutine.
+			err := fmt.Errorf("engine: datapath panic: %v", r)
+			if e.cfg.RecoverFaults {
+				if rerr := e.repair(); rerr == nil {
+					err = fmt.Errorf("engine: datapath panic (state repaired, engine stopped): %v", r)
+				}
+			}
+			e.runErr = err
+		}
+	}()
+
+	const mirrorEvery = 8
+	sinceMirror := mirrorEvery // force a mirror on the first pass
+	draining := false
+	for {
+		worked := false
+		if n, err := e.drainRings(); err != nil {
+			e.runErr = err
+			return
+		} else if n > 0 {
+			worked = true
+		}
+		if n, err := e.serve(); err != nil {
+			e.runErr = err
+			return
+		} else if n > 0 {
+			worked = true
+		}
+		if sinceMirror++; worked && sinceMirror >= mirrorEvery {
+			e.updateMirror()
+			sinceMirror = 0
+		}
+		if worked {
+			if !draining {
+				select {
+				case <-e.drainReq:
+					draining = true
+				default:
+				}
+			}
+			continue
+		}
+		if draining && e.ringsEmpty() && e.sorter.Len() == 0 {
+			e.updateMirror()
+			return
+		}
+		e.idles.Add(1)
+		e.updateMirror()
+		sinceMirror = 0
+		if draining {
+			// Rings and sorter can only be non-empty here transiently
+			// (lane-full backoff); yield and rescan.
+			continue
+		}
+		select {
+		case <-e.notify:
+		case <-e.drainReq:
+			draining = true
+		}
+	}
+}
+
+// drainRings moves up to BatchSize submissions per lane from the rings
+// into one amortized InsertBatch, bounded by each lane's free links so a
+// full lane backpressures its ring instead of failing the batch.
+func (e *Engine) drainRings() (int, error) {
+	reqs := make([]sharded.Request, 0, e.cfg.BatchSize*len(e.rings))
+	for lane, ring := range e.rings {
+		budget := e.cfg.BatchSize
+		if free := e.cfg.LaneCapacity - e.sorter.Lane(lane).Len(); free < budget {
+			budget = free
+		}
+		for n := 0; n < budget; n++ {
+			select {
+			case it := <-ring:
+				idx, ok := e.allocSlot(it)
+				if !ok {
+					// Capacity exhausted (only possible after fault losses
+					// outran reconciliation); shed accountably.
+					e.faultLost.Add(1)
+					e.inserted.Add(1)
+					e.redDepart(1)
+					continue
+				}
+				reqs = append(reqs, sharded.Request{Tag: it.tag, Payload: idx})
+			default:
+				n = budget
+			}
+		}
+	}
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	lenBefore := e.sorter.Len()
+	_, err := e.sorter.InsertBatch(reqs)
+	if err != nil {
+		if rerr := e.containFault("insert-batch", err); rerr != nil {
+			return 0, rerr
+		}
+		// Whatever the recovery could not preserve was counted by the
+		// slot reconciliation; the batch itself is accounted below.
+		e.inserted.Add(uint64(len(reqs)))
+		e.settleLostBatch(lenBefore, len(reqs))
+		return len(reqs), nil
+	}
+	e.inserted.Add(uint64(len(reqs)))
+	e.batches.Add(1)
+	e.batchedOps.Add(uint64(len(reqs)))
+	if m := int64(len(reqs)); m > e.maxBatch.Load() {
+		e.maxBatch.Store(m)
+	}
+	return len(reqs), nil
+}
+
+// settleLostBatch closes the accounting of a batch interrupted by a
+// recovery: entries that did not survive into the sorter are already
+// slot-reconciled; here the conservation counters absorb the difference
+// between what the batch attempted and what the sorter holds.
+func (e *Engine) settleLostBatch(lenBefore, attempted int) {
+	landed := e.sorter.Len() - lenBefore
+	if landed < 0 {
+		landed = 0
+	}
+	if lost := attempted - landed; lost > 0 {
+		e.redDepart(lost)
+	}
+	e.batches.Add(1)
+	e.batchedOps.Add(uint64(attempted))
+}
+
+// serve extracts up to BatchSize entries, delivering each to the Served
+// channel (blocking there is the consumer-side backpressure).
+func (e *Engine) serve() (int, error) {
+	served := 0
+	for served < e.cfg.BatchSize && e.sorter.Len() > 0 {
+		entry, err := e.sorter.ExtractMin()
+		if err != nil {
+			if errors.Is(err, taglist.ErrEmpty) {
+				break
+			}
+			if rerr := e.containFault("extract", err); rerr != nil {
+				return served, rerr
+			}
+			continue // retry against the rebuilt state
+		}
+		now := time.Now().UnixNano()
+		sl := e.releaseSlot(entry.Payload)
+		lat := time.Duration(0)
+		if sl.live {
+			lat = time.Duration(now - sl.submitNs)
+		}
+		e.recordLatency(int64(lat))
+		e.extracted.Add(1)
+		e.redDepart(1)
+		e.out <- Served{Tag: entry.Tag, Payload: sl.payload, Latency: lat}
+		served++
+	}
+	return served, nil
+}
+
+// containFault applies the recovery policy to a datapath error. A nil
+// return means the engine repaired its state and the caller may retry;
+// non-nil is terminal.
+func (e *Engine) containFault(op string, err error) error {
+	if !e.cfg.RecoverFaults || !errors.Is(err, hwsim.ErrCorrupt) {
+		return fmt.Errorf("engine: %s: %w", op, err)
+	}
+	if rerr := e.repair(); rerr != nil {
+		return fmt.Errorf("engine: %s: %w (repair failed: %v)", op, err, rerr)
+	}
+	e.recoveries.Add(1)
+	return nil
+}
+
+// repair is the PR-1 recovery machinery applied across lanes: audit each
+// lane, rebuild the damaged ones from their authoritative tag stores,
+// resynchronize the select tree, then reconcile the slot table against
+// the surviving entries so every unrecoverable packet is counted.
+func (e *Engine) repair() error {
+	for i := 0; i < e.sorter.Lanes(); i++ {
+		lane := e.sorter.Lane(i)
+		if rep := lane.Audit(); rep.Err() == nil {
+			continue
+		}
+		if err := lane.Rebuild(); err != nil {
+			return fmt.Errorf("engine: lane %d rebuild: %w", i, err)
+		}
+	}
+	e.sorter.ResyncHeads()
+	return e.reconcileSlots()
+}
+
+// reconcileSlots rebuilds the slot free list from the sorter's surviving
+// entries: slots no longer referenced by any live entry are freed and
+// counted in FaultLost, closing the conservation invariant after a
+// recovery.
+func (e *Engine) reconcileSlots() error {
+	snap, err := e.sorter.Snapshot()
+	if err != nil {
+		return fmt.Errorf("engine: reconcile: %w", err)
+	}
+	liveNow := make(map[int]bool, len(snap))
+	for _, entry := range snap {
+		liveNow[entry.Payload] = true
+	}
+	lost := 0
+	for idx := range e.slots {
+		if e.slots[idx].live && !liveNow[idx] {
+			e.slots[idx] = slot{}
+			e.free = append(e.free, idx)
+			lost++
+		}
+	}
+	if lost > 0 {
+		e.faultLost.Add(uint64(lost))
+	}
+	return nil
+}
+
+// allocSlot assigns a slot to a submission (datapath-owned).
+func (e *Engine) allocSlot(it item) (int, bool) {
+	if len(e.free) == 0 {
+		return 0, false
+	}
+	idx := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	e.slots[idx] = slot{payload: it.payload, submitNs: it.submitNs, live: true}
+	return idx, true
+}
+
+// releaseSlot frees a slot on extraction, returning its record.
+func (e *Engine) releaseSlot(idx int) slot {
+	if idx < 0 || idx >= len(e.slots) || !e.slots[idx].live {
+		// A recovery already reclaimed it (or the payload is damaged);
+		// serve what we can.
+		return slot{}
+	}
+	sl := e.slots[idx]
+	e.slots[idx] = slot{}
+	e.free = append(e.free, idx)
+	return sl
+}
+
+// ringsEmpty reports whether every submission ring is drained.
+func (e *Engine) ringsEmpty() bool {
+	for _, r := range e.rings {
+		if len(r) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// recordLatency appends one sample to the sliding window.
+func (e *Engine) recordLatency(ns int64) {
+	e.mu.Lock()
+	if len(e.latBuf) < latencyWindow {
+		e.latBuf = append(e.latBuf, ns)
+	} else {
+		e.latBuf[e.latPos] = ns
+		e.latPos = (e.latPos + 1) % latencyWindow
+	}
+	e.latN++
+	e.mu.Unlock()
+}
+
+// updateMirror copies datapath-owned gauges into the snapshot mirror.
+func (e *Engine) updateMirror() {
+	st := e.sorter.StatsSnapshot()
+	m := mirror{
+		laneLens:     st.LaneLens,
+		sorterLen:    e.sorter.Len(),
+		maxCycles:    st.MaxLaneCycles,
+		sumCycles:    st.SumLaneCycles,
+		modelSpeedup: st.ModelSpeedup(),
+		laneLoad:     metrics.LaneLoad(st.LaneInserts),
+		fabric:       make([]LaneFabricStats, e.sorter.Lanes()),
+	}
+	for i := range m.fabric {
+		m.fabric[i] = LaneFabricStats{
+			Lane:    i,
+			Regions: metrics.FabricPressure(e.sorter.LaneFabric(i)),
+		}
+	}
+	e.mu.Lock()
+	e.mirror = m
+	e.mu.Unlock()
+}
+
+// StatsSnapshot returns the engine counters and gauges. Safe to call
+// from any goroutine at any time; gauges may trail the datapath by a few
+// batches.
+func (e *Engine) StatsSnapshot() Stats {
+	st := Stats{
+		Running:       e.started.Load() && !e.stopped(),
+		Lanes:         e.cfg.Lanes,
+		Policy:        e.cfg.Policy.String(),
+		Submitted:     e.submitted.Load(),
+		DropsRing:     e.dropsRing.Load(),
+		DropsRED:      e.dropsRED.Load(),
+		Inserted:      e.inserted.Load(),
+		Extracted:     e.extracted.Load(),
+		FaultLost:     e.faultLost.Load(),
+		Batches:       e.batches.Load(),
+		BatchedOps:    e.batchedOps.Load(),
+		MaxBatch:      int(e.maxBatch.Load()),
+		Recoveries:    e.recoveries.Load(),
+		DatapathIdles: e.idles.Load(),
+		RingLens:      make([]int, len(e.rings)),
+		WindowCycles:  e.sorter.Lane(0).CyclesPerWindow(),
+	}
+	for i, r := range e.rings {
+		st.RingLens[i] = len(r)
+		st.RingOccupied += len(r)
+	}
+	e.mu.Lock()
+	st.LaneLens = append([]int(nil), e.mirror.laneLens...)
+	st.SorterLen = e.mirror.sorterLen
+	st.MaxLaneCycles = e.mirror.maxCycles
+	st.SumLaneCycles = e.mirror.sumCycles
+	st.ModelSpeedup = e.mirror.modelSpeedup
+	st.LaneLoad = e.mirror.laneLoad
+	st.FabricLanes = append([]LaneFabricStats(nil), e.mirror.fabric...)
+	st.LatencyCount = e.latN
+	if n := len(e.latBuf); n > 0 {
+		s := make([]int64, n)
+		copy(s, e.latBuf)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		sum := int64(0)
+		for _, v := range s {
+			sum += v
+		}
+		st.LatencyMeanNs = float64(sum) / float64(n)
+		st.LatencyP99Ns = float64(s[n*99/100])
+		st.LatencyMaxNs = float64(s[n-1])
+	}
+	e.mu.Unlock()
+	st.InFlight = st.RingOccupied + st.SorterLen
+	if st.ModelSpeedup > 0 && st.WindowCycles > 0 {
+		st.ModeledMpps = e.cfg.ClockHz / float64(st.WindowCycles) * st.ModelSpeedup / 1e6
+	}
+	return st
+}
+
+// Stats returns the counter snapshot.
+//
+// Deprecated: use StatsSnapshot (the repository-wide stats accessor
+// convention, DESIGN.md §11).
+func (e *Engine) Stats() Stats { return e.StatsSnapshot() }
+
+// stopped reports whether the datapath has exited.
+func (e *Engine) stopped() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -265,8 +265,9 @@ func (f *Fabric) Regions() []*Region {
 	return out
 }
 
-// Stats aggregates traffic and arbitration counters over all regions.
-func (f *Fabric) Stats() Stats {
+// StatsSnapshot aggregates traffic and arbitration counters over all
+// regions.
+func (f *Fabric) StatsSnapshot() Stats {
 	var out Stats
 	for _, r := range f.regions {
 		out.Reads += r.stats.Reads
@@ -279,6 +280,12 @@ func (f *Fabric) Stats() Stats {
 	}
 	return out
 }
+
+// Stats aggregates traffic and arbitration counters over all regions.
+//
+// Deprecated: use StatsSnapshot (the repository-wide stats accessor
+// convention, DESIGN.md §11).
+func (f *Fabric) Stats() Stats { return f.StatsSnapshot() }
 
 // ResetStats zeroes every region's counters (contents untouched).
 func (f *Fabric) ResetStats() {
@@ -362,7 +369,13 @@ func (r *Region) Banks() int { return len(r.banks) }
 // datapath access path.
 func (r *Region) Port() *Port { return &r.port }
 
+// StatsSnapshot returns a copy of the region counters.
+func (r *Region) StatsSnapshot() Stats { return r.stats }
+
 // Stats returns a copy of the region counters.
+//
+// Deprecated: use StatsSnapshot (the repository-wide stats accessor
+// convention, DESIGN.md §11).
 func (r *Region) Stats() Stats { return r.stats }
 
 // AccessStats returns the hwsim-compatible traffic triple.

@@ -316,7 +316,7 @@ func FabricPressure(fab *membus.Fabric) []PortPressure {
 	regions := fab.Regions()
 	out := make([]PortPressure, 0, len(regions))
 	for _, r := range regions {
-		out = append(out, RegionPressure(r.Name(), r.Stats()))
+		out = append(out, RegionPressure(r.Name(), r.StatsSnapshot()))
 	}
 	return out
 }

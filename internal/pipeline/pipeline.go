@@ -88,6 +88,10 @@ func (p *Pipe) Stages() []Stage {
 	return out
 }
 
+// Analysis is the timing analysis a pipeline simulation produces — the
+// facade-facing name for Result (wfqsort.PipelineAnalysis).
+type Analysis = Result
+
 // Result summarizes a pipeline simulation.
 type Result struct {
 	Ops         int

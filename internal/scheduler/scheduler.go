@@ -270,31 +270,48 @@ type Scheduler struct {
 	red    *aqm.RED
 }
 
-// New builds a scheduler.
+// Validate checks the configuration and normalizes documented
+// zero-value defaults in place (the paper's 143.2 MHz clock, a
+// 4096-link sorter, buffer slots matching the sorter, 1500-byte MTU,
+// WFQ tagging). New calls it; callers only need it to pre-validate.
+// Granularity, when zero, is derived in New from the built sorter's
+// geometry (it needs the tag range).
+func (c *Config) Validate() error {
+	if len(c.Weights) == 0 {
+		return fmt.Errorf("scheduler: no sessions")
+	}
+	if c.CapacityBps <= 0 {
+		return fmt.Errorf("scheduler: capacity %v must be positive", c.CapacityBps)
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = DefaultClockHz
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("scheduler: clock %v must be positive", c.ClockHz)
+	}
+	if c.SorterCapacity == 0 {
+		c.SorterCapacity = 4096
+	}
+	if c.BufferSlots == 0 {
+		c.BufferSlots = c.SorterCapacity
+	}
+	if c.MaxPacketBytes == 0 {
+		c.MaxPacketBytes = 1500
+	}
+	if c.Algorithm == 0 {
+		c.Algorithm = AlgWFQ
+	}
+	if c.Algorithm != AlgWFQ && c.Algorithm != AlgSCFQ && c.Algorithm != AlgWFQFixed {
+		return fmt.Errorf("scheduler: unknown algorithm %d", int(c.Algorithm))
+	}
+	return nil
+}
+
+// New builds a scheduler. The configuration is validated and defaulted
+// via Config.Validate.
 func New(cfg Config) (*Scheduler, error) {
-	if len(cfg.Weights) == 0 {
-		return nil, fmt.Errorf("scheduler: no sessions")
-	}
-	if cfg.CapacityBps <= 0 {
-		return nil, fmt.Errorf("scheduler: capacity %v must be positive", cfg.CapacityBps)
-	}
-	if cfg.ClockHz == 0 {
-		cfg.ClockHz = DefaultClockHz
-	}
-	if cfg.ClockHz <= 0 {
-		return nil, fmt.Errorf("scheduler: clock %v must be positive", cfg.ClockHz)
-	}
-	if cfg.SorterCapacity == 0 {
-		cfg.SorterCapacity = 4096
-	}
-	if cfg.BufferSlots == 0 {
-		cfg.BufferSlots = cfg.SorterCapacity
-	}
-	if cfg.MaxPacketBytes == 0 {
-		cfg.MaxPacketBytes = 1500
-	}
-	if cfg.Algorithm == 0 {
-		cfg.Algorithm = AlgWFQ
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	sorter, err := core.New(core.Config{
 		Capacity: cfg.SorterCapacity,

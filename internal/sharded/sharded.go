@@ -83,6 +83,34 @@ type Config struct {
 	LaneClocks []*hwsim.Clock
 }
 
+// Validate checks the configuration and normalizes documented
+// zero-value defaults in place (4 lanes of 1024 links, interleaved
+// partitioning). New calls it; callers only need it to pre-validate.
+func (c *Config) Validate() error {
+	if c.Lanes == 0 {
+		c.Lanes = 4
+	}
+	if c.Lanes < 1 || c.Lanes > 64 || c.Lanes&(c.Lanes-1) != 0 {
+		return fmt.Errorf("sharded: lanes %d must be a power of two in 1..64", c.Lanes)
+	}
+	if c.LaneCapacity == 0 {
+		c.LaneCapacity = 1024
+	}
+	if c.Partition == 0 {
+		c.Partition = PartitionInterleaved
+	}
+	if c.Partition != PartitionInterleaved && c.Partition != PartitionBlocked {
+		return fmt.Errorf("sharded: unknown partition %d", int(c.Partition))
+	}
+	if c.LaneClocks != nil && len(c.LaneClocks) != c.Lanes {
+		return fmt.Errorf("sharded: %d lane clocks for %d lanes", len(c.LaneClocks), c.Lanes)
+	}
+	if c.LaneFabrics != nil && len(c.LaneFabrics) != c.Lanes {
+		return fmt.Errorf("sharded: %d lane fabrics for %d lanes", len(c.LaneFabrics), c.Lanes)
+	}
+	return nil
+}
+
 // Request is one insert of a batch.
 type Request struct {
 	Tag     int
@@ -154,26 +182,8 @@ type ShardedSorter struct {
 // which is exact for eager lanes (hardware-mode cyclic wraparound
 // comparison across lanes is future work, see DESIGN.md §9).
 func New(cfg Config) (*ShardedSorter, error) {
-	if cfg.Lanes == 0 {
-		cfg.Lanes = 4
-	}
-	if cfg.Lanes < 1 || cfg.Lanes > 64 || cfg.Lanes&(cfg.Lanes-1) != 0 {
-		return nil, fmt.Errorf("sharded: lanes %d must be a power of two in 1..64", cfg.Lanes)
-	}
-	if cfg.LaneCapacity == 0 {
-		cfg.LaneCapacity = 1024
-	}
-	if cfg.Partition == 0 {
-		cfg.Partition = PartitionInterleaved
-	}
-	if cfg.Partition != PartitionInterleaved && cfg.Partition != PartitionBlocked {
-		return nil, fmt.Errorf("sharded: unknown partition %d", int(cfg.Partition))
-	}
-	if cfg.LaneClocks != nil && len(cfg.LaneClocks) != cfg.Lanes {
-		return nil, fmt.Errorf("sharded: %d lane clocks for %d lanes", len(cfg.LaneClocks), cfg.Lanes)
-	}
-	if cfg.LaneFabrics != nil && len(cfg.LaneFabrics) != cfg.Lanes {
-		return nil, fmt.Errorf("sharded: %d lane fabrics for %d lanes", len(cfg.LaneFabrics), cfg.Lanes)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	s := &ShardedSorter{cfg: cfg, tree: newSelectTree(cfg.Lanes)}
 	for i := 0; i < cfg.Lanes; i++ {
@@ -521,8 +531,8 @@ func (s *ShardedSorter) CheckInvariants() error {
 	return nil
 }
 
-// Stats returns aggregated traffic with per-lane breakdowns.
-func (s *ShardedSorter) Stats() Stats {
+// StatsSnapshot returns aggregated traffic with per-lane breakdowns.
+func (s *ShardedSorter) StatsSnapshot() Stats {
 	st := Stats{
 		Lanes:          len(s.lanes),
 		Combined:       s.combined,
@@ -535,7 +545,7 @@ func (s *ShardedSorter) Stats() Stats {
 		PerLane:        make([]core.Stats, len(s.lanes)),
 	}
 	for i, l := range s.lanes {
-		cs := l.sorter.Stats()
+		cs := l.sorter.StatsSnapshot()
 		st.PerLane[i] = cs
 		st.LaneLens[i] = l.sorter.Len()
 		st.LaneInserts[i] = l.inserts
@@ -550,6 +560,12 @@ func (s *ShardedSorter) Stats() Stats {
 	}
 	return st
 }
+
+// Stats returns aggregated traffic with per-lane breakdowns.
+//
+// Deprecated: use StatsSnapshot (the repository-wide stats accessor
+// convention, DESIGN.md §11).
+func (s *ShardedSorter) Stats() Stats { return s.StatsSnapshot() }
 
 // ResetStats zeroes all traffic counters, including each lane fabric's
 // region/bank counters. Lane clocks keep running — cycle gauges are

@@ -27,11 +27,21 @@
 package wfqsort
 
 import (
+	"fmt"
+	"io"
+
+	"wfqsort/internal/aqm"
 	"wfqsort/internal/core"
+	"wfqsort/internal/engine"
 	"wfqsort/internal/membus"
+	"wfqsort/internal/network"
+	"wfqsort/internal/packet"
+	"wfqsort/internal/pipeline"
 	"wfqsort/internal/scheduler"
+	"wfqsort/internal/schedulers"
 	"wfqsort/internal/sharded"
 	"wfqsort/internal/taglist"
+	"wfqsort/internal/trace"
 )
 
 // Sorter is the tag sort/retrieve circuit (paper Fig. 3). See
@@ -143,8 +153,177 @@ type ShardedConfig = sharded.Config
 // ShardedRequest is one insert of a sharded batch.
 type ShardedRequest = sharded.Request
 
+// ShardedStats aggregates traffic across all lanes plus the sharding
+// layer's own accounting (ShardedSorter.StatsSnapshot).
+type ShardedStats = sharded.Stats
+
 // NewShardedSorter builds an N-lane sharded sorter (default 4 lanes of
 // 1024 links each, interleaved tag partitioning).
 func NewShardedSorter(cfg ShardedConfig) (*ShardedSorter, error) {
 	return sharded.New(cfg)
+}
+
+// Engine is the concurrent line-rate serving runtime over a
+// ShardedSorter: N producer goroutines submit through per-lane bounded
+// rings, a single datapath goroutine drains them in amortized batches
+// and serves extractions in tag order, with explicit backpressure and
+// fault containment. See internal/engine and DESIGN.md §11.
+type Engine = engine.Engine
+
+// EngineConfig configures an Engine; the zero value is a valid 4-lane
+// engine with blocking backpressure.
+type EngineConfig = engine.Config
+
+// EngineStats is the engine's counter and gauge snapshot
+// (Engine.StatsSnapshot).
+type EngineStats = engine.Stats
+
+// EngineServed is one extracted entry delivered on Engine.Served.
+type EngineServed = engine.Served
+
+// EnginePolicy selects the engine's ingestion backpressure behaviour.
+type EnginePolicy = engine.Policy
+
+// Engine backpressure policies for EngineConfig.Policy.
+const (
+	// EngineBlock makes Submit wait for ring space (default).
+	EngineBlock = engine.PolicyBlock
+	// EngineDropTail sheds submissions at full rings.
+	EngineDropTail = engine.PolicyDropTail
+	// EngineRED applies random early detection before ring admission.
+	EngineRED = engine.PolicyRED
+)
+
+// REDConfig tunes random early detection (EngineConfig.RED and the
+// scheduler's FullRED policy).
+type REDConfig = aqm.REDConfig
+
+// Sentinel errors returned by Engine operations.
+var (
+	// ErrEngineNotStarted is returned by Submit/Stop before Start.
+	ErrEngineNotStarted = engine.ErrNotStarted
+	// ErrEngineStopped is returned by Submit once shutdown has begun.
+	ErrEngineStopped = engine.ErrStopped
+)
+
+// NewEngine builds the concurrent serving runtime.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	return engine.New(cfg)
+}
+
+// Pipeline is an in-order pipeline of stages used for datapath timing
+// analysis (paper §III-A; Sorter.Pipeline returns the silicon insert
+// pipeline).
+type Pipeline = pipeline.Pipe
+
+// PipelineStage is one stage of a Pipeline.
+type PipelineStage = pipeline.Stage
+
+// PipelineAnalysis is the timing analysis of a pipeline simulation
+// (Pipeline.Simulate).
+type PipelineAnalysis = pipeline.Analysis
+
+// PipelineConfig configures a Pipeline.
+type PipelineConfig struct {
+	// Stages is the in-order stage list; every stage needs a positive
+	// cycle occupancy.
+	Stages []PipelineStage
+}
+
+// Validate checks the configuration. There are no defaults: a pipeline
+// needs at least one stage with positive occupancy.
+func (c *PipelineConfig) Validate() error {
+	if len(c.Stages) == 0 {
+		return fmt.Errorf("pipeline: no stages")
+	}
+	for i, s := range c.Stages {
+		if s.Cycles <= 0 {
+			return fmt.Errorf("pipeline: stage %d (%s) occupancy %d must be positive", i, s.Name, s.Cycles)
+		}
+	}
+	return nil
+}
+
+// NewPipeline builds a pipeline for timing analysis.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return pipeline.New(cfg.Stages...)
+}
+
+// Discipline is the scheduling-discipline interface network hops
+// construct per hop (see internal/schedulers).
+type Discipline = schedulers.Discipline
+
+// Departure is one served packet's timing record.
+type Departure = schedulers.Departure
+
+// Hop is one output link on a network Path.
+type Hop = network.Hop
+
+// Path is a chain of hops all flows traverse in order; Run pushes an
+// arrival trace through every hop and reports end-to-end delays
+// (Parekh–Gallager bounds via WFQEndToEndBound in internal/network).
+type Path = network.Path
+
+// PathResult holds a Path run's per-hop departures and end-to-end
+// timings.
+type PathResult = network.Result
+
+// PathConfig configures a Path.
+type PathConfig struct {
+	// Hops is the traversal order; every hop needs a positive capacity
+	// and a discipline factory.
+	Hops []Hop
+}
+
+// Validate checks the configuration. There are no defaults: a path
+// needs at least one fully-specified hop.
+func (c *PathConfig) Validate() error {
+	if len(c.Hops) == 0 {
+		return fmt.Errorf("network: no hops")
+	}
+	for i, h := range c.Hops {
+		if h.CapacityBps <= 0 {
+			return fmt.Errorf("network: hop %d (%s) capacity %v must be positive", i, h.Name, h.CapacityBps)
+		}
+		if h.NewDiscipline == nil {
+			return fmt.Errorf("network: hop %d (%s) has no discipline factory", i, h.Name)
+		}
+	}
+	return nil
+}
+
+// NewPath builds a multi-hop network path.
+func NewPath(cfg PathConfig) (*Path, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return network.NewPath(cfg.Hops...)
+}
+
+// Packet is one IP packet traversing the scheduler.
+type Packet = packet.Packet
+
+// WriteArrivals writes an arrival trace as CSV
+// (id,flow,size_bytes,arrival_s).
+func WriteArrivals(w io.Writer, pkts []Packet) error {
+	return trace.WriteArrivals(w, pkts)
+}
+
+// ReadArrivals reads an arrival trace written by WriteArrivals.
+func ReadArrivals(r io.Reader) ([]Packet, error) {
+	return trace.ReadArrivals(r)
+}
+
+// WriteDepartures writes departure records as CSV
+// (id,flow,size_bytes,arrival_s,start_s,finish_s).
+func WriteDepartures(w io.Writer, deps []Departure) error {
+	return trace.WriteDepartures(w, deps)
+}
+
+// ReadDepartures reads departure records written by WriteDepartures.
+func ReadDepartures(r io.Reader) ([]Departure, error) {
+	return trace.ReadDepartures(r)
 }
