@@ -16,15 +16,20 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"wfqsort/internal/core"
+	"wfqsort/internal/engine"
+	"wfqsort/internal/fault"
 	"wfqsort/internal/gps"
 	"wfqsort/internal/matcher"
+	"wfqsort/internal/membus"
 	"wfqsort/internal/metrics"
 	"wfqsort/internal/pqueue"
 	"wfqsort/internal/scheduler"
 	"wfqsort/internal/schedulers"
 	"wfqsort/internal/sharded"
+	"wfqsort/internal/supervisor"
 	"wfqsort/internal/synthesis"
 	"wfqsort/internal/taglist"
 	"wfqsort/internal/traffic"
@@ -504,6 +509,84 @@ func BenchmarkAblationMemTech(b *testing.B) {
 			b.ReportMetric(scheduler.DefaultClockHz/float64(s.CyclesPerWindow())/1e6, "model-Mpps")
 		})
 	}
+}
+
+// BenchmarkEngineRecovery measures the fault-domain recovery path end to
+// end: a seeded corruption burst plus datapath panic lands on a packed
+// lane, and the timer runs from injection until the supervised repair
+// pass (bounded rebuild retries, possibly quarantine + evacuation)
+// completes. ns/op is therefore the recovery latency; shed-packets/op
+// reports how many packets each recovery episode could not save.
+func BenchmarkEngineRecovery(b *testing.B) {
+	var totalShed, totalQuar, totalEpisodes uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		const lanes = 4
+		fabrics := make([]*membus.Fabric, lanes)
+		for j := range fabrics {
+			fabrics[j] = membus.New(nil)
+		}
+		inj := fault.NewInjector(fault.Campaign{Seed: int64(i) + 1}, fabrics[0].Clock())
+		inj.Attach(fabrics[0])
+		e, err := engine.New(engine.Config{
+			Lanes: lanes, LaneCapacity: 256, LaneFabrics: fabrics,
+			RingSize: 64, BatchSize: 16, RecoverFaults: true,
+			Supervision: supervisor.Config{
+				MaxRetries:      2,
+				BackoffBase:     -1, // measure repair work, not backoff sleeps
+				QuarantineAfter: 2,
+				CleanOps:        1 << 20,
+				ProbeOps:        1 << 20,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range e.Served() {
+				time.Sleep(10 * time.Microsecond) // keep live occupancy in the lanes
+			}
+		}()
+		for p := 0; p < 128; p++ {
+			if _, err := e.Submit((p*lanes)%e.TagRange(), p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := e.Inject(func() {
+			_, _ = inj.Burst("tag-storage", 16)
+			panic("bench: corrupt burst")
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			st := e.StatsSnapshot()
+			if st.Recoveries >= 1 {
+				break
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+		b.StopTimer()
+		if err := e.Stop(); err != nil {
+			b.Fatalf("recovery left the engine terminal: %v", err)
+		}
+		<-done
+		st := e.StatsSnapshot()
+		if st.Inserted != st.Extracted+st.FaultLost {
+			b.Fatalf("conservation violated: %d != %d + %d", st.Inserted, st.Extracted, st.FaultLost)
+		}
+		totalShed += st.FaultLost
+		totalQuar += st.Supervision.Quarantines
+		totalEpisodes += st.Supervision.FaultEpisodes
+	}
+	b.ReportMetric(float64(totalShed)/float64(b.N), "shed-packets/op")
+	b.ReportMetric(float64(totalQuar)/float64(b.N), "quarantines/op")
+	b.ReportMetric(float64(totalEpisodes)/float64(b.N), "fault-episodes/op")
 }
 
 func min(a, b int) int {

@@ -1,0 +1,459 @@
+// Command chaoslab runs seeded, deterministic chaos campaigns against a
+// live supervised engine (internal/engine + internal/supervisor) and
+// asserts the fault-domain guarantees hold under attack:
+//
+//   - packet conservation: Inserted == Extracted + FaultLost, always,
+//     with Submitted == Inserted (no packet is ever lost unaccounted);
+//   - bounded recovery: a corrupted lane is rebuilt under the
+//     supervisor's retry-with-backoff budget or quarantined, and the
+//     engine returns to healthy within a wall-clock bound;
+//   - degraded serving: a quarantined lane's tag slice keeps flowing,
+//     remapped onto healthy lanes;
+//   - readiness truth: engine readiness (the /readyz view wfqd
+//     exposes) drops while degraded and recovers with the state
+//     machine.
+//
+// Scenarios (-scenario): corrupt-burst | lane-stall | slow-consumer |
+// panic | all. Every scenario is driven by -seed; the same seed replays
+// the same fault sequence. Exit status 0 means every assertion held.
+//
+// Quickstart (see README):
+//
+//	go run ./cmd/chaoslab -scenario all -seed 1 -packets 4000
+//
+//wfqlint:ignore-file determinism chaoslab measures real recovery latency and paces real chaos against the wall-clock serving engine; the injected faults themselves are seed-deterministic (DESIGN.md §12)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfqsort/internal/engine"
+	"wfqsort/internal/fault"
+	"wfqsort/internal/membus"
+	"wfqsort/internal/supervisor"
+)
+
+type config struct {
+	scenario string
+	seed     int64
+	packets  int
+	lanes    int
+	verbose  bool
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("chaoslab", flag.ContinueOnError)
+	var c config
+	fs.StringVar(&c.scenario, "scenario", "all", "campaign: corrupt-burst|lane-stall|slow-consumer|panic|all")
+	fs.Int64Var(&c.seed, "seed", 1, "campaign seed (same seed, same fault sequence)")
+	fs.IntVar(&c.packets, "packets", 4000, "packets per scenario")
+	fs.IntVar(&c.lanes, "lanes", 4, "engine lanes (power of two)")
+	fs.BoolVar(&c.verbose, "v", false, "log individual fault events")
+	if err := fs.Parse(args); err != nil {
+		return c, err
+	}
+	if c.packets < 100 {
+		return c, fmt.Errorf("chaoslab: -packets %d too small for a meaningful campaign (min 100)", c.packets)
+	}
+	return c, nil
+}
+
+// lab is one scenario's harness: a supervised engine with per-lane
+// injectors and a counting consumer.
+type lab struct {
+	cfg      config
+	eng      *engine.Engine
+	fabrics  []*membus.Fabric
+	injs     []*fault.Injector
+	served   atomic.Uint64
+	consumer sync.WaitGroup
+	out      io.Writer
+}
+
+// newLab builds and starts an engine with one injector per lane fabric
+// (region names collide across fabrics, so multi-lane targeting needs
+// per-lane injectors). mutate may adjust the config before New.
+// consumerDelay > 0 slows the consumer, which both exercises
+// backpressure and pins live occupancy in the lanes so injected
+// corruption lands on queued state instead of empty memory.
+func newLab(cfg config, out io.Writer, mutate func(*engine.Config), consumerDelay time.Duration) (*lab, error) {
+	l := &lab{cfg: cfg, out: out}
+	l.fabrics = make([]*membus.Fabric, cfg.lanes)
+	l.injs = make([]*fault.Injector, cfg.lanes)
+	for i := range l.fabrics {
+		l.fabrics[i] = membus.New(nil)
+		l.injs[i] = fault.NewInjector(fault.Campaign{Seed: cfg.seed + int64(i)}, l.fabrics[i].Clock())
+		l.injs[i].Attach(l.fabrics[i])
+	}
+	ecfg := engine.Config{
+		Lanes:         cfg.lanes,
+		LaneCapacity:  256,
+		LaneFabrics:   l.fabrics,
+		RingSize:      64,
+		BatchSize:     16,
+		RecoverFaults: true,
+		Supervision: supervisor.Config{
+			MaxRetries:      3,
+			BackoffBase:     200 * time.Microsecond,
+			BackoffMax:      2 * time.Millisecond,
+			QuarantineAfter: 2,
+			CleanOps:        1 << 20,
+			// Wide enough that leftover in-flight work after a quarantine
+			// cannot bring the reinstate probe due on its own — only the
+			// degraded-phase traffic can, keeping the degraded-serving
+			// window observable.
+			ProbeOps: 8192,
+		},
+		DrainTimeout: 10 * time.Second,
+		StallTimeout: 100 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&ecfg)
+	}
+	eng, err := engine.New(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	l.eng = eng
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	l.consumer.Add(1)
+	go func() {
+		defer l.consumer.Done()
+		for range eng.Served() {
+			l.served.Add(1)
+			if consumerDelay > 0 {
+				time.Sleep(consumerDelay)
+			}
+		}
+	}()
+	return l, nil
+}
+
+// submitSpread pushes n seeded packets across the whole tag space.
+func (l *lab) submitSpread(rng *rand.Rand, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := l.eng.Submit(rng.Intn(l.eng.TagRange()), i); err != nil {
+			return fmt.Errorf("chaoslab: submit %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func (l *lab) waitFor(what string, d time.Duration, cond func(engine.Stats) bool) error {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond(l.eng.StatsSnapshot()) {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("chaoslab: timed out after %v waiting for %s (stats %+v)",
+		d, what, l.eng.StatsSnapshot().Supervision)
+}
+
+// finish stops the engine and checks the conservation invariant.
+func (l *lab) finish() (engine.Stats, error) {
+	if err := l.eng.Stop(); err != nil {
+		return engine.Stats{}, fmt.Errorf("chaoslab: stop: %w", err)
+	}
+	l.consumer.Wait()
+	st := l.eng.StatsSnapshot()
+	if st.Inserted != st.Extracted+st.FaultLost {
+		return st, fmt.Errorf("chaoslab: CONSERVATION VIOLATED: inserted %d != extracted %d + lost %d",
+			st.Inserted, st.Extracted, st.FaultLost)
+	}
+	if st.Submitted != st.Inserted {
+		return st, fmt.Errorf("chaoslab: INGEST LEAK: submitted %d != inserted %d", st.Submitted, st.Inserted)
+	}
+	if st.SorterLen != 0 || st.RingOccupied != 0 {
+		return st, fmt.Errorf("chaoslab: DRAIN INCOMPLETE: sorter %d rings %d", st.SorterLen, st.RingOccupied)
+	}
+	if got := l.served.Load(); got != st.Extracted {
+		return st, fmt.Errorf("chaoslab: served %d != extracted %d", got, st.Extracted)
+	}
+	return st, nil
+}
+
+// scenarioCorruptBurst is the acceptance campaign: repeated multi-bit
+// bursts into one lane's tag store push it past inline rebuild — the
+// supervisor retries with backoff, quarantines, the lane's tag slice
+// serves degraded from healthy lanes, and the reinstate probe returns
+// the flushed lane to service. Readiness must flip true → false → true.
+func scenarioCorruptBurst(cfg config, out io.Writer) error {
+	// A mildly slow consumer keeps live occupancy in the lanes, so the
+	// corruption bursts land on queued state (an empty lane audits clean
+	// no matter how many bits are flipped in it).
+	l, err := newLab(cfg, out, nil, 50*time.Microsecond)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	if err := l.submitSpread(rng, cfg.packets/2); err != nil {
+		return err
+	}
+
+	// Two corruption rounds against lane 0: QuarantineAfter 2 means the
+	// second episode quarantines even if each rebuild succeeds, and a
+	// damaged chain additionally exercises the bounded retry loop. Each
+	// round first packs lane 0's tag slice dense so the seeded flips are
+	// guaranteed to land on live structure, not dead memory.
+	inj := l.injs[0]
+	for round := 0; round < 2; round++ {
+		for i := 0; i < cfg.packets/4; i++ {
+			tag := (i * cfg.lanes) % l.eng.TagRange() // lane 0's interleaved slice
+			if _, err := l.eng.Submit(tag, i); err != nil {
+				return fmt.Errorf("chaoslab: lane-0 pack round %d: %w", round, err)
+			}
+		}
+		if err := l.eng.Inject(func() {
+			evs, _ := inj.Burst("tag-storage", 16)
+			_, _ = inj.Burst("translation-table", 4)
+			if cfg.verbose {
+				for _, ev := range evs {
+					fmt.Fprintf(out, "chaoslab:   fault %v\n", ev)
+				}
+			}
+			panic("chaoslab: corrupt burst trip")
+		}); err != nil {
+			return fmt.Errorf("chaoslab: inject round %d: %w", round, err)
+		}
+		if err := l.waitFor("burst containment", 5*time.Second, func(st engine.Stats) bool {
+			return st.DatapathPanics >= uint64(round+1)
+		}); err != nil {
+			return err
+		}
+	}
+	if err := l.waitFor("lane quarantine", 5*time.Second, func(st engine.Stats) bool {
+		return st.Supervision.Quarantines >= 1
+	}); err != nil {
+		return err
+	}
+	tQuar := time.Now()
+	if l.eng.Ready() {
+		return fmt.Errorf("chaoslab: engine reports ready while a lane is quarantined")
+	}
+
+	// Degraded serving: keep the quarantined lane's tag slice flowing in
+	// batches until the traffic itself brings the reinstate probe due.
+	reinstated := false
+	for batch := 0; batch < 120 && !reinstated; batch++ {
+		for i := 0; i < 512; i++ {
+			tag := ((batch*512 + i) * cfg.lanes) % l.eng.TagRange() // lane 0's interleaved slice
+			if _, err := l.eng.Submit(tag, cfg.packets+i); err != nil {
+				return fmt.Errorf("chaoslab: degraded submit: %w", err)
+			}
+		}
+		reinstated = l.eng.StatsSnapshot().Supervision.Reinstates >= 1
+	}
+	if !reinstated {
+		return fmt.Errorf("chaoslab: lane never reinstated under degraded traffic (stats %+v)",
+			l.eng.StatsSnapshot().Supervision)
+	}
+	if err := l.waitFor("healthy after reinstate", 10*time.Second, func(st engine.Stats) bool {
+		return st.Health == "healthy"
+	}); err != nil {
+		return err
+	}
+	recovery := time.Since(tQuar)
+	if !l.eng.Ready() {
+		return fmt.Errorf("chaoslab: engine not ready after reinstate")
+	}
+	if recovery > 30*time.Second {
+		return fmt.Errorf("chaoslab: recovery took %v, budget 30s", recovery)
+	}
+
+	st, err := l.finish()
+	if err != nil {
+		return err
+	}
+	if st.Remapped == 0 {
+		return fmt.Errorf("chaoslab: no packets were remapped during quarantine")
+	}
+	if st.Supervision.Rebuilds == 0 && st.Supervision.RebuildRetries == 0 {
+		return fmt.Errorf("chaoslab: retry machinery never engaged: %+v", st.Supervision)
+	}
+	fmt.Fprintf(out, "chaoslab: corrupt-burst OK — episodes=%d retries=%d quarantines=%d remapped=%d evacuated=%d lost=%d recovery=%v ready flipped true→false→true\n",
+		st.Supervision.FaultEpisodes, st.Supervision.RebuildRetries, st.Supervision.Quarantines,
+		st.Remapped, st.Evacuated, st.FaultLost, recovery.Round(time.Millisecond))
+	return nil
+}
+
+// scenarioLaneStall wedges lane 0's memory with long access delays: the
+// stall watchdog must flag the engine not-ready while the datapath is
+// stuck, flip back to healthy when the part recovers, and lose nothing.
+func scenarioLaneStall(cfg config, out io.Writer) error {
+	l, err := newLab(cfg, out, nil, 0)
+	if err != nil {
+		return err
+	}
+	// Attach after engine construction so init-time accesses don't burn
+	// the stall budget.
+	staller := &fault.Staller{Mem: "tag-storage", Delay: 400 * time.Millisecond, Limit: 2}
+	staller.Attach(l.fabrics[0])
+
+	stalledSeen := make(chan struct{})
+	go func() {
+		for {
+			st := l.eng.StatsSnapshot()
+			if st.Health == "stalled" {
+				close(stalledSeen)
+				return
+			}
+			if !st.Running {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	if err := l.submitSpread(rng, cfg.packets); err != nil {
+		return err
+	}
+	select {
+	case <-stalledSeen:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("chaoslab: stall watchdog never flagged the wedged lane")
+	}
+	if err := l.waitFor("healthy after stall clears", 10*time.Second, func(st engine.Stats) bool {
+		return st.Health == "healthy"
+	}); err != nil {
+		return err
+	}
+	st, err := l.finish()
+	if err != nil {
+		return err
+	}
+	if st.WatchdogTrips == 0 {
+		return fmt.Errorf("chaoslab: watchdog trip not recorded")
+	}
+	if st.FaultLost != 0 {
+		return fmt.Errorf("chaoslab: stall shed %d packets; a slow lane must lose nothing", st.FaultLost)
+	}
+	fmt.Fprintf(out, "chaoslab: lane-stall OK — stalled %d accesses, watchdog trips=%d, served=%d, lost=0\n",
+		staller.Stalled(), st.WatchdogTrips, st.Extracted)
+	return nil
+}
+
+// scenarioSlowConsumer backpressures through a crawling consumer: under
+// PolicyBlock nothing may be dropped or lost, and the engine must be
+// healthy and ready once the consumer catches up.
+func scenarioSlowConsumer(cfg config, out io.Writer) error {
+	n := cfg.packets / 4
+	l, err := newLab(cfg, out, func(ec *engine.Config) {
+		ec.OutBuffer = 4 // tiny buffer so consumer backpressure reaches the datapath
+		// The consumer is slow, not wedged: the drain deadline must ride
+		// out the crawl.
+		ec.DrainTimeout = 60 * time.Second
+	}, 200*time.Microsecond)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	if err := l.submitSpread(rng, n); err != nil {
+		return err
+	}
+	st, err := l.finish()
+	if err != nil {
+		return err
+	}
+	if st.FaultLost != 0 || st.DropsRing != 0 || st.DropsRED != 0 {
+		return fmt.Errorf("chaoslab: slow consumer shed packets: lost=%d drops=%d/%d",
+			st.FaultLost, st.DropsRing, st.DropsRED)
+	}
+	if got := l.served.Load(); got != uint64(n) {
+		return fmt.Errorf("chaoslab: slow consumer saw %d of %d", got, n)
+	}
+	fmt.Fprintf(out, "chaoslab: slow-consumer OK — %d packets through a crawling consumer, lost=0, drops=0\n", n)
+	return nil
+}
+
+// scenarioPanic injects spaced datapath panics: each must be contained
+// as a supervised fault episode with service continuing, and the engine
+// must end healthy with nothing lost.
+func scenarioPanic(cfg config, out io.Writer) error {
+	l, err := newLab(cfg, out, nil, 0)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	const trips = 3
+	for i := 0; i < trips; i++ {
+		if err := l.submitSpread(rng, cfg.packets/(trips+1)); err != nil {
+			return err
+		}
+		if err := l.eng.Inject(func() { panic(fmt.Sprintf("chaoslab: panic %d", i)) }); err != nil {
+			return fmt.Errorf("chaoslab: inject panic %d: %w", i, err)
+		}
+		if err := l.waitFor("panic containment", 5*time.Second, func(st engine.Stats) bool {
+			return st.DatapathPanics >= uint64(i+1) && st.Health == "healthy"
+		}); err != nil {
+			return err
+		}
+	}
+	if err := l.submitSpread(rng, cfg.packets/(trips+1)); err != nil {
+		return err
+	}
+	st, err := l.finish()
+	if err != nil {
+		return err
+	}
+	if st.DatapathPanics != trips || st.Recoveries < trips {
+		return fmt.Errorf("chaoslab: panic accounting: panics=%d recoveries=%d", st.DatapathPanics, st.Recoveries)
+	}
+	fmt.Fprintf(out, "chaoslab: panic OK — %d panics contained, recoveries=%d, served=%d, lost=%d\n",
+		st.DatapathPanics, st.Recoveries, st.Extracted, st.FaultLost)
+	return nil
+}
+
+var scenarios = []struct {
+	name string
+	run  func(config, io.Writer) error
+}{
+	{"corrupt-burst", scenarioCorruptBurst},
+	{"lane-stall", scenarioLaneStall},
+	{"slow-consumer", scenarioSlowConsumer},
+	{"panic", scenarioPanic},
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	ran := 0
+	start := time.Now()
+	for _, sc := range scenarios {
+		if cfg.scenario != "all" && cfg.scenario != sc.name {
+			continue
+		}
+		ran++
+		fmt.Fprintf(out, "chaoslab: running %s (seed %d, %d packets, %d lanes)\n",
+			sc.name, cfg.seed, cfg.packets, cfg.lanes)
+		if err := sc.run(cfg, out); err != nil {
+			return fmt.Errorf("chaoslab: scenario %s FAILED: %w", sc.name, err)
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("chaoslab: unknown scenario %q (corrupt-burst|lane-stall|slow-consumer|panic|all)", cfg.scenario)
+	}
+	fmt.Fprintf(out, "chaoslab: all %d scenario(s) passed in %v\n", ran, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsRejectsTinyCampaign(t *testing.T) {
+	if _, err := parseFlags([]string{"-packets", "10"}); err == nil {
+		t.Fatal("parseFlags accepted a 10-packet campaign")
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	err := run([]string{"-scenario", "meteor-strike"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("unknown scenario not rejected: %v", err)
+	}
+}
+
+// TestCampaignAll runs the full campaign at reduced packet count — the
+// same assertions CI's chaos smoke runs under -race.
+func TestCampaignAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "all", "-seed", "1", "-packets", "800"}, &sb); err != nil {
+		t.Fatalf("campaign failed: %v\noutput:\n%s", err, sb.String())
+	}
+	for _, want := range []string{"corrupt-burst OK", "lane-stall OK", "slow-consumer OK", "panic OK", "passed"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("campaign output missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -2,8 +2,9 @@
 // a long-running process that admits flows through internal/admission,
 // tags their packets with SCFQ virtual time, submits them to the
 // sharded sort/retrieve engine, and exposes live observability over
-// HTTP — GET /metrics (text exposition of engine, lane-balance, and
-// memory-fabric gauges), /healthz, and /stats.json.
+// HTTP — GET /metrics (text exposition of engine, lane-balance,
+// fault-domain, and memory-fabric gauges), /healthz (liveness),
+// /readyz (readiness), and /stats.json.
 //
 // Work arrives three ways, combinable:
 //
@@ -88,6 +89,39 @@ func parseFlags(args []string) (config, error) {
 	return c, nil
 }
 
+// validate rejects flag combinations that would misbehave at runtime,
+// with documented errors, before any engine state is built: a
+// zero-capacity submission ring or batch would wedge the datapath, and
+// non-positive lane/flow/capacity settings have no meaningful serving
+// interpretation.
+func (c config) validate() error {
+	if c.lanes < 1 || c.lanes > 64 || c.lanes&(c.lanes-1) != 0 {
+		return fmt.Errorf("wfqd: -lanes %d must be a power of two in 1..64", c.lanes)
+	}
+	if c.laneCap < 2 {
+		return fmt.Errorf("wfqd: -lane-capacity %d must be at least 2", c.laneCap)
+	}
+	if c.ringSize < 1 {
+		return fmt.Errorf("wfqd: -ring %d is a zero-capacity submission ring; it must be at least 1", c.ringSize)
+	}
+	if c.batch < 1 {
+		return fmt.Errorf("wfqd: -batch %d must be at least 1", c.batch)
+	}
+	if c.flows < 1 {
+		return fmt.Errorf("wfqd: -flows %d must be positive", c.flows)
+	}
+	if c.capBps <= 0 {
+		return fmt.Errorf("wfqd: -capacity-bps %g must be positive", c.capBps)
+	}
+	if c.synthetic < 0 {
+		return fmt.Errorf("wfqd: -synthetic %d must be non-negative", c.synthetic)
+	}
+	if c.rate < 0 {
+		return fmt.Errorf("wfqd: -rate %g must be non-negative", c.rate)
+	}
+	return nil
+}
+
 func parsePolicy(s string) (engine.Policy, error) {
 	switch s {
 	case "block":
@@ -128,6 +162,9 @@ type server struct {
 	ingests atomic.Uint64
 	badLine atomic.Uint64
 	healthy atomic.Bool
+	// ingested flips on the first successfully admitted packet:
+	// readiness requires proof the whole submit path works end to end.
+	ingested atomic.Bool
 
 	mu       sync.Mutex
 	scfqLock sync.Mutex
@@ -135,6 +172,9 @@ type server struct {
 }
 
 func newServer(cfg config) (*server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	pol, err := parsePolicy(cfg.policy)
 	if err != nil {
 		return nil, err
@@ -152,9 +192,6 @@ func newServer(cfg config) (*server, error) {
 	}
 	// Admission control plane: each flow declares an equal share of the
 	// modelled link; the granted WFQ weights drive the SCFQ tagger.
-	if cfg.flows < 1 {
-		return nil, fmt.Errorf("wfqd: flows %d must be positive", cfg.flows)
-	}
 	ctrl, err := admission.NewController(cfg.capBps, 0.95, 1500)
 	if err != nil {
 		return nil, err
@@ -232,12 +269,21 @@ func (s *server) submitPacket(flow, sizeBytes int) (bool, error) {
 		return false, err
 	}
 	tag := int(finish/s.gran+0.5) % s.eng.TagRange()
-	return s.eng.Submit(tag, flow)
+	return s.markIngest(s.eng.Submit(tag, flow))
 }
 
 // submitTag submits a pre-computed tag (synthetic load path).
 func (s *server) submitTag(tag, payload int) (bool, error) {
-	return s.eng.Submit(tag, payload)
+	return s.markIngest(s.eng.Submit(tag, payload))
+}
+
+// markIngest records the first successfully admitted packet (the
+// readiness gate) and passes the Submit result through.
+func (s *server) markIngest(ok bool, err error) (bool, error) {
+	if ok && err == nil {
+		s.ingested.Store(true)
+	}
+	return ok, err
 }
 
 // runSynthetic generates n packets with the configured Fig. 6 profile.
@@ -341,11 +387,16 @@ func (s *server) listenIngest(spec string) (net.Listener, error) {
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.HandleFunc("GET /healthz", s.handleHealthz)
+	m.HandleFunc("GET /readyz", s.handleReadyz)
 	m.HandleFunc("GET /metrics", s.handleMetrics)
 	m.HandleFunc("GET /stats.json", s.handleStatsJSON)
 	return m
 }
 
+// handleHealthz is the liveness probe: 200 while the datapath process
+// is up (including degraded or draining states — a degraded daemon must
+// not be restarted, it is busy recovering), 503 only once serving has
+// actually stopped.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if !s.healthy.Load() {
 		http.Error(w, "stopping", http.StatusServiceUnavailable)
@@ -355,8 +406,33 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleReadyz is the readiness probe: 503 while draining, while the
+// engine is anything but fully healthy (quarantined lane, rebuilding,
+// stalled datapath), or before the first successfully admitted packet
+// proves the submit path end to end. Load balancers steer new work away
+// on 503; liveness (/healthz) stays green the whole time.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	reason := ""
+	switch {
+	case !s.healthy.Load():
+		reason = "draining"
+	case !s.eng.Ready():
+		reason = "engine " + s.eng.StatsSnapshot().Health
+	case !s.ingested.Load():
+		reason = "no successful ingest yet"
+	}
+	if reason != "" {
+		http.Error(w, reason, http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
 type statsPayload struct {
 	Schema    string       `json:"schema"`
+	Ready     bool         `json:"ready"`
+	Health    string       `json:"health"`
 	UptimeS   float64      `json:"uptime_s"`
 	Served    uint64       `json:"served"`
 	Ingested  uint64       `json:"ingested_lines"`
@@ -374,15 +450,18 @@ func (s *server) statsPayload() statsPayload {
 	}
 	// The weight vector carries one extra best-effort entry beyond the
 	// admitted flows (admission.Controller.Weights).
+	est := s.eng.StatsSnapshot()
 	return statsPayload{
 		Schema:    "wfqsort/wfqd-stats/v1",
+		Ready:     s.healthy.Load() && est.Ready && s.ingested.Load(),
+		Health:    est.Health,
 		UptimeS:   time.Since(s.start).Seconds(),
 		Served:    s.served.Load(),
 		Ingested:  s.ingests.Load(),
 		BadLines:  s.badLine.Load(),
 		Flows:     s.cfg.flows,
 		WeightSum: sum,
-		Engine:    s.eng.StatsSnapshot(),
+		Engine:    est,
 	}
 }
 
@@ -405,6 +484,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
 	}
 	emit("wfqd_up", "1 while the engine datapath is running.", "gauge", boolGauge(s.healthy.Load()))
+	emit("wfqd_ready", "1 while fully healthy and ready for new work (the /readyz view).", "gauge",
+		boolGauge(s.healthy.Load() && st.Ready && s.ingested.Load()))
 	emit("wfqd_uptime_seconds", "Wall-clock seconds since boot.", "gauge", time.Since(s.start).Seconds())
 	emit("wfqd_submitted_total", "Packets admitted into the submission rings.", "counter", float64(st.Submitted))
 	emit("wfqd_inserted_total", "Packets inserted into the sorter.", "counter", float64(st.Inserted))
@@ -413,6 +494,22 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	emit("wfqd_drops_red_total", "Random-early-detection drops.", "counter", float64(st.DropsRED))
 	emit("wfqd_fault_lost_total", "Packets lost to contained faults (accounted).", "counter", float64(st.FaultLost))
 	emit("wfqd_recoveries_total", "Audit/Rebuild fault recoveries.", "counter", float64(st.Recoveries))
+	emit("wfqd_remapped_total", "Packets routed off quarantined lanes.", "counter", float64(st.Remapped))
+	emit("wfqd_evacuated_total", "Packets evacuated from lanes at quarantine time.", "counter", float64(st.Evacuated))
+	emit("wfqd_drain_shed_total", "Packets shed by watchdog-aborted drains.", "counter", float64(st.DrainShed))
+	emit("wfqd_watchdog_trips_total", "Stall and drain watchdog trips.", "counter", float64(st.WatchdogTrips))
+	emit("wfqd_datapath_panics_total", "Contained datapath panics.", "counter", float64(st.DatapathPanics))
+	emit("wfqd_quarantines_total", "Lane quarantine transitions.", "counter", float64(st.Supervision.Quarantines))
+	emit("wfqd_requarantines_total", "Failed reinstate probes.", "counter", float64(st.Supervision.Requarantines))
+	emit("wfqd_reinstates_total", "Lanes returned to service after quarantine.", "counter", float64(st.Supervision.Reinstates))
+	emit("wfqd_rebuild_retries_total", "Lane rebuild retry attempts beyond the first.", "counter", float64(st.Supervision.RebuildRetries))
+	emit("wfqd_quarantined_lanes", "Lanes currently out of service.", "gauge", float64(st.Supervision.QuarantinedLanes))
+	for _, es := range []string{"healthy", "degraded", "stalled", "draining", "failed", "stopped"} {
+		fmt.Fprintf(&b, "wfqd_engine_state{state=%q} %g\n", es, boolGauge(st.Health == es))
+	}
+	for i, ls := range st.Supervision.LaneStates {
+		fmt.Fprintf(&b, "wfqd_lane_state{lane=\"%d\",state=%q} 1\n", i, ls)
+	}
 	emit("wfqd_batches_total", "Amortized InsertBatch calls.", "counter", float64(st.Batches))
 	emit("wfqd_batched_ops_total", "Inserts carried by batches.", "counter", float64(st.BatchedOps))
 	emit("wfqd_inflight", "Packets in rings plus sorter.", "gauge", float64(st.InFlight))

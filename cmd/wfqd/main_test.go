@@ -182,3 +182,100 @@ func httpGet(t *testing.T, url string, wantCode int) string {
 	}
 	return string(body)
 }
+
+// TestConfigValidateTable sweeps the flag edge cases that must be
+// rejected before any engine state is built.
+func TestConfigValidateTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*config)
+		ok     bool
+	}{
+		{"defaults", func(*config) {}, true},
+		{"zero ring", func(c *config) { c.ringSize = 0 }, false},
+		{"negative ring", func(c *config) { c.ringSize = -4 }, false},
+		{"zero batch", func(c *config) { c.batch = 0 }, false},
+		{"zero lanes", func(c *config) { c.lanes = 0 }, false},
+		{"non-power-of-two lanes", func(c *config) { c.lanes = 6 }, false},
+		{"too many lanes", func(c *config) { c.lanes = 128 }, false},
+		{"tiny lane capacity", func(c *config) { c.laneCap = 1 }, false},
+		{"zero flows", func(c *config) { c.flows = 0 }, false},
+		{"zero capacity", func(c *config) { c.capBps = 0 }, false},
+		{"negative synthetic", func(c *config) { c.synthetic = -1 }, false},
+		{"negative rate", func(c *config) { c.rate = -5 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+// TestReadyzLifecycle: /readyz is 503 before the first successful
+// ingest, 200 once traffic has flowed on a healthy engine, and 503
+// again after shutdown begins — while /healthz (liveness) stays 200
+// until serving actually stops.
+func TestReadyzLifecycle(t *testing.T) {
+	s, err := newServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.run(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+
+	httpGet(t, ts.URL+"/healthz", 200)
+	body := httpGet(t, ts.URL+"/readyz", 503)
+	if !strings.Contains(body, "no successful ingest") {
+		t.Fatalf("pre-ingest readyz body %q", body)
+	}
+
+	if ok, err := s.submitPacket(0, 1500); err != nil || !ok {
+		t.Fatalf("submit: ok=%v err=%v", ok, err)
+	}
+	body = httpGet(t, ts.URL+"/readyz", 200)
+	if !strings.Contains(body, "ready") {
+		t.Fatalf("ready body %q", body)
+	}
+
+	var st statsPayload
+	if err := json.Unmarshal([]byte(httpGet(t, ts.URL+"/stats.json", 200)), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready || st.Health != "healthy" {
+		t.Fatalf("stats ready=%v health=%q", st.Ready, st.Health)
+	}
+
+	metrics := httpGet(t, ts.URL+"/metrics", 200)
+	for _, want := range []string{
+		"wfqd_ready 1",
+		`wfqd_engine_state{state="healthy"} 1`,
+		`wfqd_lane_state{lane="0",state="healthy"} 1`,
+		"wfqd_quarantines_total",
+		"wfqd_reinstates_total",
+		"wfqd_remapped_total",
+		"wfqd_drain_shed_total",
+		"wfqd_watchdog_trips_total",
+		"wfqd_quarantined_lanes",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+
+	if err := s.shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	httpGet(t, ts.URL+"/readyz", 503)
+	httpGet(t, ts.URL+"/healthz", 503)
+}

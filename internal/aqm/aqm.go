@@ -39,20 +39,32 @@ type RED struct {
 	admits   uint64
 }
 
+// Validate checks the configuration and normalizes the documented
+// zero-value defaults in place (Weight → 0.002). It rejects the edge
+// cases that would otherwise misbehave at runtime: non-positive or
+// inverted thresholds (min ≥ max makes the drop ramp degenerate),
+// out-of-range drop probabilities, and out-of-range EWMA weights.
+func (c *REDConfig) Validate() error {
+	if c.MinThreshold <= 0 || c.MaxThreshold <= c.MinThreshold {
+		return fmt.Errorf("aqm: thresholds (%v, %v) must satisfy 0 < min < max",
+			c.MinThreshold, c.MaxThreshold)
+	}
+	if c.MaxP <= 0 || c.MaxP > 1 {
+		return fmt.Errorf("aqm: max drop probability %v out of (0,1]", c.MaxP)
+	}
+	if c.Weight == 0 {
+		c.Weight = 0.002
+	}
+	if c.Weight <= 0 || c.Weight > 1 {
+		return fmt.Errorf("aqm: EWMA weight %v out of (0,1]", c.Weight)
+	}
+	return nil
+}
+
 // NewRED builds a RED admission controller.
 func NewRED(cfg REDConfig) (*RED, error) {
-	if cfg.MinThreshold <= 0 || cfg.MaxThreshold <= cfg.MinThreshold {
-		return nil, fmt.Errorf("aqm: thresholds (%v, %v) must satisfy 0 < min < max",
-			cfg.MinThreshold, cfg.MaxThreshold)
-	}
-	if cfg.MaxP <= 0 || cfg.MaxP > 1 {
-		return nil, fmt.Errorf("aqm: max drop probability %v out of (0,1]", cfg.MaxP)
-	}
-	if cfg.Weight == 0 {
-		cfg.Weight = 0.002
-	}
-	if cfg.Weight <= 0 || cfg.Weight > 1 {
-		return nil, fmt.Errorf("aqm: EWMA weight %v out of (0,1]", cfg.Weight)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	return &RED{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), count: -1}, nil
 }

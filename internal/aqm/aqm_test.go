@@ -143,3 +143,41 @@ func TestDepartFloor(t *testing.T) {
 		t.Fatalf("QueueLen = %d after depart on empty", r.QueueLen())
 	}
 }
+
+// TestREDConfigValidate is the table-driven edge-case sweep for the
+// standalone validator (the engine calls it at Config.Validate time so
+// a misconfigured RED policy is rejected before the datapath starts).
+func TestREDConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  REDConfig
+		ok   bool
+	}{
+		{"classic", REDConfig{MinThreshold: 5, MaxThreshold: 15, MaxP: 0.1}, true},
+		{"zero min", REDConfig{MinThreshold: 0, MaxThreshold: 15, MaxP: 0.1}, false},
+		{"negative min", REDConfig{MinThreshold: -3, MaxThreshold: 15, MaxP: 0.1}, false},
+		{"min equals max", REDConfig{MinThreshold: 15, MaxThreshold: 15, MaxP: 0.1}, false},
+		{"min above max", REDConfig{MinThreshold: 20, MaxThreshold: 15, MaxP: 0.1}, false},
+		{"zero maxP", REDConfig{MinThreshold: 5, MaxThreshold: 15, MaxP: 0}, false},
+		{"maxP above one", REDConfig{MinThreshold: 5, MaxThreshold: 15, MaxP: 1.1}, false},
+		{"maxP exactly one", REDConfig{MinThreshold: 5, MaxThreshold: 15, MaxP: 1}, true},
+		{"negative weight", REDConfig{MinThreshold: 5, MaxThreshold: 15, MaxP: 0.1, Weight: -0.1}, false},
+		{"weight above one", REDConfig{MinThreshold: 5, MaxThreshold: 15, MaxP: 0.1, Weight: 1.5}, false},
+		{"weight defaulted", REDConfig{MinThreshold: 5, MaxThreshold: 15, MaxP: 0.1}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			err := cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("expected error")
+			}
+			if tc.ok && cfg.Weight == 0 {
+				t.Fatal("Validate did not normalize the zero weight")
+			}
+		})
+	}
+}

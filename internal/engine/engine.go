@@ -23,13 +23,19 @@
 // receiving until it closes, or the bounded channel backpressures the
 // datapath (by design: an unread output queue is a full output queue).
 //
-// Fault containment: with RecoverFaults set, a corrupt-state error from
-// the sorter (or a datapath panic) triggers the PR-1 recovery machinery
-// — per-lane Audit/Rebuild from the authoritative tag store, select-tree
-// ResyncHeads, and a slot-table reconciliation that counts anything
-// unrecoverable in Stats.FaultLost — instead of killing the engine. The
-// accounting invariant Inserted == Extracted + FaultLost + in-sorter
-// holds across recoveries, so no packet is ever lost unaccounted.
+// Fault domains: with RecoverFaults set, every lane is a supervised
+// fault domain (internal/supervisor). A corrupt-state error or datapath
+// panic triggers per-lane Audit and bounded retry-with-backoff Rebuild
+// from the authoritative tag store; a lane that cannot be rebuilt — or
+// that keeps faulting — is quarantined, its surviving entries are
+// evacuated onto healthy lanes, and its tag slice is remapped there
+// until a reinstate probe succeeds (degraded mode: slightly perturbed
+// order, SP-PIFO-style, instead of no service). A deadline watchdog
+// converts a wedged drain into accountable shedding and flags a stalled
+// datapath as not-ready. The accounting invariant
+// Inserted == Extracted + FaultLost + in-sorter holds across every
+// recovery, quarantine, and aborted drain: no packet is ever lost
+// unaccounted. DESIGN.md §12 documents the state machine and policies.
 //
 //wfqlint:ignore-file determinism the serving engine is intentionally wall-clock code: it measures real enqueue-to-extract latency and real throughput, not simulated time (DESIGN.md §11)
 package engine
@@ -47,6 +53,7 @@ import (
 	"wfqsort/internal/membus"
 	"wfqsort/internal/metrics"
 	"wfqsort/internal/sharded"
+	"wfqsort/internal/supervisor"
 	"wfqsort/internal/taglist"
 )
 
@@ -57,6 +64,13 @@ var (
 	// ErrStopped is returned by Submit once shutdown has begun (or the
 	// datapath died on an unrecoverable error).
 	ErrStopped = errors.New("engine: stopped")
+
+	// errDatapathPanic marks a panic recovered inside one datapath step,
+	// so the supervision layer can treat it as a fault episode.
+	errDatapathPanic = errors.New("engine: datapath panic")
+	// errDrainAborted is the internal signal that the drain watchdog
+	// fired while the datapath was wedged delivering to the consumer.
+	errDrainAborted = errors.New("engine: drain aborted")
 )
 
 // Policy selects the ingestion backpressure behaviour when a submission
@@ -118,14 +132,32 @@ type Config struct {
 	Policy Policy
 	// RED configures early detection when Policy is PolicyRED; the zero
 	// value selects thresholds at 1/4 and 3/4 of the total in-flight
-	// capacity (rings + sorter) with maxP 0.05.
+	// capacity (rings + sorter) with maxP 0.05. Invalid thresholds
+	// (min ≥ max, out-of-range probabilities) are rejected by Validate.
 	RED aqm.REDConfig
 	// OutBuffer is the Served channel depth. Default 1024.
 	OutBuffer int
 	// RecoverFaults enables the fault containment path: corrupt-state
-	// errors trigger per-lane Audit/Rebuild and slot reconciliation
+	// errors and datapath panics drive the per-lane supervision state
+	// machine (rebuild with bounded retries, quarantine, reinstate)
 	// instead of stopping the engine.
 	RecoverFaults bool
+	// Supervision tunes the fault-domain state machine (retry budget,
+	// backoff, quarantine and reinstate policy). Zero value = documented
+	// supervisor defaults. Only consulted when RecoverFaults is set.
+	Supervision supervisor.Config
+	// DrainTimeout bounds a graceful drain: when Stop is waiting on a
+	// consumer that has stopped receiving and the datapath makes no
+	// progress for this long, the watchdog aborts the drain and sheds
+	// the remaining packets accountably (counted in DrainShed and
+	// FaultLost) instead of hanging shutdown forever. Default 5s;
+	// negative disables the deadline.
+	DrainTimeout time.Duration
+	// StallTimeout flags a stalled datapath: no progress for this long
+	// with work pending marks the engine stalled (not ready) until
+	// progress resumes. Detection only — nothing is shed. Default 2s;
+	// negative disables.
+	StallTimeout time.Duration
 	// ClockHz is the modelled circuit clock used to report modelled
 	// packet rates next to wall-clock ones. Defaults to the paper's
 	// 143.2 MHz.
@@ -134,6 +166,8 @@ type Config struct {
 
 // Validate checks the configuration and normalizes documented zero-value
 // defaults in place. New calls it; callers only need it to pre-validate.
+// Misconfigurations — non-power-of-two lanes, zero-capacity rings,
+// inverted RED thresholds — are rejected here, not at runtime.
 func (c *Config) Validate() error {
 	if c.Lanes == 0 {
 		c.Lanes = 4
@@ -171,18 +205,32 @@ func (c *Config) Validate() error {
 	if c.OutBuffer < 1 {
 		return fmt.Errorf("engine: out buffer %d must be positive", c.OutBuffer)
 	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 2 * time.Second
+	}
 	if c.ClockHz == 0 {
 		c.ClockHz = 143.2e6
 	}
 	if c.ClockHz <= 0 {
 		return fmt.Errorf("engine: clock %v must be positive", c.ClockHz)
 	}
-	if c.Policy == PolicyRED && c.RED.MinThreshold == 0 && c.RED.MaxThreshold == 0 {
-		inflight := float64(c.Lanes * (c.LaneCapacity + c.RingSize))
-		c.RED = aqm.REDConfig{
-			MinThreshold: inflight / 4,
-			MaxThreshold: inflight * 3 / 4,
-			MaxP:         0.05,
+	if err := c.Supervision.Validate(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if c.Policy == PolicyRED {
+		if c.RED.MinThreshold == 0 && c.RED.MaxThreshold == 0 {
+			inflight := float64(c.Lanes * (c.LaneCapacity + c.RingSize))
+			c.RED = aqm.REDConfig{
+				MinThreshold: inflight / 4,
+				MaxThreshold: inflight * 3 / 4,
+				MaxP:         0.05,
+			}
+		}
+		if err := c.RED.Validate(); err != nil {
+			return fmt.Errorf("engine: %w", err)
 		}
 	}
 	return nil
@@ -190,7 +238,9 @@ func (c *Config) Validate() error {
 
 // Served is one extracted entry delivered to the consumer.
 type Served struct {
-	// Tag is the finishing tag that was served.
+	// Tag is the finishing tag that was served. Under quarantine
+	// remapping this is the tag the caller submitted, not the remapped
+	// lane-local tag used inside the degraded sorter.
 	Tag int
 	// Payload is the value passed to Submit.
 	Payload int
@@ -206,6 +256,12 @@ type Stats struct {
 	Running bool
 	Lanes   int
 	Policy  string
+
+	// Health is the engine state machine position: healthy, degraded,
+	// stalled, draining, failed, or stopped (DESIGN.md §12). Ready is
+	// the readiness view: true only while healthy.
+	Health string
+	Ready  bool
 
 	// Ingest accounting. Offered = Submitted + DropsRing + DropsRED.
 	Submitted uint64
@@ -224,6 +280,22 @@ type Stats struct {
 	MaxBatch      int
 	Recoveries    uint64
 	DatapathIdles uint64
+
+	// Fault-domain accounting (DESIGN.md §12). Remapped counts packets
+	// routed off a quarantined lane's tag slice; Evacuated counts
+	// sorter-resident packets moved to healthy lanes at quarantine
+	// time; DrainShed counts packets shed by an aborted drain (also in
+	// FaultLost); GhostDrops counts extractions suppressed because a
+	// corrupted payload reference no longer mapped to a live slot (the
+	// underlying packet is accounted in FaultLost when its orphaned slot
+	// reconciles); DatapathPanics counts contained panics.
+	Remapped       uint64
+	Evacuated      uint64
+	DrainShed      uint64
+	GhostDrops     uint64
+	WatchdogTrips  uint64
+	DatapathPanics uint64
+	Supervision    supervisor.Stats
 
 	// Occupancy gauges.
 	RingLens  []int
@@ -258,7 +330,9 @@ type LaneFabricStats struct {
 	Regions []metrics.PortPressure
 }
 
-// item is one submission in flight through a lane ring.
+// item is one submission in flight through a lane ring. tag is the
+// caller's tag; quarantine remapping happens at dequeue time so a lane
+// quarantined after submission still routes around the damage.
 type item struct {
 	tag      int
 	payload  int
@@ -266,9 +340,11 @@ type item struct {
 }
 
 // slot is one entry of the payload indirection table: the sorter stores
-// the slot index, the slot remembers the caller's payload and the
-// submission timestamp.
+// the slot index, the slot remembers the caller's tag, payload, and the
+// submission timestamp (the tag matters because quarantine remapping
+// may store a perturbed tag inside the sorter).
 type slot struct {
+	tag      int
 	payload  int
 	submitNs int64
 	live     bool
@@ -283,22 +359,34 @@ const latencyWindow = 8192
 type Engine struct {
 	cfg    Config
 	sorter *sharded.ShardedSorter
+	sup    *supervisor.Supervisor
 
 	rings    []chan item
 	notify   chan struct{}
 	drainReq chan struct{}
 	done     chan struct{}
 	out      chan Served
+	chaos    chan func()
+
+	abortDrain chan struct{}
+	abortOnce  sync.Once
 
 	red   *aqm.RED
 	redMu sync.Mutex
 
-	// Slot table: owned by the datapath goroutine.
-	slots []slot
-	free  []int
+	// Datapath-owned state.
+	slots       []slot
+	free        []int
+	carry       []item // dequeued items whose destination lane was full
+	panicStreak int
+
+	// quar mirrors the supervisor's quarantine set for the Submit fast
+	// path (atomic reads, no supervisor lock on ingest).
+	quar []atomic.Bool
 
 	started  atomic.Bool
 	stopping atomic.Bool
+	draining atomic.Bool
 	subWG    sync.WaitGroup
 	stopOnce sync.Once
 	runErr   error
@@ -314,6 +402,14 @@ type Engine struct {
 	maxBatch   atomic.Int64
 	recoveries atomic.Uint64
 	idles      atomic.Uint64
+
+	remapped      atomic.Uint64
+	evacuated     atomic.Uint64
+	drainShed     atomic.Uint64
+	ghostDrops    atomic.Uint64
+	watchdogTrips atomic.Uint64
+	panics        atomic.Uint64
+	progress      atomic.Uint64
 
 	mu     sync.Mutex // guards mirror + latency reservoir
 	mirror mirror
@@ -350,17 +446,25 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
+	sup, err := supervisor.New(cfg.Lanes, cfg.Supervision)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	e := &Engine{
-		cfg:      cfg,
-		sorter:   s,
-		rings:    make([]chan item, cfg.Lanes),
-		notify:   make(chan struct{}, 1),
-		drainReq: make(chan struct{}),
-		done:     make(chan struct{}),
-		out:      make(chan Served, cfg.OutBuffer),
-		slots:    make([]slot, s.Capacity()),
-		free:     make([]int, 0, s.Capacity()),
-		latBuf:   make([]int64, 0, latencyWindow),
+		cfg:        cfg,
+		sorter:     s,
+		sup:        sup,
+		rings:      make([]chan item, cfg.Lanes),
+		notify:     make(chan struct{}, 1),
+		drainReq:   make(chan struct{}),
+		done:       make(chan struct{}),
+		out:        make(chan Served, cfg.OutBuffer),
+		chaos:      make(chan func(), 16),
+		abortDrain: make(chan struct{}),
+		slots:      make([]slot, s.Capacity()),
+		free:       make([]int, 0, s.Capacity()),
+		quar:       make([]atomic.Bool, cfg.Lanes),
+		latBuf:     make([]int64, 0, latencyWindow),
 	}
 	for i := range e.rings {
 		e.rings[i] = make(chan item, cfg.RingSize)
@@ -393,13 +497,42 @@ func (e *Engine) Capacity() int { return e.sorter.Capacity() }
 // until then.
 func (e *Engine) Served() <-chan Served { return e.out }
 
-// Start spawns the datapath goroutine. It may be called once.
+// Start spawns the datapath goroutine and its watchdog. It may be
+// called once.
 func (e *Engine) Start() error {
 	if !e.started.CompareAndSwap(false, true) {
 		return errors.New("engine: already started")
 	}
 	go e.run()
+	go e.watchdog()
 	return nil
+}
+
+// remapTag routes a tag around quarantined lanes: a tag owned by a
+// healthy lane is returned unchanged; a tag owned by a quarantined lane
+// is deterministically perturbed onto the nearest healthy lane (the
+// same offset within the interleave group or block, so the service
+// order degrades by at most the lane stride — the SP-PIFO trade:
+// slightly approximate order beats no service). ok is false when no
+// healthy lane remains.
+func (e *Engine) remapTag(tag int) (eff int, ok bool) {
+	lane := e.sorter.LaneFor(tag)
+	if !e.quar[lane].Load() {
+		return tag, true
+	}
+	n := e.cfg.Lanes
+	for d := 1; d < n; d++ {
+		h := (lane + d) % n
+		if e.quar[h].Load() {
+			continue
+		}
+		if e.sorter.Partition() == sharded.PartitionBlocked {
+			block := e.sorter.TagRange() / n
+			return h*block + tag%block, true
+		}
+		return tag - lane + h, true
+	}
+	return tag, false
 }
 
 // Submit offers one (tag, payload) to the engine from any goroutine. It
@@ -425,8 +558,14 @@ func (e *Engine) Submit(tag, payload int) (admitted bool, err error) {
 	if tag < 0 || tag >= e.sorter.TagRange() {
 		return false, fmt.Errorf("engine: tag %d outside [0,%d)", tag, e.sorter.TagRange())
 	}
+	// Route around quarantined lanes: the ring is chosen by the
+	// effective destination, the item keeps the caller's tag.
+	eff, ok := e.remapTag(tag)
+	if !ok {
+		return false, fmt.Errorf("engine: all lanes quarantined: %w", ErrStopped)
+	}
 	it := item{tag: tag, payload: payload, submitNs: time.Now().UnixNano()}
-	ring := e.rings[e.sorter.LaneFor(tag)]
+	ring := e.rings[e.sorter.LaneFor(eff)]
 	switch e.cfg.Policy {
 	case PolicyDropTail:
 		select {
@@ -464,11 +603,37 @@ func (e *Engine) Submit(tag, payload int) (admitted bool, err error) {
 	return true, nil
 }
 
+// Inject hands one chaos action to the datapath goroutine, which runs
+// it before its next scheduling pass with full panic containment — a
+// panicking action exercises exactly the engine's datapath-panic
+// recovery path. This is the chaos seam used by cmd/chaoslab and the
+// fault-containment fuzz harness: the closure runs on the goroutine
+// that owns the sorter, lane fabrics, and slot table, so it may corrupt
+// them (e.g. via a fault.Injector) without racing the datapath.
+func (e *Engine) Inject(fn func()) error {
+	if !e.started.Load() {
+		return ErrNotStarted
+	}
+	select {
+	case e.chaos <- fn:
+		select {
+		case e.notify <- struct{}{}:
+		default:
+		}
+		return nil
+	case <-e.done:
+		return ErrStopped
+	}
+}
+
 // Stop begins a graceful shutdown: new submissions are rejected with
 // ErrStopped, in-flight ones complete, the rings are drained through the
 // sorter, every queued entry is extracted and delivered, and the Served
-// channel is closed. It returns the datapath's terminal error, if any
-// (nil after a clean drain), and is safe to call more than once.
+// channel is closed. If the consumer has wedged, the drain watchdog
+// (Config.DrainTimeout) aborts the drain and sheds the remainder
+// accountably rather than hanging forever. It returns the datapath's
+// terminal error, if any (nil after a clean drain), and is safe to call
+// more than once.
 func (e *Engine) Stop() error {
 	if !e.started.Load() {
 		return ErrNotStarted
@@ -476,6 +641,7 @@ func (e *Engine) Stop() error {
 	e.stopOnce.Do(func() {
 		e.stopping.Store(true)
 		e.subWG.Wait()
+		e.draining.Store(true)
 		close(e.drainReq)
 	})
 	<-e.done
@@ -494,6 +660,18 @@ func (e *Engine) redDepart(n int) {
 	e.redMu.Unlock()
 }
 
+// guard runs one datapath step, converting a panic into an error so
+// the supervision layer can treat it as a fault episode instead of
+// killing the engine.
+func (e *Engine) guard(fn func() (int, error)) (n int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", errDatapathPanic, r)
+		}
+	}()
+	return fn()
+}
+
 // run is the datapath goroutine: the only goroutine that touches the
 // sorter, the slot table, and the Served channel sender side.
 func (e *Engine) run() {
@@ -501,13 +679,12 @@ func (e *Engine) run() {
 	defer close(e.out)
 	defer func() {
 		if r := recover(); r != nil {
-			// Panic containment: a datapath panic becomes a terminal
-			// error after a best-effort audit/repair pass, so producers
-			// and consumers unblock instead of deadlocking on a dead
-			// goroutine.
+			// Backstop containment: a panic escaping the guarded steps
+			// (bookkeeping, not datapath work) becomes a terminal error so
+			// producers and consumers unblock instead of deadlocking.
 			err := fmt.Errorf("engine: datapath panic: %v", r)
 			if e.cfg.RecoverFaults {
-				if rerr := e.repair(); rerr == nil {
+				if rerr := e.superviseRepair(); rerr == nil {
 					err = fmt.Errorf("engine: datapath panic (state repaired, engine stopped): %v", r)
 				}
 			}
@@ -519,24 +696,66 @@ func (e *Engine) run() {
 	sinceMirror := mirrorEvery // force a mirror on the first pass
 	draining := false
 	for {
-		worked := false
-		if n, err := e.drainRings(); err != nil {
-			e.runErr = err
+		worked, failed := false, false
+		ops := 0
+		// Chaos seam: injected actions run here, panic-contained. A
+		// failed (repaired) action counts as a failed step so consecutive
+		// panics accumulate against the streak budget.
+		select {
+		case fn := <-e.chaos:
+			if _, err := e.guard(func() (int, error) { fn(); return 0, nil }); err != nil {
+				if term := e.handleFailure("chaos", err); term != nil {
+					e.runErr = term
+					return
+				}
+				failed, worked = true, true
+			}
+		default:
+		}
+		if e.drainAborted() {
+			e.finalizeAbort()
 			return
+		}
+
+		if n, err := e.guard(e.drainRings); err != nil {
+			if term := e.handleFailure("insert-batch", err); term != nil {
+				e.runErr = term
+				return
+			}
+			failed, worked = true, true // a repair is progress
 		} else if n > 0 {
 			worked = true
+			ops += n
 		}
-		if n, err := e.serve(); err != nil {
-			e.runErr = err
-			return
+		if n, err := e.guard(e.serve); err != nil {
+			if errors.Is(err, errDrainAborted) {
+				e.finalizeAbort()
+				return
+			}
+			if term := e.handleFailure("extract", err); term != nil {
+				e.runErr = term
+				return
+			}
+			failed, worked = true, true
 		} else if n > 0 {
 			worked = true
+			ops += n
 		}
+		if !failed {
+			e.panicStreak = 0
+		}
+		if ops > 0 && e.cfg.RecoverFaults {
+			for _, lane := range e.sup.OnOps(uint64(ops)) {
+				e.probeLane(lane)
+			}
+		}
+
 		if sinceMirror++; worked && sinceMirror >= mirrorEvery {
 			e.updateMirror()
 			sinceMirror = 0
 		}
 		if worked {
+			e.progress.Add(1)
 			if !draining {
 				select {
 				case <-e.drainReq:
@@ -546,7 +765,11 @@ func (e *Engine) run() {
 			}
 			continue
 		}
-		if draining && e.ringsEmpty() && e.sorter.Len() == 0 {
+		if draining && e.ringsEmpty() && len(e.carry) == 0 && e.sorter.Len() == 0 {
+			// The sorter is empty, so any still-live slot is an orphan left
+			// behind by a ghost extraction (duplicate payload reference):
+			// count it lost so the conservation invariant closes.
+			e.sweepOrphanSlots()
 			e.updateMirror()
 			return
 		}
@@ -567,75 +790,89 @@ func (e *Engine) run() {
 }
 
 // drainRings moves up to BatchSize submissions per lane from the rings
-// into one amortized InsertBatch, bounded by each lane's free links so a
-// full lane backpressures its ring instead of failing the batch.
+// (after any carried-over items) into one amortized InsertBatch, bounded
+// by each destination lane's free links so a full lane backpressures
+// instead of failing the batch. Quarantine remapping happens here, at
+// dequeue time: items destined for a quarantined lane are redirected to
+// the nearest healthy lane; items whose destination is full are carried
+// to the next pass.
 func (e *Engine) drainRings() (int, error) {
+	freeLinks := make([]int, e.sorter.Lanes())
+	for i := range freeLinks {
+		freeLinks[i] = e.cfg.LaneCapacity - e.sorter.Lane(i).Len()
+	}
 	reqs := make([]sharded.Request, 0, e.cfg.BatchSize*len(e.rings))
-	for lane, ring := range e.rings {
-		budget := e.cfg.BatchSize
-		if free := e.cfg.LaneCapacity - e.sorter.Lane(lane).Len(); free < budget {
-			budget = free
+	shed := 0
+	take := func(it item) {
+		eff, ok := e.remapTag(it.tag)
+		if !ok {
+			// No healthy lane remains; shed accountably (the datapath is
+			// about to go terminal anyway).
+			e.inserted.Add(1)
+			e.faultLost.Add(1)
+			e.redDepart(1)
+			shed++
+			return
 		}
-		for n := 0; n < budget; n++ {
+		dest := e.sorter.LaneFor(eff)
+		if freeLinks[dest] <= 0 {
+			e.carry = append(e.carry, it)
+			return
+		}
+		idx, ok := e.allocSlot(it)
+		if !ok {
+			// Capacity exhausted (only possible after fault losses
+			// outran reconciliation); shed accountably.
+			e.inserted.Add(1)
+			e.faultLost.Add(1)
+			e.redDepart(1)
+			shed++
+			return
+		}
+		if eff != it.tag {
+			e.remapped.Add(1)
+		}
+		freeLinks[dest]--
+		e.inserted.Add(1)
+		e.progress.Add(1)
+		reqs = append(reqs, sharded.Request{Tag: eff, Payload: idx})
+	}
+	carried := e.carry
+	e.carry = nil
+	for _, it := range carried {
+		take(it)
+	}
+	for _, ring := range e.rings {
+		for n := 0; n < e.cfg.BatchSize; n++ {
 			select {
 			case it := <-ring:
-				idx, ok := e.allocSlot(it)
-				if !ok {
-					// Capacity exhausted (only possible after fault losses
-					// outran reconciliation); shed accountably.
-					e.faultLost.Add(1)
-					e.inserted.Add(1)
-					e.redDepart(1)
-					continue
-				}
-				reqs = append(reqs, sharded.Request{Tag: it.tag, Payload: idx})
+				take(it)
 			default:
-				n = budget
+				n = e.cfg.BatchSize
 			}
 		}
 	}
 	if len(reqs) == 0 {
-		return 0, nil
+		return shed, nil
 	}
-	lenBefore := e.sorter.Len()
 	_, err := e.sorter.InsertBatch(reqs)
-	if err != nil {
-		if rerr := e.containFault("insert-batch", err); rerr != nil {
-			return 0, rerr
-		}
-		// Whatever the recovery could not preserve was counted by the
-		// slot reconciliation; the batch itself is accounted below.
-		e.inserted.Add(uint64(len(reqs)))
-		e.settleLostBatch(lenBefore, len(reqs))
-		return len(reqs), nil
-	}
-	e.inserted.Add(uint64(len(reqs)))
 	e.batches.Add(1)
 	e.batchedOps.Add(uint64(len(reqs)))
 	if m := int64(len(reqs)); m > e.maxBatch.Load() {
 		e.maxBatch.Store(m)
 	}
-	return len(reqs), nil
-}
-
-// settleLostBatch closes the accounting of a batch interrupted by a
-// recovery: entries that did not survive into the sorter are already
-// slot-reconciled; here the conservation counters absorb the difference
-// between what the batch attempted and what the sorter holds.
-func (e *Engine) settleLostBatch(lenBefore, attempted int) {
-	landed := e.sorter.Len() - lenBefore
-	if landed < 0 {
-		landed = 0
+	if err != nil {
+		// The caller repairs; whatever the recovery cannot preserve is
+		// counted by the slot reconciliation (every dequeued item above is
+		// already in Inserted, so conservation closes).
+		return shed, err
 	}
-	if lost := attempted - landed; lost > 0 {
-		e.redDepart(lost)
-	}
-	e.batches.Add(1)
-	e.batchedOps.Add(uint64(attempted))
+	return shed + len(reqs), nil
 }
 
 // serve extracts up to BatchSize entries, delivering each to the Served
-// channel (blocking there is the consumer-side backpressure).
+// channel (blocking there is the consumer-side backpressure; during a
+// drain the watchdog can abort a wedged delivery).
 func (e *Engine) serve() (int, error) {
 	served := 0
 	for served < e.cfg.BatchSize && e.sorter.Len() > 0 {
@@ -644,56 +881,162 @@ func (e *Engine) serve() (int, error) {
 			if errors.Is(err, taglist.ErrEmpty) {
 				break
 			}
-			if rerr := e.containFault("extract", err); rerr != nil {
-				return served, rerr
-			}
-			continue // retry against the rebuilt state
+			return served, err
 		}
 		now := time.Now().UnixNano()
 		sl := e.releaseSlot(entry.Payload)
-		lat := time.Duration(0)
-		if sl.live {
-			lat = time.Duration(now - sl.submitNs)
+		if !sl.live {
+			// Ghost entry: its payload no longer maps to a live slot — a
+			// corrupted payload field made two entries reference one slot,
+			// or a recovery already reclaimed it. The packet it belonged
+			// to is (or will be) accounted as FaultLost when its orphaned
+			// slot is reconciled, so emitting the ghost would double-count
+			// an extraction. Drop it silently; it still counts as an op.
+			e.ghostDrops.Add(1)
+			e.progress.Add(1)
+			served++
+			continue
 		}
+		lat := time.Duration(now - sl.submitNs)
 		e.recordLatency(int64(lat))
-		e.extracted.Add(1)
-		e.redDepart(1)
-		e.out <- Served{Tag: entry.Tag, Payload: sl.payload, Latency: lat}
-		served++
+		select {
+		case e.out <- Served{Tag: sl.tag, Payload: sl.payload, Latency: lat}:
+			e.extracted.Add(1)
+			e.redDepart(1)
+			e.progress.Add(1)
+			served++
+		case <-e.abortDrain:
+			// The drain watchdog fired while this delivery was wedged:
+			// shed it accountably and finalize.
+			e.faultLost.Add(1)
+			e.drainShed.Add(1)
+			e.redDepart(1)
+			return served, errDrainAborted
+		}
 	}
 	return served, nil
 }
 
-// containFault applies the recovery policy to a datapath error. A nil
-// return means the engine repaired its state and the caller may retry;
-// non-nil is terminal.
-func (e *Engine) containFault(op string, err error) error {
-	if !e.cfg.RecoverFaults || !errors.Is(err, hwsim.ErrCorrupt) {
+// handleFailure applies the supervision policy to a datapath error. A
+// nil return means the engine repaired its state and the caller may
+// continue; non-nil is terminal.
+func (e *Engine) handleFailure(op string, err error) error {
+	isPanic := errors.Is(err, errDatapathPanic)
+	if isPanic {
+		e.panics.Add(1)
+		e.panicStreak++
+	}
+	if !e.cfg.RecoverFaults || (!errors.Is(err, hwsim.ErrCorrupt) && !isPanic) {
 		return fmt.Errorf("engine: %s: %w", op, err)
 	}
-	if rerr := e.repair(); rerr != nil {
+	if isPanic && e.panicStreak > e.cfg.Supervision.MaxRetries {
+		return fmt.Errorf("engine: %s: %d consecutive datapath panics exhaust the retry budget: %w",
+			op, e.panicStreak, err)
+	}
+	if rerr := e.superviseRepair(); rerr != nil {
 		return fmt.Errorf("engine: %s: %w (repair failed: %v)", op, err, rerr)
 	}
 	e.recoveries.Add(1)
 	return nil
 }
 
-// repair is the PR-1 recovery machinery applied across lanes: audit each
-// lane, rebuild the damaged ones from their authoritative tag stores,
-// resynchronize the select tree, then reconcile the slot table against
-// the surviving entries so every unrecoverable packet is counted.
-func (e *Engine) repair() error {
+// superviseRepair is the per-lane fault-domain recovery pass: audit
+// every in-service lane, drive the supervisor's bounded
+// retry-with-backoff rebuild for the damaged ones, quarantine the lanes
+// the supervisor gives up on (evacuating their survivors onto healthy
+// lanes), resynchronize the select tree, then reconcile the slot table
+// so every unrecoverable packet is counted.
+func (e *Engine) superviseRepair() error {
 	for i := 0; i < e.sorter.Lanes(); i++ {
+		if e.quar[i].Load() {
+			continue // already out of service
+		}
 		lane := e.sorter.Lane(i)
 		if rep := lane.Audit(); rep.Err() == nil {
 			continue
 		}
-		if err := lane.Rebuild(); err != nil {
-			return fmt.Errorf("engine: lane %d rebuild: %w", i, err)
+		out := e.sup.Repair(i, func(int) error {
+			if err := lane.Rebuild(); err != nil {
+				return err
+			}
+			if rep := lane.Audit(); rep.Err() != nil {
+				return rep.Err()
+			}
+			return nil
+		})
+		if out.Quarantined {
+			e.quarantineLane(i)
 		}
 	}
 	e.sorter.ResyncHeads()
+	if e.healthyLanes() == 0 {
+		return errors.New("all lanes quarantined, nothing can serve")
+	}
 	return e.reconcileSlots()
+}
+
+// quarantineLane takes lane i out of service: its surviving entries are
+// evacuated onto healthy lanes under the remap (degraded order beats
+// lost packets), the lane is flushed, and the quarantine flag makes
+// Submit and drainRings route its tag slice elsewhere until a reinstate
+// probe succeeds. Unreadable or unplaceable entries are left for the
+// slot reconciliation to count as FaultLost.
+func (e *Engine) quarantineLane(i int) {
+	e.quar[i].Store(true)
+	lane := e.sorter.Lane(i)
+	snap, err := lane.Snapshot()
+	lane.Flush()
+	if err != nil {
+		snap = nil
+	}
+	moved := 0
+	for _, en := range snap {
+		if en.Tag < 0 || en.Tag >= e.sorter.TagRange() {
+			continue // corrupt tag: unplaceable, reconciled as lost
+		}
+		eff, ok := e.remapTag(en.Tag)
+		if !ok {
+			break
+		}
+		if e.sorter.Insert(eff, en.Payload) != nil {
+			continue // destination full or rejected: reconciled as lost
+		}
+		moved++
+	}
+	if moved > 0 {
+		e.evacuated.Add(uint64(moved))
+	}
+}
+
+// probeLane answers a supervisor reinstate offer: rebuild and audit the
+// (flushed, empty) quarantined lane; a clean result returns it to
+// service, a dirty one re-quarantines it with a doubled probe delay.
+func (e *Engine) probeLane(i int) {
+	lane := e.sorter.Lane(i)
+	err := lane.Rebuild()
+	if err == nil {
+		if rep := lane.Audit(); rep.Err() != nil {
+			err = rep.Err()
+		}
+	}
+	if err != nil {
+		e.sup.Requarantine(i)
+		return
+	}
+	e.sorter.ResyncHeads()
+	e.quar[i].Store(false)
+	e.sup.Reinstate(i)
+}
+
+// healthyLanes counts lanes not under quarantine.
+func (e *Engine) healthyLanes() int {
+	n := 0
+	for i := range e.quar {
+		if !e.quar[i].Load() {
+			n++
+		}
+	}
+	return n
 }
 
 // reconcileSlots rebuilds the slot free list from the sorter's surviving
@@ -719,8 +1062,156 @@ func (e *Engine) reconcileSlots() error {
 	}
 	if lost > 0 {
 		e.faultLost.Add(uint64(lost))
+		e.redDepart(lost)
 	}
 	return nil
+}
+
+// sweepOrphanSlots frees every still-live slot and counts it in
+// FaultLost. Only valid when the sorter is known empty (end of drain):
+// at that point a live slot can only be the leftover of a ghost
+// extraction whose duplicate payload reference released someone else's
+// slot.
+func (e *Engine) sweepOrphanSlots() {
+	lost := 0
+	for idx := range e.slots {
+		if e.slots[idx].live {
+			e.slots[idx] = slot{}
+			e.free = append(e.free, idx)
+			lost++
+		}
+	}
+	if lost > 0 {
+		e.faultLost.Add(uint64(lost))
+		e.redDepart(lost)
+	}
+}
+
+// drainAborted reports whether the drain watchdog has fired.
+func (e *Engine) drainAborted() bool {
+	select {
+	case <-e.abortDrain:
+		return true
+	default:
+		return false
+	}
+}
+
+// finalizeAbort closes out an aborted drain: every packet still in
+// flight is shed accountably — ring and carry items are counted
+// inserted-then-lost (so Submitted == Inserted survives), the lanes are
+// flushed, and the slot reconciliation counts the sorter residents —
+// then the datapath exits with a drain-aborted terminal error.
+func (e *Engine) finalizeAbort() {
+	shed := uint64(len(e.carry))
+	e.carry = nil
+	for _, ring := range e.rings {
+		for {
+			drained := false
+			select {
+			case <-ring:
+				shed++
+				drained = true
+			default:
+			}
+			if !drained {
+				break
+			}
+		}
+	}
+	if shed > 0 {
+		e.inserted.Add(shed)
+		e.faultLost.Add(shed)
+		e.drainShed.Add(shed)
+		e.redDepart(int(shed))
+	}
+	flushed := 0
+	for i := 0; i < e.sorter.Lanes(); i++ {
+		flushed += e.sorter.Lane(i).Flush()
+	}
+	e.sorter.ResyncHeads()
+	if err := e.reconcileSlots(); err != nil {
+		// The slot table could not be reconciled against the flushed
+		// sorter; surface it, the shed counters still hold.
+		e.runErr = fmt.Errorf("engine: drain aborted and reconcile failed: %w", err)
+		e.updateMirror()
+		return
+	}
+	e.drainShed.Add(uint64(flushed))
+	e.updateMirror()
+	e.runErr = fmt.Errorf("engine: drain aborted by watchdog after %v without progress: %d packets shed (accounted in FaultLost)",
+		e.cfg.DrainTimeout, e.drainShed.Load())
+}
+
+// watchdog monitors datapath progress from outside the datapath
+// goroutine: a wedged drain is aborted after DrainTimeout, and a
+// stalled datapath (no progress with work pending) is flagged in the
+// supervision state machine after StallTimeout until progress resumes.
+func (e *Engine) watchdog() {
+	tick := e.watchTick()
+	if tick <= 0 {
+		return
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	var last uint64
+	var stalledFor time.Duration
+	wasStalled := false
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+		}
+		p := e.progress.Load()
+		draining := e.draining.Load()
+		pending := draining || e.ringsOccupied() > 0 || e.mirrorSorterLen() > 0
+		if p != last || !pending {
+			last = p
+			stalledFor = 0
+			if wasStalled {
+				wasStalled = false
+				e.sup.SetStalled(false)
+			}
+			continue
+		}
+		stalledFor += tick
+		if draining {
+			if e.cfg.DrainTimeout > 0 && stalledFor >= e.cfg.DrainTimeout {
+				e.watchdogTrips.Add(1)
+				e.abortOnce.Do(func() { close(e.abortDrain) })
+			}
+			continue
+		}
+		if e.cfg.StallTimeout > 0 && stalledFor >= e.cfg.StallTimeout && !wasStalled {
+			e.watchdogTrips.Add(1)
+			wasStalled = true
+			e.sup.SetStalled(true)
+		}
+	}
+}
+
+// watchTick derives the watchdog polling period from the enabled
+// deadlines (an eighth of the tightest one, clamped to [1ms, 250ms]);
+// zero means both deadlines are disabled and no watchdog is needed.
+func (e *Engine) watchTick() time.Duration {
+	min := time.Duration(0)
+	for _, d := range []time.Duration{e.cfg.DrainTimeout, e.cfg.StallTimeout} {
+		if d > 0 && (min == 0 || d < min) {
+			min = d
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	tick := min / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	return tick
 }
 
 // allocSlot assigns a slot to a submission (datapath-owned).
@@ -730,7 +1221,7 @@ func (e *Engine) allocSlot(it item) (int, bool) {
 	}
 	idx := e.free[len(e.free)-1]
 	e.free = e.free[:len(e.free)-1]
-	e.slots[idx] = slot{payload: it.payload, submitNs: it.submitNs, live: true}
+	e.slots[idx] = slot{tag: it.tag, payload: it.payload, submitNs: it.submitNs, live: true}
 	return idx, true
 }
 
@@ -755,6 +1246,23 @@ func (e *Engine) ringsEmpty() bool {
 		}
 	}
 	return true
+}
+
+// ringsOccupied returns the total ring occupancy (safe from any
+// goroutine).
+func (e *Engine) ringsOccupied() int {
+	n := 0
+	for _, r := range e.rings {
+		n += len(r)
+	}
+	return n
+}
+
+// mirrorSorterLen reads the mirrored sorter occupancy gauge.
+func (e *Engine) mirrorSorterLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mirror.sorterLen
 }
 
 // recordLatency appends one sample to the sliding window.
@@ -793,28 +1301,63 @@ func (e *Engine) updateMirror() {
 	e.mu.Unlock()
 }
 
+// healthState places the engine on its state machine (DESIGN.md §12):
+// stopped → healthy ⇄ {degraded, stalled} → draining → stopped/failed.
+func (e *Engine) healthState() string {
+	switch {
+	case !e.started.Load():
+		return "stopped"
+	case e.stopped():
+		// runErr is written by the datapath before done closes, so this
+		// read is ordered after the write.
+		if e.runErr != nil {
+			return "failed"
+		}
+		return "stopped"
+	case e.stopping.Load():
+		return "draining"
+	default:
+		return e.sup.EngineState().String()
+	}
+}
+
+// Ready reports readiness: the engine is running and fully healthy (no
+// quarantined or rebuilding lane, no stall, not draining). A degraded
+// engine still serves — liveness holds — but reports not-ready so load
+// balancers steer new work away while it recovers.
+func (e *Engine) Ready() bool { return e.healthState() == "healthy" }
+
 // StatsSnapshot returns the engine counters and gauges. Safe to call
 // from any goroutine at any time; gauges may trail the datapath by a few
 // batches.
 func (e *Engine) StatsSnapshot() Stats {
 	st := Stats{
-		Running:       e.started.Load() && !e.stopped(),
-		Lanes:         e.cfg.Lanes,
-		Policy:        e.cfg.Policy.String(),
-		Submitted:     e.submitted.Load(),
-		DropsRing:     e.dropsRing.Load(),
-		DropsRED:      e.dropsRED.Load(),
-		Inserted:      e.inserted.Load(),
-		Extracted:     e.extracted.Load(),
-		FaultLost:     e.faultLost.Load(),
-		Batches:       e.batches.Load(),
-		BatchedOps:    e.batchedOps.Load(),
-		MaxBatch:      int(e.maxBatch.Load()),
-		Recoveries:    e.recoveries.Load(),
-		DatapathIdles: e.idles.Load(),
-		RingLens:      make([]int, len(e.rings)),
-		WindowCycles:  e.sorter.Lane(0).CyclesPerWindow(),
+		Running:        e.started.Load() && !e.stopped(),
+		Lanes:          e.cfg.Lanes,
+		Policy:         e.cfg.Policy.String(),
+		Health:         e.healthState(),
+		Submitted:      e.submitted.Load(),
+		DropsRing:      e.dropsRing.Load(),
+		DropsRED:       e.dropsRED.Load(),
+		Inserted:       e.inserted.Load(),
+		Extracted:      e.extracted.Load(),
+		FaultLost:      e.faultLost.Load(),
+		Batches:        e.batches.Load(),
+		BatchedOps:     e.batchedOps.Load(),
+		MaxBatch:       int(e.maxBatch.Load()),
+		Recoveries:     e.recoveries.Load(),
+		DatapathIdles:  e.idles.Load(),
+		Remapped:       e.remapped.Load(),
+		Evacuated:      e.evacuated.Load(),
+		DrainShed:      e.drainShed.Load(),
+		GhostDrops:     e.ghostDrops.Load(),
+		WatchdogTrips:  e.watchdogTrips.Load(),
+		DatapathPanics: e.panics.Load(),
+		Supervision:    e.sup.StatsSnapshot(),
+		RingLens:       make([]int, len(e.rings)),
+		WindowCycles:   e.sorter.Lane(0).CyclesPerWindow(),
 	}
+	st.Ready = st.Health == "healthy"
 	for i, r := range e.rings {
 		st.RingLens[i] = len(r)
 		st.RingOccupied += len(r)

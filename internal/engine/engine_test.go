@@ -5,10 +5,12 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"wfqsort/internal/aqm"
 	"wfqsort/internal/fault"
 	"wfqsort/internal/membus"
+	"wfqsort/internal/supervisor"
 )
 
 // drainAll consumes the Served channel until it closes, returning the
@@ -58,6 +60,10 @@ func TestConfigValidation(t *testing.T) {
 		{"negative clock", Config{ClockHz: -1}, false},
 		{"red zero value", Config{Policy: PolicyRED}, true},
 		{"red bad thresholds", Config{Policy: PolicyRED, RED: aqm.REDConfig{MinThreshold: 9, MaxThreshold: 3, MaxP: 0.1}}, false},
+		{"red equal thresholds", Config{Policy: PolicyRED, RED: aqm.REDConfig{MinThreshold: 5, MaxThreshold: 5, MaxP: 0.1}}, false},
+		{"bad supervision retries", Config{Supervision: supervisor.Config{MaxRetries: -1}}, false},
+		{"bad supervision backoff", Config{Supervision: supervisor.Config{BackoffBase: time.Second, BackoffMax: time.Millisecond}}, false},
+		{"watchdogs disabled", Config{DrainTimeout: -1, StallTimeout: -1}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -78,6 +84,12 @@ func TestConfigValidation(t *testing.T) {
 	if cfg.Lanes != 4 || cfg.LaneCapacity != 1024 || cfg.RingSize != 256 ||
 		cfg.BatchSize != 64 || cfg.Policy != PolicyBlock || cfg.OutBuffer != 1024 {
 		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.DrainTimeout != 5*time.Second || cfg.StallTimeout != 2*time.Second {
+		t.Fatalf("unexpected watchdog defaults: drain %v stall %v", cfg.DrainTimeout, cfg.StallTimeout)
+	}
+	if cfg.Supervision.MaxRetries != 3 || cfg.Supervision.QuarantineAfter != 3 {
+		t.Fatalf("unexpected supervision defaults: %+v", cfg.Supervision)
 	}
 }
 
@@ -391,5 +403,330 @@ func TestStatsSnapshotGauges(t *testing.T) {
 	// The deprecated accessor must stay equivalent.
 	if e.Stats().Extracted != st.Extracted {
 		t.Fatal("Stats() diverged from StatsSnapshot()")
+	}
+}
+
+// waitFor polls a condition with a generous deadline (the engine's
+// recovery machinery is eventually consistent from an observer's view).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 5000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// noSleepSupervision is the test policy: no real backoff sleeps, small
+// ops horizons so probes come due within a short workload.
+func noSleepSupervision() supervisor.Config {
+	return supervisor.Config{
+		MaxRetries:      2,
+		BackoffBase:     -1,
+		QuarantineAfter: 1,
+		CleanOps:        1 << 20,
+		ProbeOps:        128,
+	}
+}
+
+// TestQuarantineRemapsAndReinstates is the tentpole scenario: a lane
+// takes a persistent-looking fault (QuarantineAfter 1 models "the
+// supervisor has lost patience"), is quarantined with its survivors
+// evacuated, its tag slice serves degraded from healthy lanes, and a
+// later reinstate probe returns it to service — with full packet
+// conservation throughout.
+func TestQuarantineRemapsAndReinstates(t *testing.T) {
+	const lanes = 4
+	fabrics := make([]*membus.Fabric, lanes)
+	for i := range fabrics {
+		fabrics[i] = membus.New(nil)
+	}
+	inj := fault.NewInjector(fault.Campaign{Seed: 9}, fabrics[1].Clock())
+	inj.Attach(fabrics[1])
+	sup := noSleepSupervision()
+	// The 64 seeded packets generate at most ~128 ops after quarantine,
+	// so the probe only comes due once the degraded traffic flows: the
+	// degraded window is observable before the reinstate.
+	sup.ProbeOps = 500
+	e, err := New(Config{
+		Lanes: lanes, LaneCapacity: 256, LaneFabrics: fabrics,
+		RingSize: 64, BatchSize: 16, RecoverFaults: true,
+		Supervision: sup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var served []Served
+	var wg sync.WaitGroup
+	drainAll(t, e, &served, &wg)
+
+	// Seed traffic on every lane, then corrupt lane 1's translation
+	// table on the datapath goroutine and trip the repair pass with an
+	// injected panic (the flip alone might sit unnoticed until a lookup).
+	for i := 0; i < 64; i++ {
+		if _, err := e.Submit(i%e.TagRange(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Inject(func() {
+		if _, err := inj.FlipNow("translation-table", 1, 1<<8); err != nil {
+			t.Errorf("FlipNow: %v", err)
+		}
+		panic("chaos: corrupt lane 1")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "lane 1 quarantine", func() bool {
+		return e.StatsSnapshot().Supervision.Quarantines >= 1
+	})
+	if st := e.StatsSnapshot(); st.Ready {
+		t.Fatalf("degraded engine reports ready: %+v", st.Health)
+	}
+
+	// Degraded serving: lane 1's tag slice keeps flowing, remapped onto
+	// healthy lanes. 1, 5, 9, ... are lane 1 tags (interleaved).
+	for i := 0; i < 1000; i++ {
+		if _, err := e.Submit((4*i+1)%e.TagRange(), 100000+i); err != nil {
+			t.Fatalf("degraded submit %d: %v", i, err)
+		}
+	}
+	waitFor(t, "lane 1 reinstate", func() bool {
+		return e.StatsSnapshot().Supervision.Reinstates >= 1
+	})
+	waitFor(t, "healthy state", func() bool {
+		return e.StatsSnapshot().Health == "healthy"
+	})
+	if err := e.Stop(); err != nil {
+		t.Fatalf("stop after quarantine cycle: %v", err)
+	}
+	wg.Wait()
+
+	st := e.StatsSnapshot()
+	checkConservation(t, st)
+	if st.Remapped == 0 {
+		t.Fatal("no packets were remapped while lane 1 was quarantined")
+	}
+	if st.DatapathPanics == 0 || st.Recoveries == 0 {
+		t.Fatalf("panic containment not exercised: %+v", st)
+	}
+	if st.Supervision.Quarantines < 1 || st.Supervision.Reinstates < 1 {
+		t.Fatalf("supervision counters: %+v", st.Supervision)
+	}
+	for _, s := range served {
+		if s.Tag < 0 || s.Tag >= e.TagRange() {
+			t.Fatalf("served tag %d outside range (remap leaked an effective tag?)", s.Tag)
+		}
+	}
+	t.Logf("served=%d remapped=%d evacuated=%d lost=%d supervision=%+v",
+		len(served), st.Remapped, st.Evacuated, st.FaultLost, st.Supervision)
+}
+
+// TestInjectedPanicContained: with RecoverFaults, a panicking chaos
+// action is absorbed as a fault episode and service continues.
+func TestInjectedPanicContained(t *testing.T) {
+	e, err := New(Config{
+		Lanes: 2, LaneCapacity: 64, RecoverFaults: true,
+		Supervision: noSleepSupervision(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var served []Served
+	var wg sync.WaitGroup
+	drainAll(t, e, &served, &wg)
+	if err := e.Inject(func() { panic("chaos") }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "panic containment", func() bool {
+		return e.StatsSnapshot().DatapathPanics >= 1
+	})
+	for i := 0; i < 100; i++ {
+		if _, err := e.Submit(i%e.TagRange(), i); err != nil {
+			t.Fatalf("submit after contained panic: %v", err)
+		}
+	}
+	if err := e.Stop(); err != nil {
+		t.Fatalf("stop after contained panic: %v", err)
+	}
+	wg.Wait()
+	st := e.StatsSnapshot()
+	checkConservation(t, st)
+	if len(served) != 100 {
+		t.Fatalf("served %d of 100 after contained panic", len(served))
+	}
+}
+
+// TestPanicStreakIsTerminal: consecutive datapath panics beyond the
+// retry budget stop the engine with a diagnostic instead of looping
+// through futile repairs forever.
+func TestPanicStreakIsTerminal(t *testing.T) {
+	sup := noSleepSupervision()
+	sup.MaxRetries = 1
+	e, err := New(Config{
+		Lanes: 2, LaneCapacity: 64, RecoverFaults: true, Supervision: sup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var served []Served
+	var wg sync.WaitGroup
+	drainAll(t, e, &served, &wg)
+	for i := 0; i < 4; i++ {
+		if err := e.Inject(func() { panic("chaos storm") }); err != nil {
+			break // engine already went terminal
+		}
+	}
+	if err := e.Stop(); err == nil {
+		t.Fatal("panic storm did not produce a terminal error")
+	}
+	wg.Wait()
+	if st := e.StatsSnapshot(); st.Health != "failed" {
+		t.Fatalf("health %q after terminal panic storm, want failed", st.Health)
+	}
+}
+
+// TestPanicWithoutRecoveryIsTerminal: RecoverFaults off means the first
+// datapath panic stops the engine (contained as an error, not a crash).
+func TestPanicWithoutRecoveryIsTerminal(t *testing.T) {
+	e, err := New(Config{Lanes: 2, LaneCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var served []Served
+	var wg sync.WaitGroup
+	drainAll(t, e, &served, &wg)
+	if err := e.Inject(func() { panic("unsupervised") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Stop(); err == nil {
+		t.Fatal("unsupervised panic did not stop the engine")
+	}
+	wg.Wait()
+}
+
+// TestDrainWatchdogAbortsWedgedConsumer: a consumer that stops receiving
+// mid-drain would hang Stop forever; the drain watchdog sheds the
+// remainder accountably and Stop returns with a diagnostic.
+func TestDrainWatchdogAbortsWedgedConsumer(t *testing.T) {
+	e, err := New(Config{
+		Lanes: 2, LaneCapacity: 256, RingSize: 64, BatchSize: 8,
+		OutBuffer: 1, DrainTimeout: 50 * time.Millisecond, StallTimeout: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := e.Submit(i%e.TagRange(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No consumer at all: the drain wedges on the 1-deep Served channel.
+	err = e.Stop()
+	if err == nil {
+		t.Fatal("wedged drain completed without the watchdog")
+	}
+	st := e.StatsSnapshot()
+	if st.WatchdogTrips == 0 || st.DrainShed == 0 {
+		t.Fatalf("watchdog accounting: trips=%d shed=%d", st.WatchdogTrips, st.DrainShed)
+	}
+	if st.Inserted != st.Extracted+st.FaultLost {
+		t.Fatalf("aborted drain broke conservation: inserted %d != extracted %d + lost %d",
+			st.Inserted, st.Extracted, st.FaultLost)
+	}
+	if st.Submitted != st.Inserted {
+		t.Fatalf("aborted drain leaked ingest: submitted %d != inserted %d", st.Submitted, st.Inserted)
+	}
+	if st.SorterLen != 0 || st.RingOccupied != 0 {
+		t.Fatalf("aborted drain left occupancy: sorter %d rings %d", st.SorterLen, st.RingOccupied)
+	}
+	t.Logf("drain aborted: %v (shed %d)", err, st.DrainShed)
+}
+
+// TestStallWatchdogFlagsNotReady: a blocked consumer with work pending
+// flips the engine to stalled (not ready); progress resuming flips it
+// back to healthy. Nothing is shed either way.
+func TestStallWatchdogFlagsNotReady(t *testing.T) {
+	e, err := New(Config{
+		Lanes: 2, LaneCapacity: 512, RingSize: 256, BatchSize: 4,
+		OutBuffer: 1, StallTimeout: 30 * time.Millisecond, DrainTimeout: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// All on lane 0, far more than one drain pass: the datapath wedges
+	// on the unread Served channel with ring occupancy pending.
+	for i := 0; i < 64; i++ {
+		if _, err := e.Submit(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "stalled state", func() bool {
+		return e.StatsSnapshot().Health == "stalled"
+	})
+	if e.Ready() {
+		t.Fatal("stalled engine reports ready")
+	}
+	var served []Served
+	var wg sync.WaitGroup
+	drainAll(t, e, &served, &wg)
+	waitFor(t, "healthy after progress", func() bool {
+		return e.StatsSnapshot().Health == "healthy"
+	})
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	st := e.StatsSnapshot()
+	checkConservation(t, st)
+	if len(served) != 64 {
+		t.Fatalf("stall shed packets: served %d of 64", len(served))
+	}
+}
+
+// TestHealthSurface walks the observable state machine edges that do not
+// need a fault: stopped → healthy → draining/stopped.
+func TestHealthSurface(t *testing.T) {
+	e, err := New(Config{Lanes: 2, LaneCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.StatsSnapshot(); st.Health != "stopped" || st.Ready {
+		t.Fatalf("pre-start health %+v", st.Health)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.StatsSnapshot(); st.Health != "healthy" || !st.Ready || !e.Ready() {
+		t.Fatalf("running health %q ready=%v", st.Health, st.Ready)
+	}
+	var served []Served
+	var wg sync.WaitGroup
+	drainAll(t, e, &served, &wg)
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if st := e.StatsSnapshot(); st.Health != "stopped" || st.Ready {
+		t.Fatalf("post-stop health %q ready=%v", st.Health, st.Ready)
 	}
 }

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"wfqsort/internal/fault"
+	"wfqsort/internal/membus"
+)
+
+// FuzzEngineFaultContainment interprets the fuzz input as an
+// interleaved stream of submissions and chaos actions (2 bytes per op)
+// against a live supervised engine: corrupt bursts land on lanes 0 and
+// 1 while lanes 2 and 3 stay healthy, so the supervision layer may
+// rebuild, quarantine, and remap at will but can never run out of
+// healthy lanes. Every input must end in a clean drain with the packet
+// conservation invariant intact — the engine-level analogue of
+// FuzzFaultRecovery in internal/core. Run continuously with
+// `go test -fuzz=FuzzEngineFaultContainment ./internal/engine`.
+func FuzzEngineFaultContainment(f *testing.F) {
+	// Seeds: pure traffic, traffic with one burst, burst storms across
+	// both faultable lanes, bursts into an idle engine.
+	f.Add([]byte{0, 1, 0, 2, 1, 3, 0, 4, 1, 5})
+	f.Add([]byte{0, 1, 2, 0, 0, 2, 1, 3, 0, 4})
+	seed := make([]byte, 0, 64)
+	for i := 0; i < 16; i++ {
+		seed = append(seed, byte(i%4), byte(i*29))
+	}
+	f.Add(seed)
+	f.Add([]byte{2, 0, 2, 1, 2, 2, 2, 3, 6, 0, 6, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const lanes = 4
+		fabrics := make([]*membus.Fabric, lanes)
+		injs := make([]*fault.Injector, 2) // only lanes 0 and 1 are faultable
+		for i := range fabrics {
+			fabrics[i] = membus.New(nil)
+		}
+		for i := range injs {
+			injs[i] = fault.NewInjector(fault.Campaign{Seed: int64(i) + 17}, fabrics[i].Clock())
+			injs[i].Attach(fabrics[i])
+		}
+		sup := noSleepSupervision()
+		sup.QuarantineAfter = 2
+		sup.ProbeOps = 64
+		e, err := New(Config{
+			Lanes: lanes, LaneCapacity: 64, LaneFabrics: fabrics,
+			RingSize: 32, BatchSize: 8, RecoverFaults: true,
+			Supervision: sup,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := e.Start(); err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		var served []Served
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range e.Served() {
+				served = append(served, s)
+			}
+		}()
+
+		mems := []string{"tag-storage", "translation-table"}
+		admitted := 0
+		for i := 0; i+2 <= len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			switch op % 3 {
+			case 2: // chaos: corrupt burst on a faultable lane
+				inj := injs[int(arg)%len(injs)]
+				mem := mems[int(arg/2)%len(mems)]
+				n := 1 + int(arg)%3
+				if err := e.Inject(func() { _, _ = inj.Burst(mem, n) }); err != nil {
+					t.Fatalf("op %d: Inject: %v", i, err)
+				}
+			default: // submit
+				ok, err := e.Submit(int(arg)%e.TagRange(), i)
+				if err != nil {
+					t.Fatalf("op %d: Submit: %v", i, err)
+				}
+				if ok {
+					admitted++
+				}
+			}
+		}
+		if err := e.Stop(); err != nil {
+			t.Fatalf("Stop after chaos stream: %v", err)
+		}
+		wg.Wait()
+
+		st := e.StatsSnapshot()
+		if st.Inserted != st.Extracted+st.FaultLost {
+			t.Fatalf("conservation violated: inserted %d != extracted %d + lost %d (stats %+v)",
+				st.Inserted, st.Extracted, st.FaultLost, st.Supervision)
+		}
+		if st.Submitted != st.Inserted {
+			t.Fatalf("ingest leak: submitted %d != inserted %d", st.Submitted, st.Inserted)
+		}
+		if st.SorterLen != 0 || st.RingOccupied != 0 {
+			t.Fatalf("drain incomplete: sorter %d rings %d", st.SorterLen, st.RingOccupied)
+		}
+		if uint64(admitted) != st.Submitted {
+			t.Fatalf("admitted %d != submitted %d", admitted, st.Submitted)
+		}
+		if uint64(len(served)) != st.Extracted {
+			t.Fatalf("served %d != extracted %d", len(served), st.Extracted)
+		}
+	})
+}

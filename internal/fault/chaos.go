@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"time"
+
+	"wfqsort/internal/membus"
+)
+
+// Burst fires n immediate persistent bit flips against the named
+// attached memory, drawing each address and bit from the campaign seed.
+// It is the chaos-campaign workhorse: one call models a multi-bit upset
+// (a particle strike spanning cells, or a failing row) that single-fault
+// scrubbing logic cannot mask, which is what pushes a lane's supervision
+// state machine past inline rebuild into retry/quarantine territory.
+// Events for the flips fired so far are returned even on error.
+func (in *Injector) Burst(mem string, n int) ([]Event, error) {
+	evs := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		ev, err := in.FlipNow(mem, -1, 0)
+		if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}
+
+// Staller is a membus.Observer that delays matching accesses by a fixed
+// wall-clock sleep, modelling a degraded memory part (or a contended
+// shared bus) whose timing no longer meets the datapath's deadline
+// budget: the circuit still computes correctly, it just computes
+// slowly. Chain an Injector through Inner to combine slowness with
+// corruption. Not safe for concurrent use, like the single-pipeline
+// circuits it watches.
+type Staller struct {
+	// Inner, when non-nil, is the chained observer (typically the
+	// Injector that was attached before the Staller took the seam).
+	Inner membus.Observer
+	// Mem restricts the stall to one region name; empty stalls every
+	// region of the fabric.
+	Mem string
+	// Delay is the per-access sleep.
+	Delay time.Duration
+	// Limit caps how many accesses are stalled (0 = unlimited), so a
+	// campaign can model a transient brown-out that clears.
+	Limit int
+
+	stalled int
+}
+
+// Attach installs the staller as the fabric's observer, chaining any
+// observer the fabric already had.
+func (s *Staller) Attach(f *membus.Fabric) {
+	if prev := f.Observer(); prev != nil && s.Inner == nil {
+		s.Inner = prev
+	}
+	f.SetObserver(s)
+}
+
+// Stalled returns how many accesses have been delayed so far.
+func (s *Staller) Stalled() int { return s.stalled }
+
+// Observe implements membus.Observer.
+func (s *Staller) Observe(r *membus.Region, a *membus.Access) (uint64, error) {
+	if (s.Mem == "" || r.Name() == s.Mem) && (s.Limit == 0 || s.stalled < s.Limit) {
+		s.stalled++
+		time.Sleep(s.Delay)
+	}
+	if s.Inner != nil {
+		return s.Inner.Observe(r, a)
+	}
+	return 0, nil
+}
+
+// AfterWrite implements membus.Observer.
+func (s *Staller) AfterWrite(r *membus.Region, a *membus.Access) error {
+	if s.Inner != nil {
+		return s.Inner.AfterWrite(r, a)
+	}
+	return nil
+}
+
+var _ membus.Observer = (*Staller)(nil)

@@ -204,6 +204,11 @@ func (f *Fabric) Clock() *hwsim.Clock { return f.clock }
 // may attach before or after the regions are provisioned.
 func (f *Fabric) SetObserver(o Observer) { f.obs = o }
 
+// Observer returns the installed access observer, or nil. Wrapping
+// observers (e.g. a chaos staller chaining a fault injector) use it to
+// take over the seam without losing the previous occupant.
+func (f *Fabric) Observer() Observer { return f.obs }
+
 // Provision adds a region to the fabric and returns it.
 func (f *Fabric) Provision(cfg RegionConfig) (*Region, error) {
 	if cfg.Depth <= 0 {

@@ -1,0 +1,424 @@
+// Package supervisor is the fault-domain supervision layer for the
+// serving engine: each sorter lane is treated as an independent fault
+// domain with its own health state machine
+//
+//	healthy → rebuilding → (healthy | quarantined) → healthy
+//
+// driven by the engine datapath. A fault episode on a lane triggers a
+// bounded retry-with-exponential-backoff rebuild; a lane whose rebuild
+// budget is exhausted — or that keeps faulting even though each rebuild
+// succeeds — is quarantined and taken out of service, and the engine
+// remaps its tag slice onto the surviving lanes (degraded mode). A
+// quarantined lane is periodically probed for reinstatement, with the
+// probe interval doubling on every failed probe.
+//
+// The clock of the state machine is the datapath operation counter, not
+// wall time: episode decay and reinstate probes are scheduled in
+// operations credited via OnOps, so a campaign that replays the same
+// workload drives the same state transitions. Only the backoff pauses
+// between rebuild retries sleep real time (through an injectable
+// sleeper), and they never influence *which* transition is taken.
+package supervisor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LaneState is one lane's position in the health state machine.
+type LaneState int
+
+const (
+	// LaneHealthy lanes carry traffic normally.
+	LaneHealthy LaneState = iota
+	// LaneRebuilding lanes are inside a bounded retry-with-backoff
+	// repair episode; the datapath is blocked on them.
+	LaneRebuilding
+	// LaneQuarantined lanes are out of service: their tag slice is
+	// remapped onto healthy lanes until a reinstate probe succeeds.
+	LaneQuarantined
+)
+
+func (s LaneState) String() string {
+	switch s {
+	case LaneHealthy:
+		return "healthy"
+	case LaneRebuilding:
+		return "rebuilding"
+	case LaneQuarantined:
+		return "quarantined"
+	default:
+		return "unknown"
+	}
+}
+
+// EngineState aggregates the lane domains into one serving-health value.
+type EngineState int
+
+const (
+	// EngineHealthy: every lane healthy, datapath making progress.
+	EngineHealthy EngineState = iota
+	// EngineDegraded: serving continues, but at least one lane is
+	// quarantined or rebuilding (fewer fault domains, degraded order).
+	EngineDegraded
+	// EngineStalled: the watchdog observed no datapath progress with
+	// work pending; liveness holds but readiness does not.
+	EngineStalled
+	// EngineFailed: every lane is quarantined — nothing can serve.
+	EngineFailed
+)
+
+func (s EngineState) String() string {
+	switch s {
+	case EngineHealthy:
+		return "healthy"
+	case EngineDegraded:
+		return "degraded"
+	case EngineStalled:
+		return "stalled"
+	case EngineFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the supervision policy. The zero value of every field
+// selects a documented default, so Config{} is a valid policy.
+type Config struct {
+	// MaxRetries is the rebuild-attempt budget per fault episode before
+	// the lane is quarantined. Default 3.
+	MaxRetries int
+	// BackoffBase is the pause before the second rebuild attempt of an
+	// episode; it doubles on each further attempt. Default 1ms. A
+	// negative value disables backoff sleeping entirely (tests,
+	// deterministic campaigns).
+	BackoffBase time.Duration
+	// BackoffMax caps the per-attempt backoff. Default 50ms.
+	BackoffMax time.Duration
+	// QuarantineAfter is the number of standing fault episodes on one
+	// lane that triggers quarantine even when every rebuild succeeded —
+	// the "keeps failing" escape hatch. Default 3.
+	QuarantineAfter int
+	// CleanOps is the number of credited datapath operations that
+	// retire one standing fault episode from a healthy lane's history
+	// (the decay horizon separating "faulted once" from "keeps
+	// failing"). Default 4096.
+	CleanOps uint64
+	// ProbeOps is the number of credited datapath operations after a
+	// quarantine before the lane is offered for a reinstate probe; it
+	// doubles on every failed probe. Default 1024.
+	ProbeOps uint64
+	// Sleep is the backoff sleeper (injectable for tests). Default
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Validate checks the policy and normalizes documented zero-value
+// defaults in place. New calls it; callers only need it to
+// pre-validate.
+func (c *Config) Validate() error {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 1 {
+		return fmt.Errorf("supervisor: max retries %d must be positive", c.MaxRetries)
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 50 * time.Millisecond
+	}
+	if c.BackoffBase > 0 && c.BackoffMax < c.BackoffBase {
+		return fmt.Errorf("supervisor: backoff cap %v below base %v", c.BackoffMax, c.BackoffBase)
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.QuarantineAfter < 1 {
+		return fmt.Errorf("supervisor: quarantine-after %d must be positive", c.QuarantineAfter)
+	}
+	if c.CleanOps == 0 {
+		c.CleanOps = 4096
+	}
+	if c.ProbeOps == 0 {
+		c.ProbeOps = 1024
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return nil
+}
+
+// Outcome reports how one repair episode ended.
+type Outcome struct {
+	// Attempts is the number of rebuild attempts made (≥1).
+	Attempts int
+	// Recovered reports whether a rebuild attempt succeeded.
+	Recovered bool
+	// Quarantined reports whether the lane left the episode
+	// quarantined (budget exhausted, or recovered but persistently
+	// faulty).
+	Quarantined bool
+	// Err is the last rebuild error when the episode did not recover.
+	Err error
+}
+
+// Stats is the supervisor's snapshot, following the repository
+// StatsSnapshot convention.
+type Stats struct {
+	Lanes            int      `json:"lanes"`
+	LaneStates       []string `json:"lane_states"`
+	LaneEpisodes     []int    `json:"lane_episodes"`
+	QuarantinedLanes int      `json:"quarantined_lanes"`
+	Stalled          bool     `json:"stalled"`
+	State            string   `json:"state"`
+
+	FaultEpisodes  uint64 `json:"fault_episodes"`
+	RebuildRetries uint64 `json:"rebuild_retries"`
+	Rebuilds       uint64 `json:"rebuilds"`
+	Quarantines    uint64 `json:"quarantines"`
+	Requarantines  uint64 `json:"requarantines"`
+	Reinstates     uint64 `json:"reinstates"`
+	Ops            uint64 `json:"ops"`
+}
+
+// laneDomain is one lane's supervision state.
+type laneDomain struct {
+	state       LaneState
+	episodes    int    // standing fault episodes (decayed by CleanOps)
+	decayAt     uint64 // ops mark when the oldest episode retires
+	probeAt     uint64 // ops mark of the next reinstate probe
+	probeOffers int    // failed probes since quarantine (doubles ProbeOps)
+	probeOut    bool   // a probe has been offered and not yet answered
+}
+
+// Supervisor tracks per-lane fault history and drives the health state
+// machine. All methods are safe for concurrent use: the datapath
+// mutates, observability endpoints read.
+type Supervisor struct {
+	cfg Config
+
+	mu      sync.Mutex
+	lanes   []laneDomain
+	ops     uint64
+	stalled bool
+
+	faultEpisodes  uint64
+	rebuildRetries uint64
+	rebuilds       uint64
+	quarantines    uint64
+	requarantines  uint64
+	reinstates     uint64
+}
+
+// New builds a supervisor for n lane fault domains.
+func New(n int, cfg Config) (*Supervisor, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("supervisor: %d lanes must be positive", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Supervisor{cfg: cfg, lanes: make([]laneDomain, n)}, nil
+}
+
+// backoff returns the pause before attempt number attempt (2-based: the
+// first retry after the initial failure).
+func (s *Supervisor) backoff(retry int) time.Duration {
+	if s.cfg.BackoffBase <= 0 {
+		return 0
+	}
+	d := s.cfg.BackoffBase << uint(retry)
+	if d <= 0 || d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	return d
+}
+
+// Repair drives one bounded retry-with-backoff episode for lane i: it
+// invokes rebuild until it succeeds or the retry budget is exhausted,
+// sleeping the exponential backoff between attempts, then settles the
+// state machine — recovered lanes return to healthy unless they have
+// accumulated QuarantineAfter standing episodes; unrecovered lanes are
+// quarantined.
+func (s *Supervisor) Repair(i int, rebuild func(attempt int) error) Outcome {
+	s.mu.Lock()
+	ln := &s.lanes[i]
+	ln.state = LaneRebuilding
+	ln.episodes++
+	ln.decayAt = s.ops + s.cfg.CleanOps
+	s.faultEpisodes++
+	persistent := ln.episodes >= s.cfg.QuarantineAfter
+	s.mu.Unlock()
+
+	var out Outcome
+	for attempt := 1; attempt <= s.cfg.MaxRetries; attempt++ {
+		if attempt > 1 {
+			if d := s.backoff(attempt - 2); d > 0 {
+				s.cfg.Sleep(d)
+			}
+			s.mu.Lock()
+			s.rebuildRetries++
+			s.mu.Unlock()
+		}
+		out.Attempts = attempt
+		if err := rebuild(attempt); err != nil {
+			out.Err = err
+			continue
+		}
+		out.Recovered = true
+		out.Err = nil
+		break
+	}
+
+	s.mu.Lock()
+	switch {
+	case !out.Recovered, persistent:
+		s.quarantineLocked(i)
+		out.Quarantined = true
+	default:
+		ln.state = LaneHealthy
+		s.rebuilds++
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// quarantineLocked moves lane i into quarantine and schedules its first
+// reinstate probe. Caller holds mu.
+func (s *Supervisor) quarantineLocked(i int) {
+	ln := &s.lanes[i]
+	ln.state = LaneQuarantined
+	ln.probeOffers = 0
+	ln.probeOut = false
+	ln.probeAt = s.ops + s.cfg.ProbeOps
+	s.quarantines++
+}
+
+// OnOps credits n successful datapath operations to the state machine:
+// standing fault episodes on healthy lanes decay, and quarantined lanes
+// whose probe mark has passed are offered for reinstatement. It returns
+// the lanes due for a reinstate probe (each offered once; answer with
+// Reinstate or Requarantine).
+func (s *Supervisor) OnOps(n uint64) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops += n
+	var due []int
+	for i := range s.lanes {
+		ln := &s.lanes[i]
+		for ln.state == LaneHealthy && ln.episodes > 0 && s.ops >= ln.decayAt {
+			ln.episodes--
+			ln.decayAt += s.cfg.CleanOps
+		}
+		if ln.state == LaneQuarantined && !ln.probeOut && s.ops >= ln.probeAt {
+			ln.probeOut = true
+			due = append(due, i)
+		}
+	}
+	return due
+}
+
+// Reinstate returns a quarantined lane to service after a successful
+// probe; its episode history restarts clean.
+func (s *Supervisor) Reinstate(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ln := &s.lanes[i]
+	ln.state = LaneHealthy
+	ln.episodes = 0
+	ln.probeOut = false
+	s.reinstates++
+}
+
+// Requarantine records a failed reinstate probe: the lane stays
+// quarantined and the next probe is scheduled twice as far out.
+func (s *Supervisor) Requarantine(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ln := &s.lanes[i]
+	ln.state = LaneQuarantined
+	ln.probeOffers++
+	ln.probeOut = false
+	shift := uint(ln.probeOffers)
+	if shift > 16 {
+		shift = 16
+	}
+	ln.probeAt = s.ops + s.cfg.ProbeOps<<shift
+	s.requarantines++
+}
+
+// SetStalled records the watchdog's view of datapath progress.
+func (s *Supervisor) SetStalled(v bool) {
+	s.mu.Lock()
+	s.stalled = v
+	s.mu.Unlock()
+}
+
+// LaneState returns lane i's current state.
+func (s *Supervisor) LaneState(i int) LaneState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lanes[i].state
+}
+
+// EngineState aggregates the lane domains and the watchdog flag.
+func (s *Supervisor) EngineState() EngineState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engineStateLocked()
+}
+
+func (s *Supervisor) engineStateLocked() EngineState {
+	quarantined, degraded := 0, false
+	for i := range s.lanes {
+		switch s.lanes[i].state {
+		case LaneQuarantined:
+			quarantined++
+			degraded = true
+		case LaneRebuilding:
+			degraded = true
+		}
+	}
+	switch {
+	case quarantined == len(s.lanes):
+		return EngineFailed
+	case s.stalled:
+		return EngineStalled
+	case degraded:
+		return EngineDegraded
+	default:
+		return EngineHealthy
+	}
+}
+
+// StatsSnapshot returns the supervision counters and per-lane states.
+func (s *Supervisor) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Lanes:          len(s.lanes),
+		LaneStates:     make([]string, len(s.lanes)),
+		LaneEpisodes:   make([]int, len(s.lanes)),
+		Stalled:        s.stalled,
+		State:          s.engineStateLocked().String(),
+		FaultEpisodes:  s.faultEpisodes,
+		RebuildRetries: s.rebuildRetries,
+		Rebuilds:       s.rebuilds,
+		Quarantines:    s.quarantines,
+		Requarantines:  s.requarantines,
+		Reinstates:     s.reinstates,
+		Ops:            s.ops,
+	}
+	for i := range s.lanes {
+		st.LaneStates[i] = s.lanes[i].state.String()
+		st.LaneEpisodes[i] = s.lanes[i].episodes
+		if s.lanes[i].state == LaneQuarantined {
+			st.QuarantinedLanes++
+		}
+	}
+	return st
+}

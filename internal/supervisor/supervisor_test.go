@@ -1,0 +1,255 @@
+package supervisor
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// testConfig returns a policy with backoff sleeping disabled so the
+// state machine runs instantly and deterministically.
+func testConfig() Config {
+	return Config{
+		MaxRetries:      3,
+		BackoffBase:     -1,
+		QuarantineAfter: 3,
+		CleanOps:        100,
+		ProbeOps:        50,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero value", Config{}, true},
+		{"negative retries", Config{MaxRetries: -1}, false},
+		{"cap below base", Config{BackoffBase: time.Second, BackoffMax: time.Millisecond}, false},
+		{"negative quarantine-after", Config{QuarantineAfter: -2}, false},
+		{"no-sleep backoff", Config{BackoffBase: -1}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(4, tc.cfg)
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+	if _, err := New(0, Config{}); err == nil {
+		t.Fatal("zero lanes accepted")
+	}
+	cfg := Config{}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxRetries != 3 || cfg.QuarantineAfter != 3 || cfg.CleanOps != 4096 ||
+		cfg.ProbeOps != 1024 || cfg.BackoffBase != time.Millisecond || cfg.Sleep == nil {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}
+
+func TestRepairFirstAttemptRecovers(t *testing.T) {
+	s, err := New(4, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Repair(1, func(int) error { return nil })
+	if !out.Recovered || out.Quarantined || out.Attempts != 1 {
+		t.Fatalf("outcome %+v", out)
+	}
+	if got := s.LaneState(1); got != LaneHealthy {
+		t.Fatalf("lane state %v", got)
+	}
+	if st := s.StatsSnapshot(); st.FaultEpisodes != 1 || st.Rebuilds != 1 || st.Quarantines != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRepairRetriesThenRecovers(t *testing.T) {
+	s, err := New(2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 2
+	out := s.Repair(0, func(int) error {
+		if fails > 0 {
+			fails--
+			return errors.New("still broken")
+		}
+		return nil
+	})
+	if !out.Recovered || out.Attempts != 3 || out.Quarantined {
+		t.Fatalf("outcome %+v", out)
+	}
+	if st := s.StatsSnapshot(); st.RebuildRetries != 2 {
+		t.Fatalf("retries %d", st.RebuildRetries)
+	}
+}
+
+func TestRepairExhaustionQuarantines(t *testing.T) {
+	s, err := New(2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("unrepairable")
+	out := s.Repair(1, func(int) error { return boom })
+	if out.Recovered || !out.Quarantined || out.Attempts != 3 || !errors.Is(out.Err, boom) {
+		t.Fatalf("outcome %+v", out)
+	}
+	if got := s.LaneState(1); got != LaneQuarantined {
+		t.Fatalf("lane state %v", got)
+	}
+	if got := s.EngineState(); got != EngineDegraded {
+		t.Fatalf("engine state %v", got)
+	}
+}
+
+func TestBackoffSequenceExponentialAndCapped(t *testing.T) {
+	var slept []time.Duration
+	cfg := Config{
+		MaxRetries:  5,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	s, err := New(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Repair(0, func(int) error { return errors.New("never") })
+	want := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff[%d] = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+// TestPersistentFaultQuarantinesDespiteRecovery: three episodes in a
+// row — each individually repaired — still quarantine the lane.
+func TestPersistentFaultQuarantinesDespiteRecovery(t *testing.T) {
+	s, err := New(4, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := func(int) error { return nil }
+	for i := 0; i < 2; i++ {
+		if out := s.Repair(2, ok); out.Quarantined {
+			t.Fatalf("episode %d quarantined early", i)
+		}
+	}
+	out := s.Repair(2, ok)
+	if !out.Quarantined || !out.Recovered {
+		t.Fatalf("third episode outcome %+v", out)
+	}
+	if got := s.LaneState(2); got != LaneQuarantined {
+		t.Fatalf("lane state %v", got)
+	}
+}
+
+// TestEpisodeDecayPreventsQuarantine: episodes separated by enough
+// clean operations never accumulate to the quarantine threshold.
+func TestEpisodeDecayPreventsQuarantine(t *testing.T) {
+	s, err := New(4, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := func(int) error { return nil }
+	for i := 0; i < 5; i++ {
+		if out := s.Repair(0, ok); out.Quarantined {
+			t.Fatalf("episode %d quarantined despite decay", i)
+		}
+		s.OnOps(200) // > CleanOps: the episode retires before the next
+	}
+	if got := s.LaneState(0); got != LaneHealthy {
+		t.Fatalf("lane state %v", got)
+	}
+}
+
+func TestProbeScheduleAndReinstate(t *testing.T) {
+	s, err := New(2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Repair(1, func(int) error { return errors.New("broken") })
+	if due := s.OnOps(10); len(due) != 0 {
+		t.Fatalf("probe offered early: %v", due)
+	}
+	due := s.OnOps(50)
+	if len(due) != 1 || due[0] != 1 {
+		t.Fatalf("due %v, want [1]", due)
+	}
+	// The offer is not repeated while unanswered.
+	if due := s.OnOps(100); len(due) != 0 {
+		t.Fatalf("probe re-offered: %v", due)
+	}
+	s.Reinstate(1)
+	if got := s.LaneState(1); got != LaneHealthy {
+		t.Fatalf("lane state %v", got)
+	}
+	if got := s.EngineState(); got != EngineHealthy {
+		t.Fatalf("engine state %v", got)
+	}
+	if st := s.StatsSnapshot(); st.Reinstates != 1 || st.LaneEpisodes[1] != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRequarantineDoublesProbeDelay(t *testing.T) {
+	s, err := New(2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Repair(0, func(int) error { return errors.New("broken") })
+	if due := s.OnOps(50); len(due) != 1 {
+		t.Fatalf("first probe not offered: %v", due)
+	}
+	s.Requarantine(0)
+	// Next probe needs 2×ProbeOps = 100 more ops.
+	if due := s.OnOps(60); len(due) != 0 {
+		t.Fatalf("second probe offered after only 60 ops: %v", due)
+	}
+	if due := s.OnOps(40); len(due) != 1 {
+		t.Fatalf("second probe not offered at 100 ops: %v", due)
+	}
+	if st := s.StatsSnapshot(); st.Requarantines != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEngineStateAggregation(t *testing.T) {
+	s, err := New(2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EngineState(); got != EngineHealthy {
+		t.Fatalf("initial state %v", got)
+	}
+	s.SetStalled(true)
+	if got := s.EngineState(); got != EngineStalled {
+		t.Fatalf("stalled state %v", got)
+	}
+	s.SetStalled(false)
+	broken := func(int) error { return errors.New("broken") }
+	s.Repair(0, broken)
+	if got := s.EngineState(); got != EngineDegraded {
+		t.Fatalf("degraded state %v", got)
+	}
+	s.Repair(1, broken)
+	if got := s.EngineState(); got != EngineFailed {
+		t.Fatalf("all-quarantined state %v", got)
+	}
+	st := s.StatsSnapshot()
+	if st.State != "failed" || st.QuarantinedLanes != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}

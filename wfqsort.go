@@ -40,6 +40,7 @@ import (
 	"wfqsort/internal/scheduler"
 	"wfqsort/internal/schedulers"
 	"wfqsort/internal/sharded"
+	"wfqsort/internal/supervisor"
 	"wfqsort/internal/taglist"
 	"wfqsort/internal/trace"
 )
@@ -197,6 +198,17 @@ const (
 // REDConfig tunes random early detection (EngineConfig.RED and the
 // scheduler's FullRED policy).
 type REDConfig = aqm.REDConfig
+
+// SupervisorConfig tunes the engine's per-lane fault-domain policy
+// (EngineConfig.Supervision): bounded rebuild retries with exponential
+// backoff, quarantine thresholds, and ops-based episode decay and
+// reinstate probing. See DESIGN.md §12.
+type SupervisorConfig = supervisor.Config
+
+// SupervisorStats is the fault-domain health snapshot embedded in
+// EngineStats.Supervision: per-lane states and episode counts plus
+// cumulative rebuild/quarantine/reinstate counters.
+type SupervisorStats = supervisor.Stats
 
 // Sentinel errors returned by Engine operations.
 var (
