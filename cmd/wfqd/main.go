@@ -169,6 +169,40 @@ type server struct {
 	mu       sync.Mutex
 	scfqLock sync.Mutex
 	consumer sync.WaitGroup
+
+	// Ingest-socket lifecycle: ingestWG joins the accept loop and every
+	// connection goroutine; conns tracks live connections so shutdown
+	// can sever them instead of waiting out idle clients.
+	ingestWG sync.WaitGroup
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+}
+
+// trackConn registers a live ingest connection for shutdown teardown.
+func (s *server) trackConn(conn net.Conn) {
+	s.connMu.Lock()
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+}
+
+// untrackConn forgets a finished ingest connection.
+func (s *server) untrackConn(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+// closeConns severs every live ingest connection, unblocking their
+// serve goroutines so ingestWG.Wait can return.
+func (s *server) closeConns() {
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
 }
 
 func newServer(cfg config) (*server, error) {
@@ -241,11 +275,15 @@ func (s *server) run() error {
 	return nil
 }
 
-// shutdown drains the engine and waits for the consumer.
+// shutdown severs ingest connections, drains the engine, and waits for
+// the consumer and every ingest goroutine. The caller closes the ingest
+// listener first, so the accept loop is already on its way out.
 func (s *server) shutdown() error {
 	s.healthy.Store(false)
+	s.closeConns()
 	err := s.eng.Stop()
 	s.consumer.Wait()
+	s.ingestWG.Wait()
 	return err
 }
 
@@ -371,16 +409,29 @@ func (s *server) listenIngest(spec string) (net.Listener, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.ingestWG.Add(1)
 	go func() {
+		defer s.ingestWG.Done()
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				return
 			}
-			go s.serveIngest(conn)
+			s.trackConn(conn)
+			s.ingestWG.Add(1)
+			go s.handleIngestConn(conn)
 		}
 	}()
 	return ln, nil
+}
+
+// handleIngestConn runs one ingest connection to completion and joins
+// it back into the ingest WaitGroup, so shutdown leaves no connection
+// goroutine behind.
+func (s *server) handleIngestConn(conn net.Conn) {
+	defer s.ingestWG.Done()
+	defer s.untrackConn(conn)
+	s.serveIngest(conn)
 }
 
 // mux builds the HTTP observability surface.

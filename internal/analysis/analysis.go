@@ -54,15 +54,30 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	diags       *[]Diagnostic
-	ignores     map[string]map[int][]ignoreDirective // file -> line -> directives
-	fileIgnores map[string][]ignoreDirective         // file -> whole-file directives
+	diags *[]Diagnostic
+	idx   *directiveIndex
 }
 
-// ignoreDirective is one parsed //wfqlint:ignore comment.
-type ignoreDirective struct {
-	analyzer string // analyzer name or "all"
-	reason   string
+// Directive is one parsed //wfqlint:ignore or //wfqlint:ignore-file
+// comment, with a usage bit recording whether it suppressed at least one
+// diagnostic during the run. Unused directives are the raw material of
+// the stale-ignore report: a suppression that suppresses nothing is
+// either a typo or a fixed finding whose excuse outlived it.
+type Directive struct {
+	Pos       token.Position
+	Analyzer  string // analyzer name or "all"
+	Reason    string
+	FileScope bool
+	Used      bool
+}
+
+// directiveIndex is the per-package lookup structure for directives,
+// shared by every analyzer pass over the package so one suppression is
+// parsed (and usage-tracked) exactly once.
+type directiveIndex struct {
+	byLine map[string]map[int][]*Directive // file -> line -> directives
+	byFile map[string][]*Directive         // file -> whole-file directives
+	list   []*Directive
 }
 
 // ignoreRe is anchored to the start of the comment so prose that merely
@@ -76,16 +91,19 @@ var ignoreRe = regexp.MustCompile(`^//\s*wfqlint:ignore\s+(\S+)\s*(.*)`)
 // the signal; the justification is still mandatory.
 var ignoreFileRe = regexp.MustCompile(`^//\s*wfqlint:ignore-file\s+(\S+)\s*(.*)`)
 
-// buildIgnores indexes every //wfqlint:ignore directive by file and line
-// and every //wfqlint:ignore-file directive by file. A line directive
-// suppresses matching diagnostics on its own line and on the line
-// immediately below it (so it can sit above the flagged statement); a
-// file directive suppresses them anywhere in its file. Directives with
-// an empty reason are themselves reported: a suppression must say why.
-func (p *Pass) buildIgnores() {
-	p.ignores = make(map[string]map[int][]ignoreDirective)
-	p.fileIgnores = make(map[string][]ignoreDirective)
-	for _, f := range p.Files {
+// parseDirectives indexes every //wfqlint:ignore directive by file and
+// line and every //wfqlint:ignore-file directive by file. A line
+// directive suppresses matching diagnostics on its own line and on the
+// line immediately below it (so it can sit above the flagged statement);
+// a file directive suppresses them anywhere in its file. Directives with
+// an empty reason are not indexed and are reported through report: a
+// suppression must say why.
+func parseDirectives(fset *token.FileSet, files []*ast.File, report func(token.Position)) *directiveIndex {
+	idx := &directiveIndex{
+		byLine: make(map[string]map[int][]*Directive),
+		byFile: make(map[string][]*Directive),
+	}
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				fileScope := false
@@ -97,47 +115,67 @@ func (p *Pass) buildIgnores() {
 				if m == nil {
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
-				dir := ignoreDirective{analyzer: m[1], reason: strings.TrimSpace(m[2])}
-				if dir.reason == "" {
-					*p.diags = append(*p.diags, Diagnostic{
-						Pos:      pos,
-						Analyzer: p.Analyzer.Name,
-						Message:  "wfqlint:ignore directive without a justification",
-					})
+				pos := fset.Position(c.Pos())
+				dir := &Directive{
+					Pos:       pos,
+					Analyzer:  m[1],
+					Reason:    strings.TrimSpace(m[2]),
+					FileScope: fileScope,
+				}
+				if dir.Reason == "" {
+					report(pos)
 					continue
 				}
+				idx.list = append(idx.list, dir)
 				if fileScope {
-					p.fileIgnores[pos.Filename] = append(p.fileIgnores[pos.Filename], dir)
+					idx.byFile[pos.Filename] = append(idx.byFile[pos.Filename], dir)
 					continue
 				}
-				byLine := p.ignores[pos.Filename]
+				byLine := idx.byLine[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]ignoreDirective)
-					p.ignores[pos.Filename] = byLine
+					byLine = make(map[int][]*Directive)
+					idx.byLine[pos.Filename] = byLine
 				}
 				byLine[pos.Line] = append(byLine[pos.Line], dir)
 			}
 		}
 	}
+	return idx
+}
+
+// buildIgnores parses this pass's files into a pass-local directive
+// index, reporting unjustified directives under the pass's analyzer.
+// Shared multi-analyzer runs use RunPackage, which parses once and
+// shares the index across passes instead.
+func (p *Pass) buildIgnores() {
+	p.idx = parseDirectives(p.Fset, p.Files, func(pos token.Position) {
+		*p.diags = append(*p.diags, Diagnostic{
+			Pos:      pos,
+			Analyzer: p.Analyzer.Name,
+			Message:  "wfqlint:ignore directive without a justification",
+		})
+	})
 }
 
 // ignored reports whether a diagnostic at pos is suppressed by a
 // directive on the same line or the line above, or by a file-scope
-// directive anywhere in the file.
+// directive anywhere in the file. A directive that suppresses is marked
+// used for the stale-ignore report.
 func (p *Pass) ignored(pos token.Position) bool {
-	for _, d := range p.fileIgnores[pos.Filename] {
-		if d.analyzer == "all" || d.analyzer == p.Analyzer.Name {
+	for _, d := range p.idx.byFile[pos.Filename] {
+		if d.Analyzer == "all" || d.Analyzer == p.Analyzer.Name {
+			d.Used = true
 			return true
 		}
 	}
-	byLine := p.ignores[pos.Filename]
+	byLine := p.idx.byLine[pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		for _, d := range byLine[line] {
-			if d.analyzer == "all" || d.analyzer == p.Analyzer.Name {
+			if d.Analyzer == "all" || d.Analyzer == p.Analyzer.Name {
+				d.Used = true
 				return true
 			}
 		}
@@ -184,7 +222,25 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 // Run applies each analyzer to pkg and returns the diagnostics sorted by
 // position.
 func Run(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+	diags, _, err := RunPackage(analyzers, pkg)
+	return diags, err
+}
+
+// RunPackage applies each analyzer to pkg and returns the diagnostics
+// sorted by position, plus every suppression directive parsed from the
+// package with its usage bit set — the input of the stale-ignore
+// report. The directive index is parsed once and shared by all passes,
+// so an unjustified directive is reported exactly once (under the
+// synthetic analyzer name "directive") no matter how many analyzers run.
+func RunPackage(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, []*Directive, error) {
 	var diags []Diagnostic
+	idx := parseDirectives(pkg.Fset, pkg.Files, func(pos token.Position) {
+		diags = append(diags, Diagnostic{
+			Pos:      pos,
+			Analyzer: "directive",
+			Message:  "wfqlint:ignore directive without a justification",
+		})
+	})
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -193,10 +249,10 @@ func Run(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			diags:     &diags,
+			idx:       idx,
 		}
-		pass.buildIgnores()
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			return nil, nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -212,7 +268,7 @@ func Run(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, idx.list, nil
 }
 
 // --- shared type helpers used by the analyzers ---

@@ -1,0 +1,213 @@
+// Package conservation enforces the engine's packet-conservation
+// ledger at the type level. The serving engine's core claim — every
+// offered packet is served, shed, or lost to a fault, with nothing
+// unaccounted (DESIGN.md §12, EXPERIMENTS.md shed accounting) — is an
+// arithmetic identity over a handful of counters. The identity only
+// holds if every counter in it is mutated race-free and every new
+// counter either joins the identity or is explicitly excused.
+//
+// Three rules, applied to the engine package:
+//
+//  1. Ledger fields on the Engine struct (inserted, extracted,
+//     faultLost, drainShed, ghostDrops, remapped, evacuated) must be
+//     sync/atomic types: they are written by the datapath goroutine
+//     and read by every Stats scrape.
+//  2. No plain store or increment of a ledger field through an Engine
+//     value — mutation goes through atomic ops inside the datapath
+//     critical section.
+//  3. Every uint64 counter on the Stats snapshot must be referenced by
+//     a Conservation* method on Stats (the machine-checkable form of
+//     the identity) or carry a justified
+//     //wfqlint:ignore conservation exemption on its declaration:
+//     a counter outside the assertion is a number nobody can audit.
+package conservation
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"wfqsort/internal/analysis"
+)
+
+// Analyzer is the conservation analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "conservation",
+	Doc: "conservation-ledger counters are atomic, mutated only via " +
+		"atomic ops, and every Stats counter joins the conservation " +
+		"assertion or carries a justified exemption",
+	Run: run,
+}
+
+// EnginePackage is the package the ledger lives in. Tests load testdata
+// under this path.
+const EnginePackage = "wfqsort/internal/engine"
+
+// ledger is the conservation identity's counter set, keyed by
+// lower-cased field name so the unexported Engine fields and exported
+// Stats fields match the same entry.
+var ledger = map[string]bool{
+	"inserted":   true,
+	"extracted":  true,
+	"faultlost":  true,
+	"drainshed":  true,
+	"ghostdrops": true,
+	"remapped":   true,
+	"evacuated":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != EnginePackage {
+		return nil
+	}
+	checkEngineFields(pass)
+	checkLedgerStores(pass)
+	checkStatsCoverage(pass)
+	return nil
+}
+
+// structFields returns the AST field list of the package-level struct
+// type named name, or nil.
+func structFields(pass *analysis.Pass, name string) *ast.FieldList {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st.Fields
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isAtomicType reports whether t is declared in sync/atomic.
+func isAtomicType(t types.Type) bool {
+	n, ok := analysis.Deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// checkEngineFields enforces rule 1: ledger fields on Engine are
+// atomic.
+func checkEngineFields(pass *analysis.Pass) {
+	fields := structFields(pass, "Engine")
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		for _, name := range f.Names {
+			if !ledger[strings.ToLower(name.Name)] {
+				continue
+			}
+			if t := pass.TypeOf(f.Type); t != nil && !isAtomicType(t) {
+				pass.Reportf(name.Pos(),
+					"conservation counter %q must be a sync/atomic type: the datapath writes it while Stats scrapes read it",
+					name.Name)
+			}
+		}
+	}
+}
+
+// checkLedgerStores enforces rule 2: no plain store/increment of a
+// ledger field through an Engine value.
+func checkLedgerStores(pass *analysis.Pass) {
+	flag := func(e ast.Expr) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || !ledger[strings.ToLower(sel.Sel.Name)] {
+			return
+		}
+		recv := pass.TypeOf(sel.X)
+		if recv == nil {
+			return
+		}
+		n, ok := analysis.Deref(recv).(*types.Named)
+		if !ok || n.Obj().Name() != "Engine" || n.Obj().Pkg() == nil ||
+			n.Obj().Pkg().Path() != pass.Pkg.Path() {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"conservation counter %q mutated by a plain store; use atomic ops inside the datapath critical section",
+			sel.Sel.Name)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if st.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					flag(lhs)
+				}
+			case *ast.IncDecStmt:
+				flag(st.X)
+			}
+			return true
+		})
+	}
+}
+
+// checkStatsCoverage enforces rule 3: every uint64 Stats counter is
+// referenced by a Conservation* method on Stats or carries a justified
+// exemption directive (handled by the normal ignore machinery — the
+// diagnostic lands on the field declaration).
+func checkStatsCoverage(pass *analysis.Pass) {
+	fields := structFields(pass, "Stats")
+	if fields == nil {
+		return
+	}
+	asserted := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil ||
+				!strings.HasPrefix(fd.Name.Name, "Conservation") {
+				continue
+			}
+			recv := fd.Recv.List[0].Type
+			if t := pass.TypeOf(recv); t == nil || !analysis.IsNamed(t, pass.Pkg.Path(), "Stats") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && v.IsField() {
+						asserted[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, f := range fields.List {
+		ft := pass.TypeOf(f.Type)
+		if ft == nil {
+			continue
+		}
+		b, ok := ft.(*types.Basic)
+		if !ok || b.Kind() != types.Uint64 {
+			continue
+		}
+		for _, name := range f.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil || asserted[obj] {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"Stats counter %q is outside the conservation assertion; reference it from a Conservation* method on Stats or justify an exemption directive",
+				name.Name)
+		}
+	}
+}

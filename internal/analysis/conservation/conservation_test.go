@@ -1,0 +1,36 @@
+package conservation_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wfqsort/internal/analysis"
+	"wfqsort/internal/analysis/conservation"
+)
+
+func TestConservation(t *testing.T) {
+	dir := filepath.Join("testdata", "ledger")
+	// Load the testdata under the engine import path so the ledger
+	// rules apply to it.
+	analysis.RunTest(t, dir, "wfqsort/internal/engine", conservation.Analyzer)
+}
+
+func TestConservationScope(t *testing.T) {
+	// The same sources loaded under any other path produce no
+	// diagnostics: only the engine owns the ledger.
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "ledger"), "wfqsort/internal/notengine")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{conservation.Analyzer}, pkg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics, first: %s", len(diags), diags[0])
+	}
+}

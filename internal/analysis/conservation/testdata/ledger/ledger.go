@@ -1,0 +1,49 @@
+// Package ledger is conservation analyzer testdata: a miniature engine
+// whose ledger breaks each rule once, next to clean counterparts.
+package ledger
+
+import "sync/atomic"
+
+// Engine models the serving engine's counter block: inserted and
+// extracted are correctly atomic, faultLost is a plain word.
+type Engine struct {
+	inserted  atomic.Uint64
+	extracted atomic.Uint64
+	faultLost uint64 // want `conservation counter "faultLost" must be a sync/atomic type`
+	batches   uint64
+}
+
+// GoodInsert mutates the ledger atomically.
+func (e *Engine) GoodInsert() {
+	e.inserted.Add(1)
+}
+
+// BadDrop mutates a ledger counter with a plain increment.
+func (e *Engine) BadDrop() {
+	e.faultLost++ // want `conservation counter "faultLost" mutated by a plain store`
+}
+
+// GoodTelemetry mutates a non-ledger counter; batches is telemetry, not
+// part of the conservation identity, so plain stores are locksafe's
+// problem, not conservation's.
+func (e *Engine) GoodTelemetry() {
+	e.batches++
+}
+
+// Stats is the snapshot: the first three counters join the assertion,
+// Batches does not and is flagged, LatencyCount carries a justified
+// exemption.
+type Stats struct {
+	Inserted  uint64
+	Extracted uint64
+	FaultLost uint64
+	Batches   uint64 // want `Stats counter "Batches" is outside the conservation assertion`
+	//wfqlint:ignore conservation latency telemetry, not packet accounting
+	LatencyCount uint64
+	SorterLen    int
+}
+
+// ConservationCheck is the machine-checkable identity.
+func (s Stats) ConservationCheck() bool {
+	return s.Inserted == s.Extracted+s.FaultLost+uint64(s.SorterLen)
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// fileNames returns the base names of a loaded package's files, sorted.
+func fileNames(pkg *Package) []string {
+	var names []string
+	for _, f := range pkg.Files {
+		names = append(names, filepath.Base(pkg.Fset.Position(f.Package).Filename))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestLoaderBuildTagEvaluation loads fixture packages whose excluded
+// files redeclare the included files' symbols: mis-evaluating any
+// //go:build line either fails type-check or changes the file set.
+func TestLoaderBuildTagEvaluation(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "buildtags"),
+		"wfqsort/internal/analysis/testdata/buildtags")
+	if err != nil {
+		t.Fatalf("LoadDir buildtags: %v", err)
+	}
+	got := fileNames(pkg)
+	want := []string{"keep.go", "tagged_true.go"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("buildtags file set = %v, want %v", got, want)
+	}
+
+	// The nested package evaluates its own constraints independently.
+	nested, err := l.LoadDir(filepath.Join("testdata", "buildtags", "nested"),
+		"wfqsort/internal/analysis/testdata/buildtags/nested")
+	if err != nil {
+		t.Fatalf("LoadDir nested: %v", err)
+	}
+	if got := fileNames(nested); len(got) != 1 || got[0] != "nested.go" {
+		t.Fatalf("nested file set = %v, want [nested.go]", got)
+	}
+}
+
+// probeAnalyzer fires one diagnostic per file, at the package clause:
+// the minimal analyzer for directive-containment checks.
+var probeAnalyzer = &Analyzer{
+	Name: "probe",
+	Doc:  "test probe: one finding per file",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			p.Reportf(f.Name.Pos(), "probe fired")
+		}
+		return nil
+	},
+}
+
+// TestIgnoreFileContainment proves a //wfqlint:ignore-file directive is
+// contained to its own file: the sibling file in the same package and
+// the nested package below it still report, and a build-tag-excluded
+// file contributes nothing at all.
+func TestIgnoreFileContainment(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "ignorefile"),
+		"wfqsort/internal/analysis/testdata/ignorefile")
+	if err != nil {
+		t.Fatalf("LoadDir ignorefile: %v", err)
+	}
+	diags, directives, err := RunPackage([]*Analyzer{probeAnalyzer}, pkg)
+	if err != nil {
+		t.Fatalf("RunPackage: %v", err)
+	}
+	if len(diags) != 1 || filepath.Base(diags[0].Pos.Filename) != "flagged.go" {
+		t.Fatalf("diagnostics = %v, want exactly one from flagged.go", diags)
+	}
+	if len(directives) != 1 || !directives[0].FileScope || !directives[0].Used {
+		t.Fatalf("directives = %+v, want one used file-scope directive", directives)
+	}
+
+	// The nested package is outside the parent directive's file.
+	nested, err := l.LoadDir(filepath.Join("testdata", "ignorefile", "nested"),
+		"wfqsort/internal/analysis/testdata/ignorefile/nested")
+	if err != nil {
+		t.Fatalf("LoadDir nested: %v", err)
+	}
+	ndiags, ndirs, err := RunPackage([]*Analyzer{probeAnalyzer}, nested)
+	if err != nil {
+		t.Fatalf("RunPackage nested: %v", err)
+	}
+	if len(ndiags) != 1 || len(ndirs) != 0 {
+		t.Fatalf("nested: diags=%v directives=%v, want one finding, no directives", ndiags, ndirs)
+	}
+}

@@ -1,0 +1,292 @@
+// Package goroutinelife enforces goroutine joinability in the serving
+// runtime: every `go` statement in the concurrent packages must spawn a
+// goroutine that some shutdown path can wait out. The engine's drain
+// contract ("zero unaccounted packets, Served closes, Stop returns")
+// is only meaningful if no goroutine outlives the drain — a leaked
+// goroutine holds lane state, keeps fabrics warm, and turns every
+// restart into a slow leak.
+//
+// A spawned goroutine is considered joinable when its body (a function
+// literal, or the declaration of a same-package function/method) shows
+// one of:
+//
+//   - a sync.WaitGroup Done whose group is Wait()ed somewhere in the
+//     package;
+//   - closing a channel some other code in the package receives from
+//     (the `defer close(done)` datapath pattern — Stop blocks on it);
+//   - receiving from a channel the package closes (the watchdog
+//     pattern: `case <-done: return`);
+//   - sending its result on a channel the package receives from (the
+//     one-shot worker pattern);
+//   - selecting on a context's Done channel (context-governed
+//     lifetime; go vet's lostcancel covers the cancel leak).
+//
+// A `go` call into another package (whose body is not loadable) is
+// accepted when the package provably reaches a Close/Shutdown/Stop
+// call on the same receiver — `go hs.Serve(ln)` is joinable because
+// the drain path calls hs.Close(). Everything else is flagged.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wfqsort/internal/analysis"
+)
+
+// Analyzer is the goroutinelife analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelife",
+	Doc: "every go statement in the concurrent runtime must be joinable: " +
+		"tied to a WaitGroup, done channel, result channel, or context " +
+		"that a shutdown path reaches",
+	Run: run,
+}
+
+// LifecyclePackages lists the packages whose goroutines must be
+// joinable. Tests may load testdata packages under these paths.
+var LifecyclePackages = map[string]bool{
+	"wfqsort/internal/engine":     true,
+	"wfqsort/internal/supervisor": true,
+	"wfqsort/internal/sharded":    true,
+	"wfqsort/cmd/wfqd":            true,
+}
+
+// evidence is the package-wide join machinery: which WaitGroups are
+// waited, which channels are closed, received from, or sent to.
+type evidence struct {
+	waited   map[types.Object]bool // WaitGroup vars with a Wait() call
+	closed   map[types.Object]bool // channel vars passed to close()
+	received map[types.Object]bool // channel vars received from / ranged
+	funcs    map[*types.Func]*ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) error {
+	if !LifecyclePackages[pass.Pkg.Path()] {
+		return nil
+	}
+	ev := gather(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, ev, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+// chanVar resolves the variable object behind a channel expression
+// (ch, s.done, (s.done)); nil for call results and literals.
+func chanVar(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(x.Sel)
+	}
+	return nil
+}
+
+// gather indexes the package's join machinery and function bodies.
+func gather(pass *analysis.Pass) *evidence {
+	ev := &evidence{
+		waited:   map[types.Object]bool{},
+		closed:   map[types.Object]bool{},
+		received: map[types.Object]bool{},
+		funcs:    map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					ev.funcs[fn] = fd
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+						if v := chanVar(pass, n.Args[0]); v != nil {
+							ev.closed[v] = true
+						}
+					}
+					return true
+				}
+				fn := analysis.CalleeFunc(pass.TypesInfo, n)
+				if fn == nil || fn.Name() != "Wait" {
+					return true
+				}
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if analysis.IsNamed(pass.TypeOf(sel.X), "sync", "WaitGroup") {
+						if v := chanVar(pass, sel.X); v != nil {
+							ev.waited[v] = true
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					if v := chanVar(pass, n.X); v != nil {
+						ev.received[v] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						if v := chanVar(pass, n.X); v != nil {
+							ev.received[v] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return ev
+}
+
+// checkGo validates one go statement against the join evidence.
+func checkGo(pass *analysis.Pass, ev *evidence, gs *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		fn := analysis.CalleeFunc(pass.TypesInfo, gs.Call)
+		if fn != nil {
+			if fd, ok := ev.funcs[fn]; ok && fd.Body != nil {
+				body = fd.Body
+				break
+			}
+			// Cross-package spawn: joinable when the package reaches a
+			// Close/Shutdown/Stop on the same receiver.
+			if sel, ok := ast.Unparen(gs.Call.Fun).(*ast.SelectorExpr); ok {
+				if recv := chanVar(pass, sel.X); recv != nil && closedElsewhere(pass, recv) {
+					return
+				}
+			}
+			pass.Reportf(gs.Pos(),
+				"go %s.%s spawns an unjoinable goroutine: no Close/Shutdown/Stop on its receiver is reachable in this package",
+				pkgOf(fn), fn.Name())
+			return
+		}
+		pass.Reportf(gs.Pos(), "go statement spawns an unresolvable goroutine; tie it to a WaitGroup or done channel")
+		return
+	}
+	if joinable(pass, ev, body) {
+		return
+	}
+	pass.Reportf(gs.Pos(),
+		"goroutine is not joinable: no WaitGroup Done, done-channel close/receive, result send, or context governing its exit is visible from a shutdown path")
+}
+
+func pkgOf(fn *types.Func) string {
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name()
+	}
+	return "?"
+}
+
+// closedElsewhere reports whether the package calls Close, Shutdown, or
+// Stop on the object v (the cross-package spawn join contract).
+func closedElsewhere(pass *analysis.Pass, v types.Object) bool {
+	found := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Close" && name != "Shutdown" && name != "Stop" {
+				return true
+			}
+			if chanVar(pass, sel.X) == v {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// joinable scans a goroutine body for join evidence.
+func joinable(pass *analysis.Pass, ev *evidence, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				// close(ch) where ch is received elsewhere: the classic
+				// datapath `defer close(done)`.
+				if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+					if v := chanVar(pass, n.Args[0]); v != nil && ev.received[v] {
+						found = true
+					}
+				}
+				return !found
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Done":
+				recv := pass.TypeOf(sel.X)
+				// wg.Done() with a waited group joins; <-ctx.Done() is
+				// handled as a receive below, but a bare ctx.Done() select
+				// also counts.
+				if analysis.IsNamed(recv, "sync", "WaitGroup") {
+					if v := chanVar(pass, sel.X); v != nil && ev.waited[v] {
+						found = true
+					}
+				}
+				if recv != nil && analysis.IsNamed(recv, "context", "Context") {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				if v := chanVar(pass, n.X); v != nil && ev.closed[v] {
+					found = true
+				}
+				// <-ctx.Done()
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" &&
+						analysis.IsNamed(pass.TypeOf(sel.X), "context", "Context") {
+						found = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if v := chanVar(pass, n.Chan); v != nil && ev.received[v] {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					if v := chanVar(pass, n.X); v != nil && ev.closed[v] {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,36 @@
+package goroutinelife_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wfqsort/internal/analysis"
+	"wfqsort/internal/analysis/goroutinelife"
+)
+
+func TestGoroutinelife(t *testing.T) {
+	dir := filepath.Join("testdata", "lifecycle")
+	// Load the testdata under a lifecycle import path so the invariant
+	// applies to it.
+	analysis.RunTest(t, dir, "wfqsort/internal/engine", goroutinelife.Analyzer)
+}
+
+func TestGoroutinelifeScope(t *testing.T) {
+	// The same sources loaded outside the lifecycle package set produce
+	// no diagnostics: one-shot tools may fire-and-forget.
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "lifecycle"), "wfqsort/internal/oneshot")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{goroutinelife.Analyzer}, pkg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics, first: %s", len(diags), diags[0])
+	}
+}

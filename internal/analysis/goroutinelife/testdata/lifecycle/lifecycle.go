@@ -1,0 +1,126 @@
+// Package lifecycle is goroutinelife analyzer testdata. The harness
+// loads it under a lifecycle import path so the invariant applies.
+package lifecycle
+
+import (
+	"context"
+	"os"
+	"sync"
+
+	"wfqsort/internal/hwsim"
+)
+
+// daemon models the engine's goroutine topology: a WaitGroup-joined
+// worker, a done-channel datapath, a watchdog, and a one-shot result
+// worker.
+type daemon struct {
+	wg     sync.WaitGroup
+	done   chan struct{}
+	result chan int
+}
+
+// GoodWaitGroup: Done in the body, Wait reachable from Join.
+func (d *daemon) GoodWaitGroup(work func()) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		work()
+	}()
+}
+
+// Join is the shutdown path that waits the group out.
+func (d *daemon) Join() { d.wg.Wait() }
+
+// GoodDatapath closes the done channel on exit; Stop blocks on it.
+func (d *daemon) GoodDatapath(work func()) {
+	go func() {
+		defer close(d.done)
+		work()
+	}()
+}
+
+// Stop is the drain handshake.
+func (d *daemon) Stop() { <-d.done }
+
+// GoodWatchdog exits when the datapath closes done (receive-in-body,
+// close-in-package).
+func (d *daemon) GoodWatchdog() {
+	go func() {
+		<-d.done
+	}()
+}
+
+// GoodResult is the one-shot worker: its send is received by Collect.
+func (d *daemon) GoodResult() {
+	go func() {
+		d.result <- 1
+	}()
+}
+
+// Collect receives the one-shot result.
+func (d *daemon) Collect() int { return <-d.result }
+
+// loop is a named datapath goroutine joined through the done channel.
+func (d *daemon) loop() {
+	<-d.done
+}
+
+// GoodNamed spawns a same-package method whose body shows the join.
+func (d *daemon) GoodNamed() {
+	go d.loop()
+}
+
+// GoodContext is governed by its context's lifetime.
+func GoodContext(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// GoodExternal spawns a cross-package method, but the same package
+// reaches Close on the receiver, so shutdown joins it.
+func GoodExternal(f *os.File) {
+	go f.Sync()
+	_ = f.Close()
+}
+
+// BadFireAndForget leaks: nothing can wait this goroutine out.
+func BadFireAndForget(work func()) {
+	go func() { // want `goroutine is not joinable`
+		work()
+	}()
+}
+
+// BadOrphanSend sends on a channel no shutdown path receives.
+func BadOrphanSend() {
+	orphan := make(chan int)
+	go func() { // want `goroutine is not joinable`
+		orphan <- 1
+	}()
+	_ = orphan
+}
+
+// leak is a named goroutine with no join evidence in its body.
+func (d *daemon) leak(work func()) {
+	for {
+		work()
+	}
+}
+
+// BadNamed spawns the leaking method.
+func (d *daemon) BadNamed(work func()) {
+	go d.leak(work) // want `goroutine is not joinable`
+}
+
+// BadExternal spawns a cross-package method whose receiver is never
+// closed, shut down, or stopped here.
+func BadExternal(c *hwsim.Clock) {
+	go c.Tick() // want `go hwsim.Tick spawns an unjoinable goroutine: no Close/Shutdown/Stop on its receiver is reachable in this package`
+}

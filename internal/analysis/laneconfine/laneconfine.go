@@ -1,0 +1,362 @@
+// Package laneconfine enforces the lane-confinement invariant of the
+// parallel serving runtime: a lane's memory fabric, ports, clock domain,
+// and sorter belong to exactly one datapath goroutine. The paper's
+// scalability argument — and the ROADMAP's goroutine-per-lane refactor —
+// rest on lanes being fully independent clock/memory domains, so any
+// code path that lets a spawned goroutine reach a lane it does not own
+// silently reintroduces the shared-memory coupling the sharded design
+// removed.
+//
+// Four violation classes are flagged inside functions launched with
+// `go` (function literals; named datapath goroutines are covered by the
+// goroutinelife analyzer):
+//
+//  1. Captured lane resources: a closure that captures a
+//     membus.Fabric/Port/Region, hwsim.Clock, or core.Sorter — or a
+//     struct holding one (a lane record), or a slice of either — can
+//     touch lanes it does not own. Lane resources must arrive as
+//     goroutine parameters, which makes the ownership transfer explicit
+//     and single-lane.
+//  2. Captured fleet holders: capturing the struct that owns the
+//     per-lane array (e.g. the sharded sorter) hands the goroutine
+//     every lane at once.
+//  3. Cross-lane indexing: indexing a lane array with a captured
+//     variable or a constant selects a lane the goroutine was not
+//     given; the index must derive from the goroutine's own
+//     parameters.
+//  4. Unsynchronized shared writes: a goroutine spawned in a loop that
+//     writes a captured variable races its siblings unless the write
+//     lands in a parameter-indexed slot, the variable is atomic, or
+//     the closure locks a mutex.
+package laneconfine
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wfqsort/internal/analysis"
+)
+
+// Analyzer is the laneconfine analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "laneconfine",
+	Doc: "lane fabrics/ports/clocks/sorters are owned by one datapath " +
+		"goroutine: no captured lane resources, cross-lane indexing, or " +
+		"unsynchronized shared writes in go-closures",
+	Run: run,
+}
+
+// ConfinedPackages lists the concurrent runtime packages the invariant
+// applies to. Tests may load testdata packages under these paths.
+var ConfinedPackages = map[string]bool{
+	"wfqsort/internal/sharded":    true,
+	"wfqsort/internal/engine":     true,
+	"wfqsort/internal/supervisor": true,
+	"wfqsort/cmd/wfqd":            true,
+}
+
+// resourceTypes are the lane-scoped hardware-domain types.
+var resourceTypes = [][2]string{
+	{"wfqsort/internal/membus", "Fabric"},
+	{"wfqsort/internal/membus", "Region"},
+	{"wfqsort/internal/membus", "Port"},
+	{"wfqsort/internal/hwsim", "Clock"},
+	{"wfqsort/internal/core", "Sorter"},
+}
+
+// isResource reports whether t (after deref) is a lane-scoped
+// hardware-domain type.
+func isResource(t types.Type) bool {
+	for _, rt := range resourceTypes {
+		if analysis.IsNamed(t, rt[0], rt[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// elemOf unwraps one slice/array layer, or returns nil.
+func elemOf(t types.Type) types.Type {
+	switch u := analysis.Deref(t).Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	}
+	return nil
+}
+
+// isContainer reports whether t is a named struct holding a direct lane
+// resource field (a per-lane record like sharded's lane struct).
+func isContainer(t types.Type) bool {
+	st, ok := analysis.Deref(t).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	if _, named := analysis.Deref(t).(*types.Named); !named {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isResource(ft) {
+			return true
+		}
+		if e := elemOf(ft); e != nil && isResource(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFleetHolder reports whether t is a named struct owning a per-lane
+// array (a slice/array of lane containers or resources) — capturing it
+// hands a goroutine every lane at once.
+func isFleetHolder(t types.Type) bool {
+	st, ok := analysis.Deref(t).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	if _, named := analysis.Deref(t).(*types.Named); !named {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if e := elemOf(st.Field(i).Type()); e != nil && (isResource(e) || isContainer(e)) {
+			return true
+		}
+	}
+	return false
+}
+
+// classify names the lane-scoped kind of t, or "" when t is free to
+// capture.
+func classify(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	switch {
+	case isResource(t):
+		return "lane resource"
+	case isContainer(t):
+		return "lane record"
+	case isFleetHolder(t):
+		return "fleet holder (owns every lane)"
+	}
+	if e := elemOf(t); e != nil {
+		if isResource(e) || isContainer(e) {
+			return "lane array"
+		}
+	}
+	return ""
+}
+
+// isLaneSlice reports whether t is a slice/array whose elements are lane
+// resources or containers (the per-lane array).
+func isLaneSlice(t types.Type) bool {
+	e := elemOf(t)
+	return e != nil && (isResource(e) || isContainer(e))
+}
+
+func run(pass *analysis.Pass) error {
+	if !ConfinedPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkClosure(pass, f, gs, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// localTo reports whether the object obj is declared inside the literal
+// (parameter or body-local), i.e. owned by the spawned goroutine.
+func localTo(lit *ast.FuncLit, obj types.Object) bool {
+	return obj != nil && obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+}
+
+// checkClosure applies the four confinement rules to one go-closure.
+func checkClosure(pass *analysis.Pass, file *ast.File, gs *ast.GoStmt, lit *ast.FuncLit) {
+	// Rule 1+2: captured lane-scoped variables.
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || localTo(lit, v) || reported[v] {
+			return true
+		}
+		if kind := classify(v.Type()); kind != "" {
+			reported[v] = true
+			pass.Reportf(id.Pos(),
+				"go-closure captures %q, a %s; pass it as a goroutine parameter so ownership transfers to exactly one lane goroutine",
+				v.Name(), kind)
+		}
+		return true
+	})
+
+	// Rule 3: lane arrays indexed by anything the goroutine does not own.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		xt := pass.TypeOf(ix.X)
+		if xt == nil || !isLaneSlice(xt) {
+			return true
+		}
+		if _, isLit := ast.Unparen(ix.Index).(*ast.BasicLit); isLit {
+			pass.Reportf(ix.Pos(),
+				"go-closure selects a fixed lane by constant index; the owned lane must arrive as a goroutine parameter")
+			return true
+		}
+		bad := false
+		ast.Inspect(ix.Index, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && !v.IsField() && !localTo(lit, v) {
+				bad = true
+			}
+			return !bad
+		})
+		if bad {
+			pass.Reportf(ix.Pos(),
+				"go-closure indexes the lane array with a captured variable (cross-lane reach); derive the index from a goroutine parameter")
+		}
+		return true
+	})
+
+	// Rule 4: unsynchronized writes to captured variables from a
+	// goroutine spawned in a loop (sibling goroutines race). A write
+	// into a parameter-indexed slot is disjoint per goroutine; a closure
+	// that locks a mutex is assumed to guard its shared writes
+	// (locksafe audits what happens under that lock).
+	if !insideLoop(file, gs) || locksMutex(pass, lit) {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return st == lit
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				checkSharedWrite(pass, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkSharedWrite(pass, lit, st.X)
+		}
+		return true
+	})
+}
+
+// checkSharedWrite flags a write whose destination is captured state not
+// provably disjoint between sibling goroutines.
+func checkSharedWrite(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	// A parameter-indexed slot (errs[i] with i a goroutine parameter, or
+	// a write through a pointer parameter) is disjoint by construction.
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		disjoint := true
+		ast.Inspect(ix.Index, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && !v.IsField() && !localTo(lit, v) {
+					disjoint = false
+				}
+			}
+			return disjoint
+		})
+		if disjoint {
+			return
+		}
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	v, ok := pass.TypesInfo.Uses[root].(*types.Var)
+	if !ok || localTo(lit, v) {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"looped go-closure writes captured %q without a lock or atomic; sibling lane goroutines race on it",
+		v.Name())
+}
+
+// rootIdent returns the base identifier of an lvalue (x, x.f, x[i]).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// insideLoop reports whether the go statement executes inside a
+// for/range loop of file (so more than one sibling goroutine can
+// exist).
+func insideLoop(file *ast.File, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n.Pos() <= gs.Pos() && gs.End() <= n.End() {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// locksMutex reports whether the closure body calls Lock/RLock on a
+// sync mutex (its shared writes are then audited by locksafe, not
+// here).
+func locksMutex(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || (fn.Name() != "Lock" && fn.Name() != "RLock") {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,37 @@
+package laneconfine_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wfqsort/internal/analysis"
+	"wfqsort/internal/analysis/laneconfine"
+)
+
+func TestLaneconfine(t *testing.T) {
+	dir := filepath.Join("testdata", "confined")
+	// Load the testdata under a confined import path so the invariant
+	// applies to it.
+	analysis.RunTest(t, dir, "wfqsort/internal/sharded", laneconfine.Analyzer)
+}
+
+func TestLaneconfineScope(t *testing.T) {
+	// The same sources loaded outside the confined package set produce
+	// no diagnostics: single-goroutine tools and benches may capture
+	// fabrics freely.
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "confined"), "wfqsort/internal/notconfined")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{laneconfine.Analyzer}, pkg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics, first: %s", len(diags), diags[0])
+	}
+}

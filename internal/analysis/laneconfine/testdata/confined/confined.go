@@ -1,0 +1,155 @@
+// Package confined is laneconfine analyzer testdata. The harness loads
+// it under a confined import path so the invariant applies.
+package confined
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"wfqsort/internal/core"
+	"wfqsort/internal/hwsim"
+	"wfqsort/internal/membus"
+)
+
+// lane is a per-lane record: it holds direct lane resources, so the
+// analyzer classifies it as a lane record.
+type lane struct {
+	clock  *hwsim.Clock
+	fab    *membus.Fabric
+	sorter *core.Sorter
+	ops    uint64
+}
+
+// fleet owns the per-lane array: capturing it hands a goroutine every
+// lane at once.
+type fleet struct {
+	lanes []*lane
+	mu    sync.Mutex
+	total uint64
+}
+
+// BadCaptureResource captures a lane fabric instead of receiving it as
+// a parameter.
+func BadCaptureResource(fab *membus.Fabric, done chan struct{}) {
+	go func() {
+		_ = fab // want `go-closure captures "fab", a lane resource`
+		close(done)
+	}()
+	<-done
+}
+
+// BadCaptureRecord captures a whole lane record.
+func BadCaptureRecord(ln *lane, done chan struct{}) {
+	go func() {
+		ln.ops++ // want `go-closure captures "ln", a lane record`
+		close(done)
+	}()
+	<-done
+}
+
+// BadCaptureFleet captures the fleet holder, reaching every lane.
+func BadCaptureFleet(f *fleet, done chan struct{}) {
+	go func() {
+		_ = f.lanes // want `go-closure captures "f", a fleet holder \(owns every lane\)`
+		close(done)
+	}()
+	<-done
+}
+
+// BadCaptureArray captures the per-lane array itself.
+func BadCaptureArray(lanes []*lane, done chan struct{}) {
+	go func() {
+		_ = lanes // want `go-closure captures "lanes", a lane array`
+		close(done)
+	}()
+	<-done
+}
+
+// BadConstIndex receives the lane array as a parameter but then picks a
+// fixed lane, so the goroutine's ownership is not parameter-derived.
+func BadConstIndex(lanes []*lane, done chan struct{}) {
+	go func(ls []*lane) {
+		_ = ls[0] // want `go-closure selects a fixed lane by constant index`
+		close(done)
+	}(lanes)
+	<-done
+}
+
+// BadCrossIndex indexes the lane array with a captured loop variable:
+// the classic cross-lane reach.
+func BadCrossIndex(lanes []*lane, done chan struct{}) {
+	j := 1
+	go func(ls []*lane) {
+		_ = ls[j] // want `go-closure indexes the lane array with a captured variable \(cross-lane reach\)`
+		close(done)
+	}(lanes)
+	<-done
+}
+
+// BadSharedWrite spawns sibling goroutines in a loop that all write the
+// same captured variable with no lock or atomic.
+func BadSharedWrite(n int, done chan struct{}) {
+	total := uint64(0)
+	for i := 0; i < n; i++ {
+		go func() {
+			total++ // want `looped go-closure writes captured "total" without a lock or atomic`
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	_ = total
+}
+
+// GoodParamLanes is the blessed shape: each goroutine receives its own
+// lane, its own index, and its own result slot as parameters, so
+// ownership transfer is explicit and writes are disjoint.
+func GoodParamLanes(lanes []*lane, errs []error, done chan struct{}) {
+	var wg sync.WaitGroup
+	for i := range lanes {
+		wg.Add(1)
+		go func(i int, ln *lane, errp *error) {
+			defer wg.Done()
+			ln.ops++
+			errs[i] = nil
+			*errp = nil
+			done <- struct{}{}
+		}(i, lanes[i], &errs[i])
+	}
+	wg.Wait()
+}
+
+// GoodLockedWrite guards the shared captured counter with a mutex;
+// locksafe audits what happens under the lock.
+func GoodLockedWrite(n int, done chan struct{}) {
+	var mu sync.Mutex
+	total := uint64(0)
+	for i := 0; i < n; i++ {
+		go func() {
+			mu.Lock()
+			total++
+			mu.Unlock()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	_ = total
+}
+
+// GoodAtomicWrite uses an atomic counter: method calls are not plain
+// writes, and atomic.Uint64 is not lane-scoped state.
+func GoodAtomicWrite(n int, done chan struct{}) {
+	var total atomic.Uint64
+	for i := 0; i < n; i++ {
+		go func() {
+			total.Add(1)
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

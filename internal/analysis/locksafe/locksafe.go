@@ -1,0 +1,363 @@
+// Package locksafe enforces the no-blocking-under-lock discipline the
+// serving runtime's liveness depends on. The engine's drain handshake
+// and the supervisor's repair loop both assume that any goroutine
+// holding a mutex is a bounded critical section: a channel operation,
+// a sleep, or a blocking fabric window inside one turns a lock into a
+// latency cliff (every Stats scrape stalls behind it) or a deadlock
+// (the datapath blocks on a channel whose consumer needs the lock).
+//
+// Three rules:
+//
+//  1. While a sync.Mutex/RWMutex is lexically held — Lock/RLock called
+//     and not yet unlocked on that path (a deferred Unlock holds the
+//     lock to function exit) — no channel send, channel receive, range
+//     over a channel, select without a default, time.Sleep, or
+//     membus BeginWindow may execute.
+//  2. sync.Cond.Wait must sit inside a for loop re-checking its
+//     predicate: a bare if+Wait misses spurious wakeups.
+//  3. A field passed to the sync/atomic package-level functions must
+//     never also be accessed as a plain load or store — mixed access
+//     is a data race the race detector only catches when the schedule
+//     cooperates, and the conservation ledger must be all-atomic.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wfqsort/internal/analysis"
+)
+
+// Analyzer is the locksafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: "no channel ops, sleeps, or blocking fabric windows while a " +
+		"mutex is held; cond.Wait only inside a for loop; no field " +
+		"accessed both atomically and non-atomically",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Every function body — declarations and literals — is an
+		// independent critical-section scope: a closure's body runs on
+		// its own goroutine or call path, not under the spawner's lock.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scanStmts(pass, n.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				scanStmts(pass, n.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+		checkCondWait(pass, f)
+	}
+	checkMixedAtomics(pass)
+	return nil
+}
+
+// mutexMethod classifies a call as Lock/RLock/Unlock/RUnlock on a sync
+// mutex and returns the lexical key of the mutex expression.
+func mutexMethod(pass *analysis.Pass, call *ast.CallExpr) (key, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", ""
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+// scanStmts walks a statement list tracking which mutexes are lexically
+// held. Branch bodies get copies of the held set; the straight-line
+// suffix after an if/for keeps the pre-branch state (the conservative
+// lexical approximation: a Lock inside a branch is assumed balanced
+// inside it).
+func scanStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, st := range stmts {
+		scanStmt(pass, st, held)
+	}
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func scanStmt(pass *analysis.Pass, st ast.Stmt, held map[string]token.Pos) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, m := mutexMethod(pass, call); key != "" {
+				switch m {
+				case "Lock", "RLock":
+					held[key] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return
+			}
+		}
+		scanExpr(pass, st.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function exit, so
+		// the held set is deliberately NOT cleared: everything after it
+		// still runs under the lock.
+		if key, m := mutexMethod(pass, st.Call); key != "" && (m == "Lock" || m == "RLock") {
+			held[key] = st.Call.Pos()
+			return
+		}
+		for _, a := range st.Call.Args {
+			scanExpr(pass, a, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			scanExpr(pass, e, held)
+		}
+		for _, e := range st.Lhs {
+			scanExpr(pass, e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			scanExpr(pass, e, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			pass.Reportf(st.Pos(),
+				"channel send while mutex %q is held; move the send outside the critical section",
+				oneHeld(held))
+		}
+		scanExpr(pass, st.Value, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			scanStmt(pass, st.Init, held)
+		}
+		scanExpr(pass, st.Cond, held)
+		scanStmts(pass, st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			scanStmt(pass, st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			scanStmt(pass, st.Init, held)
+		}
+		if st.Cond != nil {
+			scanExpr(pass, st.Cond, held)
+		}
+		scanStmts(pass, st.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t := pass.TypeOf(st.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pass.Reportf(st.Pos(),
+						"range over a channel while mutex %q is held; the loop blocks until the channel closes",
+						oneHeld(held))
+				}
+			}
+		}
+		scanExpr(pass, st.X, held)
+		scanStmts(pass, st.Body.List, copyHeld(held))
+	case *ast.SelectStmt:
+		if len(held) > 0 && !hasDefault(st) {
+			pass.Reportf(st.Pos(),
+				"blocking select (no default) while mutex %q is held", oneHeld(held))
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				scanStmts(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			scanStmt(pass, st.Init, held)
+		}
+		if st.Tag != nil {
+			scanExpr(pass, st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanStmts(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanStmts(pass, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		scanStmts(pass, st.List, copyHeld(held))
+	case *ast.LabeledStmt:
+		scanStmt(pass, st.Stmt, held)
+	case *ast.GoStmt:
+		// The spawned body runs on its own goroutine, not under this
+		// lock; its own scan starts with an empty held set. Arguments
+		// evaluate here, though.
+		for _, a := range st.Call.Args {
+			scanExpr(pass, a, held)
+		}
+	case *ast.IncDecStmt:
+		scanExpr(pass, st.X, held)
+	}
+}
+
+// scanExpr flags blocking expressions evaluated while a lock is held.
+// FuncLit bodies are skipped: they run elsewhere.
+func scanExpr(pass *analysis.Pass, e ast.Expr, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(),
+					"channel receive while mutex %q is held; move the receive outside the critical section",
+					oneHeld(held))
+			}
+		case *ast.CallExpr:
+			if analysis.IsPkgFunc(pass.TypesInfo, n, "time", "Sleep") {
+				pass.Reportf(n.Pos(),
+					"time.Sleep while mutex %q is held turns the lock into a latency cliff; release it first",
+					oneHeld(held))
+				return true
+			}
+			if fn := analysis.CalleeFunc(pass.TypesInfo, n); fn != nil && fn.Name() == "BeginWindow" {
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+					analysis.IsNamed(pass.TypeOf(sel.X), "wfqsort/internal/membus", "Region") {
+					pass.Reportf(n.Pos(),
+						"membus window opened while mutex %q is held; the arbiter window is a blocking section",
+						oneHeld(held))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// oneHeld returns the earliest-acquired held mutex key (deterministic
+// pick for the message).
+func oneHeld(held map[string]token.Pos) string {
+	best := ""
+	var bestPos token.Pos
+	for k, p := range held {
+		if best == "" || p < bestPos || (p == bestPos && k < best) {
+			best, bestPos = k, p
+		}
+	}
+	return best
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCondWait flags sync.Cond Wait calls not enclosed by a for loop.
+func checkCondWait(pass *analysis.Pass, f *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Wait" {
+			return true
+		}
+		if !analysis.IsNamed(pass.TypeOf(sel.X), "sync", "Cond") {
+			return true
+		}
+		// Walk enclosing nodes down to the nearest function boundary
+		// looking for a for loop.
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return true
+			case *ast.FuncDecl, *ast.FuncLit:
+				i = -1
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"cond.Wait outside a for loop misses spurious wakeups; re-check the predicate in a loop")
+		return true
+	})
+}
+
+// checkMixedAtomics flags fields accessed both through sync/atomic
+// package functions and as plain loads/stores.
+func checkMixedAtomics(pass *analysis.Pass) {
+	atomicFields := map[types.Object]bool{}
+	atomicSites := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, a := range call.Args {
+				u, ok := ast.Unparen(a).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v, ok := pass.ObjectOf(sel.Sel).(*types.Var); ok && v.IsField() {
+					atomicFields[v] = true
+					atomicSites[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSites[sel] {
+				return true
+			}
+			v, ok := pass.ObjectOf(sel.Sel).(*types.Var)
+			if !ok || !v.IsField() || !atomicFields[v] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %q is accessed with sync/atomic elsewhere; this plain access races it — make every access atomic",
+				v.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,16 @@
+package locksafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wfqsort/internal/analysis"
+	"wfqsort/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	// locksafe is not package-scoped: a blocking critical section is
+	// wrong anywhere in the tree.
+	dir := filepath.Join("testdata", "locked")
+	analysis.RunTest(t, dir, "wfqsort/internal/locked", locksafe.Analyzer)
+}

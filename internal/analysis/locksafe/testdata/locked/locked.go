@@ -1,0 +1,124 @@
+// Package locked is locksafe analyzer testdata: critical sections that
+// block, cond.Wait misuse, and mixed atomic/plain field access.
+package locked
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfqsort/internal/membus"
+)
+
+type svc struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ch    chan int
+	ready bool
+}
+
+// BadSendHeld sends on a channel inside the critical section.
+func (s *svc) BadSendHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while mutex "s.mu" is held`
+	s.mu.Unlock()
+}
+
+// GoodSendAfterUnlock releases the lock before the send.
+func (s *svc) GoodSendAfterUnlock() {
+	s.mu.Lock()
+	s.ready = true
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+// BadRecvDeferred: a deferred Unlock holds the lock to function exit,
+// so the receive blocks under it.
+func (s *svc) BadRecvDeferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while mutex "s.mu" is held`
+}
+
+// BadSleepHeld turns the lock into a latency cliff.
+func (s *svc) BadSleepHeld() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while mutex "s.mu" is held`
+	s.mu.Unlock()
+}
+
+// BadSelectHeld blocks in select with the lock held.
+func (s *svc) BadSelectHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select \(no default\) while mutex "s.mu" is held`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// GoodSelectDefault polls without blocking: legal under the lock.
+func (s *svc) GoodSelectDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// BadWindowHeld opens a blocking fabric arbiter window under the lock.
+func (s *svc) BadWindowHeld(r *membus.Region) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.BeginWindow() // want `membus window opened while mutex "s.mu" is held`
+}
+
+// GoodWindowUnlocked opens the window after releasing the lock.
+func (s *svc) GoodWindowUnlocked(r *membus.Region) {
+	s.mu.Lock()
+	s.ready = true
+	s.mu.Unlock()
+	r.BeginWindow()
+	r.EndWindow()
+}
+
+// BadCondWait re-checks nothing: a spurious wakeup slips through.
+func (s *svc) BadCondWait() {
+	s.mu.Lock()
+	if !s.ready {
+		s.cond.Wait() // want `cond.Wait outside a for loop misses spurious wakeups`
+	}
+	s.mu.Unlock()
+}
+
+// GoodCondWait re-checks the predicate in a loop.
+func (s *svc) GoodCondWait() {
+	s.mu.Lock()
+	for !s.ready {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// counter mixes atomic and plain access to the same field.
+type counter struct {
+	n uint64
+}
+
+// BadMixed reads n plainly while other code adds to it atomically.
+func (c *counter) BadMixed() uint64 {
+	atomic.AddUint64(&c.n, 1)
+	return c.n // want `field "n" is accessed with sync/atomic elsewhere; this plain access races it`
+}
+
+// allAtomic keeps every access atomic.
+type allAtomic struct {
+	n uint64
+}
+
+// GoodAllAtomic is the clean counterpart.
+func (c *allAtomic) GoodAllAtomic() uint64 {
+	atomic.AddUint64(&c.n, 1)
+	return atomic.LoadUint64(&c.n)
+}

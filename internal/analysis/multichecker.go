@@ -14,6 +14,46 @@ type CheckResult struct {
 	Diagnostics []Diagnostic
 	// Packages is the number of packages analyzed.
 	Packages int
+	// Directives is every suppression directive parsed across all
+	// packages, with usage bits (position-sorted).
+	Directives []*Directive
+}
+
+// Budget returns the suppression budget: how many justified directives
+// name each analyzer (the "all" wildcard counts under "all").
+func (r *CheckResult) Budget() map[string]int {
+	b := map[string]int{}
+	for _, d := range r.Directives {
+		b[d.Analyzer]++
+	}
+	return b
+}
+
+// Stale returns the directives that suppressed nothing during the run
+// and whose named analyzer actually ran (ran lists the analyzer names;
+// a directive naming an analyzer outside the full known set is always
+// stale — it can never suppress anything). Stale directives are CI
+// failures: either the finding they excused is gone, or the name is a
+// typo and something real is being silently waved through.
+func (r *CheckResult) Stale(ran, known []string) []*Directive {
+	ranSet := map[string]bool{}
+	for _, n := range ran {
+		ranSet[n] = true
+	}
+	knownSet := map[string]bool{"all": true, "directive": true}
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	var stale []*Directive
+	for _, d := range r.Directives {
+		if d.Used {
+			continue
+		}
+		if d.Analyzer == "all" || ranSet[d.Analyzer] || !knownSet[d.Analyzer] {
+			stale = append(stale, d)
+		}
+	}
+	return stale
 }
 
 // Check expands the given package patterns (import paths relative to the
@@ -42,11 +82,12 @@ func Check(analyzers []*Analyzer, dir string, patterns []string) (*CheckResult, 
 		if err != nil {
 			return nil, err
 		}
-		diags, err := Run(analyzers, pkg)
+		diags, dirs, err := RunPackage(analyzers, pkg)
 		if err != nil {
 			return nil, err
 		}
 		res.Diagnostics = append(res.Diagnostics, diags...)
+		res.Directives = append(res.Directives, dirs...)
 		res.Packages++
 	}
 	sort.Slice(res.Diagnostics, func(i, j int) bool {
@@ -58,6 +99,13 @@ func Check(analyzers []*Analyzer, dir string, patterns []string) (*CheckResult, 
 			return a.Pos.Line < b.Pos.Line
 		}
 		return a.Analyzer < b.Analyzer
+	})
+	sort.Slice(res.Directives, func(i, j int) bool {
+		a, b := res.Directives[i], res.Directives[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
 	})
 	return res, nil
 }

@@ -1,0 +1,7 @@
+// Package buildtags is loader testdata: one symbol per buildable file,
+// and deliberately redeclared symbols in the excluded files, so a
+// loader that mis-evaluates a //go:build line fails type-check loudly.
+package buildtags
+
+// Keep is defined in the unconstrained file.
+func Keep() int { return 1 }

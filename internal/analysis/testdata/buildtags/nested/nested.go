@@ -1,0 +1,8 @@
+//go:build go1.18
+
+// Package nested checks constraint evaluation below the top fixture
+// level: nested testdata packages load independently.
+package nested
+
+// Value is served from the constraint-true file.
+func Value() int { return 42 }

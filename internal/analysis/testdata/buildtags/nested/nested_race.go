@@ -1,0 +1,6 @@
+//go:build race
+
+package nested
+
+// Value redeclared: inclusion of this file is a loader bug.
+func Value() int { return -42 }

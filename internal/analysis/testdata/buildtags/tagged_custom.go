@@ -1,0 +1,7 @@
+//go:build wfqlint_never_set
+
+package buildtags
+
+// KeepTagged redeclares the tagged-true symbol under a custom tag the
+// loader must treat as unset.
+func KeepTagged() int { return -1 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package buildtags
+
+// Keep redeclares the unconstrained symbol: if the loader wrongly
+// includes the race half of the pair, type-checking fails.
+func Keep() int { return -1 }

@@ -1,0 +1,7 @@
+//go:build go1.18 && (unix || windows)
+
+package buildtags
+
+// KeepTagged is defined in a file whose constraint evaluates true on
+// every supported host.
+func KeepTagged() int { return Keep() + 1 }

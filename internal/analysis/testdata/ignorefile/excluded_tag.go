@@ -1,0 +1,7 @@
+//go:build wfqlint_never_set
+
+package ignorefile
+
+// Excluded is behind an unset custom tag: if the loader includes this
+// file, the probe fires on it and the containment test fails.
+func Excluded() int { return 3 }

@@ -1,0 +1,9 @@
+//wfqlint:ignore-file probe this file is excused as containment testdata
+
+// Package ignorefile is directive-containment testdata: the probe
+// analyzer fires once per file, and only this file's directive may
+// swallow its finding.
+package ignorefile
+
+// Excused lives in the directive-carrying file.
+func Excused() int { return 1 }

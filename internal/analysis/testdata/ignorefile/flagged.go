@@ -1,0 +1,5 @@
+package ignorefile
+
+// Flagged lives in the bare file: the sibling's file-scope directive
+// must not reach it.
+func Flagged() int { return 2 }

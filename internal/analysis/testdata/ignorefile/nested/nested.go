@@ -1,0 +1,6 @@
+// Package nested sits below a directive-carrying package: the parent's
+// file-scope directive must not leak down here.
+package nested
+
+// Open is flagged by the probe: no directive covers this package.
+func Open() int { return 4 }

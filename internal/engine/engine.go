@@ -274,11 +274,17 @@ type Stats struct {
 	Extracted uint64
 	FaultLost uint64
 
-	// Batching effectiveness of the drain loop.
-	Batches       uint64
-	BatchedOps    uint64
-	MaxBatch      int
-	Recoveries    uint64
+	// Batching effectiveness of the drain loop. Pure telemetry: these
+	// count datapath iterations, not packets, so they stay outside the
+	// conservation identity by design.
+	//wfqlint:ignore conservation batching telemetry counts drain iterations, not packets
+	Batches uint64
+	//wfqlint:ignore conservation batching telemetry counts sorter ops, not packets
+	BatchedOps uint64
+	MaxBatch   int
+	//wfqlint:ignore conservation recovery telemetry counts fault events, not packets
+	Recoveries uint64
+	//wfqlint:ignore conservation idle telemetry counts empty drain polls, not packets
 	DatapathIdles uint64
 
 	// Fault-domain accounting (DESIGN.md §12). Remapped counts packets
@@ -289,11 +295,13 @@ type Stats struct {
 	// corrupted payload reference no longer mapped to a live slot (the
 	// underlying packet is accounted in FaultLost when its orphaned slot
 	// reconciles); DatapathPanics counts contained panics.
-	Remapped       uint64
-	Evacuated      uint64
-	DrainShed      uint64
-	GhostDrops     uint64
-	WatchdogTrips  uint64
+	Remapped   uint64
+	Evacuated  uint64
+	DrainShed  uint64
+	GhostDrops uint64
+	//wfqlint:ignore conservation watchdog telemetry counts trips, not packets
+	WatchdogTrips uint64
+	//wfqlint:ignore conservation panic telemetry counts contained panics, not packets
 	DatapathPanics uint64
 	Supervision    supervisor.Stats
 
@@ -305,6 +313,7 @@ type Stats struct {
 
 	// Enqueue-to-extract wall-clock latency over (up to) the most recent
 	// latencyWindow extractions.
+	//wfqlint:ignore conservation latency telemetry over a sliding sample window, not packet accounting
 	LatencyCount  uint64
 	LatencyMeanNs float64
 	LatencyP99Ns  float64
@@ -312,8 +321,10 @@ type Stats struct {
 
 	// Modelled-hardware view: the sharded cycle accounting underneath
 	// the wall-clock numbers (DESIGN.md §11 relates the two).
-	WindowCycles  int
+	WindowCycles int
+	//wfqlint:ignore conservation modelled-cycle gauge, not a packet counter
 	MaxLaneCycles uint64
+	//wfqlint:ignore conservation modelled-cycle gauge, not a packet counter
 	SumLaneCycles uint64
 	ModelSpeedup  float64
 	ModeledMpps   float64

@@ -336,17 +336,20 @@ func (s *ShardedSorter) InsertBatch(reqs []Request) (maxLaneCycles uint64, err e
 		}
 		starts[i] = s.lanes[i].clock.Now()
 		wg.Add(1)
-		go func(i int, batch []Request) {
+		// The goroutine receives its lane and result slot as parameters
+		// (never capturing s or the lane array), so ownership of exactly
+		// one lane transfers to exactly one goroutine — the laneconfine
+		// contract the parallel datapath depends on.
+		go func(i int, ln *lane, batch []Request, errp *error) {
 			defer wg.Done()
-			ln := s.lanes[i]
 			for _, r := range batch {
 				if err := ln.sorter.Insert(r.Tag, r.Payload); err != nil {
-					errs[i] = fmt.Errorf("sharded: lane %d: insert tag %d: %w", i, r.Tag, err)
+					*errp = fmt.Errorf("sharded: lane %d: insert tag %d: %w", i, r.Tag, err)
 					return
 				}
 				ln.inserts++
 			}
-		}(i, batch)
+		}(i, s.lanes[i], batch, &errs[i])
 	}
 	wg.Wait()
 	// Deterministic post-processing in lane order: first error by lane
