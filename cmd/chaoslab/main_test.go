@@ -19,6 +19,44 @@ func TestRunUnknownScenario(t *testing.T) {
 	}
 }
 
+// TestCorruptBurstCampaign runs the corrupt-burst scenario as a package
+// test (CI runs it under -race): repeated bursts into lane 0 push it
+// through quarantine and reinstate while the parallel datapath keeps
+// serving. finish() asserts the exact conservation identity
+// (Inserted == Extracted + FaultLost, Submitted == Inserted, empty
+// rings and sorters); the output marker pins the readiness flip-flop.
+func TestCorruptBurstCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "corrupt-burst", "-seed", "7", "-packets", "1500"}, &sb); err != nil {
+		t.Fatalf("corrupt-burst failed: %v\noutput:\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "ready flipped true→false→true") {
+		t.Fatalf("corrupt-burst output missing the readiness flip-flop marker:\n%s", sb.String())
+	}
+}
+
+// TestLaneStallCampaign runs the lane-stall scenario as a package test
+// (CI runs it under -race): a stalling tag store flips the engine
+// through stalled and back with zero loss — the per-lane stall
+// detection must flag exactly the wedged lane without shedding anything
+// (finish() enforces lost == 0 via the conservation identity).
+func TestLaneStallCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "lane-stall", "-seed", "11", "-packets", "1500"}, &sb); err != nil {
+		t.Fatalf("lane-stall failed: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "lane-stall OK") || !strings.Contains(out, "lost=0") {
+		t.Fatalf("lane-stall output missing the lossless-recovery markers:\n%s", out)
+	}
+}
+
 // TestCampaignAll runs the full campaign at reduced packet count — the
 // same assertions CI's chaos smoke runs under -race.
 func TestCampaignAll(t *testing.T) {

@@ -18,7 +18,16 @@
 // (internal/engine): a sustained phase measures end-to-end ops/s and p99
 // enqueue-to-extract latency under PolicyBlock, then an overload phase
 // offers 2× the measured sustained rate under PolicyDropTail and
-// reports the shed fraction; with -json it writes BENCH_engine.json.
+// reports the shed fraction, then a GOMAXPROCS scaling sweep (1, 2, 4,
+// 8) re-runs the sustained phase at each parallelism level and reports
+// the speedup curve of the per-lane datapath; with -json it writes
+// BENCH_engine.json (schema wfqsort/bench-engine/v2 — the num_cpu field
+// records how many cores the curve actually had available).
+//
+// With -engine-smoke it runs a reduced two-point scaling check (1 vs 4
+// procs) and fails unless 4 procs beat 1 proc by 1.5×; on hosts with
+// fewer than 4 CPUs the check is skipped, since a scaling assertion
+// without cores to scale onto measures the scheduler, not the engine.
 //
 // Usage:
 //
@@ -26,6 +35,7 @@
 //	sortbench -sharded [-json BENCH_sharded.json] [-seed S]
 //	sortbench -membus [-json BENCH_membus.json] [-seed S]
 //	sortbench -engine [-json BENCH_engine.json] [-seed S]
+//	sortbench -engine-smoke [-seed S]
 package main
 
 import (
@@ -66,7 +76,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "workload seed")
 	shardedMode := flag.Bool("sharded", false, "benchmark the sharded multi-lane sorter across lane counts")
 	membusMode := flag.Bool("membus", false, "benchmark the memory fabric across tag-store technologies")
-	engineMode := flag.Bool("engine", false, "benchmark the concurrent serving engine (sustained + 2x overload)")
+	engineMode := flag.Bool("engine", false, "benchmark the concurrent serving engine (sustained + 2x overload + GOMAXPROCS scaling sweep)")
+	engineSmoke := flag.Bool("engine-smoke", false, "reduced 1-vs-4-proc engine scaling check (CI gate; skipped below 4 CPUs)")
 	jsonPath := flag.String("json", "", "with -sharded, -membus, or -engine: also write machine-readable results to this file")
 	flag.Parse()
 
@@ -78,6 +89,9 @@ func run() error {
 	}
 	if *engineMode {
 		return runEngine(*seed, *jsonPath)
+	}
+	if *engineSmoke {
+		return runEngineSmoke(*seed)
 	}
 
 	var profile traffic.TagProfile
@@ -464,21 +478,37 @@ type enginePhaseResult struct {
 	ModeledMpps  float64 `json:"modeled_mpps"`
 }
 
-// engineReport is the BENCH_engine.json document.
-type engineReport struct {
-	Schema     string              `json:"schema"`
-	Seed       int64               `json:"seed"`
-	Lanes      int                 `json:"lanes"`
-	Producers  int                 `json:"producers"`
-	Ops        int                 `json:"ops"`
-	NumCPU     int                 `json:"num_cpu"`
-	GoMaxProcs int                 `json:"gomaxprocs"`
-	Results    []enginePhaseResult `json:"results"`
+// engineScalingResult is one GOMAXPROCS point of the scaling curve:
+// the sustained phase re-run at a fixed parallelism level. SpeedupVs1
+// normalizes against this run's own 1-proc point, so the curve is
+// meaningful even when absolute throughput moves between hosts.
+type engineScalingResult struct {
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	P99LatencyNs float64 `json:"p99_latency_ns"`
+	SpeedupVs1   float64 `json:"speedup_vs_1proc"`
 }
+
+// engineReport is the BENCH_engine.json document
+// (schema wfqsort/bench-engine/v2: v1 plus the scaling sweep).
+type engineReport struct {
+	Schema     string                `json:"schema"`
+	Seed       int64                 `json:"seed"`
+	Lanes      int                   `json:"lanes"`
+	Producers  int                   `json:"producers"`
+	Ops        int                   `json:"ops"`
+	NumCPU     int                   `json:"num_cpu"`
+	GoMaxProcs int                   `json:"gomaxprocs"`
+	Results    []enginePhaseResult   `json:"results"`
+	Scaling    []engineScalingResult `json:"scaling"`
+}
+
+// engineScalingProcs is the GOMAXPROCS sweep of the scaling curve.
+var engineScalingProcs = []int{1, 2, 4, 8}
 
 func runEngine(seed int64, jsonPath string) error {
 	report := engineReport{
-		Schema:     "wfqsort/bench-engine/v1",
+		Schema:     "wfqsort/bench-engine/v2",
 		Seed:       seed,
 		Lanes:      engineLanes,
 		Producers:  engineProducers,
@@ -490,16 +520,34 @@ func runEngine(seed int64, jsonPath string) error {
 		engineLanes, engineProducers, engineOps, seed)
 	fmt.Printf("(sustained phase blocks on backpressure; overload phase offers 2x sustained with tail drop)\n\n")
 
-	sustained, err := benchEnginePhase(seed, engine.PolicyBlock, 0)
+	sustained, err := benchEnginePhase(seed, engine.PolicyBlock, 0, engineOps)
 	if err != nil {
 		return err
 	}
 	report.Results = append(report.Results, sustained)
-	overload, err := benchEnginePhase(seed, engine.PolicyDropTail, 2*sustained.OpsPerSec)
+	overload, err := benchEnginePhase(seed, engine.PolicyDropTail, 2*sustained.OpsPerSec, engineOps)
 	if err != nil {
 		return err
 	}
 	report.Results = append(report.Results, overload)
+
+	for _, procs := range engineScalingProcs {
+		r, err := benchEngineAtProcs(seed, procs, engineOps)
+		if err != nil {
+			return err
+		}
+		pt := engineScalingResult{
+			GoMaxProcs:   procs,
+			OpsPerSec:    r.OpsPerSec,
+			P99LatencyNs: r.P99LatencyNs,
+		}
+		if base := report.Scaling; len(base) > 0 && base[0].OpsPerSec > 0 {
+			pt.SpeedupVs1 = pt.OpsPerSec / base[0].OpsPerSec
+		} else {
+			pt.SpeedupVs1 = 1
+		}
+		report.Scaling = append(report.Scaling, pt)
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "phase\tpolicy\toffered/s\tserved ops/s\tdrop rate\tp99 latency\tmean latency\tavg batch")
@@ -513,6 +561,17 @@ func runEngine(seed int64, jsonPath string) error {
 	}
 	fmt.Printf("\nsustained %.0f ops/s; at 2x overload the engine shed %.1f%% and held %.0f ops/s\n",
 		sustained.OpsPerSec, 100*overload.DropRate, overload.OpsPerSec)
+
+	fmt.Printf("\nscaling sweep (sustained phase, %d CPUs available)\n", report.NumCPU)
+	sw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(sw, "gomaxprocs\tserved ops/s\tp99 latency\tspeedup vs 1 proc")
+	for _, pt := range report.Scaling {
+		fmt.Fprintf(sw, "%d\t%.0f\t%.0f ns\t%.2fx\n",
+			pt.GoMaxProcs, pt.OpsPerSec, pt.P99LatencyNs, pt.SpeedupVs1)
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
 	if jsonPath == "" {
 		return nil
 	}
@@ -527,11 +586,47 @@ func runEngine(seed int64, jsonPath string) error {
 	return nil
 }
 
-// benchEnginePhase drives one engine through engineOps submissions from
+// benchEngineAtProcs runs one sustained phase pinned to a GOMAXPROCS
+// level, restoring the previous level afterwards — one point of the
+// scaling curve.
+func benchEngineAtProcs(seed int64, procs, ops int) (enginePhaseResult, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	return benchEnginePhase(seed, engine.PolicyBlock, 0, ops)
+}
+
+// runEngineSmoke is the CI scaling gate: a reduced two-point sweep that
+// fails unless 4 procs beat 1 proc by smokeMinSpeedup. Hosts without 4
+// CPUs skip (exit 0) — there is nothing to scale onto.
+func runEngineSmoke(seed int64) error {
+	const smokeOps = 50_000
+	const smokeMinSpeedup = 1.5
+	if runtime.NumCPU() < 4 {
+		fmt.Printf("engine scaling smoke skipped: %d CPUs available, need 4\n", runtime.NumCPU())
+		return nil
+	}
+	one, err := benchEngineAtProcs(seed, 1, smokeOps)
+	if err != nil {
+		return err
+	}
+	four, err := benchEngineAtProcs(seed, 4, smokeOps)
+	if err != nil {
+		return err
+	}
+	speedup := four.OpsPerSec / one.OpsPerSec
+	fmt.Printf("engine scaling smoke: 1 proc %.0f ops/s, 4 procs %.0f ops/s, speedup %.2fx\n",
+		one.OpsPerSec, four.OpsPerSec, speedup)
+	if speedup < smokeMinSpeedup {
+		return fmt.Errorf("engine scaling smoke failed: 4-proc speedup %.2fx below the %.1fx gate", speedup, smokeMinSpeedup)
+	}
+	return nil
+}
+
+// benchEnginePhase drives one engine through ops submissions from
 // engineProducers goroutines. ratePerSec 0 means unpaced (producers run
 // at full speed against blocking backpressure); nonzero paces the
 // aggregate offered rate with a credit loop.
-func benchEnginePhase(seed int64, policy engine.Policy, ratePerSec float64) (enginePhaseResult, error) {
+func benchEnginePhase(seed int64, policy engine.Policy, ratePerSec float64, ops int) (enginePhaseResult, error) {
 	e, err := engine.New(engine.Config{
 		Lanes: engineLanes, LaneCapacity: engineLaneCap,
 		RingSize: engineRing, BatchSize: engineBatch,
@@ -556,7 +651,7 @@ func benchEnginePhase(seed int64, policy engine.Policy, ratePerSec float64) (eng
 	if ratePerSec > 0 {
 		phase = "overload-2x"
 	}
-	perProducer := engineOps / engineProducers
+	perProducer := ops / engineProducers
 	var wg sync.WaitGroup
 	var submitErr atomic.Value
 	start := time.Now() //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state

@@ -56,6 +56,7 @@ type config struct {
 	lanes     int
 	laneCap   int
 	ringSize  int
+	shards    int
 	batch     int
 	policy    string
 	flows     int
@@ -76,6 +77,7 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&c.lanes, "lanes", 4, "sorter lanes (power of two, 1..64)")
 	fs.IntVar(&c.laneCap, "lane-capacity", 1024, "tag-store links per lane")
 	fs.IntVar(&c.ringSize, "ring", 256, "per-lane submission ring depth")
+	fs.IntVar(&c.shards, "shards", 0, "SPSC shards per lane's submission ring (1..64, 0 = engine default)")
 	fs.IntVar(&c.batch, "batch", 64, "drain batch size")
 	fs.StringVar(&c.policy, "policy", "block", "backpressure policy: block|drop-tail|red")
 	fs.IntVar(&c.flows, "flows", 8, "admission-controlled flows")
@@ -103,6 +105,9 @@ func (c config) validate() error {
 	}
 	if c.ringSize < 1 {
 		return fmt.Errorf("wfqd: -ring %d is a zero-capacity submission ring; it must be at least 1", c.ringSize)
+	}
+	if c.shards < 0 || c.shards > 64 {
+		return fmt.Errorf("wfqd: -shards %d must be in 0..64 (0 = engine default)", c.shards)
 	}
 	if c.batch < 1 {
 		return fmt.Errorf("wfqd: -batch %d must be at least 1", c.batch)
@@ -217,6 +222,7 @@ func newServer(cfg config) (*server, error) {
 		Lanes:         cfg.lanes,
 		LaneCapacity:  cfg.laneCap,
 		RingSize:      cfg.ringSize,
+		Shards:        cfg.shards,
 		BatchSize:     cfg.batch,
 		Policy:        pol,
 		RecoverFaults: true,

@@ -194,6 +194,9 @@ func TestConfigValidateTable(t *testing.T) {
 		{"defaults", func(*config) {}, true},
 		{"zero ring", func(c *config) { c.ringSize = 0 }, false},
 		{"negative ring", func(c *config) { c.ringSize = -4 }, false},
+		{"explicit shards", func(c *config) { c.shards = 8 }, true},
+		{"negative shards", func(c *config) { c.shards = -1 }, false},
+		{"too many shards", func(c *config) { c.shards = 100 }, false},
 		{"zero batch", func(c *config) { c.batch = 0 }, false},
 		{"zero lanes", func(c *config) { c.lanes = 0 }, false},
 		{"non-power-of-two lanes", func(c *config) { c.lanes = 6 }, false},

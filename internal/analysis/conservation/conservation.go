@@ -8,13 +8,16 @@
 //
 // Three rules, applied to the engine package:
 //
-//  1. Ledger fields on the Engine struct (inserted, extracted,
-//     faultLost, drainShed, ghostDrops, remapped, evacuated) must be
-//     sync/atomic types: they are written by the datapath goroutine
-//     and read by every Stats scrape.
-//  2. No plain store or increment of a ledger field through an Engine
-//     value — mutation goes through atomic ops inside the datapath
-//     critical section.
+//  1. Unexported ledger fields (inserted, extracted, faultLost,
+//     drainShed, ghostDrops, remapped, evacuated) on any engine-package
+//     struct must be sync/atomic types: the ledger is kept per lane on
+//     the datapath workers, written by each lane goroutine and read by
+//     every Stats scrape. Exported ledger-named fields (the LaneLedger
+//     and Stats snapshot rows) are copies, not live counters, and are
+//     exempt.
+//  2. No plain store or increment of an unexported ledger field through
+//     any engine-package value — mutation goes through atomic ops on
+//     the owning lane goroutine.
 //  3. Every uint64 counter on the Stats snapshot must be referenced by
 //     a Conservation* method on Stats (the machine-checkable form of
 //     the identity) or carry a justified
@@ -45,7 +48,7 @@ var Analyzer = &analysis.Analyzer{
 const EnginePackage = "wfqsort/internal/engine"
 
 // ledger is the conservation identity's counter set, keyed by
-// lower-cased field name so the unexported Engine fields and exported
+// lower-cased field name so the unexported worker fields and exported
 // Stats fields match the same entry.
 var ledger = map[string]bool{
 	"inserted":   true,
@@ -100,33 +103,56 @@ func isAtomicType(t types.Type) bool {
 	return pkg != nil && pkg.Path() == "sync/atomic"
 }
 
-// checkEngineFields enforces rule 1: ledger fields on Engine are
-// atomic.
+// isLiveLedgerField reports whether name is an unexported ledger
+// counter — a live counter some datapath goroutine mutates. Exported
+// ledger-named fields are snapshot copies (Stats, LaneLedger) and stay
+// out of rules 1 and 2.
+func isLiveLedgerField(name string) bool {
+	return !ast.IsExported(name) && ledger[strings.ToLower(name)]
+}
+
+// checkEngineFields enforces rule 1: unexported ledger fields on any
+// engine-package struct are atomic. The rule follows the fields, not a
+// struct name, because the ledger lives on the per-lane workers.
 func checkEngineFields(pass *analysis.Pass) {
-	fields := structFields(pass, "Engine")
-	if fields == nil {
-		return
-	}
-	for _, f := range fields.List {
-		for _, name := range f.Names {
-			if !ledger[strings.ToLower(name.Name)] {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
 				continue
 			}
-			if t := pass.TypeOf(f.Type); t != nil && !isAtomicType(t) {
-				pass.Reportf(name.Pos(),
-					"conservation counter %q must be a sync/atomic type: the datapath writes it while Stats scrapes read it",
-					name.Name)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					for _, name := range fld.Names {
+						if !isLiveLedgerField(name.Name) {
+							continue
+						}
+						if t := pass.TypeOf(fld.Type); t != nil && !isAtomicType(t) {
+							pass.Reportf(name.Pos(),
+								"conservation counter %q must be a sync/atomic type: the datapath writes it while Stats scrapes read it",
+								name.Name)
+						}
+					}
+				}
 			}
 		}
 	}
 }
 
-// checkLedgerStores enforces rule 2: no plain store/increment of a
-// ledger field through an Engine value.
+// checkLedgerStores enforces rule 2: no plain store/increment of an
+// unexported ledger field through any value of an engine-package type.
 func checkLedgerStores(pass *analysis.Pass) {
 	flag := func(e ast.Expr) {
 		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
-		if !ok || !ledger[strings.ToLower(sel.Sel.Name)] {
+		if !ok || !isLiveLedgerField(sel.Sel.Name) {
 			return
 		}
 		recv := pass.TypeOf(sel.X)
@@ -134,7 +160,7 @@ func checkLedgerStores(pass *analysis.Pass) {
 			return
 		}
 		n, ok := analysis.Deref(recv).(*types.Named)
-		if !ok || n.Obj().Name() != "Engine" || n.Obj().Pkg() == nil ||
+		if !ok || n.Obj().Pkg() == nil ||
 			n.Obj().Pkg().Path() != pass.Pkg.Path() {
 			return
 		}

@@ -30,6 +30,32 @@ func (e *Engine) GoodTelemetry() {
 	e.batches++
 }
 
+// laneWorker models the per-lane datapath worker: the ledger rules
+// follow the unexported field names onto any engine-package struct, not
+// just Engine, because each lane owns its own slice of the identity.
+type laneWorker struct {
+	extracted atomic.Uint64
+	drainShed uint64 // want `conservation counter "drainShed" must be a sync/atomic type`
+}
+
+// BadLaneShed mutates a worker's ledger counter with a plain store.
+func (lw *laneWorker) BadLaneShed(n uint64) {
+	lw.drainShed += n // want `conservation counter "drainShed" mutated by a plain store`
+}
+
+// LaneLedger models the exported per-lane snapshot rows: exported
+// ledger-named fields are copies, not live counters, so plain stores
+// into them are fine.
+type LaneLedger struct {
+	Extracted uint64
+	DrainShed uint64
+}
+
+// GoodSnapshotFill copies the live atomics into an exported snapshot.
+func (lw *laneWorker) GoodSnapshotFill(l *LaneLedger) {
+	l.Extracted = lw.extracted.Load()
+}
+
 // Stats is the snapshot: the first three counters join the assertion,
 // Batches does not and is flagged, LatencyCount carries a justified
 // exemption.

@@ -6,36 +6,44 @@
 //
 // The shape follows the software packet-scheduling literature. Eiffel
 // (Saeed et al., NSDI'19) shows that software schedulers reach line rate
-// by amortizing per-packet costs over bucketed queue operations; here N
-// producers submit into per-lane bounded rings and a single datapath
-// goroutine drains them in batches through ShardedSorter.InsertBatch, so
-// the per-packet synchronization cost is one ring operation and the
-// sorter cost is amortized over the batch. The PIFO line of work
-// (Sivaraman et al.) frames the serving loop itself: admit with a
-// computed rank, extract the minimum, repeat — the engine's extractor is
-// exactly that loop, honoring the paper's fixed operation window on
-// every lane.
+// only when per-core queues avoid cross-core synchronization on the hot
+// path; the engine's datapath is parallel in exactly that shape. Each
+// lane — already an independent membus fabric and clock domain — owns
+// one datapath goroutine. Producers submit through per-lane sharded
+// lock-free SPSC rings (internal/ring; a producer claims a shard with an
+// uncontended TryLock, the ring push itself is two atomic index ops),
+// each lane goroutine drains its shards in batches through its own
+// core.Sorter, and extraction fans back in through per-lane served rings
+// merged by a min-combining select tree in a dedicated merge goroutine.
+// The PIFO line of work (Sivaraman et al.) frames each lane's serving
+// loop: admit with a computed rank, extract the minimum, repeat —
+// honoring the paper's fixed operation window on every lane.
 //
-// Concurrency contract: producers call Submit from any goroutine; the
-// sorter is owned by one datapath goroutine (the modelled hardware is a
-// synchronous pipeline, so all sorter operations serialize through it);
-// consumers receive Served records from the Served channel and MUST keep
-// receiving until it closes, or the bounded channel backpressures the
-// datapath (by design: an unread output queue is a full output queue).
+// Concurrency contract: producers call Submit from any goroutine; each
+// lane's sorter, slot table, and fabric are owned by that lane's
+// goroutine (the modelled hardware is a synchronous pipeline per lane,
+// so all lane-i operations serialize through goroutine i); the Served
+// channel's sender side is owned by the merge goroutine; consumers MUST
+// keep receiving until Served closes, or the bounded channel
+// backpressures the merge stage and, transitively, every lane (by
+// design: an unread output queue is a full output queue). DESIGN.md §14
+// has the goroutine-ownership diagram and the merge progress guarantee.
 //
 // Fault domains: with RecoverFaults set, every lane is a supervised
-// fault domain (internal/supervisor). A corrupt-state error or datapath
-// panic triggers per-lane Audit and bounded retry-with-backoff Rebuild
-// from the authoritative tag store; a lane that cannot be rebuilt — or
-// that keeps faulting — is quarantined, its surviving entries are
-// evacuated onto healthy lanes, and its tag slice is remapped there
+// fault domain (internal/supervisor) repaired on its own goroutine. A
+// corrupt-state error or datapath panic on lane i triggers lane-i Audit
+// and bounded retry-with-backoff Rebuild from the authoritative tag
+// store; a lane that cannot be rebuilt — or that keeps faulting — is
+// quarantined, its surviving entries are evacuated onto healthy lanes
+// through their transfer inboxes, and its tag slice is routed there
 // until a reinstate probe succeeds (degraded mode: slightly perturbed
-// order, SP-PIFO-style, instead of no service). A deadline watchdog
-// converts a wedged drain into accountable shedding and flags a stalled
-// datapath as not-ready. The accounting invariant
-// Inserted == Extracted + FaultLost + in-sorter holds across every
-// recovery, quarantine, and aborted drain: no packet is ever lost
-// unaccounted. DESIGN.md §12 documents the state machine and policies.
+// order, SP-PIFO-style, instead of no service). Per-lane deadline
+// watchdogs convert one wedged lane's drain into accountable shedding
+// without touching its healthy peers, and flag a stalled lane as
+// not-ready. The accounting invariant
+// Inserted == Extracted + FaultLost + in-sorter is kept per lane and
+// summed: no packet is ever lost unaccounted. DESIGN.md §12 documents
+// the state machine and policies; §14 the parallel split.
 //
 //wfqlint:ignore-file determinism the serving engine is intentionally wall-clock code: it measures real enqueue-to-extract latency and real throughput, not simulated time (DESIGN.md §11)
 package engine
@@ -49,7 +57,6 @@ import (
 	"time"
 
 	"wfqsort/internal/aqm"
-	"wfqsort/internal/hwsim"
 	"wfqsort/internal/membus"
 	"wfqsort/internal/metrics"
 	"wfqsort/internal/sharded"
@@ -65,12 +72,9 @@ var (
 	// datapath died on an unrecoverable error).
 	ErrStopped = errors.New("engine: stopped")
 
-	// errDatapathPanic marks a panic recovered inside one datapath step,
-	// so the supervision layer can treat it as a fault episode.
+	// errDatapathPanic marks a panic recovered inside one lane datapath
+	// step, so the supervision layer can treat it as a fault episode.
 	errDatapathPanic = errors.New("engine: datapath panic")
-	// errDrainAborted is the internal signal that the drain watchdog
-	// fired while the datapath was wedged delivering to the consumer.
-	errDrainAborted = errors.New("engine: drain aborted")
 )
 
 // Policy selects the ingestion backpressure behaviour when a submission
@@ -109,7 +113,7 @@ func (p Policy) String() string {
 // documented default, so Config{} is a valid 4-lane engine.
 type Config struct {
 	// Lanes is the sharded sorter's lane count (power of two, 1..64).
-	// Default 4.
+	// Default 4. Each lane gets its own datapath goroutine.
 	Lanes int
 	// LaneCapacity is the number of tag-store links per lane.
 	// Default 1024.
@@ -120,14 +124,25 @@ type Config struct {
 	MemTech taglist.MemTech
 	// LaneFabrics, when non-nil, supplies one pre-built memory fabric
 	// per lane (len == Lanes), e.g. to attach a fault campaign. Attach
-	// observers before Start: the datapath owns the fabrics afterwards.
+	// observers before Start: lane i's goroutine owns fabric i
+	// afterwards (use InjectLane to mutate it safely).
 	LaneFabrics []*membus.Fabric
-	// RingSize is the per-lane submission ring depth. Default 256.
+	// RingSize is the per-lane submission ring capacity, split across
+	// Shards lock-free SPSC shard rings (each shard holds
+	// RingSize/Shards rounded up to a power of two, so the effective
+	// capacity may round up). Default 256.
 	RingSize int
-	// BatchSize caps how many submissions one drain pass moves from each
-	// lane ring into an InsertBatch, and how many entries one extractor
-	// pass serves. Default 64.
+	// Shards is the number of producer shard rings per lane: more
+	// shards, fewer producer collisions on the TryLock claim. Default 4.
+	Shards int
+	// BatchSize caps how many submissions one lane ingest pass moves
+	// from the shard rings into the lane sorter, and how many entries
+	// one lane serve pass extracts. Default 64.
 	BatchSize int
+	// ServeAhead is the per-lane served-ring depth between a lane's
+	// extractor and the merge stage: how far a lane may run ahead of the
+	// global tag-order merge. Default 64.
+	ServeAhead int
 	// Policy is the ring-full backpressure policy (default PolicyBlock).
 	Policy Policy
 	// RED configures early detection when Policy is PolicyRED; the zero
@@ -138,25 +153,26 @@ type Config struct {
 	// OutBuffer is the Served channel depth. Default 1024.
 	OutBuffer int
 	// RecoverFaults enables the fault containment path: corrupt-state
-	// errors and datapath panics drive the per-lane supervision state
-	// machine (rebuild with bounded retries, quarantine, reinstate)
-	// instead of stopping the engine.
+	// errors and lane datapath panics drive the per-lane supervision
+	// state machine (rebuild with bounded retries, quarantine,
+	// reinstate) instead of stopping the engine.
 	RecoverFaults bool
 	// Supervision tunes the fault-domain state machine (retry budget,
 	// backoff, quarantine and reinstate policy). Zero value = documented
 	// supervisor defaults. Only consulted when RecoverFaults is set.
 	Supervision supervisor.Config
-	// DrainTimeout bounds a graceful drain: when Stop is waiting on a
-	// consumer that has stopped receiving and the datapath makes no
-	// progress for this long, the watchdog aborts the drain and sheds
-	// the remaining packets accountably (counted in DrainShed and
-	// FaultLost) instead of hanging shutdown forever. Default 5s;
-	// negative disables the deadline.
+	// DrainTimeout bounds a graceful drain per component: a lane that
+	// makes no progress for this long while it could serve (its served
+	// ring has space) has its drain aborted and its backlog shed
+	// accountably (counted in DrainShed and FaultLost) — without
+	// touching healthy lanes. A merge stage wedged delivering to a
+	// consumer that stopped receiving is aborted the same way. Default
+	// 5s; negative disables the deadline.
 	DrainTimeout time.Duration
-	// StallTimeout flags a stalled datapath: no progress for this long
-	// with work pending marks the engine stalled (not ready) until
-	// progress resumes. Detection only — nothing is shed. Default 2s;
-	// negative disables.
+	// StallTimeout flags a stalled lane: no progress for this long with
+	// work pending marks that lane (and so the engine) stalled — not
+	// ready — until progress resumes. Detection only; nothing is shed.
+	// Default 2s; negative disables.
 	StallTimeout time.Duration
 	// ClockHz is the modelled circuit clock used to report modelled
 	// packet rates next to wall-clock ones. Defaults to the paper's
@@ -187,11 +203,23 @@ func (c *Config) Validate() error {
 	if c.RingSize < 1 {
 		return fmt.Errorf("engine: ring size %d must be positive", c.RingSize)
 	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Shards < 1 || c.Shards > 64 {
+		return fmt.Errorf("engine: shards %d must be in 1..64", c.Shards)
+	}
 	if c.BatchSize == 0 {
 		c.BatchSize = 64
 	}
 	if c.BatchSize < 1 {
 		return fmt.Errorf("engine: batch size %d must be positive", c.BatchSize)
+	}
+	if c.ServeAhead == 0 {
+		c.ServeAhead = 64
+	}
+	if c.ServeAhead < 1 {
+		return fmt.Errorf("engine: serve-ahead %d must be positive", c.ServeAhead)
 	}
 	if c.Policy == 0 {
 		c.Policy = PolicyBlock
@@ -238,9 +266,9 @@ func (c *Config) Validate() error {
 
 // Served is one extracted entry delivered to the consumer.
 type Served struct {
-	// Tag is the finishing tag that was served. Under quarantine
-	// remapping this is the tag the caller submitted, not the remapped
-	// lane-local tag used inside the degraded sorter.
+	// Tag is the finishing tag that was served: always the tag the
+	// caller submitted (quarantine routing moves packets between lanes
+	// but never rewrites their tags).
 	Tag int
 	// Payload is the value passed to Submit.
 	Payload int
@@ -248,13 +276,26 @@ type Served struct {
 	Latency time.Duration
 }
 
+// LaneLedger is one lane's slice of the conservation ledger, as summed
+// into the top-level Stats counters.
+type LaneLedger struct {
+	Lane       int
+	Inserted   uint64
+	Extracted  uint64
+	FaultLost  uint64
+	DrainShed  uint64
+	GhostDrops uint64
+	Evacuated  uint64
+}
+
 // Stats is the engine's counter snapshot, following the repository's
 // StatsSnapshot() convention (DESIGN.md §11). Counters are cumulative
-// since Start; gauges reflect the datapath's most recent mirror update
-// (at most a few batches stale).
+// since Start, summed over the per-lane ledgers; gauges reflect each
+// lane's most recent mirror update (at most a few batches stale).
 type Stats struct {
 	Running bool
 	Lanes   int
+	Shards  int
 	Policy  string
 
 	// Health is the engine state machine position: healthy, degraded,
@@ -268,33 +309,35 @@ type Stats struct {
 	DropsRing uint64
 	DropsRED  uint64
 
-	// Datapath accounting. The conservation invariant is
-	// Inserted == Extracted + FaultLost + SorterLen.
+	// Datapath accounting, summed over lanes. The conservation
+	// invariant is Inserted == Extracted + FaultLost + SorterLen (plus
+	// ServedOccupied while entries are in flight between a lane and the
+	// merge stage).
 	Inserted  uint64
 	Extracted uint64
 	FaultLost uint64
 
-	// Batching effectiveness of the drain loop. Pure telemetry: these
-	// count datapath iterations, not packets, so they stay outside the
-	// conservation identity by design.
-	//wfqlint:ignore conservation batching telemetry counts drain iterations, not packets
+	// Batching effectiveness of the lane ingest loops. Pure telemetry:
+	// these count datapath iterations, not packets, so they stay outside
+	// the conservation identity by design.
+	//wfqlint:ignore conservation batching telemetry counts ingest passes, not packets
 	Batches uint64
 	//wfqlint:ignore conservation batching telemetry counts sorter ops, not packets
 	BatchedOps uint64
 	MaxBatch   int
 	//wfqlint:ignore conservation recovery telemetry counts fault events, not packets
 	Recoveries uint64
-	//wfqlint:ignore conservation idle telemetry counts empty drain polls, not packets
+	//wfqlint:ignore conservation idle telemetry counts empty lane polls, not packets
 	DatapathIdles uint64
 
 	// Fault-domain accounting (DESIGN.md §12). Remapped counts packets
-	// routed off a quarantined lane's tag slice; Evacuated counts
-	// sorter-resident packets moved to healthy lanes at quarantine
-	// time; DrainShed counts packets shed by an aborted drain (also in
-	// FaultLost); GhostDrops counts extractions suppressed because a
-	// corrupted payload reference no longer mapped to a live slot (the
-	// underlying packet is accounted in FaultLost when its orphaned slot
-	// reconciles); DatapathPanics counts contained panics.
+	// ingested away from their partition-home lane (routed around a
+	// quarantine); Evacuated counts sorter-resident packets relocated at
+	// quarantine time; DrainShed counts packets shed by an aborted drain
+	// (also in FaultLost); GhostDrops counts extractions suppressed
+	// because a corrupted payload reference no longer mapped to a live
+	// slot (the underlying packet is accounted in FaultLost when its
+	// orphaned slot reconciles); DatapathPanics counts contained panics.
 	Remapped   uint64
 	Evacuated  uint64
 	DrainShed  uint64
@@ -303,13 +346,19 @@ type Stats struct {
 	WatchdogTrips uint64
 	//wfqlint:ignore conservation panic telemetry counts contained panics, not packets
 	DatapathPanics uint64
-	Supervision    supervisor.Stats
+	//wfqlint:ignore conservation merge telemetry counts forced deliveries past a lagging lane, not packets
+	MergeForced uint64
+	Supervision supervisor.Stats
+
+	// Per-lane ledger breakdown (the summands of the counters above).
+	LaneLedgers []LaneLedger
 
 	// Occupancy gauges.
-	RingLens  []int
-	LaneLens  []int
-	SorterLen int
-	InFlight  int
+	RingLens       []int
+	LaneLens       []int
+	SorterLen      int
+	ServedOccupied int
+	InFlight       int
 
 	// Enqueue-to-extract wall-clock latency over (up to) the most recent
 	// latencyWindow extractions.
@@ -319,7 +368,7 @@ type Stats struct {
 	LatencyP99Ns  float64
 	LatencyMaxNs  float64
 
-	// Modelled-hardware view: the sharded cycle accounting underneath
+	// Modelled-hardware view: the per-lane cycle accounting underneath
 	// the wall-clock numbers (DESIGN.md §11 relates the two).
 	WindowCycles int
 	//wfqlint:ignore conservation modelled-cycle gauge, not a packet counter
@@ -341,24 +390,33 @@ type LaneFabricStats struct {
 	Regions []metrics.PortPressure
 }
 
-// item is one submission in flight through a lane ring. tag is the
-// caller's tag; quarantine remapping happens at dequeue time so a lane
-// quarantined after submission still routes around the damage.
+// item is one submission in flight through a lane ring or transfer
+// inbox. tag is always the caller's tag. accounted marks a packet that
+// already entered the Inserted ledger (an evacuee moving between lanes)
+// so re-ingestion never double-counts it.
 type item struct {
-	tag      int
-	payload  int
-	submitNs int64
+	tag       int
+	payload   int
+	submitNs  int64
+	accounted bool
 }
 
-// slot is one entry of the payload indirection table: the sorter stores
-// the slot index, the slot remembers the caller's tag, payload, and the
-// submission timestamp (the tag matters because quarantine remapping
-// may store a perturbed tag inside the sorter).
+// slot is one entry of a lane's payload indirection table: the lane
+// sorter stores the slot index, the slot remembers the caller's tag,
+// payload, and the submission timestamp.
 type slot struct {
 	tag      int
 	payload  int
 	submitNs int64
 	live     bool
+}
+
+// outEntry is one extracted entry in flight on a lane's served ring,
+// waiting for the merge stage to deliver it in global tag order.
+type outEntry struct {
+	tag      int
+	payload  int
+	submitNs int64
 }
 
 // latencyWindow is the sliding sample window for latency percentiles.
@@ -372,24 +430,23 @@ type Engine struct {
 	sorter *sharded.ShardedSorter
 	sup    *supervisor.Supervisor
 
-	rings    []chan item
-	notify   chan struct{}
-	drainReq chan struct{}
-	done     chan struct{}
-	out      chan Served
-	chaos    chan func()
+	lanes []*laneWorker
 
-	abortDrain chan struct{}
+	out       chan Served
+	done      chan struct{} // closed when the merge stage (last goroutine) exits
+	drainReq  chan struct{} // closed by Stop once in-flight submits settle
+	terminate chan struct{} // closed on a terminal datapath error
+	mergeWake chan struct{} // lane → merge doorbell
+
+	abortDrain chan struct{} // global drain abort: the merge stage is wedged
 	abortOnce  sync.Once
+	failOnce   sync.Once
+	softOnce   sync.Once
+	runErr     error // terminal error; written once before terminate closes
+	softErr    error // non-terminal drain-abort error; written once before done closes
 
 	red   *aqm.RED
 	redMu sync.Mutex
-
-	// Datapath-owned state.
-	slots       []slot
-	free        []int
-	carry       []item // dequeued items whose destination lane was full
-	panicStreak int
 
 	// quar mirrors the supervisor's quarantine set for the Submit fast
 	// path (atomic reads, no supervisor lock on ingest).
@@ -399,46 +456,31 @@ type Engine struct {
 	stopping atomic.Bool
 	draining atomic.Bool
 	subWG    sync.WaitGroup
+	laneWG   sync.WaitGroup
 	stopOnce sync.Once
-	runErr   error
 
-	submitted  atomic.Uint64
-	dropsRing  atomic.Uint64
-	dropsRED   atomic.Uint64
-	inserted   atomic.Uint64
-	extracted  atomic.Uint64
-	faultLost  atomic.Uint64
-	batches    atomic.Uint64
-	batchedOps atomic.Uint64
-	maxBatch   atomic.Int64
-	recoveries atomic.Uint64
-	idles      atomic.Uint64
+	// drainArrived is the drain barrier: lanes that have emptied their
+	// backlog arrive here; only after every lane arrives can no lane
+	// produce into another's transfer inbox, so each lane then runs one
+	// final sweep before exiting.
+	drainArrived atomic.Int32
 
+	// Ingest-side and merge-side global counters.
+	submitted     atomic.Uint64
+	dropsRing     atomic.Uint64
+	dropsRED      atomic.Uint64
 	remapped      atomic.Uint64
-	evacuated     atomic.Uint64
-	drainShed     atomic.Uint64
-	ghostDrops    atomic.Uint64
 	watchdogTrips atomic.Uint64
-	panics        atomic.Uint64
-	progress      atomic.Uint64
+	mergeForced   atomic.Uint64
+	mergeProgress atomic.Uint64
+	mergeBlocked  atomic.Bool
 
-	mu     sync.Mutex // guards mirror + latency reservoir
-	mirror mirror
-	latBuf []int64 // circular latency sample window
+	windowCycles int
+
+	mu     sync.Mutex // guards the latency reservoir
+	latBuf []int64    // circular latency sample window
 	latPos int
 	latN   uint64
-}
-
-// mirror holds the gauges the datapath periodically copies out of the
-// sorter so StatsSnapshot never touches datapath-owned state.
-type mirror struct {
-	laneLens     []int
-	sorterLen    int
-	maxCycles    uint64
-	sumCycles    uint64
-	modelSpeedup float64
-	laneLoad     metrics.LaneStats
-	fabric       []LaneFabricStats
 }
 
 // New builds an engine. The configuration is validated and defaulted via
@@ -462,26 +504,22 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	e := &Engine{
-		cfg:        cfg,
-		sorter:     s,
-		sup:        sup,
-		rings:      make([]chan item, cfg.Lanes),
-		notify:     make(chan struct{}, 1),
-		drainReq:   make(chan struct{}),
-		done:       make(chan struct{}),
-		out:        make(chan Served, cfg.OutBuffer),
-		chaos:      make(chan func(), 16),
-		abortDrain: make(chan struct{}),
-		slots:      make([]slot, s.Capacity()),
-		free:       make([]int, 0, s.Capacity()),
-		quar:       make([]atomic.Bool, cfg.Lanes),
-		latBuf:     make([]int64, 0, latencyWindow),
+		cfg:          cfg,
+		sorter:       s,
+		sup:          sup,
+		lanes:        make([]*laneWorker, cfg.Lanes),
+		out:          make(chan Served, cfg.OutBuffer),
+		done:         make(chan struct{}),
+		drainReq:     make(chan struct{}),
+		terminate:    make(chan struct{}),
+		mergeWake:    make(chan struct{}, 1),
+		abortDrain:   make(chan struct{}),
+		quar:         make([]atomic.Bool, cfg.Lanes),
+		windowCycles: s.Lane(0).CyclesPerWindow(),
+		latBuf:       make([]int64, 0, latencyWindow),
 	}
-	for i := range e.rings {
-		e.rings[i] = make(chan item, cfg.RingSize)
-	}
-	for i := s.Capacity() - 1; i >= 0; i-- {
-		e.free = append(e.free, i)
+	for i := range e.lanes {
+		e.lanes[i] = newLaneWorker(e, i)
 	}
 	if cfg.Policy == PolicyRED {
 		red, err := aqm.NewRED(cfg.RED)
@@ -500,7 +538,7 @@ func (e *Engine) Lanes() int { return e.sorter.Lanes() }
 func (e *Engine) TagRange() int { return e.sorter.TagRange() }
 
 // Capacity returns the total sorter links across lanes (the in-sorter
-// occupancy ceiling; rings add Lanes×RingSize on top).
+// occupancy ceiling; rings add roughly Lanes×RingSize on top).
 func (e *Engine) Capacity() int { return e.sorter.Capacity() }
 
 // Served returns the consumer channel. It is closed after a graceful
@@ -508,42 +546,41 @@ func (e *Engine) Capacity() int { return e.sorter.Capacity() }
 // until then.
 func (e *Engine) Served() <-chan Served { return e.out }
 
-// Start spawns the datapath goroutine and its watchdog. It may be
-// called once.
+// Start spawns one datapath goroutine per lane, the merge stage, and
+// the watchdog. It may be called once.
 func (e *Engine) Start() error {
 	if !e.started.CompareAndSwap(false, true) {
 		return errors.New("engine: already started")
 	}
-	go e.run()
+	for i := range e.lanes {
+		e.laneWG.Add(1)
+		go e.laneLoop(i)
+	}
+	go e.mergeLoop()
 	go e.watchdog()
 	return nil
 }
 
-// remapTag routes a tag around quarantined lanes: a tag owned by a
-// healthy lane is returned unchanged; a tag owned by a quarantined lane
-// is deterministically perturbed onto the nearest healthy lane (the
-// same offset within the interleave group or block, so the service
-// order degrades by at most the lane stride — the SP-PIFO trade:
+// remapLane routes a tag around quarantined lanes: a tag owned by a
+// healthy lane goes to its partition-home lane; a tag owned by a
+// quarantined lane goes to the nearest healthy lane. Lane sorters hold
+// the full tag range, so routing a packet to a foreign lane perturbs
+// only the merge interleaving, never the tag itself (the SP-PIFO trade:
 // slightly approximate order beats no service). ok is false when no
 // healthy lane remains.
-func (e *Engine) remapTag(tag int) (eff int, ok bool) {
-	lane := e.sorter.LaneFor(tag)
+func (e *Engine) remapLane(tag int) (lane int, ok bool) {
+	lane = e.sorter.LaneFor(tag)
 	if !e.quar[lane].Load() {
-		return tag, true
+		return lane, true
 	}
 	n := e.cfg.Lanes
 	for d := 1; d < n; d++ {
 		h := (lane + d) % n
-		if e.quar[h].Load() {
-			continue
+		if !e.quar[h].Load() {
+			return h, true
 		}
-		if e.sorter.Partition() == sharded.PartitionBlocked {
-			block := e.sorter.TagRange() / n
-			return h*block + tag%block, true
-		}
-		return tag - lane + h, true
 	}
-	return tag, false
+	return lane, false
 }
 
 // Submit offers one (tag, payload) to the engine from any goroutine. It
@@ -569,82 +606,102 @@ func (e *Engine) Submit(tag, payload int) (admitted bool, err error) {
 	if tag < 0 || tag >= e.sorter.TagRange() {
 		return false, fmt.Errorf("engine: tag %d outside [0,%d)", tag, e.sorter.TagRange())
 	}
-	// Route around quarantined lanes: the ring is chosen by the
-	// effective destination, the item keeps the caller's tag.
-	eff, ok := e.remapTag(tag)
+	lane, ok := e.remapLane(tag)
 	if !ok {
 		return false, fmt.Errorf("engine: all lanes quarantined: %w", ErrStopped)
 	}
+	lw := e.lanes[lane]
 	it := item{tag: tag, payload: payload, submitNs: time.Now().UnixNano()}
-	ring := e.rings[e.sorter.LaneFor(eff)]
 	switch e.cfg.Policy {
 	case PolicyDropTail:
-		select {
-		case ring <- it:
-		default:
+		if !lw.tryPush(it) {
 			e.dropsRing.Add(1)
 			return false, nil
 		}
 	case PolicyRED:
 		e.redMu.Lock()
-		ok := e.red.Arrive()
+		admit := e.red.Arrive()
 		e.redMu.Unlock()
-		if !ok {
+		if !admit {
 			e.dropsRED.Add(1)
 			return false, nil
 		}
-		select {
-		case ring <- it:
-		case <-e.done:
+		if err := e.blockPush(lw, it); err != nil {
 			e.redDepart(1)
-			return false, ErrStopped
+			return false, err
 		}
 	default: // PolicyBlock
-		select {
-		case ring <- it:
-		case <-e.done:
-			return false, ErrStopped
+		if err := e.blockPush(lw, it); err != nil {
+			return false, err
 		}
 	}
 	e.submitted.Add(1)
-	select {
-	case e.notify <- struct{}{}:
-	default:
-	}
+	lw.wake()
 	return true, nil
 }
 
-// Inject hands one chaos action to the datapath goroutine, which runs
-// it before its next scheduling pass with full panic containment — a
-// panicking action exercises exactly the engine's datapath-panic
-// recovery path. This is the chaos seam used by cmd/chaoslab and the
-// fault-containment fuzz harness: the closure runs on the goroutine
-// that owns the sorter, lane fabrics, and slot table, so it may corrupt
-// them (e.g. via a fault.Injector) without racing the datapath.
-func (e *Engine) Inject(fn func()) error {
+// blockPush waits for shard-ring space on lw: the producer-side
+// backpressure of PolicyBlock and an admitted PolicyRED packet.
+func (e *Engine) blockPush(lw *laneWorker, it item) error {
+	for {
+		if lw.tryPush(it) {
+			return nil
+		}
+		select {
+		case <-lw.space:
+		case <-e.done:
+			return ErrStopped
+		case <-e.terminate:
+			return ErrStopped
+		case <-time.After(time.Millisecond):
+			// The single space token may have gone to another waiting
+			// producer; rescan.
+		}
+	}
+}
+
+// InjectLane hands one chaos action to lane i's datapath goroutine,
+// which runs it before its next scheduling pass with full panic
+// containment — a panicking action exercises exactly that lane's
+// datapath-panic recovery path. This is the chaos seam used by
+// cmd/chaoslab and the fault-containment fuzz harness: the closure runs
+// on the goroutine that owns lane i's sorter, fabric, and slot table,
+// so it may corrupt them (e.g. via a fault.Injector) without racing the
+// datapath. Actions that touch lane j's state must be injected into
+// lane j.
+func (e *Engine) InjectLane(lane int, fn func()) error {
 	if !e.started.Load() {
 		return ErrNotStarted
 	}
+	if lane < 0 || lane >= len(e.lanes) {
+		return fmt.Errorf("engine: inject lane %d outside [0,%d)", lane, len(e.lanes))
+	}
+	lw := e.lanes[lane]
 	select {
-	case e.chaos <- fn:
-		select {
-		case e.notify <- struct{}{}:
-		default:
-		}
+	case lw.inject <- fn:
+		lw.wake()
 		return nil
 	case <-e.done:
+		return ErrStopped
+	case <-e.terminate:
 		return ErrStopped
 	}
 }
 
+// Inject hands one chaos action to lane 0's datapath goroutine (the
+// single-lane-targeting form of InjectLane, kept for campaigns that
+// attack one fixed lane).
+func (e *Engine) Inject(fn func()) error { return e.InjectLane(0, fn) }
+
 // Stop begins a graceful shutdown: new submissions are rejected with
-// ErrStopped, in-flight ones complete, the rings are drained through the
-// sorter, every queued entry is extracted and delivered, and the Served
-// channel is closed. If the consumer has wedged, the drain watchdog
-// (Config.DrainTimeout) aborts the drain and sheds the remainder
-// accountably rather than hanging forever. It returns the datapath's
-// terminal error, if any (nil after a clean drain), and is safe to call
-// more than once.
+// ErrStopped, in-flight ones complete, every lane drains its rings
+// through its sorter, every queued entry is extracted and delivered in
+// merge order, and the Served channel is closed. If the consumer has
+// wedged — or one lane has — the per-component drain watchdogs
+// (Config.DrainTimeout) abort that component's drain and shed its
+// remainder accountably rather than hanging forever. It returns the
+// datapath's terminal error, if any (nil after a clean drain), and is
+// safe to call more than once.
 func (e *Engine) Stop() error {
 	if !e.started.Load() {
 		return ErrNotStarted
@@ -656,7 +713,55 @@ func (e *Engine) Stop() error {
 		close(e.drainReq)
 	})
 	<-e.done
-	return e.runErr
+	if e.runErr != nil {
+		return e.runErr
+	}
+	return e.softErr
+}
+
+// fail records the terminal datapath error and signals every goroutine
+// to exit. First writer wins; the write is ordered before the terminate
+// close (and so before done closes and Stop returns).
+func (e *Engine) fail(err error) {
+	e.failOnce.Do(func() {
+		e.runErr = err
+		close(e.terminate)
+	})
+}
+
+// failSoft records a non-terminal shutdown diagnostic (an aborted
+// drain): Stop reports it, but the engine still drains what it can.
+func (e *Engine) failSoft(err error) {
+	e.softOnce.Do(func() { e.softErr = err })
+}
+
+// terminated reports whether a terminal failure has been signalled.
+func (e *Engine) terminated() bool {
+	select {
+	case <-e.terminate:
+		return true
+	default:
+		return false
+	}
+}
+
+// drainAborted reports whether the global (merge-stage) drain watchdog
+// has fired.
+func (e *Engine) drainAborted() bool {
+	select {
+	case <-e.abortDrain:
+		return true
+	default:
+		return false
+	}
+}
+
+// wakeMerge rings the merge stage's doorbell.
+func (e *Engine) wakeMerge() {
+	select {
+	case e.mergeWake <- struct{}{}:
+	default:
+	}
 }
 
 // redDepart updates the RED occupancy estimate for n departures.
@@ -671,10 +776,10 @@ func (e *Engine) redDepart(n int) {
 	e.redMu.Unlock()
 }
 
-// guard runs one datapath step, converting a panic into an error so
-// the supervision layer can treat it as a fault episode instead of
-// killing the engine.
-func (e *Engine) guard(fn func() (int, error)) (n int, err error) {
+// guardStep runs one lane datapath step, converting a panic into an
+// error so the supervision layer can treat it as a fault episode
+// instead of killing the engine.
+func (e *Engine) guardStep(fn func() (int, error)) (n int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", errDatapathPanic, r)
@@ -683,360 +788,15 @@ func (e *Engine) guard(fn func() (int, error)) (n int, err error) {
 	return fn()
 }
 
-// run is the datapath goroutine: the only goroutine that touches the
-// sorter, the slot table, and the Served channel sender side.
-func (e *Engine) run() {
-	defer close(e.done)
-	defer close(e.out)
+// guardAction runs one injected chaos action with panic containment.
+func (e *Engine) guardAction(fn func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			// Backstop containment: a panic escaping the guarded steps
-			// (bookkeeping, not datapath work) becomes a terminal error so
-			// producers and consumers unblock instead of deadlocking.
-			err := fmt.Errorf("engine: datapath panic: %v", r)
-			if e.cfg.RecoverFaults {
-				if rerr := e.superviseRepair(); rerr == nil {
-					err = fmt.Errorf("engine: datapath panic (state repaired, engine stopped): %v", r)
-				}
-			}
-			e.runErr = err
+			err = fmt.Errorf("%w: %v", errDatapathPanic, r)
 		}
 	}()
-
-	const mirrorEvery = 8
-	sinceMirror := mirrorEvery // force a mirror on the first pass
-	draining := false
-	for {
-		worked, failed := false, false
-		ops := 0
-		// Chaos seam: injected actions run here, panic-contained. A
-		// failed (repaired) action counts as a failed step so consecutive
-		// panics accumulate against the streak budget.
-		select {
-		case fn := <-e.chaos:
-			if _, err := e.guard(func() (int, error) { fn(); return 0, nil }); err != nil {
-				if term := e.handleFailure("chaos", err); term != nil {
-					e.runErr = term
-					return
-				}
-				failed, worked = true, true
-			}
-		default:
-		}
-		if e.drainAborted() {
-			e.finalizeAbort()
-			return
-		}
-
-		if n, err := e.guard(e.drainRings); err != nil {
-			if term := e.handleFailure("insert-batch", err); term != nil {
-				e.runErr = term
-				return
-			}
-			failed, worked = true, true // a repair is progress
-		} else if n > 0 {
-			worked = true
-			ops += n
-		}
-		if n, err := e.guard(e.serve); err != nil {
-			if errors.Is(err, errDrainAborted) {
-				e.finalizeAbort()
-				return
-			}
-			if term := e.handleFailure("extract", err); term != nil {
-				e.runErr = term
-				return
-			}
-			failed, worked = true, true
-		} else if n > 0 {
-			worked = true
-			ops += n
-		}
-		if !failed {
-			e.panicStreak = 0
-		}
-		if ops > 0 && e.cfg.RecoverFaults {
-			for _, lane := range e.sup.OnOps(uint64(ops)) {
-				e.probeLane(lane)
-			}
-		}
-
-		if sinceMirror++; worked && sinceMirror >= mirrorEvery {
-			e.updateMirror()
-			sinceMirror = 0
-		}
-		if worked {
-			e.progress.Add(1)
-			if !draining {
-				select {
-				case <-e.drainReq:
-					draining = true
-				default:
-				}
-			}
-			continue
-		}
-		if draining && e.ringsEmpty() && len(e.carry) == 0 && e.sorter.Len() == 0 {
-			// The sorter is empty, so any still-live slot is an orphan left
-			// behind by a ghost extraction (duplicate payload reference):
-			// count it lost so the conservation invariant closes.
-			e.sweepOrphanSlots()
-			e.updateMirror()
-			return
-		}
-		e.idles.Add(1)
-		e.updateMirror()
-		sinceMirror = 0
-		if draining {
-			// Rings and sorter can only be non-empty here transiently
-			// (lane-full backoff); yield and rescan.
-			continue
-		}
-		select {
-		case <-e.notify:
-		case <-e.drainReq:
-			draining = true
-		}
-	}
-}
-
-// drainRings moves up to BatchSize submissions per lane from the rings
-// (after any carried-over items) into one amortized InsertBatch, bounded
-// by each destination lane's free links so a full lane backpressures
-// instead of failing the batch. Quarantine remapping happens here, at
-// dequeue time: items destined for a quarantined lane are redirected to
-// the nearest healthy lane; items whose destination is full are carried
-// to the next pass.
-func (e *Engine) drainRings() (int, error) {
-	freeLinks := make([]int, e.sorter.Lanes())
-	for i := range freeLinks {
-		freeLinks[i] = e.cfg.LaneCapacity - e.sorter.Lane(i).Len()
-	}
-	reqs := make([]sharded.Request, 0, e.cfg.BatchSize*len(e.rings))
-	shed := 0
-	take := func(it item) {
-		eff, ok := e.remapTag(it.tag)
-		if !ok {
-			// No healthy lane remains; shed accountably (the datapath is
-			// about to go terminal anyway).
-			e.inserted.Add(1)
-			e.faultLost.Add(1)
-			e.redDepart(1)
-			shed++
-			return
-		}
-		dest := e.sorter.LaneFor(eff)
-		if freeLinks[dest] <= 0 {
-			e.carry = append(e.carry, it)
-			return
-		}
-		idx, ok := e.allocSlot(it)
-		if !ok {
-			// Capacity exhausted (only possible after fault losses
-			// outran reconciliation); shed accountably.
-			e.inserted.Add(1)
-			e.faultLost.Add(1)
-			e.redDepart(1)
-			shed++
-			return
-		}
-		if eff != it.tag {
-			e.remapped.Add(1)
-		}
-		freeLinks[dest]--
-		e.inserted.Add(1)
-		e.progress.Add(1)
-		reqs = append(reqs, sharded.Request{Tag: eff, Payload: idx})
-	}
-	carried := e.carry
-	e.carry = nil
-	for _, it := range carried {
-		take(it)
-	}
-	for _, ring := range e.rings {
-		for n := 0; n < e.cfg.BatchSize; n++ {
-			select {
-			case it := <-ring:
-				take(it)
-			default:
-				n = e.cfg.BatchSize
-			}
-		}
-	}
-	if len(reqs) == 0 {
-		return shed, nil
-	}
-	_, err := e.sorter.InsertBatch(reqs)
-	e.batches.Add(1)
-	e.batchedOps.Add(uint64(len(reqs)))
-	if m := int64(len(reqs)); m > e.maxBatch.Load() {
-		e.maxBatch.Store(m)
-	}
-	if err != nil {
-		// The caller repairs; whatever the recovery cannot preserve is
-		// counted by the slot reconciliation (every dequeued item above is
-		// already in Inserted, so conservation closes).
-		return shed, err
-	}
-	return shed + len(reqs), nil
-}
-
-// serve extracts up to BatchSize entries, delivering each to the Served
-// channel (blocking there is the consumer-side backpressure; during a
-// drain the watchdog can abort a wedged delivery).
-func (e *Engine) serve() (int, error) {
-	served := 0
-	for served < e.cfg.BatchSize && e.sorter.Len() > 0 {
-		entry, err := e.sorter.ExtractMin()
-		if err != nil {
-			if errors.Is(err, taglist.ErrEmpty) {
-				break
-			}
-			return served, err
-		}
-		now := time.Now().UnixNano()
-		sl := e.releaseSlot(entry.Payload)
-		if !sl.live {
-			// Ghost entry: its payload no longer maps to a live slot — a
-			// corrupted payload field made two entries reference one slot,
-			// or a recovery already reclaimed it. The packet it belonged
-			// to is (or will be) accounted as FaultLost when its orphaned
-			// slot is reconciled, so emitting the ghost would double-count
-			// an extraction. Drop it silently; it still counts as an op.
-			e.ghostDrops.Add(1)
-			e.progress.Add(1)
-			served++
-			continue
-		}
-		lat := time.Duration(now - sl.submitNs)
-		e.recordLatency(int64(lat))
-		select {
-		case e.out <- Served{Tag: sl.tag, Payload: sl.payload, Latency: lat}:
-			e.extracted.Add(1)
-			e.redDepart(1)
-			e.progress.Add(1)
-			served++
-		case <-e.abortDrain:
-			// The drain watchdog fired while this delivery was wedged:
-			// shed it accountably and finalize.
-			e.faultLost.Add(1)
-			e.drainShed.Add(1)
-			e.redDepart(1)
-			return served, errDrainAborted
-		}
-	}
-	return served, nil
-}
-
-// handleFailure applies the supervision policy to a datapath error. A
-// nil return means the engine repaired its state and the caller may
-// continue; non-nil is terminal.
-func (e *Engine) handleFailure(op string, err error) error {
-	isPanic := errors.Is(err, errDatapathPanic)
-	if isPanic {
-		e.panics.Add(1)
-		e.panicStreak++
-	}
-	if !e.cfg.RecoverFaults || (!errors.Is(err, hwsim.ErrCorrupt) && !isPanic) {
-		return fmt.Errorf("engine: %s: %w", op, err)
-	}
-	if isPanic && e.panicStreak > e.cfg.Supervision.MaxRetries {
-		return fmt.Errorf("engine: %s: %d consecutive datapath panics exhaust the retry budget: %w",
-			op, e.panicStreak, err)
-	}
-	if rerr := e.superviseRepair(); rerr != nil {
-		return fmt.Errorf("engine: %s: %w (repair failed: %v)", op, err, rerr)
-	}
-	e.recoveries.Add(1)
+	fn()
 	return nil
-}
-
-// superviseRepair is the per-lane fault-domain recovery pass: audit
-// every in-service lane, drive the supervisor's bounded
-// retry-with-backoff rebuild for the damaged ones, quarantine the lanes
-// the supervisor gives up on (evacuating their survivors onto healthy
-// lanes), resynchronize the select tree, then reconcile the slot table
-// so every unrecoverable packet is counted.
-func (e *Engine) superviseRepair() error {
-	for i := 0; i < e.sorter.Lanes(); i++ {
-		if e.quar[i].Load() {
-			continue // already out of service
-		}
-		lane := e.sorter.Lane(i)
-		if rep := lane.Audit(); rep.Err() == nil {
-			continue
-		}
-		out := e.sup.Repair(i, func(int) error {
-			if err := lane.Rebuild(); err != nil {
-				return err
-			}
-			if rep := lane.Audit(); rep.Err() != nil {
-				return rep.Err()
-			}
-			return nil
-		})
-		if out.Quarantined {
-			e.quarantineLane(i)
-		}
-	}
-	e.sorter.ResyncHeads()
-	if e.healthyLanes() == 0 {
-		return errors.New("all lanes quarantined, nothing can serve")
-	}
-	return e.reconcileSlots()
-}
-
-// quarantineLane takes lane i out of service: its surviving entries are
-// evacuated onto healthy lanes under the remap (degraded order beats
-// lost packets), the lane is flushed, and the quarantine flag makes
-// Submit and drainRings route its tag slice elsewhere until a reinstate
-// probe succeeds. Unreadable or unplaceable entries are left for the
-// slot reconciliation to count as FaultLost.
-func (e *Engine) quarantineLane(i int) {
-	e.quar[i].Store(true)
-	lane := e.sorter.Lane(i)
-	snap, err := lane.Snapshot()
-	lane.Flush()
-	if err != nil {
-		snap = nil
-	}
-	moved := 0
-	for _, en := range snap {
-		if en.Tag < 0 || en.Tag >= e.sorter.TagRange() {
-			continue // corrupt tag: unplaceable, reconciled as lost
-		}
-		eff, ok := e.remapTag(en.Tag)
-		if !ok {
-			break
-		}
-		if e.sorter.Insert(eff, en.Payload) != nil {
-			continue // destination full or rejected: reconciled as lost
-		}
-		moved++
-	}
-	if moved > 0 {
-		e.evacuated.Add(uint64(moved))
-	}
-}
-
-// probeLane answers a supervisor reinstate offer: rebuild and audit the
-// (flushed, empty) quarantined lane; a clean result returns it to
-// service, a dirty one re-quarantines it with a doubled probe delay.
-func (e *Engine) probeLane(i int) {
-	lane := e.sorter.Lane(i)
-	err := lane.Rebuild()
-	if err == nil {
-		if rep := lane.Audit(); rep.Err() != nil {
-			err = rep.Err()
-		}
-	}
-	if err != nil {
-		e.sup.Requarantine(i)
-		return
-	}
-	e.sorter.ResyncHeads()
-	e.quar[i].Store(false)
-	e.sup.Reinstate(i)
 }
 
 // healthyLanes counts lanes not under quarantine.
@@ -1050,230 +810,24 @@ func (e *Engine) healthyLanes() int {
 	return n
 }
 
-// reconcileSlots rebuilds the slot free list from the sorter's surviving
-// entries: slots no longer referenced by any live entry are freed and
-// counted in FaultLost, closing the conservation invariant after a
-// recovery.
-func (e *Engine) reconcileSlots() error {
-	snap, err := e.sorter.Snapshot()
-	if err != nil {
-		return fmt.Errorf("engine: reconcile: %w", err)
-	}
-	liveNow := make(map[int]bool, len(snap))
-	for _, entry := range snap {
-		liveNow[entry.Payload] = true
-	}
-	lost := 0
-	for idx := range e.slots {
-		if e.slots[idx].live && !liveNow[idx] {
-			e.slots[idx] = slot{}
-			e.free = append(e.free, idx)
-			lost++
-		}
-	}
-	if lost > 0 {
-		e.faultLost.Add(uint64(lost))
-		e.redDepart(lost)
-	}
-	return nil
-}
-
-// sweepOrphanSlots frees every still-live slot and counts it in
-// FaultLost. Only valid when the sorter is known empty (end of drain):
-// at that point a live slot can only be the leftover of a ghost
-// extraction whose duplicate payload reference released someone else's
-// slot.
-func (e *Engine) sweepOrphanSlots() {
-	lost := 0
-	for idx := range e.slots {
-		if e.slots[idx].live {
-			e.slots[idx] = slot{}
-			e.free = append(e.free, idx)
-			lost++
-		}
-	}
-	if lost > 0 {
-		e.faultLost.Add(uint64(lost))
-		e.redDepart(lost)
-	}
-}
-
-// drainAborted reports whether the drain watchdog has fired.
-func (e *Engine) drainAborted() bool {
-	select {
-	case <-e.abortDrain:
-		return true
-	default:
-		return false
-	}
-}
-
-// finalizeAbort closes out an aborted drain: every packet still in
-// flight is shed accountably — ring and carry items are counted
-// inserted-then-lost (so Submitted == Inserted survives), the lanes are
-// flushed, and the slot reconciliation counts the sorter residents —
-// then the datapath exits with a drain-aborted terminal error.
-func (e *Engine) finalizeAbort() {
-	shed := uint64(len(e.carry))
-	e.carry = nil
-	for _, ring := range e.rings {
-		for {
-			drained := false
-			select {
-			case <-ring:
-				shed++
-				drained = true
-			default:
-			}
-			if !drained {
-				break
-			}
-		}
-	}
-	if shed > 0 {
-		e.inserted.Add(shed)
-		e.faultLost.Add(shed)
-		e.drainShed.Add(shed)
-		e.redDepart(int(shed))
-	}
-	flushed := 0
-	for i := 0; i < e.sorter.Lanes(); i++ {
-		flushed += e.sorter.Lane(i).Flush()
-	}
-	e.sorter.ResyncHeads()
-	if err := e.reconcileSlots(); err != nil {
-		// The slot table could not be reconciled against the flushed
-		// sorter; surface it, the shed counters still hold.
-		e.runErr = fmt.Errorf("engine: drain aborted and reconcile failed: %w", err)
-		e.updateMirror()
-		return
-	}
-	e.drainShed.Add(uint64(flushed))
-	e.updateMirror()
-	e.runErr = fmt.Errorf("engine: drain aborted by watchdog after %v without progress: %d packets shed (accounted in FaultLost)",
-		e.cfg.DrainTimeout, e.drainShed.Load())
-}
-
-// watchdog monitors datapath progress from outside the datapath
-// goroutine: a wedged drain is aborted after DrainTimeout, and a
-// stalled datapath (no progress with work pending) is flagged in the
-// supervision state machine after StallTimeout until progress resumes.
-func (e *Engine) watchdog() {
-	tick := e.watchTick()
-	if tick <= 0 {
-		return
-	}
-	t := time.NewTicker(tick)
-	defer t.Stop()
-	var last uint64
-	var stalledFor time.Duration
-	wasStalled := false
-	for {
-		select {
-		case <-e.done:
-			return
-		case <-t.C:
-		}
-		p := e.progress.Load()
-		draining := e.draining.Load()
-		pending := draining || e.ringsOccupied() > 0 || e.mirrorSorterLen() > 0
-		if p != last || !pending {
-			last = p
-			stalledFor = 0
-			if wasStalled {
-				wasStalled = false
-				e.sup.SetStalled(false)
-			}
-			continue
-		}
-		stalledFor += tick
-		if draining {
-			if e.cfg.DrainTimeout > 0 && stalledFor >= e.cfg.DrainTimeout {
-				e.watchdogTrips.Add(1)
-				e.abortOnce.Do(func() { close(e.abortDrain) })
-			}
-			continue
-		}
-		if e.cfg.StallTimeout > 0 && stalledFor >= e.cfg.StallTimeout && !wasStalled {
-			e.watchdogTrips.Add(1)
-			wasStalled = true
-			e.sup.SetStalled(true)
-		}
-	}
-}
-
-// watchTick derives the watchdog polling period from the enabled
-// deadlines (an eighth of the tightest one, clamped to [1ms, 250ms]);
-// zero means both deadlines are disabled and no watchdog is needed.
-func (e *Engine) watchTick() time.Duration {
-	min := time.Duration(0)
-	for _, d := range []time.Duration{e.cfg.DrainTimeout, e.cfg.StallTimeout} {
-		if d > 0 && (min == 0 || d < min) {
-			min = d
-		}
-	}
-	if min == 0 {
-		return 0
-	}
-	tick := min / 8
-	if tick < time.Millisecond {
-		tick = time.Millisecond
-	}
-	if tick > 250*time.Millisecond {
-		tick = 250 * time.Millisecond
-	}
-	return tick
-}
-
-// allocSlot assigns a slot to a submission (datapath-owned).
-func (e *Engine) allocSlot(it item) (int, bool) {
-	if len(e.free) == 0 {
-		return 0, false
-	}
-	idx := e.free[len(e.free)-1]
-	e.free = e.free[:len(e.free)-1]
-	e.slots[idx] = slot{tag: it.tag, payload: it.payload, submitNs: it.submitNs, live: true}
-	return idx, true
-}
-
-// releaseSlot frees a slot on extraction, returning its record.
-func (e *Engine) releaseSlot(idx int) slot {
-	if idx < 0 || idx >= len(e.slots) || !e.slots[idx].live {
-		// A recovery already reclaimed it (or the payload is damaged);
-		// serve what we can.
-		return slot{}
-	}
-	sl := e.slots[idx]
-	e.slots[idx] = slot{}
-	e.free = append(e.free, idx)
-	return sl
-}
-
-// ringsEmpty reports whether every submission ring is drained.
-func (e *Engine) ringsEmpty() bool {
-	for _, r := range e.rings {
-		if len(r) > 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// ringsOccupied returns the total ring occupancy (safe from any
-// goroutine).
-func (e *Engine) ringsOccupied() int {
+// servedOccupied sums the served-ring occupancy across lanes (safe from
+// any goroutine; best-effort between the owners' cursor updates).
+func (e *Engine) servedOccupied() int {
 	n := 0
-	for _, r := range e.rings {
-		n += len(r)
+	for _, lw := range e.lanes {
+		n += lw.served.Len()
 	}
 	return n
 }
 
-// mirrorSorterLen reads the mirrored sorter occupancy gauge.
-func (e *Engine) mirrorSorterLen() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.mirror.sorterLen
+// allLanesDone reports whether every lane goroutine has exited.
+func (e *Engine) allLanesDone() bool {
+	for _, lw := range e.lanes {
+		if !lw.doneFlag.Load() {
+			return false
+		}
+	}
+	return true
 }
 
 // recordLatency appends one sample to the sliding window.
@@ -1289,29 +843,6 @@ func (e *Engine) recordLatency(ns int64) {
 	e.mu.Unlock()
 }
 
-// updateMirror copies datapath-owned gauges into the snapshot mirror.
-func (e *Engine) updateMirror() {
-	st := e.sorter.StatsSnapshot()
-	m := mirror{
-		laneLens:     st.LaneLens,
-		sorterLen:    e.sorter.Len(),
-		maxCycles:    st.MaxLaneCycles,
-		sumCycles:    st.SumLaneCycles,
-		modelSpeedup: st.ModelSpeedup(),
-		laneLoad:     metrics.LaneLoad(st.LaneInserts),
-		fabric:       make([]LaneFabricStats, e.sorter.Lanes()),
-	}
-	for i := range m.fabric {
-		m.fabric[i] = LaneFabricStats{
-			Lane:    i,
-			Regions: metrics.FabricPressure(e.sorter.LaneFabric(i)),
-		}
-	}
-	e.mu.Lock()
-	e.mirror = m
-	e.mu.Unlock()
-}
-
 // healthState places the engine on its state machine (DESIGN.md §12):
 // stopped → healthy ⇄ {degraded, stalled} → draining → stopped/failed.
 func (e *Engine) healthState() string {
@@ -1319,9 +850,9 @@ func (e *Engine) healthState() string {
 	case !e.started.Load():
 		return "stopped"
 	case e.stopped():
-		// runErr is written by the datapath before done closes, so this
-		// read is ordered after the write.
-		if e.runErr != nil {
+		// runErr/softErr are written before done closes, so these reads
+		// are ordered after the writes.
+		if e.runErr != nil || e.softErr != nil {
 			return "failed"
 		}
 		return "stopped"
@@ -1333,54 +864,83 @@ func (e *Engine) healthState() string {
 }
 
 // Ready reports readiness: the engine is running and fully healthy (no
-// quarantined or rebuilding lane, no stall, not draining). A degraded
+// quarantined, rebuilding, or stalled lane, not draining). A degraded
 // engine still serves — liveness holds — but reports not-ready so load
 // balancers steer new work away while it recovers.
 func (e *Engine) Ready() bool { return e.healthState() == "healthy" }
 
-// StatsSnapshot returns the engine counters and gauges. Safe to call
-// from any goroutine at any time; gauges may trail the datapath by a few
-// batches.
+// StatsSnapshot returns the engine counters and gauges, summing the
+// per-lane ledgers. Safe to call from any goroutine at any time; gauges
+// may trail the lane datapaths by a few batches.
 func (e *Engine) StatsSnapshot() Stats {
 	st := Stats{
-		Running:        e.started.Load() && !e.stopped(),
-		Lanes:          e.cfg.Lanes,
-		Policy:         e.cfg.Policy.String(),
-		Health:         e.healthState(),
-		Submitted:      e.submitted.Load(),
-		DropsRing:      e.dropsRing.Load(),
-		DropsRED:       e.dropsRED.Load(),
-		Inserted:       e.inserted.Load(),
-		Extracted:      e.extracted.Load(),
-		FaultLost:      e.faultLost.Load(),
-		Batches:        e.batches.Load(),
-		BatchedOps:     e.batchedOps.Load(),
-		MaxBatch:       int(e.maxBatch.Load()),
-		Recoveries:     e.recoveries.Load(),
-		DatapathIdles:  e.idles.Load(),
-		Remapped:       e.remapped.Load(),
-		Evacuated:      e.evacuated.Load(),
-		DrainShed:      e.drainShed.Load(),
-		GhostDrops:     e.ghostDrops.Load(),
-		WatchdogTrips:  e.watchdogTrips.Load(),
-		DatapathPanics: e.panics.Load(),
-		Supervision:    e.sup.StatsSnapshot(),
-		RingLens:       make([]int, len(e.rings)),
-		WindowCycles:   e.sorter.Lane(0).CyclesPerWindow(),
+		Running:       e.started.Load() && !e.stopped(),
+		Lanes:         e.cfg.Lanes,
+		Shards:        e.cfg.Shards,
+		Policy:        e.cfg.Policy.String(),
+		Health:        e.healthState(),
+		Submitted:     e.submitted.Load(),
+		DropsRing:     e.dropsRing.Load(),
+		DropsRED:      e.dropsRED.Load(),
+		Remapped:      e.remapped.Load(),
+		WatchdogTrips: e.watchdogTrips.Load(),
+		MergeForced:   e.mergeForced.Load(),
+		Supervision:   e.sup.StatsSnapshot(),
+		LaneLedgers:   make([]LaneLedger, len(e.lanes)),
+		RingLens:      make([]int, len(e.lanes)),
+		LaneLens:      make([]int, len(e.lanes)),
+		FabricLanes:   make([]LaneFabricStats, len(e.lanes)),
+		WindowCycles:  e.windowCycles,
 	}
 	st.Ready = st.Health == "healthy"
-	for i, r := range e.rings {
-		st.RingLens[i] = len(r)
-		st.RingOccupied += len(r)
+	laneInserts := make([]uint64, len(e.lanes))
+	for i, lw := range e.lanes {
+		led := LaneLedger{
+			Lane:       i,
+			Inserted:   lw.inserted.Load(),
+			Extracted:  lw.extracted.Load(),
+			FaultLost:  lw.faultLost.Load(),
+			DrainShed:  lw.drainShed.Load(),
+			GhostDrops: lw.ghostDrops.Load(),
+			Evacuated:  lw.evacuated.Load(),
+		}
+		st.LaneLedgers[i] = led
+		st.Inserted += led.Inserted
+		st.Extracted += led.Extracted
+		st.FaultLost += led.FaultLost
+		st.DrainShed += led.DrainShed
+		st.GhostDrops += led.GhostDrops
+		st.Evacuated += led.Evacuated
+		st.Batches += lw.batches.Load()
+		st.BatchedOps += lw.batchedOps.Load()
+		st.Recoveries += lw.recoveries.Load()
+		st.DatapathIdles += lw.idles.Load()
+		st.DatapathPanics += lw.panics.Load()
+		if mb := int(lw.maxBatch.Load()); mb > st.MaxBatch {
+			st.MaxBatch = mb
+		}
+		st.RingLens[i] = lw.ringsOccupied()
+		st.RingOccupied += st.RingLens[i]
+		st.LaneLens[i] = int(lw.sorterLen.Load())
+		st.SorterLen += st.LaneLens[i]
+		st.ServedOccupied += lw.served.Len()
+		laneInserts[i] = led.Inserted
+		if m := lw.mirror.Load(); m != nil {
+			st.FabricLanes[i] = LaneFabricStats{Lane: i, Regions: m.fabric}
+			st.SumLaneCycles += m.cycles
+			if m.cycles > st.MaxLaneCycles {
+				st.MaxLaneCycles = m.cycles
+			}
+		} else {
+			st.FabricLanes[i] = LaneFabricStats{Lane: i}
+		}
+	}
+	st.LaneLoad = metrics.LaneLoad(laneInserts)
+	st.InFlight = st.RingOccupied + st.SorterLen + st.ServedOccupied
+	if st.MaxLaneCycles > 0 {
+		st.ModelSpeedup = float64(st.SumLaneCycles) / float64(st.MaxLaneCycles)
 	}
 	e.mu.Lock()
-	st.LaneLens = append([]int(nil), e.mirror.laneLens...)
-	st.SorterLen = e.mirror.sorterLen
-	st.MaxLaneCycles = e.mirror.maxCycles
-	st.SumLaneCycles = e.mirror.sumCycles
-	st.ModelSpeedup = e.mirror.modelSpeedup
-	st.LaneLoad = e.mirror.laneLoad
-	st.FabricLanes = append([]LaneFabricStats(nil), e.mirror.fabric...)
 	st.LatencyCount = e.latN
 	if n := len(e.latBuf); n > 0 {
 		s := make([]int64, n)
@@ -1395,7 +955,6 @@ func (e *Engine) StatsSnapshot() Stats {
 		st.LatencyMaxNs = float64(s[n-1])
 	}
 	e.mu.Unlock()
-	st.InFlight = st.RingOccupied + st.SorterLen
 	if st.ModelSpeedup > 0 && st.WindowCycles > 0 {
 		st.ModeledMpps = e.cfg.ClockHz / float64(st.WindowCycles) * st.ModelSpeedup / 1e6
 	}

@@ -53,6 +53,8 @@ func TestConfigValidation(t *testing.T) {
 		{"negative batch", Config{BatchSize: -4}, false},
 		{"unknown policy", Config{Policy: Policy(99)}, false},
 		{"negative out buffer", Config{OutBuffer: -2}, false},
+		{"too many shards", Config{Shards: 100}, false},
+		{"negative serve-ahead", Config{ServeAhead: -1}, false},
 		{"negative clock", Config{ClockHz: -1}, false},
 		{"red zero value", Config{Policy: PolicyRED}, true},
 		{"red bad thresholds", Config{Policy: PolicyRED, RED: aqm.REDConfig{MinThreshold: 9, MaxThreshold: 3, MaxP: 0.1}}, false},
@@ -462,14 +464,15 @@ func TestQuarantineRemapsAndReinstates(t *testing.T) {
 	drainAll(t, e, &served, &wg)
 
 	// Seed traffic on every lane, then corrupt lane 1's translation
-	// table on the datapath goroutine and trip the repair pass with an
-	// injected panic (the flip alone might sit unnoticed until a lookup).
+	// table on lane 1's own datapath goroutine and trip its repair pass
+	// with an injected panic (the flip alone might sit unnoticed until a
+	// lookup).
 	for i := 0; i < 64; i++ {
 		if _, err := e.Submit(i%e.TagRange(), i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := e.Inject(func() {
+	if err := e.InjectLane(1, func() {
 		if _, err := inj.FlipNow("translation-table", 1, 1<<8); err != nil {
 			t.Errorf("FlipNow: %v", err)
 		}
@@ -653,6 +656,78 @@ func TestDrainWatchdogAbortsWedgedConsumer(t *testing.T) {
 		t.Fatalf("aborted drain left occupancy: sorter %d rings %d", st.SorterLen, st.RingOccupied)
 	}
 	t.Logf("drain aborted: %v (shed %d)", err, st.DrainShed)
+}
+
+// TestPerLaneDrainWatchdogSparesHealthyLanes: the drain watchdog is per
+// lane, so a single wedged datapath must not cost the other lanes
+// anything. Lane 0 is put to sleep by an injected chaos action that
+// outlasts DrainTimeout; lane 1 drains normally and parks at the drain
+// barrier (backlog-free barrier waiters are exempt from abort). Only
+// lane 0's backlog is shed, lane 1's ledger closes lossless, and the
+// global conservation identity still holds on the aborted drain.
+func TestPerLaneDrainWatchdogSparesHealthyLanes(t *testing.T) {
+	e, err := New(Config{
+		Lanes: 2, LaneCapacity: 256, RingSize: 64, BatchSize: 8,
+		DrainTimeout: 50 * time.Millisecond, StallTimeout: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var served []Served
+	var wg sync.WaitGroup
+	drainAll(t, e, &served, &wg)
+
+	// Wedge lane 0's datapath goroutine past the drain deadline before
+	// offering it any traffic, so its whole backlog sits in the
+	// submission rings when the watchdog fires. Keep the backlog below
+	// the lane's ring capacity: PolicyBlock producers must never park on
+	// the sleeping lane, or Stop would wait on them forever.
+	if err := e.InjectLane(0, func() { time.Sleep(400 * time.Millisecond) }); err != nil {
+		t.Fatal(err)
+	}
+	const perLane = 40 // interleaved partition: even tags → lane 0, odd → lane 1
+	for i := 0; i < perLane; i++ {
+		if _, err := e.Submit(2*i, i); err != nil {
+			t.Fatalf("lane-0 submit %d: %v", i, err)
+		}
+		if _, err := e.Submit(2*i+1, perLane+i); err != nil {
+			t.Fatalf("lane-1 submit %d: %v", i, err)
+		}
+	}
+	err = e.Stop()
+	wg.Wait()
+	if err == nil {
+		t.Fatal("Stop completed cleanly with lane 0 wedged past DrainTimeout")
+	}
+	st := e.StatsSnapshot()
+	if st.WatchdogTrips == 0 {
+		t.Fatal("drain watchdog never tripped")
+	}
+	l0, l1 := st.LaneLedgers[0], st.LaneLedgers[1]
+	if l0.DrainShed == 0 || l0.DrainShed != l0.FaultLost {
+		t.Fatalf("wedged lane 0 ledger: shed=%d lost=%d, want all loss from shedding", l0.DrainShed, l0.FaultLost)
+	}
+	if l1.FaultLost != 0 || l1.DrainShed != 0 {
+		t.Fatalf("healthy lane 1 lost packets: %+v", l1)
+	}
+	if l1.Extracted != perLane {
+		t.Fatalf("healthy lane 1 served %d of %d", l1.Extracted, perLane)
+	}
+	for _, sv := range served {
+		if sv.Tag%2 != 0 {
+			continue
+		}
+		// Anything served from lane 0 must predate the abort; it can
+		// never overlap the shed set (conservation below pins the sum).
+		if l0.Extracted == 0 {
+			t.Fatalf("served even tag %d but lane 0 ledger shows no extractions", sv.Tag)
+		}
+	}
+	checkConservation(t, st)
+	t.Logf("aborted drain: %v (lane0 shed %d, lane1 extracted %d)", err, l0.DrainShed, l1.Extracted)
 }
 
 // TestStallWatchdogFlagsNotReady: a blocked consumer with work pending

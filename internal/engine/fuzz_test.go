@@ -69,12 +69,14 @@ func FuzzEngineFaultContainment(f *testing.F) {
 		for i := 0; i+2 <= len(data); i += 2 {
 			op, arg := data[i], data[i+1]
 			switch op % 3 {
-			case 2: // chaos: corrupt burst on a faultable lane
-				inj := injs[int(arg)%len(injs)]
+			case 2: // chaos: corrupt burst on a faultable lane, injected
+				// into that lane's own datapath goroutine
+				lane := int(arg) % len(injs)
+				inj := injs[lane]
 				mem := mems[int(arg/2)%len(mems)]
 				n := 1 + int(arg)%3
-				if err := e.Inject(func() { _, _ = inj.Burst(mem, n) }); err != nil {
-					t.Fatalf("op %d: Inject: %v", i, err)
+				if err := e.InjectLane(lane, func() { _, _ = inj.Burst(mem, n) }); err != nil {
+					t.Fatalf("op %d: InjectLane: %v", i, err)
 				}
 			default: // submit
 				ok, err := e.Submit(int(arg)%e.TagRange(), i)

@@ -1,0 +1,126 @@
+// Watchdogs: progress supervision from outside the datapath
+// goroutines. Each lane gets its own deadline tracking — one wedged
+// lane's drain is aborted (and shed accountably) without touching its
+// healthy peers — and the merge stage gets its own, since a consumer
+// that stopped receiving wedges delivery, not any lane.
+package engine
+
+import "time"
+
+// laneTrack is the watchdog's per-lane progress ledger.
+type laneTrack struct {
+	last    uint64
+	stuck   time.Duration
+	stalled bool
+}
+
+// watchdog monitors per-lane and merge-stage progress. During a drain,
+// a lane that makes no progress for DrainTimeout while it could publish
+// (backlog pending, served ring not full) has its drain aborted; a lane
+// blocked only because the merge stage hasn't consumed its served ring
+// is exempt — the wedge, if any, is the merge stage's, and aborting the
+// lane would shed packets a healthy consumer was about to receive.
+// Outside a drain, a progress-free lane with work pending is flagged
+// stalled in the supervision state machine (detection only) until
+// progress resumes.
+func (e *Engine) watchdog() {
+	tick := e.watchTick()
+	if tick <= 0 {
+		return
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	tracks := make([]laneTrack, len(e.lanes))
+	var merge laneTrack
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+		}
+		draining := e.draining.Load()
+		for i, lw := range e.lanes {
+			tr := &tracks[i]
+			p := lw.progress.Load()
+			backlog := lw.ringsOccupied() > 0 || lw.sorterLen.Load() > 0
+			if p != tr.last || !backlog || lw.doneFlag.Load() {
+				tr.last = p
+				tr.stuck = 0
+				if tr.stalled {
+					tr.stalled = false
+					e.sup.SetLaneStalled(i, false)
+				}
+				continue
+			}
+			tr.stuck += tick
+			if draining {
+				if e.cfg.DrainTimeout > 0 && tr.stuck >= e.cfg.DrainTimeout &&
+					lw.served.Len() < lw.served.Cap() {
+					e.watchdogTrips.Add(1)
+					lw.abortOnce.Do(func() { close(lw.abort) })
+					lw.wake()
+				}
+				continue
+			}
+			if e.cfg.StallTimeout > 0 && tr.stuck >= e.cfg.StallTimeout && !tr.stalled {
+				e.watchdogTrips.Add(1)
+				tr.stalled = true
+				e.sup.SetLaneStalled(i, true)
+			}
+		}
+
+		// Merge stage: wedged when entries sit in served rings with no
+		// delivery progress. The drain abort additionally requires the
+		// merge to be parked in a delivery send (mergeBlocked), so a
+		// merge merely holding for a lagging lane resolves through that
+		// lane's own watchdog instead.
+		mp := e.mergeProgress.Load()
+		pendingOut := e.servedOccupied() > 0
+		if mp != merge.last || !pendingOut {
+			merge.last = mp
+			merge.stuck = 0
+			if merge.stalled {
+				merge.stalled = false
+				e.sup.SetStalled(false)
+			}
+			continue
+		}
+		merge.stuck += tick
+		if draining {
+			if e.cfg.DrainTimeout > 0 && merge.stuck >= e.cfg.DrainTimeout && e.mergeBlocked.Load() {
+				e.watchdogTrips.Add(1)
+				e.abortOnce.Do(func() { close(e.abortDrain) })
+				e.wakeMerge()
+			}
+			continue
+		}
+		if e.cfg.StallTimeout > 0 && merge.stuck >= e.cfg.StallTimeout && !merge.stalled {
+			e.watchdogTrips.Add(1)
+			merge.stalled = true
+			e.sup.SetStalled(true)
+		}
+	}
+}
+
+// watchTick derives the watchdog polling period from the enabled
+// deadlines (an eighth of the tightest one, clamped to [1ms, 250ms]);
+// zero means both deadlines are disabled and no watchdog is needed.
+func (e *Engine) watchTick() time.Duration {
+	min := time.Duration(0)
+	for _, d := range []time.Duration{e.cfg.DrainTimeout, e.cfg.StallTimeout} {
+		if d > 0 && (min == 0 || d < min) {
+			min = d
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	tick := min / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	return tick
+}

@@ -1,0 +1,209 @@
+// Concurrent drive mode: replay the same seeded scripts the sequential
+// queue oracle uses through the parallel serving engine. The sequential
+// harness pins exact departure order; the engine is a concurrent system
+// with per-lane datapaths and a bounded-reorder merge, so the checks
+// weaken in a principled way — multiset conservation stays exact, and
+// departure order is held to a monotone service floor with an explicit
+// slack instead of position-for-position equality.
+
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"wfqsort/internal/engine"
+	"wfqsort/internal/pqueue"
+)
+
+// EngineRun is the result of one engine script replay.
+type EngineRun struct {
+	Served []engine.Served
+	Stats  engine.Stats
+}
+
+// engineReceive awaits one delivery with a liveness deadline, so a
+// wedged engine fails the harness instead of hanging the test binary.
+func engineReceive(ch <-chan engine.Served, deadline time.Duration) (engine.Served, bool, error) {
+	select {
+	case sv, ok := <-ch:
+		if !ok {
+			return engine.Served{}, false, nil
+		}
+		return sv, true, nil
+	case <-time.After(deadline):
+		return engine.Served{}, false, fmt.Errorf("harness: engine delivered nothing for %v", deadline)
+	}
+}
+
+// DriveEnginePaced replays the script through a fresh engine in wave
+// order: each OpInsert submits, each OpExtract awaits one delivery, so
+// the consumer paces the engine exactly as the script paced the oracle.
+// Every delivery is checked against the monotone service floor — its
+// tag must not fall more than slack below the largest tag served so
+// far. The generator keeps inserted tags within Window of the service
+// floor and the engine's merge reorders only entries concurrently in
+// flight, so slack = 2×(Window+Backlog) of the generating Params is a
+// sound bound for a healthy engine; violations mean the merge lost
+// tag order, not that the script got unlucky.
+func DriveEnginePaced(cfg engine.Config, s Script, slack int) (EngineRun, error) {
+	run, _, err := driveEngine(cfg, s, 0, slack)
+	return run, err
+}
+
+// DriveEngineFree replays the script's inserts through `producers`
+// concurrent submitters racing a free-running consumer, then drains.
+// Producer interleaving is intentionally unconstrained, so departure
+// order is uncheckable (a producer may sit on the globally smallest
+// tag while its peers race ahead); what must still hold exactly is
+// conservation — every submitted (tag, payload) pair is served exactly
+// once, and the engine's own ledger closes.
+func DriveEngineFree(cfg engine.Config, s Script, producers int) (EngineRun, error) {
+	if producers < 1 {
+		return EngineRun{}, fmt.Errorf("harness: free drive needs >= 1 producer, got %d", producers)
+	}
+	run, _, err := driveEngine(cfg, s, producers, 0)
+	return run, err
+}
+
+func driveEngine(cfg engine.Config, s Script, producers, slack int) (EngineRun, *engine.Engine, error) {
+	const deadline = 30 * time.Second
+	e, err := engine.New(cfg)
+	if err != nil {
+		return EngineRun{}, nil, fmt.Errorf("harness: %w", err)
+	}
+	if s.TagRange > e.TagRange() {
+		return EngineRun{}, nil, fmt.Errorf("harness: script tag range %d exceeds engine tag range %d",
+			s.TagRange, e.TagRange())
+	}
+	if err := e.Start(); err != nil {
+		return EngineRun{}, nil, fmt.Errorf("harness: %w", err)
+	}
+
+	var run EngineRun
+	if producers == 0 {
+		// Paced wave mode: script order, one goroutine, floor-checked
+		// delivery by delivery.
+		payload := 0
+		floorMax := -1
+		for i, op := range s.Ops {
+			if op.Kind == OpInsert {
+				admitted, err := e.Submit(op.Tag, payload)
+				if err != nil {
+					return run, e, fmt.Errorf("harness: op %d submit tag %d: %w", i, op.Tag, err)
+				}
+				if !admitted {
+					return run, e, fmt.Errorf("harness: op %d submit tag %d not admitted (paced drive needs PolicyBlock)", i, op.Tag)
+				}
+				payload++
+				continue
+			}
+			sv, ok, err := engineReceive(e.Served(), deadline)
+			if err != nil {
+				return run, e, fmt.Errorf("harness: op %d: %w", i, err)
+			}
+			if !ok {
+				return run, e, fmt.Errorf("harness: op %d: served channel closed with %d deliveries outstanding",
+					i, s.Inserts-len(run.Served))
+			}
+			if sv.Tag < floorMax-slack {
+				return run, e, fmt.Errorf("harness: service floor violated at delivery %d: tag %d is %d below the floor max %d (slack %d)",
+					len(run.Served), sv.Tag, floorMax-sv.Tag, floorMax, slack)
+			}
+			if sv.Tag > floorMax {
+				floorMax = sv.Tag
+			}
+			run.Served = append(run.Served, sv)
+		}
+	} else {
+		// Free-running mode: shard the insert sequence round-robin over
+		// the producers and let them race the consumer.
+		type sub struct{ tag, payload int }
+		subs := make([]sub, 0, s.Inserts)
+		for _, op := range s.Ops {
+			if op.Kind == OpInsert {
+				subs = append(subs, sub{op.Tag, len(subs)})
+			}
+		}
+		errs := make(chan error, producers)
+		for p := 0; p < producers; p++ {
+			go func(p int) {
+				for i := p; i < len(subs); i += producers {
+					admitted, err := e.Submit(subs[i].tag, subs[i].payload)
+					if err != nil {
+						errs <- fmt.Errorf("harness: producer %d submit %d: %w", p, i, err)
+						return
+					}
+					if !admitted {
+						errs <- fmt.Errorf("harness: producer %d submit %d not admitted (free drive needs PolicyBlock)", p, i)
+						return
+					}
+				}
+				errs <- nil
+			}(p)
+		}
+		collected := make(chan []engine.Served, 1)
+		go func() {
+			var got []engine.Served
+			for sv := range e.Served() {
+				got = append(got, sv)
+			}
+			collected <- got
+		}()
+		for p := 0; p < producers; p++ {
+			if err := <-errs; err != nil {
+				return run, e, err
+			}
+		}
+		if err := e.Stop(); err != nil {
+			return run, e, fmt.Errorf("harness: stop: %w", err)
+		}
+		run.Served = <-collected
+		run.Stats = e.StatsSnapshot()
+		return run, e, checkEngineRun(s, run)
+	}
+
+	// Paced mode epilogue: the script ends fully drained, so Stop must
+	// close the channel without further deliveries.
+	if err := e.Stop(); err != nil {
+		return run, e, fmt.Errorf("harness: stop: %w", err)
+	}
+	if sv, ok := <-e.Served(); ok {
+		return run, e, fmt.Errorf("harness: engine delivered tag %d after the script's full drain", sv.Tag)
+	}
+	run.Stats = e.StatsSnapshot()
+	return run, e, checkEngineRun(s, run)
+}
+
+// checkEngineRun enforces the mode-independent invariants: the served
+// multiset equals the inserted multiset exactly (no loss, duplication,
+// or invention) and the engine's own conservation ledger closes.
+func checkEngineRun(s Script, run EngineRun) error {
+	if len(run.Served) != s.Inserts {
+		return fmt.Errorf("harness: engine served %d entries, script inserted %d", len(run.Served), s.Inserts)
+	}
+	want := make(map[pqueue.Entry]int, s.Inserts)
+	payload := 0
+	for _, op := range s.Ops {
+		if op.Kind == OpInsert {
+			want[pqueue.Entry{Tag: op.Tag, Payload: payload}]++
+			payload++
+		}
+	}
+	for _, sv := range run.Served {
+		k := pqueue.Entry{Tag: sv.Tag, Payload: sv.Payload}
+		want[k]--
+		if want[k] < 0 {
+			return fmt.Errorf("harness: engine served unexpected entry tag %d payload %d", sv.Tag, sv.Payload)
+		}
+	}
+	st := run.Stats
+	if err := st.ConservationCheck(); err != nil {
+		return err
+	}
+	if st.Extracted != uint64(s.Inserts) || st.FaultLost != 0 {
+		return fmt.Errorf("harness: ledger: extracted %d faultLost %d, script inserted %d",
+			st.Extracted, st.FaultLost, s.Inserts)
+	}
+	return nil
+}

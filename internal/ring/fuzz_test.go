@@ -1,0 +1,106 @@
+package ring
+
+import (
+	"runtime"
+	"testing"
+)
+
+// FuzzRing interprets the input as an interleaved push/pop/peek/close
+// op sequence against a small ring and checks every step against a
+// slice-backed sequential queue oracle, then replays the surviving
+// pushed prefix through a real two-goroutine hand-off. Run continuously
+// with `go test -fuzz=FuzzRing ./internal/ring`.
+func FuzzRing(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 0, 1, 1})             // push/pop mix
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1}) // fill then drain
+	f.Add([]byte{0, 3, 0, 1, 1})                   // close with backlog
+	f.Add([]byte{2, 0, 2, 1, 2})                   // peek-heavy
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // overflow pushes
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const size = 4
+		r := New[int](size)
+		var oracle []int
+		closed := false
+		next := 0
+		pushed := 0
+		for _, b := range data {
+			switch b % 4 {
+			case 0: // push
+				ok := r.Push(next)
+				wantOK := !closed && len(oracle) < size
+				if ok != wantOK {
+					t.Fatalf("Push(%d) = %v, oracle (closed=%v, len=%d/%d) wants %v",
+						next, ok, closed, len(oracle), size, wantOK)
+				}
+				if ok {
+					oracle = append(oracle, next)
+					pushed++
+				}
+				next++
+			case 1: // pop
+				v, ok := r.Pop()
+				if ok != (len(oracle) > 0) {
+					t.Fatalf("Pop ok = %v, oracle len %d", ok, len(oracle))
+				}
+				if ok {
+					if v != oracle[0] {
+						t.Fatalf("Pop = %d, oracle head %d", v, oracle[0])
+					}
+					oracle = oracle[1:]
+				}
+			case 2: // peek (no state change)
+				v, ok := r.Peek()
+				if ok != (len(oracle) > 0) {
+					t.Fatalf("Peek ok = %v, oracle len %d", ok, len(oracle))
+				}
+				if ok && v != oracle[0] {
+					t.Fatalf("Peek = %d, oracle head %d", v, oracle[0])
+				}
+			case 3: // close
+				r.Close()
+				closed = true
+			}
+			if got := r.Len(); got != len(oracle) {
+				t.Fatalf("Len = %d, oracle %d", got, len(oracle))
+			}
+			if r.Closed() != closed {
+				t.Fatalf("Closed = %v, oracle %v", r.Closed(), closed)
+			}
+		}
+		if r.Drained() != (closed && len(oracle) == 0) {
+			t.Fatalf("Drained = %v, oracle closed=%v len=%d", r.Drained(), closed, len(oracle))
+		}
+
+		// Concurrent replay: push the same admitted count through a live
+		// producer/consumer pair and require the FIFO oracle again. The
+		// input length doubles as the producer's yield schedule.
+		if pushed == 0 {
+			return
+		}
+		cr := New[int](size)
+		got := make(chan []int, 1)
+		go func() {
+			out := make([]int, 0, pushed)
+			for len(out) < pushed {
+				if v, ok := cr.Pop(); ok {
+					out = append(out, v)
+				}
+			}
+			got <- out
+		}()
+		for i := 0; i < pushed; {
+			if cr.Push(i) {
+				i++
+				if data[i%len(data)]%2 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}
+		out := <-got
+		for i, v := range out {
+			if v != i {
+				t.Fatalf("concurrent replay position %d served %d, want %d", i, v, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Package ring provides the lock-free single-producer single-consumer
+// ring buffer under the parallel serving datapath. Every hot-path
+// hand-off in the engine — producer shard → lane worker, lane worker →
+// merge stage, lane → lane transfer inbox — is one of these rings, so
+// the per-packet synchronization cost is two uncontended atomic
+// operations (one index load, one index store per side) instead of a
+// mutex + condvar pair.
+//
+// The design is the classic bounded SPSC queue from the line-rate
+// networking literature (Eiffel's per-core queues, DPDK's rte_ring SP/SC
+// mode): a power-of-two buffer indexed by free-running head and tail
+// cursors. The producer owns tail, the consumer owns head, and each
+// side keeps a cache-line-padded *shadow* of the other's cursor so the
+// common case (ring neither full nor empty) touches no shared cache
+// line at all — the shadow is refreshed from the shared atomic only
+// when the cached value says the ring might be full (producer) or
+// empty (consumer).
+//
+// Memory ordering: Go's sync/atomic operations are sequentially
+// consistent, which subsumes the release/acquire pair this structure
+// needs — the producer's buf[t&mask] = v happens-before its
+// tail.Store(t+1); the consumer's tail.Load() observing t+1
+// happens-before its read of buf[t&mask]. The same pairing in the other
+// direction (head.Store after the slot read) keeps the producer from
+// overwriting a slot the consumer has not finished reading. The race
+// detector models exactly this, so the rings run clean under -race (the
+// linearizability tests in this package pin it).
+//
+// The zero value is not usable; call New. All methods are safe for
+// exactly one concurrent producer and one concurrent consumer;
+// Len/Cap/Closed are safe from any goroutine.
+package ring
+
+import "sync/atomic"
+
+// cacheLine is the padding stride separating the producer-owned and
+// consumer-owned cursor groups, sized for the common 64-byte line.
+const cacheLine = 64
+
+// SPSC is a bounded lock-free single-producer single-consumer queue.
+//
+// Producer-side methods: Push, Close.
+// Consumer-side methods: Pop, Peek, Advance.
+// Any-goroutine methods: Len, Cap, Closed, Drained.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_ [cacheLine]byte
+	// Producer-owned cursor group: tail is the next slot to fill;
+	// headShadow is the producer's private cache of head.
+	tail       atomic.Uint64
+	headShadow uint64
+
+	_ [cacheLine - 16]byte
+	// Consumer-owned cursor group: head is the next slot to drain;
+	// tailShadow is the consumer's private cache of tail.
+	head       atomic.Uint64
+	tailShadow uint64
+
+	_      [cacheLine - 16]byte
+	closed atomic.Bool
+}
+
+// New builds a ring with at least the requested capacity, rounded up to
+// a power of two (minimum 1).
+func New[T any](capacity int) *SPSC[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len returns the current occupancy. From the producer or consumer
+// goroutine it is exact on that side's cursor and conservative on the
+// other's; from a third goroutine it is a best-effort gauge.
+func (r *SPSC[T]) Len() int {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t < h { // torn read across the two loads; clamp
+		return 0
+	}
+	return int(t - h)
+}
+
+// Push appends v. It returns false when the ring is full or closed —
+// the producer's backpressure signal. Producer-side only.
+func (r *SPSC[T]) Push(v T) bool {
+	if r.closed.Load() {
+		return false
+	}
+	t := r.tail.Load()
+	if t-r.headShadow > r.mask {
+		r.headShadow = r.head.Load()
+		if t-r.headShadow > r.mask {
+			return false
+		}
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	return true
+}
+
+// Pop removes and returns the oldest element. ok is false when the ring
+// is empty. Consumer-side only.
+func (r *SPSC[T]) Pop() (v T, ok bool) {
+	h := r.head.Load()
+	if h == r.tailShadow {
+		r.tailShadow = r.tail.Load()
+		if h == r.tailShadow {
+			return v, false
+		}
+	}
+	var zero T
+	v = r.buf[h&r.mask]
+	r.buf[h&r.mask] = zero // release the slot's references to the GC
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// Peek returns the oldest element without removing it. ok is false when
+// the ring is empty. Consumer-side only; pair with Advance to consume.
+func (r *SPSC[T]) Peek() (v T, ok bool) {
+	h := r.head.Load()
+	if h == r.tailShadow {
+		r.tailShadow = r.tail.Load()
+		if h == r.tailShadow {
+			return v, false
+		}
+	}
+	return r.buf[h&r.mask], true
+}
+
+// Advance consumes the element a successful Peek returned. Calling it
+// without a preceding successful Peek is a consumer bug; it does
+// nothing on an empty ring. Consumer-side only.
+func (r *SPSC[T]) Advance() {
+	h := r.head.Load()
+	if h == r.tailShadow {
+		r.tailShadow = r.tail.Load()
+		if h == r.tailShadow {
+			return
+		}
+	}
+	var zero T
+	r.buf[h&r.mask] = zero
+	r.head.Store(h + 1)
+}
+
+// Close marks the ring closed: subsequent Push calls fail, Pop keeps
+// draining what was pushed before the close. Producer-side only.
+func (r *SPSC[T]) Close() { r.closed.Store(true) }
+
+// Closed reports whether Close was called.
+func (r *SPSC[T]) Closed() bool { return r.closed.Load() }
+
+// Drained reports the terminal state: closed with nothing left to pop.
+func (r *SPSC[T]) Drained() bool { return r.closed.Load() && r.Len() == 0 }

@@ -1,0 +1,301 @@
+package ring
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"unsafe"
+
+	"wfqsort/internal/raceflag"
+)
+
+// TestBasics pins single-goroutine FIFO semantics against a slice
+// oracle: interleaved pushes, pops, and peeks behave like a bounded
+// queue.
+func TestBasics(t *testing.T) {
+	r := New[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on empty ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Push(i) {
+			t.Fatalf("Push %d on non-full ring failed", i)
+		}
+	}
+	if r.Push(99) {
+		t.Fatal("Push on full ring succeeded")
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if v, ok := r.Peek(); !ok || v != 0 {
+		t.Fatalf("Peek = %d,%v, want 0,true", v, ok)
+	}
+	r.Advance()
+	if v, ok := r.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop = %d,%v, want 1,true", v, ok)
+	}
+	if !r.Push(4) || !r.Push(5) {
+		t.Fatal("Push after pops failed")
+	}
+	want := []int{2, 3, 4, 5}
+	for _, w := range want {
+		if v, ok := r.Pop(); !ok || v != w {
+			t.Fatalf("Pop = %d,%v, want %d,true", v, ok, w)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on drained ring succeeded")
+	}
+}
+
+// TestCapacityRounding pins the power-of-two rounding.
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {64, 64}, {100, 128},
+	} {
+		if got := New[byte](tc.ask).Cap(); got != tc.want {
+			t.Fatalf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestClose pins the close contract: pushes fail after Close, the
+// consumer drains exactly the pre-close prefix, and Drained flips only
+// once the backlog is gone.
+func TestClose(t *testing.T) {
+	r := New[int](8)
+	for i := 0; i < 5; i++ {
+		r.Push(i)
+	}
+	r.Close()
+	if !r.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if r.Push(5) {
+		t.Fatal("Push succeeded on closed ring")
+	}
+	if r.Drained() {
+		t.Fatal("Drained true with backlog")
+	}
+	for i := 0; i < 5; i++ {
+		if v, ok := r.Pop(); !ok || v != i {
+			t.Fatalf("Pop = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if !r.Drained() {
+		t.Fatal("Drained false after close + full drain")
+	}
+}
+
+// TestCursorPadding pins the cache-line layout the package doc
+// promises: the producer cursor group, consumer cursor group, and the
+// closed flag each start at least a cache line apart, so the two sides
+// never false-share.
+func TestCursorPadding(t *testing.T) {
+	var r SPSC[int]
+	tailOff := unsafe.Offsetof(r.tail)
+	headOff := unsafe.Offsetof(r.head)
+	closedOff := unsafe.Offsetof(r.closed)
+	if headOff-tailOff < cacheLine {
+		t.Fatalf("head at %d is only %d bytes past tail at %d; want >= %d",
+			headOff, headOff-tailOff, tailOff, cacheLine)
+	}
+	if closedOff-headOff < cacheLine {
+		t.Fatalf("closed at %d is only %d bytes past head at %d; want >= %d",
+			closedOff, closedOff-headOff, headOff, cacheLine)
+	}
+}
+
+// popped runs the consumer side of one concurrent history: it pops
+// until n values arrived (or the producer closed and the ring drained),
+// yielding on a seeded schedule so different seeds explore different
+// interleavings.
+func popped(r *SPSC[int], n int, seed int64, usePeek bool) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, 0, n)
+	for len(out) < n {
+		if usePeek && rng.Intn(2) == 0 {
+			if v, ok := r.Peek(); ok {
+				r.Advance()
+				out = append(out, v)
+				continue
+			}
+		} else if v, ok := r.Pop(); ok {
+			out = append(out, v)
+			continue
+		}
+		if r.Drained() {
+			break
+		}
+		if rng.Intn(4) == 0 {
+			runtime.Gosched()
+		}
+	}
+	return out
+}
+
+// TestLinearizability drives seeded concurrent producer/consumer
+// histories and checks every one against the sequential queue oracle.
+// For a FIFO queue with one producer and one consumer the
+// linearizability condition collapses to: the consumer observes exactly
+// the produced sequence, in order, with no loss, duplication, or
+// invention — that is what a sequential bounded queue fed the same
+// pushes would return. Occupancy must also never exceed the capacity
+// (the bounded part of the spec). Under -race the per-history length
+// shrinks: the detector slows the hot loop by two orders of magnitude,
+// and its happens-before checking makes short histories as probing as
+// long ones.
+func TestLinearizability(t *testing.T) {
+	n := 20000
+	if raceflag.Enabled {
+		n = 2000
+	}
+	for _, size := range []int{1, 2, 8, 64} {
+		for seed := int64(1); seed <= 8; seed++ {
+			r := New[int](size)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			var consumed []int
+			go func(consumerSeed int64) {
+				defer wg.Done()
+				consumed = popped(r, n, consumerSeed, seed%2 == 0)
+			}(seed * 7)
+			prng := rand.New(rand.NewSource(seed))
+			for i := 0; i < n; {
+				if r.Push(i) {
+					i++
+					continue
+				}
+				if prng.Intn(4) == 0 {
+					runtime.Gosched()
+				}
+			}
+			wg.Wait()
+
+			// Sequential oracle: a queue fed pushes 0..n-1 pops 0..n-1.
+			if len(consumed) != n {
+				t.Fatalf("size %d seed %d: consumed %d of %d values", size, seed, len(consumed), n)
+			}
+			for i, v := range consumed {
+				if v != i {
+					t.Fatalf("size %d seed %d: position %d served %d; FIFO oracle wants %d",
+						size, seed, i, v, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLinearizabilityWithClose covers the close edge: the producer
+// pushes a seeded-length prefix then closes; the consumer must drain
+// exactly that prefix and then observe Drained.
+func TestLinearizabilityWithClose(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		r := New[int](16)
+		n := 100 + int(seed*137)%4000
+		var wg sync.WaitGroup
+		wg.Add(1)
+		var consumed []int
+		go func() {
+			defer wg.Done()
+			consumed = popped(r, n+1000, seed, false) // ask for more than exists
+		}()
+		for i := 0; i < n; {
+			if r.Push(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+		r.Close()
+		wg.Wait()
+		if len(consumed) != n {
+			t.Fatalf("seed %d: consumed %d values across a close, want exactly %d", seed, len(consumed), n)
+		}
+		for i, v := range consumed {
+			if v != i {
+				t.Fatalf("seed %d: position %d served %d, want %d", seed, i, v, i)
+			}
+		}
+		if !r.Drained() {
+			t.Fatalf("seed %d: ring not drained after close and full consumption", seed)
+		}
+	}
+}
+
+// TestBoundedOccupancy samples Len from a third goroutine while a
+// producer/consumer pair runs flat out: the gauge must stay within
+// [0, Cap] at every sample (the bounded-queue part of the spec holds
+// even for racy observers).
+func TestBoundedOccupancy(t *testing.T) {
+	r := New[int](8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Push(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Pop()
+		}
+	}()
+	samples := 200000
+	if raceflag.Enabled {
+		samples = 20000
+	}
+	for i := 0; i < samples; i++ {
+		if n := r.Len(); n < 0 || n > r.Cap() {
+			close(stop)
+			t.Fatalf("Len sample %d outside [0,%d]", n, r.Cap())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	r := New[int](1024)
+	for i := 0; i < b.N; i++ {
+		r.Push(i)
+		r.Pop()
+	}
+}
+
+func BenchmarkHandoff(b *testing.B) {
+	r := New[int](1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for n := 0; n < b.N; {
+			if _, ok := r.Pop(); ok {
+				n++
+			}
+		}
+	}()
+	for i := 0; i < b.N; {
+		if r.Push(i) {
+			i++
+		}
+	}
+	<-done
+}

@@ -265,6 +265,26 @@ func (s *ShardedSorter) refreshHead(i int) {
 	}
 }
 
+// ResyncHead rebuilds lane i's head register in the select tree and
+// recounts the occupancy, after out-of-band mutation of that single
+// lane (a per-lane Rebuild or Flush through Lane(i)). Unlike
+// ResyncHeads it performs memory traffic — a PeekMin through the lane's
+// fabric — on lane i only: in a one-goroutine-per-lane deployment the
+// caller repairs its own lane without touching fabrics owned by other
+// goroutines. The select tree and occupancy counter themselves are
+// single-writer state: calls must still be serialized with every other
+// top-level ShardedSorter operation (the parallel engine does not use
+// the top-level tree at all — it owns lanes directly and merges through
+// its own concurrent select tree).
+func (s *ShardedSorter) ResyncHead(i int) {
+	s.refreshHead(i)
+	n := 0
+	for _, l := range s.lanes {
+		n += l.sorter.Len()
+	}
+	s.n = n
+}
+
 // ResyncHeads rebuilds the select tree from the live lane heads. Needed
 // after out-of-band lane mutation (fault recovery via Lane(i).Rebuild,
 // test poking); normal operations keep the tree synchronized.

@@ -3,6 +3,7 @@ package sharded
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"wfqsort/internal/core"
@@ -556,5 +557,56 @@ func TestFaultInjectedSameTagCombined(t *testing.T) {
 			t.Fatalf("post-rebuild served (%d,%d), want (%d,%d)", e.Tag, e.Payload, tag, served)
 		}
 		served++
+	}
+}
+
+// TestResyncHeadPerLane pins the per-lane head resync: goroutines
+// mutate disjoint lanes out-of-band through Lane(i) — the parallel
+// engine's ownership shape — and afterwards one serialized ResyncHead
+// per touched lane restores the select tree and occupancy without a
+// full ResyncHeads sweep.
+func TestResyncHeadPerLane(t *testing.T) {
+	s := mustNew(t, Config{Lanes: 4, LaneCapacity: 64})
+	for tag := 0; tag < 32; tag++ {
+		if err := s.Insert(tag, tag); err != nil {
+			t.Fatalf("Insert(%d): %v", tag, err)
+		}
+	}
+	// Each goroutine owns exactly one lane (parameter-passed, the
+	// laneconfine shape) and mutates it directly: extract its head and
+	// insert a replacement tag deep in that lane's slice.
+	var wg sync.WaitGroup
+	for i := 0; i < s.Lanes(); i++ {
+		wg.Add(1)
+		go func(i int, ln *core.Sorter) {
+			defer wg.Done()
+			if _, err := ln.ExtractMin(); err != nil {
+				t.Errorf("lane %d: ExtractMin: %v", i, err)
+			}
+			if err := ln.Insert(1000+i, 99); err != nil { // 1000 ≡ 0 mod 4 keeps lane ownership
+				t.Errorf("lane %d: Insert: %v", i, err)
+			}
+		}(i, s.Lane(i))
+	}
+	wg.Wait()
+	// The tree and count are now stale; per-lane resync (serialized, one
+	// call per mutated lane) must restore both.
+	for i := 0; i < s.Lanes(); i++ {
+		s.ResyncHead(i)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after per-lane resync: %v", err)
+	}
+	if s.Len() != 32 {
+		t.Fatalf("Len after resync = %d, want 32", s.Len())
+	}
+	drained, err := s.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for i := 1; i < len(drained); i++ {
+		if drained[i].Tag < drained[i-1].Tag {
+			t.Fatalf("service order inverted after resync: %d before %d", drained[i-1].Tag, drained[i].Tag)
+		}
 	}
 }

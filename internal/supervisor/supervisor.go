@@ -174,6 +174,7 @@ type Stats struct {
 	LaneEpisodes     []int    `json:"lane_episodes"`
 	QuarantinedLanes int      `json:"quarantined_lanes"`
 	Stalled          bool     `json:"stalled"`
+	StalledLanes     []bool   `json:"stalled_lanes"`
 	State            string   `json:"state"`
 
 	FaultEpisodes  uint64 `json:"fault_episodes"`
@@ -201,10 +202,11 @@ type laneDomain struct {
 type Supervisor struct {
 	cfg Config
 
-	mu      sync.Mutex
-	lanes   []laneDomain
-	ops     uint64
-	stalled bool
+	mu           sync.Mutex
+	lanes        []laneDomain
+	ops          uint64
+	stalled      bool
+	stalledLanes []bool
 
 	faultEpisodes  uint64
 	rebuildRetries uint64
@@ -222,7 +224,7 @@ func New(n int, cfg Config) (*Supervisor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Supervisor{cfg: cfg, lanes: make([]laneDomain, n)}, nil
+	return &Supervisor{cfg: cfg, lanes: make([]laneDomain, n), stalledLanes: make([]bool, n)}, nil
 }
 
 // backoff returns the pause before attempt number attempt (2-based: the
@@ -351,10 +353,22 @@ func (s *Supervisor) Requarantine(i int) {
 	s.requarantines++
 }
 
-// SetStalled records the watchdog's view of datapath progress.
+// SetStalled records the watchdog's view of whole-datapath progress
+// (in the parallel engine: the merge stage).
 func (s *Supervisor) SetStalled(v bool) {
 	s.mu.Lock()
 	s.stalled = v
+	s.mu.Unlock()
+}
+
+// SetLaneStalled records a per-lane watchdog verdict: lane i's datapath
+// goroutine has (or has stopped having) work pending without progress.
+// Any stalled lane makes the engine state EngineStalled, but — unlike a
+// quarantine — nothing is shed and the lane recovers by making
+// progress.
+func (s *Supervisor) SetLaneStalled(i int, v bool) {
+	s.mu.Lock()
+	s.stalledLanes[i] = v
 	s.mu.Unlock()
 }
 
@@ -383,10 +397,14 @@ func (s *Supervisor) engineStateLocked() EngineState {
 			degraded = true
 		}
 	}
+	anyLaneStalled := false
+	for _, v := range s.stalledLanes {
+		anyLaneStalled = anyLaneStalled || v
+	}
 	switch {
 	case quarantined == len(s.lanes):
 		return EngineFailed
-	case s.stalled:
+	case s.stalled, anyLaneStalled:
 		return EngineStalled
 	case degraded:
 		return EngineDegraded
@@ -404,6 +422,7 @@ func (s *Supervisor) StatsSnapshot() Stats {
 		LaneStates:     make([]string, len(s.lanes)),
 		LaneEpisodes:   make([]int, len(s.lanes)),
 		Stalled:        s.stalled,
+		StalledLanes:   append([]bool(nil), s.stalledLanes...),
 		State:          s.engineStateLocked().String(),
 		FaultEpisodes:  s.faultEpisodes,
 		RebuildRetries: s.rebuildRetries,
