@@ -592,7 +592,7 @@ func (e *Engine) Submit(tag, payload int) (admitted bool, err error) {
 	if !e.started.Load() {
 		return false, ErrNotStarted
 	}
-	if e.stopping.Load() {
+	if e.stopping.Load() || e.terminated() || e.stopped() {
 		return false, ErrStopped
 	}
 	e.subWG.Add(1)
@@ -600,7 +600,10 @@ func (e *Engine) Submit(tag, payload int) (admitted bool, err error) {
 	// Re-check after registering with the in-flight group: Stop waits on
 	// the group after setting the flag, so a Submit that observes
 	// stopping false here is guaranteed to finish before the drain scan.
-	if e.stopping.Load() {
+	// terminated/stopped are re-checked too — once the datapath has died
+	// no lane will ever drain the rings, so an admitted push would be a
+	// silently lost packet (Submitted != Inserted) behind a true return.
+	if e.stopping.Load() || e.terminated() || e.stopped() {
 		return false, ErrStopped
 	}
 	if tag < 0 || tag >= e.sorter.TagRange() {

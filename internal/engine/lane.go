@@ -808,6 +808,11 @@ func (e *Engine) laneFinish(lw *laneWorker) {
 			}
 			worked += n
 		}
+		// Keep the sorter gauge live: items ingested from post-barrier
+		// forwards must stay visible to the watchdog's backlog check and
+		// the merge stage's pending-hold check, or a lane wedged here can
+		// neither be drain-aborted nor held for.
+		lw.sorterLen.Store(int64(lw.ln.Len()))
 		if worked > 0 {
 			lw.progress.Add(1)
 			spin = 0

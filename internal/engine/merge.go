@@ -152,7 +152,16 @@ func (e *Engine) mergeLoop() {
 		best := tree.min()
 		if best < 0 {
 			if e.allLanesDone() {
-				return // clean drain: every lane exited, every ring is dry
+				// doneFlag is stored after a lane's last served push
+				// (laneExit), so done-then-empty is race-free — but the
+				// empty Peek above may predate both. Re-check the rings
+				// AFTER observing done: only a still-dry ring set proves a
+				// clean drain; otherwise loop to deliver the stragglers
+				// instead of letting finalSweep shed them as FaultLost.
+				if e.servedOccupied() == 0 {
+					return // clean drain: every lane exited, every ring is dry
+				}
+				continue
 			}
 			select {
 			case <-e.mergeWake:
@@ -183,9 +192,11 @@ func (e *Engine) mergeLoop() {
 		}
 		if pending {
 			e.mergeForced.Add(1)
-		} else {
-			holdSpins = 0
 		}
+		// Reset the spin budget whether the delivery was forced or not:
+		// each delivery gets its own bounded hold window, so one exhausted
+		// budget relaxes order for one delivery, not the whole episode.
+		holdSpins = 0
 
 		lw := e.lanes[best]
 		en := heads[best]
