@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"wfqsort/internal/metrics"
+	"wfqsort/internal/packet"
+	"wfqsort/internal/pqueue"
+	"wfqsort/internal/pqueue/harness"
+	"wfqsort/internal/rank"
+	"wfqsort/internal/schedulers"
+)
+
+// Disciplines-matrix shape: every rank program records its op script on
+// one seeded workload, and every sorting backend replays that script.
+// Fixed so BENCH_disciplines.json baselines are comparable across runs.
+const (
+	discArrivals = 2000
+	discFlows    = 4
+	discSeed     = 42
+	discTagRange = 4096
+	discCapBps   = 1e6
+	// discScriptGran is the rank quantization for recorded scripts: fine,
+	// because RecordingStore.Script compresses overflowing tag spans by a
+	// monotone integer divisor.
+	discScriptGran = 1e-5
+)
+
+// discProgram is one row family of the matrix: a fresh-program factory
+// (programs are stateful, so every run needs its own instance) plus the
+// rank granularity for the live HWStore unfairness comparison, scaled so
+// the busy-period tag window of that program's rank units fits the
+// sorter's range.
+type discProgram struct {
+	name string
+	mk   func() (rank.Program, error)
+	gran float64
+}
+
+func discPrograms() []discProgram {
+	weights := []float64{0.5, 0.25, 0.125, 0.125}
+	deadlines := []float64{0.005, 0.01, 0.02, 0.04}
+	// Virtual-time programs rank in seconds — the overloaded workload
+	// accumulates a busy period of roughly 12s of virtual time, and
+	// low-weight flows carry finish tags a few times past it; SRPT ranks
+	// in outstanding bits.
+	const vtGran, bitsGran = 2e-2, 4000.0
+	return []discProgram{
+		{"SCFQ", func() (rank.Program, error) { return rank.NewSCFQ(weights, discCapBps) }, vtGran},
+		{"STFQ", func() (rank.Program, error) { return rank.NewSTFQ(weights, discCapBps) }, vtGran},
+		{"WFQ", func() (rank.Program, error) { return rank.NewWFQ(weights, discCapBps) }, vtGran},
+		{"VirtualClock", func() (rank.Program, error) { return rank.NewVirtualClock(weights, discCapBps) }, vtGran},
+		{"EDF", func() (rank.Program, error) { return rank.NewEDF(deadlines) }, vtGran},
+		{"SRPT", func() (rank.Program, error) { return rank.NewSRPT(len(weights)) }, bitsGran},
+		{"LSTF", func() (rank.Program, error) { return rank.NewLSTF(deadlines, discCapBps) }, discScriptGran},
+	}
+}
+
+// discResult is one (discipline, backend) row of BENCH_disciplines.json.
+type discResult struct {
+	Discipline string `json:"discipline"`
+	Backend    string `json:"backend"`
+	Exact      bool   `json:"exact"`
+
+	// WallOpsPerSec is simulator software speed replaying the script.
+	WallOpsPerSec float64 `json:"wall_ops_per_sec"`
+
+	// Approximation quality (all zero for exact backends, which are
+	// additionally checked position-for-position against the oracle).
+	Inversions   int64   `json:"inversions"`
+	InvertedDeqs int     `json:"inverted_deqs"`
+	MaxSlip      int     `json:"max_slip"`
+	Unpifoness   float64 `json:"unpifoness"`
+
+	// Unfairness is the worst per-flow served-byte-share deviation of a
+	// live run over this backend vs the exact soft reference (only
+	// measured for approximate backends; 0 means shares matched).
+	Unfairness float64 `json:"unfairness"`
+}
+
+// discReport is the BENCH_disciplines.json document.
+type discReport struct {
+	Schema     string       `json:"schema"`
+	Seed       int64        `json:"seed"`
+	Arrivals   int          `json:"arrivals"`
+	Flows      int          `json:"flows"`
+	TagRange   int          `json:"tag_range"`
+	NumCPU     int          `json:"num_cpu"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Results    []discResult `json:"results"`
+}
+
+// discBackends returns the replay backends: the exact sorters and the
+// SP-PIFO strict-priority approximation.
+func discBackends() map[string]func() (pqueue.MinTagQueue, error) {
+	return map[string]func() (pqueue.MinTagQueue, error){
+		"tree":      func() (pqueue.MinTagQueue, error) { return pqueue.NewMultiBitTree(discTagRange) },
+		"sharded-4": func() (pqueue.MinTagQueue, error) { return pqueue.NewSharded(4, discTagRange) },
+		"sp-pifo-8": func() (pqueue.MinTagQueue, error) { return pqueue.NewSPPIFO(8, discTagRange) },
+	}
+}
+
+// runDisciplines benchmarks the rank-program x backend matrix: each
+// discipline's recorded script replayed on every backend, exact ones
+// validated against the differential oracle, the SP-PIFO bank scored
+// with inversion/unpifoness metrics plus a live unfairness comparison
+// against the exact soft reference.
+func runDisciplines(jsonPath string) error {
+	report := discReport{
+		Schema:     "wfqsort/bench-disciplines/v1",
+		Seed:       discSeed,
+		Arrivals:   discArrivals,
+		Flows:      discFlows,
+		TagRange:   discTagRange,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	arrivals := harness.SyntheticArrivals(discSeed, discFlows, discArrivals)
+	fmt.Printf("rank-program matrix — %d arrivals, %d flows, seed %d, tag range %d\n",
+		discArrivals, discFlows, discSeed, discTagRange)
+	fmt.Printf("(exact backends are oracle-checked position-for-position; sp-pifo is scored for approximation error)\n\n")
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "discipline\tbackend\texact\twall ops/s\tinversions\tinv deqs\tmax slip\tunpifoness\tunfairness")
+	backendNames := []string{"tree", "sharded-4", "sp-pifo-8"}
+	backends := discBackends()
+	for _, dp := range discPrograms() {
+		prog, err := dp.mk()
+		if err != nil {
+			return fmt.Errorf("%s: %w", dp.name, err)
+		}
+		script, err := harness.ProgramScript(prog, arrivals, discCapBps, discScriptGran, discTagRange)
+		if err != nil {
+			return fmt.Errorf("%s: recording script: %w", dp.name, err)
+		}
+		for _, bname := range backendNames {
+			res := discResult{Discipline: dp.name, Backend: bname}
+			q, err := backends[bname]()
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", dp.name, bname, err)
+			}
+			res.Exact = q.Exact()
+			start := time.Now() //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+			if _, err := harness.Drive(q, script); err != nil {
+				return fmt.Errorf("%s/%s: drive: %w", dp.name, bname, err)
+			}
+			elapsed := time.Since(start) //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+			res.WallOpsPerSec = float64(len(script.Ops)) / elapsed.Seconds()
+
+			fresh, err := backends[bname]()
+			if err != nil {
+				return err
+			}
+			if res.Exact {
+				if err := harness.Check(fresh, script); err != nil {
+					return fmt.Errorf("%s/%s: oracle check: %w", dp.name, bname, err)
+				}
+			} else {
+				rep, err := harness.CheckApprox(fresh, script)
+				if err != nil {
+					return fmt.Errorf("%s/%s: approx check: %w", dp.name, bname, err)
+				}
+				res.Inversions = rep.Inversions
+				res.InvertedDeqs = rep.InvertedDeqs
+				res.MaxSlip = rep.MaxSlip
+				res.Unpifoness = rep.Unpifoness
+				unf, err := discUnfairness(dp, bname, arrivals)
+				if err != nil {
+					return fmt.Errorf("%s/%s: unfairness: %w", dp.name, bname, err)
+				}
+				res.Unfairness = unf
+			}
+			report.Results = append(report.Results, res)
+			fmt.Fprintf(w, "%s\t%s\t%v\t%.0f\t%d\t%d\t%d\t%.1f\t%.4f\n",
+				res.Discipline, res.Backend, res.Exact, res.WallOpsPerSec,
+				res.Inversions, res.InvertedDeqs, res.MaxSlip, res.Unpifoness, res.Unfairness)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// discUnfairness runs the discipline live over the approximate backend
+// (through the HWStore quantization seam) and over the exact soft
+// reference, and reports the worst per-flow served-share deviation.
+func discUnfairness(dp discProgram, bname string, arrivals []packet.Packet) (float64, error) {
+	approxProg, err := dp.mk()
+	if err != nil {
+		return 0, err
+	}
+	q, err := discBackends()[bname]()
+	if err != nil {
+		return 0, err
+	}
+	hw, err := rank.NewHWStore(q, dp.gran, discTagRange)
+	if err != nil {
+		return 0, err
+	}
+	approxPIFO, err := schedulers.NewPIFO(approxProg, hw)
+	if err != nil {
+		return 0, err
+	}
+	approxDeps, err := schedulers.Run(arrivals, approxPIFO, discCapBps)
+	if err != nil {
+		return 0, err
+	}
+	exactProg, err := dp.mk()
+	if err != nil {
+		return 0, err
+	}
+	exactPIFO, err := schedulers.NewPIFO(exactProg, rank.NewSoftStore())
+	if err != nil {
+		return 0, err
+	}
+	exactDeps, err := schedulers.Run(arrivals, exactPIFO, discCapBps)
+	if err != nil {
+		return 0, err
+	}
+	// Compare the first half of each schedule: over the complete drain
+	// both serve every packet, so whole-schedule shares are equal by
+	// conservation — the deviation that matters is who was served early.
+	n := len(approxDeps)
+	if len(exactDeps) < n {
+		n = len(exactDeps)
+	}
+	return metrics.Unfairness(approxDeps[:n/2], exactDeps[:n/2], discFlows)
+}

@@ -29,6 +29,15 @@
 // fewer than 4 CPUs the check is skipped, since a scaling assertion
 // without cores to scale onto measures the scheduler, not the engine.
 //
+// With -disciplines it benchmarks the rank-program seam: every
+// discipline (SCFQ, STFQ, WFQ, VirtualClock, EDF, SRPT, LSTF) records
+// its op script on a seeded workload, every backend (multi-bit tree,
+// sharded sorter, SP-PIFO bank) replays it — exact backends are checked
+// position-for-position against the differential oracle, the SP-PIFO
+// approximation is scored with inversion/unpifoness metrics and a live
+// per-flow unfairness comparison; with -json it writes
+// BENCH_disciplines.json.
+//
 // Usage:
 //
 //	sortbench [-backlog N] [-steady N] [-window W] [-profile bell|left|uniform] [-seed S]
@@ -78,7 +87,8 @@ func run() error {
 	membusMode := flag.Bool("membus", false, "benchmark the memory fabric across tag-store technologies")
 	engineMode := flag.Bool("engine", false, "benchmark the concurrent serving engine (sustained + 2x overload + GOMAXPROCS scaling sweep)")
 	engineSmoke := flag.Bool("engine-smoke", false, "reduced 1-vs-4-proc engine scaling check (CI gate; skipped below 4 CPUs)")
-	jsonPath := flag.String("json", "", "with -sharded, -membus, or -engine: also write machine-readable results to this file")
+	disciplinesMode := flag.Bool("disciplines", false, "benchmark the rank-program x backend matrix (exact sorters oracle-checked, SP-PIFO scored for approximation error)")
+	jsonPath := flag.String("json", "", "with -sharded, -membus, -engine, or -disciplines: also write machine-readable results to this file")
 	flag.Parse()
 
 	if *shardedMode {
@@ -92,6 +102,9 @@ func run() error {
 	}
 	if *engineSmoke {
 		return runEngineSmoke(*seed)
+	}
+	if *disciplinesMode {
+		return runDisciplines(*jsonPath)
 	}
 
 	var profile traffic.TagProfile

@@ -1,8 +1,9 @@
 // Command wfqd is the line-rate serving daemon built on internal/engine:
 // a long-running process that admits flows through internal/admission,
-// tags their packets with SCFQ virtual time, submits them to the
-// sharded sort/retrieve engine, and exposes live observability over
-// HTTP — GET /metrics (text exposition of engine, lane-balance,
+// ranks their packets with a pluggable rank program (-discipline:
+// SCFQ virtual time by default, or STFQ, VirtualClock, EDF, SRPT,
+// LSTF), submits them to the sharded sort/retrieve engine, and exposes
+// live observability over HTTP — GET /metrics (text exposition of engine, lane-balance,
 // fault-domain, and memory-fabric gauges), /healthz (liveness),
 // /readyz (readiness), and /stats.json.
 //
@@ -41,29 +42,31 @@ import (
 
 	"wfqsort/internal/admission"
 	"wfqsort/internal/engine"
+	"wfqsort/internal/packet"
 	"wfqsort/internal/police"
+	"wfqsort/internal/rank"
 	"wfqsort/internal/trace"
 	"wfqsort/internal/traffic"
-	"wfqsort/internal/wfq"
 )
 
 type config struct {
-	listen    string
-	ingest    string
-	traceFile string
-	synthetic int
-	profile   string
-	lanes     int
-	laneCap   int
-	ringSize  int
-	shards    int
-	batch     int
-	policy    string
-	flows     int
-	capBps    float64
-	seed      int64
-	rate      float64
-	linger    bool
+	listen     string
+	ingest     string
+	traceFile  string
+	synthetic  int
+	profile    string
+	lanes      int
+	laneCap    int
+	ringSize   int
+	shards     int
+	batch      int
+	policy     string
+	discipline string
+	flows      int
+	capBps     float64
+	seed       int64
+	rate       float64
+	linger     bool
 }
 
 func parseFlags(args []string) (config, error) {
@@ -80,6 +83,8 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&c.shards, "shards", 0, "SPSC shards per lane's submission ring (1..64, 0 = engine default)")
 	fs.IntVar(&c.batch, "batch", 64, "drain batch size")
 	fs.StringVar(&c.policy, "policy", "block", "backpressure policy: block|drop-tail|red")
+	fs.StringVar(&c.discipline, "discipline", "scfq",
+		"rank program driving the tagger: scfq|stfq|vclock|edf|srpt|lstf (edf/lstf use a uniform 10ms per-flow deadline/slack budget)")
 	fs.IntVar(&c.flows, "flows", 8, "admission-controlled flows")
 	fs.Float64Var(&c.capBps, "capacity-bps", 40e9, "modelled link capacity for WFQ tagging")
 	fs.Int64Var(&c.seed, "seed", 1, "synthetic load seed")
@@ -117,6 +122,11 @@ func (c config) validate() error {
 	}
 	if c.capBps <= 0 {
 		return fmt.Errorf("wfqd: -capacity-bps %g must be positive", c.capBps)
+	}
+	switch c.discipline {
+	case "scfq", "stfq", "vclock", "edf", "srpt", "lstf":
+	default:
+		return fmt.Errorf("wfqd: unknown discipline %q (scfq|stfq|vclock|edf|srpt|lstf)", c.discipline)
 	}
 	if c.synthetic < 0 {
 		return fmt.Errorf("wfqd: -synthetic %d must be non-negative", c.synthetic)
@@ -160,7 +170,7 @@ type server struct {
 	cfg     config
 	eng     *engine.Engine
 	ctrl    *admission.Controller
-	scfq    *wfq.SCFQ
+	prog    rank.Program
 	gran    float64
 	start   time.Time
 	served  atomic.Uint64
@@ -172,7 +182,7 @@ type server struct {
 	ingested atomic.Bool
 
 	mu       sync.Mutex
-	scfqLock sync.Mutex
+	progLock sync.Mutex
 	consumer sync.WaitGroup
 
 	// Ingest-socket lifecycle: ingestWG joins the accept loop and every
@@ -226,12 +236,13 @@ func newServer(cfg config) (*server, error) {
 		BatchSize:     cfg.batch,
 		Policy:        pol,
 		RecoverFaults: true,
+		Label:         cfg.discipline,
 	})
 	if err != nil {
 		return nil, err
 	}
 	// Admission control plane: each flow declares an equal share of the
-	// modelled link; the granted WFQ weights drive the SCFQ tagger.
+	// modelled link; the granted WFQ weights drive the rank program.
 	ctrl, err := admission.NewController(cfg.capBps, 0.95, 1500)
 	if err != nil {
 		return nil, err
@@ -246,7 +257,7 @@ func newServer(cfg config) (*server, error) {
 			return nil, fmt.Errorf("wfqd: admitting flow %d: %w", f, err)
 		}
 	}
-	scfq, err := wfq.NewSCFQ(ctrl.Weights(), cfg.capBps)
+	prog, err := newProgram(cfg.discipline, ctrl.Weights(), cfg.capBps)
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +265,7 @@ func newServer(cfg config) (*server, error) {
 		cfg:  cfg,
 		eng:  eng,
 		ctrl: ctrl,
-		scfq: scfq,
+		prog: prog,
 		// Tag granularity: one minimum-size packet at the full link rate
 		// maps to one tag step, so a flow at its granted share advances
 		// a few steps per packet and the tag space wraps gracefully
@@ -293,9 +304,42 @@ func (s *server) shutdown() error {
 	return err
 }
 
-// submitPacket tags one (flow, sizeBytes) arrival with SCFQ virtual
-// time, quantizes the finish tag into the sorter's tag space, and
-// submits it. Safe for concurrent ingest paths.
+// newProgram builds the rank program selected by -discipline over the
+// admission-granted weight vector. EDF and LSTF get a uniform 10ms
+// per-flow deadline / slack budget: the daemon has no per-flow SLA
+// plane, so every flow carries the same latency objective.
+func newProgram(discipline string, weights []float64, capBps float64) (rank.Program, error) {
+	uniform := func(v float64) []float64 {
+		b := make([]float64, len(weights))
+		for i := range b {
+			b[i] = v
+		}
+		return b
+	}
+	switch discipline {
+	case "scfq":
+		return rank.NewSCFQ(weights, capBps)
+	case "stfq":
+		return rank.NewSTFQ(weights, capBps)
+	case "vclock":
+		return rank.NewVirtualClock(weights, capBps)
+	case "edf":
+		return rank.NewEDF(uniform(0.010))
+	case "srpt":
+		return rank.NewSRPT(len(weights))
+	case "lstf":
+		return rank.NewLSTF(uniform(0.010), capBps)
+	default:
+		return nil, fmt.Errorf("wfqd: unknown discipline %q (scfq|stfq|vclock|edf|srpt|lstf)", discipline)
+	}
+}
+
+// submitPacket ranks one (flow, sizeBytes) arrival with the configured
+// rank program, quantizes the rank into the sorter's tag space, and
+// submits it. The program is self-clocked: OnServe fires at submission,
+// matching the pre-seam SCFQ Tag-then-Serve behaviour — the engine's
+// merge stage, not the program, orders actual departures. Safe for
+// concurrent ingest paths.
 func (s *server) submitPacket(flow, sizeBytes int) (bool, error) {
 	if flow < 0 || flow >= s.cfg.flows {
 		return false, fmt.Errorf("wfqd: flow %d outside [0,%d)", flow, s.cfg.flows)
@@ -303,16 +347,23 @@ func (s *server) submitPacket(flow, sizeBytes int) (bool, error) {
 	if sizeBytes <= 0 {
 		return false, fmt.Errorf("wfqd: size %d must be positive", sizeBytes)
 	}
-	s.scfqLock.Lock()
-	finish, err := s.scfq.Tag(flow, float64(sizeBytes)*8)
+	now := time.Since(s.start).Seconds()
+	p := packet.Packet{Flow: flow, Size: sizeBytes, Arrival: now}
+	s.progLock.Lock()
+	r, err := s.prog.Rank(p, now)
 	if err == nil {
-		s.scfq.Serve(finish)
+		s.prog.OnServe(p, r, now)
 	}
-	s.scfqLock.Unlock()
+	s.progLock.Unlock()
 	if err != nil {
 		return false, err
 	}
-	tag := int(finish/s.gran+0.5) % s.eng.TagRange()
+	tag := int(r.Rank/s.gran+0.5) % s.eng.TagRange()
+	if tag < 0 {
+		// LSTF slack can go negative for an already-late packet: wrap
+		// into the tag space the same way the modulo wraps large ranks.
+		tag += s.eng.TagRange()
+	}
 	return s.markIngest(s.eng.Submit(tag, flow))
 }
 
@@ -544,6 +595,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	emit("wfqd_ready", "1 while fully healthy and ready for new work (the /readyz view).", "gauge",
 		boolGauge(s.healthy.Load() && st.Ready && s.ingested.Load()))
 	emit("wfqd_uptime_seconds", "Wall-clock seconds since boot.", "gauge", time.Since(s.start).Seconds())
+	fmt.Fprintf(&b, "# HELP wfqd_discipline Rank program driving the tagger (info metric).\n# TYPE wfqd_discipline gauge\nwfqd_discipline{name=%q} 1\n", st.Label)
 	emit("wfqd_submitted_total", "Packets admitted into the submission rings.", "counter", float64(st.Submitted))
 	emit("wfqd_inserted_total", "Packets inserted into the sorter.", "counter", float64(st.Inserted))
 	emit("wfqd_extracted_total", "Packets served in tag order.", "counter", float64(st.Extracted))

@@ -16,8 +16,8 @@ func testConfig() config {
 		listen:  "127.0.0.1:0",
 		profile: "bell",
 		lanes:   2, laneCap: 256, ringSize: 32, batch: 8,
-		policy: "block",
-		flows:  4, capBps: 40e9, seed: 7,
+		policy: "block", discipline: "scfq",
+		flows: 4, capBps: 40e9, seed: 7,
 	}
 }
 
@@ -206,6 +206,8 @@ func TestConfigValidateTable(t *testing.T) {
 		{"zero capacity", func(c *config) { c.capBps = 0 }, false},
 		{"negative synthetic", func(c *config) { c.synthetic = -1 }, false},
 		{"negative rate", func(c *config) { c.rate = -5 }, false},
+		{"edf discipline", func(c *config) { c.discipline = "edf" }, true},
+		{"unknown discipline", func(c *config) { c.discipline = "fifo" }, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -217,6 +219,41 @@ func TestConfigValidateTable(t *testing.T) {
 			}
 			if !tc.ok && err == nil {
 				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+// TestDisciplineMatrix boots the daemon under every rank program and
+// proves the full submit path works: a packet is admitted, the engine
+// serves it, and the discipline label reaches stats and metrics.
+func TestDisciplineMatrix(t *testing.T) {
+	for _, d := range []string{"scfq", "stfq", "vclock", "edf", "srpt", "lstf"} {
+		t.Run(d, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.discipline = d
+			s, err := newServer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.run(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 32; i++ {
+				ok, err := s.submitPacket(i%cfg.flows, 64+i*37)
+				if err != nil || !ok {
+					t.Fatalf("submit %d under %s: ok=%v err=%v", i, d, ok, err)
+				}
+			}
+			if err := s.shutdown(); err != nil {
+				t.Fatal(err)
+			}
+			st := s.statsPayload()
+			if st.Engine.Label != d {
+				t.Fatalf("engine label %q, want %q", st.Engine.Label, d)
+			}
+			if st.Engine.Submitted != 32 || st.Served != 32 {
+				t.Fatalf("submitted %d served %d, want 32/32", st.Engine.Submitted, st.Served)
 			}
 		})
 	}

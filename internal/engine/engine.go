@@ -178,6 +178,11 @@ type Config struct {
 	// packet rates next to wall-clock ones. Defaults to the paper's
 	// 143.2 MHz.
 	ClockHz float64
+	// Label is a free-form tag for the workload or rank discipline
+	// driving this engine (e.g. "scfq", "edf"). Purely informational:
+	// echoed in Stats.Label so observability surfaces can attribute
+	// counters to the discipline that produced them.
+	Label string
 }
 
 // Validate checks the configuration and normalizes documented zero-value
@@ -297,6 +302,9 @@ type Stats struct {
 	Lanes   int
 	Shards  int
 	Policy  string
+	// Label echoes Config.Label: the discipline or workload attribution
+	// for these counters.
+	Label string
 
 	// Health is the engine state machine position: healthy, degraded,
 	// stalled, draining, failed, or stopped (DESIGN.md §12). Ready is
@@ -881,6 +889,7 @@ func (e *Engine) StatsSnapshot() Stats {
 		Lanes:         e.cfg.Lanes,
 		Shards:        e.cfg.Shards,
 		Policy:        e.cfg.Policy.String(),
+		Label:         e.cfg.Label,
 		Health:        e.healthState(),
 		Submitted:     e.submitted.Load(),
 		DropsRing:     e.dropsRing.Load(),

@@ -1,0 +1,78 @@
+// Rank-approximation accuracy: the metrics the SP-PIFO comparison
+// reports when an approximate backend (strict-priority bank, binning)
+// stands in for the exact sorter. Inversions count order violations in
+// the served tag sequence; unfairness compares per-flow service shares
+// against the exact discipline's schedule.
+package metrics
+
+import (
+	"fmt"
+
+	"wfqsort/internal/schedulers"
+)
+
+// TagInversions counts all out-of-order pairs in a served integer-tag
+// sequence (the SP-PIFO papers' inversion count), via the O(n log n)
+// merge counter.
+func TagInversions(tags []int) int64 {
+	keys := make([]float64, len(tags))
+	for i, t := range tags {
+		keys[i] = float64(t)
+	}
+	return TotalInversions(keys)
+}
+
+// Unfairness compares two schedules of the same arrival set and returns
+// the worst per-flow absolute deviation in served-byte share over the
+// common prefix — 0 when the approximate schedule gives every flow
+// exactly the exact schedule's share, approaching 1 as one flow's
+// service is handed to another.
+func Unfairness(approx, exact []schedulers.Departure, flows int) (float64, error) {
+	if flows <= 0 {
+		return 0, fmt.Errorf("metrics: flow count %d must be positive", flows)
+	}
+	n := len(approx)
+	if len(exact) < n {
+		n = len(exact)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("metrics: empty schedule")
+	}
+	shareOf := func(deps []schedulers.Departure) ([]float64, error) {
+		bits := make([]float64, flows)
+		total := 0.0
+		for _, d := range deps[:n] {
+			if d.Packet.Flow < 0 || d.Packet.Flow >= flows {
+				return nil, fmt.Errorf("metrics: flow %d outside [0,%d)", d.Packet.Flow, flows)
+			}
+			bits[d.Packet.Flow] += d.Packet.Bits()
+			total += d.Packet.Bits()
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("metrics: zero bytes served")
+		}
+		for f := range bits {
+			bits[f] /= total
+		}
+		return bits, nil
+	}
+	a, err := shareOf(approx)
+	if err != nil {
+		return 0, err
+	}
+	e, err := shareOf(exact)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for f := 0; f < flows; f++ {
+		d := a[f] - e[f]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,265 @@
+// Rank-program scripting: the differential oracle extended over the
+// rank seam. A RecordingStore stands in for a discipline's store while
+// schedulers.Run drives a rank.Program over a seeded workload, and
+// every queue operation the discipline performs is recorded as an
+// oracle script — so any MinTagQueue backend (the paper's multi-bit
+// tree, the sharded sorter, an SP-PIFO bank) can replay exactly the op
+// sequence that program generated and be checked against the stable
+// reference: exact backends position-for-position, approximate ones by
+// multiset conservation plus inversion/unpifoness metrics.
+package harness
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wfqsort/internal/metrics"
+	"wfqsort/internal/packet"
+	"wfqsort/internal/pqueue"
+	"wfqsort/internal/rank"
+	"wfqsort/internal/schedulers"
+)
+
+// RecordingStore is a rank.Store that services ranks exactly —
+// quantized tag order, FCFS among equal tags, matching the hardware
+// sorter's duplicate-tag behaviour — while recording every push and pop
+// as an oracle script op. Ranks below the running service floor are
+// clamped to it, the same clamp the hardware window applies: an
+// already-due rank would be served next either way, so the recorded
+// script keeps the monotone-floor precondition the queue backends and
+// the script generator share.
+type RecordingStore struct {
+	gran  float64
+	floor int64
+	items []recItem
+	ops   []recOp
+}
+
+type recItem struct {
+	it  rank.Item
+	tag int64
+}
+
+type recOp struct {
+	insert bool
+	tag    int64
+}
+
+// NewRecordingStore builds a recorder quantizing ranks at granularity
+// rank-units per tag step.
+func NewRecordingStore(granularity float64) (*RecordingStore, error) {
+	if granularity <= 0 {
+		return nil, fmt.Errorf("harness: granularity %v must be positive", granularity)
+	}
+	return &RecordingStore{gran: granularity}, nil
+}
+
+// Name implements rank.Store.
+func (r *RecordingStore) Name() string { return "recorder" }
+
+// Exact implements rank.Store.
+func (r *RecordingStore) Exact() bool { return true }
+
+// Len implements rank.Store.
+func (r *RecordingStore) Len() int { return len(r.items) }
+
+// Push implements rank.Store: quantize, clamp to the service floor,
+// record, and insert stably.
+func (r *RecordingStore) Push(it rank.Item) error {
+	tag := int64(it.R.Rank / r.gran)
+	if tag < r.floor {
+		tag = r.floor
+	}
+	r.ops = append(r.ops, recOp{insert: true, tag: tag})
+	i := sort.Search(len(r.items), func(i int) bool { return r.items[i].tag > tag })
+	r.items = append(r.items, recItem{})
+	copy(r.items[i+1:], r.items[i:])
+	r.items[i] = recItem{it: it, tag: tag}
+	return nil
+}
+
+// Pop implements rank.Store: serve the minimum quantized tag FCFS and
+// advance the floor.
+func (r *RecordingStore) Pop(now float64) (rank.Item, error) {
+	if len(r.items) == 0 {
+		return rank.Item{}, rank.ErrEmpty
+	}
+	head := r.items[0]
+	r.items = r.items[1:]
+	if head.tag > r.floor {
+		r.floor = head.tag
+	}
+	r.ops = append(r.ops, recOp{insert: false})
+	return head.it, nil
+}
+
+// Script converts the recorded ops into an oracle script over the given
+// tag range. Raw quantized tags that overflow the range are compressed
+// by a uniform integer divisor — a monotone map, so service order and
+// the floor precondition survive; only tie granularity coarsens.
+func (r *RecordingStore) Script(tagRange int) (Script, error) {
+	if tagRange <= 1 {
+		return Script{}, fmt.Errorf("harness: tag range %d too small", tagRange)
+	}
+	var maxTag int64
+	for _, op := range r.ops {
+		if op.insert && op.tag > maxTag {
+			maxTag = op.tag
+		}
+	}
+	div := int64(1)
+	if maxTag >= int64(tagRange) {
+		div = maxTag/int64(tagRange-1) + 1
+	}
+	s := Script{TagRange: tagRange}
+	for _, op := range r.ops {
+		if !op.insert {
+			s.Ops = append(s.Ops, Op{Kind: OpExtract})
+			continue
+		}
+		s.Ops = append(s.Ops, Op{Kind: OpInsert, Tag: int(op.tag / div)})
+		s.Inserts++
+	}
+	return s, nil
+}
+
+// SyntheticArrivals builds a seeded deterministic packet workload —
+// mixed flows, jittered sizes, bursts with occasional idle gaps — for
+// recording rank-program scripts.
+func SyntheticArrivals(seed int64, flows, count int) []packet.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	arrivals := make([]packet.Packet, count)
+	t := 0.0
+	for i := range arrivals {
+		if rng.Float64() < 0.04 {
+			t += rng.Float64() * 0.05 // idle gap between bursts
+		} else {
+			t += rng.Float64() * 8e-4
+		}
+		arrivals[i] = packet.Packet{
+			ID:      i,
+			Flow:    rng.Intn(flows),
+			Size:    64 + rng.Intn(1437),
+			Arrival: t,
+		}
+	}
+	return arrivals
+}
+
+// ProgramScript runs prog over the arrivals at capacityBps through a
+// RecordingStore and returns the op script the discipline generated.
+func ProgramScript(prog rank.Program, arrivals []packet.Packet, capacityBps, granularity float64, tagRange int) (Script, error) {
+	rec, err := NewRecordingStore(granularity)
+	if err != nil {
+		return Script{}, err
+	}
+	d, err := schedulers.NewPIFO(prog, rec)
+	if err != nil {
+		return Script{}, err
+	}
+	if _, err := schedulers.Run(arrivals, d, capacityBps); err != nil {
+		return Script{}, fmt.Errorf("harness: %s run: %w", prog.Name(), err)
+	}
+	return rec.Script(tagRange)
+}
+
+// ApproxReport summarizes how far an approximate backend strayed from
+// PIFO order while replaying a script.
+type ApproxReport struct {
+	// Served is the departure count.
+	Served int
+	// Inversions counts served pairs in the wrong tag order (0 for an
+	// exact backend).
+	Inversions int64
+	// InvertedDeqs counts dequeues served while a strictly lower tag was
+	// live (the SP-PIFO papers' per-dequeue inversion count).
+	InvertedDeqs int
+	// MaxSlip is the worst single overshoot: served tag minus the true
+	// minimum live tag at that dequeue.
+	MaxSlip int
+	// Unpifoness is the mean overshoot per dequeue (Alcoz et al.'s
+	// unpifoness normalized by departures).
+	Unpifoness float64
+}
+
+// CheckApprox drives q through the script, enforces multiset
+// conservation against the oracle, and reports inversion/unpifoness
+// metrics. Exact backends pass with a zero report.
+func CheckApprox(q pqueue.MinTagQueue, s Script) (ApproxReport, error) {
+	want := Oracle(s)
+	got, err := Drive(q, s)
+	if err != nil {
+		return ApproxReport{}, err
+	}
+	if len(got) != len(want) {
+		return ApproxReport{}, fmt.Errorf("harness: %s served %d entries, oracle served %d", q.Name(), len(got), len(want))
+	}
+	seen := make(map[pqueue.Entry]int, len(want))
+	for _, e := range want {
+		seen[e]++
+	}
+	for _, e := range got {
+		seen[e]--
+		if seen[e] < 0 {
+			return ApproxReport{}, fmt.Errorf("harness: %s served unexpected entry tag %d payload %d", q.Name(), e.Tag, e.Payload)
+		}
+	}
+	rep := ApproxReport{Served: len(got)}
+	tags := make([]int, len(got))
+	for i, e := range got {
+		tags[i] = e.Tag
+	}
+	rep.Inversions = metrics.TagInversions(tags)
+
+	// Replay the ops against the served sequence to measure each
+	// dequeue's overshoot over the true minimum live tag.
+	live := map[int]int{}
+	var lazy tagMinHeap
+	totalOver, j := 0, 0
+	for _, op := range s.Ops {
+		if op.Kind == OpInsert {
+			live[op.Tag]++
+			heap.Push(&lazy, op.Tag)
+			continue
+		}
+		for lazy.Len() > 0 && live[lazy[0]] == 0 {
+			heap.Pop(&lazy)
+		}
+		if lazy.Len() == 0 || j >= len(got) {
+			return ApproxReport{}, fmt.Errorf("harness: %s script/serve mismatch at extract %d", q.Name(), j)
+		}
+		over := got[j].Tag - lazy[0]
+		if over < 0 {
+			return ApproxReport{}, fmt.Errorf("harness: %s served tag %d below live minimum %d", q.Name(), got[j].Tag, lazy[0])
+		}
+		if over > rep.MaxSlip {
+			rep.MaxSlip = over
+		}
+		if over > 0 {
+			rep.InvertedDeqs++
+		}
+		totalOver += over
+		live[got[j].Tag]--
+		j++
+	}
+	if rep.Served > 0 {
+		rep.Unpifoness = float64(totalOver) / float64(rep.Served)
+	}
+	return rep, nil
+}
+
+type tagMinHeap []int
+
+func (h tagMinHeap) Len() int           { return len(h) }
+func (h tagMinHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h tagMinHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *tagMinHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *tagMinHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

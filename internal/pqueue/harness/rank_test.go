@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"testing"
+
+	"wfqsort/internal/pqueue"
+	"wfqsort/internal/rank"
+	"wfqsort/internal/schedulers"
+)
+
+const (
+	rankTagRange = 4096
+	rankCapacity = 1e6
+	rankGran     = 1e-5
+)
+
+// rankPrograms builds every flat (non-hierarchical) rank program over a
+// common four-flow weight set.
+func rankPrograms(t *testing.T) map[string]rank.Program {
+	t.Helper()
+	weights := []float64{0.5, 0.25, 0.125, 0.125}
+	progs := map[string]rank.Program{}
+	add := func(name string, p rank.Program, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		progs[name] = p
+	}
+	scfq, err := rank.NewSCFQ(weights, rankCapacity)
+	add("SCFQ", scfq, err)
+	wfqp, err := rank.NewWFQ(weights, rankCapacity)
+	add("WFQ", wfqp, err)
+	vc, err := rank.NewVirtualClock(weights, rankCapacity)
+	add("VirtualClock", vc, err)
+	stfq, err := rank.NewSTFQ(weights, rankCapacity)
+	add("STFQ", stfq, err)
+	edf, err := rank.NewEDF([]float64{0.005, 0.01, 0.02, 0.04})
+	add("EDF", edf, err)
+	srpt, err := rank.NewSRPT(len(weights))
+	add("SRPT", srpt, err)
+	lstf, err := rank.NewLSTF([]float64{0.005, 0.01, 0.02, 0.04}, rankCapacity)
+	add("LSTF", lstf, err)
+	return progs
+}
+
+func exactBackends(t *testing.T) map[string]func() pqueue.MinTagQueue {
+	t.Helper()
+	return map[string]func() pqueue.MinTagQueue{
+		"heap": func() pqueue.MinTagQueue { return pqueue.NewBinaryHeap() },
+		"tree": func() pqueue.MinTagQueue {
+			q, err := pqueue.NewMultiBitTree(rankTagRange)
+			if err != nil {
+				t.Fatalf("NewMultiBitTree: %v", err)
+			}
+			return q
+		},
+		"sharded": func() pqueue.MinTagQueue {
+			q, err := pqueue.NewSharded(4, rankTagRange)
+			if err != nil {
+				t.Fatalf("NewSharded: %v", err)
+			}
+			return q
+		},
+	}
+}
+
+// TestDisciplineScriptsExactBackends records each rank program's op
+// script on a seeded workload and requires every exact backend to
+// reproduce the oracle's service position-for-position.
+func TestDisciplineScriptsExactBackends(t *testing.T) {
+	arrivals := SyntheticArrivals(42, 4, 500)
+	for name, prog := range rankPrograms(t) {
+		s, err := ProgramScript(prog, arrivals, rankCapacity, rankGran, rankTagRange)
+		if err != nil {
+			t.Fatalf("%s: ProgramScript: %v", name, err)
+		}
+		if s.Inserts != len(arrivals) {
+			t.Fatalf("%s: script has %d inserts for %d arrivals", name, s.Inserts, len(arrivals))
+		}
+		for bname, mk := range exactBackends(t) {
+			if err := Check(mk(), s); err != nil {
+				t.Fatalf("%s over %s: %v", name, bname, err)
+			}
+		}
+	}
+}
+
+// TestHierarchicalScriptExactBackends records the root PIFO of an HPFQ
+// tree (the hierarchical composition's class scheduler) and validates
+// it the same way: the tree's root is itself a rank program over the
+// sorter.
+func TestHierarchicalScriptExactBackends(t *testing.T) {
+	rec, err := NewRecordingStore(rankGran)
+	if err != nil {
+		t.Fatalf("NewRecordingStore: %v", err)
+	}
+	root, err := rank.NewSTFQ([]float64{0.75, 0.25}, rankCapacity)
+	if err != nil {
+		t.Fatalf("NewSTFQ: %v", err)
+	}
+	leafA, err := rank.NewSTFQ([]float64{2, 1}, rankCapacity)
+	if err != nil {
+		t.Fatalf("NewSTFQ: %v", err)
+	}
+	leafB, err := rank.NewSTFQ([]float64{1, 1}, rankCapacity)
+	if err != nil {
+		t.Fatalf("NewSTFQ: %v", err)
+	}
+	tree, err := schedulers.NewPIFOTree(root, rec, []schedulers.TreeClass{
+		{Leaf: leafA, Store: rank.NewSoftStore(), Flows: []int{0, 1}},
+		{Leaf: leafB, Store: rank.NewSoftStore(), Flows: []int{2, 3}},
+	})
+	if err != nil {
+		t.Fatalf("NewPIFOTree: %v", err)
+	}
+	arrivals := SyntheticArrivals(7, 4, 500)
+	if _, err := schedulers.Run(arrivals, tree, rankCapacity); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s, err := rec.Script(rankTagRange)
+	if err != nil {
+		t.Fatalf("Script: %v", err)
+	}
+	if s.Inserts != len(arrivals) {
+		t.Fatalf("root script has %d inserts for %d arrivals", s.Inserts, len(arrivals))
+	}
+	for bname, mk := range exactBackends(t) {
+		if err := Check(mk(), s); err != nil {
+			t.Fatalf("HPFQ root over %s: %v", bname, err)
+		}
+	}
+}
+
+// TestDisciplineScriptsSPPIFO replays every program's script on the
+// SP-PIFO bank: multiset conservation must hold exactly, inversions
+// must stay a bounded fraction of all served pairs, and an exact
+// backend run through the same approx checker must report zero.
+//
+// The inversion bound here is deliberately loose (beat a uniform
+// random shuffle, which inverts half of all pairs in expectation):
+// virtual-time disciplines emit monotonically drifting ranks, which is
+// SP-PIFO's documented worst case — the bounds ladder ratchets upward
+// and each strict-priority queue accumulates a climbing run. The tight
+// bound for a stationary rank distribution lives in the pqueue
+// package's own SP-PIFO tests.
+func TestDisciplineScriptsSPPIFO(t *testing.T) {
+	arrivals := SyntheticArrivals(42, 4, 500)
+	for name, prog := range rankPrograms(t) {
+		s, err := ProgramScript(prog, arrivals, rankCapacity, rankGran, rankTagRange)
+		if err != nil {
+			t.Fatalf("%s: ProgramScript: %v", name, err)
+		}
+		sp, err := pqueue.NewSPPIFO(8, rankTagRange)
+		if err != nil {
+			t.Fatalf("NewSPPIFO: %v", err)
+		}
+		rep, err := CheckApprox(sp, s)
+		if err != nil {
+			t.Fatalf("%s over sp-pifo: %v", name, err)
+		}
+		if rep.Served != len(arrivals) {
+			t.Fatalf("%s: served %d of %d", name, rep.Served, len(arrivals))
+		}
+		pairs := int64(rep.Served) * int64(rep.Served-1) / 2
+		if rep.Inversions*2 >= pairs {
+			t.Fatalf("%s: %d/%d pairs inverted — no better than random", name, rep.Inversions, pairs)
+		}
+		if rep.MaxSlip < 0 || (rep.Inversions > 0) != (rep.Unpifoness > 0 || rep.MaxSlip > 0) {
+			t.Fatalf("%s: inconsistent report %+v", name, rep)
+		}
+		if rep.InvertedDeqs > rep.Served {
+			t.Fatalf("%s: %d inverted dequeues out of %d served", name, rep.InvertedDeqs, rep.Served)
+		}
+
+		exact, err := CheckApprox(pqueue.NewBinaryHeap(), s)
+		if err != nil {
+			t.Fatalf("%s over heap (approx checker): %v", name, err)
+		}
+		if exact.Inversions != 0 || exact.MaxSlip != 0 || exact.Unpifoness != 0 || exact.InvertedDeqs != 0 {
+			t.Fatalf("%s: exact backend reported nonzero approximation error %+v", name, exact)
+		}
+	}
+}
+
+// TestRecordingStoreFloorClamp pins the clamp documented on
+// RecordingStore: a rank below the service floor records at the floor,
+// keeping the script's monotone-floor precondition.
+func TestRecordingStoreFloorClamp(t *testing.T) {
+	rec, err := NewRecordingStore(1)
+	if err != nil {
+		t.Fatalf("NewRecordingStore: %v", err)
+	}
+	push := func(r float64) {
+		t.Helper()
+		if err := rec.Push(rank.Item{R: rank.Ranked{Rank: r}}); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	push(10)
+	if _, err := rec.Pop(0); err != nil {
+		t.Fatalf("pop: %v", err)
+	}
+	push(3) // below the floor of 10: clamps
+	push(12)
+	for rec.Len() > 0 {
+		if _, err := rec.Pop(0); err != nil {
+			t.Fatalf("pop: %v", err)
+		}
+	}
+	s, err := rec.Script(4096)
+	if err != nil {
+		t.Fatalf("Script: %v", err)
+	}
+	want := Oracle(s)
+	for i := 1; i < len(want); i++ {
+		if want[i].Tag < want[i-1].Tag {
+			t.Fatalf("oracle serves tag %d after %d — floor violated", want[i].Tag, want[i-1].Tag)
+		}
+	}
+	if len(want) != 3 || want[1].Tag != 10 {
+		t.Fatalf("clamped service = %v, want the sub-floor insert served at tag 10", want)
+	}
+}

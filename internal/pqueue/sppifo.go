@@ -1,0 +1,118 @@
+package pqueue
+
+import "fmt"
+
+// SPPIFO approximates a PIFO with k strict-priority FIFO queues
+// (Alcoz et al., SP-PIFO — PAPERS.md): each queue carries an adaptive
+// rank bound, an arriving tag scans bottom-up for the first queue whose
+// bound it meets (push-up: the bound rises to the admitted tag), and a
+// tag below every bound enters the highest-priority queue while all
+// bounds shift down by the miss (push-down). Extraction serves the
+// head of the first non-empty queue, so inversions are possible —
+// bounded in practice by the adaptation — and Exact() is false: the
+// harness checks it by multiset conservation plus inversion metrics,
+// not positional equality.
+type SPPIFO struct {
+	opCounter
+	queues [][]Entry
+	bounds []int
+	n      int
+
+	pushUps   uint64
+	pushDowns uint64
+}
+
+// NewSPPIFO builds an SP-PIFO bank of k strict-priority queues over the
+// given tag range.
+func NewSPPIFO(k, tagRange int) (*SPPIFO, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("pqueue: sp-pifo needs at least 2 queues, got %d", k)
+	}
+	if tagRange <= 0 {
+		return nil, fmt.Errorf("pqueue: sp-pifo tag range %d must be positive", tagRange)
+	}
+	return &SPPIFO{
+		queues: make([][]Entry, k),
+		bounds: make([]int, k),
+	}, nil
+}
+
+// Name implements MinTagQueue.
+func (s *SPPIFO) Name() string { return fmt.Sprintf("sp-pifo-%d", len(s.queues)) }
+
+// Model implements MinTagQueue: the mapping work happens at insertion.
+func (s *SPPIFO) Model() Model { return ModelSort }
+
+// Exact implements MinTagQueue: strict-priority approximation admits
+// inversions.
+func (s *SPPIFO) Exact() bool { return false }
+
+// Len implements MinTagQueue.
+func (s *SPPIFO) Len() int { return s.n }
+
+// Insert implements MinTagQueue: bottom-up scan with push-up, falling
+// back to the highest-priority queue with push-down.
+func (s *SPPIFO) Insert(tag, payload int) error {
+	if tag < 0 {
+		s.abort()
+		return fmt.Errorf("pqueue: sp-pifo tag %d negative", tag)
+	}
+	k := len(s.queues)
+	for i := k - 1; i >= 0; i-- {
+		s.touch(1) // bound probe
+		if tag >= s.bounds[i] {
+			if tag > s.bounds[i] {
+				s.pushUps++
+			}
+			s.bounds[i] = tag // push-up: the bound follows the admitted rank
+			s.touch(1)        // queue append
+			s.queues[i] = append(s.queues[i], Entry{Tag: tag, Payload: payload})
+			s.n++
+			s.endInsert()
+			return nil
+		}
+	}
+	// Below every bound: admit at the highest priority and push all
+	// bounds down by the miss so future low ranks map correctly.
+	miss := s.bounds[0] - tag
+	for i := 0; i < k; i++ {
+		s.touch(1)
+		s.bounds[i] -= miss
+		if s.bounds[i] < 0 {
+			s.bounds[i] = 0
+		}
+	}
+	s.pushDowns++
+	s.touch(1)
+	s.queues[0] = append(s.queues[0], Entry{Tag: tag, Payload: payload})
+	s.n++
+	s.endInsert()
+	return nil
+}
+
+// ExtractMin implements MinTagQueue: head of the first non-empty
+// strict-priority queue.
+func (s *SPPIFO) ExtractMin() (Entry, error) {
+	for i := range s.queues {
+		s.touch(1) // occupancy probe
+		if len(s.queues[i]) == 0 {
+			continue
+		}
+		e := s.queues[i][0]
+		s.queues[i] = s.queues[i][1:]
+		s.n--
+		s.touch(1)
+		s.endExtract()
+		return e, nil
+	}
+	s.abort()
+	return Entry{}, ErrEmpty
+}
+
+// PushUps reports how many inserts raised a queue bound (adaptation
+// telemetry, not part of the conservation identity).
+func (s *SPPIFO) PushUps() uint64 { return s.pushUps }
+
+// PushDowns reports how many inserts missed every bound and shifted the
+// bank down.
+func (s *SPPIFO) PushDowns() uint64 { return s.pushDowns }

@@ -1,0 +1,149 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSPPIFOValidation(t *testing.T) {
+	if _, err := NewSPPIFO(1, 4096); err == nil {
+		t.Fatal("single queue accepted")
+	}
+	if _, err := NewSPPIFO(8, 0); err == nil {
+		t.Fatal("zero tag range accepted")
+	}
+	s, err := NewSPPIFO(8, 4096)
+	if err != nil {
+		t.Fatalf("NewSPPIFO: %v", err)
+	}
+	if s.Exact() {
+		t.Fatal("sp-pifo claims exactness")
+	}
+	if s.Model() != ModelSort {
+		t.Fatalf("model = %v, want sort", s.Model())
+	}
+	if err := s.Insert(-1, 0); err == nil {
+		t.Fatal("negative tag accepted")
+	}
+	if _, err := s.ExtractMin(); err != ErrEmpty {
+		t.Fatalf("empty extract error = %v, want ErrEmpty", err)
+	}
+}
+
+// TestSPPIFOMultisetConservation drains a random workload and checks
+// every (tag, payload) pair comes back exactly once — the approximate
+// bank may reorder, never lose or duplicate.
+func TestSPPIFOMultisetConservation(t *testing.T) {
+	s, err := NewSPPIFO(8, 4096)
+	if err != nil {
+		t.Fatalf("NewSPPIFO: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	type kv struct{ tag, payload int }
+	in := map[kv]int{}
+	n := 0
+	for i := 0; i < 2000; i++ {
+		if s.Len() > 0 && rng.Float64() < 0.4 {
+			e, err := s.ExtractMin()
+			if err != nil {
+				t.Fatalf("extract: %v", err)
+			}
+			in[kv{e.Tag, e.Payload}]--
+			n--
+			continue
+		}
+		tag := rng.Intn(4096)
+		if err := s.Insert(tag, i); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		in[kv{tag, i}]++
+		n++
+	}
+	for s.Len() > 0 {
+		e, err := s.ExtractMin()
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		in[kv{e.Tag, e.Payload}]--
+		n--
+	}
+	if n != 0 {
+		t.Fatalf("count imbalance %d", n)
+	}
+	for k, c := range in {
+		if c != 0 {
+			t.Fatalf("entry %+v imbalance %d", k, c)
+		}
+	}
+	st := s.Stats()
+	if st.Inserts == 0 || st.Extracts == 0 || st.InsertAccesses == 0 {
+		t.Fatalf("access accounting empty: %+v", st)
+	}
+}
+
+// TestSPPIFOApproximatesSortedOrder checks the adaptation does its job:
+// on a uniform workload the served sequence must be far closer to
+// sorted than FIFO order — bounded inversion fraction — and monotone
+// workloads must come back perfectly sorted.
+func TestSPPIFOApproximatesSortedOrder(t *testing.T) {
+	s, err := NewSPPIFO(8, 4096)
+	if err != nil {
+		t.Fatalf("NewSPPIFO: %v", err)
+	}
+	// Monotone tags ride the push-up adaptation: served perfectly sorted.
+	for i := 0; i < 100; i++ {
+		if err := s.Insert(i*13, i); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	got := drainTags(t, s)
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("monotone workload served out of order: %v", got)
+	}
+
+	// Uniform random workload: the bank must beat random order by a
+	// wide margin (a uniform shuffle inverts half of all pairs).
+	rng := rand.New(rand.NewSource(3))
+	tags := make([]int, 600)
+	for i := range tags {
+		tags[i] = rng.Intn(4096)
+		if err := s.Insert(tags[i], i); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	got = drainTags(t, s)
+	pairs := inversionPairs(got)
+	total := int64(len(got)) * int64(len(got)-1) / 2
+	if pairs*4 > total {
+		t.Fatalf("sp-pifo served %d/%d pairs inverted — worse than random", pairs, total)
+	}
+	if s.PushUps() == 0 {
+		t.Fatal("no push-up adaptation recorded")
+	}
+}
+
+func drainTags(t *testing.T, s *SPPIFO) []int {
+	t.Helper()
+	var out []int
+	for s.Len() > 0 {
+		e, err := s.ExtractMin()
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		out = append(out, e.Tag)
+	}
+	return out
+}
+
+func inversionPairs(tags []int) int64 {
+	var n int64
+	for i := range tags {
+		for j := i + 1; j < len(tags); j++ {
+			if tags[i] > tags[j] {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,113 @@
+// Package rank defines the PIFO rank-program seam: the paper's sorting
+// circuit is, in modern terms, a push-in first-out queue (Sivaraman et
+// al., PAPERS.md), and a scheduling discipline is just a rank function
+// computed at enqueue plus the sorted queue that serves the minimum.
+// This package separates the two halves:
+//
+//   - A Program computes one packet's rank from per-flow state. Its
+//     state transitions are explicit — Rank commits the enqueue-time
+//     update, OnServe commits the service-time update — so programs
+//     stay deterministic (no wall clock, no global randomness, no
+//     map-iteration order) and wfqlint's determinism analyzer can check
+//     them like any other simulation code.
+//
+//   - A Store holds ranked packets and serves the minimum. SoftStore is
+//     the exact software reference; EligibleStore adds the WF²Q
+//     family's eligibility gate; HWStore quantizes ranks onto any
+//     pqueue.MinTagQueue — the paper's hardware sorter, or an
+//     approximate backend such as the SP-PIFO strict-priority bank.
+//
+// internal/schedulers composes the two into the PIFO discipline, and
+// internal/pqueue/harness records Program runs as oracle scripts so any
+// sorter backend can be differentially validated against them.
+package rank
+
+import (
+	"errors"
+	"fmt"
+
+	"wfqsort/internal/packet"
+)
+
+// Ranked is one packet's computed scheduling priority.
+type Ranked struct {
+	// Rank is the primary key: the store serves the smallest rank
+	// first. Finish tag, deadline, remaining size, slack — whatever the
+	// program's policy orders by.
+	Rank float64
+	// Start is the eligibility key used by eligibility-gated stores
+	// (the WF²Q family's virtual start tag). Programs that do not gate
+	// eligibility leave it zero or set it for observability only.
+	Start float64
+}
+
+// Program computes per-packet ranks over per-flow state. Both methods
+// are state transitions and must be called in queue order by exactly
+// one goroutine: Rank once when the packet is enqueued, OnServe once
+// when it is dequeued, with the same Ranked the program issued.
+type Program interface {
+	Name() string
+	// Rank computes the packet's priority at time now and commits the
+	// enqueue-time flow-state update. An error (unknown flow, bad size)
+	// leaves the program state untouched.
+	Rank(p packet.Packet, now float64) (Ranked, error)
+	// OnServe commits the service-time state update for a packet
+	// previously ranked r. Programs with no service-time state treat it
+	// as a no-op.
+	OnServe(p packet.Packet, r Ranked, now float64)
+}
+
+// EligibilityProgram is a Program that also runs a virtual clock
+// gating which queued packets may be served (WF²Q+). The program
+// tracks the start tags of its outstanding (ranked, not yet served)
+// packets itself, so advancing the clock needs no store cooperation.
+type EligibilityProgram interface {
+	Program
+	// VirtualTime advances the program's virtual clock to real time
+	// now and returns it; an eligibility-gated store serves only items
+	// with Start ≤ VirtualTime(now) (plus a small epsilon).
+	VirtualTime(now float64) float64
+}
+
+// Item is one ranked packet inside a Store. Seq is the enqueue sequence
+// number, the FCFS tie-break for equal ranks.
+type Item struct {
+	Packet packet.Packet
+	R      Ranked
+	Seq    int
+}
+
+// Store holds ranked packets and serves the minimum rank (ties FCFS by
+// Seq). Exact stores reproduce that order perfectly; approximate ones
+// (HWStore over an inexact queue) may reorder within documented bounds.
+type Store interface {
+	Name() string
+	Exact() bool
+	Push(it Item) error
+	// Pop removes and returns the served item. now feeds
+	// eligibility-gated stores; plain stores ignore it.
+	Pop(now float64) (Item, error)
+	Len() int
+}
+
+// ErrEmpty is returned by Pop on an empty store.
+var ErrEmpty = errors.New("rank: store empty")
+
+// validateWeights is the shared constructor check for weighted
+// programs: a positive capacity and a positive weight per flow.
+func validateWeights(prefix string, weights []float64, capacityBps float64) ([]float64, error) {
+	if capacityBps <= 0 {
+		return nil, fmt.Errorf("%s: capacity %v must be positive", prefix, capacityBps)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%s: no flows", prefix)
+	}
+	for f, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("%s: flow %d weight %v must be positive", prefix, f, w)
+		}
+	}
+	ws := make([]float64, len(weights))
+	copy(ws, weights)
+	return ws, nil
+}

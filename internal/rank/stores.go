@@ -1,0 +1,213 @@
+package rank
+
+import (
+	"container/heap"
+	"fmt"
+
+	"wfqsort/internal/pqueue"
+)
+
+// SoftStore is the exact software reference store: a binary heap keyed
+// (Rank, Seq), so equal ranks serve in FCFS order. It is the direct
+// replacement for the bespoke tag heaps the float disciplines carried
+// before the rank seam existed.
+type SoftStore struct {
+	h itemHeap
+}
+
+// NewSoftStore returns an empty exact store.
+func NewSoftStore() *SoftStore { return &SoftStore{} }
+
+func (s *SoftStore) Name() string { return "soft" }
+func (s *SoftStore) Exact() bool  { return true }
+func (s *SoftStore) Len() int     { return len(s.h) }
+
+func (s *SoftStore) Push(it Item) error {
+	heap.Push(&s.h, it)
+	return nil
+}
+
+func (s *SoftStore) Pop(now float64) (Item, error) {
+	if len(s.h) == 0 {
+		return Item{}, ErrEmpty
+	}
+	return heap.Pop(&s.h).(Item), nil
+}
+
+type itemHeap []Item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].R.Rank != h[j].R.Rank {
+		return h[i].R.Rank < h[j].R.Rank
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// eligibilityEps absorbs float drift between a packet's start tag and
+// the virtual time it was computed from, exactly as the pre-seam WF²Q+
+// implementation did.
+const eligibilityEps = 1e-9
+
+// EligibleStore implements the WF²Q family's eligibility-gated service:
+// among items whose Start is at or below the program's virtual time it
+// serves the minimum (Rank, Seq); when nothing is eligible (virtual
+// time lags behind every queued start) it falls back to the earliest
+// start, breaking ties by flow index then sequence — byte-identical to
+// the pre-seam WF²Q+ head scan, because per-flow start and finish tags
+// are monotone, so the flat minimum always lands on a per-flow head.
+type EligibleStore struct {
+	prog  EligibilityProgram
+	items []Item
+}
+
+// NewEligibleStore builds the store around the program whose virtual
+// clock gates eligibility.
+func NewEligibleStore(prog EligibilityProgram) (*EligibleStore, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("rank: eligible store needs an eligibility program")
+	}
+	return &EligibleStore{prog: prog}, nil
+}
+
+func (s *EligibleStore) Name() string { return "eligible" }
+func (s *EligibleStore) Exact() bool  { return true }
+func (s *EligibleStore) Len() int     { return len(s.items) }
+
+func (s *EligibleStore) Push(it Item) error {
+	s.items = append(s.items, it)
+	return nil
+}
+
+func (s *EligibleStore) Pop(now float64) (Item, error) {
+	if len(s.items) == 0 {
+		return Item{}, ErrEmpty
+	}
+	v := s.prog.VirtualTime(now)
+	best := -1
+	for i, it := range s.items {
+		if it.R.Start > v+eligibilityEps {
+			continue
+		}
+		if best < 0 || lessRankSeq(it, s.items[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Nothing eligible: serve the earliest start so the link never
+		// idles with work queued (ties: lowest flow index, then Seq).
+		for i, it := range s.items {
+			if best < 0 || lessStartFlow(it, s.items[best]) {
+				best = i
+			}
+		}
+	}
+	it := s.items[best]
+	s.items = append(s.items[:best], s.items[best+1:]...)
+	return it, nil
+}
+
+func lessRankSeq(a, b Item) bool {
+	if a.R.Rank != b.R.Rank {
+		return a.R.Rank < b.R.Rank
+	}
+	return a.Seq < b.Seq
+}
+
+func lessStartFlow(a, b Item) bool {
+	if a.R.Start != b.R.Start {
+		return a.R.Start < b.R.Start
+	}
+	if a.Packet.Flow != b.Packet.Flow {
+		return a.Packet.Flow < b.Packet.Flow
+	}
+	return a.Seq < b.Seq
+}
+
+// HWStore quantizes ranks onto a pqueue.MinTagQueue — the seam between
+// float rank programs and the paper's integer-tag sorting hardware. It
+// generalizes what the pre-seam HWWFQ discipline did inline: quantize
+// the rank to granularity units, rebase the window whenever the queue
+// drains, clamp already-due ranks to the window floor, and reject ranks
+// whose window offset exceeds the sorter's tag range. Exactness follows
+// the backing queue: a multi-bit tree is exact within quantization, the
+// SP-PIFO bank is approximate.
+type HWStore struct {
+	q       pqueue.MinTagQueue
+	gran    float64
+	rangeSz int
+
+	baseQ   int64
+	pending map[int]Item
+	next    int
+}
+
+// NewHWStore builds the store over q with the given rank granularity
+// (rank units per tag step) and tag range.
+func NewHWStore(q pqueue.MinTagQueue, granularity float64, tagRange int) (*HWStore, error) {
+	if q == nil {
+		return nil, fmt.Errorf("rank: hw store needs a tag queue")
+	}
+	if granularity <= 0 {
+		return nil, fmt.Errorf("rank: granularity %v must be positive", granularity)
+	}
+	if tagRange <= 0 {
+		return nil, fmt.Errorf("rank: tag range %d must be positive", tagRange)
+	}
+	return &HWStore{q: q, gran: granularity, rangeSz: tagRange, pending: make(map[int]Item)}, nil
+}
+
+func (s *HWStore) Name() string { return s.q.Name() }
+func (s *HWStore) Exact() bool  { return s.q.Exact() }
+func (s *HWStore) Len() int     { return s.q.Len() }
+
+func (s *HWStore) Push(it Item) error {
+	fq := int64(it.R.Rank / s.gran)
+	// An idle queue lets the window slide forward: the next busy period
+	// restarts the tag space at its first rank.
+	if s.q.Len() == 0 && fq > s.baseQ {
+		s.baseQ = fq
+	}
+	tag := fq - s.baseQ
+	if tag < 0 {
+		// Already due relative to the window floor: it would be served
+		// next either way, so clamp rather than reject.
+		tag = 0
+	}
+	if tag >= int64(s.rangeSz) {
+		return fmt.Errorf("rank: tag window %d exceeds range %d — coarsen granularity %v",
+			tag, s.rangeSz, s.gran)
+	}
+	handle := s.next
+	s.next++
+	if err := s.q.Insert(int(tag), handle); err != nil {
+		return fmt.Errorf("rank: %s insert: %w", s.q.Name(), err)
+	}
+	s.pending[handle] = it
+	return nil
+}
+
+func (s *HWStore) Pop(now float64) (Item, error) {
+	e, err := s.q.ExtractMin()
+	if err != nil {
+		if err == pqueue.ErrEmpty {
+			return Item{}, ErrEmpty
+		}
+		return Item{}, fmt.Errorf("rank: %s extract: %w", s.q.Name(), err)
+	}
+	it, ok := s.pending[e.Payload]
+	if !ok {
+		return Item{}, fmt.Errorf("rank: %s served unknown handle %d", s.q.Name(), e.Payload)
+	}
+	delete(s.pending, e.Payload)
+	return it, nil
+}

@@ -3,6 +3,7 @@ package schedulers
 import (
 	"testing"
 
+	"wfqsort/internal/rank"
 	"wfqsort/internal/traffic"
 )
 
@@ -62,8 +63,35 @@ func allDisciplines(t *testing.T, capacity float64) []Discipline {
 	if err != nil {
 		t.Fatalf("NewCBQ: %v", err)
 	}
+	// Rank-seam disciplines: programs composed with the soft store via
+	// the PIFO layer, plus the hierarchical PIFO tree.
+	pifoOf := func(name string, prog rank.Program, err error) *PIFO {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d, err := NewPIFO(prog, rank.NewSoftStore())
+		if err != nil {
+			t.Fatalf("NewPIFO(%s): %v", name, err)
+		}
+		return d
+	}
+	stfqProg, err := rank.NewSTFQ(weights, capacity)
+	stfq := pifoOf("NewSTFQ", stfqProg, err)
+	edfProg, err := rank.NewEDF([]float64{0.005, 0.01, 0.02, 0.04})
+	edf := pifoOf("NewEDF", edfProg, err)
+	srptProg, err := rank.NewSRPT(len(weights))
+	srpt := pifoOf("NewSRPT", srptProg, err)
+	lstfProg, err := rank.NewLSTF([]float64{0.005, 0.01, 0.02, 0.04}, capacity)
+	lstf := pifoOf("NewLSTF", lstfProg, err)
+	hpfq, err := NewHPFQ([]float64{0.7, 0.3},
+		[]map[int]float64{{0: 4, 1: 3}, {2: 2, 3: 1}}, capacity)
+	if err != nil {
+		t.Fatalf("NewHPFQ: %v", err)
+	}
 	return []Discipline{
 		NewFIFO(), wrr, drr, mdrr, srr, wfqD, wf2q, wf2qp, scfq, vc, hscfq, cbq,
+		stfq, edf, srpt, lstf, hpfq,
 	}
 }
 

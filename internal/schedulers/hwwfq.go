@@ -3,42 +3,32 @@ package schedulers
 import (
 	"fmt"
 
-	"wfqsort/internal/packet"
 	"wfqsort/internal/pqueue"
-	"wfqsort/internal/wfq"
+	"wfqsort/internal/rank"
 )
 
-// HWWFQ is packet-by-packet WFQ served through a hardware min-tag
-// structure instead of a software float heap: finishing tags are
-// quantized to integer tag units (granularity g of virtual time per
+// NewHWWFQ builds packet-by-packet WFQ served through a hardware
+// min-tag structure instead of a software float heap: finishing tags
+// are quantized to integer tag units (granularity g of virtual time per
 // unit) and the next packet is whatever the plugged-in MinTagQueue
 // serves. Any Table I method slots in — the paper's multi-bit tree, the
 // sharded multi-lane tree, a calendar queue — so the discipline is the
-// seam where scheduling semantics meet lookup hardware.
+// seam where scheduling semantics meet lookup hardware. Since the rank
+// seam it is the rank.WFQ program (exact GPS clock) over a rank.HWStore
+// wrapping q.
 //
 // Tags are rebased against a floor that advances whenever the system
 // drains empty, keeping the live window inside the queue's linear tag
 // range without cyclic wraparound (the eager-mode queues compare
 // linearly). Packets whose quantized tags collide are served FCFS,
 // exactly the hardware's duplicate-tag behaviour.
-type HWWFQ struct {
-	clock  *wfq.Clock
-	q      pqueue.MinTagQueue
-	gran   float64
-	range_ int
-
-	baseQ   int64 // quantized-unit floor subtracted from every tag
-	pending map[int]packet.Packet
-	next    int // next payload handle
-}
-
-// NewHWWFQ builds a WFQ discipline over the given session weights and
-// link capacity, serving through q. Granularity is the virtual-time
-// span of one tag unit; tagRange is the queue's representable tag count
-// (4096 for the silicon geometry). The live tag window (backlogged
-// finish-tag span / granularity) must stay below tagRange.
-func NewHWWFQ(weights []float64, capacityBps, granularity float64, tagRange int, q pqueue.MinTagQueue) (*HWWFQ, error) {
-	c, err := wfq.NewClock(weights, capacityBps)
+//
+// Granularity is the virtual-time span of one tag unit; tagRange is the
+// queue's representable tag count (4096 for the silicon geometry). The
+// live tag window (backlogged finish-tag span / granularity) must stay
+// below tagRange.
+func NewHWWFQ(weights []float64, capacityBps, granularity float64, tagRange int, q pqueue.MinTagQueue) (*PIFO, error) {
+	prog, err := rank.NewWFQ(weights, capacityBps)
 	if err != nil {
 		return nil, err
 	}
@@ -54,52 +44,9 @@ func NewHWWFQ(weights []float64, capacityBps, granularity float64, tagRange int,
 	if !q.Exact() {
 		return nil, fmt.Errorf("hwwfq: %s is approximate; WFQ's delay bound needs an exact queue", q.Name())
 	}
-	return &HWWFQ{clock: c, q: q, gran: granularity, range_: tagRange, pending: map[int]packet.Packet{}}, nil
-}
-
-// Name implements Discipline.
-func (w *HWWFQ) Name() string { return "WFQ/" + w.q.Name() }
-
-// Enqueue implements Discipline.
-func (w *HWWFQ) Enqueue(p packet.Packet, now float64) error {
-	_, f, err := w.clock.Tag(p.Flow, p.Bits(), now)
+	store, err := rank.NewHWStore(q, granularity, tagRange)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fq := int64(f / w.gran)
-	if w.q.Len() == 0 && fq > w.baseQ {
-		// Empty system: rebase the floor so the window restarts at zero.
-		w.baseQ = fq
-	}
-	tag := fq - w.baseQ
-	if tag < 0 {
-		// Finish tags are monotone per flow but not globally; a tag
-		// computed below the floor still sorts first, which clamping
-		// preserves (it would be served next either way).
-		tag = 0
-	}
-	if tag >= int64(w.range_) {
-		return fmt.Errorf("hwwfq: tag window %d exceeds range %d — coarsen granularity %v", tag, w.range_, w.gran)
-	}
-	handle := w.next
-	w.next++
-	if err := w.q.Insert(int(tag), handle); err != nil {
-		return fmt.Errorf("hwwfq: %s: %w", w.q.Name(), err)
-	}
-	w.pending[handle] = p
-	return nil
-}
-
-// Dequeue implements Discipline.
-func (w *HWWFQ) Dequeue(_ float64) (packet.Packet, error) {
-	e, err := w.q.ExtractMin()
-	if err != nil {
-		return packet.Packet{}, fmt.Errorf("hwwfq: %s: %w", w.q.Name(), err)
-	}
-	p, ok := w.pending[e.Payload]
-	if !ok {
-		return packet.Packet{}, fmt.Errorf("hwwfq: %s served unknown handle %d", w.q.Name(), e.Payload)
-	}
-	delete(w.pending, e.Payload)
-	return p, nil
+	return NewPIFO(prog, store)
 }

@@ -1,0 +1,166 @@
+package schedulers
+
+import (
+	"fmt"
+
+	"wfqsort/internal/packet"
+	"wfqsort/internal/rank"
+)
+
+// PIFOTree is the two-level hierarchical PIFO composition of Sivaraman
+// et al.: a root rank program schedules *classes* (each enqueue ranks a
+// class token sized like the arriving packet) and one leaf program per
+// class schedules the flows inside it. Dequeue pops the root store to
+// pick the class, then that class's leaf store to pick the packet —
+// exactly the PIFO-tree the paper's sorter generalizes to, with
+// arbitrary programs at every node (HPFQ is STFQ at both levels).
+type PIFOTree struct {
+	classOf    map[int]int // flow -> class index
+	flowIdx    map[int]int // flow -> dense leaf index within its class
+	flowsOf    [][]int     // class -> dense leaf index -> flow
+	root       rank.Program
+	rootStore  rank.Store
+	leaves     []rank.Program
+	leafStores []rank.Store
+	name       string
+	seq        int
+}
+
+// TreeClass wires one class of a PIFOTree: the leaf program scheduling
+// its flows (flow identifiers remapped to dense leaf indices in Flows
+// order) and the flows it owns.
+type TreeClass struct {
+	Leaf  rank.Program
+	Store rank.Store
+	Flows []int
+}
+
+// NewPIFOTree composes a root program/store with per-class leaves. Each
+// flow must belong to exactly one class; leaf programs see dense flow
+// indices (position in TreeClass.Flows), and served packets keep their
+// original flow identifiers.
+func NewPIFOTree(root rank.Program, rootStore rank.Store, classes []TreeClass) (*PIFOTree, error) {
+	if root == nil || rootStore == nil {
+		return nil, fmt.Errorf("pifotree: nil root program or store")
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("pifotree: no classes")
+	}
+	t := &PIFOTree{
+		classOf:   make(map[int]int),
+		flowIdx:   make(map[int]int),
+		flowsOf:   make([][]int, len(classes)),
+		root:      root,
+		rootStore: rootStore,
+		name:      "PIFOTree(" + root.Name() + ")",
+	}
+	for c, cl := range classes {
+		if cl.Leaf == nil || cl.Store == nil {
+			return nil, fmt.Errorf("pifotree: class %d: nil leaf program or store", c)
+		}
+		if len(cl.Flows) == 0 {
+			return nil, fmt.Errorf("pifotree: class %d owns no flows", c)
+		}
+		for i, f := range cl.Flows {
+			if _, dup := t.classOf[f]; dup {
+				return nil, fmt.Errorf("pifotree: flow %d in more than one class", f)
+			}
+			t.classOf[f] = c
+			t.flowIdx[f] = i
+			t.flowsOf[c] = append(t.flowsOf[c], f)
+		}
+		t.leaves = append(t.leaves, cl.Leaf)
+		t.leafStores = append(t.leafStores, cl.Store)
+	}
+	return t, nil
+}
+
+// NewHPFQ builds the canonical hierarchical composition: STFQ at the
+// root over class weights, STFQ at each leaf over the class's flow
+// weights — hierarchical packet fair queueing as a PIFO tree.
+// flowWeights[c] lists class c's flows as flow id → weight; flow ids
+// must be globally unique.
+func NewHPFQ(classWeights []float64, flowWeights []map[int]float64, capacityBps float64) (*PIFOTree, error) {
+	if len(classWeights) != len(flowWeights) {
+		return nil, fmt.Errorf("hpfq: %d class weights for %d flow maps", len(classWeights), len(flowWeights))
+	}
+	root, err := rank.NewSTFQ(classWeights, capacityBps)
+	if err != nil {
+		return nil, err
+	}
+	classes := make([]TreeClass, len(flowWeights))
+	for c, fw := range flowWeights {
+		flows := sortedFlowKeys(fw)
+		ws := make([]float64, len(flows))
+		for i, f := range flows {
+			ws[i] = fw[f]
+		}
+		leaf, err := rank.NewSTFQ(ws, capacityBps)
+		if err != nil {
+			return nil, fmt.Errorf("hpfq: class %d: %w", c, err)
+		}
+		classes[c] = TreeClass{Leaf: leaf, Store: rank.NewSoftStore(), Flows: flows}
+	}
+	tree, err := NewPIFOTree(root, rank.NewSoftStore(), classes)
+	if err != nil {
+		return nil, err
+	}
+	tree.name = "HPFQ"
+	return tree, nil
+}
+
+// Name implements Discipline.
+func (t *PIFOTree) Name() string { return t.name }
+
+// Enqueue implements Discipline: rank the packet inside its class's
+// leaf, then rank a class token at the root.
+func (t *PIFOTree) Enqueue(p packet.Packet, now float64) error {
+	c, ok := t.classOf[p.Flow]
+	if !ok {
+		return fmt.Errorf("pifotree: flow %d in no class", p.Flow)
+	}
+	leafP := p
+	leafP.Flow = t.flowIdx[p.Flow]
+	lr, err := t.leaves[c].Rank(leafP, now)
+	if err != nil {
+		return err
+	}
+	// The root schedules the class as a pseudo-flow: the token carries
+	// the arriving packet's size so the class is charged fair service
+	// for the bytes entering it.
+	token := packet.Packet{ID: p.ID, Flow: c, Size: p.Size, Arrival: p.Arrival}
+	rr, err := t.root.Rank(token, now)
+	if err != nil {
+		return err
+	}
+	if err := t.leafStores[c].Push(rank.Item{Packet: leafP, R: lr, Seq: t.seq}); err != nil {
+		return err
+	}
+	if err := t.rootStore.Push(rank.Item{Packet: token, R: rr, Seq: t.seq}); err != nil {
+		return err
+	}
+	t.seq++
+	return nil
+}
+
+// Dequeue implements Discipline: the root picks the class, the class's
+// leaf picks the packet.
+func (t *PIFOTree) Dequeue(now float64) (packet.Packet, error) {
+	tok, err := t.rootStore.Pop(now)
+	if err != nil {
+		if err == rank.ErrEmpty {
+			return packet.Packet{}, fmt.Errorf("%s: empty", t.name)
+		}
+		return packet.Packet{}, err
+	}
+	t.root.OnServe(tok.Packet, tok.R, now)
+	c := tok.Packet.Flow
+	it, err := t.leafStores[c].Pop(now)
+	if err != nil {
+		return packet.Packet{}, fmt.Errorf("%s: class %d token with empty leaf: %w", t.name, c, err)
+	}
+	t.leaves[c].OnServe(it.Packet, it.R, now)
+	p := it.Packet
+	p.Flow = t.flowsOf[c][p.Flow]
+	return p, nil
+}

@@ -1,0 +1,119 @@
+package schedulers
+
+import (
+	"testing"
+
+	"wfqsort/internal/packet"
+	"wfqsort/internal/rank"
+)
+
+func TestPIFOTreeValidation(t *testing.T) {
+	root, err := rank.NewSTFQ([]float64{1}, 1e6)
+	if err != nil {
+		t.Fatalf("NewSTFQ: %v", err)
+	}
+	if _, err := NewPIFOTree(nil, rank.NewSoftStore(), nil); err == nil {
+		t.Fatal("nil root accepted")
+	}
+	if _, err := NewPIFOTree(root, rank.NewSoftStore(), nil); err == nil {
+		t.Fatal("no classes accepted")
+	}
+	leaf, _ := rank.NewSTFQ([]float64{1}, 1e6)
+	if _, err := NewPIFOTree(root, rank.NewSoftStore(), []TreeClass{
+		{Leaf: leaf, Store: rank.NewSoftStore(), Flows: []int{0}},
+		{Leaf: leaf, Store: rank.NewSoftStore(), Flows: []int{0}},
+	}); err == nil {
+		t.Fatal("duplicate flow ownership accepted")
+	}
+	if _, err := NewHPFQ([]float64{1}, nil, 1e6); err == nil {
+		t.Fatal("mismatched class/flow lengths accepted")
+	}
+
+	tree, err := NewHPFQ([]float64{1}, []map[int]float64{{0: 1}}, 1e6)
+	if err != nil {
+		t.Fatalf("NewHPFQ: %v", err)
+	}
+	if err := tree.Enqueue(packet.Packet{Flow: 9, Size: 100}, 0); err == nil {
+		t.Fatal("unowned flow enqueued")
+	}
+	if _, err := tree.Dequeue(0); err == nil {
+		t.Fatal("empty dequeue succeeded")
+	}
+}
+
+// TestHPFQHierarchicalShares saturates a two-class HPFQ tree and checks
+// both levels of the hierarchy: classes split the link by class weight,
+// and flows split their class's share by flow weight.
+func TestHPFQHierarchicalShares(t *testing.T) {
+	// Class A (weight 0.75): flows 0 (2/3) and 1 (1/3).
+	// Class B (weight 0.25): flows 2 and 3 equal.
+	tree, err := NewHPFQ(
+		[]float64{0.75, 0.25},
+		[]map[int]float64{
+			{0: 2, 1: 1},
+			{2: 1, 3: 1},
+		},
+		1e6,
+	)
+	if err != nil {
+		t.Fatalf("NewHPFQ: %v", err)
+	}
+	if tree.Name() != "HPFQ" {
+		t.Fatalf("name = %q", tree.Name())
+	}
+	arrivals := backloggedArrivals(t, 4, 200, 1000)
+	deps, err := Run(arrivals, tree, 1e6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(deps) != len(arrivals) {
+		t.Fatalf("%d departures for %d arrivals", len(deps), len(arrivals))
+	}
+	// Count service inside the fully backlogged window (first half).
+	bits := map[int]float64{}
+	for _, d := range deps[:len(deps)/2] {
+		bits[d.Packet.Flow] += d.Packet.Bits()
+	}
+	total := bits[0] + bits[1] + bits[2] + bits[3]
+	classA := (bits[0] + bits[1]) / total
+	if classA < 0.70 || classA > 0.80 {
+		t.Fatalf("class A share = %v, want ≈0.75", classA)
+	}
+	if ratio := bits[0] / (bits[0] + bits[1]); ratio < 0.61 || ratio > 0.72 {
+		t.Fatalf("flow 0 share of class A = %v, want ≈2/3", ratio)
+	}
+	if ratio := bits[2] / (bits[2] + bits[3]); ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("flow 2 share of class B = %v, want ≈1/2", ratio)
+	}
+}
+
+// TestHPFQClassBorrowing idles class B and checks class A absorbs the
+// whole link: the tree is work-conserving across classes.
+func TestHPFQClassBorrowing(t *testing.T) {
+	tree, err := NewHPFQ(
+		[]float64{0.5, 0.5},
+		[]map[int]float64{
+			{0: 1, 1: 1},
+			{2: 1},
+		},
+		1e6,
+	)
+	if err != nil {
+		t.Fatalf("NewHPFQ: %v", err)
+	}
+	// Only class A's flows send.
+	arrivals := backloggedArrivals(t, 2, 200, 1000)
+	deps, err := Run(arrivals, tree, 1e6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(deps) != len(arrivals) {
+		t.Fatalf("%d departures for %d arrivals", len(deps), len(arrivals))
+	}
+	// Work conservation: no idle gaps once backlogged.
+	for i := 1; i < len(deps); i++ {
+		if gap := deps[i].Start - deps[i-1].Finish; gap > 1e-9 {
+			t.Fatalf("idle gap %v before departure %d with class B idle", gap, i)
+		}
+	}
+}

@@ -1,56 +1,17 @@
 package schedulers
 
-import (
-	"container/heap"
-	"fmt"
+import "wfqsort/internal/rank"
 
-	"wfqsort/internal/packet"
-	"wfqsort/internal/wfq"
-)
-
-// SCFQ is the self-clocked fair queueing discipline: finishing tags are
-// computed against the tag of the packet currently in service instead of
-// a simulated GPS clock — the cheapest member of the fair queueing
-// family the paper's architecture supports (§II: the sorter accepts any
-// algorithm that produces finishing tags).
-type SCFQ struct {
-	tagger *wfq.SCFQ
-	h      tagHeap
-	seq    int
-}
-
-// NewSCFQ builds an SCFQ discipline.
-func NewSCFQ(weights []float64, capacityBps float64) (*SCFQ, error) {
-	tg, err := wfq.NewSCFQ(weights, capacityBps)
+// NewSCFQ builds the self-clocked fair queueing discipline: finishing
+// tags are computed against the tag of the packet currently in service
+// instead of a simulated GPS clock — the cheapest member of the fair
+// queueing family the paper's architecture supports (§II: the sorter
+// accepts any algorithm that produces finishing tags). Since the rank
+// seam it is the rank.SCFQ program over the exact software store.
+func NewSCFQ(weights []float64, capacityBps float64) (*PIFO, error) {
+	prog, err := rank.NewSCFQ(weights, capacityBps)
 	if err != nil {
 		return nil, err
 	}
-	return &SCFQ{tagger: tg}, nil
-}
-
-// Name implements Discipline.
-func (s *SCFQ) Name() string { return "SCFQ" }
-
-// Enqueue implements Discipline.
-func (s *SCFQ) Enqueue(p packet.Packet, _ float64) error {
-	f, err := s.tagger.Tag(p.Flow, p.Bits())
-	if err != nil {
-		return err
-	}
-	heap.Push(&s.h, tagged{p: p, finish: f, seq: s.seq})
-	s.seq++
-	return nil
-}
-
-// Dequeue implements Discipline.
-func (s *SCFQ) Dequeue(_ float64) (packet.Packet, error) {
-	if s.h.Len() == 0 {
-		return packet.Packet{}, fmt.Errorf("scfq: empty")
-	}
-	it, ok := heap.Pop(&s.h).(tagged)
-	if !ok {
-		return packet.Packet{}, fmt.Errorf("scfq: heap item type")
-	}
-	s.tagger.Serve(it.finish)
-	return it.p, nil
+	return NewPIFO(prog, rank.NewSoftStore())
 }

@@ -1,77 +1,20 @@
 package schedulers
 
-import (
-	"container/heap"
-	"fmt"
+import "wfqsort/internal/rank"
 
-	"wfqsort/internal/packet"
-)
-
-// VirtualClock is Zhang's Virtual Clock discipline: packets are stamped
-// F = max(F_prev, now) + L/(φ·C) against *real* time rather than GPS
-// virtual time, and served smallest stamp first. It needs no GPS
-// simulation at all — but a flow that under-uses its reservation banks
-// no credit, and one that over-used it while the link was idle is
+// NewVirtualClock builds Zhang's Virtual Clock discipline: packets are
+// stamped F = max(F_prev, now) + L/(φ·C) against *real* time rather
+// than GPS virtual time, and served smallest stamp first. It needs no
+// GPS simulation at all — but a flow that under-uses its reservation
+// banks no credit, and one that over-used it while the link was idle is
 // punished later: the unfairness that motivated the fair queueing
 // family's virtual-time construction (and, ultimately, LFVC — paper
-// reference [17]).
-type VirtualClock struct {
-	capacity float64
-	weights  []float64
-	lastF    []float64
-	h        tagHeap
-	seq      int
-}
-
-// NewVirtualClock builds a virtual clock discipline.
-func NewVirtualClock(weights []float64, capacityBps float64) (*VirtualClock, error) {
-	if capacityBps <= 0 {
-		return nil, fmt.Errorf("vc: capacity %v must be positive", capacityBps)
+// reference [17]). Since the rank seam it is the rank.VirtualClock
+// program over the exact software store.
+func NewVirtualClock(weights []float64, capacityBps float64) (*PIFO, error) {
+	prog, err := rank.NewVirtualClock(weights, capacityBps)
+	if err != nil {
+		return nil, err
 	}
-	if len(weights) == 0 {
-		return nil, fmt.Errorf("vc: no flows")
-	}
-	for f, w := range weights {
-		if w <= 0 {
-			return nil, fmt.Errorf("vc: flow %d weight %v must be positive", f, w)
-		}
-	}
-	ws := make([]float64, len(weights))
-	copy(ws, weights)
-	return &VirtualClock{
-		capacity: capacityBps,
-		weights:  ws,
-		lastF:    make([]float64, len(weights)),
-	}, nil
-}
-
-// Name implements Discipline.
-func (v *VirtualClock) Name() string { return "VirtualClock" }
-
-// Enqueue implements Discipline.
-func (v *VirtualClock) Enqueue(p packet.Packet, now float64) error {
-	if p.Flow < 0 || p.Flow >= len(v.weights) {
-		return fmt.Errorf("vc: flow %d out of range", p.Flow)
-	}
-	start := now
-	if v.lastF[p.Flow] > start {
-		start = v.lastF[p.Flow]
-	}
-	finish := start + p.Bits()/(v.weights[p.Flow]*v.capacity)
-	v.lastF[p.Flow] = finish
-	heap.Push(&v.h, tagged{p: p, start: start, finish: finish, seq: v.seq})
-	v.seq++
-	return nil
-}
-
-// Dequeue implements Discipline.
-func (v *VirtualClock) Dequeue(_ float64) (packet.Packet, error) {
-	if v.h.Len() == 0 {
-		return packet.Packet{}, fmt.Errorf("vc: empty")
-	}
-	it, ok := heap.Pop(&v.h).(tagged)
-	if !ok {
-		return packet.Packet{}, fmt.Errorf("vc: heap item type")
-	}
-	return it.p, nil
+	return NewPIFO(prog, rank.NewSoftStore())
 }

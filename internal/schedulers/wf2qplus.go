@@ -1,135 +1,25 @@
 package schedulers
 
-import (
-	"fmt"
+import "wfqsort/internal/rank"
 
-	"wfqsort/internal/packet"
-)
-
-// WF2QPlus is the WF²Q+ discipline of paper reference [6]: it keeps
-// WF²Q's worst-case fairness but replaces the exact GPS busy-set
+// NewWF2QPlus builds the WF²Q+ discipline of paper reference [6]: it
+// keeps WF²Q's worst-case fairness but replaces the exact GPS busy-set
 // simulation with the cheap virtual-time update
 //
 //	V(t+τ) = max(V(t) + τ/ΣΦ, min over backlogged flows of S_head)
 //
 // — "a less complex procedure for updating the virtual clock". Packets
 // are tagged S = max(F_prev, V), F = S + L/(φ·C) and served smallest
-// eligible finishing tag first.
-type WF2QPlus struct {
-	capacity float64
-	weights  []float64
-	sumW     float64
-	v        float64
-	lastT    float64
-	lastF    []float64
-	queues   [][]tagged
-	nqueued  int
-	seq      int
-}
-
-// NewWF2QPlus builds a WF²Q+ discipline.
-func NewWF2QPlus(weights []float64, capacityBps float64) (*WF2QPlus, error) {
-	if capacityBps <= 0 {
-		return nil, fmt.Errorf("wf2q+: capacity %v must be positive", capacityBps)
+// eligible finishing tag first. Since the rank seam it is the
+// rank.WF2QPlus eligibility program over the eligibility-gated store.
+func NewWF2QPlus(weights []float64, capacityBps float64) (*PIFO, error) {
+	prog, err := rank.NewWF2QPlus(weights, capacityBps)
+	if err != nil {
+		return nil, err
 	}
-	if len(weights) == 0 {
-		return nil, fmt.Errorf("wf2q+: no flows")
+	store, err := rank.NewEligibleStore(prog)
+	if err != nil {
+		return nil, err
 	}
-	sum := 0.0
-	for f, w := range weights {
-		if w <= 0 {
-			return nil, fmt.Errorf("wf2q+: flow %d weight %v must be positive", f, w)
-		}
-		sum += w
-	}
-	ws := make([]float64, len(weights))
-	copy(ws, weights)
-	return &WF2QPlus{
-		capacity: capacityBps,
-		weights:  ws,
-		sumW:     sum,
-		lastF:    make([]float64, len(weights)),
-		queues:   make([][]tagged, len(weights)),
-	}, nil
-}
-
-// Name implements Discipline.
-func (w *WF2QPlus) Name() string { return "WF2Q+" }
-
-// advance applies the WF²Q+ virtual-time update at real time now.
-func (w *WF2QPlus) advance(now float64) {
-	if now > w.lastT {
-		w.v += (now - w.lastT) / w.sumW
-		w.lastT = now
-	}
-	// Jump V up to the smallest head start tag so a freshly busy system
-	// doesn't stall behind an old V.
-	minS, any := 0.0, false
-	for f := range w.queues {
-		if len(w.queues[f]) == 0 {
-			continue
-		}
-		if s := w.queues[f][0].start; !any || s < minS {
-			minS, any = s, true
-		}
-	}
-	if any && minS > w.v {
-		w.v = minS
-	}
-}
-
-// Enqueue implements Discipline.
-func (w *WF2QPlus) Enqueue(p packet.Packet, now float64) error {
-	if p.Flow < 0 || p.Flow >= len(w.queues) {
-		return fmt.Errorf("wf2q+: flow %d out of range", p.Flow)
-	}
-	w.advance(now)
-	s := w.v
-	if w.lastF[p.Flow] > s {
-		s = w.lastF[p.Flow]
-	}
-	f := s + p.Bits()/(w.weights[p.Flow]*w.capacity)
-	w.lastF[p.Flow] = f
-	w.queues[p.Flow] = append(w.queues[p.Flow], tagged{p: p, start: s, finish: f, seq: w.seq})
-	w.seq++
-	w.nqueued++
-	return nil
-}
-
-// Dequeue implements Discipline: smallest finishing tag among eligible
-// head packets (start ≤ V), falling back to the earliest start.
-func (w *WF2QPlus) Dequeue(now float64) (packet.Packet, error) {
-	if w.nqueued == 0 {
-		return packet.Packet{}, fmt.Errorf("wf2q+: empty")
-	}
-	w.advance(now)
-	const eps = 1e-9
-	best, bestAny := -1, false
-	for f := range w.queues {
-		if len(w.queues[f]) == 0 {
-			continue
-		}
-		head := w.queues[f][0]
-		if head.start > w.v+eps {
-			continue
-		}
-		if !bestAny || less(head, w.queues[best][0]) {
-			best, bestAny = f, true
-		}
-	}
-	if !bestAny {
-		// Fallback: earliest GPS start among heads.
-		for f := range w.queues {
-			if len(w.queues[f]) == 0 {
-				continue
-			}
-			if best < 0 || w.queues[f][0].start < w.queues[best][0].start {
-				best = f
-			}
-		}
-	}
-	head := w.queues[best][0]
-	w.queues[best] = w.queues[best][1:]
-	w.nqueued--
-	return head.p, nil
+	return NewPIFO(prog, store)
 }

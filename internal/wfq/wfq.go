@@ -202,19 +202,27 @@ func NewSCFQ(weights []float64, capacityBps float64) (*SCFQ, error) {
 // Tag computes the finishing tag for a packet of sizeBits on flow:
 // F = max(F_prev, v) + L/φ where v is the tag of the packet in service.
 func (s *SCFQ) Tag(flow int, sizeBits float64) (float64, error) {
+	_, f, err := s.TagPair(flow, sizeBits)
+	return f, err
+}
+
+// TagPair computes both tags for a packet of sizeBits on flow:
+// S = max(F_prev, v) and F = S + L/φ. Rank programs that order by
+// start tag (STFQ) need S; finish-ordered ones (SCFQ) need F.
+func (s *SCFQ) TagPair(flow int, sizeBits float64) (start, finish float64, err error) {
 	if flow < 0 || flow >= len(s.weights) {
-		return 0, fmt.Errorf("wfq: flow %d out of range [0,%d)", flow, len(s.weights))
+		return 0, 0, fmt.Errorf("wfq: flow %d out of range [0,%d)", flow, len(s.weights))
 	}
 	if sizeBits <= 0 {
-		return 0, fmt.Errorf("wfq: packet size %v bits must be positive", sizeBits)
+		return 0, 0, fmt.Errorf("wfq: packet size %v bits must be positive", sizeBits)
 	}
-	start := s.vtime
+	start = s.vtime
 	if s.lastF[flow] > start {
 		start = s.lastF[flow]
 	}
-	f := start + sizeBits/(s.weights[flow]*s.capacity)
-	s.lastF[flow] = f
-	return f, nil
+	finish = start + sizeBits/(s.weights[flow]*s.capacity)
+	s.lastF[flow] = finish
+	return start, finish, nil
 }
 
 // Serve informs the tagger that the packet with finishing tag f entered

@@ -37,6 +37,8 @@ import (
 	"wfqsort/internal/network"
 	"wfqsort/internal/packet"
 	"wfqsort/internal/pipeline"
+	"wfqsort/internal/pqueue"
+	"wfqsort/internal/rank"
 	"wfqsort/internal/scheduler"
 	"wfqsort/internal/schedulers"
 	"wfqsort/internal/sharded"
@@ -270,6 +272,117 @@ type Discipline = schedulers.Discipline
 
 // Departure is one served packet's timing record.
 type Departure = schedulers.Departure
+
+// RankProgram is the pluggable per-packet rank computation every
+// discipline is built from (see internal/rank): Rank assigns a packet
+// its service priority, OnServe advances the program's flow state.
+type RankProgram = rank.Program
+
+// Ranked is a rank program's output for one packet: the service rank
+// and, for eligibility-gated disciplines, the start tag.
+type Ranked = rank.Ranked
+
+// RankStore holds ranked packets and serves them back in rank order —
+// exactly (software heap, the paper's sorter through NewHWRankStore) or
+// approximately (the SP-PIFO bank).
+type RankStore = rank.Store
+
+// RankItem is one stored (packet, rank, sequence) entry.
+type RankItem = rank.Item
+
+// PIFO composes a rank program with a rank store into a scheduling
+// discipline (the PIFO abstraction: push-in, first-out).
+type PIFO = schedulers.PIFO
+
+// PIFOTree is the hierarchical composition: a root program schedules
+// traffic classes, per-class leaf programs schedule flows within them.
+type PIFOTree = schedulers.PIFOTree
+
+// TreeClass declares one class of a PIFOTree: its leaf program, leaf
+// store, and the flows it owns.
+type TreeClass = schedulers.TreeClass
+
+// NewPIFO builds a discipline from a rank program over a rank store.
+func NewPIFO(prog RankProgram, store RankStore) (*PIFO, error) {
+	return schedulers.NewPIFO(prog, store)
+}
+
+// NewHPFQ builds the hierarchical fair queueing tree: start-time fair
+// queueing across classes at the root and across each class's flows at
+// the leaves. flowWeights[c] maps global flow IDs to weights inside
+// class c.
+func NewHPFQ(classWeights []float64, flowWeights []map[int]float64, capacityBps float64) (*PIFOTree, error) {
+	return schedulers.NewHPFQ(classWeights, flowWeights, capacityBps)
+}
+
+// Rank-program constructors (see internal/rank for the discipline
+// semantics): fair-queueing programs take normalized flow weights and
+// the link capacity; EDF takes per-flow relative deadlines in seconds;
+// SRPT takes the flow count; LSTF takes per-flow slack budgets.
+func NewSCFQProgram(weights []float64, capacityBps float64) (RankProgram, error) {
+	return rank.NewSCFQ(weights, capacityBps)
+}
+
+// NewSTFQProgram builds start-time fair queueing.
+func NewSTFQProgram(weights []float64, capacityBps float64) (RankProgram, error) {
+	return rank.NewSTFQ(weights, capacityBps)
+}
+
+// NewWFQProgram builds WFQ over the GPS virtual clock.
+func NewWFQProgram(weights []float64, capacityBps float64) (RankProgram, error) {
+	return rank.NewWFQ(weights, capacityBps)
+}
+
+// NewVirtualClockProgram builds the VirtualClock discipline.
+func NewVirtualClockProgram(weights []float64, capacityBps float64) (RankProgram, error) {
+	return rank.NewVirtualClock(weights, capacityBps)
+}
+
+// NewEDFProgram builds earliest-deadline-first over per-flow relative
+// deadlines (seconds after arrival).
+func NewEDFProgram(deadlines []float64) (RankProgram, error) {
+	return rank.NewEDF(deadlines)
+}
+
+// NewSRPTProgram builds shortest-remaining-processing-time over the
+// given flow count.
+func NewSRPTProgram(flows int) (RankProgram, error) {
+	return rank.NewSRPT(flows)
+}
+
+// NewLSTFProgram builds least-slack-time-first over per-flow slack
+// budgets (seconds).
+func NewLSTFProgram(budgets []float64, capacityBps float64) (RankProgram, error) {
+	return rank.NewLSTF(budgets, capacityBps)
+}
+
+// NewSoftRankStore returns the exact software reference store (binary
+// heap, FCFS among equal ranks).
+func NewSoftRankStore() *rank.SoftStore { return rank.NewSoftStore() }
+
+// MinTagQueue is the Table I sorting-backend interface (see
+// internal/pqueue): any structure that stores integer tags and serves
+// the minimum.
+type MinTagQueue = pqueue.MinTagQueue
+
+// NewHWRankStore quantizes ranks onto any MinTagQueue — the seam that
+// runs a rank program over the paper's integer-tag sorting hardware.
+func NewHWRankStore(q MinTagQueue, granularity float64, tagRange int) (*rank.HWStore, error) {
+	return rank.NewHWStore(q, granularity, tagRange)
+}
+
+// NewSPPIFO builds the SP-PIFO approximation backend: k strict-priority
+// FIFO queues with push-up/push-down bound adaptation in place of an
+// exact sorter.
+func NewSPPIFO(k, tagRange int) (*pqueue.SPPIFO, error) {
+	return pqueue.NewSPPIFO(k, tagRange)
+}
+
+// NewMultiBitTreeQueue returns the paper's multi-bit search tree as a
+// MinTagQueue — the exact hardware backend for NewHWRankStore.
+func NewMultiBitTreeQueue(tagRange int) (MinTagQueue, error) {
+	return pqueue.NewMultiBitTree(tagRange)
+}
 
 // Hop is one output link on a network Path.
 type Hop = network.Hop

@@ -99,3 +99,77 @@ func TestFacadeShardedSorter(t *testing.T) {
 		t.Fatalf("model speedup %v, want ≥ 1", sp)
 	}
 }
+
+// TestFacadeRankSeam drives the public rank-program surface: a STFQ
+// program over the paper's sorter (through the HW rank store), the
+// SP-PIFO approximation backend, and the hierarchical HPFQ tree.
+func TestFacadeRankSeam(t *testing.T) {
+	prog, err := NewSTFQProgram([]float64{0.5, 0.5}, 1e6)
+	if err != nil {
+		t.Fatalf("NewSTFQProgram: %v", err)
+	}
+	q, err := NewMultiBitTreeQueue(1 << 16)
+	if err != nil {
+		t.Fatalf("NewMultiBitTreeQueue: %v", err)
+	}
+	hw, err := NewHWRankStore(q, 1e-4, 1<<16)
+	if err != nil {
+		t.Fatalf("NewHWRankStore: %v", err)
+	}
+	d, err := NewPIFO(prog, hw)
+	if err != nil {
+		t.Fatalf("NewPIFO: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		now := float64(i) * 1e-4
+		if err := d.Enqueue(Packet{ID: i, Flow: i % 2, Size: 1000, Arrival: now}, now); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := d.Dequeue(1.0); err != nil {
+			t.Fatalf("Dequeue %d: %v", i, err)
+		}
+	}
+
+	sp, err := NewSPPIFO(4, 1024)
+	if err != nil {
+		t.Fatalf("NewSPPIFO: %v", err)
+	}
+	if sp.Exact() {
+		t.Fatal("SP-PIFO claims exactness")
+	}
+	for i := 0; i < 16; i++ {
+		if err := sp.Insert(i%7*100, i); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := sp.ExtractMin(); err != nil {
+			t.Fatalf("ExtractMin: %v", err)
+		}
+	}
+
+	tree, err := NewHPFQ([]float64{0.75, 0.25},
+		[]map[int]float64{{0: 1, 1: 1}, {2: 1}}, 1e6)
+	if err != nil {
+		t.Fatalf("NewHPFQ: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		now := float64(i) * 1e-4
+		if err := tree.Enqueue(Packet{ID: i, Flow: i % 3, Size: 500, Arrival: now}, now); err != nil {
+			t.Fatalf("tree Enqueue: %v", err)
+		}
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		p, err := tree.Dequeue(1.0)
+		if err != nil {
+			t.Fatalf("tree Dequeue: %v", err)
+		}
+		seen[p.Flow] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("tree served flows %v, want all 3", seen)
+	}
+}
