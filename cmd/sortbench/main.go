@@ -38,6 +38,14 @@
 // per-flow unfairness comparison; with -json it writes
 // BENCH_disciplines.json.
 //
+// With -timers it runs the millions-of-timers workload: the sorter as a
+// deadline queue over a 20-bit tag geometry, holding -timers-live armed
+// timers while a steady phase cancels (Remove, Zipf-biased toward the
+// newest timers) and fires (ExtractMin) them at a sustained rate, each
+// op paired with a re-arm. The run closes an exact ledger — armed ==
+// fired + cancelled + drained, zero lost and zero ghost timers — and
+// errors otherwise; with -json it writes BENCH_timers.json.
+//
 // Usage:
 //
 //	sortbench [-backlog N] [-steady N] [-window W] [-profile bell|left|uniform] [-seed S]
@@ -45,6 +53,7 @@
 //	sortbench -membus [-json BENCH_membus.json] [-seed S]
 //	sortbench -engine [-json BENCH_engine.json] [-seed S]
 //	sortbench -engine-smoke [-seed S]
+//	sortbench -timers [-timers-live N] [-timers-ops N] [-timers-cancel F] [-json BENCH_timers.json] [-seed S]
 package main
 
 import (
@@ -88,7 +97,11 @@ func run() error {
 	engineMode := flag.Bool("engine", false, "benchmark the concurrent serving engine (sustained + 2x overload + GOMAXPROCS scaling sweep)")
 	engineSmoke := flag.Bool("engine-smoke", false, "reduced 1-vs-4-proc engine scaling check (CI gate; skipped below 4 CPUs)")
 	disciplinesMode := flag.Bool("disciplines", false, "benchmark the rank-program x backend matrix (exact sorters oracle-checked, SP-PIFO scored for approximation error)")
-	jsonPath := flag.String("json", "", "with -sharded, -membus, -engine, or -disciplines: also write machine-readable results to this file")
+	timersMode := flag.Bool("timers", false, "millions-of-timers workload: arm/cancel/fire deadlines over a 20-bit sorter with an exact ledger")
+	timersLive := flag.Int("timers-live", 1_000_000, "with -timers: live timer population to hold")
+	timersOps := flag.Int("timers-ops", 4_000_000, "with -timers: steady-state cancel/fire operations (each paired with a re-arm)")
+	timersCancel := flag.Float64("timers-cancel", 0.6, "with -timers: fraction of steady ops that cancel instead of fire")
+	jsonPath := flag.String("json", "", "with -sharded, -membus, -engine, -disciplines, or -timers: also write machine-readable results to this file")
 	flag.Parse()
 
 	if *shardedMode {
@@ -105,6 +118,9 @@ func run() error {
 	}
 	if *disciplinesMode {
 		return runDisciplines(*jsonPath)
+	}
+	if *timersMode {
+		return runTimers(*seed, *timersLive, *timersOps, *timersCancel, *jsonPath)
 	}
 
 	var profile traffic.TagProfile
@@ -272,7 +288,7 @@ func benchShardedLanes(lanes int, seed int64) (laneResult, error) {
 		ops += 2 * shardedBatch
 	}
 	elapsed := time.Since(start) //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
-	st := s.Stats()
+	st := s.StatsSnapshot()
 	sort.Float64s(extractNs)
 	p99 := extractNs[len(extractNs)*99/100]
 	return laneResult{
@@ -403,12 +419,12 @@ func benchMembusTech(tech taglist.MemTech, seed int64) (membusResult, error) {
 	}
 	list := fab.Region("tag-storage")
 	var worst, spanSum, spanCount uint64
-	prev := list.Stats()
+	prev := list.StatsSnapshot()
 	for i := 0; i < membusSteady; i++ {
 		if _, err := s.InsertExtractMin(gen.Sample(0, 4095), i); err != nil {
 			return membusResult{}, err
 		}
-		cur := list.Stats()
+		cur := list.StatsSnapshot()
 		if dw := cur.Windows - prev.Windows; dw > 0 {
 			span := cur.WindowCycles - prev.WindowCycles
 			spanSum += span
@@ -436,7 +452,7 @@ func benchMembusTech(tech taglist.MemTech, seed int64) (membusResult, error) {
 		res.AvgCombinedWindow = float64(spanSum) / float64(spanCount)
 	}
 	for _, r := range fab.Regions() {
-		st := r.Stats()
+		st := r.StatsSnapshot()
 		pp := metrics.RegionPressure(r.Name(), st)
 		res.Regions = append(res.Regions, membusRegionResult{
 			Name:        r.Name(),
@@ -727,7 +743,7 @@ func benchEnginePhase(seed int64, policy engine.Policy, ratePerSec float64, ops 
 	}
 	// The conservation invariant is part of the benchmark contract: a
 	// baseline from a leaking engine would be meaningless.
-	if st.Inserted != st.Extracted+st.FaultLost || st.Extracted != served.Load() {
+	if st.Inserted != st.Extracted+st.Removed+st.FaultLost || st.Extracted != served.Load() {
 		return enginePhaseResult{}, fmt.Errorf("engine conservation violated: %+v", st)
 	}
 	return res, nil

@@ -1,0 +1,287 @@
+// The -timers mode: a millions-of-timers workload over the paper's
+// sorter as a deadline queue. An operating system's timer wheel — or a
+// transport stack's retransmit timers — is the same structure the
+// paper sorts packets with: insert a deadline, serve the minimum,
+// and (the part classic hardware sorters punt on) cancel armed timers
+// in place. Most retransmit timers never fire, so cancellation is the
+// hot path; this workload arms, cancels (Zipf-biased toward the newest
+// timers, like retransmit timers that almost always cancel fast), and
+// fires timers at a sustained rate while holding ≥LiveTarget timers
+// armed, then closes an exact ledger: every armed timer fired, was
+// cancelled, or drained — zero lost, zero ghosts.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"wfqsort/internal/pqueue"
+)
+
+// Timer-workload geometry: 5 tree levels × 4 literal bits = 20-bit
+// deadline tags over 2^20 links — the widest geometry whose link word
+// (20 tag + 20 addr + 24 payload bits) fits the 64-bit bound.
+const (
+	timersLevels      = 5
+	timersLiteralBits = 4
+	timersCapacity    = 1 << 20
+	timersMaxDelay    = 1 << 14 // arm horizon above the service floor
+	timersZipfS       = 1.2     // cancellation skew (newest-biased)
+)
+
+// timersReport is the BENCH_timers.json document.
+type timersReport struct {
+	Schema     string  `json:"schema"`
+	Seed       int64   `json:"seed"`
+	LiveTarget int     `json:"live_target"`
+	Capacity   int     `json:"capacity"`
+	TagBits    int     `json:"tag_bits"`
+	MaxDelay   int     `json:"max_delay"`
+	CancelFrac float64 `json:"cancel_frac"`
+	ZipfS      float64 `json:"zipf_s"`
+	SteadyOps  int     `json:"steady_ops"`
+
+	FillSeconds   float64 `json:"fill_seconds"`
+	SteadySeconds float64 `json:"steady_seconds"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	ArmPerSec     float64 `json:"arm_per_sec"`
+	CancelPerSec  float64 `json:"cancel_per_sec"`
+	FirePerSec    float64 `json:"fire_per_sec"`
+
+	Armed     uint64 `json:"armed"`
+	Fired     uint64 `json:"fired"`
+	Cancelled uint64 `json:"cancelled"`
+	Drained   uint64 `json:"drained"`
+	Lost      uint64 `json:"lost"`
+	Ghosts    uint64 `json:"ghosts"`
+
+	MeanInsertAccesses  float64 `json:"mean_insert_accesses"`
+	MeanExtractAccesses float64 `json:"mean_extract_accesses"`
+	MeanRemoveAccesses  float64 `json:"mean_remove_accesses"`
+	WorstInsert         uint64  `json:"worst_insert_accesses"`
+	WorstExtract        uint64  `json:"worst_extract_accesses"`
+	WorstRemove         uint64  `json:"worst_remove_accesses"`
+}
+
+// timerArena tracks every live timer for O(1) arm/cancel/fire
+// bookkeeping: ids are arena slots (they double as the sorter payload),
+// liveIDs is a newest-last stack for Zipf victim selection, and pos
+// maps id → its liveIDs position for swap-removal.
+type timerArena struct {
+	tag   []int32 // armed deadline per id
+	armed []bool
+	free  []int32
+	live  []int32
+	pos   []int32
+}
+
+func newTimerArena(capacity int) *timerArena {
+	a := &timerArena{
+		tag:   make([]int32, capacity),
+		armed: make([]bool, capacity),
+		free:  make([]int32, capacity),
+		live:  make([]int32, 0, capacity),
+		pos:   make([]int32, capacity),
+	}
+	for i := range a.free {
+		a.free[i] = int32(capacity - 1 - i)
+	}
+	return a
+}
+
+func (a *timerArena) arm(tag int) (id int, ok bool) {
+	if len(a.free) == 0 {
+		return 0, false
+	}
+	id32 := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.tag[id32] = int32(tag)
+	a.armed[id32] = true
+	a.pos[id32] = int32(len(a.live))
+	a.live = append(a.live, id32)
+	return int(id32), true
+}
+
+// release unlinks id from the live stack and frees its slot. It
+// reports false — a ghost — when id is out of range or not armed.
+func (a *timerArena) release(id int) bool {
+	if id < 0 || id >= len(a.armed) || !a.armed[id] {
+		return false
+	}
+	p := a.pos[id]
+	last := a.live[len(a.live)-1]
+	a.live[p] = last
+	a.pos[last] = p
+	a.live = a.live[:len(a.live)-1]
+	a.armed[id] = false
+	a.free = append(a.free, int32(id))
+	return true
+}
+
+// victim picks a cancellation target, Zipf-biased toward the newest
+// armed timers (rank 0 = most recently armed).
+func (a *timerArena) victim(z *rand.Zipf) (id, tag int) {
+	rank := int(z.Uint64())
+	if rank >= len(a.live) {
+		rank = len(a.live) - 1
+	}
+	id32 := a.live[len(a.live)-1-rank]
+	return int(id32), int(a.tag[id32])
+}
+
+func runTimers(seed int64, liveTarget, steadyOps int, cancelFrac float64, jsonPath string) error {
+	if liveTarget <= 0 || liveTarget >= timersCapacity {
+		return fmt.Errorf("timers: live target %d must be in (0,%d)", liveTarget, timersCapacity)
+	}
+	if cancelFrac < 0 || cancelFrac > 1 {
+		return fmt.Errorf("timers: cancel fraction %v outside [0,1]", cancelFrac)
+	}
+	q, err := pqueue.NewMultiBitTreeGeometry(timersCapacity, timersLevels, timersLiteralBits)
+	if err != nil {
+		return err
+	}
+	var dq pqueue.DynamicQueue = q // the workload needs first-class Remove
+	tagRange := 1 << (timersLevels * timersLiteralBits)
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, timersZipfS, 1, uint64(liveTarget-1))
+	arena := newTimerArena(timersCapacity)
+
+	rep := timersReport{
+		Schema:     "wfqsort/bench-timers/v1",
+		Seed:       seed,
+		LiveTarget: liveTarget,
+		Capacity:   timersCapacity,
+		TagBits:    timersLevels * timersLiteralBits,
+		MaxDelay:   timersMaxDelay,
+		CancelFrac: cancelFrac,
+		ZipfS:      timersZipfS,
+		SteadyOps:  steadyOps,
+	}
+
+	floor := 0
+	arm := func() error {
+		deadline := floor + 1 + rng.Intn(timersMaxDelay)
+		if deadline >= tagRange {
+			return fmt.Errorf("timers: deadline %d exhausted the %d-bit tag space", deadline, rep.TagBits)
+		}
+		id, ok := arena.arm(deadline)
+		if !ok {
+			return fmt.Errorf("timers: arena full at %d live timers", len(arena.live))
+		}
+		if err := dq.Insert(deadline, id); err != nil {
+			return fmt.Errorf("timers: arm: %w", err)
+		}
+		rep.Armed++
+		return nil
+	}
+
+	fillStart := time.Now() //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+	for len(arena.live) < liveTarget {
+		if err := arm(); err != nil {
+			return err
+		}
+	}
+	rep.FillSeconds = time.Since(fillStart).Seconds() //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+
+	steadyStart := time.Now() //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+	for op := 0; op < steadyOps; op++ {
+		if rng.Float64() < cancelFrac {
+			id, tag := arena.victim(zipf)
+			found, err := dq.Remove(tag, id)
+			if err != nil {
+				return fmt.Errorf("timers: cancel: %w", err)
+			}
+			if !found {
+				rep.Lost++ // armed in the ledger but gone from the sorter
+			}
+			if !arena.release(id) {
+				rep.Ghosts++
+			}
+			rep.Cancelled++
+		} else {
+			e, err := dq.ExtractMin()
+			if err != nil {
+				return fmt.Errorf("timers: fire: %w", err)
+			}
+			if e.Tag < floor {
+				return fmt.Errorf("timers: fired deadline %d below the floor %d", e.Tag, floor)
+			}
+			floor = e.Tag
+			if !arena.release(e.Payload) {
+				rep.Ghosts++ // fired an id the ledger says is not armed
+			}
+			rep.Fired++
+		}
+		// Hold the live population at the target.
+		if err := arm(); err != nil {
+			return err
+		}
+	}
+	rep.SteadySeconds = time.Since(steadyStart).Seconds() //wfqlint:ignore determinism wall-clock benchmark timing, not simulation state
+
+	// Drain everything still armed, checking sorted order, and close
+	// the ledger exactly.
+	prev := -1
+	for dq.Len() > 0 {
+		e, err := dq.ExtractMin()
+		if err != nil {
+			return fmt.Errorf("timers: drain: %w", err)
+		}
+		if e.Tag < prev {
+			return fmt.Errorf("timers: drain out of order: %d after %d", e.Tag, prev)
+		}
+		prev = e.Tag
+		if !arena.release(e.Payload) {
+			rep.Ghosts++
+		}
+		rep.Drained++
+	}
+	if remaining := uint64(len(arena.live)); remaining > 0 {
+		rep.Lost += remaining // armed in the ledger, never seen again
+	}
+	if total := rep.Fired + rep.Cancelled + rep.Drained; total != rep.Armed && rep.Lost == 0 {
+		rep.Lost = rep.Armed - total
+	}
+
+	steadyPrimitives := float64(2 * steadyOps) // one arm per cancel/fire
+	rep.OpsPerSec = steadyPrimitives / rep.SteadySeconds
+	rep.ArmPerSec = float64(steadyOps) / rep.SteadySeconds
+	rep.CancelPerSec = float64(rep.Cancelled) / rep.SteadySeconds
+	rep.FirePerSec = float64(rep.Fired) / rep.SteadySeconds
+	st := dq.Stats()
+	rep.MeanInsertAccesses = st.MeanInsert()
+	rep.MeanExtractAccesses = st.MeanExtract()
+	rep.MeanRemoveAccesses = st.MeanRemove()
+	rep.WorstInsert = st.WorstInsert
+	rep.WorstExtract = st.WorstExtract
+	rep.WorstRemove = st.WorstRemove
+
+	fmt.Printf("timer workload — %d-bit deadlines, %d live timers, %d steady ops (cancel frac %.2f, Zipf s=%.1f), seed %d\n",
+		rep.TagBits, liveTarget, steadyOps, cancelFrac, timersZipfS, seed)
+	fmt.Printf("  fill:    %d timers in %.2fs\n", liveTarget, rep.FillSeconds)
+	fmt.Printf("  steady:  %.0f ops/s (%.0f arm/s, %.0f cancel/s, %.0f fire/s) over %.2fs\n",
+		rep.OpsPerSec, rep.ArmPerSec, rep.CancelPerSec, rep.FirePerSec, rep.SteadySeconds)
+	fmt.Printf("  charges: insert %.2f mean / %d worst, extract %.2f mean / %d worst, remove %.2f mean / %d worst accesses\n",
+		rep.MeanInsertAccesses, rep.WorstInsert, rep.MeanExtractAccesses, rep.WorstExtract,
+		rep.MeanRemoveAccesses, rep.WorstRemove)
+	fmt.Printf("  ledger:  %d armed = %d fired + %d cancelled + %d drained (lost %d, ghosts %d)\n",
+		rep.Armed, rep.Fired, rep.Cancelled, rep.Drained, rep.Lost, rep.Ghosts)
+
+	if rep.Lost != 0 || rep.Ghosts != 0 {
+		return fmt.Errorf("timers: ledger violation: %d lost, %d ghost timers", rep.Lost, rep.Ghosts)
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -50,6 +50,34 @@ func ExampleSorter_InsertExtractMin() {
 	// next: 15
 }
 
+// ExampleSorter_Rerank shows the dynamic updates: Remove cancels a
+// stored tag in place (the timer-cancellation primitive) and Rerank
+// moves one to a new tag (flow re-weighting), re-entering as the newest
+// among equals — both charged circuit operations, not rebuilds.
+func ExampleSorter_Rerank() {
+	sorter, _ := wfqsort.NewSorter(wfqsort.SorterConfig{Capacity: 64})
+	sorter.Insert(310, 7)
+	sorter.Insert(42, 8)
+	sorter.Insert(42, 9)
+	// The flow holding packet 7 got a bigger weight: finish tag drops.
+	found, _ := sorter.Rerank(310, 7, 42)
+	fmt.Println("reranked:", found)
+	// The timer behind packet 8 was cancelled before firing.
+	found, _ = sorter.Remove(42, 8)
+	fmt.Println("removed:", found)
+	// Drain order: 9 then 7 — the reranked packet is newest among the
+	// 42s, so FCFS among equal tags is preserved.
+	for sorter.Len() > 0 {
+		e, _ := sorter.ExtractMin()
+		fmt.Println(e.Tag, e.Payload)
+	}
+	// Output:
+	// reranked: true
+	// removed: true
+	// 42 9
+	// 42 7
+}
+
 // ExampleNewScheduler shows the full Fig. 1 datapath throughput model.
 func ExampleNewScheduler() {
 	sched, err := wfqsort.NewScheduler(wfqsort.SchedulerConfig{
@@ -95,7 +123,7 @@ func ExampleNewEngine() {
 	}
 	<-done
 	st := eng.StatsSnapshot()
-	fmt.Println("conserved:", st.Inserted == st.Extracted+st.FaultLost)
+	fmt.Println("conserved:", st.Inserted == st.Extracted+st.Removed+st.FaultLost)
 	// Output:
 	// 12 2
 	// 150 3

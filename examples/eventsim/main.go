@@ -90,7 +90,7 @@ func run() error {
 	}
 	fmt.Printf("discrete-event run: %d jobs served, mean sojourn %.1f time units, peak queue %d\n",
 		served, float64(totalWait)/float64(served), maxQueue)
-	st := events.Stats()
+	st := events.StatsSnapshot()
 	fmt.Printf("event-queue cost: every schedule was ≤%d node reads + one 4-cycle window (fixed time)\n",
 		st.TreeMaxDepth)
 	return nil

@@ -115,7 +115,7 @@ func shardedScaleOut() error {
 				served++
 			}
 		}
-		st := s.Stats()
+		st := s.StatsSnapshot()
 		// One lane sustains clock/4 packets/s; N lanes sustain the same
 		// stream in 1/speedup of the cycles.
 		mpps := 143.2e6 / 4 * st.ModelSpeedup() / 1e6

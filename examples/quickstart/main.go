@@ -47,7 +47,7 @@ func main() {
 
 	// Every search through the tree took at most 3 sequential node
 	// reads — the fixed-time guarantee.
-	st := sorter.Stats()
+	st := sorter.StatsSnapshot()
 	fmt.Printf("worst tree search depth: %d node reads (%d searches)\n",
 		st.TreeMaxDepth, st.TreeSearches)
 }

@@ -53,6 +53,7 @@ const EnginePackage = "wfqsort/internal/engine"
 var ledger = map[string]bool{
 	"inserted":   true,
 	"extracted":  true,
+	"removed":    true,
 	"faultlost":  true,
 	"drainshed":  true,
 	"ghostdrops": true,

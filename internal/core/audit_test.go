@@ -179,12 +179,12 @@ func TestRebuildHealingWritebackThroughArbiter(t *testing.T) {
 		t.Fatal("flip not detected")
 	}
 	reg := s.Fabric().Region("translation-table")
-	before := reg.Stats()
+	before := reg.StatsSnapshot()
 	clockBefore := s.Fabric().Clock().Now()
 	if err := s.Rebuild(); err != nil {
 		t.Fatalf("Rebuild: %v", err)
 	}
-	after := reg.Stats()
+	after := reg.StatsSnapshot()
 	if w := after.Writes - before.Writes; w != 4 {
 		t.Fatalf("rebuild wrote %d table entries through the arbiter, want 4 (one per live tag)", w)
 	}

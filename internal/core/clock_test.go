@@ -103,7 +103,7 @@ func TestSoakLongRun(t *testing.T) {
 	if err := s.CheckInvariants(); err != nil {
 		t.Fatalf("final: %v", err)
 	}
-	st := s.Stats()
+	st := s.StatsSnapshot()
 	if st.TreeMaxDepth > 3 {
 		t.Fatalf("soak: tree depth %d exceeded 3", st.TreeMaxDepth)
 	}

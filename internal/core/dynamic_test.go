@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// dynMirror is an in-order soft reference for the eager sorter's chain:
+// a slice sorted by tag with FCFS order among equals, exactly the
+// linked-list layout.
+type dynMirror []struct{ tag, payload int }
+
+func (m *dynMirror) insert(tag, payload int) {
+	idx := len(*m)
+	for idx > 0 && (*m)[idx-1].tag > tag {
+		idx--
+	}
+	*m = append(*m, struct{ tag, payload int }{})
+	copy((*m)[idx+1:], (*m)[idx:])
+	(*m)[idx] = struct{ tag, payload int }{tag, payload}
+}
+
+func (m *dynMirror) remove(tag, payload int) bool {
+	for i, e := range *m {
+		if e.tag == tag && e.payload == payload {
+			*m = append((*m)[:i], (*m)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// TestRemoveBasic removes entries from every group position — sole
+// member, oldest and newest duplicate, the head — and checks order and
+// structural invariants after each unlink.
+func TestRemoveBasic(t *testing.T) {
+	s := mustNew(t, Config{Capacity: 32})
+	fillSorter(t, s, 100, 200, 200, 200, 300, 50)
+	// payloads:      0    1    2    3    4   5
+
+	steps := []struct {
+		tag, payload int
+		want         bool
+	}{
+		{300, 4, true},   // sole member of a tail group
+		{200, 3, true},   // newest duplicate: translation repoints
+		{200, 1, true},   // oldest duplicate
+		{200, 99, false}, // absent payload in a live group
+		{200, 2, true},   // group empties: marker + translation reclaimed
+		{200, 2, false},  // emptied group misses cleanly
+		{50, 5, true},    // current head
+	}
+	for _, st := range steps {
+		found, err := s.Remove(st.tag, st.payload)
+		if err != nil {
+			t.Fatalf("Remove(%d,%d): %v", st.tag, st.payload, err)
+		}
+		if found != st.want {
+			t.Fatalf("Remove(%d,%d) = %v, want %v", st.tag, st.payload, found, st.want)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after Remove(%d,%d): %v", st.tag, st.payload, err)
+		}
+	}
+	e, err := s.ExtractMin()
+	if err != nil || e.Tag != 100 || e.Payload != 0 {
+		t.Fatalf("survivor = %+v err=%v, want tag 100 payload 0", e, err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", s.Len())
+	}
+	st := s.StatsSnapshot()
+	if st.Removes != 5 {
+		t.Fatalf("Removes = %d, want 5", st.Removes)
+	}
+}
+
+// TestRerankFCFS: a reranked entry re-enters as the newest among equal
+// tags, and a rerank of an absent entry misses without charging state.
+func TestRerankFCFS(t *testing.T) {
+	s := mustNew(t, Config{Capacity: 32})
+	fillSorter(t, s, 10, 20, 20, 30)
+	// payloads:      0   1   2   3
+
+	// Move (30,3) into the tag-20 group: it must serve after the
+	// existing duplicates (FCFS).
+	found, err := s.Rerank(30, 3, 20)
+	if err != nil || !found {
+		t.Fatalf("Rerank(30,3,20) = %v, %v", found, err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after rerank: %v", err)
+	}
+	found, err = s.Rerank(999, 0, 20)
+	if err != nil || found {
+		t.Fatalf("Rerank of absent entry = %v, %v, want miss", found, err)
+	}
+	want := []struct{ tag, payload int }{{10, 0}, {20, 1}, {20, 2}, {20, 3}}
+	for _, w := range want {
+		e, err := s.ExtractMin()
+		if err != nil || e.Tag != w.tag || e.Payload != w.payload {
+			t.Fatalf("served %+v err=%v, want tag %d payload %d", e, err, w.tag, w.payload)
+		}
+	}
+	st := s.StatsSnapshot()
+	if st.Reranks != 1 || st.Removes != 1 {
+		t.Fatalf("Reranks=%d Removes=%d, want 1/1", st.Reranks, st.Removes)
+	}
+}
+
+// TestDynamicHardwareModeRejected: hardware mode's stale markers make
+// in-place updates unsound; both ops must refuse with ErrNotEager.
+func TestDynamicHardwareModeRejected(t *testing.T) {
+	s := mustNew(t, Config{Capacity: 32, Mode: ModeHardware})
+	fillSorter(t, s, 10, 20)
+	if _, err := s.Remove(10, 0); !errors.Is(err, ErrNotEager) {
+		t.Fatalf("Remove in hardware mode: %v, want ErrNotEager", err)
+	}
+	if _, err := s.Rerank(10, 0, 30); !errors.Is(err, ErrNotEager) {
+		t.Fatalf("Rerank in hardware mode: %v, want ErrNotEager", err)
+	}
+}
+
+// TestDynamicRandomized drives mixed insert/extract/remove/rerank
+// traffic against the soft mirror and checks positional agreement of
+// the full drain plus structural invariants along the way.
+func TestDynamicRandomized(t *testing.T) {
+	s := mustNew(t, Config{Capacity: 128})
+	rng := rand.New(rand.NewSource(29))
+	var mirror dynMirror
+	payload := 0
+	for step := 0; step < 6000; step++ {
+		switch op := rng.Intn(10); {
+		case len(mirror) == 0 || (op < 4 && len(mirror) < s.Capacity()):
+			tag := rng.Intn(s.TagRange())
+			if err := s.Insert(tag, payload); err != nil {
+				t.Fatalf("step %d: Insert(%d,%d): %v", step, tag, payload, err)
+			}
+			mirror.insert(tag, payload)
+			payload = (payload + 1) % (1 << 16)
+		case op < 6:
+			e, err := s.ExtractMin()
+			if err != nil {
+				t.Fatalf("step %d: ExtractMin: %v", step, err)
+			}
+			if e.Tag != mirror[0].tag || e.Payload != mirror[0].payload {
+				t.Fatalf("step %d: served (%d,%d), mirror head (%d,%d)",
+					step, e.Tag, e.Payload, mirror[0].tag, mirror[0].payload)
+			}
+			mirror = mirror[1:]
+		case op < 8:
+			victim := mirror[rng.Intn(len(mirror))]
+			found, err := s.Remove(victim.tag, victim.payload)
+			if err != nil || !found {
+				t.Fatalf("step %d: Remove(%d,%d) = %v, %v", step, victim.tag, victim.payload, found, err)
+			}
+			mirror.remove(victim.tag, victim.payload)
+		default:
+			victim := mirror[rng.Intn(len(mirror))]
+			newTag := rng.Intn(s.TagRange())
+			found, err := s.Rerank(victim.tag, victim.payload, newTag)
+			if err != nil || !found {
+				t.Fatalf("step %d: Rerank(%d,%d,%d) = %v, %v", step, victim.tag, victim.payload, newTag, found, err)
+			}
+			mirror.remove(victim.tag, victim.payload)
+			mirror.insert(newTag, victim.payload)
+		}
+		if step%500 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: invariants: %v", step, err)
+			}
+		}
+	}
+	for i := 0; s.Len() > 0; i++ {
+		e, err := s.ExtractMin()
+		if err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+		if e.Tag != mirror[i].tag || e.Payload != mirror[i].payload {
+			t.Fatalf("drain %d: served (%d,%d), mirror (%d,%d)", i, e.Tag, e.Payload, mirror[i].tag, mirror[i].payload)
+		}
+	}
+}
+
+// TestRemoveCorruptTranslationSurfaces: a flipped valid bit on a live
+// tag's translation entry must surface from Remove as ErrCorrupt — a
+// marked tag with no translation is a fault, never a silent miss that
+// would leak the link.
+func TestRemoveCorruptTranslationSurfaces(t *testing.T) {
+	s, inj := newFaulty(t, ModeEager)
+	fillSorter(t, s, 5, 9, 12, 30)
+	// Capacity 64 → 6 address bits: bit 6 is the valid bit.
+	if _, err := inj.FlipNow("translation-table", 9, 1<<6); err != nil {
+		t.Fatalf("FlipNow: %v", err)
+	}
+	if _, err := s.Remove(9, 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Remove over flipped valid bit: %v, want ErrCorrupt", err)
+	}
+	// The same flip on the *predecessor* group's entry is caught by the
+	// predecessor lookup when removing the next group up.
+	if _, err := s.Remove(12, 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Remove with corrupt predecessor translation: %v, want ErrCorrupt", err)
+	}
+	// Rebuild heals the table from the authoritative chain; the remove
+	// then completes.
+	if err := s.Rebuild(); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	if found, err := s.Remove(9, 1); err != nil || !found {
+		t.Fatalf("Remove after rebuild = %v, %v", found, err)
+	}
+}

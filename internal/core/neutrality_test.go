@@ -42,11 +42,11 @@ func TestCycleNeutralityGolden(t *testing.T) {
 	}
 	for i := 0; i < 64; i++ {
 		beforeClock := clock.Now()
-		beforeList := list.Stats()
+		beforeList := list.StatsSnapshot()
 		if _, err := s.InsertExtractMin((i*53+200)%4096, i); err != nil {
 			t.Fatalf("combined %d: %v", i, err)
 		}
-		ls := list.Stats()
+		ls := list.StatsSnapshot()
 		if r, w := ls.Reads-beforeList.Reads, ls.Writes-beforeList.Writes; r != 2 || w != 2 {
 			t.Fatalf("combined %d: tag-storage %dR+%dW, want 2R+2W (Fig. 9)", i, r, w)
 		}
@@ -75,7 +75,7 @@ func TestCycleNeutralityGolden(t *testing.T) {
 	}
 
 	// Whole-run traffic, pinned to the pre-fabric capture.
-	st := s.Stats()
+	st := s.StatsSnapshot()
 	if st.ListWindows != 128 {
 		t.Fatalf("list windows = %d, want 128", st.ListWindows)
 	}
@@ -96,7 +96,7 @@ func TestCycleNeutralityGolden(t *testing.T) {
 	// Every tag-store access happens inside an operation window, so the
 	// derived window-cycle total equals the region's access cycles: the
 	// fabric charges nothing beyond what the port schedule requires.
-	if ls2 := list.Stats(); ls2.Windows != 128 || ls2.WindowCycles != ls2.Cycles {
+	if ls2 := list.StatsSnapshot(); ls2.Windows != 128 || ls2.WindowCycles != ls2.Cycles {
 		t.Fatalf("derived windows %d/%d cycles, want 128 windows spanning %d cycles", ls2.Windows, ls2.WindowCycles, ls2.Cycles)
 	}
 }

@@ -49,6 +49,13 @@ var ErrCorrupt = hwsim.ErrCorrupt
 // system", paper §III-A).
 var ErrBehindMinimum = errors.New("core: tag behind current minimum (WFQ monotonicity violated)")
 
+// ErrNotEager is returned when a dynamic update (Remove, Rerank) is
+// attempted in hardware mode. The silicon's stale markers make group
+// location by tree search unsound after departures, so in-place updates
+// are an eager-mode capability; hardware mode reclaims in bulk with
+// ReclaimSection instead.
+var ErrNotEager = errors.New("core: dynamic updates (Remove/Rerank) require ModeEager")
+
 // Mode selects the marker-reclamation policy.
 type Mode int
 
@@ -105,6 +112,8 @@ type Stats struct {
 	Inserts        uint64
 	Extracts       uint64
 	Combined       uint64 // simultaneous insert+extract windows
+	Removes        uint64 // dynamic in-place removals
+	Reranks        uint64 // dynamic re-rank (remove + reinsert) pairs
 	TreeSearches   uint64
 	TreeNodeReads  uint64
 	TreeNodeWrites uint64
@@ -127,6 +136,8 @@ type Sorter struct {
 	inserts  uint64
 	extracts uint64
 	combined uint64
+	removes  uint64
+	reranks  uint64
 }
 
 // Validate checks the configuration and normalizes documented
@@ -240,6 +251,8 @@ func (s *Sorter) StatsSnapshot() Stats {
 		Inserts:        s.inserts,
 		Extracts:       s.extracts,
 		Combined:       s.combined,
+		Removes:        s.removes,
+		Reranks:        s.reranks,
 		TreeSearches:   ts.Searches,
 		TreeNodeReads:  ts.NodeReads,
 		TreeNodeWrites: ts.NodeWrites,
@@ -251,15 +264,10 @@ func (s *Sorter) StatsSnapshot() Stats {
 	}
 }
 
-// Stats returns aggregated component traffic.
-//
-// Deprecated: use StatsSnapshot (the repository-wide stats accessor
-// convention, DESIGN.md §11).
-func (s *Sorter) Stats() Stats { return s.StatsSnapshot() }
-
 // ResetStats zeroes all traffic counters.
 func (s *Sorter) ResetStats() {
 	s.inserts, s.extracts, s.combined = 0, 0, 0
+	s.removes, s.reranks = 0, 0
 	s.tree.ResetStats()
 	s.table.ResetStats()
 	s.list.ResetStats()
@@ -450,6 +458,116 @@ func (s *Sorter) InsertExtractMin(tag, payload int) (taglist.Entry, error) {
 	}
 	s.combined++
 	return served, nil
+}
+
+// Remove unlinks the oldest stored entry matching (tag, payload) — the
+// dynamic-update primitive of the grouped-sorting-queue extension
+// (timer cancellation, flow teardown). It is a charged datapath
+// operation: one tree search locates the tag's marker, a second search
+// at tag-1 plus a translation lookup locate the preceding group's tail
+// (the unlink predecessor), and the tag store unlinks inside one
+// operation window — the same 2R+2W budget as an insert for the common
+// head-of-group case, growing by one read per duplicate scanned. When
+// the departing link was the group's newest, the translation entry is
+// repointed at the surviving newest; when the group empties, the
+// translation entry and the tree marker are reclaimed, exactly as an
+// eager extract would.
+//
+// Remove returns (false, nil) when no matching entry is stored — a
+// cancelled-twice timer is not an error. Eager mode only: hardware
+// mode returns ErrNotEager. A marker whose translation entry has a
+// flipped valid bit surfaces as ErrCorrupt, never a silent miss.
+func (s *Sorter) Remove(tag, payload int) (bool, error) {
+	if s.cfg.Mode != ModeEager {
+		return false, ErrNotEager
+	}
+	if err := s.list.CheckEntry(tag, payload); err != nil {
+		return false, err
+	}
+	res, err := s.tree.SearchClosest(tag)
+	if err != nil {
+		return false, err
+	}
+	if !res.Exact {
+		return false, nil // no marker: the tag is not stored
+	}
+	newest, ok, err := s.table.Lookup(tag)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, fmt.Errorf("core: %w: marker for tag %d has no translation entry", ErrCorrupt, tag)
+	}
+	// The unlink predecessor is the newest link of the closest strictly
+	// smaller marked tag; with none, the group starts at the list head
+	// (the eager list is linearly sorted from the head).
+	prevAddr := -1
+	if tag > 0 {
+		pres, err := s.tree.SearchClosest(tag - 1)
+		if err != nil {
+			return false, err
+		}
+		if pres.Found {
+			prevAddr, ok, err = s.table.Lookup(pres.Closest)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, fmt.Errorf("core: %w: marker for tag %d has no translation entry", ErrCorrupt, pres.Closest)
+			}
+		}
+	}
+	rr, err := s.list.RemoveInGroup(prevAddr, tag, payload)
+	if err != nil {
+		return false, err
+	}
+	if !rr.Found {
+		return false, nil
+	}
+	if rr.Removed.Addr == newest {
+		if rr.PrevSameTag >= 0 {
+			if err := s.table.Set(tag, rr.PrevSameTag); err != nil {
+				return false, err
+			}
+		} else {
+			if err := s.table.Invalidate(tag); err != nil {
+				return false, err
+			}
+			if err := s.tree.Delete(tag); err != nil {
+				return false, err
+			}
+		}
+	}
+	s.removes++
+	return true, nil
+}
+
+// Rerank moves the oldest stored entry matching (tag, payload) to
+// newTag — the flow re-weighting / timer re-arm primitive. It is a
+// remove followed by a fresh insert, so it charges two operation
+// windows and the entry re-enters as the newest among equal tags at
+// newTag; Removes and Inserts each count one alongside Reranks. The
+// new tag is validated before the remove commits, and the insert
+// cannot fail on capacity (the remove just freed a link), so a rerank
+// either completes or leaves the sorter unchanged — short of a
+// detected ErrCorrupt fault, which is reported. Returns (false, nil)
+// when no matching entry is stored. Eager mode only.
+func (s *Sorter) Rerank(tag, payload, newTag int) (bool, error) {
+	if s.cfg.Mode != ModeEager {
+		return false, ErrNotEager
+	}
+	if err := s.list.CheckEntry(newTag, payload); err != nil {
+		return false, err
+	}
+	found, err := s.Remove(tag, payload)
+	if err != nil || !found {
+		return found, err
+	}
+	if err := s.Insert(newTag, payload); err != nil {
+		return false, fmt.Errorf("core: rerank reinsert at tag %d: %w", newTag, err)
+	}
+	s.reranks++
+	return true, nil
 }
 
 // isNewestLink reports whether the head link is the most recent link of

@@ -146,7 +146,7 @@ func TestPeekMinCostsNothing(t *testing.T) {
 	if !ok || e.Tag != 9 {
 		t.Fatalf("PeekMin = %+v,%v", e, ok)
 	}
-	st := s.Stats()
+	st := s.StatsSnapshot()
 	if st.TreeNodeReads != 0 || st.TableAccesses != 0 || st.ListAccesses != 0 {
 		t.Fatalf("PeekMin touched memory: %+v", st)
 	}
@@ -540,7 +540,7 @@ func TestFixedTimeGuarantee(t *testing.T) {
 		}
 		ops++
 	}
-	st := s.Stats()
+	st := s.StatsSnapshot()
 	if st.TreeMaxDepth > 3 {
 		t.Fatalf("tree search depth %d exceeds 3 levels", st.TreeMaxDepth)
 	}

@@ -26,18 +26,20 @@ func (s Stats) ConservationFaultMoves() uint64 {
 // ConservationCheck verifies the quiescent packet-conservation
 // identity: with the rings empty (post-drain, or any settled snapshot)
 // every submitted packet was inserted, and every inserted packet was
-// extracted, lost to a fault, resident in a lane sorter, or parked in a
-// served ring awaiting the tag-order merge. The identity is kept per
-// lane (see Stats.LaneLedgers) and summed here; the shed and ghost
-// ledgers are subsets of FaultLost, so they can never exceed it.
+// extracted, removed by a cancellation, lost to a fault, resident in a
+// lane sorter, or parked in a served ring awaiting the tag-order merge.
+// The identity is kept per lane (see Stats.LaneLedgers) and summed
+// here; the shed and ghost ledgers are subsets of FaultLost, so they
+// can never exceed it. Reweighted packets stay resident (they only
+// change tag, possibly lane), so Reweights appears on neither side.
 func (s Stats) ConservationCheck() error {
 	if s.Submitted != s.Inserted {
 		return fmt.Errorf("engine: conservation: submitted %d != inserted %d (ingest leak)",
 			s.Submitted, s.Inserted)
 	}
-	if s.Inserted != s.Extracted+s.FaultLost+uint64(s.SorterLen)+uint64(s.ServedOccupied) {
-		return fmt.Errorf("engine: conservation: inserted %d != extracted %d + faultLost %d + resident %d + served-pending %d",
-			s.Inserted, s.Extracted, s.FaultLost, s.SorterLen, s.ServedOccupied)
+	if s.Inserted != s.Extracted+s.Removed+s.FaultLost+uint64(s.SorterLen)+uint64(s.ServedOccupied) {
+		return fmt.Errorf("engine: conservation: inserted %d != extracted %d + removed %d + faultLost %d + resident %d + served-pending %d",
+			s.Inserted, s.Extracted, s.Removed, s.FaultLost, s.SorterLen, s.ServedOccupied)
 	}
 	if s.DrainShed > s.FaultLost {
 		return fmt.Errorf("engine: conservation: drainShed %d exceeds faultLost %d (shed packets must be in the loss ledger)",

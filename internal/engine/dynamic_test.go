@@ -1,0 +1,331 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond for up to two seconds.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// throttledEngine builds a started engine whose output path is nearly
+// closed (ServeAhead and OutBuffer of 1), so submitted packets stay
+// resident in the lane sorters until the test attaches a consumer —
+// making cancel/reweight targets deterministic.
+func throttledEngine(t *testing.T, lanes int) *Engine {
+	t.Helper()
+	e, err := New(Config{Lanes: lanes, LaneCapacity: 1024, ServeAhead: 1, OutBuffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestCancelRemovesPackets: cancelled packets depart through the
+// Removed ledger — never delivered, never counted lost — and the
+// conservation identity closes over the drain.
+func TestCancelRemovesPackets(t *testing.T) {
+	e := throttledEngine(t, 2)
+	const n = 400
+	for i := 0; i < n; i++ {
+		if _, err := e.Submit(100+i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "ingestion", func() bool { return e.StatsSnapshot().RingOccupied == 0 })
+
+	// Cancel the upper half: with a throttled output path only the very
+	// smallest tags can have left the sorters, so these are resident.
+	cancelled := make(map[int]bool)
+	for i := n / 2; i < n; i++ {
+		// A refusal means the control ring is momentarily full — the
+		// documented contract is retry, not loss.
+		waitUntil(t, "cancel admission", func() bool {
+			ok, err := e.Cancel(100+i, i)
+			if err != nil {
+				t.Fatalf("Cancel(%d,%d): %v", 100+i, i, err)
+			}
+			return ok
+		})
+		cancelled[i] = true
+	}
+	waitUntil(t, "cancels to execute", func() bool {
+		st := e.StatsSnapshot()
+		return st.Removed+st.CancelMisses == n/2
+	})
+	if st := e.StatsSnapshot(); st.Removed != n/2 || st.CancelMisses != 0 {
+		t.Fatalf("Removed=%d CancelMisses=%d, want %d/0", st.Removed, st.CancelMisses, n/2)
+	}
+
+	var served []Served
+	var wg sync.WaitGroup
+	drainAll(t, e, &served, &wg)
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(served) != n/2 {
+		t.Fatalf("served %d packets, want %d", len(served), n/2)
+	}
+	for _, s := range served {
+		if cancelled[s.Payload] {
+			t.Fatalf("cancelled packet (tag %d payload %d) was delivered", s.Tag, s.Payload)
+		}
+	}
+	st := e.StatsSnapshot()
+	checkConservation(t, st)
+	if st.FaultLost != 0 {
+		t.Fatalf("FaultLost=%d: cancellation must not be booked as loss", st.FaultLost)
+	}
+}
+
+// TestReweightMovesPackets: a reweighted packet is delivered exactly
+// once under its new tag — same-lane and cross-lane (interleaved
+// partition: tag parity selects the lane) — with FCFS among the new
+// tag's duplicates.
+func TestReweightMovesPackets(t *testing.T) {
+	e := throttledEngine(t, 2)
+	// Tags 500..509, payload = tag-500. Lane = tag&1.
+	for i := 0; i < 10; i++ {
+		if _, err := e.Submit(500+i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "ingestion", func() bool { return e.StatsSnapshot().RingOccupied == 0 })
+
+	// Same-lane: 508 → 600 (both even). Cross-lane: 509 → 600 (odd →
+	// even). Both join tag 600; the earlier reweight must serve first.
+	if ok, err := e.Reweight(508, 8, 600); err != nil || !ok {
+		t.Fatalf("Reweight(508) = %v, %v", ok, err)
+	}
+	waitUntil(t, "first reweight", func() bool { return e.StatsSnapshot().Reweights == 1 })
+	if ok, err := e.Reweight(509, 9, 600); err != nil || !ok {
+		t.Fatalf("Reweight(509) = %v, %v", ok, err)
+	}
+	waitUntil(t, "reweights to execute", func() bool {
+		st := e.StatsSnapshot()
+		return st.Reweights+st.CancelMisses == 2
+	})
+	if st := e.StatsSnapshot(); st.CancelMisses != 0 {
+		t.Fatalf("CancelMisses=%d executing reweights of resident packets", st.CancelMisses)
+	}
+
+	var served []Served
+	var wg sync.WaitGroup
+	drainAll(t, e, &served, &wg)
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(served) != 10 {
+		t.Fatalf("served %d packets, want 10", len(served))
+	}
+	byPayload := make(map[int]Served)
+	var at600 []int
+	for _, s := range served {
+		byPayload[s.Payload] = s
+		if s.Tag == 600 {
+			at600 = append(at600, s.Payload)
+		}
+	}
+	if byPayload[8].Tag != 600 || byPayload[9].Tag != 600 {
+		t.Fatalf("reweighted packets served at tags %d/%d, want 600/600",
+			byPayload[8].Tag, byPayload[9].Tag)
+	}
+	if len(at600) != 2 || at600[0] != 8 || at600[1] != 9 {
+		t.Fatalf("tag-600 FCFS order %v, want [8 9]", at600)
+	}
+	st := e.StatsSnapshot()
+	checkConservation(t, st)
+	if st.Removed != 0 || st.Reweights != 2 {
+		t.Fatalf("Removed=%d Reweights=%d, want 0/2: a reweight is not a departure", st.Removed, st.Reweights)
+	}
+}
+
+// TestCancelMissAndErrors: requests aimed at departed or never-stored
+// packets count as misses; invalid tags and lifecycle states error.
+func TestCancelMissAndErrors(t *testing.T) {
+	e, err := New(Config{Lanes: 2, LaneCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Cancel(1, 1); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("cancel before start: %v, want ErrNotStarted", err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Cancel(-1, 0); err == nil {
+		t.Fatal("cancel with negative tag must error")
+	}
+	if _, err := e.Reweight(1, 0, e.TagRange()); err == nil {
+		t.Fatal("reweight beyond the tag range must error")
+	}
+	if ok, err := e.Cancel(7, 7); err != nil || !ok {
+		t.Fatalf("cancel of absent packet refused: %v, %v", ok, err)
+	}
+	waitUntil(t, "miss to count", func() bool { return e.StatsSnapshot().CancelMisses == 1 })
+	var served []Served
+	var wg sync.WaitGroup
+	drainAll(t, e, &served, &wg)
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if _, err := e.Cancel(1, 1); !errors.Is(err, ErrStopped) {
+		t.Fatalf("cancel after stop: %v, want ErrStopped", err)
+	}
+	checkConservation(t, e.StatsSnapshot())
+}
+
+// TestCancelRingBackpressure: a full control ring refuses requests
+// (counted, retryable) instead of blocking or growing unbounded.
+func TestCancelRingBackpressure(t *testing.T) {
+	// RingSize 4 at the default 0.25 share → a single control slot.
+	e, err := New(Config{Lanes: 1, LaneCapacity: 64, RingSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the lane goroutine so nothing drains the control ring.
+	picked := make(chan struct{})
+	gate := make(chan struct{})
+	if err := e.InjectLane(0, func() { close(picked); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-picked
+	admitted := 0
+	for i := 0; i < 3; i++ {
+		ok, err := e.Cancel(10+i, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			admitted++
+		}
+	}
+	if admitted != 1 {
+		t.Fatalf("admitted %d cancels into a 1-slot control ring, want 1", admitted)
+	}
+	if st := e.StatsSnapshot(); st.CancelDrops != 2 {
+		t.Fatalf("CancelDrops=%d, want 2", st.CancelDrops)
+	}
+	close(gate)
+	var served []Served
+	var wg sync.WaitGroup
+	drainAll(t, e, &served, &wg)
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	checkConservation(t, e.StatsSnapshot())
+}
+
+// TestCancelRingShareValidation covers the new knob.
+func TestCancelRingShareValidation(t *testing.T) {
+	cfg := Config{}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CancelRingShare != 0.25 {
+		t.Fatalf("default CancelRingShare = %v, want 0.25", cfg.CancelRingShare)
+	}
+	for _, share := range []float64{-0.5, 1.5} {
+		bad := Config{CancelRingShare: share}
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted CancelRingShare %v", share)
+		}
+	}
+	if c := controlRingCap(Config{CancelRingShare: 0.01, RingSize: 4}); c != 1 {
+		t.Fatalf("control ring floor = %d, want 1", c)
+	}
+}
+
+// TestDynamicChurnConcurrent is the race-mode churn scenario: producers
+// arm packets while cancellers and reweighters fire at recently armed
+// ones mid-flight, a consumer drains throughout, and the conservation
+// identity — now including Removed — must close exactly at the end.
+func TestDynamicChurnConcurrent(t *testing.T) {
+	e, err := New(Config{Lanes: 4, LaneCapacity: 512, RingSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var served []Served
+	var wg sync.WaitGroup
+	drainAll(t, e, &served, &wg)
+
+	const producers = 4
+	const perProducer = 500
+	var prodWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		prodWG.Add(1)
+		go func() {
+			defer prodWG.Done()
+			rng := rand.New(rand.NewSource(int64(p) + 1))
+			for i := 0; i < perProducer; i++ {
+				tag := rng.Intn(e.TagRange())
+				payload := p*perProducer + i
+				if _, err := e.Submit(tag, payload); err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+				// Fire dynamic updates at this producer's own recent
+				// submissions: some hit resident packets, some race the
+				// departure and miss — both must stay conserved.
+				switch rng.Intn(10) {
+				case 0:
+					if _, err := e.Cancel(tag, payload); err != nil {
+						t.Errorf("producer %d cancel: %v", p, err)
+						return
+					}
+				case 1:
+					if _, err := e.Reweight(tag, payload, rng.Intn(e.TagRange())); err != nil {
+						t.Errorf("producer %d reweight: %v", p, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	prodWG.Wait()
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	st := e.StatsSnapshot()
+	checkConservation(t, st)
+	if uint64(len(served))+st.Removed != st.Inserted {
+		t.Fatalf("served %d + removed %d != inserted %d", len(served), st.Removed, st.Inserted)
+	}
+	// Every payload is unique: delivered at most once, and never after
+	// a successful cancel of the same packet would also have served it.
+	seen := make(map[int]bool, len(served))
+	for _, s := range served {
+		if seen[s.Payload] {
+			t.Fatalf("payload %d delivered twice", s.Payload)
+		}
+		seen[s.Payload] = true
+	}
+}

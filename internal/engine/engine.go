@@ -41,9 +41,15 @@
 // watchdogs convert one wedged lane's drain into accountable shedding
 // without touching its healthy peers, and flag a stalled lane as
 // not-ready. The accounting invariant
-// Inserted == Extracted + FaultLost + in-sorter is kept per lane and
-// summed: no packet is ever lost unaccounted. DESIGN.md §12 documents
-// the state machine and policies; §14 the parallel split.
+// Inserted == Extracted + Removed + FaultLost + in-sorter is kept per
+// lane and summed: no packet is ever lost unaccounted — a cancelled
+// packet departs through the Removed ledger, never silently. DESIGN.md
+// §12 documents the state machine and policies; §14 the parallel split.
+//
+// Dynamic updates: Cancel and Reweight are first-class datapath
+// operations (DESIGN.md §16). Requests ride per-lane control rings
+// (Config.CancelRingShare) and execute on the owning lane's goroutine
+// as charged circuit operations against that lane's sorter.
 //
 //wfqlint:ignore-file determinism the serving engine is intentionally wall-clock code: it measures real enqueue-to-extract latency and real throughput, not simulated time (DESIGN.md §11)
 package engine
@@ -143,6 +149,12 @@ type Config struct {
 	// extractor and the merge stage: how far a lane may run ahead of the
 	// global tag-order merge. Default 64.
 	ServeAhead int
+	// CancelRingShare sizes each lane's control ring — the inbox for
+	// Cancel and Reweight requests — as a fraction of RingSize (at least
+	// one entry). Control traffic rides its own ring so a burst of
+	// cancellations can never crowd out packet admission, and vice
+	// versa. Default 0.25; must be in (0, 1].
+	CancelRingShare float64
 	// Policy is the ring-full backpressure policy (default PolicyBlock).
 	Policy Policy
 	// RED configures early detection when Policy is PolicyRED; the zero
@@ -226,6 +238,12 @@ func (c *Config) Validate() error {
 	if c.ServeAhead < 1 {
 		return fmt.Errorf("engine: serve-ahead %d must be positive", c.ServeAhead)
 	}
+	if c.CancelRingShare == 0 {
+		c.CancelRingShare = 0.25
+	}
+	if c.CancelRingShare < 0 || c.CancelRingShare > 1 {
+		return fmt.Errorf("engine: cancel ring share %v must be in (0, 1]", c.CancelRingShare)
+	}
 	if c.Policy == 0 {
 		c.Policy = PolicyBlock
 	}
@@ -287,6 +305,7 @@ type LaneLedger struct {
 	Lane       int
 	Inserted   uint64
 	Extracted  uint64
+	Removed    uint64
 	FaultLost  uint64
 	DrainShed  uint64
 	GhostDrops uint64
@@ -318,12 +337,27 @@ type Stats struct {
 	DropsRED  uint64
 
 	// Datapath accounting, summed over lanes. The conservation
-	// invariant is Inserted == Extracted + FaultLost + SorterLen (plus
-	// ServedOccupied while entries are in flight between a lane and the
-	// merge stage).
+	// invariant is Inserted == Extracted + Removed + FaultLost +
+	// SorterLen (plus ServedOccupied while entries are in flight between
+	// a lane and the merge stage). Removed counts packets that left the
+	// engine through Cancel — a charged departure, never a loss.
+	// Reweights move a packet to a new tag without leaving the engine,
+	// so they appear on neither side of the identity.
 	Inserted  uint64
 	Extracted uint64
+	Removed   uint64
 	FaultLost uint64
+
+	// Dynamic-update telemetry. CancelMisses counts Cancel/Reweight
+	// requests whose target was no longer resident (already served,
+	// cancelled, or evacuated); CancelDrops counts requests refused at a
+	// full control ring; Reweights counts completed tag moves.
+	//wfqlint:ignore conservation cancel-miss telemetry counts requests aimed at departed packets, not packets
+	CancelMisses uint64
+	//wfqlint:ignore conservation control-ring drop telemetry counts refused requests, not packets
+	CancelDrops uint64
+	//wfqlint:ignore conservation reweight telemetry counts tag moves of packets that stay resident, not packet departures
+	Reweights uint64
 
 	// Batching effectiveness of the lane ingest loops. Pure telemetry:
 	// these count datapath iterations, not packets, so they stay outside
@@ -398,13 +432,31 @@ type LaneFabricStats struct {
 	Regions []metrics.PortPressure
 }
 
-// item is one submission in flight through a lane ring or transfer
-// inbox. tag is always the caller's tag. accounted marks a packet that
-// already entered the Inserted ledger (an evacuee moving between lanes)
-// so re-ingestion never double-counts it.
+// itemOp discriminates what an item asks of the lane goroutine.
+type itemOp uint8
+
+const (
+	// opSubmit inserts the packet (the zero value: every pre-existing
+	// construction site stays a plain insert).
+	opSubmit itemOp = iota
+	// opCancel removes the oldest resident packet matching (tag,
+	// payload) and charges it to the Removed ledger.
+	opCancel
+	// opReweight moves the oldest resident (tag, payload) packet to
+	// newTag, re-entering it as the newest among equals.
+	opReweight
+)
+
+// item is one submission in flight through a lane ring, control ring,
+// or transfer inbox. tag is always the caller's tag. accounted marks a
+// packet that already entered the Inserted ledger (an evacuee or
+// reweighted packet moving between lanes) so re-ingestion never
+// double-counts it.
 type item struct {
+	op        itemOp
 	tag       int
 	payload   int
+	newTag    int // valid for opReweight
 	submitNs  int64
 	accounted bool
 }
@@ -477,6 +529,7 @@ type Engine struct {
 	submitted     atomic.Uint64
 	dropsRing     atomic.Uint64
 	dropsRED      atomic.Uint64
+	cancelDrops   atomic.Uint64
 	remapped      atomic.Uint64
 	watchdogTrips atomic.Uint64
 	mergeForced   atomic.Uint64
@@ -669,6 +722,63 @@ func (e *Engine) blockPush(lw *laneWorker, it item) error {
 			// producer; rescan.
 		}
 	}
+}
+
+// Cancel asks the engine to remove the oldest resident packet matching
+// (tag, payload) — the timer-cancellation primitive. The request rides
+// the owning lane's control ring and executes on that lane's datapath
+// goroutine as a charged circuit operation (tree search, translation
+// read, list unlink); a removed packet is accounted in Stats.Removed,
+// never delivered, never lost. Cancel reports whether the request was
+// admitted: false with a nil error means the control ring was full
+// (counted in CancelDrops; retry later). A request whose target has
+// already been served, cancelled, or evacuated executes as a miss,
+// counted in CancelMisses — by then the request races the packet's
+// departure, and the departure won.
+func (e *Engine) Cancel(tag, payload int) (bool, error) {
+	return e.submitControl(item{op: opCancel, tag: tag, payload: payload})
+}
+
+// Reweight asks the engine to move the oldest resident packet matching
+// (tag, payload) to newTag — the flow re-weighting primitive. The
+// packet re-enters as the newest among equal tags and is still
+// delivered exactly once; reweights appear in Stats.Reweights and on
+// neither side of the conservation identity. Admission and miss
+// semantics match Cancel.
+func (e *Engine) Reweight(tag, payload, newTag int) (bool, error) {
+	if newTag < 0 || newTag >= e.sorter.TagRange() {
+		return false, fmt.Errorf("engine: reweight tag %d outside [0,%d)", newTag, e.sorter.TagRange())
+	}
+	return e.submitControl(item{op: opReweight, tag: tag, payload: payload, newTag: newTag})
+}
+
+// submitControl routes one control request to the target tag's
+// partition-home lane. Control requests never block: a full control
+// ring refuses the request so a cancellation storm cannot wedge the
+// producer the way PolicyBlock admission can.
+func (e *Engine) submitControl(it item) (bool, error) {
+	if !e.started.Load() {
+		return false, ErrNotStarted
+	}
+	if e.stopping.Load() || e.terminated() || e.stopped() {
+		return false, ErrStopped
+	}
+	e.subWG.Add(1)
+	defer e.subWG.Done()
+	if e.stopping.Load() || e.terminated() || e.stopped() {
+		return false, ErrStopped
+	}
+	if it.tag < 0 || it.tag >= e.sorter.TagRange() {
+		return false, fmt.Errorf("engine: tag %d outside [0,%d)", it.tag, e.sorter.TagRange())
+	}
+	it.submitNs = time.Now().UnixNano()
+	lw := e.lanes[e.sorter.LaneFor(it.tag)]
+	if !lw.pushControl(it) {
+		e.cancelDrops.Add(1)
+		return false, nil
+	}
+	lw.wake()
+	return true, nil
 }
 
 // InjectLane hands one chaos action to lane i's datapath goroutine,
@@ -894,6 +1004,7 @@ func (e *Engine) StatsSnapshot() Stats {
 		Submitted:     e.submitted.Load(),
 		DropsRing:     e.dropsRing.Load(),
 		DropsRED:      e.dropsRED.Load(),
+		CancelDrops:   e.cancelDrops.Load(),
 		Remapped:      e.remapped.Load(),
 		WatchdogTrips: e.watchdogTrips.Load(),
 		MergeForced:   e.mergeForced.Load(),
@@ -911,6 +1022,7 @@ func (e *Engine) StatsSnapshot() Stats {
 			Lane:       i,
 			Inserted:   lw.inserted.Load(),
 			Extracted:  lw.extracted.Load(),
+			Removed:    lw.removed.Load(),
 			FaultLost:  lw.faultLost.Load(),
 			DrainShed:  lw.drainShed.Load(),
 			GhostDrops: lw.ghostDrops.Load(),
@@ -919,10 +1031,13 @@ func (e *Engine) StatsSnapshot() Stats {
 		st.LaneLedgers[i] = led
 		st.Inserted += led.Inserted
 		st.Extracted += led.Extracted
+		st.Removed += led.Removed
 		st.FaultLost += led.FaultLost
 		st.DrainShed += led.DrainShed
 		st.GhostDrops += led.GhostDrops
 		st.Evacuated += led.Evacuated
+		st.CancelMisses += lw.cancelMisses.Load()
+		st.Reweights += lw.reweights.Load()
 		st.Batches += lw.batches.Load()
 		st.BatchedOps += lw.batchedOps.Load()
 		st.Recoveries += lw.recoveries.Load()
@@ -972,12 +1087,6 @@ func (e *Engine) StatsSnapshot() Stats {
 	}
 	return st
 }
-
-// Stats returns the counter snapshot.
-//
-// Deprecated: use StatsSnapshot (the repository-wide stats accessor
-// convention, DESIGN.md §11).
-func (e *Engine) Stats() Stats { return e.StatsSnapshot() }
 
 // stopped reports whether the datapath has exited.
 func (e *Engine) stopped() bool {

@@ -52,6 +52,13 @@ type laneWorker struct {
 	xfer   *ring.SPSC[item]
 	xferMu sync.Mutex
 
+	// control is the dynamic-update inbox: Cancel and Reweight requests
+	// from producer goroutines (serialized on controlMu; the lane
+	// goroutine is the consumer). Sized by Config.CancelRingShare so
+	// control traffic and packet admission cannot starve each other.
+	control   *ring.SPSC[item]
+	controlMu sync.Mutex
+
 	// served is the lane's output ring toward the merge stage: the lane
 	// goroutine produces extracted entries, the merge goroutine consumes
 	// them in global tag order. Its capacity (Config.ServeAhead) bounds
@@ -77,39 +84,43 @@ type laneWorker struct {
 	// Conservation ledger (atomic: summed by StatsSnapshot at any time).
 	inserted   atomic.Uint64
 	extracted  atomic.Uint64
+	removed    atomic.Uint64
 	faultLost  atomic.Uint64
 	drainShed  atomic.Uint64
 	ghostDrops atomic.Uint64
 	evacuated  atomic.Uint64
 
 	// Telemetry and cross-goroutine gauges.
-	recoveries atomic.Uint64
-	batches    atomic.Uint64
-	batchedOps atomic.Uint64
-	idles      atomic.Uint64
-	panics     atomic.Uint64
-	progress   atomic.Uint64
-	maxBatch   atomic.Int64
-	sorterLen  atomic.Int64
-	doneFlag   atomic.Bool
-	mirror     atomic.Pointer[laneMirror]
+	cancelMisses atomic.Uint64
+	reweights    atomic.Uint64
+	recoveries   atomic.Uint64
+	batches      atomic.Uint64
+	batchedOps   atomic.Uint64
+	idles        atomic.Uint64
+	panics       atomic.Uint64
+	progress     atomic.Uint64
+	maxBatch     atomic.Int64
+	sorterLen    atomic.Int64
+	doneFlag     atomic.Bool
+	mirror       atomic.Pointer[laneMirror]
 }
 
 func newLaneWorker(e *Engine, idx int) *laneWorker {
 	lw := &laneWorker{
-		e:      e,
-		idx:    idx,
-		ln:     e.sorter.Lane(idx),
-		shards: make([]*laneShard, e.cfg.Shards),
-		xfer:   ring.New[item](e.cfg.LaneCapacity + e.cfg.RingSize),
-		served: ring.New[outEntry](e.cfg.ServeAhead),
-		notify: make(chan struct{}, 1),
-		space:  make(chan struct{}, 1),
-		probe:  make(chan struct{}, 1),
-		inject: make(chan func(), 16),
-		abort:  make(chan struct{}),
-		slots:  make([]slot, e.cfg.LaneCapacity),
-		free:   make([]int, 0, e.cfg.LaneCapacity),
+		e:       e,
+		idx:     idx,
+		ln:      e.sorter.Lane(idx),
+		shards:  make([]*laneShard, e.cfg.Shards),
+		xfer:    ring.New[item](e.cfg.LaneCapacity + e.cfg.RingSize),
+		control: ring.New[item](controlRingCap(e.cfg)),
+		served:  ring.New[outEntry](e.cfg.ServeAhead),
+		notify:  make(chan struct{}, 1),
+		space:   make(chan struct{}, 1),
+		probe:   make(chan struct{}, 1),
+		inject:  make(chan func(), 16),
+		abort:   make(chan struct{}),
+		slots:   make([]slot, e.cfg.LaneCapacity),
+		free:    make([]int, 0, e.cfg.LaneCapacity),
 	}
 	shardCap := (e.cfg.RingSize + e.cfg.Shards - 1) / e.cfg.Shards
 	for i := range lw.shards {
@@ -119,6 +130,26 @@ func newLaneWorker(e *Engine, idx int) *laneWorker {
 		lw.free = append(lw.free, idx)
 	}
 	return lw
+}
+
+// controlRingCap sizes a lane's control ring from the configured share
+// of the submission ring (never below one slot).
+func controlRingCap(cfg Config) int {
+	n := int(cfg.CancelRingShare * float64(cfg.RingSize))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// pushControl offers one cancel/reweight request to the lane's control
+// ring from a producer goroutine (multi-producer: serialized on
+// controlMu).
+func (lw *laneWorker) pushControl(it item) bool {
+	lw.controlMu.Lock()
+	ok := lw.control.Push(it)
+	lw.controlMu.Unlock()
+	return ok
 }
 
 // tryPush offers one submission to the lane's shard rings from a
@@ -176,9 +207,11 @@ func (lw *laneWorker) popOne() (item, bool) {
 	return item{}, false
 }
 
-// backlogEmpty reports whether the lane's inbound rings are drained.
+// backlogEmpty reports whether the lane's inbound rings are drained
+// (control requests included: a drain must execute every admitted
+// cancel before the lane may finish).
 func (lw *laneWorker) backlogEmpty() bool {
-	if lw.xfer.Len() > 0 {
+	if lw.xfer.Len() > 0 || lw.control.Len() > 0 {
 		return false
 	}
 	for _, sh := range lw.shards {
@@ -327,11 +360,35 @@ func (e *Engine) laneLoop(i int) {
 		if e.quar[i].Load() {
 			// Out of service: keep the inbound rings moving toward
 			// healthy lanes so producers blocked on this lane unwedge.
+			// Control requests still execute (as misses — the sorter was
+			// flushed at quarantine time) so the control ring drains.
+			if n, err := e.guardStep(func() (int, error) { return e.laneControl(lw) }); err != nil {
+				if term := e.handleLaneFailure(lw, "control", err); term != nil {
+					e.fail(term)
+					lw.laneExit()
+					return
+				}
+				failed, worked = true, true
+			} else if n > 0 {
+				worked = true
+				ops += n
+			}
 			if n := e.laneForward(lw); n > 0 {
 				worked = true
 				ops += n
 			}
 		} else {
+			if n, err := e.guardStep(func() (int, error) { return e.laneControl(lw) }); err != nil {
+				if term := e.handleLaneFailure(lw, "control", err); term != nil {
+					e.fail(term)
+					lw.laneExit()
+					return
+				}
+				failed, worked = true, true
+			} else if n > 0 {
+				worked = true
+				ops += n
+			}
 			if n, err := e.guardStep(func() (int, error) { return e.laneIngest(lw) }); err != nil {
 				if term := e.handleLaneFailure(lw, "ingest", err); term != nil {
 					e.fail(term)
@@ -477,6 +534,127 @@ func (e *Engine) ingestOne(lw *laneWorker, it item) error {
 	if e.sorter.LaneFor(it.tag) != lw.idx {
 		e.remapped.Add(1)
 	}
+	return nil
+}
+
+// laneControl executes up to BatchSize pending cancel/reweight requests
+// against this lane's sorter (lane goroutine only). Each request is a
+// charged circuit operation; a request whose target already departed
+// executes as a counted miss.
+func (e *Engine) laneControl(lw *laneWorker) (int, error) {
+	n := 0
+	for n < e.cfg.BatchSize {
+		it, ok := lw.control.Pop()
+		if !ok {
+			break
+		}
+		n++
+		var err error
+		if it.op == opCancel {
+			err = e.laneCancel(lw, it)
+		} else {
+			err = e.laneReweight(lw, it)
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// findSlot locates the live slot holding the oldest resident packet
+// matching (tag, payload), or -1. The slot table is the authoritative
+// record (quarantine evacuation trusts it over the sorter for the same
+// reason), and slot indices are unique, so the (tag, slot) pair handed
+// to the sorter identifies exactly one link even among duplicate
+// user-level (tag, payload) submissions.
+func (lw *laneWorker) findSlot(tag, payload int) int {
+	best := -1
+	for idx := range lw.slots {
+		sl := &lw.slots[idx]
+		if sl.live && sl.tag == tag && sl.payload == payload &&
+			(best == -1 || sl.submitNs < lw.slots[best].submitNs) {
+			best = idx
+		}
+	}
+	return best
+}
+
+// laneCancel removes one resident packet: unlink from the lane sorter,
+// release the payload slot, charge the Removed ledger. A corrupt-state
+// error surfaces to the supervision layer like any datapath fault — a
+// cancellation must never turn silent loss into "it was cancelled
+// anyway".
+func (e *Engine) laneCancel(lw *laneWorker, it item) error {
+	idx := lw.findSlot(it.tag, it.payload)
+	if idx < 0 {
+		lw.cancelMisses.Add(1)
+		return nil
+	}
+	found, err := lw.ln.Remove(it.tag, idx)
+	if err != nil {
+		return err
+	}
+	if !found {
+		// Live slot without a sorter link: the entry is in flight toward
+		// the served ring or awaiting fault reconciliation. The departure
+		// wins the race.
+		lw.cancelMisses.Add(1)
+		return nil
+	}
+	lw.releaseSlot(idx)
+	lw.removed.Add(1)
+	e.redDepart(1)
+	return nil
+}
+
+// laneReweight moves one resident packet to a new tag. When the new tag
+// stays on this lane (or the engine is draining, when cross-lane
+// forwarding can no longer be guaranteed a consumer) the lane sorter
+// reranks in place; otherwise the packet is unlinked here and forwarded
+// to its new home lane as an already-accounted item, exactly like a
+// quarantine evacuee — the packet stays inside the conservation
+// identity the whole way.
+func (e *Engine) laneReweight(lw *laneWorker, it item) error {
+	idx := lw.findSlot(it.tag, it.payload)
+	if idx < 0 {
+		lw.cancelMisses.Add(1)
+		return nil
+	}
+	dest, ok := e.remapLane(it.newTag)
+	if !ok || e.draining.Load() {
+		dest = lw.idx
+	}
+	if dest == lw.idx {
+		found, err := lw.ln.Rerank(it.tag, idx, it.newTag)
+		if err != nil {
+			return err
+		}
+		if !found {
+			lw.cancelMisses.Add(1)
+			return nil
+		}
+		lw.slots[idx].tag = it.newTag
+		lw.reweights.Add(1)
+		return nil
+	}
+	found, err := lw.ln.Remove(it.tag, idx)
+	if err != nil {
+		return err
+	}
+	if !found {
+		lw.cancelMisses.Add(1)
+		return nil
+	}
+	sl := lw.releaseSlot(idx)
+	fwd := item{tag: it.newTag, payload: sl.payload, submitNs: sl.submitNs, accounted: true}
+	if !e.forwardTo(e.lanes[dest], fwd) && !e.forwardHealthy(lw, fwd) {
+		// No lane can take it: shed accountably (already inserted).
+		lw.faultLost.Add(1)
+		e.redDepart(1)
+		return nil
+	}
+	lw.reweights.Add(1)
 	return nil
 }
 
@@ -787,9 +965,27 @@ func (e *Engine) laneFinish(lw *laneWorker) {
 		}
 		worked := 0
 		if e.quar[lw.idx].Load() {
+			n, err := e.guardStep(func() (int, error) { return e.laneControl(lw) })
+			if err != nil {
+				if term := e.handleLaneFailure(lw, "drain-control", err); term != nil {
+					e.fail(term)
+					return
+				}
+				worked++
+			}
+			worked += n
 			worked += e.laneForward(lw)
 		} else {
-			n, err := e.guardStep(func() (int, error) { return e.laneIngest(lw) })
+			n, err := e.guardStep(func() (int, error) { return e.laneControl(lw) })
+			if err != nil {
+				if term := e.handleLaneFailure(lw, "drain-control", err); term != nil {
+					e.fail(term)
+					return
+				}
+				worked++
+			}
+			worked += n
+			n, err = e.guardStep(func() (int, error) { return e.laneIngest(lw) })
 			if err != nil {
 				if term := e.handleLaneFailure(lw, "drain-ingest", err); term != nil {
 					e.fail(term)

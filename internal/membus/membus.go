@@ -286,12 +286,6 @@ func (f *Fabric) StatsSnapshot() Stats {
 	return out
 }
 
-// Stats aggregates traffic and arbitration counters over all regions.
-//
-// Deprecated: use StatsSnapshot (the repository-wide stats accessor
-// convention, DESIGN.md §11).
-func (f *Fabric) Stats() Stats { return f.StatsSnapshot() }
-
 // ResetStats zeroes every region's counters (contents untouched).
 func (f *Fabric) ResetStats() {
 	for _, r := range f.regions {
@@ -376,12 +370,6 @@ func (r *Region) Port() *Port { return &r.port }
 
 // StatsSnapshot returns a copy of the region counters.
 func (r *Region) StatsSnapshot() Stats { return r.stats }
-
-// Stats returns a copy of the region counters.
-//
-// Deprecated: use StatsSnapshot (the repository-wide stats accessor
-// convention, DESIGN.md §11).
-func (r *Region) Stats() Stats { return r.stats }
 
 // AccessStats returns the hwsim-compatible traffic triple.
 func (r *Region) AccessStats() hwsim.AccessStats { return r.stats.AccessStats() }

@@ -57,7 +57,7 @@ func TestSequentialAccessMatchesLatency(t *testing.T) {
 	if clk.Now() != 2 {
 		t.Fatalf("clock at %d after 1R+1W, want 2", clk.Now())
 	}
-	st := r.Stats()
+	st := r.StatsSnapshot()
 	if st.Reads != 1 || st.Writes != 1 || st.Cycles != 2 || st.StallCycles != 0 || st.Conflicts != 0 {
 		t.Fatalf("stats %+v, want 1R 1W 2 cycles, no stalls", st)
 	}
@@ -122,7 +122,7 @@ func TestWindowDerivation(t *testing.T) {
 			if clk.Now() != uint64(tc.want) {
 				t.Fatalf("clock at %d after window, want %d", clk.Now(), tc.want)
 			}
-			st := r.Stats()
+			st := r.StatsSnapshot()
 			if st.StallCycles != tc.stalls || st.Conflicts != tc.conflict {
 				t.Fatalf("stalls %d conflicts %d, want %d/%d", st.StallCycles, st.Conflicts, tc.stalls, tc.conflict)
 			}
@@ -176,7 +176,7 @@ func TestBankCollisions(t *testing.T) {
 			if span := r.EndWindow(); span != tc.span {
 				t.Fatalf("window spans %d, want %d", span, tc.span)
 			}
-			if st := r.Stats(); st.StallCycles != tc.stalls {
+			if st := r.StatsSnapshot(); st.StallCycles != tc.stalls {
 				t.Fatalf("region stalls %d, want %d", st.StallCycles, tc.stalls)
 			}
 			for i, bs := range r.BankStats() {
@@ -278,7 +278,7 @@ func TestRegisterRegionCostsNothing(t *testing.T) {
 	if clk.Now() != 0 {
 		t.Fatalf("register access advanced the clock to %d", clk.Now())
 	}
-	st := r.Stats()
+	st := r.StatsSnapshot()
 	if st.Reads != 1 || st.Writes != 1 || st.Cycles != 0 {
 		t.Fatalf("register stats %+v, want counted accesses at zero cycles", st)
 	}
@@ -298,7 +298,7 @@ func TestDebugPorts(t *testing.T) {
 	if w != 0x5A {
 		t.Fatalf("peek %#x, want 0x5A", w)
 	}
-	if clk.Now() != 0 || r.Stats().Accesses() != 0 {
+	if clk.Now() != 0 || r.StatsSnapshot().Accesses() != 0 {
 		t.Fatal("debug ports charged cycles or counted accesses")
 	}
 	r.Wipe()
@@ -436,7 +436,7 @@ func TestFabricAggregateStatsAndReset(t *testing.T) {
 	if err := b.Port().Write(1, 1); err != nil {
 		t.Fatal(err)
 	}
-	st := f.Stats()
+	st := f.StatsSnapshot()
 	if st.Reads != 1 || st.Writes != 1 || st.Cycles != 2 {
 		t.Fatalf("aggregate %+v, want 1R 1W 2 cycles", st)
 	}
@@ -447,7 +447,7 @@ func TestFabricAggregateStatsAndReset(t *testing.T) {
 		t.Fatal("Regions order broken")
 	}
 	f.ResetStats()
-	if st := f.Stats(); st.Accesses() != 0 {
+	if st := f.StatsSnapshot(); st.Accesses() != 0 {
 		t.Fatalf("reset left %+v", st)
 	}
 }

@@ -281,7 +281,7 @@ func TestBankAndPortGauges(t *testing.T) {
 	if busy.Lanes != 2 || busy.Total == 0 {
 		t.Fatalf("bank busy: %+v", busy)
 	}
-	pp := RegionPressure(reg.Name(), reg.Stats())
+	pp := RegionPressure(reg.Name(), reg.StatsSnapshot())
 	if pp.Region != "gauge-mem" || pp.Accesses != 4 {
 		t.Fatalf("region pressure: %+v", pp)
 	}

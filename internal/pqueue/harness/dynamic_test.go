@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"testing"
+
+	"wfqsort/internal/pqueue"
+)
+
+// newDynamicQueues builds one fresh instance of every DynamicQueue
+// backend, including the sharded circuit at every acceptance lane count.
+func newDynamicQueues(t testing.TB) []pqueue.DynamicQueue {
+	t.Helper()
+	veb, err := pqueue.NewVEB(12)
+	if err != nil {
+		t.Fatalf("NewVEB: %v", err)
+	}
+	bt, err := pqueue.NewBitTree(12)
+	if err != nil {
+		t.Fatalf("NewBitTree: %v", err)
+	}
+	mbt, err := pqueue.NewMultiBitTree(2048)
+	if err != nil {
+		t.Fatalf("NewMultiBitTree: %v", err)
+	}
+	qs := []pqueue.DynamicQueue{
+		pqueue.NewSortedList(),
+		pqueue.NewBinaryHeap(),
+		pqueue.NewBST(),
+		veb,
+		bt,
+		mbt,
+	}
+	for _, lanes := range []int{1, 2, 4, 8} {
+		s, err := pqueue.NewSharded(lanes, 4096)
+		if err != nil {
+			t.Fatalf("NewSharded(%d): %v", lanes, err)
+		}
+		qs = append(qs, s)
+	}
+	return qs
+}
+
+// TestDynamicCapabilityCoverage pins which Table I methods expose the
+// capability: every exact addressable structure does, and the
+// approximate bucket family — which cannot locate an individual entry —
+// does not.
+func TestDynamicCapabilityCoverage(t *testing.T) {
+	for _, q := range newQueues(t) {
+		_, dynamic := q.(pqueue.DynamicQueue)
+		var want bool
+		switch q.Name() {
+		case "sorted linked list", "binary heap", "binary search tree",
+			"van Emde Boas", "binary tree (bitwise)", "multi-bit tree (this work)":
+			want = true
+		default:
+			// Sharded instances carry the lane count in the name.
+			want = len(q.Name()) >= 7 && q.Name()[:7] == "sharded"
+		}
+		if dynamic != want {
+			t.Errorf("%s: DynamicQueue = %v, want %v", q.Name(), dynamic, want)
+		}
+	}
+}
+
+// TestDynamicDifferentialOracle drives every dynamic backend through
+// identical seeded scripts laced with removes and reranks. All backends
+// are exact, so each must match the stable oracle entry-for-entry —
+// FCFS among duplicates included, through arbitrary mid-stream
+// cancellations and re-rankings.
+func TestDynamicDifferentialOracle(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"light-churn", Params{Ops: 600, TagRange: 4096, Window: 256, Backlog: 192, RemoveFrac: 0.05, RerankFrac: 0.05}},
+		{"cancel-heavy", Params{Ops: 600, TagRange: 4096, Window: 128, Backlog: 96, RemoveFrac: 0.3, RerankFrac: 0.05}},
+		{"rerank-heavy", Params{Ops: 600, TagRange: 4096, Window: 128, Backlog: 96, RemoveFrac: 0.05, RerankFrac: 0.3}},
+		{"duplicate-storm", Params{Ops: 500, TagRange: 4096, Window: 4, Backlog: 64, RemoveFrac: 0.15, RerankFrac: 0.15}},
+		{"deep-backlog-churn", Params{Ops: 900, TagRange: 4096, Window: 512, Backlog: 1024, RemoveFrac: 0.1, RerankFrac: 0.1}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				script, err := Generate(seed, tc.p)
+				if err != nil {
+					t.Fatalf("Generate(%d): %v", seed, err)
+				}
+				for _, q := range newDynamicQueues(t) {
+					if err := Check(q, script); err != nil {
+						t.Errorf("seed %d: %v", seed, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDynamicOracleHandScript pins the dynamic semantics with a
+// hand-written script: a cancel inside a duplicate group and a rerank
+// that lands its entry as the newest among existing equals.
+func TestDynamicOracleHandScript(t *testing.T) {
+	script := Script{
+		TagRange: 4096,
+		Inserts:  5,
+		Ops: []Op{
+			{Kind: OpInsert, Tag: 7},                        // payload 0
+			{Kind: OpInsert, Tag: 7},                        // payload 1
+			{Kind: OpInsert, Tag: 7},                        // payload 2
+			{Kind: OpInsert, Tag: 9},                        // payload 3
+			{Kind: OpRemove, Tag: 7, Payload: 1},            // cancel mid-group
+			{Kind: OpRerank, Tag: 9, Payload: 3, NewTag: 7}, // joins group 7 as newest
+			{Kind: OpInsert, Tag: 12},                       // payload 4
+			{Kind: OpExtract},                               // 7/0
+			{Kind: OpExtract},                               // 7/2
+			{Kind: OpExtract},                               // 7/3 (reranked, FCFS last)
+			{Kind: OpRemove, Tag: 12, Payload: 4},           // cancel the tail
+		},
+	}
+	want := []pqueue.Entry{{Tag: 7, Payload: 0}, {Tag: 7, Payload: 2}, {Tag: 7, Payload: 3}}
+	got := Oracle(script)
+	if len(got) != len(want) {
+		t.Fatalf("oracle served %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("oracle departure %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, q := range newDynamicQueues(t) {
+		if err := Check(q, script); err != nil {
+			t.Errorf("hand script: %v", err)
+		}
+	}
+}
+
+// TestGenerateDynamicValidation: dynamic fractions must be sane.
+func TestGenerateDynamicValidation(t *testing.T) {
+	bad := []Params{
+		{Ops: 10, TagRange: 4096, Window: 16, Backlog: 8, RemoveFrac: -0.1},
+		{Ops: 10, TagRange: 4096, Window: 16, Backlog: 8, RerankFrac: -0.1},
+		{Ops: 10, TagRange: 4096, Window: 16, Backlog: 8, RemoveFrac: 0.7, RerankFrac: 0.7},
+	}
+	for _, p := range bad {
+		if _, err := Generate(1, p); err == nil {
+			t.Errorf("Generate accepted invalid params %+v", p)
+		}
+	}
+}
+
+// FuzzDynamicOracle lets the fuzzer steer the seed, shape, and churn
+// mix, hunting for a dynamic op sequence on which any DynamicQueue
+// backend diverges from the stable oracle.
+func FuzzDynamicOracle(f *testing.F) {
+	f.Add(int64(1), uint16(300), uint8(16), uint8(32), uint8(20), uint8(20))
+	f.Add(int64(99), uint16(500), uint8(1), uint8(200), uint8(60), uint8(0))
+	f.Add(int64(7), uint16(200), uint8(255), uint8(3), uint8(0), uint8(60))
+	f.Fuzz(func(t *testing.T, seed int64, ops uint16, window, backlog, removePct, rerankPct uint8) {
+		p := Params{
+			Ops:        50 + int(ops)%450,
+			TagRange:   4096,
+			Window:     1 + int(window)*8,
+			Backlog:    1 + int(backlog),
+			RemoveFrac: float64(removePct%50) / 100,
+			RerankFrac: float64(rerankPct%50) / 100,
+		}
+		script, err := Generate(seed, p)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		for _, q := range newDynamicQueues(t) {
+			if err := Check(q, script); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}

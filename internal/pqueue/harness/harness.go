@@ -6,6 +6,11 @@
 // Exact methods must reproduce the oracle's departure sequence
 // entry-for-entry — including FCFS order among duplicate tags — while
 // approximate methods must serve exactly the inserted multiset.
+//
+// Scripts may also carry dynamic updates (OpRemove, OpRerank) targeting
+// live entries; those replay only on DynamicQueue backends, which must
+// match the oracle positionally through arbitrary mid-stream
+// cancellations and re-rankings.
 package harness
 
 import (
@@ -25,12 +30,20 @@ const (
 	OpInsert OpKind = iota + 1
 	// OpExtract extracts the minimum.
 	OpExtract
+	// OpRemove removes the oldest live entry matching (Tag, Payload).
+	// The generator only emits removes of entries it knows are stored,
+	// so a miss during replay is a checker failure.
+	OpRemove
+	// OpRerank moves the oldest live (Tag, Payload) entry to NewTag.
+	OpRerank
 )
 
 // Op is one scripted queue operation.
 type Op struct {
-	Kind OpKind
-	Tag  int // valid for OpInsert
+	Kind    OpKind
+	Tag     int // valid for OpInsert, OpRemove, OpRerank
+	Payload int // valid for OpRemove, OpRerank
+	NewTag  int // valid for OpRerank
 }
 
 // Script is a deterministic operation sequence. Payloads are implicit:
@@ -48,6 +61,13 @@ type Params struct {
 	TagRange int // tag universe size (tags in [0, TagRange))
 	Window   int // tags are drawn from [floor, floor+Window]
 	Backlog  int // maximum simultaneous stored entries
+
+	// RemoveFrac and RerankFrac are the per-op probabilities of emitting
+	// a dynamic update against a random live entry (both zero by
+	// default, which reproduces the classic insert/extract scripts).
+	// Scripts with dynamic ops require DynamicQueue backends to replay.
+	RemoveFrac float64
+	RerankFrac float64
 }
 
 // DefaultScriptParams matches the Table I geometry: 12-bit tags, a
@@ -68,6 +88,9 @@ func Generate(seed int64, p Params) (Script, error) {
 	if p.Ops <= 0 || p.TagRange <= 1 || p.Window <= 0 || p.Window >= p.TagRange || p.Backlog <= 0 {
 		return Script{}, fmt.Errorf("harness: invalid params %+v", p)
 	}
+	if p.RemoveFrac < 0 || p.RerankFrac < 0 || p.RemoveFrac+p.RerankFrac > 1 {
+		return Script{}, fmt.Errorf("harness: invalid dynamic fractions %+v", p)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	var (
 		s     Script
@@ -76,6 +99,32 @@ func Generate(seed int64, p Params) (Script, error) {
 	)
 	s.TagRange = p.TagRange
 	for len(s.Ops) < p.Ops {
+		// Dynamic updates target a uniformly random live entry; rerank
+		// destinations obey the same moving window as inserts so the
+		// monotone service-floor precondition survives.
+		if ref.len() > 0 {
+			switch r := rng.Float64(); {
+			case r < p.RemoveFrac:
+				v := ref.entries[rng.Intn(ref.len())]
+				ref.remove(v.Tag, v.Payload)
+				s.Ops = append(s.Ops, Op{Kind: OpRemove, Tag: v.Tag, Payload: v.Payload})
+				continue
+			case r < p.RemoveFrac+p.RerankFrac:
+				v := ref.entries[rng.Intn(ref.len())]
+				hi := floor + p.Window
+				if hi > p.TagRange-1 {
+					hi = p.TagRange - 1
+				}
+				newTag := floor
+				if hi > floor {
+					newTag = floor + rng.Intn(hi-floor+1)
+				}
+				ref.remove(v.Tag, v.Payload)
+				ref.insert(newTag, v.Payload)
+				s.Ops = append(s.Ops, Op{Kind: OpRerank, Tag: v.Tag, Payload: v.Payload, NewTag: newTag})
+				continue
+			}
+		}
 		// Bias toward inserts while shallow, extracts while deep, so the
 		// backlog sweeps through its whole range.
 		insertP := 1 - float64(ref.len())/float64(p.Backlog)
@@ -132,6 +181,18 @@ func (o *oracleState) extract() pqueue.Entry {
 	return e
 }
 
+// remove deletes the oldest (first in list order) entry matching
+// (tag, payload) and reports whether one was stored.
+func (o *oracleState) remove(tag, payload int) bool {
+	for i, e := range o.entries {
+		if e.Tag == tag && e.Payload == payload {
+			o.entries = append(o.entries[:i], o.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // Oracle replays the script on the stable reference model and returns
 // the departure sequence.
 func Oracle(s Script) []pqueue.Entry {
@@ -141,12 +202,19 @@ func Oracle(s Script) []pqueue.Entry {
 		served  []pqueue.Entry
 	)
 	for _, op := range s.Ops {
-		if op.Kind == OpInsert {
+		switch op.Kind {
+		case OpInsert:
 			ref.insert(op.Tag, payload)
 			payload++
-			continue
+		case OpRemove:
+			ref.remove(op.Tag, op.Payload)
+		case OpRerank:
+			if ref.remove(op.Tag, op.Payload) {
+				ref.insert(op.NewTag, op.Payload)
+			}
+		default:
+			served = append(served, ref.extract())
 		}
-		served = append(served, ref.extract())
 	}
 	return served
 }
@@ -158,18 +226,41 @@ func Drive(q pqueue.MinTagQueue, s Script) ([]pqueue.Entry, error) {
 		served  []pqueue.Entry
 	)
 	for i, op := range s.Ops {
-		if op.Kind == OpInsert {
+		switch op.Kind {
+		case OpInsert:
 			if err := q.Insert(op.Tag, payload); err != nil {
 				return nil, fmt.Errorf("harness: %s op %d insert tag %d: %w", q.Name(), i, op.Tag, err)
 			}
 			payload++
-			continue
+		case OpRemove, OpRerank:
+			dq, ok := q.(pqueue.DynamicQueue)
+			if !ok {
+				return nil, fmt.Errorf("harness: %s op %d: script has dynamic ops but backend is not a DynamicQueue", q.Name(), i)
+			}
+			var (
+				found bool
+				err   error
+			)
+			if op.Kind == OpRemove {
+				found, err = dq.Remove(op.Tag, op.Payload)
+			} else {
+				found, err = dq.Rerank(op.Tag, op.Payload, op.NewTag)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s op %d dynamic update tag %d payload %d: %w", q.Name(), i, op.Tag, op.Payload, err)
+			}
+			if !found {
+				// The generator only targets live entries, so a miss means
+				// the backend lost or mislaid one.
+				return nil, fmt.Errorf("harness: %s op %d missed live entry tag %d payload %d", q.Name(), i, op.Tag, op.Payload)
+			}
+		default:
+			e, err := q.ExtractMin()
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s op %d extract: %w", q.Name(), i, err)
+			}
+			served = append(served, e)
 		}
-		e, err := q.ExtractMin()
-		if err != nil {
-			return nil, fmt.Errorf("harness: %s op %d extract: %w", q.Name(), i, err)
-		}
-		served = append(served, e)
 	}
 	if q.Len() != 0 {
 		return nil, fmt.Errorf("harness: %s holds %d entries after drain", q.Name(), q.Len())

@@ -68,16 +68,40 @@ type MinTagQueue interface {
 	ResetStats()
 }
 
+// DynamicQueue is the capability interface for backends that support
+// in-place dynamic updates — timer cancellation and flow re-weighting
+// (the grouped-sorting-queue extension). It is deliberately separate
+// from MinTagQueue: approximate backends (binning, calendar queues,
+// SP-PIFO) cannot locate an arbitrary entry, so callers probe the
+// capability with a type assertion:
+//
+//	if dq, ok := q.(DynamicQueue); ok { dq.Remove(tag, payload) }
+//
+// Both ops target the oldest stored entry matching (tag, payload) and
+// return found=false, with no state change, when none is stored.
+type DynamicQueue interface {
+	MinTagQueue
+	// Remove deletes the oldest entry matching (tag, payload).
+	Remove(tag, payload int) (bool, error)
+	// Rerank moves the oldest entry matching (tag, payload) to newTag,
+	// re-entering it as the newest among equal tags (a remove followed
+	// by a fresh insert, which is also how it is counted).
+	Rerank(tag, payload, newTag int) (bool, error)
+}
+
 // OpStats counts memory accesses attributed to operations. An "access"
 // is one touch of a backing-store element: a list node, a heap slot, a
 // bucket probe, a CAM match cycle, or a tree-node word.
 type OpStats struct {
 	Inserts         uint64
 	Extracts        uint64
+	Removes         uint64 // dynamic removals (reranks count one remove + one insert)
 	InsertAccesses  uint64
 	ExtractAccesses uint64
+	RemoveAccesses  uint64
 	WorstInsert     uint64 // most accesses by any single insert
 	WorstExtract    uint64 // most accesses by any single extract
+	WorstRemove     uint64 // most accesses by any single remove
 }
 
 // MeanInsert returns the average accesses per insert.
@@ -94,6 +118,14 @@ func (s OpStats) MeanExtract() float64 {
 		return 0
 	}
 	return float64(s.ExtractAccesses) / float64(s.Extracts)
+}
+
+// MeanRemove returns the average accesses per remove.
+func (s OpStats) MeanRemove() float64 {
+	if s.Removes == 0 {
+		return 0
+	}
+	return float64(s.RemoveAccesses) / float64(s.Removes)
 }
 
 // opCounter embeds access accounting into implementations.
@@ -118,6 +150,15 @@ func (c *opCounter) endExtract() {
 	c.stats.ExtractAccesses += c.cur
 	if c.cur > c.stats.WorstExtract {
 		c.stats.WorstExtract = c.cur
+	}
+	c.cur = 0
+}
+
+func (c *opCounter) endRemove() {
+	c.stats.Removes++
+	c.stats.RemoveAccesses += c.cur
+	if c.cur > c.stats.WorstRemove {
+		c.stats.WorstRemove = c.cur
 	}
 	c.cur = 0
 }

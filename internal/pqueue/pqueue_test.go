@@ -325,6 +325,38 @@ func TestRunWorkloadValidation(t *testing.T) {
 	}
 }
 
+func TestMultiBitTreeGeometry(t *testing.T) {
+	// 5 levels × 4 literal bits: the 20-bit timers geometry. A tag above
+	// the 12-bit silicon default must round-trip.
+	q, err := NewMultiBitTreeGeometry(1<<20, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dq DynamicQueue = q
+	wide := 1<<20 - 1
+	if err := dq.Insert(wide, 1); err != nil {
+		t.Fatalf("widest tag rejected: %v", err)
+	}
+	if err := dq.Insert(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if found, err := dq.Remove(wide, 1); err != nil || !found {
+		t.Fatalf("Remove(wide) = %v, %v", found, err)
+	}
+	e, err := dq.ExtractMin()
+	if err != nil || e.Tag != 3 || e.Payload != 2 {
+		t.Fatalf("ExtractMin = %+v, %v", e, err)
+	}
+	// The link word bounds the geometry: 26 tag bits + 20 addr bits +
+	// 24 payload bits > 64 must be rejected, as must nonsense shapes.
+	if _, err := NewMultiBitTreeGeometry(1<<20, 13, 2); err == nil {
+		t.Error("geometry overflowing the link word accepted")
+	}
+	if _, err := NewMultiBitTreeGeometry(1<<10, 0, 4); err == nil {
+		t.Error("zero levels accepted")
+	}
+}
+
 func BenchmarkHeapInsertExtract(b *testing.B) {
 	h := NewBinaryHeap()
 	rng := rand.New(rand.NewSource(1))

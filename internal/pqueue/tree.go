@@ -164,6 +164,25 @@ func NewMultiBitTree(capacity int) (*MultiBitTree, error) {
 	return &MultiBitTree{sorter: s}, nil
 }
 
+// NewMultiBitTreeGeometry builds the paper's architecture over an
+// explicit tree geometry — levels × literalBits tag bits — for tag
+// spaces wider than the 12-bit silicon default (the millions-of-timers
+// workload keys a 20-bit deadline space). The taglist link word bounds
+// the combination: tag bits + ⌈log₂ capacity⌉ + 24 payload bits must
+// fit in 64.
+func NewMultiBitTreeGeometry(capacity, levels, literalBits int) (*MultiBitTree, error) {
+	s, err := core.New(core.Config{
+		Capacity:    capacity,
+		Mode:        core.ModeEager,
+		Levels:      levels,
+		LiteralBits: literalBits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MultiBitTree{sorter: s}, nil
+}
+
 // Name implements MinTagQueue.
 func (m *MultiBitTree) Name() string { return "multi-bit tree (this work)" }
 
@@ -184,7 +203,7 @@ func (m *MultiBitTree) Insert(tag, payload int) error {
 	// Sequential cost: the tree search's node reads (one per level; the
 	// backup path runs in parallel banks) plus one translation-table
 	// read to resolve the insert position.
-	d := uint64(m.sorter.Stats().TreeLastDepth) + 1
+	d := uint64(m.sorter.StatsSnapshot().TreeLastDepth) + 1
 	m.stats.Inserts++
 	m.stats.InsertAccesses += d
 	if d > m.stats.WorstInsert {

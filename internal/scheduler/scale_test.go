@@ -43,7 +43,7 @@ func TestLargeCapacityTagStore(t *testing.T) {
 			t.Fatalf("combined op: %v", err)
 		}
 	}
-	st := s.Stats()
+	st := s.StatsSnapshot()
 	if st.TreeMaxDepth > 3 {
 		t.Fatalf("tree depth %d at 256k occupancy", st.TreeMaxDepth)
 	}

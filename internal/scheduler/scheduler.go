@@ -651,7 +651,7 @@ func (s *Scheduler) Run(arrivals []packet.Packet) (*Result, error) {
 		servedTags[i] = res.ExactTags[d.Packet.ID]
 	}
 	res.Inversions = countInversions(servedTags)
-	res.Sorter = s.sorter.Stats()
+	res.Sorter = s.sorter.StatsSnapshot()
 	res.PeakBuffer = s.buffer.PeakUsed()
 	res.Windows = res.Sorter.ListWindows
 	return res, nil

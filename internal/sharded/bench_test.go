@@ -41,7 +41,7 @@ func BenchmarkInsertBatch(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			st := s.Stats()
+			st := s.StatsSnapshot()
 			b.ReportMetric(st.ModelSpeedup(), "model-speedup")
 			b.ReportMetric(float64(st.SelectDepth), "select-depth")
 		})

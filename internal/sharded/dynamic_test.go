@@ -1,0 +1,196 @@
+package sharded
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDynamicRouting: removes land on the owning lane, cross-lane
+// reranks move the entry between lanes, and the select tree tracks head
+// changes caused by both.
+func TestDynamicRouting(t *testing.T) {
+	s := mustNew(t, Config{Lanes: 4, LaneCapacity: 16})
+	// Interleaved partition: tag&3 names the lane.
+	for i, tag := range []int{4, 5, 6, 7, 8, 9} {
+		if err := s.Insert(tag, i); err != nil {
+			t.Fatalf("Insert(%d): %v", tag, err)
+		}
+	}
+
+	// Remove the global minimum (tag 4, lane 0): the select tree must
+	// re-elect tag 5 without an extract.
+	found, err := s.Remove(4, 0)
+	if err != nil || !found {
+		t.Fatalf("Remove(4,0) = %v, %v", found, err)
+	}
+	if head, ok := s.PeekMin(); !ok || head.Tag != 5 {
+		t.Fatalf("head after removing minimum = %+v ok=%v, want tag 5", head, ok)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after remove: %v", err)
+	}
+
+	// Cross-lane rerank: tag 9 (lane 1) → tag 2 (lane 2) becomes the
+	// new global minimum.
+	found, err = s.Rerank(9, 5, 2)
+	if err != nil || !found {
+		t.Fatalf("Rerank(9,5,2) = %v, %v", found, err)
+	}
+	if head, ok := s.PeekMin(); !ok || head.Tag != 2 {
+		t.Fatalf("head after cross-lane rerank = %+v ok=%v, want tag 2", head, ok)
+	}
+	if s.Lane(2).Len() != 2 || s.Lane(1).Len() != 1 {
+		t.Fatalf("lane occupancy after cross-lane rerank: lane2=%d lane1=%d, want 2/1",
+			s.Lane(2).Len(), s.Lane(1).Len())
+	}
+
+	// Same-lane rerank: tag 5 → tag 13 stays in lane 1.
+	found, err = s.Rerank(5, 1, 13)
+	if err != nil || !found {
+		t.Fatalf("Rerank(5,1,13) = %v, %v", found, err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after reranks: %v", err)
+	}
+
+	// Misses are clean in both ops.
+	if found, err := s.Remove(4, 0); err != nil || found {
+		t.Fatalf("Remove of departed entry = %v, %v, want miss", found, err)
+	}
+	if found, err := s.Rerank(4, 0, 8); err != nil || found {
+		t.Fatalf("Rerank of departed entry = %v, %v, want miss", found, err)
+	}
+
+	st := s.StatsSnapshot()
+	if st.Removes != 1 || st.Reranks != 2 {
+		t.Fatalf("Removes=%d Reranks=%d, want 1/2", st.Removes, st.Reranks)
+	}
+	want := []int{2, 6, 7, 8, 13}
+	drained, err := s.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(drained) != len(want) {
+		t.Fatalf("drained %d entries, want %d", len(drained), len(want))
+	}
+	for i, e := range drained {
+		if e.Tag != want[i] {
+			t.Fatalf("drained[%d].Tag = %d, want %d", i, e.Tag, want[i])
+		}
+	}
+}
+
+// TestDynamicDifferentialVsSingleSorter: a sharded sorter under mixed
+// dynamic traffic serves exactly the sequence one core sorter does.
+func TestDynamicDifferentialVsSingleSorter(t *testing.T) {
+	for _, lanes := range []int{1, 2, 4, 8} {
+		s := mustNew(t, Config{Lanes: lanes, LaneCapacity: 64})
+		ref := mustNew(t, Config{Lanes: 1, LaneCapacity: 64 * lanes})
+		rng := rand.New(rand.NewSource(int64(lanes)))
+		type ent struct{ tag, payload int }
+		var live []ent
+		payload := 0
+		for step := 0; step < 3000; step++ {
+			op := rng.Intn(10)
+			switch {
+			case len(live) == 0 || op < 4:
+				tag := rng.Intn(s.TagRange())
+				// Respect the tighter per-lane capacity of the sharded
+				// instance to keep both sides in lockstep.
+				if s.Lane(s.LaneFor(tag)).Len() >= 64 {
+					continue
+				}
+				if err := s.Insert(tag, payload); err != nil {
+					t.Fatalf("lanes=%d step %d: Insert: %v", lanes, step, err)
+				}
+				if err := ref.Insert(tag, payload); err != nil {
+					t.Fatalf("lanes=%d step %d: ref Insert: %v", lanes, step, err)
+				}
+				live = append(live, ent{tag, payload})
+				payload++
+			case op < 6:
+				got, err := s.ExtractMin()
+				if err != nil {
+					t.Fatalf("lanes=%d step %d: ExtractMin: %v", lanes, step, err)
+				}
+				want, err := ref.ExtractMin()
+				if err != nil {
+					t.Fatalf("lanes=%d step %d: ref ExtractMin: %v", lanes, step, err)
+				}
+				if got.Tag != want.Tag || got.Payload != want.Payload {
+					t.Fatalf("lanes=%d step %d: served (%d,%d), reference (%d,%d)",
+						lanes, step, got.Tag, got.Payload, want.Tag, want.Payload)
+				}
+				for i, e := range live {
+					if e.tag == want.Tag && e.payload == want.Payload {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			case op < 8:
+				v := live[rng.Intn(len(live))]
+				got, err := s.Remove(v.tag, v.payload)
+				if err != nil {
+					t.Fatalf("lanes=%d step %d: Remove: %v", lanes, step, err)
+				}
+				want, err := ref.Remove(v.tag, v.payload)
+				if err != nil {
+					t.Fatalf("lanes=%d step %d: ref Remove: %v", lanes, step, err)
+				}
+				if got != want || !got {
+					t.Fatalf("lanes=%d step %d: Remove(%d,%d) = %v, reference %v",
+						lanes, step, v.tag, v.payload, got, want)
+				}
+				for i, e := range live {
+					if e == v {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			default:
+				v := live[rng.Intn(len(live))]
+				newTag := rng.Intn(s.TagRange())
+				if s.LaneFor(newTag) != s.LaneFor(v.tag) && s.Lane(s.LaneFor(newTag)).Len() >= 64 {
+					continue
+				}
+				got, err := s.Rerank(v.tag, v.payload, newTag)
+				if err != nil {
+					t.Fatalf("lanes=%d step %d: Rerank: %v", lanes, step, err)
+				}
+				want, err := ref.Rerank(v.tag, v.payload, newTag)
+				if err != nil {
+					t.Fatalf("lanes=%d step %d: ref Rerank: %v", lanes, step, err)
+				}
+				if got != want || !got {
+					t.Fatalf("lanes=%d step %d: Rerank = %v, reference %v", lanes, step, got, want)
+				}
+				for i, e := range live {
+					if e == v {
+						live[i] = ent{newTag, v.payload}
+						break
+					}
+				}
+			}
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("lanes=%d: invariants: %v", lanes, err)
+		}
+		for s.Len() > 0 {
+			got, err := s.ExtractMin()
+			if err != nil {
+				t.Fatalf("lanes=%d drain: %v", lanes, err)
+			}
+			want, err := ref.ExtractMin()
+			if err != nil {
+				t.Fatalf("lanes=%d ref drain: %v", lanes, err)
+			}
+			if got.Tag != want.Tag || got.Payload != want.Payload {
+				t.Fatalf("lanes=%d drain: served (%d,%d), reference (%d,%d)",
+					lanes, got.Tag, got.Payload, want.Tag, want.Payload)
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("lanes=%d: reference still holds %d entries", lanes, ref.Len())
+		}
+	}
+}

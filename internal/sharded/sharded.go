@@ -124,6 +124,8 @@ type Stats struct {
 	Inserts        uint64
 	Extracts       uint64
 	Combined       uint64
+	Removes        uint64 // dynamic in-place removals across lanes
+	Reranks        uint64 // dynamic re-ranks (same-lane and cross-lane)
 	Batches        uint64
 	SelectCompares uint64 // combining-tree comparator evaluations
 	SelectDepth    int    // comparator levels leaf→root (log₂ lanes)
@@ -155,6 +157,8 @@ type lane struct {
 	sorter   *core.Sorter
 	inserts  uint64
 	extracts uint64
+	removes  uint64
+	reranks  uint64
 	// cycleBase is the lane clock value at the last ResetStats; cycle
 	// gauges report clock.Now()-cycleBase so benchmark intervals do not
 	// inherit warmup traffic.
@@ -471,6 +475,79 @@ func (s *ShardedSorter) InsertExtractMin(tag, payload int) (taglist.Entry, error
 	return e, nil
 }
 
+// Remove unlinks the oldest stored entry matching (tag, payload): the
+// partition names the owning lane, which runs the single-lane dynamic
+// remove in its own clock domain. Returns (false, nil) when no matching
+// entry is stored.
+func (s *ShardedSorter) Remove(tag, payload int) (bool, error) {
+	if err := s.checkTag(tag); err != nil {
+		return false, err
+	}
+	i := s.LaneFor(tag)
+	found, err := s.lanes[i].sorter.Remove(tag, payload)
+	if err != nil {
+		return false, fmt.Errorf("sharded: lane %d: %w", i, err)
+	}
+	if !found {
+		return false, nil
+	}
+	s.lanes[i].removes++
+	s.n--
+	s.refreshHead(i)
+	return true, nil
+}
+
+// Rerank moves the oldest stored entry matching (tag, payload) to
+// newTag. When both tags map to the same lane the lane's native rerank
+// (remove + reinsert in two windows) runs; across lanes the source
+// lane's remove and the destination lane's insert proceed in their own
+// clock domains. The destination's capacity is validated before the
+// remove commits, so short of a detected fault a rerank either
+// completes or leaves the shard unchanged. Returns (false, nil) when no
+// matching entry is stored.
+func (s *ShardedSorter) Rerank(tag, payload, newTag int) (bool, error) {
+	if err := s.checkTag(tag); err != nil {
+		return false, err
+	}
+	if err := s.checkTag(newTag); err != nil {
+		return false, err
+	}
+	src, dst := s.LaneFor(tag), s.LaneFor(newTag)
+	if src == dst {
+		found, err := s.lanes[src].sorter.Rerank(tag, payload, newTag)
+		if err != nil {
+			return false, fmt.Errorf("sharded: lane %d: %w", src, err)
+		}
+		if !found {
+			return false, nil
+		}
+		s.lanes[src].reranks++
+		s.refreshHead(src)
+		return true, nil
+	}
+	if s.lanes[dst].sorter.Len() >= s.cfg.LaneCapacity {
+		return false, fmt.Errorf("sharded: lane %d: rerank destination: %w", dst, taglist.ErrFull)
+	}
+	found, err := s.lanes[src].sorter.Remove(tag, payload)
+	if err != nil {
+		return false, fmt.Errorf("sharded: lane %d: %w", src, err)
+	}
+	if !found {
+		return false, nil
+	}
+	if err := s.lanes[dst].sorter.Insert(newTag, payload); err != nil {
+		// Capacity was pre-checked, so only a detected fault lands here;
+		// reflect the committed remove before surfacing it.
+		s.n--
+		s.refreshHead(src)
+		return false, fmt.Errorf("sharded: lane %d: rerank reinsert: %w", dst, err)
+	}
+	s.lanes[src].reranks++
+	s.refreshHead(src)
+	s.refreshHead(dst)
+	return true, nil
+}
+
 // Drain removes all tags in sorted order (verification helper).
 func (s *ShardedSorter) Drain() ([]taglist.Entry, error) {
 	out := make([]taglist.Entry, 0, s.n)
@@ -575,6 +652,8 @@ func (s *ShardedSorter) StatsSnapshot() Stats {
 		st.LaneExtracts[i] = l.extracts
 		st.Inserts += l.inserts
 		st.Extracts += l.extracts
+		st.Removes += l.removes
+		st.Reranks += l.reranks
 		cyc := l.clock.Now() - l.cycleBase
 		st.SumLaneCycles += cyc
 		if cyc > st.MaxLaneCycles {
@@ -584,12 +663,6 @@ func (s *ShardedSorter) StatsSnapshot() Stats {
 	return st
 }
 
-// Stats returns aggregated traffic with per-lane breakdowns.
-//
-// Deprecated: use StatsSnapshot (the repository-wide stats accessor
-// convention, DESIGN.md §11).
-func (s *ShardedSorter) Stats() Stats { return s.StatsSnapshot() }
-
 // ResetStats zeroes all traffic counters, including each lane fabric's
 // region/bank counters. Lane clocks keep running — cycle gauges are
 // reported relative to the reset point, like free-running hardware
@@ -597,7 +670,7 @@ func (s *ShardedSorter) Stats() Stats { return s.StatsSnapshot() }
 func (s *ShardedSorter) ResetStats() {
 	s.combined, s.batches, s.tree.compares = 0, 0, 0
 	for _, l := range s.lanes {
-		l.inserts, l.extracts = 0, 0
+		l.inserts, l.extracts, l.removes, l.reranks = 0, 0, 0, 0
 		l.cycleBase = l.clock.Now()
 		l.fab.ResetStats()
 		l.sorter.ResetStats()

@@ -208,7 +208,7 @@ func TestMaxLaneCycleAccounting(t *testing.T) {
 	if _, err := s.InsertBatch(batch); err != nil {
 		t.Fatal(err)
 	}
-	st := s.Stats()
+	st := s.StatsSnapshot()
 	if st.MaxLaneCycles == 0 || st.SumLaneCycles == 0 {
 		t.Fatalf("cycle accounting empty: %+v", st)
 	}
@@ -227,7 +227,7 @@ func TestMaxLaneCycleAccounting(t *testing.T) {
 func TestSelectTreeFixedDepth(t *testing.T) {
 	for lanes, want := range map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 16: 4} {
 		s := mustNew(t, Config{Lanes: lanes, LaneCapacity: 64})
-		if d := s.Stats().SelectDepth; d != want {
+		if d := s.StatsSnapshot().SelectDepth; d != want {
 			t.Errorf("lanes=%d: select depth %d, want %d", lanes, d, want)
 		}
 	}
@@ -245,7 +245,7 @@ func TestSelectTreeFixedDepth(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st := s.Stats()
+	st := s.StatsSnapshot()
 	if st.SelectCompares != 64*uint64(st.SelectDepth) {
 		t.Errorf("64 extracts cost %d compares, want %d", st.SelectCompares, 64*st.SelectDepth)
 	}
@@ -278,7 +278,7 @@ func TestInsertExtractMinCrossLane(t *testing.T) {
 	if e.Tag != 6 {
 		t.Fatalf("served %d, want 6", e.Tag)
 	}
-	if got := s.Stats().Combined; got != 2 {
+	if got := s.StatsSnapshot().Combined; got != 2 {
 		t.Fatalf("combined windows %d, want 2", got)
 	}
 	// The departing head is committed even when the incoming tag
@@ -432,7 +432,7 @@ func TestStatsAggregationAndReset(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st := s.Stats()
+	st := s.StatsSnapshot()
 	if st.Inserts != 400 || st.Extracts != 100 || st.Batches != 1 {
 		t.Fatalf("stats %+v", st)
 	}
@@ -453,7 +453,7 @@ func TestStatsAggregationAndReset(t *testing.T) {
 	}
 	busy := st.MaxLaneCycles
 	s.ResetStats()
-	st = s.Stats()
+	st = s.StatsSnapshot()
 	if st.Inserts != 0 || st.Extracts != 0 || st.Batches != 0 || st.SelectCompares != 0 {
 		t.Fatalf("post-reset stats %+v", st)
 	}
@@ -470,7 +470,7 @@ func TestStatsAggregationAndReset(t *testing.T) {
 	if err := s.Insert(3, 1); err != nil {
 		t.Fatal(err)
 	}
-	st = s.Stats()
+	st = s.StatsSnapshot()
 	if st.MaxLaneCycles == 0 || st.MaxLaneCycles >= busy {
 		t.Errorf("post-reset interval cycles = %d, want in (0, %d)", st.MaxLaneCycles, busy)
 	}

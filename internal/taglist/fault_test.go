@@ -216,3 +216,17 @@ func TestCorruptionNeverPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestCorruptGroupCycleSurfacesOnRemove: a next pointer flipped back
+// into its own duplicate group turns the remove walk into a cycle; the
+// walk bound must report ErrCorrupt rather than spin or silently miss.
+func TestCorruptGroupCycleSurfacesOnRemove(t *testing.T) {
+	l := mustList(t, 16)
+	addrs := mustInsert(t, l, 10, 20, 20, 20, 30)
+	// Point the newest group-20 link back at the oldest: a cycle that
+	// never leaves tag 20, so the contiguity check cannot break out.
+	rewriteNext(t, l, addrs[3], addrs[1])
+	if _, err := l.RemoveInGroup(addrs[0], 20, 99); !errors.Is(err, hwsim.ErrCorrupt) {
+		t.Fatalf("RemoveInGroup over cyclic group returned %v, want ErrCorrupt", err)
+	}
+}

@@ -477,6 +477,120 @@ func (l *List) InsertHeadExtractMin(tag, payload int) (Entry, int, error) {
 	return out, reused, nil
 }
 
+// RemoveResult reports the outcome of a RemoveInGroup unlink.
+type RemoveResult struct {
+	// Found reports whether a matching link was unlinked.
+	Found bool
+	// Removed is the unlinked entry (valid only when Found).
+	Removed Entry
+	// PrevSameTag is the address of the same-tag link immediately
+	// preceding the removed one, or -1 when the removed link was the
+	// oldest of its group. When the removed link was the group's newest
+	// (the translation-table target), PrevSameTag is the new newest.
+	PrevSameTag int
+}
+
+// RemoveInGroup unlinks the oldest link matching (tag, payload) from its
+// tag group. prevAddr is the address of the last link of the preceding
+// (strictly smaller-tag) group — the translation-table entry for the
+// closest smaller marked tag — or -1 when the target group starts at the
+// list head. The group is walked oldest→newest through the functional
+// read port, one charged read per link scanned, then the unlink issues
+// the window's two writes (predecessor redirect + freed-link push), all
+// inside one operation window whose span is derived by the port arbiter.
+// A walk that revisits links or runs past the stored count is reported
+// wrapping hwsim.ErrCorrupt.
+func (l *List) RemoveInGroup(prevAddr, tag, payload int) (RemoveResult, error) {
+	if err := l.checkTagPayload(tag, payload); err != nil {
+		return RemoveResult{}, err
+	}
+	if prevAddr < -1 || prevAddr >= l.cfg.Capacity {
+		return RemoveResult{}, fmt.Errorf("taglist: predecessor address %d out of range [-1,%d)", prevAddr, l.cfg.Capacity)
+	}
+	if !l.headValid {
+		return RemoveResult{}, ErrEmpty
+	}
+	l.windows++
+	l.reg.BeginWindow()
+	defer l.reg.EndWindow()
+
+	// Head removal: the group starts at the head and the head matches.
+	if prevAddr == -1 && l.headTag == tag && l.headPayload == payload {
+		out := Entry{Tag: l.headTag, Payload: l.headPayload, Addr: l.headAddr}
+		freed := l.headAddr
+		if l.headNext == freed {
+			l.headValid = false
+		} else {
+			w, err := l.port.Read(l.headNext)
+			if err != nil {
+				return RemoveResult{}, err
+			}
+			ntag, nnext, npayload := l.unpack(w)
+			l.headAddr, l.headTag, l.headPayload, l.headNext = l.headNext, ntag, npayload, nnext
+		}
+		if err := l.free(freed); err != nil {
+			return RemoveResult{}, err
+		}
+		l.count--
+		return RemoveResult{Found: true, Removed: out, PrevSameTag: -1}, nil
+	}
+
+	// Position the walk on the predecessor link: the head's registers
+	// when the group starts at the head, otherwise one read of prevAddr.
+	pAddr, pTag, pNext, pPayload := l.headAddr, l.headTag, l.headNext, l.headPayload
+	if prevAddr >= 0 {
+		w, err := l.port.Read(prevAddr)
+		if err != nil {
+			return RemoveResult{}, err
+		}
+		pTag, pNext, pPayload = l.unpack(w)
+		pAddr = prevAddr
+	}
+	prevSame := -1
+	if pTag == tag {
+		prevSame = pAddr
+	}
+	cur := pNext
+	for steps := 0; ; steps++ {
+		if steps >= l.count {
+			return RemoveResult{}, fmt.Errorf("taglist: %w: group walk for tag %d exceeded %d links (chain cycle)", hwsim.ErrCorrupt, tag, l.count)
+		}
+		if cur == pAddr {
+			// The predecessor was the tail: the group ended without a match.
+			return RemoveResult{}, nil
+		}
+		w, err := l.port.Read(cur)
+		if err != nil {
+			return RemoveResult{}, err
+		}
+		ctag, cnext, cpayload := l.unpack(w)
+		if ctag != tag {
+			// Groups are contiguous in the sorted chain: walked past it.
+			return RemoveResult{}, nil
+		}
+		if cpayload == payload {
+			newNext := cnext
+			if cnext == cur { // removed link was the tail
+				newNext = pAddr // predecessor becomes the tail (self-link)
+			}
+			if err := l.port.Write(pAddr, l.pack(pTag, newNext, pPayload)); err != nil {
+				return RemoveResult{}, err
+			}
+			if err := l.free(cur); err != nil {
+				return RemoveResult{}, err
+			}
+			if pAddr == l.headAddr {
+				l.headNext = newNext
+			}
+			l.count--
+			return RemoveResult{Found: true, Removed: Entry{Tag: ctag, Payload: cpayload, Addr: cur}, PrevSameTag: prevSame}, nil
+		}
+		prevSame = cur
+		pAddr, pTag, pNext, pPayload = cur, ctag, cnext, cpayload
+		cur = cnext
+	}
+}
+
 // CheckEntry validates a (tag, payload) pair against the list geometry
 // without modifying state, letting composed circuits validate inputs
 // before committing earlier pipeline stages.

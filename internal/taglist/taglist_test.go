@@ -463,3 +463,211 @@ func BenchmarkInsertExtract(b *testing.B) {
 		head, _ = l.PeekMin()
 	}
 }
+
+// insertMirrored inserts (tag, payload) at its sorted position — after
+// the last link with tag ≤ the new tag, as resolveInsert does — and
+// records it in the in-order mirror.
+func insertMirrored(t *testing.T, l *List, mirror *[]Entry, tag, payload int) {
+	t.Helper()
+	idx := -1
+	for i, e := range *mirror {
+		if e.Tag <= tag {
+			idx = i
+		}
+	}
+	var (
+		addr int
+		err  error
+	)
+	if idx < 0 {
+		addr, err = l.InsertHead(tag, payload)
+	} else {
+		addr, err = l.InsertAfter(tag, payload, (*mirror)[idx].Addr)
+	}
+	if err != nil {
+		t.Fatalf("insert (%d,%d): %v", tag, payload, err)
+	}
+	*mirror = append(*mirror, Entry{})
+	copy((*mirror)[idx+2:], (*mirror)[idx+1:])
+	(*mirror)[idx+1] = Entry{Tag: tag, Payload: payload, Addr: addr}
+}
+
+// groupPrev returns the RemoveInGroup predecessor for tag: the address
+// of the last link with a strictly smaller tag, or -1.
+func groupPrev(mirror []Entry, tag int) int {
+	prev := -1
+	for _, e := range mirror {
+		if e.Tag < tag {
+			prev = e.Addr
+		}
+	}
+	return prev
+}
+
+// TestRemoveInGroupDuplicates exercises every unlink position inside a
+// duplicate group: newest (translation target), oldest, middle, head,
+// and the final link of the list.
+func TestRemoveInGroupDuplicates(t *testing.T) {
+	l := mustNew(t, 16)
+	var mirror []Entry
+	for i, tag := range []int{5, 7, 7, 7, 9} {
+		insertMirrored(t, l, &mirror, tag, i)
+	}
+	prev5 := mirror[0].Addr
+
+	// Newest of group 7 (payload 3): PrevSameTag names payload 2's link.
+	rr, err := l.RemoveInGroup(prev5, 7, 3)
+	if err != nil || !rr.Found {
+		t.Fatalf("remove (7,3): found=%v err=%v", rr.Found, err)
+	}
+	if rr.Removed.Payload != 3 || rr.PrevSameTag != mirror[2].Addr {
+		t.Fatalf("remove (7,3) = %+v, want payload 3 prevSame %d", rr, mirror[2].Addr)
+	}
+
+	// Oldest of group 7 (payload 1): no same-tag predecessor.
+	rr, err = l.RemoveInGroup(prev5, 7, 1)
+	if err != nil || !rr.Found {
+		t.Fatalf("remove (7,1): found=%v err=%v", rr.Found, err)
+	}
+	if rr.Removed.Payload != 1 || rr.PrevSameTag != -1 {
+		t.Fatalf("remove (7,1) = %+v, want payload 1 prevSame -1", rr)
+	}
+
+	// Last remaining member of group 7.
+	rr, err = l.RemoveInGroup(prev5, 7, 2)
+	if err != nil || !rr.Found || rr.PrevSameTag != -1 {
+		t.Fatalf("remove (7,2) = %+v err=%v, want found prevSame -1", rr, err)
+	}
+
+	// Group is gone: a further remove misses without state change.
+	n := l.Len()
+	rr, err = l.RemoveInGroup(prev5, 7, 0)
+	if err != nil || rr.Found || l.Len() != n {
+		t.Fatalf("remove of emptied group: %+v err=%v len=%d, want miss at len %d", rr, err, l.Len(), n)
+	}
+
+	// Head removal, then the final link: the list drains clean.
+	rr, err = l.RemoveInGroup(-1, 5, 0)
+	if err != nil || !rr.Found || rr.PrevSameTag != -1 {
+		t.Fatalf("remove head (5,0) = %+v err=%v", rr, err)
+	}
+	if head, ok := l.PeekMin(); !ok || head.Tag != 9 {
+		t.Fatalf("head after removal = %+v ok=%v, want tag 9", head, ok)
+	}
+	rr, err = l.RemoveInGroup(-1, 9, 4)
+	if err != nil || !rr.Found {
+		t.Fatalf("remove (9,4) = %+v err=%v", rr, err)
+	}
+	if _, ok := l.PeekMin(); ok || l.Len() != 0 {
+		t.Fatalf("list not empty after removing every link: len=%d", l.Len())
+	}
+}
+
+// TestRemoveInGroupMiss: a payload absent from a live group, and a tag
+// whose group ends before the predecessor's tail, both miss without
+// disturbing the chain.
+func TestRemoveInGroupMiss(t *testing.T) {
+	l := mustNew(t, 16)
+	var mirror []Entry
+	for i, tag := range []int{10, 20, 20, 30} {
+		insertMirrored(t, l, &mirror, tag, i)
+	}
+	for _, tc := range []struct{ tag, payload int }{
+		{20, 99}, // live group, absent payload
+		{25, 0},  // no such group: walk stops at tag 30
+		{30, 99}, // tail group, absent payload
+	} {
+		rr, err := l.RemoveInGroup(groupPrev(mirror, tc.tag), tc.tag, tc.payload)
+		if err != nil || rr.Found {
+			t.Fatalf("remove (%d,%d) = %+v err=%v, want clean miss", tc.tag, tc.payload, rr, err)
+		}
+	}
+	live, err := l.Rescan()
+	if err != nil {
+		t.Fatalf("Rescan: %v", err)
+	}
+	if len(live) != len(mirror) {
+		t.Fatalf("chain has %d links after misses, want %d", len(live), len(mirror))
+	}
+	for i := range live {
+		if live[i] != mirror[i] {
+			t.Fatalf("chain[%d] = %+v, want %+v", i, live[i], mirror[i])
+		}
+	}
+}
+
+// TestRemoveInGroupCost pins the charged access pattern: an interior
+// unlink is one window of 2R+2W (predecessor read, target read,
+// predecessor redirect, free-list push) — the same budget as an insert —
+// and a head unlink is 1R+1W.
+func TestRemoveInGroupCost(t *testing.T) {
+	l := mustNew(t, 16)
+	var mirror []Entry
+	for i, tag := range []int{10, 20, 30} {
+		insertMirrored(t, l, &mirror, tag, i)
+	}
+	l.ResetStats()
+	if rr, err := l.RemoveInGroup(mirror[0].Addr, 20, 1); err != nil || !rr.Found {
+		t.Fatalf("remove (20,1): %+v err=%v", rr, err)
+	}
+	st := l.MemStats()
+	if st.Reads != 2 || st.Writes != 2 || l.Windows() != 1 {
+		t.Fatalf("interior unlink cost %dR+%dW in %d windows, want 2R+2W in 1", st.Reads, st.Writes, l.Windows())
+	}
+	l.ResetStats()
+	if rr, err := l.RemoveInGroup(-1, 10, 0); err != nil || !rr.Found {
+		t.Fatalf("remove head (10,0): %+v err=%v", rr, err)
+	}
+	st = l.MemStats()
+	if st.Reads != 1 || st.Writes != 1 || l.Windows() != 1 {
+		t.Fatalf("head unlink cost %dR+%dW in %d windows, want 1R+1W in 1", st.Reads, st.Writes, l.Windows())
+	}
+}
+
+// TestRemoveInGroupRandomized drives random mirrored inserts and removes
+// and verifies the stored chain tracks the mirror exactly, including
+// free-link recycling.
+func TestRemoveInGroupRandomized(t *testing.T) {
+	l := mustNew(t, 128)
+	rng := rand.New(rand.NewSource(11))
+	var mirror []Entry
+	payload := 0
+	for step := 0; step < 4000; step++ {
+		if len(mirror) == 0 || (len(mirror) < l.Capacity() && rng.Intn(2) == 0) {
+			insertMirrored(t, l, &mirror, rng.Intn(64), payload%(1<<16))
+			payload++
+			continue
+		}
+		victim := mirror[rng.Intn(len(mirror))]
+		// Oldest (tag, payload) match wins, matching the hardware walk.
+		idx := -1
+		for i, e := range mirror {
+			if e.Tag == victim.Tag && e.Payload == victim.Payload {
+				idx = i
+				break
+			}
+		}
+		rr, err := l.RemoveInGroup(groupPrev(mirror, victim.Tag), victim.Tag, victim.Payload)
+		if err != nil || !rr.Found {
+			t.Fatalf("step %d: remove (%d,%d) = %+v err=%v", step, victim.Tag, victim.Payload, rr, err)
+		}
+		if rr.Removed.Addr != mirror[idx].Addr {
+			t.Fatalf("step %d: removed addr %d, want oldest match %d", step, rr.Removed.Addr, mirror[idx].Addr)
+		}
+		mirror = append(mirror[:idx], mirror[idx+1:]...)
+		if step%64 == 0 {
+			live, err := l.Rescan()
+			if err != nil {
+				t.Fatalf("step %d: Rescan: %v", step, err)
+			}
+			if len(live) != len(mirror) {
+				t.Fatalf("step %d: chain %d links, mirror %d", step, len(live), len(mirror))
+			}
+			for i := range live {
+				if live[i] != mirror[i] {
+					t.Fatalf("step %d: chain[%d] = %+v, want %+v", step, i, live[i], mirror[i])
+				}
+			}
+		}
+	}
+}

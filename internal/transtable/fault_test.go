@@ -90,3 +90,29 @@ func TestVerifyCleanAfterReset(t *testing.T) {
 		t.Fatalf("Verify after Reset: %v", err)
 	}
 }
+
+// TestReclaimedEntryResurrectsSurfaces: the remove path reclaims a
+// group's slot with Invalidate; an SEU that flips the valid bit back on
+// resurrects a dangling entry, which the audit walk must report as
+// corruption — the dynamic-update sequence must not leave silently
+// live ghosts.
+func TestReclaimedEntryResurrectsSurfaces(t *testing.T) {
+	tb := mustTable(t)
+	if err := tb.Set(10, 3); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	// The remove path's slot reclamation once the tag group empties.
+	if err := tb.Invalidate(10); err != nil {
+		t.Fatalf("Invalidate: %v", err)
+	}
+	if _, ok, err := tb.Lookup(10); err != nil || ok {
+		t.Fatalf("Lookup after reclaim = ok=%v err=%v, want invalid", ok, err)
+	}
+	// SEU: the valid bit flips back on with the stale address.
+	if err := tb.reg.Poke(10, 1<<uint(tb.addrBits)|3); err != nil {
+		t.Fatalf("poke: %v", err)
+	}
+	if err := tb.Verify(map[int]int{}); !errors.Is(err, hwsim.ErrCorrupt) {
+		t.Fatalf("Verify with resurrected entry returned %v, want ErrCorrupt", err)
+	}
+}

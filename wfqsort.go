@@ -102,6 +102,10 @@ var (
 	// ErrBehindMinimum is returned in strict hardware mode for inserts
 	// below the current minimum.
 	ErrBehindMinimum = core.ErrBehindMinimum
+	// ErrNotEager is returned by the dynamic updates (Sorter.Remove,
+	// Sorter.Rerank) in ModeHardware: stale-marker reclamation cannot
+	// unlink an interior entry, so dynamic updates require ModeEager.
+	ErrNotEager = core.ErrNotEager
 )
 
 // NewSorter builds a tag sort/retrieve circuit. The zero-value geometry
@@ -364,6 +368,14 @@ func NewSoftRankStore() *rank.SoftStore { return rank.NewSoftStore() }
 // internal/pqueue): any structure that stores integer tags and serves
 // the minimum.
 type MinTagQueue = pqueue.MinTagQueue
+
+// DynamicQueue is the optional capability interface for backends that
+// support charged in-place dynamic updates — Remove (timer
+// cancellation) and Rerank (flow re-weighting). Probe for it with a
+// type assertion: the paper's tree, the sharded sorter, and every
+// software baseline implement it; backends whose structure cannot
+// support exact removal (TCAM, SP-PIFO) simply don't.
+type DynamicQueue = pqueue.DynamicQueue
 
 // NewHWRankStore quantizes ranks onto any MinTagQueue — the seam that
 // runs a rank program over the paper's integer-tag sorting hardware.

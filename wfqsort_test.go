@@ -95,7 +95,7 @@ func TestFacadeShardedSorter(t *testing.T) {
 			t.Fatalf("served %d/%d, want %d/%d", e.Tag, e.Payload, w.Tag, w.Payload)
 		}
 	}
-	if sp := s.Stats().ModelSpeedup(); sp < 1 {
+	if sp := s.StatsSnapshot().ModelSpeedup(); sp < 1 {
 		t.Fatalf("model speedup %v, want ≥ 1", sp)
 	}
 }
@@ -171,5 +171,39 @@ func TestFacadeRankSeam(t *testing.T) {
 	}
 	if len(seen) != 3 {
 		t.Fatalf("tree served flows %v, want all 3", seen)
+	}
+}
+
+// TestFacadeDynamicQueue verifies the dynamic-update surface through
+// the public API: the capability probe on a MinTagQueue, the sorter's
+// Remove/Rerank, and the ModeHardware refusal.
+func TestFacadeDynamicQueue(t *testing.T) {
+	q, err := NewMultiBitTreeQueue(4096)
+	if err != nil {
+		t.Fatalf("NewMultiBitTreeQueue: %v", err)
+	}
+	dq, ok := q.(DynamicQueue)
+	if !ok {
+		t.Fatal("multi-bit tree queue does not expose the DynamicQueue capability")
+	}
+	if err := dq.Insert(300, 1); err != nil {
+		t.Fatal(err)
+	}
+	if found, err := dq.Rerank(300, 1, 5); err != nil || !found {
+		t.Fatalf("Rerank = %v, %v", found, err)
+	}
+	if e, err := dq.ExtractMin(); err != nil || e.Tag != 5 {
+		t.Fatalf("ExtractMin after rerank = %+v, %v", e, err)
+	}
+
+	hw, err := NewSorter(SorterConfig{Capacity: 64, Mode: ModeHardware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.Insert(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.Remove(10, 1); !errors.Is(err, ErrNotEager) {
+		t.Fatalf("hardware-mode Remove: %v, want ErrNotEager", err)
 	}
 }
